@@ -1,0 +1,559 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   section and the ablations motivated by its prose, then runs Bechamel
+   micro-benchmarks of the analysis phase.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- table1  -- one section
+
+   Shapes, not absolute times, are the reproduction target: the paper
+   measured XSB 1.4.2 on 1996 SPARCstations.  EXPERIMENTS.md holds the
+   side-by-side discussion. *)
+
+open Prax
+
+let line = String.make 78 '-'
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* best of three runs, as a mild guard against scheduler noise *)
+let best3 f =
+  let r1 = f () in
+  let m1 = fst r1 in
+  let r2 = f () in
+  let m2 = fst r2 in
+  let r3 = f () in
+  let m3 = fst r3 in
+  if m1 <= m2 && m1 <= m3 then r1 else if m2 <= m3 then r2 else r3
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: Prop-based groundness analysis                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section
+    "Table 1: performance of Prop-based groundness analysis (tabled engine, \
+     dynamic mode)";
+  Printf.printf "%-8s %5s | %8s %8s %8s %8s | %8s %10s\n" "Program" "lines"
+    "Preproc" "Analysis" "Collect" "Total" "Incr.(%)" "Table(B)";
+  List.iter
+    (fun (b : Benchdata.Registry.logic_bench) ->
+      let (total, (rep, compile)) =
+        best3 (fun () ->
+            let rep = Groundness.analyze b.Benchdata.Registry.source in
+            let compile =
+              Groundness.Analyze.compile_time b.Benchdata.Registry.source
+            in
+            (Prax_ground.Analyze.total rep.Prax_ground.Analyze.phases,
+             (rep, compile)))
+      in
+      let p = rep.Prax_ground.Analyze.phases in
+      Printf.printf
+        "%-8s %5d | %8.4f %8.4f %8.4f %8.4f | %8.1f %10d\n"
+        b.Benchdata.Registry.name b.Benchdata.Registry.paper_lines
+        p.Prax_ground.Analyze.preproc p.Prax_ground.Analyze.analysis
+        p.Prax_ground.Analyze.collection total
+        (100. *. total /. max 1e-9 compile)
+        rep.Prax_ground.Analyze.table_bytes)
+    Benchdata.Registry.logic_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: declarative-on-tabled-engine vs special-purpose (GAIA)     *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section
+    "Table 2: total analysis time, tabled declarative analyzer (\"XSB\") vs \
+     special-purpose abstract interpreter (\"GAIA\", BDD back-end)";
+  Printf.printf "%-8s | %10s %10s | %s\n" "Program" "tabled(s)" "gaia(s)"
+    "paper: XSB vs GAIA (s)";
+  List.iter
+    (fun (b : Benchdata.Registry.logic_bench) ->
+      let tabled, _ =
+        best3 (fun () ->
+            let rep = Groundness.analyze b.Benchdata.Registry.source in
+            (Prax_ground.Analyze.total rep.Prax_ground.Analyze.phases, ()))
+      in
+      let gaia, _ =
+        best3 (fun () ->
+            let rep = Gaia.Analyze.analyze_bdd b.Benchdata.Registry.source in
+            (Prax_gaia.Analyze.total rep.Prax_gaia.Analyze.phases, ()))
+      in
+      let paper =
+        match (b.Benchdata.Registry.table1, b.Benchdata.Registry.gaia_total)
+        with
+        | Some row, Some g ->
+            Printf.sprintf "%.2f vs %.2f" row.Benchdata.Registry.total g
+        | _ -> "-"
+      in
+      Printf.printf "%-8s | %10.4f %10.4f | %s\n" b.Benchdata.Registry.name
+        tabled gaia paper)
+    Benchdata.Registry.logic_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: strictness analysis                                        *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  section "Table 3: performance of strictness analysis (tabled engine)";
+  Printf.printf "%-10s %5s | %8s %8s %8s %8s | %9s %10s\n" "Program" "lines"
+    "Preproc" "Analysis" "Collect" "Total" "lines/s" "Table(B)";
+  let total_lines = ref 0 and total_time = ref 0. in
+  List.iter
+    (fun (b : Benchdata.Registry.fp_bench) ->
+      let (total, rep) =
+        best3 (fun () ->
+            let rep = Strictness.analyze b.Benchdata.Registry.source in
+            (Prax_strict.Analyze.total rep.Prax_strict.Analyze.phases, rep))
+      in
+      let p = rep.Prax_strict.Analyze.phases in
+      let lines = rep.Prax_strict.Analyze.source_lines in
+      total_lines := !total_lines + lines;
+      total_time := !total_time +. total;
+      Printf.printf "%-10s %5d | %8.4f %8.4f %8.4f %8.4f | %9.0f %10d\n"
+        b.Benchdata.Registry.name lines p.Prax_strict.Analyze.preproc
+        p.Prax_strict.Analyze.analysis p.Prax_strict.Analyze.collection total
+        (float_of_int lines /. max 1e-9 total)
+        rep.Prax_strict.Analyze.table_bytes)
+    Benchdata.Registry.fp_benchmarks;
+  Printf.printf
+    "\nThroughput over the whole corpus: %.0f source lines/second\n"
+    (float_of_int !total_lines /. max 1e-9 !total_time)
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: depth-k groundness                                         *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  section
+    "Table 4: groundness analysis with depth-k term abstraction (k=1; the \
+     paper's Table 4 also omits gabriel/press1/press2)";
+  Printf.printf "%-8s | %8s %8s %8s %8s | %8s %10s\n" "Program" "Preproc"
+    "Analysis" "Collect" "Total" "Incr.(%)" "Table(B)";
+  List.iter
+    (fun (b : Benchdata.Registry.logic_bench) ->
+      let (total, (rep, compile)) =
+        best3 (fun () ->
+            let rep = Depthk.analyze ~k:1 b.Benchdata.Registry.source in
+            let compile =
+              Groundness.Analyze.compile_time b.Benchdata.Registry.source
+            in
+            (Prax_depthk.Analyze.total rep.Prax_depthk.Analyze.phases,
+             (rep, compile)))
+      in
+      let p = rep.Prax_depthk.Analyze.phases in
+      Printf.printf "%-8s | %8.4f %8.4f %8.4f %8.4f | %8.1f %10d\n"
+        b.Benchdata.Registry.name p.Prax_depthk.Analyze.preproc
+        p.Prax_depthk.Analyze.analysis p.Prax_depthk.Analyze.collection total
+        (100. *. total /. max 1e-9 compile)
+        rep.Prax_depthk.Analyze.table_bytes)
+    Benchdata.Registry.table4_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: dynamic (assert) vs compiled clause store                 *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_dynvscomp () =
+  section
+    "Ablation (Section 4 prose): dynamic (assert + interpret) vs full \
+     compilation of the analysis rules";
+  Printf.printf "%-8s | %9s %9s %9s | %9s %9s %9s | %s\n" "Program" "dyn-pre"
+    "dyn-eval" "dyn-tot" "comp-pre" "comp-eval" "comp-tot" "winner";
+  List.iter
+    (fun (b : Benchdata.Registry.logic_bench) ->
+      let measure mode =
+        best3 (fun () ->
+            let rep =
+              Groundness.Analyze.analyze ~mode b.Benchdata.Registry.source
+            in
+            let p = rep.Prax_ground.Analyze.phases in
+            (Prax_ground.Analyze.total p, p))
+      in
+      let dt, dp = measure Logic.Database.Dynamic in
+      let ct, cp = measure Logic.Database.Compiled in
+      Printf.printf
+        "%-8s | %9.4f %9.4f %9.4f | %9.4f %9.4f %9.4f | %s\n"
+        b.Benchdata.Registry.name dp.Prax_ground.Analyze.preproc
+        dp.Prax_ground.Analyze.analysis dt cp.Prax_ground.Analyze.preproc
+        cp.Prax_ground.Analyze.analysis ct
+        (if dt <= ct then "dynamic" else "compiled"))
+    Benchdata.Registry.logic_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: enumerative truth tables vs BDDs                          *)
+(* ------------------------------------------------------------------ *)
+
+(* kalah/read: the truth-table back-end cannot represent their widest
+   clauses (>20 variables); press2 takes over half a minute *)
+let bitset_infeasible = [ "kalah"; "read"; "press2" ]
+
+let ablation_repr () =
+  section
+    "Ablation (Section 4 prose): boolean-function representation in the \
+     special-purpose analyzer - enumerated truth tables vs BDDs";
+  Printf.printf "%-8s | %12s %12s\n" "Program" "bitset(s)" "bdd(s)";
+  List.iter
+    (fun (b : Benchdata.Registry.logic_bench) ->
+      if List.mem b.Benchdata.Registry.name bitset_infeasible then
+        Printf.printf "%-8s | %12s %12s\n" b.Benchdata.Registry.name
+          "(infeasible)" "-"
+      else begin
+        (* single run: the slow side of this ablation is the datum *)
+        let tb =
+          let rep = Gaia.Analyze.analyze_bitset b.Benchdata.Registry.source in
+          Prax_gaia.Analyze.total rep.Prax_gaia.Analyze.phases
+        in
+        let td, _ =
+          best3 (fun () ->
+              let rep = Gaia.Analyze.analyze_bdd b.Benchdata.Registry.source in
+              (Prax_gaia.Analyze.total rep.Prax_gaia.Analyze.phases, ()))
+        in
+        Printf.printf "%-8s | %12.4f %12.4f\n" b.Benchdata.Registry.name tb td
+      end)
+    Benchdata.Registry.logic_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: top-down tabling vs bottom-up (Coral) with magic sets     *)
+(* ------------------------------------------------------------------ *)
+
+let entry_pred (clauses : Logic.Parser.clause list) : (string * int) option =
+  (* the corpus convention: a *_top predicate is the entry point *)
+  List.find_map
+    (fun (c : Logic.Parser.clause) ->
+      match Logic.Term.functor_of c.Logic.Parser.head with
+      | Some (name, arity)
+        when String.length name > 4
+             && String.equal (String.sub name (String.length name - 4) 4)
+                  "_top" ->
+          Some (name, arity)
+      | _ -> None)
+    clauses
+
+let ablation_magic () =
+  section
+    "Ablation (Section 7): goal-directed evaluation - tabled top-down vs \
+     bottom-up semi-naive, plain / magic / supplementary-magic";
+  Printf.printf "%-8s | %9s %9s %9s %9s | %7s %7s %7s\n" "Program" "tabled"
+    "plain-bu" "magic" "supmagic" "factsP" "factsM" "factsS";
+  List.iter
+    (fun (b : Benchdata.Registry.logic_bench) ->
+      let clauses = Logic.Parser.parse_clauses b.Benchdata.Registry.source in
+      match entry_pred clauses with
+      | None -> Printf.printf "%-8s | (no entry predicate)\n" b.Benchdata.Registry.name
+      | Some (top, arity) ->
+          let abstract, _, maxiff = Groundness.Transform.program clauses in
+          (* tabled top-down, goal-directed from the entry point *)
+          let t_tab, _ =
+            best3 (fun () ->
+                let db = Logic.Database.create () in
+                Logic.Database.load_clauses db abstract;
+                let e = Tabling.Engine.create db in
+                Prop.Iff.register e ~max_arity:maxiff;
+                let goal =
+                  Logic.Term.mk
+                    (Groundness.Transform.prefix ^ top)
+                    (Array.init arity (fun _ -> Logic.Term.fresh_var ()))
+                in
+                let t0 = Unix.gettimeofday () in
+                Tabling.Engine.run e goal (fun _ -> ());
+                (Unix.gettimeofday () -. t0, ()))
+          in
+          let rules =
+            Bottomup.From_prop.convert ~domain:Bottomup.From_prop.bool_domain
+              abstract
+          in
+          let q =
+            {
+              Bottomup.Datalog.pred = (Groundness.Transform.prefix ^ top, arity);
+              args = Array.init arity (fun _ -> Logic.Term.fresh_var ());
+            }
+          in
+          let run rules =
+            let t0 = Unix.gettimeofday () in
+            let intensional, db = Bottomup.Datalog.load rules in
+            ignore (Bottomup.Datalog.seminaive intensional db);
+            (Unix.gettimeofday () -. t0, Bottomup.Datalog.fact_count db)
+          in
+          let t_plain, f_plain = run rules in
+          let mrules, _ = Bottomup.Magic.magic rules q in
+          let t_magic, f_magic = run mrules in
+          let srules, _ = Bottomup.Magic.supplementary rules q in
+          let t_sup, f_sup = run srules in
+          Printf.printf
+            "%-8s | %9.4f %9.4f %9.4f %9.4f | %7d %7d %7d\n"
+            b.Benchdata.Registry.name t_tab t_plain t_magic t_sup f_plain
+            f_magic f_sup)
+    Benchdata.Registry.logic_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: supplementary tabling for strictness                      *)
+(* ------------------------------------------------------------------ *)
+
+(* without supplementary tabling the larger programs take minutes *)
+let supp_off_feasible = [ "eu"; "quicksort"; "listcompr"; "mergesort" ]
+
+let ablation_supp () =
+  section
+    "Ablation (Section 4.2): supplementary tabling for the strictness \
+     analyzer (the optimization the paper proposes but leaves unevaluated)";
+  Printf.printf "%-10s | %10s %10s | %12s %12s\n" "Program" "supp-on" "supp-off"
+    "resump-on" "resump-off";
+  List.iter
+    (fun (b : Benchdata.Registry.fp_bench) ->
+      let measure supplementary =
+        let rep =
+          Strictness.Analyze.analyze ~supplementary b.Benchdata.Registry.source
+        in
+        ( Prax_strict.Analyze.total rep.Prax_strict.Analyze.phases,
+          rep.Prax_strict.Analyze.engine_stats.Prax_tabling.Engine.resumptions
+        )
+      in
+      let t_on, r_on = measure true in
+      if List.mem b.Benchdata.Registry.name supp_off_feasible then begin
+        let t_off, r_off = measure false in
+        Printf.printf "%-10s | %10.4f %10.4f | %12d %12d\n"
+          b.Benchdata.Registry.name t_on t_off r_on r_off
+      end
+      else
+        Printf.printf "%-10s | %10.4f %10s | %12d %12s\n"
+          b.Benchdata.Registry.name t_on "(min.)" r_on "-")
+    Benchdata.Registry.fp_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: depth parameter sweep                                     *)
+(* ------------------------------------------------------------------ *)
+
+let k2_feasible =
+  [ "qsort"; "queens"; "pg"; "gabriel"; "disj"; "cs"; "peep" ]
+
+let ablation_depthk_sweep () =
+  section "Ablation: depth-k sweep (k = 1 vs k = 2, where tractable)";
+  Printf.printf "%-8s | %10s %8s %8s | %10s %8s %8s\n" "Program" "k=1(s)"
+    "answers" "entries" "k=2(s)" "answers" "entries";
+  List.iter
+    (fun (b : Benchdata.Registry.logic_bench) ->
+      let measure k =
+        let rep = Depthk.analyze ~k b.Benchdata.Registry.source in
+        ( Prax_depthk.Analyze.total rep.Prax_depthk.Analyze.phases,
+          rep.Prax_depthk.Analyze.engine_stats.Prax_tabling.Engine.answers,
+          rep.Prax_depthk.Analyze.engine_stats.Prax_tabling.Engine.table_entries
+        )
+      in
+      let t1, a1, e1 = measure 1 in
+      if List.mem b.Benchdata.Registry.name k2_feasible then begin
+        let t2, a2, e2 = measure 2 in
+        Printf.printf "%-8s | %10.4f %8d %8d | %10.4f %8d %8d\n"
+          b.Benchdata.Registry.name t1 a1 e1 t2 a2 e2
+      end
+      else
+        Printf.printf "%-8s | %10.4f %8d %8d | %10s %8s %8s\n"
+          b.Benchdata.Registry.name t1 a1 e1 "(slow)" "-" "-")
+    Benchdata.Registry.logic_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: variant tabling vs the open-call strategy (Section 6.2)   *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_opencall () =
+  section
+    "Ablation (Section 6.2): variant tabling vs the open-call \
+     (forward-subsumption) strategy, groundness corpus";
+  Printf.printf "%-8s | %9s %7s %7s | %9s %7s %7s\n" "Program" "variant"
+    "entries" "answers" "opencall" "entries" "answers";
+  List.iter
+    (fun (b : Benchdata.Registry.logic_bench) ->
+      let clauses = Logic.Parser.parse_clauses b.Benchdata.Registry.source in
+      let abstract, preds, maxiff = Groundness.Transform.program clauses in
+      let measure open_calls =
+        let db = Logic.Database.create () in
+        Logic.Database.load_clauses db abstract;
+        let e = Tabling.Engine.create ~open_calls db in
+        Prop.Iff.register e ~max_arity:maxiff;
+        let t0 = Unix.gettimeofday () in
+        List.iter
+          (fun (name, arity) ->
+            let goal =
+              Logic.Term.mk
+                (Groundness.Transform.prefix ^ name)
+                (Array.init arity (fun _ -> Logic.Term.fresh_var ()))
+            in
+            Tabling.Engine.run e goal (fun _ -> ()))
+          preds;
+        let st = Tabling.Engine.stats e in
+        ( Unix.gettimeofday () -. t0,
+          st.Prax_tabling.Engine.table_entries,
+          st.Prax_tabling.Engine.answers )
+      in
+      let tv, ev, av = measure false in
+      let to_, eo, ao = measure true in
+      Printf.printf "%-8s | %9.4f %7d %7d | %9.4f %7d %7d\n"
+        b.Benchdata.Registry.name tv ev av to_ eo ao)
+    Benchdata.Registry.logic_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Extension benches: Section 7 dataflow, Section 6.1 widening & types *)
+(* ------------------------------------------------------------------ *)
+
+let ext_dataflow () =
+  section
+    "Extension (Section 7): demand-driven dataflow on ladder CFGs - one \
+     demand query vs the exhaustive relation, tabled engine";
+  Printf.printf "%7s | %12s %9s | %12s %9s\n" "rungs" "demand(s)" "entries"
+    "exhaustive" "entries";
+  List.iter
+    (fun rungs ->
+      let p = [ Dataflow.Cfg.ladder ~name:"main" ~base:0 ~rungs ] in
+      let t0 = Unix.gettimeofday () in
+      let t = Dataflow.Analyze.make p in
+      ignore (Dataflow.Analyze.reaches t ~var:"v0" ~def:1 ~node:2);
+      let td = Unix.gettimeofday () -. t0 in
+      let ed = (Dataflow.Analyze.stats t).Prax_tabling.Engine.table_entries in
+      let t1 = Unix.gettimeofday () in
+      let t' = Dataflow.Analyze.make p in
+      let nodes =
+        List.concat_map
+          (fun (pr : Dataflow.Cfg.proc) ->
+            List.map (fun (n : Dataflow.Cfg.node) -> n.Dataflow.Cfg.id)
+              pr.Dataflow.Cfg.nodes)
+          p
+      in
+      List.iter (fun n -> ignore (Dataflow.Analyze.reaching_at t' ~node:n)) nodes;
+      let te = Unix.gettimeofday () -. t1 in
+      let ee = (Dataflow.Analyze.stats t').Prax_tabling.Engine.table_entries in
+      Printf.printf "%7d | %12.4f %9d | %12.4f %9d\n" rungs td ed te ee)
+    [ 10; 20; 40; 80 ]
+
+let ext_widening () =
+  section
+    "Extension (Section 6.1): widening over the infinite successor domain \
+     - answers stay finite, precision grows with the chain cutoff";
+  let peano =
+    "nat(0). nat(s(X)) :- nat(X).\n\
+     plus(0, Y, Y). plus(s(X), Y, s(Z)) :- plus(X, Y, Z).\n\
+     even(0). even(s(s(X))) :- even(X)."
+  in
+  Printf.printf "%7s | %10s %9s %9s\n" "chain" "time(s)" "answers" "widened";
+  List.iter
+    (fun chain ->
+      let t0 = Unix.gettimeofday () in
+      let rep = Infinite.Widen.analyze ~chain peano in
+      let t = Unix.gettimeofday () -. t0 in
+      let answers =
+        List.fold_left
+          (fun acc r -> acc + List.length r.Prax_infinite.Widen.answers)
+          0 rep.Prax_infinite.Widen.results
+      in
+      let widened =
+        List.length
+          (List.filter
+             (fun r -> r.Prax_infinite.Widen.widened)
+             rep.Prax_infinite.Widen.results)
+      in
+      Printf.printf "%7d | %10.4f %9d %9d/3\n" chain t answers widened)
+    [ 2; 3; 5; 8 ]
+
+let ext_types () =
+  section
+    "Extension (Section 6.1): Hindley-Milner type analysis by occur-check \
+     unification, functional corpus";
+  Printf.printf "%-10s | %10s %6s\n" "Program" "time(s)" "funcs";
+  List.iter
+    (fun (b : Benchdata.Registry.fp_bench) ->
+      let t0 = Unix.gettimeofday () in
+      match Hm.Infer.infer_source b.Benchdata.Registry.source with
+      | results ->
+          Printf.printf "%-10s | %10.4f %6d\n" b.Benchdata.Registry.name
+            (Unix.gettimeofday () -. t0)
+            (List.length results)
+      | exception Hm.Infer.Type_error m ->
+          Printf.printf "%-10s | type error: %s\n" b.Benchdata.Registry.name m)
+    Benchdata.Registry.fp_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  section
+    "Bechamel micro-benchmarks: one statistically-sampled representative per \
+     table (analysis pipeline end to end)";
+  let open Bechamel in
+  let src n =
+    (Option.get (Benchdata.Registry.find_logic n)).Benchdata.Registry.source
+  in
+  let fsrc n =
+    (Option.get (Benchdata.Registry.find_fp n)).Benchdata.Registry.source
+  in
+  let tests =
+    [
+      Test.make ~name:"table1/groundness-qsort"
+        (Staged.stage (fun () -> ignore (Groundness.analyze (src "qsort"))));
+      Test.make ~name:"table1/groundness-read"
+        (Staged.stage (fun () -> ignore (Groundness.analyze (src "read"))));
+      Test.make ~name:"table2/gaia-bdd-qsort"
+        (Staged.stage (fun () ->
+             ignore (Gaia.Analyze.analyze_bdd (src "qsort"))));
+      Test.make ~name:"table3/strictness-mergesort"
+        (Staged.stage (fun () ->
+             ignore (Strictness.analyze (fsrc "mergesort"))));
+      Test.make ~name:"table4/depthk-queens"
+        (Staged.stage (fun () -> ignore (Depthk.analyze ~k:1 (src "queens"))));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let name = Test.name test in
+      Hashtbl.iter
+        (fun key raw ->
+          let est = Analyze.one ols instance raw in
+          ignore key;
+          match Analyze.OLS.estimates est with
+          | Some [ t ] ->
+              Printf.printf "%-30s %12.1f ns/run\n" name t
+          | _ -> Printf.printf "%-30s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("ablation_dynvscomp", ablation_dynvscomp);
+    ("ablation_repr", ablation_repr);
+    ("ablation_magic", ablation_magic);
+    ("ablation_supp", ablation_supp);
+    ("ablation_depthk", ablation_depthk_sweep);
+    ("ablation_opencall", ablation_opencall);
+    ("ext_dataflow", ext_dataflow);
+    ("ext_widening", ext_widening);
+    ("ext_types", ext_types);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) sections
+  | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt n sections with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown section %s; available: %s\n" n
+                (String.concat ", " (List.map fst sections));
+              exit 1)
+        names

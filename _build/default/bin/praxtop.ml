@@ -1,0 +1,170 @@
+(* praxtop — an interactive top level for the tabled engine: consult
+   programs, pose queries, and inspect the tables, in the spirit of an
+   XSB session.
+
+     dune exec bin/praxtop.exe [file.pl ...]
+
+   Commands:
+     ?- goal.            solve goal with the tabled engine (all answers)
+     :- sld goal.        solve with plain SLD resolution (Prolog semantics)
+     :- consult 'file'.  load a program file
+     :- bench name.      load a corpus benchmark
+     :- tables.          dump the call table
+     :- stats.           engine statistics
+     :- reset.           clear the tables
+     :- listing.         predicates currently defined
+     :- halt.            leave
+   Plain clauses typed at the prompt are asserted. *)
+
+open Prax
+
+type session = { db : Logic.Database.t; mutable engine : Tabling.Engine.t }
+
+let make_session () =
+  let db = Logic.Database.create () in
+  { db; engine = Tabling.Engine.create db }
+
+(* asserting clauses invalidates completed tables: rebuild the engine *)
+let refresh s = s.engine <- Tabling.Engine.create s.db
+
+let consult s src =
+  let items = Logic.Parser.parse_program src in
+  let count = ref 0 in
+  List.iter
+    (function
+      | Logic.Parser.Clause c ->
+          Logic.Database.assertz s.db c;
+          incr count
+      | Logic.Parser.Directive _ -> ())
+    items;
+  refresh s;
+  Printf.printf "loaded %d clauses\n" !count
+
+let show_solutions s goal =
+  let n = ref 0 in
+  Tabling.Engine.run s.engine goal (fun subst ->
+      incr n;
+      print_endline
+        ("  " ^ Logic.Pretty.term_to_string (Logic.Canon.canonical subst goal)));
+  if !n = 0 then print_endline "no." else Printf.printf "%d answer(s).\n" !n
+
+let show_sld s goal =
+  match Logic.Sld.solutions ~limit:50 s.db goal with
+  | [] -> print_endline "no."
+  | sols ->
+      List.iter
+        (fun subst ->
+          print_endline
+            ("  " ^ Logic.Pretty.term_to_string (Logic.Canon.canonical subst goal)))
+        sols;
+      Printf.printf "%d answer(s) (limit 50).\n" (List.length sols)
+
+let show_tables s =
+  let calls = Tabling.Engine.calls s.engine in
+  if calls = [] then print_endline "(no tables)"
+  else
+    List.iter
+      (fun c -> print_endline ("  " ^ Logic.Pretty.term_to_string c))
+      calls
+
+let show_stats s =
+  let st = Tabling.Engine.stats s.engine in
+  Printf.printf
+    "calls=%d entries=%d answers=%d duplicates=%d resumptions=%d table-bytes=%d\n"
+    st.Prax_tabling.Engine.calls st.Prax_tabling.Engine.table_entries
+    st.Prax_tabling.Engine.answers st.Prax_tabling.Engine.duplicates
+    st.Prax_tabling.Engine.resumptions
+    (Tabling.Engine.table_space_bytes s.engine)
+
+let show_listing s =
+  List.iter
+    (fun (name, arity) ->
+      Printf.printf "  %s/%d (%d clauses)\n" name arity
+        (List.length (Logic.Database.clauses_of s.db (name, arity))))
+    (Logic.Database.predicates s.db)
+
+exception Quit
+
+let handle_directive s (d : Logic.Term.t) =
+  match d with
+  | Logic.Term.Atom "halt" -> raise Quit
+  | Logic.Term.Atom "tables" -> show_tables s
+  | Logic.Term.Atom "stats" -> show_stats s
+  | Logic.Term.Atom "listing" -> show_listing s
+  | Logic.Term.Atom "reset" ->
+      refresh s;
+      print_endline "tables cleared."
+  | Logic.Term.Struct ("sld", [| g |]) -> show_sld s g
+  | Logic.Term.Struct ("consult", [| Logic.Term.Atom path |]) -> (
+      match In_channel.with_open_text path In_channel.input_all with
+      | src -> consult s src
+      | exception Sys_error m -> Printf.printf "cannot read %s: %s\n" path m)
+  | Logic.Term.Struct ("bench", [| Logic.Term.Atom name |]) -> (
+      match Benchdata.Registry.find_logic name with
+      | Some b -> consult s b.Benchdata.Registry.source
+      | None -> Printf.printf "unknown benchmark %s\n" name)
+  | Logic.Term.Struct (("assert" | "assertz"), [| t |]) ->
+      (match Logic.Parser.clause_of_term t with
+      | Logic.Parser.Clause c ->
+          Logic.Database.assertz s.db c;
+          refresh s;
+          print_endline "asserted."
+      | Logic.Parser.Directive _ -> print_endline "cannot assert a directive")
+  | g -> show_solutions s g
+
+let handle_line s line =
+  let line = String.trim line in
+  if line = "" then ()
+  else
+    match Logic.Parser.parse_program line with
+    | items ->
+        List.iter
+          (function
+            | Logic.Parser.Directive d -> handle_directive s d
+            | Logic.Parser.Clause { Logic.Parser.head; body = [] } ->
+                (* a bare term at the prompt is a query, as in XSB;
+                   use :- assert(fact). to add facts *)
+                show_solutions s head
+            | Logic.Parser.Clause c ->
+                (* a rule typed at the prompt is asserted *)
+                Logic.Database.assertz s.db c;
+                refresh s;
+                print_endline "asserted.")
+          items
+    | exception Logic.Parser.Parse_error m -> Printf.printf "syntax error: %s\n" m
+    | exception Logic.Lexer.Lex_error (m, pos) ->
+        Printf.printf "lexical error at %d: %s\n" pos m
+
+let () =
+  let s = make_session () in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match In_channel.with_open_text arg In_channel.input_all with
+        | src -> consult s src
+        | exception Sys_error m -> Printf.printf "cannot read %s: %s\n" arg m)
+    Sys.argv;
+  print_endline
+    "praxtop - tabled logic programming top level  (:- halt. to leave)";
+  (try
+     while true do
+       print_string "?- ";
+       match In_channel.input_line stdin with
+       | None -> raise Quit
+       | Some line -> (
+           (* allow both "?- g." and plain "g." at the prompt: try as a
+              query first when it starts with a goal-looking term *)
+           try handle_line s line
+           with
+           | Prax_logic.Sld.Existence_error (n, a) ->
+               Printf.printf "undefined predicate %s/%d\n" n a
+           | Prax_logic.Sld.Instantiation_error w ->
+               Printf.printf "arguments insufficiently instantiated (%s)\n" w
+           | Prax_logic.Sld.Type_error (k, t) ->
+               Printf.printf "type error: expected %s in %s\n" k
+                 (Logic.Pretty.term_to_string t)
+           | Tabling.Engine.Not_definite t ->
+               Printf.printf "not a definite goal: %s\n"
+                 (Logic.Pretty.term_to_string t))
+     done
+   with Quit -> print_endline "bye.")

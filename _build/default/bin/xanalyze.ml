@@ -1,0 +1,285 @@
+(* xanalyze — command-line front end to the three analyzers.
+
+     xanalyze groundness file.pl          Prop groundness of a logic program
+     xanalyze strictness file.eq          strictness of a functional program
+     xanalyze depthk -k 2 file.pl         depth-k groundness
+     xanalyze bench <name>                analyze a named corpus benchmark
+
+   Input "-" reads stdin.  --timings prints the phase breakdown the paper
+   reports. *)
+
+open Cmdliner
+open Prax
+
+let read_input = function
+  | "-" -> In_channel.input_all stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let source_of ~bench name_or_path =
+  if bench then
+    match
+      ( Benchdata.Registry.find_logic name_or_path,
+        Benchdata.Registry.find_fp name_or_path )
+    with
+    | Some b, _ -> b.Benchdata.Registry.source
+    | None, Some b -> b.Benchdata.Registry.source
+    | None, None ->
+        Printf.eprintf "unknown benchmark %s\n" name_or_path;
+        exit 1
+  else read_input name_or_path
+
+let print_ground_timings (p : Prax_ground.Analyze.phases) table_bytes =
+  Printf.printf
+    "\nphases: preprocess %.4fs, analysis %.4fs, collection %.4fs, total \
+     %.4fs; table space %d bytes\n"
+    p.Prax_ground.Analyze.preproc p.Prax_ground.Analyze.analysis
+    p.Prax_ground.Analyze.collection
+    (Prax_ground.Analyze.total p)
+    table_bytes
+
+(* --- groundness -------------------------------------------------------- *)
+
+let groundness_cmd =
+  let run input bench timings compiled =
+    let src = source_of ~bench input in
+    let mode =
+      if compiled then Logic.Database.Compiled else Logic.Database.Dynamic
+    in
+    let rep = Groundness.Analyze.analyze ~mode src in
+    print_endline (Prax_ground.Analyze.report_to_string rep);
+    if timings then
+      print_ground_timings rep.Prax_ground.Analyze.phases
+        rep.Prax_ground.Analyze.table_bytes
+  in
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let bench =
+    Arg.(value & flag & info [ "bench" ] ~doc:"Treat FILE as a corpus benchmark name.")
+  in
+  let timings =
+    Arg.(value & flag & info [ "timings" ] ~doc:"Print the phase breakdown.")
+  in
+  let compiled =
+    Arg.(value & flag & info [ "compiled" ]
+           ~doc:"Use the compiled clause store instead of dynamic (assert) mode.")
+  in
+  Cmd.v
+    (Cmd.info "groundness"
+       ~doc:"Prop-domain groundness analysis of a logic program (Figure 1)")
+    Term.(const run $ input $ bench $ timings $ compiled)
+
+(* --- strictness -------------------------------------------------------- *)
+
+let strictness_cmd =
+  let run input bench timings no_supp =
+    let src = source_of ~bench input in
+    let rep = Strictness.Analyze.analyze ~supplementary:(not no_supp) src in
+    print_endline (Prax_strict.Analyze.report_to_string rep);
+    if timings then begin
+      let p = rep.Prax_strict.Analyze.phases in
+      Printf.printf
+        "\nphases: preprocess %.4fs, analysis %.4fs, collection %.4fs, total \
+         %.4fs; table space %d bytes; %d rules\n"
+        p.Prax_strict.Analyze.preproc p.Prax_strict.Analyze.analysis
+        p.Prax_strict.Analyze.collection
+        (Prax_strict.Analyze.total p)
+        rep.Prax_strict.Analyze.table_bytes rep.Prax_strict.Analyze.rule_count
+    end
+  in
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let bench =
+    Arg.(value & flag & info [ "bench" ] ~doc:"Treat FILE as a corpus benchmark name.")
+  in
+  let timings =
+    Arg.(value & flag & info [ "timings" ] ~doc:"Print the phase breakdown.")
+  in
+  let no_supp =
+    Arg.(value & flag & info [ "no-supplementary" ]
+           ~doc:"Disable supplementary tabling (Section 4.2). May be very slow.")
+  in
+  Cmd.v
+    (Cmd.info "strictness"
+       ~doc:
+         "Demand-propagation strictness analysis of a lazy functional \
+          program (Figure 3)")
+    Term.(const run $ input $ bench $ timings $ no_supp)
+
+(* --- depth-k ------------------------------------------------------------ *)
+
+let depthk_cmd =
+  let run input bench timings k =
+    let src = source_of ~bench input in
+    let rep = Depthk.Analyze.analyze ~k src in
+    print_endline (Prax_depthk.Analyze.report_to_string rep);
+    if timings then begin
+      let p = rep.Prax_depthk.Analyze.phases in
+      Printf.printf
+        "\nphases: preprocess %.4fs, analysis %.4fs, collection %.4fs, total \
+         %.4fs; table space %d bytes\n"
+        p.Prax_depthk.Analyze.preproc p.Prax_depthk.Analyze.analysis
+        p.Prax_depthk.Analyze.collection
+        (Prax_depthk.Analyze.total p)
+        rep.Prax_depthk.Analyze.table_bytes
+    end
+  in
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let bench =
+    Arg.(value & flag & info [ "bench" ] ~doc:"Treat FILE as a corpus benchmark name.")
+  in
+  let timings =
+    Arg.(value & flag & info [ "timings" ] ~doc:"Print the phase breakdown.")
+  in
+  let k =
+    Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Term-depth bound.")
+  in
+  Cmd.v
+    (Cmd.info "depthk"
+       ~doc:"Groundness analysis with depth-k term abstraction (Section 5)")
+    Term.(const run $ input $ bench $ timings $ k)
+
+(* --- run: concrete execution -------------------------------------------- *)
+
+let run_cmd =
+  let run input bench query limit =
+    let src = source_of ~bench input in
+    let db = Logic.Database.create () in
+    ignore (Logic.Database.load_string db src);
+    let goal = Logic.Parser.parse_term query in
+    let solutions = Logic.Sld.solutions ~limit db goal in
+    if solutions = [] then print_endline "no."
+    else
+      List.iter
+        (fun s ->
+          print_endline
+            (Logic.Pretty.term_to_string (Logic.Canon.canonical s goal)))
+        solutions
+  in
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let query =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY")
+  in
+  let bench =
+    Arg.(value & flag & info [ "bench" ] ~doc:"Treat FILE as a corpus benchmark name.")
+  in
+  let limit =
+    Arg.(value & opt int 10 & info [ "limit" ] ~doc:"Maximum solutions.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a Prolog query against a program (SLD)")
+    Term.(const run $ input $ bench $ query $ limit)
+
+(* --- eval: run a functional program -------------------------------------- *)
+
+let eval_cmd =
+  let run input bench call fuel =
+    let src = source_of ~bench input in
+    let prog = Fp.Check.parse_and_check src in
+    let f, args =
+      match String.index_opt call '(' with
+      | None -> (call, [])
+      | Some _ -> (
+          (* parse the call as an expression *)
+          match Fp.Parser.parse_program (Printf.sprintf "q() = %s;" call) with
+          | [ { Fp.Ast.rhs = Fp.Ast.App (f, args); _ } ] -> (f, args)
+          | _ ->
+              Printf.eprintf "cannot parse call %s\n" call;
+              exit 1)
+    in
+    print_endline (Fp.Eval.run ~fuel prog f args)
+  in
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let call =
+    Arg.(value & pos 1 string "main()" & info [] ~docv:"CALL")
+  in
+  let bench =
+    Arg.(value & flag & info [ "bench" ] ~doc:"Treat FILE as a corpus benchmark name.")
+  in
+  let fuel =
+    Arg.(value & opt int 50_000_000 & info [ "fuel" ] ~doc:"Reduction-step bound.")
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Evaluate a call in a lazy functional program (call-by-need)")
+    Term.(const run $ input $ bench $ call $ fuel)
+
+(* --- types: Hindley-Milner inference -------------------------------------- *)
+
+let types_cmd =
+  let run input bench =
+    let src = source_of ~bench input in
+    match Hm.Infer.infer_source src with
+    | results ->
+        List.iter
+          (fun r -> print_endline (Hm.Infer.result_to_string r))
+          results
+    | exception Hm.Infer.Type_error msg ->
+        Printf.eprintf "type error: %s\n" msg;
+        exit 1
+  in
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let bench =
+    Arg.(value & flag & info [ "bench" ] ~doc:"Treat FILE as a corpus benchmark name.")
+  in
+  Cmd.v
+    (Cmd.info "types"
+       ~doc:
+         "Hindley-Milner type analysis of a functional program by \
+          occur-check unification (Section 6.1)")
+    Term.(const run $ input $ bench)
+
+(* --- widen: infinite-domain analysis --------------------------------------- *)
+
+let widen_cmd =
+  let run input bench chain =
+    let src = source_of ~bench input in
+    let rep = Infinite.Widen.analyze ~chain src in
+    List.iter
+      (fun r ->
+        let name, arity = r.Prax_infinite.Widen.pred in
+        Printf.printf "%s/%d%s:\n" name arity
+          (if r.Prax_infinite.Widen.widened then " (widened)" else "");
+        List.iter
+          (fun a -> Printf.printf "  %s\n" (Logic.Pretty.term_to_string a))
+          r.Prax_infinite.Widen.answers)
+      rep.Prax_infinite.Widen.results
+  in
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let bench =
+    Arg.(value & flag & info [ "bench" ] ~doc:"Treat FILE as a corpus benchmark name.")
+  in
+  let chain =
+    Arg.(value & opt int 3 & info [ "chain" ]
+           ~doc:"Ascending-chain length tolerated before widening to omega.")
+  in
+  Cmd.v
+    (Cmd.info "widen"
+       ~doc:
+         "Successor-arithmetic analysis over an infinite domain with \
+          on-the-fly widening (Section 6.1)")
+    Term.(const run $ input $ bench $ chain)
+
+let () =
+  let doc =
+    "practical program analysis on a general-purpose tabled logic \
+     programming system (PLDI'96 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "xanalyze" ~doc)
+          [
+            groundness_cmd; strictness_cmd; depthk_cmd; run_cmd; eval_cmd;
+            types_cmd; widen_cmd;
+          ]))

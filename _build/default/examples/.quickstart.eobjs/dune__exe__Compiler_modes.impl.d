@@ -1,0 +1,1 @@
+examples/compiler_modes.ml: Array Groundness List Logic Option Prax Prax_ground Printf String

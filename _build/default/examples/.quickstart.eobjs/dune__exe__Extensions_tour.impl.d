@@ -1,0 +1,1 @@
+examples/extensions_tour.ml: Dataflow Hm Infinite List Logic Prax Prax_infinite Prax_tabling Printf

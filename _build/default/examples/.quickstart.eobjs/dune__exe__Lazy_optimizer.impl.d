@@ -1,0 +1,1 @@
+examples/lazy_optimizer.ml: Fp List Option Prax Prax_strict Printf Strictness String

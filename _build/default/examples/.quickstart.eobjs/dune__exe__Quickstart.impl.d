@@ -1,0 +1,1 @@
+examples/quickstart.ml: Depthk Groundness List Logic Prax Prax_depthk Prax_ground Prax_strict Printf Prop Strictness String

@@ -1,0 +1,1 @@
+examples/tabled_datalog.ml: Array Bottomup List Logic Prax Prax_tabling Printf String Tabling

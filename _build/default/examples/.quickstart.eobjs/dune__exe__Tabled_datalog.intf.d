@@ -1,0 +1,1 @@
+examples/tabled_datalog.mli:

@@ -1,0 +1,115 @@
+(* Scenario: strictness-driven optimization of a lazy functional program.
+
+   A compiler for a lazy language uses strictness analysis to evaluate
+   strict arguments eagerly (call-by-value), avoiding thunk allocation.
+   The transformation is sound only for arguments the analysis marks
+   strict: forcing a non-strict argument can turn a terminating program
+   into a diverging one.
+
+   This example demonstrates both directions:
+   - forcing arguments the analysis calls strict never changes results;
+   - there exists a non-strict argument whose forcing diverges, so the
+     analysis is not vacuous.
+
+   Run with: dune exec examples/lazy_optimizer.exe *)
+
+open Prax
+
+let program =
+  {|
+-- head of a list, with a default for the empty case
+hd([], dflt) = dflt;
+hd(x:xs, dflt) = x;
+
+-- an infinite list: safe to pass around lazily, fatal to force deeply
+nats(k) = k : nats(k + 1);
+
+-- a computation with no weak-head normal form at all
+bot = bot;
+
+-- take is strict in n (under d-demand) but lazy in its list argument
+take(0, xs) = [];
+take(n, []) = [];
+take(n, x:xs) = x : take(n - 1, xs);
+
+sum([]) = 0;
+sum(x:xs) = x + sum(xs);
+
+-- strict in both: the result needs both computations
+addboth(a, b) = a + b;
+
+main() = sum(take(5, nats(1))) + hd([7], 0 - 1);
+|}
+
+let demand_string = Prax_strict.Analyze.demand_string
+
+let () =
+  let rep = Strictness.analyze program in
+  print_endline "strictness analysis:";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-8s e-demand=%-6s d-demand=%-6s strict args: %s\n"
+        r.Prax_strict.Analyze.fname
+        (demand_string r.Prax_strict.Analyze.e_demands)
+        (demand_string r.Prax_strict.Analyze.d_demands)
+        (String.concat ","
+           (List.map
+              (fun i -> string_of_int (i + 1))
+              (Prax_strict.Analyze.strict_args r))))
+    rep.Prax_strict.Analyze.results;
+
+  let prog = Fp.Check.parse_and_check program in
+
+  (* 1. forcing analysis-approved strict arguments preserves results *)
+  print_endline "\nforcing strict arguments (analysis-approved):";
+  let check_call fname args =
+    let r = Option.get (Prax_strict.Analyze.result_for rep fname) in
+    let strict = Prax_strict.Analyze.strict_args r in
+    let lazy_result = Fp.Eval.run prog fname args in
+    let eager_result =
+      Fp.Eval.run_forcing prog fname args ~force_args:strict
+    in
+    Printf.printf "  %s%s: lazy=%s eager-on-%s=%s  (%s)\n" fname
+      (Printf.sprintf "(%s)"
+         (String.concat "," (List.map Fp.Ast.expr_to_string args)))
+      lazy_result
+      (String.concat "," (List.map (fun i -> string_of_int (i + 1)) strict))
+      eager_result
+      (if String.equal lazy_result eager_result then "identical" else "BUG")
+  in
+  check_call "addboth" [ Fp.Ast.Int 3; Fp.Ast.Int 4 ];
+  check_call "take"
+    [ Fp.Ast.Int 3; Fp.Ast.App ("nats", [ Fp.Ast.Int 10 ]) ];
+  check_call "hd"
+    [
+      Fp.Ast.Con (":", [ Fp.Ast.Int 1; Fp.Ast.Con ("[]", []) ]);
+      Fp.Ast.Int 0;
+    ];
+  check_call "main" [];
+
+  (* 2. the analysis correctly refuses to call take strict in xs: with a
+     bottom argument the lazy call terminates, the forced one diverges
+     (observed via the fuel bound) *)
+  print_endline "\nwhy take must not be strict in its list argument:";
+  let args = [ Fp.Ast.Int 0; Fp.Ast.App ("bot", []) ] in
+  Printf.printf "  lazily:  take(0, bot) = %s\n" (Fp.Eval.run prog "take" args);
+  (match Fp.Eval.run_forcing ~fuel:200_000 prog "take" args ~force_args:[ 1 ] with
+  | exception Fp.Eval.Diverged ->
+      print_endline
+        "  eagerly: forcing take's 2nd argument on bot diverges — correctly, \
+         the analysis never marked it strict (equations are alternatives, \
+         so even n gets no guaranteed demand: take(n,[]) ignores it)"
+  | s -> Printf.printf "  unexpectedly converged to %s\n" s);
+
+  (* 3. thunk-allocation estimate: how many arguments could a compiler
+     pass by value? *)
+  let total = ref 0 and strict_total = ref 0 in
+  List.iter
+    (fun r ->
+      total := !total + r.Prax_strict.Analyze.arity;
+      strict_total :=
+        !strict_total + List.length (Prax_strict.Analyze.strict_args r))
+    rep.Prax_strict.Analyze.results;
+  Printf.printf
+    "\n%d of %d argument positions can be passed by value (no thunk)\n"
+    !strict_total !total

@@ -1,0 +1,1 @@
+lib/benchdata/fp_programs.ml:

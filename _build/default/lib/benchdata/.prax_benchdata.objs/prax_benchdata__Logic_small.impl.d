@@ -1,0 +1,1 @@
+lib/benchdata/logic_small.ml:

@@ -1,0 +1,1 @@
+lib/benchdata/registry.ml: Fp_programs List Logic_medium Logic_peep Logic_press Logic_read Logic_small String

@@ -1,0 +1,506 @@
+(** The functional benchmark corpus for strictness analysis (Table 3) —
+    reconstructions of the EQUALS / Hartel-Langendoen benchmark programs
+    in this repository's first-order lazy equational language.  See
+    DESIGN.md for the substitution note. *)
+
+let eu =
+  {|
+-- eu: Euler totient sums (arithmetic-heavy small benchmark)
+gcd(a, b) = if b == 0 then a else gcd(b, a mod b);
+
+relprime(a, b) = gcd(a, b) == 1;
+
+euler(n) = length(relprimes(n, n));
+
+relprimes(n, 0) = [];
+relprimes(n, k) = if relprime(n, k) then k : relprimes(n, k - 1)
+                  else relprimes(n, k - 1);
+
+length([]) = 0;
+length(x:xs) = 1 + length(xs);
+
+sumto(0) = 0;
+sumto(n) = euler(n) + sumto(n - 1);
+
+main() = sumto(30);
+|}
+
+let mergesort =
+  {|
+-- mergesort over integer lists
+split([], evens, odds) = (evens, odds);
+split(x:xs, evens, odds) = split(xs, odds, x:evens);
+
+merge([], ys) = ys;
+merge(x:xs, []) = x:xs;
+merge(x:xs, y:ys) = if x <= y then x : merge(xs, y:ys)
+                    else y : merge(x:xs, ys);
+
+msort([]) = [];
+msort(x:[]) = x:[];
+msort(x:y:rest) = mergepair(split(x:y:rest, [], []));
+
+mergepair((as, bs)) = merge(msort(as), msort(bs));
+
+fromto(lo, hi) = if lo > hi then [] else lo : fromto(lo + 1, hi);
+
+rev([], acc) = acc;
+rev(x:xs, acc) = rev(xs, x:acc);
+
+main() = msort(rev(fromto(1, 50), []));
+|}
+
+let quicksort =
+  {|
+-- quicksort with explicit partitioning
+append([], ys) = ys;
+append(x:xs, ys) = x : append(xs, ys);
+
+smaller(p, []) = [];
+smaller(p, x:xs) = if x < p then x : smaller(p, xs) else smaller(p, xs);
+
+larger(p, []) = [];
+larger(p, x:xs) = if x >= p then x : larger(p, xs) else larger(p, xs);
+
+qsort([]) = [];
+qsort(p:rest) = append(qsort(smaller(p, rest)), p : qsort(larger(p, rest)));
+
+shuffle(0, seed) = [];
+shuffle(n, seed) = let s = (seed * 1103 + 12345) mod 2048 in
+                   s : shuffle(n - 1, s);
+
+main() = qsort(shuffle(60, 42));
+|}
+
+let nq =
+  {|
+-- nq: n-queens counting solutions
+safe(q, [], d) = True;
+safe(q, p:ps, d) = if q == p then False
+                   else if q == p + d then False
+                   else if q == p - d then False
+                   else safe(q, ps, d + 1);
+
+fromto(lo, hi) = if lo > hi then [] else lo : fromto(lo + 1, hi);
+
+-- try each column for the next row
+tryall(board, [], n) = 0;
+tryall(board, c:cs, n) = tryone(c, board, n) + tryall(board, cs, n);
+
+tryone(c, board, n) = if safe(c, board, 1) then descend(c:board, n) else 0;
+
+descend(board, n) = if length(board) == n then 1
+                    else tryall(board, fromto(1, n), n);
+
+length([]) = 0;
+length(x:xs) = 1 + length(xs);
+
+-- first solution as a board, for inspection
+solve(board, [], n) = [];
+solve(board, c:cs, n) =
+    if safe(c, board, 1) then keep(c, extend(c:board, n), board, cs, n)
+    else solve(board, cs, n);
+
+keep(c, sub, board, cs, n) =
+    if null(sub) and (length(board) + 1 < n) then solve(board, cs, n)
+    else c : sub;
+
+extend(board, n) = if length(board) == n then []
+                   else solve(board, fromto(1, n), n);
+
+null([]) = True;
+null(x:xs) = False;
+
+queens(n) = descend([], n);
+
+main() = queens(6);
+|}
+
+let listcompr =
+  {|
+-- listcompr: list-comprehension style pipelines, hand-desugared to
+-- first-order specialized producers/filters/consumers
+fromto(lo, hi) = if lo > hi then [] else lo : fromto(lo + 1, hi);
+
+squares([]) = [];
+squares(x:xs) = (x * x) : squares(xs);
+
+doubles([]) = [];
+doubles(x:xs) = (2 * x) : doubles(xs);
+
+evens([]) = [];
+evens(x:xs) = if x mod 2 == 0 then x : evens(xs) else evens(xs);
+
+multiples3([]) = [];
+multiples3(x:xs) = if x mod 3 == 0 then x : multiples3(xs) else multiples3(xs);
+
+pairsums([], ys) = [];
+pairsums(x:xs, ys) = append(addto(x, ys), pairsums(xs, ys));
+
+addto(x, []) = [];
+addto(x, y:ys) = (x + y) : addto(x, ys);
+
+append([], ys) = ys;
+append(x:xs, ys) = x : append(xs, ys);
+
+sum([]) = 0;
+sum(x:xs) = x + sum(xs);
+
+pyth(n) = triples(fromto(1, n), n);
+
+triples([], n) = 0;
+triples(a:as, n) = triplesb(a, fromto(a, n), n) + triples(as, n);
+
+triplesb(a, [], n) = 0;
+triplesb(a, b:bs, n) = triplesc(a, b, fromto(b, n)) + triplesb(a, bs, n);
+
+triplesc(a, b, []) = 0;
+triplesc(a, b, c:cs) = (if a * a + b * b == c * c then 1 else 0)
+                       + triplesc(a, b, cs);
+
+take(0, xs) = [];
+take(n, []) = [];
+take(n, x:xs) = x : take(n - 1, xs);
+
+nats(k) = k : nats(k + 1);
+
+main() = sum(squares(evens(fromto(1, 40))))
+         + sum(take(10, multiples3(nats(1))))
+         + sum(doubles(fromto(1, 20)))
+         + sum(pairsums(fromto(1, 8), fromto(1, 8)))
+         + pyth(15);
+|}
+
+let fft =
+  {|
+-- fft: radix-2 decimation over scaled-integer complex pairs
+-- complex numbers are (re, im) pairs, scaled by 1024
+cadd((a, b), (c, d)) = (a + c, b + d);
+csub((a, b), (c, d)) = (a - c, b - d);
+cmul((a, b), (c, d)) = ((a * c - b * d) div 1024, (a * d + b * c) div 1024);
+
+-- eighth-of-turn twiddle factors, scaled
+twiddle(0) = (1024, 0);
+twiddle(1) = (724, 0 - 724);
+twiddle(2) = (0, 0 - 1024);
+twiddle(3) = (0 - 724, 0 - 724);
+twiddle(k) = twiddle(k mod 4);
+
+evens([]) = [];
+evens(x:[]) = x:[];
+evens(x:y:rest) = x : evens(rest);
+
+odds([]) = [];
+odds(x:[]) = [];
+odds(x:y:rest) = y : odds(rest);
+
+length([]) = 0;
+length(x:xs) = 1 + length(xs);
+
+fft([]) = [];
+fft(x:[]) = x:[];
+fft(xs) = combine(fft(evens(xs)), fft(odds(xs)), 0, length(xs));
+
+combine([], [], k, n) = [];
+combine(e:es, o:os, k, n) =
+    let t = cmul(twiddle((4 * k) div n), o) in
+    cadd(e, t) : appendlast(combine(es, os, k + 1, n), csub(e, t));
+
+-- keep the butterfly's second half at the tail
+appendlast([], z) = z : [];
+appendlast(x:xs, z) = x : appendlast(xs, z);
+
+signal(0) = [];
+signal(n) = (n * 100, 0) : signal(n - 1);
+
+magsum([]) = 0;
+magsum((a, b):rest) = a * a + b * b + magsum(rest);
+
+main() = magsum(fft(signal(8)));
+|}
+
+let event =
+  {|
+-- event: discrete-event simulation of a queueing network with a
+-- priority event queue represented as a sorted list
+-- events are Ev(time, station, kind): kind 0 = arrival, 1 = departure
+insert(Ev(t, s, k), []) = Ev(t, s, k) : [];
+insert(Ev(t, s, k), Ev(t2, s2, k2):rest) =
+    if t <= t2 then Ev(t, s, k) : Ev(t2, s2, k2) : rest
+    else Ev(t2, s2, k2) : insert(Ev(t, s, k), rest);
+
+-- stations: St(id, queue_len, busy, served)
+update([], id, dq, db, ds) = [];
+update(St(i, q, b, s):rest, id, dq, db, ds) =
+    if i == id then St(i, q + dq, b + db, s + ds) : rest
+    else St(i, q, b, s) : update(rest, id, dq, db, ds);
+
+getq([], id) = 0;
+getq(St(i, q, b, s):rest, id) = if i == id then q else getq(rest, id);
+
+getbusy([], id) = 0;
+getbusy(St(i, q, b, s):rest, id) = if i == id then b else getbusy(rest, id);
+
+service(id) = 3 + (id * 7) mod 5;
+
+interarrival(t) = 2 + (t * 13) mod 7;
+
+nextstation(id, t) = (id + 1 + t mod 2) mod 3;
+
+-- the simulation loop: process events until the horizon
+simulate([], stations, t, horizon) = stations;
+simulate(Ev(t, s, k):rest, stations, tprev, horizon) =
+    if t > horizon then stations
+    else step(Ev(t, s, k), rest, stations, horizon);
+
+step(Ev(t, s, 0), rest, stations, horizon) =
+    -- arrival at s: enqueue; if idle, start service (departure event)
+    arrival(t, s, rest, stations, getbusy(stations, s), horizon);
+
+arrival(t, s, rest, stations, busy, horizon) =
+    simulate(arrival_events(t, s, rest, busy),
+             arrival_stations(stations, s, busy), t, horizon);
+
+arrival_events(t, s, rest, busy) =
+    if busy == 0
+    then insert(Ev(t + service(s), s, 1), with_arrival(t, rest))
+    else with_arrival(t, rest);
+
+with_arrival(t, rest) = insert(Ev(t + interarrival(t), 0, 0), rest);
+
+arrival_stations(stations, s, busy) =
+    if busy == 0 then update(update(stations, s, 1, 0, 0), s, 0, 1, 0)
+    else update(stations, s, 1, 0, 0);
+
+step(Ev(t, s, 1), rest, stations, horizon) =
+    -- departure from s: dequeue, forward to next station, maybe restart
+    departure(t, s, rest, stations, getq(stations, s), horizon);
+
+departure(t, s, rest, stations, q, horizon) =
+    simulate(departure_events(t, s, rest, q),
+             departure_stations(stations, s, q), t, horizon);
+
+departure_events(t, s, rest, q) =
+    if q > 1
+    then insert(Ev(t + service(s), s, 1), with_next(t, s, rest))
+    else with_next(t, s, rest);
+
+with_next(t, s, rest) = insert(Ev(t + 1, nextstation(s, t), 0), rest);
+
+departure_stations(stations, s, q) =
+    if q > 1 then update(stations, s, 0 - 1, 0, 1)
+    else update(update(stations, s, 0 - 1, 0, 1), s, 0, 0 - 1, 0);
+
+served([]) = 0;
+served(St(i, q, b, s):rest) = s + served(rest);
+
+initial() = St(0, 0, 0, 0) : St(1, 0, 0, 0) : St(2, 0, 0, 0) : [];
+
+main() = served(simulate(Ev(0, 0, 0) : [], initial(), 0, 200));
+|}
+
+let odprove =
+  {|
+-- odprove: ordered resolution prover for propositional clauses
+-- literals: positive k = atom k, negative encoded as Neg(k)
+-- clauses are sorted lists of literals; Neg sorts after positives
+litkey(Neg(k)) = 2 * k + 1;
+litkey(Pos(k)) = 2 * k;
+
+complement(Neg(k)) = Pos(k);
+complement(Pos(k)) = Neg(k);
+
+insertlit(l, []) = l : [];
+insertlit(l, m:ms) = if litkey(l) <= litkey(m) then l : m : ms
+                     else m : insertlit(l, ms);
+
+memberlit(l, []) = False;
+memberlit(l, m:ms) = if litkey(l) == litkey(m) then True else memberlit(l, ms);
+
+removelit(l, []) = [];
+removelit(l, m:ms) = if litkey(l) == litkey(m) then ms
+                     else m : removelit(l, ms);
+
+-- resolve on the smallest literal of c1 (ordered resolution)
+resolve([], c2) = [];
+resolve(l:ls, c2) = if memberlit(complement(l), c2)
+                    then mergecl(ls, removelit(complement(l), c2)) : []
+                    else [];
+
+mergecl([], c) = c;
+mergecl(l:ls, c) = if memberlit(l, c) then mergecl(ls, c)
+                   else mergecl(ls, insertlit(l, c));
+
+isempty([]) = True;
+isempty(l:ls) = False;
+
+anyempty([]) = False;
+anyempty(c:cs) = if isempty(c) then True else anyempty(cs);
+
+resolveall(c, []) = [];
+resolveall(c, d:ds) = append(resolve(c, d), resolveall(c, ds));
+
+append([], ys) = ys;
+append(x:xs, ys) = x : append(xs, ys);
+
+samecl([], []) = True;
+samecl([], m:ms) = False;
+samecl(l:ls, []) = False;
+samecl(l:ls, m:ms) = if litkey(l) == litkey(m) then samecl(ls, ms) else False;
+
+membercl(c, []) = False;
+membercl(c, d:ds) = if samecl(c, d) then True else membercl(c, ds);
+
+addnew([], old) = old;
+addnew(c:cs, old) = if membercl(c, old) then addnew(cs, old)
+                    else addnew(cs, c : old);
+
+saturate(clauses, 0) = clauses;
+saturate(clauses, fuel) =
+    let new = round(clauses, clauses) in
+    if anyempty(new) then new
+    else saturate(addnew(new, clauses), fuel - 1);
+
+round([], all) = [];
+round(c:cs, all) = append(resolveall(c, all), round(cs, all));
+
+refutable(clauses, fuel) = anyempty(saturate(clauses, fuel));
+
+-- prove p from (p | q), (~q | p), (~p): add negation, refute
+problem() = (Pos(1) : Pos(2) : [])
+          : (Neg(2) : Pos(1) : [])
+          : (Neg(1) : [])
+          : [];
+
+main() = if refutable(problem(), 5) then 1 else 0;
+|}
+
+let pcprove =
+  {|
+-- pcprove: a propositional-calculus tableau prover (Wang style) over
+-- formula trees; the deepest-recursion benchmark of the suite
+-- formulas: Atom(k), Not(f), And(f,g), Or(f,g), Imp(f,g)
+memberf(k, []) = False;
+memberf(k, j:js) = if k == j then True else memberf(k, js);
+
+-- prove(left-formulas, right-formulas, left-atoms, right-atoms)
+prove([], [], latoms, ratoms) = shared(latoms, ratoms);
+prove([], Atom(k):rs, latoms, ratoms) =
+    if memberf(k, latoms) then True
+    else prove([], rs, latoms, k : ratoms);
+prove([], Not(f):rs, latoms, ratoms) = prove(f : [], rs, latoms, ratoms);
+prove([], And(f, g):rs, latoms, ratoms) =
+    if prove([], f : rs, latoms, ratoms)
+    then prove([], g : rs, latoms, ratoms)
+    else False;
+prove([], Or(f, g):rs, latoms, ratoms) = prove([], f : g : rs, latoms, ratoms);
+prove([], Imp(f, g):rs, latoms, ratoms) = prove(f : [], g : rs, latoms, ratoms);
+prove(Atom(k):ls, rs, latoms, ratoms) =
+    if memberf(k, ratoms) then True
+    else prove(ls, rs, k : latoms, ratoms);
+prove(Not(f):ls, rs, latoms, ratoms) = prove(ls, f : rs, latoms, ratoms);
+prove(And(f, g):ls, rs, latoms, ratoms) = prove(f : g : ls, rs, latoms, ratoms);
+prove(Or(f, g):ls, rs, latoms, ratoms) =
+    if prove(f : ls, rs, latoms, ratoms)
+    then prove(g : ls, rs, latoms, ratoms)
+    else False;
+prove(Imp(f, g):ls, rs, latoms, ratoms) =
+    if prove(g : ls, rs, latoms, ratoms)
+    then prove(ls, f : rs, latoms, ratoms)
+    else False;
+
+shared([], ratoms) = False;
+shared(k:ks, ratoms) = if memberf(k, ratoms) then True else shared(ks, ratoms);
+
+valid(f) = prove([], f : [], [], []);
+
+-- formula generators for the benchmark load
+conjchain(0) = Atom(0);
+conjchain(n) = And(Atom(n), conjchain(n - 1));
+
+disjchain(0) = Atom(0);
+disjchain(n) = Or(Atom(n), disjchain(n - 1));
+
+-- k-th excluded-middle pyramid: valid formulas of growing depth
+pyramid(0) = Or(Atom(0), Not(Atom(0)));
+pyramid(n) = And(Or(Atom(n), Not(Atom(n))), pyramid(n - 1));
+
+-- implication ladder: ((a1 -> a2) -> a2) style, valid
+ladder(0) = Imp(Atom(0), Atom(0));
+ladder(n) = Imp(Imp(Atom(n), Atom(n - 1)), Imp(Atom(n), ladder(n - 1)));
+
+-- peirce-ish stress: not valid, forces full search
+peirce(n) = Imp(Imp(Imp(Atom(n), Atom(n + 1)), Atom(n)), Atom(n));
+
+count([]) = 0;
+count(f:fs) = (if valid(f) then 1 else 0) + count(fs);
+
+suite() = pyramid(6)
+        : ladder(5)
+        : peirce(1)
+        : Imp(conjchain(8), disjchain(8))
+        : Imp(And(Atom(1), Atom(2)), Atom(1))
+        : Imp(Atom(1), Or(Atom(1), Atom(2)))
+        : Or(disjchain(4), Not(disjchain(4)))
+        : [];
+
+main() = count(suite());
+|}
+
+let strassen =
+  {|
+-- strassen: 2x2-block recursive matrix multiplication; matrices are
+-- 2x2 block trees M(top-row, bottom-row) with rows R(left, right),
+-- bottoming out in Leaf(v)
+madd(Leaf(x), Leaf(y)) = Leaf(x + y);
+madd(M(r1, r2), M(s1, s2)) = M(radd(r1, s1), radd(r2, s2));
+
+radd(R(a, b), R(c, d)) = R(madd(a, c), madd(b, d));
+
+msub(Leaf(x), Leaf(y)) = Leaf(x - y);
+msub(M(r1, r2), M(s1, s2)) = M(rsub(r1, s1), rsub(r2, s2));
+
+rsub(R(a, b), R(c, d)) = R(msub(a, c), msub(b, d));
+
+-- quadrant accessors
+qa(M(R(a, b), R(c, d))) = a;
+qb(M(R(a, b), R(c, d))) = b;
+qc(M(R(a, b), R(c, d))) = c;
+qd(M(R(a, b), R(c, d))) = d;
+
+mmul(Leaf(x), Leaf(y)) = Leaf(x * y);
+mmul(M(r1, r2), M(s1, s2)) = assemble(products(M(r1, r2), M(s1, s2)));
+
+-- the seven Strassen products, as a lazy list
+products(x, y) = p1(x, y) : p2(x, y) : p3(x, y) : p4(x, y)
+               : p5(x, y) : p6(x, y) : p7(x, y) : [];
+
+p1(x, y) = mmul(madd(qa(x), qd(x)), madd(qa(y), qd(y)));
+p2(x, y) = mmul(madd(qc(x), qd(x)), qa(y));
+p3(x, y) = mmul(qa(x), msub(qb(y), qd(y)));
+p4(x, y) = mmul(qd(x), msub(qc(y), qa(y)));
+p5(x, y) = mmul(madd(qa(x), qb(x)), qd(y));
+p6(x, y) = mmul(msub(qc(x), qa(x)), madd(qa(y), qb(y)));
+p7(x, y) = mmul(msub(qb(x), qd(x)), madd(qc(y), qd(y)));
+
+assemble(ms) = M(R(quad1(ms), quad2(ms)), R(quad3(ms), quad4(ms)));
+
+nth(1, m:ms) = m;
+nth(k, m:ms) = nth(k - 1, ms);
+
+quad1(ms) = madd(msub(madd(nth(1, ms), nth(4, ms)), nth(5, ms)), nth(7, ms));
+quad2(ms) = madd(nth(3, ms), nth(5, ms));
+quad3(ms) = madd(nth(2, ms), nth(4, ms));
+quad4(ms) = madd(msub(madd(nth(1, ms), nth(3, ms)), nth(2, ms)), nth(6, ms));
+
+build(0, seed) = Leaf(seed mod 10);
+build(n, seed) = M(R(build(n - 1, seed * 3 + 1), build(n - 1, seed * 5 + 2)),
+                   R(build(n - 1, seed * 7 + 3), build(n - 1, seed * 11 + 4)));
+
+msum(Leaf(x)) = x;
+msum(M(r1, r2)) = rsum(r1) + rsum(r2);
+
+rsum(R(a, b)) = msum(a) + msum(b);
+
+main() = msum(mmul(build(3, 1), build(3, 2)));
+|}

@@ -1,0 +1,302 @@
+(** Medium-size logic benchmarks: disj (disjunctive scheduling), cs
+    (cutting stock), kalah (game tree search).  Reconstructions; see
+    DESIGN.md. *)
+
+let disj =
+  {|
+% disj -- disjunctive job-shop scheduling: tasks with durations and
+% precedences, machines handled by disjunctive ordering choices.
+schedule_top(Schedule, End) :-
+    tasks(Ts),
+    assign(Ts, [], Schedule),
+    makespan(Schedule, 0, End),
+    End =< 30.
+
+tasks([task(a1, 4), task(a2, 3), task(a3, 5),
+       task(b1, 3), task(b2, 6), task(b3, 2),
+       task(c1, 5), task(c2, 2)]).
+
+precedences([before(a1, a2), before(a2, a3),
+             before(b1, b2), before(b2, b3),
+             before(c1, c2)]).
+
+disjunctives([excl(a1, b1), excl(a2, b2), excl(a3, c1),
+              excl(b3, c2), excl(a1, c1)]).
+
+starts([0, 2, 4, 6, 8, 10, 12, 14, 16]).
+
+% place tasks one at a time, checking the constraints that involve
+% already-placed tasks immediately (the pruning that makes the
+% disjunctive search feasible)
+assign([], Acc, Acc).
+assign([task(Name, Dur)|Ts], Acc, Out) :-
+    starts(Ss),
+    member(S, Ss),
+    E is S + Dur,
+    compatible(Name, S, E, Acc),
+    assign(Ts, [slot(Name, S, E)|Acc], Out).
+
+member(X, [X|_]).
+member(X, [_|Ys]) :- member(X, Ys).
+
+compatible(_, _, _, []).
+compatible(Name, S, E, [slot(Other, So, Eo)|Rest]) :-
+    prec_ok(Name, S, E, Other, So, Eo),
+    disj_ok(Name, S, E, Other, So, Eo),
+    compatible(Name, S, E, Rest).
+
+prec_ok(Name, S, E, Other, So, Eo) :-
+    precedences(Ps),
+    ( member(before(Other, Name), Ps) -> Eo =< S ; true ),
+    ( member(before(Name, Other), Ps) -> E =< So ; true ).
+
+% a disjunctive pair runs on the same machine: one must finish before
+% the other starts -- the characteristic choice point of the benchmark
+disj_ok(Name, S, E, Other, So, Eo) :-
+    disjunctives(Ds),
+    ( exclusive(Name, Other, Ds) ->
+        ( E =< So ; Eo =< S )
+    ; true
+    ).
+
+exclusive(X, Y, Ds) :- member(excl(X, Y), Ds).
+exclusive(X, Y, Ds) :- member(excl(Y, X), Ds).
+
+lookup(Name, [slot(Name, S, E)|_], S, E).
+lookup(Name, [slot(Other, _, _)|Rest], S, E) :-
+    Name \= Other,
+    lookup(Name, Rest, S, E).
+
+check_precedences([], _).
+check_precedences([before(X, Y)|Ps], Schedule) :-
+    lookup(X, Schedule, _, Ex),
+    lookup(Y, Schedule, Sy, _),
+    Ex =< Sy,
+    check_precedences(Ps, Schedule).
+
+check_disjunctives([], _).
+check_disjunctives([excl(X, Y)|Ds], Schedule) :-
+    lookup(X, Schedule, Sx, Ex),
+    lookup(Y, Schedule, Sy, Ey),
+    ( Ex =< Sy
+    ; Ey =< Sx
+    ),
+    check_disjunctives(Ds, Schedule).
+
+makespan([], E, E).
+makespan([slot(_, _, E)|Ss], Acc, End) :-
+    ( E > Acc -> makespan(Ss, E, End) ; makespan(Ss, Acc, End) ).
+
+% a relaxation pass used to prune: earliest completion of a chain
+chain_length([], 0).
+chain_length([task(_, D)|Ts], L) :-
+    chain_length(Ts, L1),
+    L is L1 + D.
+
+lower_bound(B) :-
+    tasks(Ts),
+    chain_length(Ts, Total),
+    B is Total // 3.
+
+feasible(End) :-
+    lower_bound(B),
+    End >= B.
+|}
+
+let cs =
+  {|
+% cs -- cutting stock: choose cutting patterns for stock boards to meet
+% demands while bounding waste (Van Hentenryck's benchmark family).
+cs_top(Patterns, Waste) :-
+    demands(Ds),
+    stock_length(L),
+    cut(Ds, L, [], Patterns, 0, Waste),
+    Waste =< 12.
+
+stock_length(10).
+
+demands([demand(7, 2), demand(5, 2), demand(3, 3), demand(2, 4)]).
+
+pieces([7, 5, 3, 2]).
+
+% generate a pattern: multiset of pieces fitting in one board
+pattern(Pieces, Left, [P|Ps]) :-
+    member(P, Pieces),
+    P =< Left,
+    Left1 is Left - P,
+    pattern(Pieces, Left1, Ps).
+pattern(_, _, []).
+
+member(X, [X|_]).
+member(X, [_|Ys]) :- member(X, Ys).
+
+pattern_waste(Pattern, L, W) :-
+    sum(Pattern, S),
+    W is L - S.
+
+sum([], 0).
+sum([X|Xs], S) :- sum(Xs, S1), S is S1 + X.
+
+% subtract pattern pieces from outstanding demands
+consume([], Ds, Ds).
+consume([P|Ps], Ds, Out) :-
+    take_piece(P, Ds, Mid),
+    consume(Ps, Mid, Out).
+
+take_piece(P, [demand(P, N)|Ds], [demand(P, N1)|Ds]) :-
+    N > 0,
+    N1 is N - 1.
+take_piece(P, [demand(Q, N)|Ds], [demand(Q, N)|Out]) :-
+    P \= Q,
+    take_piece(P, Ds, Out).
+
+satisfied([]).
+satisfied([demand(_, 0)|Ds]) :- satisfied(Ds).
+
+cut(Ds, _, Acc, Acc, W, W) :- satisfied(Ds).
+cut(Ds, L, Acc, Patterns, WAcc, Waste) :-
+    \+ satisfied(Ds),
+    pieces(Pieces),
+    pattern(Pieces, L, Pat),
+    Pat \= [],
+    useful(Pat, Ds),
+    consume(Pat, Ds, Ds1),
+    pattern_waste(Pat, L, W),
+    WAcc1 is WAcc + W,
+    WAcc1 =< 12,
+    cut(Ds1, L, [Pat|Acc], Patterns, WAcc1, Waste).
+
+% a pattern is useful if every piece in it is still demanded
+useful([], _).
+useful([P|Ps], Ds) :-
+    demanded(P, Ds),
+    useful(Ps, Ds).
+
+demanded(P, [demand(P, N)|_]) :- N > 0.
+demanded(P, [_|Ds]) :- demanded(P, Ds).
+
+% cost accounting used by the reporting queries
+count_boards([], 0).
+count_boards([_|Ps], N) :- count_boards(Ps, N1), N is N1 + 1.
+
+total_cut([], 0).
+total_cut([Pat|Ps], T) :-
+    sum(Pat, S),
+    total_cut(Ps, T1),
+    T is T1 + S.
+
+report(Patterns, boards(B), cut(C), waste(W)) :-
+    count_boards(Patterns, B),
+    total_cut(Patterns, C),
+    stock_length(L),
+    Total is B * L,
+    W is Total - C.
+|}
+
+let kalah =
+  {|
+% kalah -- alpha-beta game-tree search for the sowing game kalah, after
+% the Art of Prolog formulation.
+kalah_top(Move, Value) :-
+    initial_board(Board),
+    alpha_beta(2, Board, -1000, 1000, Move, Value).
+
+initial_board(board([6,6,6,6,6,6], 0, [6,6,6,6,6,6], 0)).
+
+alpha_beta(0, Board, _, _, none, Value) :-
+    evaluate(Board, Value).
+alpha_beta(D, Board, Alpha, Beta, Move, Value) :-
+    D > 0,
+    moves(Board, Moves),
+    Moves \= [],
+    D1 is D - 1,
+    best_move(Moves, Board, D1, Alpha, Beta, none, Move, Value).
+alpha_beta(D, Board, _, _, none, Value) :-
+    D > 0,
+    moves(Board, []),
+    evaluate(Board, Value).
+
+best_move([], _, _, Alpha, _, BestM, BestM, Alpha).
+best_move([M|Ms], Board, D, Alpha, Beta, CurM, BestM, BestV) :-
+    move(Board, M, Board1),
+    swap(Board1, Board2),
+    alpha_beta(D, Board2, -Beta, -Alpha, _, NegV),
+    V is -NegV,
+    ( V >= Beta ->
+        BestM = M, BestV = V
+    ; V > Alpha ->
+        best_move(Ms, Board, D, V, Beta, M, BestM, BestV)
+    ; best_move(Ms, Board, D, Alpha, Beta, CurM, BestM, BestV)
+    ).
+
+moves(board(Pits, _, _, _), Moves) :-
+    legal_moves(Pits, 1, Moves).
+
+legal_moves([], _, []).
+legal_moves([P|Ps], I, Moves) :-
+    I1 is I + 1,
+    legal_moves(Ps, I1, Rest),
+    ( P > 0 -> Moves = [I|Rest] ; Moves = Rest ).
+
+move(board(MyPits, MyStore, YourPits, YourStore), I,
+     board(MyPits2, MyStore2, YourPits2, YourStore)) :-
+    nth(I, MyPits, Stones),
+    Stones > 0,
+    zero_at(I, MyPits, MyPits1),
+    sow(I, Stones, MyPits1, MyStore, YourPits, MyPits2, MyStore2, YourPits2).
+
+% distribute stones counterclockwise: own pits, own store, opponent pits
+sow(_, 0, MyPits, MyStore, YourPits, MyPits, MyStore, YourPits).
+sow(Pos, N, MyPits, MyStore, YourPits, MyPitsOut, MyStoreOut, YourPitsOut) :-
+    N > 0,
+    Pos1 is Pos + 1,
+    ( Pos1 =< 6 ->
+        add_at(Pos1, MyPits, MyPits1),
+        N1 is N - 1,
+        sow(Pos1, N1, MyPits1, MyStore, YourPits, MyPitsOut, MyStoreOut, YourPitsOut)
+    ; Pos1 =:= 7 ->
+        MyStore1 is MyStore + 1,
+        N1 is N - 1,
+        sow_opponent(N1, MyPits, MyStore1, YourPits, MyPitsOut, MyStoreOut, YourPitsOut)
+    ; fail
+    ).
+
+sow_opponent(0, MyPits, MyStore, YourPits, MyPits, MyStore, YourPits).
+sow_opponent(N, MyPits, MyStore, YourPits, MyPitsOut, MyStoreOut, YourPitsOut) :-
+    N > 0,
+    distribute(N, 1, YourPits, YourPits1, Left),
+    ( Left =:= 0 ->
+        MyPitsOut = MyPits, MyStoreOut = MyStore, YourPitsOut = YourPits1
+    ; sow(0, Left, MyPits, MyStore, YourPits1, MyPitsOut, MyStoreOut, YourPitsOut)
+    ).
+
+distribute(0, _, Pits, Pits, 0).
+distribute(N, I, Pits, PitsOut, Left) :-
+    N > 0,
+    ( I =< 6 ->
+        add_at(I, Pits, Pits1),
+        N1 is N - 1,
+        I1 is I + 1,
+        distribute(N1, I1, Pits1, PitsOut, Left)
+    ; PitsOut = Pits, Left = N
+    ).
+
+nth(1, [X|_], X).
+nth(I, [_|Xs], X) :- I > 1, I1 is I - 1, nth(I1, Xs, X).
+
+zero_at(1, [_|Xs], [0|Xs]).
+zero_at(I, [X|Xs], [X|Ys]) :- I > 1, I1 is I - 1, zero_at(I1, Xs, Ys).
+
+add_at(1, [X|Xs], [X1|Xs]) :- X1 is X + 1.
+add_at(I, [X|Xs], [X|Ys]) :- I > 1, I1 is I - 1, add_at(I1, Xs, Ys).
+
+swap(board(A, B, C, D), board(C, D, A, B)).
+
+evaluate(board(MyPits, MyStore, YourPits, YourStore), Value) :-
+    sum(MyPits, MP),
+    sum(YourPits, YP),
+    Value is MyStore * 2 + MP - YourStore * 2 - YP.
+
+sum([], 0).
+sum([X|Xs], S) :- sum(Xs, S1), S is S1 + X.
+|}

@@ -1,0 +1,159 @@
+(** peep — a peephole optimizer for a PDP-11-flavoured three-address
+    code, after the SB-Prolog benchmark: a rule base of instruction-window
+    rewrites applied to straight-line code until a fixed point.
+    Reconstruction; see DESIGN.md. *)
+
+let peep =
+  {|
+% peep -- peephole optimization over assembly instruction lists.
+peep_top(Optimized) :-
+    program(P),
+    optimize(P, Optimized).
+
+optimize(Code, Out) :-
+    pass(Code, Code1, Changed),
+    ( Changed = yes -> optimize(Code1, Out) ; Out = Code1 ).
+
+pass([], [], no).
+pass(Code, Out, yes) :-
+    rewrite(Code, Code1),
+    pass(Code1, Out, _).
+pass([I|Is], [I|Os], Changed) :-
+    \+ rewrite([I|Is], _),
+    pass(Is, Os, Changed).
+
+% --- two- and three-instruction window rules ------------------------------
+rewrite([move(R, R)|Rest], Rest).
+rewrite([move(A, B), move(B, A)|Rest], [move(A, B)|Rest]).
+rewrite([move(A, B), move(A, B)|Rest], [move(A, B)|Rest]).
+rewrite([add(0, _)|Rest], Rest).
+rewrite([sub(0, _)|Rest], Rest).
+rewrite([mul(1, _)|Rest], Rest).
+rewrite([add(K1, R), add(K2, R)|Rest], [add(K, R)|Rest]) :-
+    number(K1), number(K2), K is K1 + K2.
+rewrite([sub(K1, R), sub(K2, R)|Rest], [sub(K, R)|Rest]) :-
+    number(K1), number(K2), K is K1 + K2.
+rewrite([add(K1, R), sub(K2, R)|Rest], Out) :-
+    number(K1), number(K2), K is K1 - K2,
+    ( K =:= 0 -> Out = Rest
+    ; K > 0 -> Out = [add(K, R)|Rest]
+    ; K2m is -K, Out = [sub(K2m, R)|Rest]
+    ).
+rewrite([mul(K1, R), mul(K2, R)|Rest], [mul(K, R)|Rest]) :-
+    number(K1), number(K2), K is K1 * K2.
+rewrite([mul(2, R)|Rest], [asl(1, R)|Rest]).
+rewrite([mul(4, R)|Rest], [asl(2, R)|Rest]).
+rewrite([mul(8, R)|Rest], [asl(3, R)|Rest]).
+rewrite([clr(R), move(S, R)|Rest], [move(S, R)|Rest]).
+rewrite([move(0, R)|Rest], [clr(R)|Rest]).
+rewrite([cmp(A, A), beq(L)|Rest], [jmp(L)|Rest]).
+rewrite([cmp(A, A), bne(_)|Rest], Rest).
+rewrite([neg(R), neg(R)|Rest], Rest).
+rewrite([com(R), com(R)|Rest], Rest).
+rewrite([inc(R), dec(R)|Rest], Rest).
+rewrite([dec(R), inc(R)|Rest], Rest).
+rewrite([asl(K1, R), asl(K2, R)|Rest], [asl(K, R)|Rest]) :-
+    number(K1), number(K2), K is K1 + K2.
+rewrite([jmp(L), label(L)|Rest], [label(L)|Rest]).
+rewrite([beq(L), label(L)|Rest], [label(L)|Rest]).
+rewrite([bne(L), label(L)|Rest], [label(L)|Rest]).
+rewrite([jmp(_), I|Rest], [jmp2|Out]) :-
+    \+ is_label(I),
+    strip_dead(Rest, Out).
+rewrite([tst(R), cmp(0, R)|Rest], [tst(R)|Rest]).
+rewrite([move(A, r0), tst(r0)|Rest], [move(A, r0)|Rest]).
+rewrite([push(R), pop(R)|Rest], Rest).
+rewrite([pop(R), push(R)|Rest], [move(stack, R)|Rest]).
+
+is_label(label(_)).
+
+strip_dead([], []).
+strip_dead([I|Is], [I|Is]) :- is_label(I).
+strip_dead([I|Is], Out) :- \+ is_label(I), strip_dead(Is, Out).
+
+% --- register-liveness cleanup pass -----------------------------------------
+live_pass(Code, Out) :-
+    reverse_code(Code, Rev),
+    sweep(Rev, [], RevOut),
+    reverse_code(RevOut, Out).
+
+reverse_code(Code, Rev) :- rev_acc(Code, [], Rev).
+rev_acc([], Acc, Acc).
+rev_acc([I|Is], Acc, Rev) :- rev_acc(Is, [I|Acc], Rev).
+
+sweep([], _, []).
+sweep([I|Is], Live, Out) :-
+    defines(I, R),
+    \+ memberq(R, Live),
+    pure(I),
+    sweep(Is, Live, Out).
+sweep([I|Is], Live, [I|Out]) :-
+    uses(I, Us),
+    append(Us, Live, Live1),
+    sweep(Is, Live1, Out).
+
+defines(move(_, R), R).
+defines(add(_, R), R).
+defines(sub(_, R), R).
+defines(mul(_, R), R).
+defines(clr(R), R).
+defines(inc(R), R).
+defines(dec(R), R).
+defines(asl(_, R), R).
+defines(neg(R), R).
+defines(com(R), R).
+
+pure(move(_, _)).
+pure(clr(_)).
+
+uses(move(S, _), [S]).
+uses(add(S, R), [S, R]).
+uses(sub(S, R), [S, R]).
+uses(mul(S, R), [S, R]).
+uses(cmp(A, B), [A, B]).
+uses(tst(R), [R]).
+uses(inc(R), [R]).
+uses(dec(R), [R]).
+uses(asl(_, R), [R]).
+uses(neg(R), [R]).
+uses(com(R), [R]).
+uses(push(R), [R]).
+uses(pop(_), []).
+uses(jmp(_), []).
+uses(beq(_), []).
+uses(bne(_), []).
+uses(label(_), []).
+uses(clr(_), []).
+
+memberq(X, [X|_]).
+memberq(X, [_|Ys]) :- memberq(X, Ys).
+
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+
+% --- a representative input program -----------------------------------------
+program([
+    move(r1, r1),
+    move(0, r2),
+    add(3, r3), add(4, r3),
+    mul(2, r4),
+    clr(r5), move(r6, r5),
+    cmp(r7, r7), beq(l1),
+    move(r1, r2), move(r2, r1),
+    inc(r3), dec(r3),
+    label(l1),
+    sub(2, r3), sub(5, r3),
+    push(r4), pop(r4),
+    mul(8, r2),
+    jmp(l2),
+    add(1, r9),
+    label(l2),
+    neg(r5), neg(r5),
+    tst(r6), cmp(0, r6),
+    move(r0, r7), move(r0, r7),
+    com(r8), com(r8),
+    mul(1, r9),
+    add(0, r1),
+    label(l3)
+]).
+|}

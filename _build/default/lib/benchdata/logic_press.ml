@@ -1,0 +1,341 @@
+(** press1/press2 — fragments of PRESS (the PRolog Equation Solving
+    System), after the Art of Prolog presentation: symbolic equation
+    solving by isolation, attraction/collection, and polynomial methods.
+    press2 differs in its top-level strategy (homogenization first) and
+    simplifier.  Reconstructions; see DESIGN.md. *)
+
+let press1 =
+  {|
+% press1 -- equation solving by isolation and collection.
+:- op(700, xfx, ===).
+
+press_top(Answer) :-
+    equation(E),
+    solve_equation(E, x, Answer).
+
+equation(x * x - 3 * x + 2 === 0).
+equation(2 ^ x === 8).
+equation(log(x) + log(5) === 2).
+
+solve_equation(A === B, X, Solution) :-
+    single_occurrence(X, A === B),
+    position(X, A === B, [Side|Pos]),
+    maneuver_sides(Side, A === B, Eq1),
+    isolate(Pos, Eq1, Solution).
+solve_equation(Lhs === Rhs, X, Solution) :-
+    is_polynomial(Lhs, X),
+    is_polynomial(Rhs, X),
+    polynomial_normal_form(Lhs - Rhs, X, Poly),
+    solve_polynomial(Poly, X, Solution).
+
+% --- occurrence bookkeeping ---------------------------------------------
+single_occurrence(X, T) :- occurrences(X, T, 1).
+
+occurrences(X, X, 1).
+occurrences(X, T, 0) :- atomic_term(T), T \= X.
+occurrences(X, T, N) :-
+    compound_term(T),
+    T =.. [_|Args],
+    occ_list(X, Args, N).
+
+occ_list(_, [], 0).
+occ_list(X, [A|As], N) :-
+    occurrences(X, A, N1),
+    occ_list(X, As, N2),
+    N is N1 + N2.
+
+atomic_term(T) :- atom(T).
+atomic_term(T) :- number(T).
+
+compound_term(T) :- \+ atomic_term(T).
+
+% --- position and isolation ----------------------------------------------
+position(X, X, []).
+position(X, T, [N|Pos]) :-
+    compound_term(T),
+    T =.. [_|Args],
+    nth_arg(Args, 1, N, Arg),
+    position(X, Arg, Pos).
+
+nth_arg([A|_], N, N, A).
+nth_arg([_|As], I, N, A) :- I1 is I + 1, nth_arg(As, I1, N, A).
+
+maneuver_sides(1, L === R, L === R).
+maneuver_sides(2, L === R, R === L).
+
+isolate([], Eq, Eq).
+isolate([N|Pos], Eq, Answer) :-
+    isolax(N, Eq, Eq1),
+    isolate(Pos, Eq1, Answer).
+
+% isolation axioms: move everything but the marked argument across
+isolax(1, A + B === C, A === C - B).
+isolax(2, A + B === C, B === C - A).
+isolax(1, A - B === C, A === C + B).
+isolax(2, A - B === C, B === A - C).
+isolax(1, A * B === C, A === C / B) :- B \= 0.
+isolax(2, A * B === C, B === C / A) :- A \= 0.
+isolax(1, A / B === C, A === C * B).
+isolax(2, A / B === C, B === A / C).
+isolax(1, A ^ B === C, A === C ^ (1 / B)).
+isolax(2, A ^ B === C, B === log(C) / log(A)).
+isolax(1, log(A) === C, A === exp(C)).
+isolax(1, exp(A) === C, A === log(C)).
+isolax(1, -(A) === C, A === -(C)).
+
+% --- polynomial route ------------------------------------------------------
+is_polynomial(X, X).
+is_polynomial(T, _) :- number(T).
+is_polynomial(A + B, X) :- is_polynomial(A, X), is_polynomial(B, X).
+is_polynomial(A - B, X) :- is_polynomial(A, X), is_polynomial(B, X).
+is_polynomial(A * B, X) :- is_polynomial(A, X), is_polynomial(B, X).
+is_polynomial(A ^ N, X) :- is_polynomial(A, X), number(N), N >= 0.
+is_polynomial(-(A), X) :- is_polynomial(A, X).
+
+% normal form: list of coeff(Power, Coefficient), highest power first
+polynomial_normal_form(T, X, Poly) :-
+    poly_of(T, X, Raw),
+    collect_terms(Raw, Poly).
+
+poly_of(X, X, [coeff(1, 1)]).
+poly_of(N, _, [coeff(0, N)]) :- number(N).
+poly_of(A + B, X, P) :-
+    poly_of(A, X, PA), poly_of(B, X, PB), append(PA, PB, P).
+poly_of(A - B, X, P) :-
+    poly_of(A, X, PA), poly_of(B, X, PB),
+    negate_poly(PB, NB), append(PA, NB, P).
+poly_of(-(A), X, P) :-
+    poly_of(A, X, PA), negate_poly(PA, P).
+poly_of(A * B, X, P) :-
+    poly_of(A, X, PA), poly_of(B, X, PB),
+    poly_product(PA, PB, P).
+poly_of(A ^ N, X, P) :-
+    number(N),
+    poly_power(N, A, X, P).
+
+poly_power(0, _, _, [coeff(0, 1)]).
+poly_power(N, A, X, P) :-
+    N > 0, N1 is N - 1,
+    poly_power(N1, A, X, P1),
+    poly_of(A, X, PA),
+    poly_product(P1, PA, P).
+
+negate_poly([], []).
+negate_poly([coeff(P, C)|Rest], [coeff(P, C1)|Out]) :-
+    C1 is -C, negate_poly(Rest, Out).
+
+poly_product([], _, []).
+poly_product([coeff(P, C)|Rest], Q, Out) :-
+    scale_poly(Q, P, C, Scaled),
+    poly_product(Rest, Q, Rec),
+    append(Scaled, Rec, Out).
+
+scale_poly([], _, _, []).
+scale_poly([coeff(P, C)|Rest], DP, DC, [coeff(P1, C1)|Out]) :-
+    P1 is P + DP, C1 is C * DC,
+    scale_poly(Rest, DP, DC, Out).
+
+collect_terms(Raw, Poly) :-
+    max_power(Raw, 0, Max),
+    gather(Max, Raw, Poly).
+
+max_power([], M, M).
+max_power([coeff(P, _)|Rest], Acc, M) :-
+    ( P > Acc -> max_power(Rest, P, M) ; max_power(Rest, Acc, M) ).
+
+gather(P, Raw, Out) :-
+    P >= 0,
+    coeff_sum(Raw, P, C),
+    P1 is P - 1,
+    ( P1 >= 0 -> gather(P1, Raw, Rest) ; Rest = [] ),
+    ( C =:= 0, Out = Rest
+    ; C =\= 0, Out = [coeff(P, C)|Rest]
+    ).
+
+coeff_sum([], _, 0).
+coeff_sum([coeff(P, C)|Rest], P, S) :-
+    coeff_sum(Rest, P, S1), S is S1 + C.
+coeff_sum([coeff(Q, _)|Rest], P, S) :-
+    Q \= P, coeff_sum(Rest, P, S).
+
+solve_polynomial([coeff(1, A), coeff(0, B)], X, X === Val) :-
+    Val is -B // A.
+solve_polynomial([coeff(2, A), coeff(1, B), coeff(0, C)], X, X === Root) :-
+    Disc is B * B - 4 * A * C,
+    Disc >= 0,
+    isqrt(Disc, S),
+    Root is (-B + S) // (2 * A).
+solve_polynomial([coeff(2, A), coeff(1, B)], X, Answer) :-
+    ( Answer = (X === 0)
+    ; Val is -B // A, Answer = (X === Val)
+    ).
+
+isqrt(N, S) :- between_num(0, N, S), S * S =< N, S1 is S + 1, S1 * S1 > N.
+
+between_num(L, _, L).
+between_num(L, H, X) :- L < H, L1 is L + 1, between_num(L1, H, X).
+
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+|}
+
+let press2 =
+  {|
+% press2 -- the homogenization variant of the equation solver: rewrite
+% the equation over a single reduced unknown, then solve by isolation.
+:- op(700, xfx, ===).
+
+press_top(Answer) :-
+    equation(E),
+    solve(E, x, Answer).
+
+equation(5 ^ x - 25 === 100).
+equation(2 ^ (2 * x) - 5 * 2 ^ (x + 1) + 16 === 0).
+equation(3 ^ x + 9 ^ x === 12).
+
+solve(Eq, X, Answer) :-
+    homogenize(Eq, X, U, Eq1),
+    % the rewritten equation is over the fresh unknown u
+    solve_reduced(Eq1, u, u === Val),
+    recover(X, U, Val, Answer).
+solve(Eq, X, Answer) :-
+    solve_reduced(Eq, X, Answer).
+
+% --- homogenization --------------------------------------------------------
+homogenize(Eq, X, U, Eq1) :-
+    offenders(Eq, X, Offs),
+    Offs \= [],
+    reduced_term(Offs, X, U),
+    rewrite_all(Eq, Offs, X, U, Eq1).
+
+offenders(A === B, X, Offs) :-
+    offs(A, X, O1),
+    offs(B, X, O2),
+    append(O1, O2, Offs).
+
+offs(T, X, [T]) :- exponential(T, X).
+offs(T, _, []) :- atom(T).
+offs(T, _, []) :- number(T).
+offs(A + B, X, O) :- offs(A, X, O1), offs(B, X, O2), append(O1, O2, O).
+offs(A - B, X, O) :- offs(A, X, O1), offs(B, X, O2), append(O1, O2, O).
+offs(A * B, X, O) :- offs(A, X, O1), offs(B, X, O2), append(O1, O2, O).
+offs(-(A), X, O) :- offs(A, X, O).
+
+exponential(B ^ E, X) :- number(B), contains_var(X, E).
+
+contains_var(X, X).
+contains_var(X, A + B) :- ( contains_var(X, A) ; contains_var(X, B) ).
+contains_var(X, A - B) :- ( contains_var(X, A) ; contains_var(X, B) ).
+contains_var(X, A * B) :- ( contains_var(X, A) ; contains_var(X, B) ).
+contains_var(X, _ ^ E) :- contains_var(X, E).
+
+% the reduced unknown: smallest base raised to x
+reduced_term([B ^ _|_], X, B ^ X).
+
+% rewrite each offender as a power of the reduced term
+rewrite_all(A === B, Offs, X, U, A1 === B1) :-
+    rw(A, Offs, X, U, A1),
+    rw(B, Offs, X, U, B1).
+
+rw(T, Offs, X, U, T1) :-
+    memberq(T, Offs),
+    express(T, X, U, T1).
+rw(T, _, _, _, T) :- atom(T).
+rw(T, _, _, _, T) :- number(T).
+rw(A + B, Offs, X, U, A1 + B1) :- rw(A, Offs, X, U, A1), rw(B, Offs, X, U, B1).
+rw(A - B, Offs, X, U, A1 - B1) :- rw(A, Offs, X, U, A1), rw(B, Offs, X, U, B1).
+rw(A * B, Offs, X, U, A1 * B1) :- rw(A, Offs, X, U, A1), rw(B, Offs, X, U, B1).
+rw(-(A), Offs, X, U, -(A1)) :- rw(A, Offs, X, U, A1).
+
+% express B^E in terms of U = B0^x
+express(B ^ X0, X0, B0 ^ X0, u) :- B =:= B0.
+express(B ^ (K * X0), X0, B0 ^ X0, u ^ K) :- B =:= B0.
+express(B ^ (X0 + C), X0, B0 ^ X0, u * F) :- B =:= B0, F is B ^ C.
+express(B ^ X0, X0, B0 ^ X0, u ^ K) :-
+    B > B0, power_of(B, B0, K).
+
+power_of(B, B0, K) :-
+    between_num(1, 8, K),
+    pow(B0, K, B).
+
+pow(_, 0, 1).
+pow(B, K, P) :- K > 0, K1 is K - 1, pow(B, K1, P1), P is P1 * B.
+
+memberq(X, [X|_]).
+memberq(X, [_|Ys]) :- memberq(X, Ys).
+
+between_num(L, _, L).
+between_num(L, H, X) :- L < H, L1 is L + 1, between_num(L1, H, X).
+
+% --- reduced solving --------------------------------------------------------
+solve_reduced(A === B, X, Answer) :-
+    simplify(A, A1),
+    simplify(B, B1),
+    isolate_eq(A1 === B1, X, Answer).
+
+isolate_eq(Eq, X, Answer) :-
+    one_occurrence(X, Eq),
+    isol(Eq, X, Answer).
+
+one_occurrence(X, A === B) :-
+    count_occ(X, A, NA),
+    count_occ(X, B, NB),
+    N is NA + NB,
+    N =:= 1.
+
+count_occ(X, X, 1).
+count_occ(X, T, 0) :- atom(T), T \= X.
+count_occ(_, T, 0) :- number(T).
+count_occ(X, A + B, N) :- count_occ(X, A, N1), count_occ(X, B, N2), N is N1 + N2.
+count_occ(X, A - B, N) :- count_occ(X, A, N1), count_occ(X, B, N2), N is N1 + N2.
+count_occ(X, A * B, N) :- count_occ(X, A, N1), count_occ(X, B, N2), N is N1 + N2.
+count_occ(X, A ^ B, N) :- count_occ(X, A, N1), count_occ(X, B, N2), N is N1 + N2.
+count_occ(X, -(A), N) :- count_occ(X, A, N).
+
+isol(X === R, X, X === R).
+isol(A + B === C, X, Answer) :-
+    ( count_occ(X, A, 1) -> isol(A === C - B, X, Answer)
+    ; isol(B === C - A, X, Answer)
+    ).
+isol(A - B === C, X, Answer) :-
+    ( count_occ(X, A, 1) -> isol(A === C + B, X, Answer)
+    ; isol(B === A - C, X, Answer)
+    ).
+isol(A * B === C, X, Answer) :-
+    ( count_occ(X, A, 1) -> isol(A === C / B, X, Answer)
+    ; isol(B === C / A, X, Answer)
+    ).
+isol(A ^ K === C, X, Answer) :-
+    number(K),
+    isol(A === root(C, K), X, Answer).
+
+% --- simplifier ---------------------------------------------------------------
+simplify(T, T1) :-
+    rewrite(T, T0),
+    ( T0 = T -> T1 = T ; simplify(T0, T1) ).
+
+rewrite(A + 0, A).
+rewrite(0 + A, A).
+rewrite(A - 0, A).
+rewrite(A * 1, A).
+rewrite(1 * A, A).
+rewrite(A * 0, 0).
+rewrite(0 * A, 0).
+rewrite(A ^ 1, A).
+rewrite(_ ^ 0, 1).
+rewrite(A + B, C) :- number(A), number(B), C is A + B.
+rewrite(A - B, C) :- number(A), number(B), C is A - B.
+rewrite(A * B, C) :- number(A), number(B), C is A * B.
+rewrite(A + B, A1 + B1) :- rewrite(A, A1), B1 = B.
+rewrite(A + B, A + B1) :- rewrite(B, B1).
+rewrite(A * B, A1 * B) :- rewrite(A, A1).
+rewrite(A * B, A * B1) :- rewrite(B, B1).
+rewrite(A - B, A1 - B) :- rewrite(A, A1).
+rewrite(A - B, A - B1) :- rewrite(B, B1).
+rewrite(T, T).
+
+recover(X, _ ^ X, Val, X === log_val(Val)).
+
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+|}

@@ -1,0 +1,252 @@
+(** read — a Prolog tokenizer and operator-precedence reader written in
+    Prolog, after O'Keefe's public-domain read.pl: the largest benchmark
+    of the suite.  Works over character-code lists.  Reconstruction; see
+    DESIGN.md. *)
+
+let read =
+  {|
+% read -- tokenize and parse a Prolog term from a code list.
+read_top(Term) :-
+    sample(Cs),
+    read_term_codes(Cs, Term).
+
+sample("foo(X, bar(Y, [1,2|T]), Z * 3 + 4) :- baz(X), qux(Y, Z).").
+
+read_term_codes(Cs, Term) :-
+    tokens(Cs, Toks),
+    parse(Toks, 1200, Term, [end]).
+
+% ====================== tokenizer ======================
+tokens([], [end]).
+tokens([C|Cs], Toks) :-
+    char_type(C, Type),
+    tokens_dispatch(Type, C, Cs, Toks).
+
+tokens_dispatch(space, _, Cs, Toks) :- tokens(Cs, Toks).
+tokens_dispatch(digit, C, Cs, [int(N)|Toks]) :-
+    take_digits(Cs, Ds, Rest),
+    code_number([C|Ds], 0, N),
+    tokens(Rest, Toks).
+tokens_dispatch(lower, C, Cs, [atom(A)|Toks]) :-
+    take_alnum(Cs, As, Rest),
+    atom_from_codes([C|As], A),
+    tokens(Rest, Toks).
+tokens_dispatch(upper, C, Cs, [var(V)|Toks]) :-
+    take_alnum(Cs, As, Rest),
+    atom_from_codes([C|As], V),
+    tokens(Rest, Toks).
+tokens_dispatch(symbol, C, Cs, [atom(A)|Toks]) :-
+    take_symbols(Cs, Ss, Rest),
+    atom_from_codes([C|Ss], A),
+    tokens(Rest, Toks).
+tokens_dispatch(punct, C, Cs, [punct(C)|Toks]) :-
+    tokens(Cs, Toks).
+tokens_dispatch(quote, _, Cs, [atom(A)|Toks]) :-
+    take_quoted(Cs, Qs, Rest),
+    atom_from_codes(Qs, A),
+    tokens(Rest, Toks).
+tokens_dispatch(stop, _, Cs, Toks) :-
+    ( Cs = [] -> Toks = [end]
+    ; Cs = [C2|_], char_type(C2, space) -> Toks0 = [end], tokens_rest(Cs, Toks0, Toks)
+    ; take_symbols(Cs, Ss, Rest),
+      atom_from_codes([0'.|Ss], A),
+      Toks = [atom(A)|Toks1],
+      tokens(Rest, Toks1)
+    ).
+
+tokens_rest(_, Toks, Toks).
+
+char_type(0' , space).
+char_type(9, space).
+char_type(10, space).
+char_type(13, space).
+char_type(C, digit) :- C >= 0'0, C =< 0'9.
+char_type(C, lower) :- C >= 0'a, C =< 0'z.
+char_type(C, upper) :- C >= 0'A, C =< 0'Z.
+char_type(0'_, upper).
+char_type(0'., stop).
+char_type(0'', quote).
+char_type(0'(, punct).
+char_type(0'), punct).
+char_type(0'[, punct).
+char_type(0'], punct).
+char_type(0'{, punct).
+char_type(0'}, punct).
+char_type(0',, punct).
+char_type(0'|, punct).
+char_type(0'!, punct).
+char_type(0';, punct).
+char_type(C, symbol) :- symbol_code(C).
+
+symbol_code(0'+). symbol_code(0'-). symbol_code(0'*). symbol_code(0'/).
+symbol_code(0'\\). symbol_code(0'^). symbol_code(0'<). symbol_code(0'>).
+symbol_code(0'=). symbol_code(0'~). symbol_code(0':). symbol_code(0'?).
+symbol_code(0'@). symbol_code(0'#). symbol_code(0'&). symbol_code(0'$).
+
+take_digits([C|Cs], [C|Ds], Rest) :-
+    char_type(C, digit),
+    take_digits(Cs, Ds, Rest).
+take_digits(Cs, [], Cs) :- \+ starts_digit(Cs).
+
+starts_digit([C|_]) :- char_type(C, digit).
+
+take_alnum([C|Cs], [C|As], Rest) :-
+    alnum(C),
+    take_alnum(Cs, As, Rest).
+take_alnum(Cs, [], Cs) :- \+ starts_alnum(Cs).
+
+starts_alnum([C|_]) :- alnum(C).
+
+alnum(C) :- char_type(C, lower).
+alnum(C) :- char_type(C, upper).
+alnum(C) :- char_type(C, digit).
+
+take_symbols([C|Cs], [C|Ss], Rest) :-
+    char_type(C, symbol),
+    take_symbols(Cs, Ss, Rest).
+take_symbols(Cs, [], Cs) :- \+ starts_symbol(Cs).
+
+starts_symbol([C|_]) :- char_type(C, symbol).
+starts_symbol([0'.|_]).
+
+take_quoted([0''|Rest], [], Rest).
+take_quoted([C|Cs], [C|Qs], Rest) :-
+    C =\= 39,   % quote character
+    take_quoted(Cs, Qs, Rest).
+
+code_number([], N, N).
+code_number([D|Ds], Acc, N) :-
+    Acc1 is Acc * 10 + D - 0'0,
+    code_number(Ds, Acc1, N).
+
+atom_from_codes(Cs, A) :- name(A, Cs).
+
+% ====================== parser ======================
+% parse(Tokens, MaxPrec, Term, RestTokens)
+parse(Toks, Max, Term, Rest) :-
+    primary(Toks, Max, Left, LeftPrec, Toks1),
+    infix_loop(Toks1, Left, LeftPrec, Max, Term, Rest).
+
+primary([int(N)|Toks], _, N, 0, Toks).
+primary([var(V)|Toks], _, '$VAR'(V), 0, Toks).
+primary([punct(0'()|Toks], _, Term, 0, Rest) :-
+    parse(Toks, 1200, Term, [punct(0'))|Rest]).
+primary([punct(0'[)|Toks], _, List, 0, Rest) :-
+    parse_list(Toks, List, Rest).
+primary([punct(0'{), punct(0'})|Toks], _, '{}', 0, Toks).
+primary([punct(0'{)|Toks], _, '{}'(T), 0, Rest) :-
+    parse(Toks, 1200, T, [punct(0'})|Rest]).
+primary([punct(0'!)|Toks], _, !, 0, Toks).
+primary([atom(A), punct(0'()|Toks], _, Term, 0, Rest) :-
+    parse_args(Toks, Args, Rest),
+    Term =.. [A|Args].
+primary([atom(A)|Toks], Max, Term, Prec, Rest) :-
+    prefix_op(A, P, ArgMax),
+    P =< Max,
+    starts_term(Toks),
+    parse(Toks, ArgMax, Arg, Rest),
+    Term =.. [A, Arg],
+    Prec = P.
+primary([atom(A)|Toks], _, A, 0, Toks) :-
+    \+ prefix_ok(A, Toks).
+
+prefix_ok(A, Toks) :-
+    prefix_op(A, _, _),
+    starts_term(Toks).
+
+starts_term([int(_)|_]).
+starts_term([var(_)|_]).
+starts_term([atom(_)|_]).
+starts_term([punct(0'()|_]).
+starts_term([punct(0'[)|_]).
+starts_term([punct(0'{)|_]).
+
+infix_loop(Toks, Left, LeftPrec, Max, Term, Rest) :-
+    Toks = [atom(A)|Toks1],
+    infix_op(A, P, LMax, RMax),
+    P =< Max,
+    LeftPrec =< LMax,
+    parse(Toks1, RMax, Right, Toks2),
+    NewLeft =.. [A, Left, Right],
+    infix_loop(Toks2, NewLeft, P, Max, Term, Rest).
+infix_loop([punct(0',)|Toks1], Left, LeftPrec, Max, Term, Rest) :-
+    1000 =< Max,
+    LeftPrec =< 999,
+    parse(Toks1, 1000, Right, Toks2),
+    infix_loop(Toks2, ','(Left, Right), 1000, Max, Term, Rest).
+% termination is nondeterministic: the caller constrains the rest of the
+% token list, and backtracking finds the right split
+infix_loop(Toks, Term, _, _, Term, Toks).
+
+parse_args(Toks, [Arg|Args], Rest) :-
+    parse(Toks, 999, Arg, Toks1),
+    ( Toks1 = [punct(0',)|Toks2] ->
+        parse_args(Toks2, Args, Rest)
+    ; Toks1 = [punct(0'))|Rest], Args = []
+    ).
+
+parse_list([punct(0'])|Toks], [], Toks).
+parse_list(Toks, [E|Es], Rest) :-
+    parse(Toks, 999, E, Toks1),
+    ( Toks1 = [punct(0',)|Toks2] ->
+        parse_list(Toks2, Es, Rest)
+    ; Toks1 = [punct(0'|)|Toks2] ->
+        parse(Toks2, 999, Es, [punct(0'])|Rest])
+    ; Toks1 = [punct(0'])|Rest], Es = []
+    ).
+
+% ====================== operator table ======================
+infix_op(:-, 1200, 1199, 1199).
+infix_op(-->, 1200, 1199, 1199).
+infix_op(;, 1100, 1099, 1100).
+infix_op(->, 1050, 1049, 1050).
+infix_op(=, 700, 699, 699).
+infix_op(\=, 700, 699, 699).
+infix_op(==, 700, 699, 699).
+infix_op(\==, 700, 699, 699).
+infix_op(is, 700, 699, 699).
+infix_op(=.., 700, 699, 699).
+infix_op(<, 700, 699, 699).
+infix_op(>, 700, 699, 699).
+infix_op(=<, 700, 699, 699).
+infix_op(>=, 700, 699, 699).
+infix_op(=:=, 700, 699, 699).
+infix_op(=\=, 700, 699, 699).
+infix_op(@<, 700, 699, 699).
+infix_op(@>, 700, 699, 699).
+infix_op(+, 500, 500, 499).
+infix_op(-, 500, 500, 499).
+infix_op(/\, 500, 500, 499).
+infix_op(\/, 500, 500, 499).
+infix_op(*, 400, 400, 399).
+infix_op(/, 400, 400, 399).
+infix_op(//, 400, 400, 399).
+infix_op(mod, 400, 400, 399).
+infix_op(<<, 400, 400, 399).
+infix_op(>>, 400, 400, 399).
+infix_op(**, 200, 199, 199).
+infix_op(^, 200, 199, 200).
+
+prefix_op(:-, 1200, 1199).
+prefix_op(?-, 1200, 1199).
+prefix_op(\+, 900, 900).
+prefix_op(-, 200, 200).
+prefix_op(+, 200, 200).
+prefix_op(\, 200, 200).
+
+% ====================== round trip check ======================
+check(Cs, T) :-
+    read_term_codes(Cs, T1),
+    T = T1.
+
+samples_all([T1, T2, T3]) :-
+    sample(S1),
+    read_term_codes(S1, T1),
+    sample2(S2),
+    read_term_codes(S2, T2),
+    sample3(S3),
+    read_term_codes(S3, T3).
+
+sample2("f(g(h(X)), [a,b,c], 'quoted atom', 42).").
+sample3("a + b * c - d / e ^ f.").
+|}

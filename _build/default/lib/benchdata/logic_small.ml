@@ -1,0 +1,267 @@
+(** The smaller logic-program benchmarks of Tables 1/2/4: qsort, queens,
+    pg, plan, gabriel.  The original GAIA-suite sources are not
+    distributed with the paper; these are faithful reconstructions of the
+    classic programs (same names, same problem, comparable size and
+    recursion structure) written for this repository — see DESIGN.md. *)
+
+let qsort =
+  {|
+% qsort -- quicksort with explicit partition (the classic benchmark).
+qsort([], []).
+qsort([X|Xs], Sorted) :-
+    partition(Xs, X, Littles, Bigs),
+    qsort(Littles, Ls),
+    qsort(Bigs, Bs),
+    append(Ls, [X|Bs], Sorted).
+
+partition([], _, [], []).
+partition([X|Xs], Pivot, [X|Ls], Bs) :-
+    X =< Pivot, partition(Xs, Pivot, Ls, Bs).
+partition([X|Xs], Pivot, Ls, [X|Bs]) :-
+    X > Pivot, partition(Xs, Pivot, Ls, Bs).
+
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+
+qsort_top(S) :- qsort([27,74,17,33,94,18,46,83,65,2,32,53,28,85,99,47,28,82,6,11], S).
+|}
+
+let queens =
+  {|
+% queens -- N-queens with permutation generation and safety check.
+queens(N, Qs) :-
+    range(1, N, Ns),
+    place(Ns, Qs),
+    safe(Qs).
+
+range(N, N, [N]).
+range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+
+place([], []).
+place(Xs, [Q|Qs]) :- select(Q, Xs, Rest), place(Rest, Qs).
+
+select(X, [X|Xs], Xs).
+select(X, [Y|Ys], [Y|Zs]) :- select(X, Ys, Zs).
+
+safe([]).
+safe([Q|Qs]) :- no_attack(Q, Qs, 1), safe(Qs).
+
+no_attack(_, [], _).
+no_attack(Q, [Q1|Qs], D) :-
+    Q =\= Q1 + D,
+    Q =\= Q1 - D,
+    D1 is D + 1,
+    no_attack(Q, Qs, D1).
+
+queens_top(Qs) :- queens(8, Qs).
+|}
+
+let pg =
+  {|
+% pg -- projectile/geometry problem solver: a small arithmetic-heavy
+% program computing ballistic tables by iterative approximation.
+gravity(981).   % cm/s^2, scaled
+
+projectile(V, Angle, Range, Height, Time) :-
+    sin_approx(Angle, S),
+    cos_approx(Angle, C),
+    gravity(G),
+    Vy is V * S // 1000,
+    Vx is V * C // 1000,
+    Time is 2 * Vy * 100 // G,
+    Range is Vx * Time,
+    Height is Vy * Vy * 50 // G.
+
+% fixed-point approximations over integer milliradians
+sin_approx(A, S) :- A =< 785, S is A - (A * A * A // 6000000).
+sin_approx(A, S) :- A > 785, B is 1571 - A, cos_approx_raw(B, S).
+cos_approx(A, C) :- A =< 785, cos_approx_raw(A, C).
+cos_approx(A, C) :- A > 785, B is 1571 - A, S is B - (B * B * B // 6000000), C = S.
+cos_approx_raw(A, C) :- C is 1000 - (A * A // 2000).
+
+table(_, [], []).
+table(V, [A|As], [entry(A, R, H, T)|Es]) :-
+    projectile(V, A, R, H, T),
+    table(V, As, Es).
+
+angles([262, 393, 524, 655, 785, 916, 1047]).
+
+best_range([], Best, Best).
+best_range([entry(A, R, _, _)|Es], entry(BA, BR, BH, BT), Best) :-
+    ( R > BR ->
+        best_range(Es, entry(A, R, 0, 0), Best)
+    ; best_range(Es, entry(BA, BR, BH, BT), Best)
+    ).
+
+pg_top(Best) :-
+    angles(As),
+    table(5000, As, Es),
+    Es = [E|Rest],
+    best_range(Rest, E, Best).
+|}
+
+let plan =
+  {|
+% plan -- STRIPS-style blocks-world planner: states are sorted fact
+% lists, actions have preconditions and add/delete lists, search is
+% depth-bounded forward planning.
+plan_top(Plan) :-
+    initial(S0),
+    goals(Gs),
+    depth_bound(D),
+    plan(S0, Gs, [], D, Plan).
+
+initial([clear(b), clear(c), on(a, table), on(b, table), on(c, a)]).
+goals([on(a, b), on(b, c)]).
+depth_bound(4).
+
+plan(State, Goals, _, _, []) :- satisfied(Goals, State).
+plan(State, Goals, Visited, D, [Action|Plan]) :-
+    \+ satisfied(Goals, State),
+    D > 0,
+    action(Action, Pre, Add, Del),
+    satisfied(Pre, State),
+    apply_action(State, Add, Del, State1),
+    \+ member_chk(State1, Visited),
+    D1 is D - 1,
+    plan(State1, Goals, [State1|Visited], D1, Plan).
+
+satisfied([], _).
+satisfied([G|Gs], State) :- member_chk(G, State), satisfied(Gs, State).
+
+% move block X from Y onto Z
+action(move(X, Y, Z),
+       [clear(X), clear(Z), on(X, Y)],
+       [on(X, Z), clear(Y)],
+       [on(X, Y), clear(Z)]) :-
+    block(X), object(Y), object(Z),
+    X \= Y, X \= Z, Y \= Z,
+    Y \= table.
+% move block X from the table onto Z
+action(move_from_table(X, Z),
+       [clear(X), clear(Z), on(X, table)],
+       [on(X, Z)],
+       [on(X, table), clear(Z)]) :-
+    block(X), block(Z), X \= Z.
+% unstack block X from Y onto the table
+action(to_table(X, Y),
+       [clear(X), on(X, Y)],
+       [on(X, table), clear(Y)],
+       [on(X, Y)]) :-
+    block(X), block(Y), X \= Y.
+
+apply_action(State, Add, Del, State1) :-
+    remove_all(Del, State, Mid),
+    add_all(Add, Mid, State1).
+
+remove_all([], State, State).
+remove_all([F|Fs], State, Out) :-
+    remove_one(F, State, Mid),
+    remove_all(Fs, Mid, Out).
+
+remove_one(_, [], []).
+remove_one(F, [F|Rest], Rest).
+remove_one(F, [G|Rest], [G|Out]) :- F \= G, remove_one(F, Rest, Out).
+
+% keep states canonical (sorted) so visited-checking works
+add_all([], State, State).
+add_all([F|Fs], State, Out) :-
+    insert_fact(F, State, Mid),
+    add_all(Fs, Mid, Out).
+
+insert_fact(F, [], [F]).
+insert_fact(F, [G|Rest], [F, G|Rest]) :- F @< G.
+insert_fact(F, [G|Rest], [G|Rest]) :- F == G.
+insert_fact(F, [G|Rest], [G|Out]) :- F @> G, insert_fact(F, Rest, Out).
+
+block(a).
+block(b).
+block(c).
+
+object(table).
+object(X) :- block(X).
+
+member_chk(X, [Y|_]) :- X == Y.
+member_chk(X, [_|Ys]) :- member_chk(X, Ys).
+|}
+
+let gabriel =
+  {|
+% gabriel -- the 'browse' benchmark from the Gabriel suite: builds a
+% database of property-list patterns and repeatedly matches them.
+browse_top(Matches) :-
+    init(100, 10, 4, Symbols),
+    investigate(Symbols, Matches).
+
+init(N, M, Npats, Symbols) :-
+    fill(N, [], Base),
+    patterns(Npats, Pats),
+    seed_symbols(Base, M, Pats, Symbols).
+
+fill(0, Acc, Acc).
+fill(N, Acc, Out) :-
+    N > 0,
+    N1 is N - 1,
+    fill(N1, [dummy(N)|Acc], Out).
+
+patterns(0, []).
+patterns(N, [P|Ps]) :-
+    N > 0,
+    make_pattern(N, P),
+    N1 is N - 1,
+    patterns(N1, Ps).
+
+make_pattern(1, pat(a, star(b), c, star(d))).
+make_pattern(2, pat(a, star(b), star(b), c)).
+make_pattern(3, pat(star(a), b, star(c), d)).
+make_pattern(4, pat(a, b, star(c), star(d))).
+
+seed_symbols([], _, _, []).
+seed_symbols([dummy(K)|Ds], M, Pats, [sym(K, Props)|Ss]) :-
+    K1 is K mod M,
+    properties(K1, Pats, Props),
+    seed_symbols(Ds, M, Pats, Ss).
+
+properties(_, [], []).
+properties(K, [P|Ps], [prop(K, P)|Qs]) :- properties(K, Ps, Qs).
+
+investigate([], []).
+investigate([sym(_, Props)|Ss], Out) :-
+    match_props(Props, Here),
+    investigate(Ss, Rest),
+    append(Here, Rest, Out).
+
+match_props([], []).
+match_props([prop(K, pat(P1, P2, P3, P4))|Ps], Out) :-
+    data_item(K, Item),
+    ( match_pat([P1, P2, P3, P4], Item) ->
+        Out = [K|Rest]
+    ; Out = Rest
+    ),
+    match_props(Ps, Rest).
+
+data_item(0, [a, b, b, c, d]).
+data_item(1, [a, b, c, d]).
+data_item(2, [a, c]).
+data_item(3, [a, b, c, c, c, d]).
+data_item(4, [b, c, d]).
+data_item(5, [a, b, b, b, c]).
+data_item(6, [a, d]).
+data_item(7, [c, d]).
+data_item(8, [a, b, c]).
+data_item(9, [a, b, b, c, c, d]).
+
+match_pat([], []).
+match_pat([star(X)|Ps], Items) :-
+    eat_star(X, Items, Rest),
+    match_pat(Ps, Rest).
+match_pat([P|Ps], [P|Items]) :-
+    atom(P),
+    match_pat(Ps, Items).
+
+eat_star(_, Items, Items).
+eat_star(X, [X|Items], Rest) :- eat_star(X, Items, Rest).
+
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+|}

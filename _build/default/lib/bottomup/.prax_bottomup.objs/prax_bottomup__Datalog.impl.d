@@ -1,0 +1,1 @@
+lib/bottomup/datalog.ml: Array Hashtbl List Option Prax_logic Pretty Printf String Term

@@ -1,0 +1,1 @@
+lib/bottomup/from_prop.ml: Array Datalog Int List Parser Prax_logic Prax_prop Pretty Printf String Subst Term Unify

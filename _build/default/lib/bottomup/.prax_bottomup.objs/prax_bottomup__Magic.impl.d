@@ -1,0 +1,1 @@
+lib/bottomup/magic.ml: Array Datalog Hashtbl Int List Option Prax_logic Printf String Term

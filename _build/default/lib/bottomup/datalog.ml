@@ -1,0 +1,212 @@
+(** A bottom-up Datalog engine: naive and semi-naive evaluation of
+    range-restricted rules over constant tuples.
+
+    This is the Coral-style baseline of the paper's related-work
+    comparison (Section 7) and the substrate for the magic-sets and
+    supplementary-magic ablations: Prop and strictness abstract programs
+    are Datalog once their base relations are grounded
+    ({!From_prop}). *)
+
+open Prax_logic
+
+type atom = { pred : string * int; args : Term.t array }
+
+type rule = { head : atom; body : atom list }
+
+let atom_to_string a =
+  let name, _ = a.pred in
+  if Array.length a.args = 0 then name
+  else
+    Printf.sprintf "%s(%s)" name
+      (String.concat ","
+         (Array.to_list (Array.map Pretty.term_to_string a.args)))
+
+let rule_to_string r =
+  match r.body with
+  | [] -> atom_to_string r.head ^ "."
+  | b ->
+      atom_to_string r.head ^ " :- "
+      ^ String.concat ", " (List.map atom_to_string b)
+      ^ "."
+
+(* --- fact store -------------------------------------------------------- *)
+
+module Tuple = struct
+  type t = Term.t array
+
+  let equal a b = Array.length a = Array.length b && Array.for_all2 Term.equal a b
+  let hash (t : t) = Hashtbl.hash (Array.map Term.hash t)
+end
+
+module TupleTbl = Hashtbl.Make (Tuple)
+
+type relation = { mutable tuples : Term.t array list; index : unit TupleTbl.t }
+
+type db = { rels : (string * int, relation) Hashtbl.t }
+
+let create_db () = { rels = Hashtbl.create 64 }
+
+let relation db pred =
+  match Hashtbl.find_opt db.rels pred with
+  | Some r -> r
+  | None ->
+      let r = { tuples = []; index = TupleTbl.create 64 } in
+      Hashtbl.add db.rels pred r;
+      r
+
+let add_fact db pred (tuple : Term.t array) : bool =
+  let r = relation db pred in
+  if TupleTbl.mem r.index tuple then false
+  else begin
+    TupleTbl.add r.index tuple ();
+    r.tuples <- tuple :: r.tuples;
+    true
+  end
+
+let fact_count db =
+  Hashtbl.fold (fun _ r acc -> acc + List.length r.tuples) db.rels 0
+
+let tuples_of db pred =
+  match Hashtbl.find_opt db.rels pred with None -> [] | Some r -> r.tuples
+
+(* --- matching ---------------------------------------------------------- *)
+
+(* environments: small association lists var id -> constant *)
+type env = (int * Term.t) list
+
+let match_arg (env : env) (pat : Term.t) (v : Term.t) : env option =
+  match pat with
+  | Term.Var x -> (
+      match List.assoc_opt x env with
+      | Some c -> if Term.equal c v then Some env else None
+      | None -> Some ((x, v) :: env))
+  | c -> if Term.equal c v then Some env else None
+
+let match_tuple env (pats : Term.t array) (tuple : Term.t array) : env option =
+  let n = Array.length pats in
+  let rec go env i =
+    if i >= n then Some env
+    else
+      match match_arg env pats.(i) tuple.(i) with
+      | Some env' -> go env' (i + 1)
+      | None -> None
+  in
+  go env 0
+
+let subst_args env (args : Term.t array) : Term.t array =
+  Array.map
+    (fun a ->
+      match a with
+      | Term.Var x -> (
+          match List.assoc_opt x env with
+          | Some c -> c
+          | None -> invalid_arg "Datalog: unsafe rule (unbound head variable)")
+      | c -> c)
+    args
+
+(* --- evaluation ---------------------------------------------------------- *)
+
+type stats = { mutable iterations : int; mutable derivations : int }
+
+(* Evaluate [body] under [env], matching atom [i] against the given
+   tuple source selector, and call [k] with each complete environment. *)
+let rec eval_body db (source : int -> string * int -> Term.t array list)
+    (body : atom list) (i : int) (env : env) (k : env -> unit) : unit =
+  match body with
+  | [] -> k env
+  | b :: rest ->
+      List.iter
+        (fun tuple ->
+          match match_tuple env b.args tuple with
+          | Some env' -> eval_body db source rest (i + 1) env' k
+          | None -> ())
+        (source i b.pred)
+
+(** Naive evaluation: recompute all rules from the full database until no
+    new facts appear. *)
+let naive (rules : rule list) (db : db) : stats =
+  let st = { iterations = 0; derivations = 0 } in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    st.iterations <- st.iterations + 1;
+    List.iter
+      (fun r ->
+        eval_body db
+          (fun _ pred -> tuples_of db pred)
+          r.body 0 []
+          (fun env ->
+            st.derivations <- st.derivations + 1;
+            if add_fact db r.head.pred (subst_args env r.head.args) then
+              changed := true))
+      rules
+  done;
+  st
+
+(** Semi-naive evaluation with delta relations: each iteration matches
+    each rule once per body position, that position restricted to the
+    previous iteration's new facts. *)
+let seminaive (rules : rule list) (db : db) : stats =
+  let st = { iterations = 0; derivations = 0 } in
+  (* deltas from facts present initially *)
+  let delta : (string * int, Term.t array list) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter (fun pred r -> Hashtbl.replace delta pred r.tuples) db.rels;
+  let continue_ = ref true in
+  while !continue_ do
+    st.iterations <- st.iterations + 1;
+    let next_delta : (string * int, Term.t array list) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    let emit pred tuple =
+      st.derivations <- st.derivations + 1;
+      if add_fact db pred tuple then
+        Hashtbl.replace next_delta pred
+          (tuple :: Option.value ~default:[] (Hashtbl.find_opt next_delta pred))
+    in
+    List.iter
+      (fun r ->
+        let n = List.length r.body in
+        for d = 0 to n - 1 do
+          (* position d reads the delta; others read the full store *)
+          let source i pred =
+            if i = d then Option.value ~default:[] (Hashtbl.find_opt delta pred)
+            else tuples_of db pred
+          in
+          eval_body db source r.body 0 [] (fun env ->
+              emit r.head.pred (subst_args env r.head.args))
+        done)
+      rules;
+    if Hashtbl.length next_delta = 0 then continue_ := false
+    else begin
+      Hashtbl.reset delta;
+      Hashtbl.iter (Hashtbl.replace delta) next_delta
+    end
+  done;
+  st
+
+(* --- program loading ------------------------------------------------------ *)
+
+(** Split rules into extensional facts (loaded into the database) and
+    intensional rules. *)
+let load (rules : rule list) : rule list * db =
+  let db = create_db () in
+  let intensional =
+    List.filter
+      (fun r ->
+        match r.body with
+        | [] ->
+            ignore (add_fact db r.head.pred r.head.args);
+            false
+        | _ -> true)
+      rules
+  in
+  (intensional, db)
+
+(** Answers to a query atom after evaluation. *)
+let query (db : db) (q : atom) : Term.t array list =
+  List.filter_map
+    (fun tuple ->
+      match match_tuple [] q.args tuple with
+      | Some _ -> Some tuple
+      | None -> None)
+    (tuples_of db q.pred)

@@ -1,0 +1,181 @@
+(** Convert abstract analysis programs (Prop groundness clauses from
+    {!Prax_ground.Transform}, or strictness clauses from
+    [Prax_strict.Transform]) into pure Datalog for the bottom-up engine:
+
+    - disjunctions are expanded into alternative rule bodies;
+    - [=] literals are solved statically by substitution;
+    - [iff/k] literals become an extensional relation [$iff_k], whose
+      ground extension is loaded as facts;
+    - facts containing variables (e.g. [sp_f(n, _, _)]) are grounded over
+      the finite value domain;
+    - remaining unsafe head variables are guarded by a [$dom] literal
+      enumerating the domain. *)
+
+open Prax_logic
+
+exception Not_convertible of string
+
+(* expand ;/2 into alternative conjunction lists *)
+let rec alternatives (g : Term.t) : Term.t list list =
+  match g with
+  | Term.Struct (";", [| a; b |]) -> alternatives a @ alternatives b
+  | Term.Struct (",", [| a; b |]) ->
+      List.concat_map
+        (fun la -> List.map (fun lb -> la @ lb) (alternatives b))
+        (alternatives a)
+  | Term.Atom "true" -> [ [] ]
+  | g -> [ [ g ] ]
+
+let body_alternatives (body : Term.t list) : Term.t list list =
+  List.fold_left
+    (fun acc g ->
+      List.concat_map
+        (fun prefix -> List.map (fun alt -> prefix @ alt) (alternatives g))
+        acc)
+    [ [] ] body
+
+(* solve = literals statically; returns None if the body fails *)
+let solve_equalities (goals : Term.t list) : (Subst.t * Term.t list) option =
+  let rec go s acc = function
+    | [] -> Some (s, List.rev acc)
+    | Term.Struct ("=", [| a; b |]) :: rest -> (
+        match Unify.unify s a b with
+        | Some s' -> go s' acc rest
+        | None -> None)
+    | Term.Atom ("fail" | "false") :: _ -> None
+    | g :: rest -> go s (g :: acc) rest
+  in
+  go Subst.empty [] goals
+
+let atom_of_term (t : Term.t) : Datalog.atom =
+  match t with
+  | Term.Atom name -> { Datalog.pred = (name, 0); args = [||] }
+  | Term.Struct ("iff", args) ->
+      {
+        Datalog.pred = (Printf.sprintf "$iff_%d" (Array.length args), Array.length args);
+        args;
+      }
+  | Term.Struct (name, args) -> { Datalog.pred = (name, Array.length args); args }
+  | _ -> raise (Not_convertible (Pretty.term_to_string t))
+
+(* ground the variables of a fact over the value domain *)
+let ground_fact domain (a : Datalog.atom) : Datalog.atom list =
+  let vars =
+    Array.to_list a.Datalog.args
+    |> List.concat_map (function Term.Var v -> [ v ] | _ -> [])
+    |> List.sort_uniq Int.compare
+  in
+  let rec assignments = function
+    | [] -> [ [] ]
+    | v :: rest ->
+        let tails = assignments rest in
+        List.concat_map (fun c -> List.map (fun t -> (v, c) :: t) tails) domain
+  in
+  List.map
+    (fun env ->
+      {
+        a with
+        Datalog.args =
+          Array.map
+            (function
+              | Term.Var v -> List.assoc v env
+              | c -> c)
+            a.Datalog.args;
+      })
+    (assignments vars)
+
+(* safety: head variables not bound in the body get a $dom guard *)
+let dom_pred = ("$dom", 1)
+
+let make_safe domain_needed (head : Datalog.atom) (body : Datalog.atom list) :
+    Datalog.atom list =
+  let body_vars =
+    List.concat_map
+      (fun a ->
+        Array.to_list a.Datalog.args
+        |> List.filter_map (function Term.Var v -> Some v | _ -> None))
+      body
+  in
+  let unsafe =
+    Array.to_list head.Datalog.args
+    |> List.filter_map (function
+         | Term.Var v when not (List.mem v body_vars) -> Some v
+         | _ -> None)
+    |> List.sort_uniq Int.compare
+  in
+  if unsafe <> [] then domain_needed := true;
+  body
+  @ List.map
+      (fun v -> { Datalog.pred = dom_pred; args = [| Term.Var v |] })
+      unsafe
+
+(** Convert abstract clauses to Datalog rules over the given finite value
+    domain (e.g. [true/false] atoms for Prop, [e/d/n] for strictness).
+    Returns the rules including the needed [$iff]/[$dom] facts. *)
+let convert ~(domain : Term.t list) (clauses : Parser.clause list) :
+    Datalog.rule list =
+  let iff_arities = ref [] in
+  let domain_needed = ref false in
+  let convert_alternative c goals : Datalog.rule list =
+    match solve_equalities goals with
+    | None -> []
+    | Some (s, goals') ->
+        let resolve = Subst.resolve s in
+        let head = atom_of_term (resolve c.Parser.head) in
+        let body = List.map (fun g -> atom_of_term (resolve g)) goals' in
+        List.iter
+          (fun (a : Datalog.atom) ->
+            let name, k = a.Datalog.pred in
+            if
+              String.length name >= 5
+              && String.equal (String.sub name 0 5) "$iff_"
+              && not (List.mem k !iff_arities)
+            then iff_arities := k :: !iff_arities)
+          body;
+        (* ground any variable-containing facts *)
+        if body = [] then
+          List.map
+            (fun h -> { Datalog.head = h; body = [] })
+            (ground_fact domain head)
+        else
+          [ { Datalog.head; body = make_safe domain_needed head body } ]
+  in
+  let rules =
+    List.concat_map
+      (fun c ->
+        List.concat_map (convert_alternative c) (body_alternatives c.Parser.body))
+      clauses
+  in
+  let iff_facts =
+    List.concat_map
+      (fun k ->
+        (* k = total arity of the iff atom (1 lhs + k-1 rhs) *)
+        Prax_prop.Iff.extension (k - 1)
+        |> List.map (fun row ->
+               {
+                 Datalog.head =
+                   {
+                     Datalog.pred = (Printf.sprintf "$iff_%d" k, k);
+                     args =
+                       Array.of_list
+                         (List.map
+                            (fun b ->
+                              Term.Atom (if b then "true" else "false"))
+                            row);
+                   };
+                 body = [];
+               }))
+      !iff_arities
+  in
+  let dom_facts =
+    if !domain_needed then
+      List.map
+        (fun c ->
+          { Datalog.head = { Datalog.pred = dom_pred; args = [| c |] }; body = [] })
+        domain
+    else []
+  in
+  rules @ iff_facts @ dom_facts
+
+let bool_domain = [ Term.Atom "true"; Term.Atom "false" ]
+let demand_domain = [ Term.Atom "e"; Term.Atom "d"; Term.Atom "n" ]

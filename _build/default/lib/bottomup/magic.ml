@@ -1,0 +1,318 @@
+(** Adornment, magic sets, and supplementary magic for the bottom-up
+    engine.
+
+    Magic sets is the transformation the paper contrasts with tabling:
+    Codish–Demoen obtain call patterns by a magic transformation, while
+    tabled top-down evaluation records them for free in the call table.
+    Supplementary magic factors common body prefixes into supplementary
+    predicates — the deductive-database analogue of the "supplementary
+    tabling" optimization Section 4.2 mentions for the strictness
+    analyser. *)
+
+open Prax_logic
+
+type adornment = string  (** e.g. "bf": one char per argument *)
+
+let adorn_of_args bound (args : Term.t array) : adornment =
+  String.init (Array.length args) (fun i ->
+      match args.(i) with
+      | Term.Var v -> if List.mem v bound then 'b' else 'f'
+      | _ -> 'b')
+
+let adorned_name name (a : adornment) = Printf.sprintf "%s$%s" name a
+
+let bound_args (a : adornment) (args : Term.t array) : Term.t array =
+  let out = ref [] in
+  String.iteri (fun i c -> if c = 'b' then out := args.(i) :: !out) a;
+  Array.of_list (List.rev !out)
+
+let magic_name name (a : adornment) = Printf.sprintf "m$%s$%s" name a
+
+let count_bound (a : adornment) =
+  String.fold_left (fun n c -> n + if c = 'b' then 1 else 0) 0 a
+
+(* predicates defined by at least one rule with a nonempty body, plus any
+   predicate with derived facts — here simply: any head predicate; base
+   relations ($iff, $dom) are the rest *)
+let intensional_preds (rules : Datalog.rule list) : (string * int, unit) Hashtbl.t
+    =
+  let t = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Datalog.rule) ->
+      if r.Datalog.body <> [] then Hashtbl.replace t r.Datalog.head.Datalog.pred ())
+    rules;
+  t
+
+let vars_of_args (args : Term.t array) =
+  Array.to_list args |> List.filter_map (function Term.Var v -> Some v | _ -> None)
+
+(** Adorn the program for the given query.  Returns the adorned rules and
+    the adorned query atom.  Extensional predicates keep their names. *)
+let adorn (rules : Datalog.rule list) (query : Datalog.atom) :
+    Datalog.rule list * Datalog.atom =
+  let intensional = intensional_preds rules in
+  let by_pred = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Datalog.rule) ->
+      if r.Datalog.body <> [] then begin
+        let p = r.Datalog.head.Datalog.pred in
+        Hashtbl.replace by_pred p
+          (r :: Option.value ~default:[] (Hashtbl.find_opt by_pred p))
+      end)
+    rules;
+  (* facts of extensional predicates pass through unchanged; facts of
+     intensional predicates are re-emitted under every adornment in use *)
+  let facts =
+    List.filter
+      (fun (r : Datalog.rule) ->
+        r.Datalog.body = []
+        && not (Hashtbl.mem intensional r.Datalog.head.Datalog.pred))
+      rules
+  in
+  let facts_by_pred = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Datalog.rule) ->
+      if r.Datalog.body = [] && Hashtbl.mem intensional r.Datalog.head.Datalog.pred
+      then
+        Hashtbl.replace facts_by_pred r.Datalog.head.Datalog.pred
+          (r
+          :: Option.value ~default:[]
+               (Hashtbl.find_opt facts_by_pred r.Datalog.head.Datalog.pred)))
+    rules;
+  let out = ref [] in
+  let done_ = Hashtbl.create 32 in
+  let rec process (pred, (a : adornment)) =
+    if not (Hashtbl.mem done_ (pred, a)) then begin
+      Hashtbl.add done_ (pred, a) ();
+      let name, k = pred in
+      List.iter
+        (fun (r : Datalog.rule) ->
+          out :=
+            {
+              r with
+              Datalog.head =
+                { r.Datalog.head with Datalog.pred = (adorned_name name a, k) };
+            }
+            :: !out)
+        (Option.value ~default:[] (Hashtbl.find_opt facts_by_pred pred));
+      let prules =
+        Option.value ~default:[] (Hashtbl.find_opt by_pred pred) |> List.rev
+      in
+      List.iter
+        (fun (r : Datalog.rule) ->
+          (* head vars at bound positions are bound *)
+          let bound = ref [] in
+          String.iteri
+            (fun i c ->
+              if c = 'b' then
+                match r.Datalog.head.Datalog.args.(i) with
+                | Term.Var v -> bound := v :: !bound
+                | _ -> ())
+            a;
+          let body' =
+            List.map
+              (fun (b : Datalog.atom) ->
+                let name, k = b.Datalog.pred in
+                let atom' =
+                  if Hashtbl.mem intensional b.Datalog.pred then begin
+                    let ad = adorn_of_args !bound b.Datalog.args in
+                    process (b.Datalog.pred, ad);
+                    { b with Datalog.pred = (adorned_name name ad, k) }
+                  end
+                  else b
+                in
+                bound := vars_of_args b.Datalog.args @ !bound;
+                atom')
+              r.Datalog.body
+          in
+          let name, k = pred in
+          out :=
+            {
+              Datalog.head =
+                { r.Datalog.head with Datalog.pred = (adorned_name name a, k) };
+              body = body';
+            }
+            :: !out)
+        prules
+    end
+  in
+  let qa = adorn_of_args [] query.Datalog.args in
+  (if Hashtbl.mem intensional query.Datalog.pred then
+     process (query.Datalog.pred, qa));
+  let query' =
+    if Hashtbl.mem intensional query.Datalog.pred then
+      let name, k = query.Datalog.pred in
+      { query with Datalog.pred = (adorned_name name qa, k) }
+    else query
+  in
+  (facts @ List.rev !out, query')
+
+(* split an adorned name back into base name and adornment *)
+let split_adorned name =
+  match String.rindex_opt name '$' with
+  | Some i when i > 0 && String.length name > i + 1
+                && String.for_all (fun c -> c = 'b' || c = 'f')
+                     (String.sub name (i + 1) (String.length name - i - 1)) ->
+      Some (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+  | _ -> None
+
+(** Magic transformation (assumes an adorned program).  Returns the
+    transformed rules (including the seed) and the query. *)
+let magic (rules : Datalog.rule list) (query : Datalog.atom) :
+    Datalog.rule list * Datalog.atom =
+  let adorned, query' = adorn rules query in
+  let intensional = intensional_preds adorned in
+  let out = ref [] in
+  List.iter
+    (fun (r : Datalog.rule) ->
+      if r.Datalog.body = [] then out := r :: !out
+      else begin
+        let hname, _ = r.Datalog.head.Datalog.pred in
+        match split_adorned hname with
+        | None -> out := r :: !out
+        | Some (base, a) ->
+            let magic_head_atom =
+              {
+                Datalog.pred = (magic_name base a, count_bound a);
+                args = bound_args a r.Datalog.head.Datalog.args;
+              }
+            in
+            (* guarded original rule *)
+            out :=
+              { r with Datalog.body = magic_head_atom :: r.Datalog.body }
+              :: !out;
+            (* magic rules for intensional body literals *)
+            let rec go prefix = function
+              | [] -> ()
+              | (b : Datalog.atom) :: rest ->
+                  let bname, _ = b.Datalog.pred in
+                  (match split_adorned bname with
+                  | Some (bbase, ba) when Hashtbl.mem intensional b.Datalog.pred
+                    ->
+                      out :=
+                        {
+                          Datalog.head =
+                            {
+                              Datalog.pred = (magic_name bbase ba, count_bound ba);
+                              args = bound_args ba b.Datalog.args;
+                            };
+                          body = magic_head_atom :: List.rev prefix;
+                        }
+                        :: !out
+                  | _ -> ());
+                  go (b :: prefix) rest
+            in
+            go [] r.Datalog.body
+      end)
+    adorned;
+  (* seed *)
+  let qname, _ = query'.Datalog.pred in
+  (match split_adorned qname with
+  | Some (base, a) ->
+      out :=
+        {
+          Datalog.head =
+            {
+              Datalog.pred = (magic_name base a, count_bound a);
+              args = bound_args a query'.Datalog.args;
+            };
+          body = [];
+        }
+        :: !out
+  | None -> ());
+  (List.rev !out, query')
+
+(** Supplementary magic: like {!magic}, but body prefixes are factored
+    through supplementary predicates so each join prefix is computed
+    once. *)
+let supplementary (rules : Datalog.rule list) (query : Datalog.atom) :
+    Datalog.rule list * Datalog.atom =
+  let adorned, query' = adorn rules query in
+  let intensional = intensional_preds adorned in
+  let out = ref [] in
+  let rule_no = ref 0 in
+  List.iter
+    (fun (r : Datalog.rule) ->
+      if r.Datalog.body = [] then out := r :: !out
+      else begin
+        incr rule_no;
+        let hname, _ = r.Datalog.head.Datalog.pred in
+        match split_adorned hname with
+        | None -> out := r :: !out
+        | Some (base, a) ->
+            let magic_head_atom =
+              {
+                Datalog.pred = (magic_name base a, count_bound a);
+                args = bound_args a r.Datalog.head.Datalog.args;
+              }
+            in
+            (* variables needed after body position i: head vars + later
+               body vars *)
+            let body_arr = Array.of_list r.Datalog.body in
+            let n = Array.length body_arr in
+            let head_vars = vars_of_args r.Datalog.head.Datalog.args in
+            let needed_after i =
+              let later = ref [] in
+              for j = i to n - 1 do
+                later := vars_of_args body_arr.(j).Datalog.args @ !later
+              done;
+              List.sort_uniq Int.compare (head_vars @ !later)
+            in
+            (* sup_0 = magic head; sup_i joins sup_{i-1} with literal i *)
+            let sup_pred i vars =
+              ( Printf.sprintf "sup$%d$%d" !rule_no i,
+                List.length vars )
+            in
+            let avail = ref (vars_of_args magic_head_atom.Datalog.args) in
+            let prev = ref magic_head_atom in
+            for i = 0 to n - 1 do
+              let b = body_arr.(i) in
+              (* magic rule for intensional literal i *)
+              let bname, _ = b.Datalog.pred in
+              (match split_adorned bname with
+              | Some (bbase, ba) when Hashtbl.mem intensional b.Datalog.pred ->
+                  out :=
+                    {
+                      Datalog.head =
+                        {
+                          Datalog.pred = (magic_name bbase ba, count_bound ba);
+                          args = bound_args ba b.Datalog.args;
+                        };
+                      body = [ !prev ];
+                    }
+                    :: !out
+              | _ -> ());
+              (* supplementary join *)
+              let keep =
+                List.filter
+                  (fun v -> List.mem v (!avail @ vars_of_args b.Datalog.args))
+                  (needed_after (i + 1))
+              in
+              let sup =
+                {
+                  Datalog.pred = sup_pred (i + 1) keep;
+                  args = Array.of_list (List.map (fun v -> Term.Var v) keep);
+                }
+              in
+              out := { Datalog.head = sup; body = [ !prev; b ] } :: !out;
+              avail := List.sort_uniq Int.compare (!avail @ vars_of_args b.Datalog.args);
+              prev := sup
+            done;
+            out := { Datalog.head = r.Datalog.head; body = [ !prev ] } :: !out
+      end)
+    adorned;
+  let qname, _ = query'.Datalog.pred in
+  (match split_adorned qname with
+  | Some (base, a) ->
+      out :=
+        {
+          Datalog.head =
+            {
+              Datalog.pred = (magic_name base a, count_bound a);
+              args = bound_args a query'.Datalog.args;
+            };
+          body = [];
+        }
+        :: !out
+  | None -> ());
+  (List.rev !out, query')

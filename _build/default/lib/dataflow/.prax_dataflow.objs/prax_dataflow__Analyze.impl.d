@@ -1,0 +1,1 @@
+lib/dataflow/analyze.ml: Cfg Database Encode Engine Hashtbl List Parser Prax_logic Prax_tabling Subst Term

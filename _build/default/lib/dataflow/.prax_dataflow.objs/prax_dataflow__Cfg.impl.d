@@ -1,0 +1,1 @@
+lib/dataflow/cfg.ml: List Printf String

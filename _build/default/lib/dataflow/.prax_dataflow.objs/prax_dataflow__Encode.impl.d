@@ -1,0 +1,1 @@
+lib/dataflow/encode.ml: Cfg List Parser Prax_logic Term

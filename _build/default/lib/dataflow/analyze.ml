@@ -1,0 +1,121 @@
+(** Demand-driven dataflow analysis on the tabled engine, plus a direct
+    (non-logic-programming) reference implementation of reaching
+    definitions used to validate the declarative route and to play the
+    role of the special-purpose C analyzer of the Section 7 comparison. *)
+
+open Prax_logic
+open Prax_tabling
+
+type t = { engine : Engine.t; program : Cfg.program }
+
+let make (p : Cfg.program) : t =
+  let db = Database.create () in
+  Database.load_clauses db (Encode.program p);
+  { engine = Engine.create db; program = p }
+
+let query t goal_src = Engine.query t.engine (Parser.parse_term goal_src)
+
+(** Does the definition of [var] at node [d] reach node [n]?  A single
+    demand: tabled evaluation explores only what the query needs. *)
+let reaches t ~var ~def ~node : bool =
+  let goal =
+    Term.mkl "reach" [ Encode.def_term var def; Term.Int node ]
+  in
+  Engine.query t.engine goal <> []
+
+(** All definitions reaching [node] — the exhaustive question. *)
+let reaching_at t ~node : (string * int) list =
+  let v = Term.fresh_var () and m = Term.fresh_var () in
+  let goal = Term.mkl "reach" [ Term.mkl "def" [ v; m ]; Term.Int node ] in
+  let out = ref [] in
+  Engine.run t.engine goal (fun s ->
+      match (Subst.walk s v, Subst.walk s m) with
+      | Term.Atom var, Term.Int d -> out := (var, d) :: !out
+      | _ -> ());
+  List.sort_uniq compare !out
+
+let live_at t ~node : string list =
+  let v = Term.fresh_var () in
+  let goal = Term.mkl "livein" [ v; Term.Int node ] in
+  let out = ref [] in
+  Engine.run t.engine goal (fun s ->
+      match Subst.walk s v with
+      | Term.Atom var -> out := var :: !out
+      | _ -> ());
+  List.sort_uniq compare !out
+
+let def_use_chains t : ((string * int) * int) list =
+  let v = Term.fresh_var () and m = Term.fresh_var () and u = Term.fresh_var () in
+  let goal = Term.mkl "du" [ Term.mkl "def" [ v; m ]; u ] in
+  let out = ref [] in
+  Engine.run t.engine goal (fun s ->
+      match (Subst.walk s v, Subst.walk s m, Subst.walk s u) with
+      | Term.Atom var, Term.Int d, Term.Int usenode ->
+          out := ((var, d), usenode) :: !out
+      | _ -> ());
+  List.sort_uniq compare !out
+
+let stats t = Engine.stats t.engine
+
+(* --- reference implementation ------------------------------------------- *)
+
+(** Classic worklist reaching-definitions over the same graph (with the
+    same interprocedural call/return edges), entirely outside the logic
+    engine.  [reference_reaching_at p node] must agree with
+    {!reaching_at}; the tests check this on random ladders. *)
+let reference_reaching (p : Cfg.program) : (int, (string * int) list) Hashtbl.t
+    =
+  (* materialize nodes and edges exactly as the encoding does *)
+  let nodes =
+    List.concat_map (fun (pr : Cfg.proc) -> pr.Cfg.nodes) p
+  in
+  let edges = ref [] in
+  List.iter
+    (fun (pr : Cfg.proc) ->
+      List.iter
+        (fun (m, n) ->
+          match (Cfg.node_of pr m).Cfg.stmt with
+          | Cfg.Call callee -> (
+              match Cfg.find_proc p callee with
+              | Some target ->
+                  edges := (m, target.Cfg.entry) :: (target.Cfg.exit, n) :: !edges
+              | None -> edges := (m, n) :: !edges)
+          | _ -> edges := (m, n) :: !edges)
+        pr.Cfg.edges)
+    p;
+  let stmt_of = Hashtbl.create 64 in
+  List.iter (fun (n : Cfg.node) -> Hashtbl.replace stmt_of n.Cfg.id n.Cfg.stmt) nodes;
+  (* in[n] = defs reaching the *entry* of n; the logic encoding's
+     reach(D, N) is exactly this *)
+  let in_ : (int, (string * int) list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (n : Cfg.node) -> Hashtbl.replace in_ n.Cfg.id []) nodes;
+  let out_of id =
+    let stmt = Hashtbl.find stmt_of id in
+    let killed = Cfg.defs stmt in
+    let survived =
+      List.filter
+        (fun (v, _) -> not (List.mem v killed))
+        (Hashtbl.find in_ id)
+    in
+    List.map (fun v -> (v, id)) (Cfg.defs stmt) @ survived
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (m, n) ->
+        let flow = out_of m in
+        let cur = Hashtbl.find in_ n in
+        let extra = List.filter (fun d -> not (List.mem d cur)) flow in
+        if extra <> [] then begin
+          Hashtbl.replace in_ n (extra @ cur);
+          changed := true
+        end)
+      !edges
+  done;
+  in_
+
+let reference_reaching_at (p : Cfg.program) ~node : (string * int) list =
+  match Hashtbl.find_opt (reference_reaching p) node with
+  | Some l -> List.sort_uniq compare l
+  | None -> []

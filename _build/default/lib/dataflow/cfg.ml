@@ -1,0 +1,145 @@
+(** Control-flow graphs of a small imperative language, the substrate for
+    the dataflow-analysis extension the paper sketches in Section 7
+    (Reps's demand interprocedural analysis in a logic database).
+
+    A program is a set of procedures; each procedure is a graph of
+    numbered nodes with statements.  Variables are global (as in the
+    classic demand-analysis examples), so interprocedural effects flow
+    through call/return edges without parameter plumbing. *)
+
+type stmt =
+  | Assign of string * string list
+      (** [Assign (x, uses)]: x := e where e reads [uses] *)
+  | Test of string list  (** branch condition reading the listed variables *)
+  | Call of string  (** call of a procedure by name *)
+  | Entry
+  | Exit
+  | Skip
+
+type node = { id : int; stmt : stmt }
+
+type proc = {
+  pname : string;
+  nodes : node list;
+  edges : (int * int) list;  (** intraprocedural edges *)
+  entry : int;
+  exit : int;
+}
+
+type program = proc list
+
+let defs = function Assign (x, _) -> [ x ] | _ -> []
+
+let uses = function
+  | Assign (_, us) -> us
+  | Test us -> us
+  | Call _ | Entry | Exit | Skip -> []
+
+let find_proc (p : program) name =
+  List.find_opt (fun pr -> String.equal pr.pname name) p
+
+let node_of (pr : proc) id = List.find (fun n -> n.id = id) pr.nodes
+
+(* --- builders ------------------------------------------------------------ *)
+
+(** Linear builder: statements become consecutive nodes [base..]; edges
+    chain them; [entry]/[exit] nodes added around them. *)
+let proc_of_stmts ~name ~base (stmts : stmt list) : proc =
+  let entry = base in
+  let body =
+    List.mapi (fun i s -> { id = base + 1 + i; stmt = s }) stmts
+  in
+  let exit = base + 1 + List.length stmts in
+  let nodes =
+    ({ id = entry; stmt = Entry } :: body) @ [ { id = exit; stmt = Exit } ]
+  in
+  let ids = List.map (fun n -> n.id) nodes in
+  let edges =
+    List.map2
+      (fun a b -> (a, b))
+      (List.filteri (fun i _ -> i < List.length ids - 1) ids)
+      (List.tl ids)
+  in
+  { pname = name; nodes; edges; entry; exit }
+
+let add_edge pr e = { pr with edges = e :: pr.edges }
+
+(** A synthetic workload for the benches: a procedure that is a ladder of
+    [n] rungs — each rung defines a variable, tests it, and branches over
+    the next rung — followed by a back edge making a loop.  Definitions
+    made early must be chased through many nodes to answer a demand
+    query at the bottom. *)
+let ladder ~name ~base ~rungs : proc =
+  let entry = base in
+  let node id stmt = { id; stmt } in
+  let nodes = ref [ node entry Entry ] in
+  let edges = ref [] in
+  let id = ref (entry + 1) in
+  let prev = ref entry in
+  for r = 0 to rungs - 1 do
+    let var = Printf.sprintf "v%d" (r mod 8) in
+    let def = !id in
+    let test = !id + 1 in
+    let skip = !id + 2 in
+    id := !id + 3;
+    nodes :=
+      node skip Skip :: node test (Test [ var ])
+      :: node def (Assign (var, [ Printf.sprintf "v%d" ((r + 1) mod 8) ]))
+      :: !nodes;
+    edges :=
+      (!prev, def) :: (def, test) :: (test, skip) :: (def, skip) :: !edges;
+    prev := skip
+  done;
+  let exit = !id in
+  nodes := node exit Exit :: !nodes;
+  edges := (!prev, exit) :: (exit - 1, entry + 1) :: !edges;
+  {
+    pname = name;
+    nodes = List.rev !nodes;
+    edges = List.rev !edges;
+    entry;
+    exit;
+  }
+
+(** The running example: main initializes, loops calling helper, then
+    reads the results. *)
+let example : program =
+  let main =
+    {
+      pname = "main";
+      nodes =
+        [
+          { id = 0; stmt = Entry };
+          { id = 1; stmt = Assign ("x", []) };
+          { id = 2; stmt = Assign ("y", []) };
+          { id = 3; stmt = Test [ "x" ] };
+          { id = 4; stmt = Call "helper" };
+          { id = 5; stmt = Assign ("y", [ "x" ]) };
+          { id = 6; stmt = Test [ "y" ] };
+          { id = 7; stmt = Assign ("z", [ "y" ]) };
+          { id = 8; stmt = Exit };
+        ];
+      edges =
+        [ (0, 1); (1, 2); (2, 3); (3, 4); (3, 7); (4, 5); (5, 6); (6, 3);
+          (6, 7); (7, 8) ];
+      entry = 0;
+      exit = 8;
+    }
+  in
+  let helper =
+    {
+      pname = "helper";
+      nodes =
+        [
+          { id = 10; stmt = Entry };
+          { id = 11; stmt = Test [ "y" ] };
+          { id = 12; stmt = Assign ("x", [ "y" ]) };
+          { id = 13; stmt = Skip };
+          { id = 14; stmt = Exit };
+        ];
+      edges = [ (10, 11); (11, 12); (11, 13); (12, 13); (13, 14) ];
+      entry = 10;
+      exit = 14;
+    }
+  in
+  [ main; helper ]

@@ -1,0 +1,111 @@
+(** Encoding of dataflow problems as logic programs, following the
+    formulation the paper cites from Reps ("demand interprocedural
+    program analysis using logic databases", Section 7): the CFG becomes
+    facts, the analysis becomes a few Horn rules, and a *demand* (a
+    single dataflow query) is a goal solved goal-directed by the tabled
+    engine — the call table restricting work to what the demand needs.
+
+    Supported analyses:
+    - reaching definitions: [reach(def(Var, Node), N)];
+    - live variables: [livein(Var, N)] / [liveout(Var, N)];
+    - def-use chains: [du(def(Var, D), U)].
+
+    Negation ("definition not killed here") is precomputed into [pres]
+    facts, keeping the program definite, as Datalog encodings do. *)
+
+open Prax_logic
+
+let int i = Term.Int i
+let atom = Term.atom
+
+let def_term var node = Term.mkl "def" [ atom var; int node ]
+
+(* All program variables mentioned anywhere. *)
+let variables (p : Cfg.program) : string list =
+  List.concat_map
+    (fun (pr : Cfg.proc) ->
+      List.concat_map
+        (fun (n : Cfg.node) -> Cfg.defs n.Cfg.stmt @ Cfg.uses n.Cfg.stmt)
+        pr.Cfg.nodes)
+    p
+  |> List.sort_uniq compare
+
+(** Facts describing the program: [edge/2] (including interprocedural
+    call and return edges), [gen/2], [use/2], [pres/2]. *)
+let facts (p : Cfg.program) : Parser.clause list =
+  let fact head = { Parser.head; body = [] } in
+  let vars = variables p in
+  let intra =
+    List.concat_map
+      (fun (pr : Cfg.proc) ->
+        List.concat_map
+          (fun (m, n) ->
+            (* a call node diverts flow through the callee *)
+            match (Cfg.node_of pr m).Cfg.stmt with
+            | Cfg.Call callee -> (
+                match Cfg.find_proc p callee with
+                | Some target ->
+                    [
+                      fact (Term.mkl "edge" [ int m; int target.Cfg.entry ]);
+                      fact (Term.mkl "edge" [ int target.Cfg.exit; int n ]);
+                    ]
+                | None -> [ fact (Term.mkl "edge" [ int m; int n ]) ])
+            | _ -> [ fact (Term.mkl "edge" [ int m; int n ]) ])
+          pr.Cfg.edges)
+      p
+  in
+  let per_node =
+    List.concat_map
+      (fun (pr : Cfg.proc) ->
+        List.concat_map
+          (fun (n : Cfg.node) ->
+            let gens =
+              List.map
+                (fun v ->
+                  fact (Term.mkl "gen" [ int n.Cfg.id; def_term v n.Cfg.id ]))
+                (Cfg.defs n.Cfg.stmt)
+            in
+            let uses =
+              List.map
+                (fun v -> fact (Term.mkl "use" [ int n.Cfg.id; atom v ]))
+                (Cfg.uses n.Cfg.stmt)
+            in
+            (* pres(N, V): node N does not (re)define V; and ndef likewise
+               for liveness *)
+            let killed = Cfg.defs n.Cfg.stmt in
+            let pres =
+              List.concat_map
+                (fun v ->
+                  if List.mem v killed then []
+                  else
+                    [
+                      fact (Term.mkl "pres" [ int n.Cfg.id; atom v ]);
+                      fact (Term.mkl "ndef" [ int n.Cfg.id; atom v ]);
+                    ])
+                vars
+            in
+            gens @ uses @ pres)
+          pr.Cfg.nodes)
+      p
+  in
+  intra @ per_node
+
+(** The analysis rules, shared by every demand. *)
+let rules : Parser.clause list =
+  Parser.parse_clauses
+    {|
+% a definition def(V, M) reaches node N along def-clear paths
+reach(def(V, M), N) :- gen(M, def(V, M)), edge(M, N).
+reach(def(V, M), N) :- reach(def(V, M), P), pres(P, V), edge(P, N).
+
+% live variables, backward
+livein(V, N) :- use(N, V).
+livein(V, N) :- liveout(V, N), ndef(N, V).
+liveout(V, N) :- edge(N, M), livein(V, M).
+
+% def-use chains: the definition reaches a node that uses the variable
+du(def(V, M), U) :- reach(def(V, M), U), use(U, V).
+|}
+
+(** The whole logic program for [p]. *)
+let program (p : Cfg.program) : Parser.clause list = facts p @ rules

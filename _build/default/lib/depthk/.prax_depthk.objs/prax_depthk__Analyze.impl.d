@@ -1,0 +1,1 @@
+lib/depthk/analyze.ml: Array Database Domain Engine List Parser Prax_logic Prax_tabling Printf String Term Unix

@@ -1,0 +1,1 @@
+lib/depthk/domain.ml: Array Canon Prax_logic Prax_tabling String Subst Term

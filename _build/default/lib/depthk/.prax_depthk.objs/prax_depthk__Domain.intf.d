@@ -1,0 +1,1 @@
+lib/depthk/domain.mli: Prax_logic Prax_tabling Subst Term

@@ -1,0 +1,149 @@
+(** Driver for groundness analysis with depth-k term abstraction
+    (Section 5, Table 4).
+
+    Unlike the Prop route there is no program transformation: the
+    *original* clauses are evaluated by the tabled engine under abstract
+    unification, with calls and answers truncated to depth k.  Builtins
+    are interpreted abstractly (arithmetic grounds its operands and
+    result; type tests ground or pass; control binds nothing). *)
+
+open Prax_logic
+open Prax_tabling
+
+type pred_result = {
+  pred : string * int;
+  answers : Term.t list;  (** abstract success patterns *)
+  definite : bool array;  (** argument abstractly ground in every answer *)
+  never_succeeds : bool;
+}
+
+type phases = { preproc : float; analysis : float; collection : float }
+
+let total p = p.preproc +. p.analysis +. p.collection
+
+type report = {
+  results : pred_result list;
+  phases : phases;
+  table_bytes : int;
+  engine_stats : Engine.stats;
+  k : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* --- abstract builtins ----------------------------------------------------- *)
+
+let ground_args_builtin idxs : Engine.builtin =
+ fun _e s args sc ->
+  let s' =
+    List.fold_left (fun s i -> Domain.ground_term s args.(i)) s idxs
+  in
+  sc s'
+
+let succeed_builtin : Engine.builtin = fun _e s _args sc -> sc s
+
+(* is(X, E): success grounds E and the result.  The result is always
+   widened to γ: computing concrete integers would make the abstract
+   domain infinite (counters like [D1 is D + 1] in recursive predicates
+   would generate unboundedly many call variants). *)
+let is_builtin : Engine.builtin =
+ fun _e s args sc ->
+  let s = Domain.ground_term s args.(1) in
+  match Domain.unify s args.(0) Domain.gamma with
+  | Some s' -> sc s'
+  | None -> ()
+
+let register_builtins (e : Engine.t) =
+  Engine.register_builtin e "is" 2 is_builtin;
+  List.iter
+    (fun name -> Engine.register_builtin e name 2 (ground_args_builtin [ 0; 1 ]))
+    [ "=:="; "=\\="; "<"; ">"; "=<"; ">=" ];
+  List.iter
+    (fun name -> Engine.register_builtin e name 1 (ground_args_builtin [ 0 ]))
+    [ "atom"; "atomic"; "number"; "integer"; "ground" ];
+  List.iter
+    (fun (name, arity) -> Engine.register_builtin e name arity succeed_builtin)
+    [
+      ("var", 1); ("nonvar", 1); ("compound", 1); ("write", 1); ("print", 1);
+      ("tab", 1); ("nl", 0); ("\\=", 2); ("==", 2); ("\\==", 2); ("@<", 2);
+      ("@>", 2); ("@=<", 2); ("@>=", 2);
+    ];
+  (* functor/arg/univ: ground nothing, succeed (coarse but sound) *)
+  List.iter
+    (fun (name, arity) -> Engine.register_builtin e name arity succeed_builtin)
+    [ ("functor", 3); ("arg", 3); ("=..", 2); ("name", 2); ("length", 2);
+      ("findall", 3); ("compare", 3) ]
+
+(* --- driver ----------------------------------------------------------------- *)
+
+let a_ground_arg (t : Term.t) = Domain.a_ground t
+
+let analyze_clauses ?(mode = Database.Dynamic) ~k
+    (clauses : Parser.clause list) : report =
+  let t0 = now () in
+  let db = Database.create ~mode () in
+  Database.load_clauses db clauses;
+  let e = Engine.create ~hooks:(Domain.hooks ~k) db in
+  register_builtins e;
+  let preds =
+    List.filter_map (fun c -> Term.functor_of c.Parser.head) clauses
+    |> List.sort_uniq compare
+  in
+  let t1 = now () in
+  List.iter
+    (fun (name, arity) ->
+      let goal = Term.mk name (Array.init arity (fun _ -> Term.fresh_var ())) in
+      Engine.run e goal (fun _ -> ()))
+    preds;
+  let t2 = now () in
+  let results =
+    List.map
+      (fun (name, arity) ->
+        let answers = Engine.answers_for e (name, arity) in
+        let definite = Array.make arity true in
+        List.iter
+          (fun ans ->
+            Array.iteri
+              (fun i a -> if not (a_ground_arg a) then definite.(i) <- false)
+              (Term.args_of ans))
+          answers;
+        {
+          pred = (name, arity);
+          answers;
+          definite;
+          never_succeeds = answers = [];
+        })
+      preds
+  in
+  let t3 = now () in
+  {
+    results;
+    phases = { preproc = t1 -. t0; analysis = t2 -. t1; collection = t3 -. t2 };
+    table_bytes = Engine.table_space_bytes e;
+    engine_stats = Engine.stats e;
+    k;
+  }
+
+let analyze ?(mode = Database.Dynamic) ?(k = 2) (src : string) : report =
+  let t0 = now () in
+  let clauses = Parser.parse_clauses src in
+  let t_parse = now () -. t0 in
+  let r = analyze_clauses ~mode ~k clauses in
+  { r with phases = { r.phases with preproc = r.phases.preproc +. t_parse } }
+
+let result_for (rep : report) p =
+  List.find_opt (fun r -> r.pred = p) rep.results
+
+let result_to_string (r : pred_result) : string =
+  let name, arity = r.pred in
+  let definite =
+    if r.never_succeeds then "-"
+    else
+      String.concat ""
+        (List.init arity (fun i -> if r.definite.(i) then "g" else "?"))
+  in
+  Printf.sprintf "%s/%d: definite=%s patterns=%d" name arity definite
+    (List.length r.answers)
+
+let report_to_string (rep : report) : string =
+  String.concat "\n" (List.map result_to_string rep.results)

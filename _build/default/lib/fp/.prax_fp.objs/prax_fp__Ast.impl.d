@@ -1,0 +1,1 @@
+lib/fp/ast.ml: List Option Printf String

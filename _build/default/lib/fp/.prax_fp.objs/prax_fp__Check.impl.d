@@ -1,0 +1,1 @@
+lib/fp/check.ml: Ast Fparser Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/fp/eval.ml: Array Ast Hashtbl List String

@@ -1,0 +1,1 @@
+lib/fp/flexer.ml: List Printf String

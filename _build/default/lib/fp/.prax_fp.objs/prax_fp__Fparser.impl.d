@@ -1,0 +1,1 @@
+lib/fp/fparser.ml: Ast Flexer List Printf

@@ -1,0 +1,129 @@
+(** Abstract syntax of the lazy, first-order equational language analyzed
+    by the strictness analyser — a stand-in for the paper's EQUALS source
+    language.
+
+    Programs are sequences of equations; a function is defined by one or
+    more equations with patterns on the left, tried top to bottom.  All
+    data is built from integers and constructors; booleans are the
+    constructors [True]/[False]; lists use [:] and [[]] (stored as ":"
+    and "[]"); tuples are the constructors ["tup2"], ["tup3"], …  The
+    language is lazy: arguments and constructor fields are evaluated only
+    when demanded. *)
+
+type expr =
+  | Var of string
+  | Int of int
+  | Con of string * expr list  (** constructor application, saturated *)
+  | App of string * expr list  (** function application, saturated *)
+  | Prim of string * expr list
+      (** strict primitive: "+", "-", "*", "div", "mod", "neg",
+          "==", "/=", "<", "<=", ">", ">=" *)
+  | If of expr * expr * expr
+  | Let of string * expr * expr  (** lazy local binding *)
+
+type pat =
+  | PVar of string
+  | PInt of int
+  | PCon of string * pat list
+
+type equation = { fname : string; pats : pat list; rhs : expr }
+
+type program = equation list
+
+let arity_of (p : program) (f : string) : int option =
+  List.find_opt (fun e -> String.equal e.fname f) p
+  |> Option.map (fun e -> List.length e.pats)
+
+let functions (p : program) : (string * int) list =
+  List.fold_left
+    (fun acc e ->
+      let key = (e.fname, List.length e.pats) in
+      if List.mem key acc then acc else key :: acc)
+    [] p
+  |> List.rev
+
+let equations_of (p : program) (f : string) : equation list =
+  List.filter (fun e -> String.equal e.fname f) p
+
+(* --- constructors appearing in a program -------------------------------- *)
+
+let rec pat_cons acc = function
+  | PVar _ | PInt _ -> acc
+  | PCon (c, ps) ->
+      List.fold_left pat_cons ((c, List.length ps) :: acc) ps
+
+let rec expr_cons acc = function
+  | Var _ | Int _ -> acc
+  | Con (c, es) ->
+      List.fold_left expr_cons ((c, List.length es) :: acc) es
+  | App (_, es) | Prim (_, es) -> List.fold_left expr_cons acc es
+  | If (c, t, e) -> expr_cons (expr_cons (expr_cons acc c) t) e
+  | Let (_, e1, e2) -> expr_cons (expr_cons acc e1) e2
+
+(** All constructor/arity pairs used anywhere in the program. *)
+let constructors (p : program) : (string * int) list =
+  List.fold_left
+    (fun acc eq ->
+      let acc = List.fold_left pat_cons acc eq.pats in
+      expr_cons acc eq.rhs)
+    [ ("[]", 0); (":", 2); ("True", 0); ("False", 0) ]
+    p
+  |> List.sort_uniq compare
+
+(* --- variables ----------------------------------------------------------- *)
+
+let rec pat_vars acc = function
+  | PVar v -> v :: acc
+  | PInt _ -> acc
+  | PCon (_, ps) -> List.fold_left pat_vars acc ps
+
+let rec free_vars bound acc = function
+  | Var v -> if List.mem v bound then acc else v :: acc
+  | Int _ -> acc
+  | Con (_, es) | App (_, es) | Prim (_, es) ->
+      List.fold_left (free_vars bound) acc es
+  | If (c, t, e) ->
+      List.fold_left (free_vars bound) acc [ c; t; e ]
+  | Let (x, e1, e2) ->
+      free_vars (x :: bound) (free_vars bound acc e1) e2
+
+(* --- printing ------------------------------------------------------------ *)
+
+let rec expr_to_string = function
+  | Var v -> v
+  | Int i -> string_of_int i
+  | Con (":", [ h; t ]) ->
+      Printf.sprintf "(%s : %s)" (expr_to_string h) (expr_to_string t)
+  | Con (c, []) -> c
+  | Con (c, es) ->
+      Printf.sprintf "%s(%s)" c (String.concat ", " (List.map expr_to_string es))
+  | App (f, []) -> f ^ "()"
+  | App (f, es) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string es))
+  | Prim (op, [ a; b ]) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) op (expr_to_string b)
+  | Prim (op, es) ->
+      Printf.sprintf "%s(%s)" op (String.concat ", " (List.map expr_to_string es))
+  | If (c, t, e) ->
+      Printf.sprintf "(if %s then %s else %s)" (expr_to_string c)
+        (expr_to_string t) (expr_to_string e)
+  | Let (x, e1, e2) ->
+      Printf.sprintf "(let %s = %s in %s)" x (expr_to_string e1)
+        (expr_to_string e2)
+
+let rec pat_to_string = function
+  | PVar v -> v
+  | PInt i -> string_of_int i
+  | PCon (":", [ h; t ]) ->
+      Printf.sprintf "(%s : %s)" (pat_to_string h) (pat_to_string t)
+  | PCon (c, []) -> c
+  | PCon (c, ps) ->
+      Printf.sprintf "%s(%s)" c (String.concat ", " (List.map pat_to_string ps))
+
+let equation_to_string eq =
+  match eq.pats with
+  | [] -> Printf.sprintf "%s = %s;" eq.fname (expr_to_string eq.rhs)
+  | ps ->
+      Printf.sprintf "%s(%s) = %s;" eq.fname
+        (String.concat ", " (List.map pat_to_string ps))
+        (expr_to_string eq.rhs)

@@ -1,0 +1,89 @@
+(** Well-formedness checking and name resolution for functional programs:
+
+    - consistent arity across a function's equations and call sites;
+    - saturated constructor applications (consistent arity per name);
+    - pattern linearity (no repeated variable in one equation's patterns);
+    - no unbound variables on the right-hand side; a bare lowercase name
+      that is not pattern-bound but is defined as a 0-ary function is
+      resolved to a call (so [main = fib;] works when [fib] is a CAF). *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let check_linear (eq : Ast.equation) =
+  let vars = List.fold_left Ast.pat_vars [] eq.Ast.pats in
+  let sorted = List.sort compare vars in
+  let rec dup = function
+    | a :: b :: _ when String.equal a b -> Some a
+    | _ :: rest -> dup rest
+    | [] -> None
+  in
+  match dup sorted with
+  | Some v -> fail "%s: repeated pattern variable %s" eq.Ast.fname v
+  | None -> ()
+
+(* collect arities, failing on inconsistency *)
+let arity_table kind pairs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, arity) ->
+      match Hashtbl.find_opt tbl name with
+      | Some a when a <> arity ->
+          fail "%s %s used with arities %d and %d" kind name a arity
+      | Some _ -> ()
+      | None -> Hashtbl.add tbl name arity)
+    pairs;
+  tbl
+
+let rec resolve_expr funs bound (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Var v ->
+      if List.mem v bound then e
+      else if Hashtbl.find_opt funs v = Some 0 then Ast.App (v, [])
+      else fail "unbound variable %s" v
+  | Ast.Int _ -> e
+  | Ast.Con (c, es) -> Ast.Con (c, List.map (resolve_expr funs bound) es)
+  | Ast.App (f, es) -> (
+      match Hashtbl.find_opt funs f with
+      | None -> fail "call to undefined function %s/%d" f (List.length es)
+      | Some a when a <> List.length es ->
+          fail "function %s defined with arity %d, called with %d" f a
+            (List.length es)
+      | Some _ -> Ast.App (f, List.map (resolve_expr funs bound) es))
+  | Ast.Prim (op, es) -> Ast.Prim (op, List.map (resolve_expr funs bound) es)
+  | Ast.If (c, t, el) ->
+      Ast.If
+        ( resolve_expr funs bound c,
+          resolve_expr funs bound t,
+          resolve_expr funs bound el )
+  | Ast.Let (x, e1, e2) ->
+      Ast.Let (x, resolve_expr funs bound e1, resolve_expr funs (x :: bound) e2)
+
+(** Check the program and return it with bare references to 0-ary
+    functions resolved to calls. *)
+let check (p : Ast.program) : Ast.program =
+  if p = [] then fail "empty program";
+  let funs =
+    arity_table "function"
+      (List.map (fun eq -> (eq.Ast.fname, List.length eq.Ast.pats)) p)
+  in
+  ignore (arity_table "constructor" (Ast.constructors p));
+  List.map
+    (fun eq ->
+      check_linear eq;
+      let bound = List.fold_left Ast.pat_vars [] eq.Ast.pats in
+      { eq with Ast.rhs = resolve_expr funs bound eq.Ast.rhs })
+    p
+
+(** Parse and check in one step. *)
+let parse_and_check (src : string) : Ast.program =
+  check (Fparser.parse_program src)
+
+(** Source lines, for the paper's lines/second throughput metric. *)
+let line_count (src : string) : int =
+  String.split_on_char '\n' src
+  |> List.filter (fun l ->
+         let l = String.trim l in
+         String.length l > 0 && not (String.length l >= 2 && String.sub l 0 2 = "--"))
+  |> List.length

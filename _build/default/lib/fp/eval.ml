@@ -1,0 +1,201 @@
+(** Call-by-need (lazy graph reduction) interpreter for the functional
+    language — the stand-in for the EQUALS runtime.
+
+    Thunks memoize their weak-head value; pattern matching drives
+    evaluation.  A fuel counter bounds reduction steps so that tests can
+    observe nontermination ({!Diverged}) deterministically, which is what
+    the strictness validation property needs: forcing an argument the
+    analysis calls strict must never turn a terminating program into a
+    diverging one. *)
+
+exception Diverged
+exception Stuck of string
+
+type value = VInt of int | VCon of string * thunk array
+
+and thunk = { mutable state : state }
+
+and state =
+  | Done of value
+  | Pending of env * Ast.expr
+  | Busy  (** blackhole: direct self-dependency *)
+
+and env = (string * thunk) list
+
+type t = {
+  eqns : (string, Ast.equation list) Hashtbl.t;
+  mutable fuel : int;
+}
+
+let make ?(fuel = 2_000_000) (p : Ast.program) : t =
+  let eqns = Hashtbl.create 32 in
+  List.iter
+    (fun (f, _) -> Hashtbl.replace eqns f (Ast.equations_of p f))
+    (Ast.functions p);
+  { eqns; fuel }
+
+let tick ev =
+  ev.fuel <- ev.fuel - 1;
+  if ev.fuel <= 0 then raise Diverged
+
+let thunk_of_value v = { state = Done v }
+let delay env e = { state = Pending (env, e) }
+
+let vtrue = VCon ("True", [||])
+let vfalse = VCon ("False", [||])
+let vbool b = if b then vtrue else vfalse
+
+let rec whnf ev (th : thunk) : value =
+  match th.state with
+  | Done v -> v
+  | Busy -> raise Diverged
+  | Pending (env, e) ->
+      th.state <- Busy;
+      let v = eval ev env e in
+      th.state <- Done v;
+      v
+
+and eval ev env (e : Ast.expr) : value =
+  tick ev;
+  match e with
+  | Ast.Int n -> VInt n
+  | Ast.Var x -> (
+      match List.assoc_opt x env with
+      | Some th -> whnf ev th
+      | None -> raise (Stuck ("unbound variable " ^ x)))
+  | Ast.Con (c, es) ->
+      VCon (c, Array.of_list (List.map (delay env) es))
+  | Ast.App (f, es) -> apply ev f (List.map (delay env) es)
+  | Ast.Prim (op, es) -> prim ev op (List.map (fun e -> eval ev env e) es)
+  | Ast.If (c, t, el) -> (
+      match eval ev env c with
+      | VCon ("True", _) -> eval ev env t
+      | VCon ("False", _) -> eval ev env el
+      | _ -> raise (Stuck "if condition not boolean"))
+  | Ast.Let (x, e1, e2) -> eval ev ((x, delay env e1) :: env) e2
+
+and apply ev f (args : thunk list) : value =
+  match Hashtbl.find_opt ev.eqns f with
+  | None | Some [] -> raise (Stuck ("no equations for " ^ f))
+  | Some eqs ->
+      let rec try_eqs = function
+        | [] -> raise (Stuck ("pattern match failure in " ^ f))
+        | eq :: rest -> (
+            match match_pats ev eq.Ast.pats args [] with
+            | Some env -> eval ev env eq.Ast.rhs
+            | None -> try_eqs rest)
+      in
+      try_eqs eqs
+
+and match_pats ev pats args env =
+  match (pats, args) with
+  | [], [] -> Some env
+  | p :: ps, a :: as_ -> (
+      match match_pat ev p a env with
+      | Some env' -> match_pats ev ps as_ env'
+      | None -> None)
+  | _ -> raise (Stuck "arity mismatch in application")
+
+and match_pat ev (p : Ast.pat) (th : thunk) env : env option =
+  match p with
+  | Ast.PVar x -> Some ((x, th) :: env)
+  | Ast.PInt n -> (
+      match whnf ev th with VInt m when m = n -> Some env | _ -> None)
+  | Ast.PCon (c, ps) -> (
+      match whnf ev th with
+      | VCon (c', fields)
+        when String.equal c c' && Array.length fields = List.length ps ->
+          let rec go i ps env =
+            match ps with
+            | [] -> Some env
+            | p :: rest -> (
+                match match_pat ev p fields.(i) env with
+                | Some env' -> go (i + 1) rest env'
+                | None -> None)
+          in
+          go 0 ps env
+      | _ -> None)
+
+and prim ev op (vs : value list) : value =
+  ignore ev;
+  let int = function
+    | VInt n -> n
+    | VCon _ -> raise (Stuck ("primitive " ^ op ^ " applied to constructor"))
+  in
+  match (op, vs) with
+  | "+", [ a; b ] -> VInt (int a + int b)
+  | "-", [ a; b ] -> VInt (int a - int b)
+  | "*", [ a; b ] -> VInt (int a * int b)
+  | "div", [ a; b ] ->
+      let d = int b in
+      if d = 0 then raise (Stuck "division by zero") else VInt (int a / d)
+  | "mod", [ a; b ] ->
+      let d = int b in
+      if d = 0 then raise (Stuck "mod by zero") else VInt (int a mod d)
+  | "neg", [ a ] -> VInt (-int a)
+  | "==", [ a; b ] -> vbool (int a = int b)
+  | "/=", [ a; b ] -> vbool (int a <> int b)
+  | "<", [ a; b ] -> vbool (int a < int b)
+  | "<=", [ a; b ] -> vbool (int a <= int b)
+  | ">", [ a; b ] -> vbool (int a > int b)
+  | ">=", [ a; b ] -> vbool (int a >= int b)
+  | _ -> raise (Stuck ("unknown primitive " ^ op))
+
+(* --- forcing and printing ------------------------------------------------ *)
+
+(** Force to full normal form (the paper's e-demand). *)
+let rec force_deep ev (th : thunk) : value =
+  match whnf ev th with
+  | VInt n -> VInt n
+  | VCon (c, fields) ->
+      Array.iter (fun f -> ignore (force_deep ev f)) fields;
+      VCon (c, fields)
+
+let rec value_to_string ev (v : value) : string =
+  match v with
+  | VInt n -> string_of_int n
+  | VCon ("[]", _) -> "[]"
+  | VCon (":", [| h; t |]) ->
+      (* render proper lists with bracket syntax *)
+      let rec items acc th =
+        match whnf ev th with
+        | VCon ("[]", _) -> Some (List.rev acc)
+        | VCon (":", [| h; t |]) -> items (whnf ev h :: acc) t
+        | _ -> None
+      in
+      (match items [ whnf ev h ] t with
+      | Some vs ->
+          "[" ^ String.concat "," (List.map (value_to_string ev) vs) ^ "]"
+      | None ->
+          value_to_string ev (whnf ev h) ^ ":" ^ value_to_string ev (whnf ev t))
+  | VCon (c, [||]) -> c
+  | VCon (c, fields) ->
+      c ^ "("
+      ^ String.concat ","
+          (Array.to_list
+             (Array.map (fun f -> value_to_string ev (whnf ev f)) fields))
+      ^ ")"
+
+(** Evaluate a call [f(args)] to normal form and print it. *)
+let run ?fuel (p : Ast.program) (f : string) (args : Ast.expr list) : string =
+  let ev = make ?fuel p in
+  let th = delay [] (Ast.App (f, args)) in
+  let v = force_deep ev th in
+  value_to_string ev v
+
+(** Evaluate with argument [i] (0-based) forced to WHNF first — the
+    transformation strictness analysis licenses.  Used by the validation
+    property tests. *)
+let run_forcing ?fuel (p : Ast.program) (f : string) (args : Ast.expr list)
+    ~(force_args : int list) : string =
+  let ev = make ?fuel p in
+  let ths = List.map (delay []) args in
+  List.iteri
+    (fun i th -> if List.mem i force_args then ignore (whnf ev th))
+    ths;
+  let v =
+    apply ev f ths |> fun v ->
+    ignore (force_deep ev (thunk_of_value v));
+    v
+  in
+  value_to_string ev v

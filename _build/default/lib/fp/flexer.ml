@@ -1,0 +1,103 @@
+(** Tokenizer for the functional language.  [--] starts a line comment,
+    [{- -}] a (nestable) block comment. *)
+
+type token =
+  | LIdent of string  (** lowercase: variables and function names *)
+  | UIdent of string  (** uppercase: constructors *)
+  | Num of int
+  | Kw of string  (** if then else let in and or not div mod *)
+  | Sym of string  (** punctuation and operators *)
+  | Eof
+
+exception Error of string * int
+
+let keywords = [ "if"; "then"; "else"; "let"; "in"; "and"; "or"; "not"; "div"; "mod" ]
+
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident c = is_lower c || is_upper c || is_digit c || c = '_' || c = '\''
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let rec skip st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      st.pos <- st.pos + 1;
+      skip st
+  | Some '-' when peek2 st = Some '-' ->
+      while peek st <> None && peek st <> Some '\n' do
+        st.pos <- st.pos + 1
+      done;
+      skip st
+  | Some '{' when peek2 st = Some '-' ->
+      st.pos <- st.pos + 2;
+      let depth = ref 1 in
+      while !depth > 0 do
+        match (peek st, peek2 st) with
+        | None, _ -> raise (Error ("unterminated {- comment", st.pos))
+        | Some '{', Some '-' ->
+            incr depth;
+            st.pos <- st.pos + 2
+        | Some '-', Some '}' ->
+            decr depth;
+            st.pos <- st.pos + 2
+        | Some _, _ -> st.pos <- st.pos + 1
+      done;
+      skip st
+  | _ -> ()
+
+let take_while st pred =
+  let start = st.pos in
+  while (match peek st with Some c when pred c -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done;
+  String.sub st.src start (st.pos - start)
+
+let two_char_syms = [ "=="; "/="; "<="; ">="; "++" ]
+
+let next st : token =
+  skip st;
+  match peek st with
+  | None -> Eof
+  | Some c when is_digit c -> Num (int_of_string (take_while st is_digit))
+  | Some c when is_lower c || c = '_' ->
+      let id = take_while st is_ident in
+      if List.mem id keywords then Kw id else LIdent id
+  | Some c when is_upper c -> UIdent (take_while st is_ident)
+  | Some c -> (
+      let two =
+        if st.pos + 1 < String.length st.src then
+          String.sub st.src st.pos 2
+        else ""
+      in
+      if List.mem two two_char_syms then begin
+        st.pos <- st.pos + 2;
+        Sym two
+      end
+      else
+        match c with
+        | '(' | ')' | '[' | ']' | ',' | ';' | ':' | '=' | '+' | '-' | '*'
+        | '/' | '<' | '>' ->
+            st.pos <- st.pos + 1;
+            Sym (String.make 1 c)
+        | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, st.pos)))
+
+let tokenize (src : string) : token list =
+  let st = { src; pos = 0 } in
+  let rec go acc =
+    match next st with Eof -> List.rev (Eof :: acc) | t -> go (t :: acc)
+  in
+  go []
+
+let to_string = function
+  | LIdent s -> "ident " ^ s
+  | UIdent s -> "constructor " ^ s
+  | Num n -> "number " ^ string_of_int n
+  | Kw s -> "keyword " ^ s
+  | Sym s -> "'" ^ s ^ "'"
+  | Eof -> "<eof>"

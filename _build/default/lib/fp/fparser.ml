@@ -1,0 +1,335 @@
+(** Recursive-descent parser for the functional language.
+
+    Precedence (loose to tight), following Haskell's conventions:
+      or < and < comparisons < [:] (right) < [+ -] < [* div mod] < atoms
+    [and]/[or] are desugared to [If] (short-circuit, so the strictness
+    analysis never claims their right operand is demanded); [not e]
+    desugars to [If(e, False, True)]. *)
+
+exception Error of string
+
+type state = { mutable toks : Flexer.token list }
+
+let peek st = match st.toks with [] -> Flexer.Eof | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let expect st tok msg =
+  if peek st = tok then advance st
+  else
+    raise
+      (Error (Printf.sprintf "%s (found %s)" msg (Flexer.to_string (peek st))))
+
+let ffalse = Ast.Con ("False", [])
+let ftrue = Ast.Con ("True", [])
+
+let rec parse_expr st : Ast.expr = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | Flexer.Kw "or" ->
+      advance st;
+      let rhs = parse_or st in
+      Ast.If (lhs, ftrue, rhs)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  match peek st with
+  | Flexer.Kw "and" ->
+      advance st;
+      let rhs = parse_and st in
+      Ast.If (lhs, rhs, ffalse)
+  | _ -> lhs
+
+and parse_cmp st =
+  let lhs = parse_cons st in
+  match peek st with
+  | Flexer.Sym (("==" | "/=" | "<" | "<=" | ">" | ">=") as op) ->
+      advance st;
+      let rhs = parse_cons st in
+      Ast.Prim (op, [ lhs; rhs ])
+  | _ -> lhs
+
+and parse_cons st =
+  let lhs = parse_add st in
+  match peek st with
+  | Flexer.Sym ":" ->
+      advance st;
+      let rhs = parse_cons st in
+      Ast.Con (":", [ lhs; rhs ])
+  | Flexer.Sym "++" ->
+      advance st;
+      let rhs = parse_cons st in
+      (* list append is a library function the program must define *)
+      Ast.App ("append", [ lhs; rhs ])
+  | _ -> lhs
+
+and parse_add st =
+  let rec go lhs =
+    match peek st with
+    | Flexer.Sym (("+" | "-") as op) ->
+        advance st;
+        let rhs = parse_mul st in
+        go (Ast.Prim (op, [ lhs; rhs ]))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek st with
+    | Flexer.Sym "*" ->
+        advance st;
+        go (Ast.Prim ("*", [ lhs; parse_atom st ]))
+    | Flexer.Kw (("div" | "mod") as op) ->
+        advance st;
+        go (Ast.Prim (op, [ lhs; parse_atom st ]))
+    | _ -> lhs
+  in
+  go (parse_atom st)
+
+and parse_atom st : Ast.expr =
+  match peek st with
+  | Flexer.Num n ->
+      advance st;
+      Ast.Int n
+  | Flexer.Sym "-" ->
+      advance st;
+      let e = parse_atom st in
+      (match e with Ast.Int n -> Ast.Int (-n) | _ -> Ast.Prim ("neg", [ e ]))
+  | Flexer.Kw "not" ->
+      advance st;
+      let e = parse_atom st in
+      Ast.If (e, ffalse, ftrue)
+  | Flexer.Kw "if" ->
+      advance st;
+      let c = parse_expr st in
+      expect st (Flexer.Kw "then") "expected 'then'";
+      let t = parse_expr st in
+      expect st (Flexer.Kw "else") "expected 'else'";
+      let e = parse_expr st in
+      Ast.If (c, t, e)
+  | Flexer.Kw "let" ->
+      advance st;
+      let x =
+        match peek st with
+        | Flexer.LIdent x ->
+            advance st;
+            x
+        | t -> raise (Error ("expected variable after let, found " ^ Flexer.to_string t))
+      in
+      expect st (Flexer.Sym "=") "expected '=' in let";
+      let e1 = parse_expr st in
+      expect st (Flexer.Kw "in") "expected 'in'";
+      let e2 = parse_expr st in
+      Ast.Let (x, e1, e2)
+  | Flexer.LIdent name -> (
+      advance st;
+      match peek st with
+      | Flexer.Sym "(" ->
+          advance st;
+          let args = parse_args st in
+          Ast.App (name, args)
+      | _ -> Ast.Var name)
+  | Flexer.UIdent name -> (
+      advance st;
+      match peek st with
+      | Flexer.Sym "(" ->
+          advance st;
+          let args = parse_args st in
+          Ast.Con (name, args)
+      | _ -> Ast.Con (name, []))
+  | Flexer.Sym "[" ->
+      advance st;
+      parse_list st
+  | Flexer.Sym "(" -> (
+      advance st;
+      let e = parse_expr st in
+      match peek st with
+      | Flexer.Sym ")" ->
+          advance st;
+          e
+      | Flexer.Sym "," ->
+          (* tuple *)
+          let rec rest acc =
+            match peek st with
+            | Flexer.Sym "," ->
+                advance st;
+                rest (parse_expr st :: acc)
+            | Flexer.Sym ")" ->
+                advance st;
+                List.rev acc
+            | t -> raise (Error ("in tuple: " ^ Flexer.to_string t))
+          in
+          let es = e :: rest [] in
+          Ast.Con (Printf.sprintf "tup%d" (List.length es), es)
+      | t -> raise (Error ("expected ) or , found " ^ Flexer.to_string t)))
+  | t -> raise (Error ("unexpected " ^ Flexer.to_string t))
+
+and parse_args st : Ast.expr list =
+  match peek st with
+  | Flexer.Sym ")" ->
+      advance st;
+      []
+  | _ ->
+      let rec go acc =
+        let e = parse_expr st in
+        match peek st with
+        | Flexer.Sym "," ->
+            advance st;
+            go (e :: acc)
+        | Flexer.Sym ")" ->
+            advance st;
+            List.rev (e :: acc)
+        | t -> raise (Error ("in arguments: " ^ Flexer.to_string t))
+      in
+      go []
+
+and parse_list st : Ast.expr =
+  match peek st with
+  | Flexer.Sym "]" ->
+      advance st;
+      Ast.Con ("[]", [])
+  | _ ->
+      let rec go () =
+        let e = parse_expr st in
+        match peek st with
+        | Flexer.Sym "," ->
+            advance st;
+            Ast.Con (":", [ e; go () ])
+        | Flexer.Sym "]" ->
+            advance st;
+            Ast.Con (":", [ e; Ast.Con ("[]", []) ])
+        | t -> raise (Error ("in list: " ^ Flexer.to_string t))
+      in
+      go ()
+
+(* --- patterns ------------------------------------------------------------ *)
+
+let rec parse_pat st : Ast.pat =
+  let lhs = parse_pat_atom st in
+  match peek st with
+  | Flexer.Sym ":" ->
+      advance st;
+      let rhs = parse_pat st in
+      Ast.PCon (":", [ lhs; rhs ])
+  | _ -> lhs
+
+and parse_pat_atom st : Ast.pat =
+  match peek st with
+  | Flexer.LIdent v ->
+      advance st;
+      Ast.PVar v
+  | Flexer.Num n ->
+      advance st;
+      Ast.PInt n
+  | Flexer.Sym "-" ->
+      advance st;
+      (match peek st with
+      | Flexer.Num n ->
+          advance st;
+          Ast.PInt (-n)
+      | t -> raise (Error ("expected number after - in pattern, found " ^ Flexer.to_string t)))
+  | Flexer.UIdent c -> (
+      advance st;
+      match peek st with
+      | Flexer.Sym "(" ->
+          advance st;
+          let ps = parse_pat_args st in
+          Ast.PCon (c, ps)
+      | _ -> Ast.PCon (c, []))
+  | Flexer.Sym "[" ->
+      advance st;
+      parse_pat_list st
+  | Flexer.Sym "(" -> (
+      advance st;
+      let p = parse_pat st in
+      match peek st with
+      | Flexer.Sym ")" ->
+          advance st;
+          p
+      | Flexer.Sym "," ->
+          let rec rest acc =
+            match peek st with
+            | Flexer.Sym "," ->
+                advance st;
+                rest (parse_pat st :: acc)
+            | Flexer.Sym ")" ->
+                advance st;
+                List.rev acc
+            | t -> raise (Error ("in tuple pattern: " ^ Flexer.to_string t))
+          in
+          let ps = p :: rest [] in
+          Ast.PCon (Printf.sprintf "tup%d" (List.length ps), ps)
+      | t -> raise (Error ("in pattern: " ^ Flexer.to_string t)))
+  | t -> raise (Error ("unexpected pattern token " ^ Flexer.to_string t))
+
+and parse_pat_args st : Ast.pat list =
+  match peek st with
+  | Flexer.Sym ")" ->
+      advance st;
+      []
+  | _ ->
+      let rec go acc =
+        let p = parse_pat st in
+        match peek st with
+        | Flexer.Sym "," ->
+            advance st;
+            go (p :: acc)
+        | Flexer.Sym ")" ->
+            advance st;
+            List.rev (p :: acc)
+        | t -> raise (Error ("in pattern arguments: " ^ Flexer.to_string t))
+      in
+      go []
+
+and parse_pat_list st : Ast.pat =
+  match peek st with
+  | Flexer.Sym "]" ->
+      advance st;
+      Ast.PCon ("[]", [])
+  | _ ->
+      let rec go () =
+        let p = parse_pat st in
+        match peek st with
+        | Flexer.Sym "," ->
+            advance st;
+            Ast.PCon (":", [ p; go () ])
+        | Flexer.Sym "]" ->
+            advance st;
+            Ast.PCon (":", [ p; Ast.PCon ("[]", []) ])
+        | t -> raise (Error ("in list pattern: " ^ Flexer.to_string t))
+      in
+      go ()
+
+(* --- equations ------------------------------------------------------------ *)
+
+let parse_equation st : Ast.equation =
+  let fname =
+    match peek st with
+    | Flexer.LIdent f ->
+        advance st;
+        f
+    | t -> raise (Error ("expected function name, found " ^ Flexer.to_string t))
+  in
+  let pats =
+    match peek st with
+    | Flexer.Sym "(" ->
+        advance st;
+        parse_pat_args st
+    | _ -> []
+  in
+  expect st (Flexer.Sym "=") "expected '=' in equation";
+  let rhs = parse_expr st in
+  expect st (Flexer.Sym ";") "expected ';' at end of equation";
+  { Ast.fname; pats; rhs }
+
+let parse_program (src : string) : Ast.program =
+  let st = { toks = Flexer.tokenize src } in
+  let rec go acc =
+    match peek st with
+    | Flexer.Eof -> List.rev acc
+    | _ -> go (parse_equation st :: acc)
+  in
+  go []

@@ -1,0 +1,1 @@
+lib/gaia/absint.ml: Array Boolfun Hashtbl List Option Parser Prax_logic String Term

@@ -1,0 +1,1 @@
+lib/gaia/analyze.ml: Absint Backend_bdd Backend_bitset List Parser Prax_bdd Prax_ground Prax_logic Prax_prop Prax_tabling String Unix

@@ -1,0 +1,1 @@
+lib/gaia/backend_bdd.ml: Array Bdd Fun List Prax_bdd

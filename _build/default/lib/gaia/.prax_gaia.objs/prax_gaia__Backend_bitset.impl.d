@@ -1,0 +1,1 @@
+lib/gaia/backend_bitset.ml: Bf List Prax_prop

@@ -1,0 +1,1 @@
+lib/gaia/boolfun.ml:

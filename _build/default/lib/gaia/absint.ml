@@ -1,0 +1,216 @@
+(** A GAIA-style special-purpose top-down abstract interpreter for the
+    Prop domain — the Table 2 comparator.
+
+    Unlike the declarative route (abstract program + tabled engine), this
+    is a hand-built fixpoint engine: it interprets the Prop abstraction
+    of each clause directly with boolean-function operations
+    (conjoin-iff, call-pattern projection, output extension), memoizes
+    call patterns, and iterates chaotically until the call-pattern table
+    is stable.  The abstract clause bodies are produced by
+    {!Prax_ground.Transform}, so both analyzers implement *exactly the
+    same analysis* — results are checked identical in the tests, as the
+    paper notes for XSB vs GAIA. *)
+
+open Prax_logic
+
+module Make (B : Boolfun.S) = struct
+  type clause_info = {
+    nvars : int;  (** clause variables are positions 0..nvars-1 *)
+    head_args : int list;  (** positions of the head argument variables *)
+    body : Term.t list;
+  }
+
+  type pred_info = { arity : int; clauses : clause_info list }
+
+  module Key = struct
+    type t = string * int * B.t
+
+    let equal (n1, a1, b1) (n2, a2, b2) =
+      String.equal n1 n2 && a1 = a2 && B.equal b1 b2
+
+    let hash (n, a, b) = Hashtbl.hash (n, a, B.hash b)
+  end
+
+  module KT = Hashtbl.Make (Key)
+
+  type t = {
+    preds : (string * int, pred_info) Hashtbl.t;
+    (* call-pattern memo: (pred, input function over args) -> output *)
+    memo : B.t ref KT.t;
+    mutable order : Key.t list;  (** discovery order, reversed *)
+    mutable changed : bool;
+  }
+
+  (* canonicalize a clause: variables to positions 0..n-1 *)
+  let prepare_clause (c : Parser.clause) : clause_info =
+    let tbl = Hashtbl.create 16 in
+    let next = ref 0 in
+    let remap t =
+      Term.map_vars
+        (fun v ->
+          match Hashtbl.find_opt tbl v with
+          | Some p -> Term.Var p
+          | None ->
+              let p = !next in
+              incr next;
+              Hashtbl.add tbl v p;
+              Term.Var p)
+        t
+    in
+    let head = remap c.Parser.head in
+    let body = List.map remap c.Parser.body in
+    let head_args =
+      Term.args_of head |> Array.to_list
+      |> List.map (function
+           | Term.Var p -> p
+           | _ ->
+               invalid_arg
+                 "Absint: abstract clause heads must have variable arguments")
+    in
+    { nvars = !next; head_args; body }
+
+  let create (abstract_clauses : Parser.clause list) : t =
+    let by_pred = Hashtbl.create 32 in
+    List.iter
+      (fun c ->
+        match Term.functor_of c.Parser.head with
+        | Some p ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt by_pred p) in
+            Hashtbl.replace by_pred p (c :: prev)
+        | None -> ())
+      abstract_clauses;
+    let preds = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun (name, arity) cs ->
+        Hashtbl.replace preds (name, arity)
+          { arity; clauses = List.rev_map prepare_clause cs })
+      by_pred;
+    { preds; memo = KT.create 64; order = []; changed = false }
+
+  (* variable positions of call-argument terms (always variables in the
+     transformed program) *)
+  let arg_positions args =
+    Array.to_list args
+    |> List.map (function
+         | Term.Var p -> `Pos p
+         | Term.Atom "true" -> `True
+         | Term.Atom "false" -> `False
+         | _ -> invalid_arg "Absint: unexpected call argument")
+
+  let rec eval_body (st : t) nvars (sigma : B.t) (goals : Term.t list) : B.t =
+    match goals with
+    | [] -> sigma
+    | g :: rest ->
+        if B.is_empty sigma then sigma
+        else
+          let sigma' = eval_goal st nvars sigma g in
+          eval_body st nvars sigma' rest
+
+  and eval_goal st nvars sigma (g : Term.t) : B.t =
+    match g with
+    | Term.Atom "true" -> sigma
+    | Term.Atom ("fail" | "false") -> B.bottom nvars
+    | Term.Struct (",", [| a; b |]) ->
+        eval_body st nvars sigma [ a; b ]
+    | Term.Struct (";", [| a; b |]) ->
+        let s1 = eval_body st nvars sigma (Term.conjuncts a) in
+        let s2 = eval_body st nvars sigma (Term.conjuncts b) in
+        B.disj s1 s2
+    | Term.Struct ("=", [| Term.Var x; rhs |]) -> (
+        match rhs with
+        | Term.Atom "true" -> B.conj sigma (B.lit nvars x true)
+        | Term.Atom "false" -> B.conj sigma (B.lit nvars x false)
+        | Term.Var y -> B.conj sigma (B.iff_c nvars x [ y ])
+        | _ -> invalid_arg "Absint: unexpected = rhs")
+    | Term.Struct ("iff", args) -> (
+        match arg_positions args with
+        | `Pos x :: rest ->
+            let set =
+              List.map
+                (function
+                  | `Pos p -> p
+                  | `True | `False ->
+                      invalid_arg "Absint: iff over constants")
+                rest
+            in
+            B.conj sigma (B.iff_c nvars x set)
+        | _ -> invalid_arg "Absint: iff lhs must be a variable")
+    | Term.Struct (name, args) -> solve_literal st nvars sigma name args
+    | Term.Atom name -> solve_literal st nvars sigma name [||]
+    | _ -> invalid_arg "Absint: unexpected goal"
+
+  and solve_literal st nvars sigma name args =
+    let arity = Array.length args in
+    match Hashtbl.find_opt st.preds (name, arity) with
+    | None -> sigma (* unknown predicate: no information *)
+    | Some _ ->
+        let poss =
+          arg_positions args
+          |> List.map (function
+               | `Pos p -> p
+               | `True | `False ->
+                   invalid_arg "Absint: constant call argument")
+        in
+        let beta_in = B.project sigma poss in
+        let beta_out = solve_call st (name, arity) beta_in in
+        B.conj sigma (B.extend beta_out poss nvars)
+
+  and solve_call st (name, arity) (beta_in : B.t) : B.t =
+    let key = (name, arity, beta_in) in
+    match KT.find_opt st.memo key with
+    | Some out -> !out
+    | None ->
+        let out = ref (B.bottom arity) in
+        KT.add st.memo key out;
+        st.order <- key :: st.order;
+        st.changed <- true;
+        (* compute a first approximation immediately *)
+        recompute st key;
+        !out
+
+  and recompute st ((name, arity, beta_in) as key) =
+    let info = Hashtbl.find st.preds (name, arity) in
+    let out_ref = KT.find st.memo key in
+    let result =
+      List.fold_left
+        (fun acc ci ->
+          let sigma = B.top ci.nvars in
+          let sigma = B.conj sigma (B.extend beta_in ci.head_args ci.nvars) in
+          let sigma = eval_body st ci.nvars sigma ci.body in
+          B.disj acc (B.project sigma ci.head_args))
+        (B.bottom arity) info.clauses
+    in
+    if not (B.equal result !out_ref) then begin
+      out_ref := result;
+      st.changed <- true
+    end
+
+  (* chaotic iteration to the fixpoint *)
+  let stabilize st =
+    let rec loop () =
+      st.changed <- false;
+      List.iter (fun key -> recompute st key) (List.rev st.order);
+      if st.changed then loop ()
+    in
+    loop ()
+
+  type result = { pred : string * int; success : B.t; definite : bool array }
+
+  (** Analyze all predicates of the (already transformed) program from
+      open (top) call patterns. *)
+  let analyze (abstract_clauses : Parser.clause list) : result list =
+    let st = create abstract_clauses in
+    let preds =
+      Hashtbl.fold (fun p _ acc -> p :: acc) st.preds [] |> List.sort compare
+    in
+    List.iter
+      (fun (name, arity) ->
+        ignore (solve_call st (name, arity) (B.top arity)))
+      preds;
+    stabilize st;
+    List.map
+      (fun (name, arity) ->
+        let out = !(KT.find st.memo (name, arity, B.top arity)) in
+        { pred = (name, arity); success = out; definite = B.definite out })
+      preds
+end

@@ -1,0 +1,96 @@
+(** Driver for the GAIA-style analyzer, with the same phase accounting as
+    the declarative analyzers so Table 2's comparison is like-for-like. *)
+
+open Prax_logic
+
+module Bitset = Absint.Make (Backend_bitset)
+module Bdd_backend = Absint.Make (Backend_bdd)
+
+type pred_result = {
+  pred : string * int;  (** source predicate (gp_ prefix stripped) *)
+  definite : bool array;
+  never_succeeds : bool;
+}
+
+type phases = { preproc : float; analysis : float; collection : float }
+
+let total p = p.preproc +. p.analysis +. p.collection
+
+type report = { results : pred_result list; phases : phases }
+
+let now () = Unix.gettimeofday ()
+
+let strip_prefix name =
+  let p = Prax_ground.Transform.prefix in
+  let pl = String.length p in
+  if String.length name > pl && String.equal (String.sub name 0 pl) p then
+    String.sub name pl (String.length name - pl)
+  else name
+
+module type RUNNER = sig
+  type result
+
+  val analyze : Parser.clause list -> result list
+  val pred_of : result -> string * int
+  val definite_of : result -> bool array
+  val empty_of : result -> bool
+end
+
+let analyze_gen ?(fold = false) (module M : RUNNER) (src : string) : report =
+  let t0 = now () in
+  let clauses = Parser.parse_clauses src in
+  let abstract, _, _ = Prax_ground.Transform.program clauses in
+  let abstract =
+    (* the truth-table back-end cannot represent universes beyond ~20
+       positions: fold long bodies through supplementary predicates,
+       which preserves the minimal model *)
+    if fold then Prax_tabling.Supplement.fold_program ~threshold:2 abstract
+    else abstract
+  in
+  let t1 = now () in
+  let raw = M.analyze abstract in
+  let t2 = now () in
+  let results =
+    List.map
+      (fun r ->
+        let name, arity = M.pred_of r in
+        {
+          pred = (strip_prefix name, arity);
+          definite = M.definite_of r;
+          never_succeeds = M.empty_of r;
+        })
+      raw
+  in
+  let t3 = now () in
+  {
+    results;
+    phases = { preproc = t1 -. t0; analysis = t2 -. t1; collection = t3 -. t2 };
+  }
+
+let analyze_bitset (src : string) : report =
+  analyze_gen ~fold:true
+    (module struct
+      type result = Bitset.result
+
+      let analyze = Bitset.analyze
+      let pred_of (r : result) = r.Bitset.pred
+      let definite_of (r : result) = r.Bitset.definite
+
+      let empty_of (r : result) =
+        Prax_prop.Bf.is_empty r.Bitset.success
+    end)
+    src
+
+let analyze_bdd (src : string) : report =
+  analyze_gen
+    (module struct
+      type result = Bdd_backend.result
+
+      let analyze = Bdd_backend.analyze
+      let pred_of (r : result) = r.Bdd_backend.pred
+      let definite_of (r : result) = r.Bdd_backend.definite
+      let empty_of (r : result) = Prax_bdd.Bdd.is_false r.Bdd_backend.success.Backend_bdd.f
+    end)
+    src
+
+let result_for (rep : report) p = List.find_opt (fun r -> r.pred = p) rep.results

@@ -1,0 +1,54 @@
+(** ROBDD back-end for the GAIA-style interpreter.  Functions carry
+    their universe size; [project]/[extend] rename positions by
+    Shannon-expansion rebuild, which keeps the result reduced under the
+    global hash-consing. *)
+
+type t = { n : int; f : Prax_bdd.Bdd.t }
+
+let name = "bdd"
+
+open Prax_bdd
+
+let top n = { n; f = Bdd.one }
+let bottom n = { n; f = Bdd.zero }
+
+let iff_c n pos set = { n; f = Bdd.iff pos (List.sort_uniq compare set) }
+
+let lit n pos b = { n; f = (if b then Bdd.var pos else Bdd.nvar pos) }
+
+let conj a b = { n = max a.n b.n; f = Bdd.conj a.f b.f }
+let disj a b = { n = max a.n b.n; f = Bdd.disj a.f b.f }
+
+let ite c t e = Bdd.disj (Bdd.conj c t) (Bdd.conj (Bdd.neg c) e)
+
+(* rebuild with variable substitution; correct for arbitrary mappings *)
+let rec rename (m : int -> int) (f : Bdd.t) : Bdd.t =
+  match f with
+  | Bdd.Leaf _ -> f
+  | Bdd.Node { var = v; lo; hi; _ } ->
+      ite (Bdd.var (m v)) (rename m hi) (rename m lo)
+
+let project a kept =
+  let k = List.length kept in
+  (* tie fresh positions above the universe to the kept ones, quantify
+     out the originals, then shift down *)
+  let tied =
+    List.fold_left
+      (fun (j, f) p -> (j + 1, Bdd.conj f (Bdd.iff2 (Bdd.var (a.n + j)) (Bdd.var p))))
+      (0, a.f) kept
+    |> snd
+  in
+  let quantified =
+    List.fold_left Bdd.exists tied (List.init a.n Fun.id)
+  in
+  { n = k; f = rename (fun v -> v - a.n) quantified }
+
+let extend a mapping n =
+  let arr = Array.of_list mapping in
+  { n; f = rename (fun v -> arr.(v)) a.f }
+
+let equal a b = Bdd.equal a.f b.f
+let hash a = Bdd.id a.f
+let is_empty a = Bdd.is_false a.f
+
+let definite a = Array.init a.n (fun v -> Bdd.definite_at a.f v)

@@ -1,0 +1,24 @@
+(** Truth-table back-end for the GAIA-style interpreter: a thin wrapper
+    over {!Prax_prop.Bf}. *)
+
+open Prax_prop
+
+type t = Bf.t
+
+let name = "bitset"
+let top = Bf.top
+let bottom = Bf.bottom
+let iff_c n pos set = Bf.iff n pos (List.sort_uniq compare set)
+
+let lit n pos b =
+  let f = Bf.var n pos in
+  if b then f else Bf.neg f
+
+let conj = Bf.conj
+let disj = Bf.disj
+let project = Bf.project
+let extend = Bf.extend
+let equal = Bf.equal
+let hash = Bf.hash
+let is_empty = Bf.is_empty
+let definite = Bf.definite

@@ -1,0 +1,37 @@
+(** Back-end signature for the GAIA-style abstract interpreter: boolean
+    functions over a fixed universe of positions, with the operations a
+    top-down Prop interpreter needs.  Two implementations: enumerated
+    truth tables ({!Backend_bitset}) and ROBDDs ({!Backend_bdd}) — the
+    representations whose trade-off Section 4 of the paper discusses. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  val top : int -> t
+  val bottom : int -> t
+
+  val iff_c : int -> int -> int list -> t
+  (** [iff_c n pos set]: the constraint [pos ↔ ∧ set] over universe [n]. *)
+
+  val lit : int -> int -> bool -> t
+  (** [lit n pos b]: the constraint [pos = b] over universe [n]. *)
+
+  val conj : t -> t -> t
+  val disj : t -> t -> t
+
+  val project : t -> int list -> t
+  (** [project f kept] restricts to the positions [kept] (in order,
+      duplicates allowed); result universe is [length kept]. *)
+
+  val extend : t -> int list -> int -> t
+  (** [extend f mapping n]: embed [f] (over positions [0..k-1]) into
+      universe [n], sending position [i] to [mapping_i]. *)
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val is_empty : t -> bool
+
+  val definite : t -> bool array
+  (** positions true in every satisfying assignment *)
+end

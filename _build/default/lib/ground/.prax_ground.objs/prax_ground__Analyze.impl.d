@@ -1,0 +1,1 @@
+lib/ground/analyze.ml: Array Bf Database Engine Iff List Parser Prax_logic Prax_prop Prax_tabling Printf Qm Seq String Term Transform Unix

@@ -1,0 +1,1 @@
+lib/ground/transform.ml: Array Hashtbl Int List Option Parser Prax_logic Subst Term Unify

@@ -1,0 +1,183 @@
+(** The Prop abstraction of Figure 1: map a logic program [P] to an
+    abstract program [Pα] whose minimal model is the output groundness of
+    [P], and whose tabled call patterns are the input groundness.
+
+    Each source variable [X] is associated with a target variable [TX]
+    holding [X]'s groundness value ([true]/[false]).  Each source
+    predicate [p/n] becomes [gp_p/n] over groundness values.  Every
+    argument term [t] of a head or body literal is abstracted by
+    [iff(α, TX1, …, TXk)] where the [Xi] are the variables of [t]
+    (so [α ↔ ∧ TXi], i.e. "t is ground iff all its variables are").
+
+    Built-in predicates are abstracted soundly (the paper's analyses do
+    the same through the base-relation definitions):
+    - [X = t]: static most-general unification, each resulting binding
+      abstracted via [iff];
+    - [is/2] and arithmetic comparisons: success grounds every variable
+      involved;
+    - type tests [atom/number/atomic/integer/ground]: ground their
+      argument; [var]/[nonvar] and negation bind nothing;
+    - control ([!], [true], I/O) binds nothing;
+    - [;], [->] are translated compositionally ([->] without commitment —
+      a sound over-approximation). *)
+
+open Prax_logic
+
+let prefix = "gp_"
+
+let abstract_pred (name, arity) = (prefix ^ name, arity)
+
+type ctx = {
+  mutable map : (int * int) list;  (** source var id -> target var id *)
+  defined : (string * int, unit) Hashtbl.t;
+  mutable max_iff_arity : int;  (** widest iff emitted, for builtin registration *)
+}
+
+let target_var ctx v =
+  match List.assoc_opt v ctx.map with
+  | Some tv -> Term.Var tv
+  | None ->
+      let tv = Term.fresh_id () in
+      ctx.map <- (v, tv) :: ctx.map;
+      Term.Var tv
+
+(* iff(alpha, TX1..TXk) for the variables of [t]; degenerate cases emitted
+   as unifications to keep the abstract program small (the "coding for the
+   evaluation mechanism" the paper describes). *)
+let abstract_arg ctx (t : Term.t) (alpha : Term.t) : Term.t list =
+  match t with
+  | Term.Var v -> [ Term.Struct ("=", [| alpha; target_var ctx v |]) ]
+  | _ ->
+      let vs = Term.vars t in
+      if vs = [] then [ Term.Struct ("=", [| alpha; Term.Atom "true" |]) ]
+      else begin
+        ctx.max_iff_arity <- max ctx.max_iff_arity (List.length vs);
+        [
+          Term.mkl "iff" (alpha :: List.map (target_var ctx) vs);
+        ]
+      end
+
+(* all variables of [t] become ground *)
+let ground_all ctx t =
+  List.map
+    (fun v -> Term.Struct ("=", [| target_var ctx v; Term.Atom "true" |]))
+    (Term.vars t)
+
+(* abstraction of X = t bindings from a static mgu *)
+let abstract_bindings ctx (s : Subst.t) vars_involved : Term.t list =
+  List.concat_map
+    (fun v ->
+      match Subst.walk s (Term.Var v) with
+      | Term.Var v' when v' = v -> []
+      | t -> abstract_arg ctx (Subst.resolve s t) (target_var ctx v))
+    vars_involved
+
+let rec abstract_goal ctx (g : Term.t) : Term.t list =
+  match g with
+  | Term.Atom ("true" | "!" | "nl" | "fail" | "false" | "halt" | "listing") ->
+      (* [fail] must keep failing abstractly *)
+      if g = Term.Atom "fail" || g = Term.Atom "false" then [ Term.Atom "fail" ]
+      else []
+  | Term.Atom name ->
+      if Hashtbl.mem ctx.defined (name, 0) then [ Term.Atom (prefix ^ name) ]
+      else []
+  | Term.Struct (",", [| a; b |]) -> abstract_goal ctx a @ abstract_goal ctx b
+  | Term.Struct (";", [| a; b |]) ->
+      let a' = Term.conj (abstract_goal ctx a) in
+      let b' = Term.conj (abstract_goal ctx b) in
+      [ Term.Struct (";", [| a'; b' |]) ]
+  | Term.Struct ("->", [| c; t |]) ->
+      abstract_goal ctx c @ abstract_goal ctx t
+  | Term.Struct ("\\+", [| _ |]) | Term.Struct ("not", [| _ |]) ->
+      (* negation binds nothing on success *)
+      []
+  | Term.Struct ("=", [| t1; t2 |]) -> (
+      match Unify.unify_oc Subst.empty t1 t2 with
+      | None ->
+          (* genuine clash → clause cannot succeed; occur-check-only
+             failure → concrete Prolog may still succeed (cyclic term), so
+             claim nothing *)
+          if Option.is_none (Unify.unify Subst.empty t1 t2) then
+            [ Term.Atom "fail" ]
+          else []
+      | Some s ->
+          let vs =
+            List.sort_uniq Int.compare (Term.vars t1 @ Term.vars t2)
+          in
+          abstract_bindings ctx s vs)
+  | Term.Struct ("\\=", [| _; _ |]) -> []
+  | Term.Struct ("is", [| x; e |]) -> ground_all ctx e @ ground_all ctx x
+  | Term.Struct (("=:=" | "=\\=" | "<" | ">" | "=<" | ">="), [| a; b |]) ->
+      ground_all ctx a @ ground_all ctx b
+  | Term.Struct (("atom" | "atomic" | "number" | "integer" | "ground"), [| t |])
+    ->
+      ground_all ctx t
+  | Term.Struct (("var" | "nonvar" | "compound"), [| _ |]) -> []
+  | Term.Struct ("==", [| t1; t2 |]) ->
+      (* identical terms have identical groundness *)
+      let alpha = Term.fresh_var () in
+      abstract_arg ctx t1 alpha @ abstract_arg ctx t2 alpha
+  | Term.Struct (("\\==" | "@<" | "@>" | "@=<" | "@>="), [| _; _ |]) -> []
+  | Term.Struct ("compare", [| o; _; _ |]) -> ground_all ctx o
+  | Term.Struct ("functor", [| _; f; a |]) -> ground_all ctx f @ ground_all ctx a
+  | Term.Struct ("arg", [| n; _; _ |]) -> ground_all ctx n
+  | Term.Struct (("write" | "print" | "tab" | "name"), _) -> []
+  | Term.Struct ("call", [| g |]) -> abstract_goal ctx g
+  | Term.Struct ("findall", [| _; g; _ |]) ->
+      (* inner bindings do not escape; analyze a renamed copy for failure
+         propagation only, leaving the result list unconstrained *)
+      let g' = Term.rename g in
+      abstract_goal ctx g'
+  | Term.Struct (name, args) ->
+      let arity = Array.length args in
+      if Hashtbl.mem ctx.defined (name, arity) then begin
+        let alphas = Array.map (fun _ -> Term.fresh_var ()) args in
+        let arg_lits =
+          List.concat
+            (List.mapi
+               (fun i t -> abstract_arg ctx t alphas.(i))
+               (Array.to_list args))
+        in
+        arg_lits @ [ Term.Struct (prefix ^ name, alphas) ]
+      end
+      else
+        (* unknown predicate: no groundness information on success *)
+        []
+  | Term.Var _ | Term.Int _ ->
+      (* meta-call of unknown goal: nothing can be concluded *)
+      []
+
+(* Abstract one clause; reports the widest iff emitted through [ctx]. *)
+let abstract_clause ctx (c : Parser.clause) : Parser.clause =
+  ctx.map <- [];
+  let name, args =
+    match c.Parser.head with
+    | Term.Atom a -> (a, [||])
+    | Term.Struct (f, args) -> (f, args)
+    | _ -> invalid_arg "Transform.abstract_clause: bad clause head"
+  in
+  let alphas = Array.map (fun _ -> Term.fresh_var ()) args in
+  let head_lits =
+    List.concat
+      (List.mapi (fun i t -> abstract_arg ctx t alphas.(i)) (Array.to_list args))
+  in
+  let body_lits = List.concat_map (abstract_goal ctx) c.Parser.body in
+  { Parser.head = Term.mk (prefix ^ name) alphas; body = head_lits @ body_lits }
+
+(** Transform a whole program.  Returns the abstract clauses, the set of
+    abstracted predicates, and the widest [iff] arity used. *)
+let program (clauses : Parser.clause list) :
+    Parser.clause list * (string * int) list * int =
+  let defined = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      match Term.functor_of c.Parser.head with
+      | Some p -> Hashtbl.replace defined p ()
+      | None -> ())
+    clauses;
+  let ctx = { map = []; defined; max_iff_arity = 1 } in
+  let abstracted = List.map (abstract_clause ctx) clauses in
+  let preds =
+    Hashtbl.fold (fun p () acc -> p :: acc) defined [] |> List.sort compare
+  in
+  (abstracted, preds, ctx.max_iff_arity)

@@ -1,0 +1,1 @@
+lib/hm/infer.ml: Array Ast Canon Char Check Hashtbl Int List Prax_fp Prax_logic Pretty Printf String Subst Term Unify

@@ -1,0 +1,370 @@
+(** Hindley–Milner type analysis of the functional language, implemented
+    the way Section 6.1 frames it: the program's type equations are
+    equality constraints solved by unification *with occur-check* — and
+    we solve them with the logic substrate's own machinery.  Types are
+    {!Prax_logic.Term} values, constraint solving is
+    {!Prax_logic.Unify.unify_oc} over a persistent substitution,
+    generalization is canonical renaming ({!Prax_logic.Canon}) and
+    instantiation is fresh renaming — the paper's observation that "the
+    only requirement is that occur-check be performed by the unification
+    operation" made literal.
+
+    Types: [int], [bool], [list(τ)], [tupK(τ1,…,τK)], and inferred
+    monomorphic user datatypes (constructors used on the same value are
+    unified into one datatype).  Top-level functions are generalized per
+    strongly-connected component of the call graph, giving
+    let-polymorphism where it is sound (e.g. [append] usable at several
+    element types). *)
+
+open Prax_logic
+open Prax_fp
+
+exception Type_error of string
+
+let terr fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let tint = Term.Atom "int"
+let tbool = Term.Atom "bool"
+let tlist t = Term.Struct ("list", [| t |])
+let tfun args res = Term.mkl "fn" (args @ [ res ])
+
+(** A type scheme quantifies only the variables that are not free in the
+    global constructor environment: datatype result/field types stay
+    free so that later uses refine them globally (they are
+    monomorphic). *)
+type scheme = { body : Term.t; quantified : int list }
+
+type env = {
+  mutable subst : Subst.t;
+  fn_schemes : (string, scheme) Hashtbl.t;
+  fn_monotypes : (string, Term.t) Hashtbl.t;
+      (** monotypes of the SCC currently being inferred *)
+  (* user constructor -> (result type, field types); shared, monomorphic *)
+  cons : (string, Term.t * Term.t list) Hashtbl.t;
+  mutable datatype_count : int;
+}
+
+let create_env () =
+  {
+    subst = Subst.empty;
+    fn_schemes = Hashtbl.create 16;
+    fn_monotypes = Hashtbl.create 16;
+    cons = Hashtbl.create 16;
+    datatype_count = 0;
+  }
+
+let unify env t1 t2 ~ctx =
+  match Unify.unify_oc env.subst t1 t2 with
+  | Some s -> env.subst <- s
+  | None ->
+      terr "type clash in %s: %s vs %s" ctx
+        (Pretty.term_to_string (Subst.resolve env.subst t1))
+        (Pretty.term_to_string (Subst.resolve env.subst t2))
+
+(* constructor signature: builtin parametric families are instantiated
+   fresh per use; user constructors share one monomorphic signature *)
+let constructor_sig env c arity : Term.t * Term.t list =
+  match c with
+  | "[]" when arity = 0 ->
+      let a = Term.fresh_var () in
+      (tlist a, [])
+  | ":" when arity = 2 ->
+      let a = Term.fresh_var () in
+      (tlist a, [ a; tlist a ])
+  | ("True" | "False") when arity = 0 -> (tbool, [])
+  | _ when String.length c > 3 && String.equal (String.sub c 0 3) "tup" ->
+      let fields = List.init arity (fun _ -> Term.fresh_var ()) in
+      (Term.mkl c fields, fields)
+  | _ -> (
+      match Hashtbl.find_opt env.cons c with
+      | Some (res, fields) ->
+          if List.length fields <> arity then
+            terr "constructor %s used with arity %d and %d" c
+              (List.length fields) arity;
+          (res, fields)
+      | None ->
+          (* a fresh datatype bucket: unification merges buckets of
+             constructors that meet on the same value *)
+          env.datatype_count <- env.datatype_count + 1;
+          let res = Term.fresh_var () in
+          let fields = List.init arity (fun _ -> Term.fresh_var ()) in
+          Hashtbl.add env.cons c (res, fields);
+          (res, fields))
+
+(* variables free in the constructor environment, under the current
+   substitution *)
+let env_free_vars env : int list =
+  Hashtbl.fold
+    (fun _ (res, fields) acc ->
+      List.concat_map
+        (fun t -> Term.vars (Subst.resolve env.subst t))
+        (res :: fields)
+      @ acc)
+    env.cons []
+  |> List.sort_uniq Int.compare
+
+let instantiate_scheme env (sc : scheme) : Term.t list * Term.t =
+  (* resolve first so later refinements of free (datatype) variables are
+     seen, then rename only the quantified variables *)
+  let body = Subst.resolve env.subst sc.body in
+  let tbl = Hashtbl.create 8 in
+  let inst =
+    Term.map_vars
+      (fun v ->
+        if List.mem v sc.quantified then (
+          match Hashtbl.find_opt tbl v with
+          | Some fresh -> fresh
+          | None ->
+              let fresh = Term.fresh_var () in
+              Hashtbl.add tbl v fresh;
+              fresh)
+        else Term.Var v)
+      body
+  in
+  match inst with
+  | Term.Struct ("fn", parts) ->
+      let n = Array.length parts in
+      (Array.to_list (Array.sub parts 0 (n - 1)), parts.(n - 1))
+  | t -> ([], t)
+
+let fn_type env f arity : Term.t list * Term.t =
+  match Hashtbl.find_opt env.fn_monotypes f with
+  | Some t -> (
+      (* within the current SCC: monomorphic *)
+      match Subst.walk env.subst t with
+      | Term.Struct ("fn", parts) ->
+          let n = Array.length parts in
+          (Array.to_list (Array.sub parts 0 (n - 1)), parts.(n - 1))
+      | _ -> assert false)
+  | None -> (
+      match Hashtbl.find_opt env.fn_schemes f with
+      | Some scheme -> instantiate_scheme env scheme
+      | None -> terr "call to unknown function %s/%d" f arity)
+
+(* --- constraint generation ------------------------------------------------ *)
+
+let rec infer_pat env (venv : (string * Term.t) list ref) (p : Ast.pat) :
+    Term.t =
+  match p with
+  | Ast.PVar x ->
+      let t = Term.fresh_var () in
+      venv := (x, t) :: !venv;
+      t
+  | Ast.PInt _ -> tint
+  | Ast.PCon (c, ps) ->
+      let res, fields = constructor_sig env c (List.length ps) in
+      List.iter2
+        (fun p f ->
+          let tp = infer_pat env venv p in
+          unify env tp f ~ctx:(Printf.sprintf "pattern %s" c))
+        ps fields;
+      res
+
+let rec infer_expr env (venv : (string * Term.t) list) (e : Ast.expr) : Term.t
+    =
+  match e with
+  | Ast.Int _ -> tint
+  | Ast.Var x -> (
+      match List.assoc_opt x venv with
+      | Some t -> t
+      | None -> terr "unbound variable %s" x)
+  | Ast.Con (c, es) ->
+      let res, fields = constructor_sig env c (List.length es) in
+      List.iter2
+        (fun e f ->
+          let te = infer_expr env venv e in
+          unify env te f ~ctx:(Printf.sprintf "constructor %s" c))
+        es fields;
+      res
+  | Ast.App (f, es) ->
+      let args, res = fn_type env f (List.length es) in
+      List.iter2
+        (fun e a ->
+          let te = infer_expr env venv e in
+          unify env te a ~ctx:(Printf.sprintf "call of %s" f))
+        es args;
+      res
+  | Ast.Prim (op, es) ->
+      let tes = List.map (infer_expr env venv) es in
+      (match (op, tes) with
+      | ("+" | "-" | "*" | "div" | "mod"), [ a; b ] ->
+          unify env a tint ~ctx:op;
+          unify env b tint ~ctx:op;
+          tint
+      | "neg", [ a ] ->
+          unify env a tint ~ctx:op;
+          tint
+      | ("==" | "/=" | "<" | "<=" | ">" | ">="), [ a; b ] ->
+          unify env a tint ~ctx:op;
+          unify env b tint ~ctx:op;
+          tbool
+      | _ -> terr "unknown primitive %s/%d" op (List.length es))
+  | Ast.If (c, t, el) ->
+      let tc = infer_expr env venv c in
+      unify env tc tbool ~ctx:"if condition";
+      let tt = infer_expr env venv t in
+      let te = infer_expr env venv el in
+      unify env tt te ~ctx:"if branches";
+      tt
+  | Ast.Let (x, e1, e2) ->
+      let t1 = infer_expr env venv e1 in
+      infer_expr env ((x, t1) :: venv) e2
+
+let infer_equation env (eq : Ast.equation) =
+  let args, res = fn_type env eq.Ast.fname (List.length eq.Ast.pats) in
+  let venv = ref [] in
+  List.iter2
+    (fun p a ->
+      let tp = infer_pat env venv p in
+      unify env tp a ~ctx:(Printf.sprintf "%s argument pattern" eq.Ast.fname))
+    eq.Ast.pats args;
+  let tr = infer_expr env !venv eq.Ast.rhs in
+  unify env tr res ~ctx:(Printf.sprintf "%s right-hand side" eq.Ast.fname)
+
+(* --- call-graph SCCs -------------------------------------------------------- *)
+
+let rec calls_of acc = function
+  | Ast.Var _ | Ast.Int _ -> acc
+  | Ast.Con (_, es) | Ast.Prim (_, es) -> List.fold_left calls_of acc es
+  | Ast.App (f, es) -> List.fold_left calls_of (f :: acc) es
+  | Ast.If (a, b, c) -> calls_of (calls_of (calls_of acc a) b) c
+  | Ast.Let (_, a, b) -> calls_of (calls_of acc a) b
+
+(* Tarjan over function names *)
+let sccs (p : Ast.program) : string list list =
+  let funs = List.map fst (Ast.functions p) in
+  let adjacency f =
+    Ast.equations_of p f
+    |> List.concat_map (fun eq -> calls_of [] eq.Ast.rhs)
+    |> List.filter (fun g -> List.mem g funs)
+    |> List.sort_uniq compare
+  in
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let onstack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace onstack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem onstack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (adjacency v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove onstack w;
+            if String.equal w v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter (fun f -> if not (Hashtbl.mem index f) then strongconnect f) funs;
+  (* Tarjan emits an SCC only after every SCC it reaches (its callees):
+     chronological emission order is callees-first, and [out] accumulates
+     at the head, so reverse it *)
+  List.rev !out
+
+(* --- entry point -------------------------------------------------------------- *)
+
+type result = { fname : string; scheme : Term.t }
+
+(** Infer types for a checked program.  Raises {!Type_error} on clashes
+    (including occur-check failures surfaced as clashes). *)
+let infer (p : Ast.program) : result list =
+  let env = create_env () in
+  let out = ref [] in
+  List.iter
+    (fun scc ->
+      (* fresh monotypes for the SCC's functions *)
+      List.iter
+        (fun f ->
+          let arity =
+            match Ast.arity_of p f with Some a -> a | None -> 0
+          in
+          let t =
+            tfun (List.init arity (fun _ -> Term.fresh_var ())) (Term.fresh_var ())
+          in
+          Hashtbl.replace env.fn_monotypes f t)
+        scc;
+      (* constrain all equations of the SCC *)
+      List.iter
+        (fun f -> List.iter (infer_equation env) (Ast.equations_of p f))
+        scc;
+      (* name the inferred datatypes: a constructor result still unbound
+         is a monomorphic datatype and must NOT be generalized (otherwise
+         a scheme instantiation would let it unify with anything) *)
+      let cons_sorted =
+        Hashtbl.fold (fun c sg acc -> (c, sg) :: acc) env.cons []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (c, (res, _)) ->
+          match Subst.walk env.subst res with
+          | Term.Var v ->
+              env.subst <- Subst.bind env.subst v (Term.Atom ("dt$" ^ c))
+          | _ -> ())
+        cons_sorted;
+      (* generalize: quantify the variables not free in the constructor
+         environment *)
+      let efv = env_free_vars env in
+      List.iter
+        (fun f ->
+          let t = Hashtbl.find env.fn_monotypes f in
+          let body = Subst.resolve env.subst t in
+          let quantified =
+            List.filter (fun v -> not (List.mem v efv)) (Term.vars body)
+          in
+          Hashtbl.remove env.fn_monotypes f;
+          Hashtbl.replace env.fn_schemes f { body; quantified };
+          out := f :: !out)
+        scc)
+    (sccs p);
+  (* report with everything the later SCCs learned about the datatypes *)
+  List.rev !out
+  |> List.map (fun f ->
+         let sc = Hashtbl.find env.fn_schemes f in
+         { fname = f; scheme = Canon.canonical env.subst sc.body })
+
+(* --- rendering ------------------------------------------------------------------ *)
+
+let tyvar_name i =
+  if i < 26 then Printf.sprintf "'%c" (Char.chr (Char.code 'a' + i))
+  else Printf.sprintf "'t%d" i
+
+let rec type_to_string = function
+  | Term.Var i -> tyvar_name i
+  | Term.Atom a -> a
+  | Term.Struct ("list", [| t |]) -> Printf.sprintf "list(%s)" (type_to_string t)
+  | Term.Struct ("fn", parts) ->
+      let n = Array.length parts in
+      let args = Array.to_list (Array.sub parts 0 (n - 1)) in
+      Printf.sprintf "(%s) -> %s"
+        (String.concat ", " (List.map type_to_string args))
+        (type_to_string parts.(n - 1))
+  | Term.Struct (f, args) ->
+      Printf.sprintf "%s(%s)" f
+        (String.concat ", " (Array.to_list (Array.map type_to_string args)))
+  | Term.Int i -> string_of_int i
+
+let result_to_string r =
+  Printf.sprintf "%s : %s" r.fname (type_to_string r.scheme)
+
+(** Parse, check, and infer from source. *)
+let infer_source (src : string) : result list =
+  infer (Check.parse_and_check src)

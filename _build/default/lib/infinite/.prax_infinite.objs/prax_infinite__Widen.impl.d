@@ -1,0 +1,1 @@
+lib/infinite/widen.ml: Array Canon Database List Option Parser Prax_logic Prax_tabling String Subst Term

@@ -1,0 +1,1 @@
+lib/logic/canon.ml: Hashtbl Subst Term

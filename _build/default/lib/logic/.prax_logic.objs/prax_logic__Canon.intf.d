@@ -1,0 +1,1 @@
+lib/logic/canon.mli: Hashtbl Subst Term

@@ -1,0 +1,1 @@
+lib/logic/database.ml: Array Hashtbl Int List Ops Option Parser String Subst Term Unify Vec

@@ -1,0 +1,1 @@
+lib/logic/lexer.ml: Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/logic/ops.ml: Hashtbl List

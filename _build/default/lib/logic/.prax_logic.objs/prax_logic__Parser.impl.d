@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Char Hashtbl Lexer List Ops Printf String Term

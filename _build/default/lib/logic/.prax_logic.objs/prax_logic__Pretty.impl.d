@@ -1,0 +1,1 @@
+lib/logic/pretty.ml: Array Char Format Lexer List Ops Parser Printf String Term

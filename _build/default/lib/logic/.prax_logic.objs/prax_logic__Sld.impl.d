@@ -1,0 +1,1 @@
+lib/logic/sld.ml: Array Char Database Int List Pretty String Subst Term Unify

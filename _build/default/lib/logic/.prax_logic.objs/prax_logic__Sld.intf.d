@@ -1,0 +1,1 @@
+lib/logic/sld.mli: Database Subst Term

@@ -1,0 +1,1 @@
+lib/logic/subst.ml: Array Int Map Term

@@ -1,0 +1,1 @@
+lib/logic/term.ml: Array Hashtbl Int List String

@@ -1,0 +1,1 @@
+lib/logic/unify.ml: Array Option String Subst Term

@@ -1,0 +1,43 @@
+(** Canonical forms for variant checking.
+
+    Tabled evaluation keys its call and answer tables on the *variant*
+    class of a term: two terms are variants iff they are identical up to a
+    renaming of variables.  We canonicalize by renumbering variables
+    0,1,2,… in order of first occurrence; variant checking is then
+    structural equality of canonical forms, and canonical forms hash
+    consistently, so they serve directly as hash-table keys. *)
+
+(** [canonical s t] resolves [t] under [s] and renumbers its free
+    variables in first-occurrence order. *)
+let canonical (s : Subst.t) (t : Term.t) : Term.t =
+  let resolved = Subst.resolve s t in
+  let tbl = Hashtbl.create 8 in
+  let next = ref 0 in
+  Term.map_vars
+    (fun i ->
+      match Hashtbl.find_opt tbl i with
+      | Some v -> v
+      | None ->
+          let v = Term.Var !next in
+          incr next;
+          Hashtbl.add tbl i v;
+          v)
+    resolved
+
+(** Renumber an already-resolved term. *)
+let of_term (t : Term.t) : Term.t = canonical Subst.empty t
+
+let variant t1 t2 = Term.equal (of_term t1) (of_term t2)
+
+(** A canonical term's variables are 0..n-1; rename them to globally fresh
+    variables before resolving against live terms. *)
+let instantiate (t : Term.t) : Term.t = Term.rename t
+
+module Key = struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Term.hash
+end
+
+module Tbl = Hashtbl.Make (Key)

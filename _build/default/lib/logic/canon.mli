@@ -1,0 +1,28 @@
+(** Canonical forms for variant checking: tabled evaluation keys its
+    call and answer tables on the variant class of a term (identical up
+    to variable renaming), implemented by renumbering variables in
+    first-occurrence order. *)
+
+val canonical : Subst.t -> Term.t -> Term.t
+(** Resolve under the substitution, then renumber free variables
+    0,1,2,… in first-occurrence order. *)
+
+val of_term : Term.t -> Term.t
+(** Renumber an already-resolved term. *)
+
+val variant : Term.t -> Term.t -> bool
+(** Are the terms identical up to variable renaming? *)
+
+val instantiate : Term.t -> Term.t
+(** Rename a canonical term's variables to globally fresh ones (use
+    before resolving a canonical table entry against live terms). *)
+
+(** Hash tables keyed by canonical terms. *)
+module Key : sig
+  type t = Term.t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Tbl : Hashtbl.S with type key = Term.t

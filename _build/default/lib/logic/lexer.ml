@@ -1,0 +1,200 @@
+(** Tokenizer for the Prolog subset read by {!Parser}.
+
+    Follows standard Prolog lexical conventions: alphanumeric and symbolic
+    atoms, quoted atoms, variables, integers (decimal and [0'c] character
+    codes), double-quoted strings (read as code lists), [%] and [/* */]
+    comments.  A period followed by layout ends a clause. *)
+
+type token =
+  | TAtom of string
+  | TVar of string
+  | TInt of int
+  | TStr of string
+  | TLpar of bool  (** [true] iff immediately attached to the previous atom *)
+  | TRpar
+  | TLbracket
+  | TRbracket
+  | TLbrace
+  | TRbrace
+  | TComma
+  | TBar
+  | TEnd  (** end of clause: [.] followed by layout *)
+  | TEOF
+
+exception Lex_error of string * int  (** message, position *)
+
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_lower c || is_upper c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let is_symbol_char = function
+  | '+' | '-' | '*' | '/' | '\\' | '^' | '<' | '>' | '=' | '~' | ':' | '.'
+  | '?' | '@' | '#' | '&' | '$' ->
+      true
+  | _ -> false
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_layout st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_layout st
+  | Some '%' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_layout st
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec go () =
+        match peek st with
+        | None -> raise (Lex_error ("unterminated /* comment", st.pos))
+        | Some '*' when peek2 st = Some '/' ->
+            advance st;
+            advance st
+        | Some _ ->
+            advance st;
+            go ()
+      in
+      go ();
+      skip_layout st
+  | _ -> ()
+
+let take_while st pred =
+  let start = st.pos in
+  while match peek st with Some c when pred c -> true | _ -> false do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let read_escape st =
+  match peek st with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some 'a' -> advance st; '\007'
+  | Some 'b' -> advance st; '\b'
+  | Some 'f' -> advance st; '\012'
+  | Some 'v' -> advance st; '\011'
+  | Some '0' -> advance st; '\000'
+  | Some c -> advance st; c
+  | None -> raise (Lex_error ("dangling escape", st.pos))
+
+let read_quoted st quote =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> raise (Lex_error ("unterminated quoted token", st.pos))
+    | Some c when c = quote ->
+        advance st;
+        if peek st = Some quote then begin
+          advance st;
+          Buffer.add_char buf quote;
+          go ()
+        end
+    | Some '\\' ->
+        advance st;
+        if peek st = Some '\n' then advance st
+        else Buffer.add_char buf (read_escape st);
+        go ()
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(** [next st] returns the next token.  [prev_atomish] tells whether the
+    previous token could be a functor name, for the attached-paren rule. *)
+let next st ~prev_atomish =
+  skip_layout st;
+  match peek st with
+  | None -> TEOF
+  | Some '(' ->
+      (* attachment was decided by the caller from raw adjacency *)
+      advance st;
+      TLpar prev_atomish
+  | Some ')' -> advance st; TRpar
+  | Some '[' -> advance st; TLbracket
+  | Some ']' -> advance st; TRbracket
+  | Some '{' -> advance st; TLbrace
+  | Some '}' -> advance st; TRbrace
+  | Some ',' -> advance st; TComma
+  | Some '|' -> advance st; TBar
+  | Some '!' -> advance st; TAtom "!"
+  | Some ';' -> advance st; TAtom ";"
+  | Some '\'' ->
+      advance st;
+      TAtom (read_quoted st '\'')
+  | Some '"' ->
+      advance st;
+      TStr (read_quoted st '"')
+  | Some '0' when peek2 st = Some '\'' ->
+      advance st;
+      advance st;
+      (match peek st with
+      | Some '\\' ->
+          advance st;
+          TInt (Char.code (read_escape st))
+      | Some c ->
+          advance st;
+          TInt (Char.code c)
+      | None -> raise (Lex_error ("dangling 0'", st.pos)))
+  | Some c when is_digit c ->
+      let digits = take_while st is_digit in
+      TInt (int_of_string digits)
+  | Some c when is_lower c -> TAtom (take_while st is_alnum)
+  | Some c when is_upper c -> TVar (take_while st is_alnum)
+  | Some '.' -> (
+      (* end of clause iff followed by layout or EOF or a % comment *)
+      match peek2 st with
+      | None | Some (' ' | '\t' | '\n' | '\r' | '%') ->
+          advance st;
+          TEnd
+      | Some _ -> TAtom (take_while st is_symbol_char))
+  | Some c when is_symbol_char c -> TAtom (take_while st is_symbol_char)
+  | Some c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, st.pos))
+
+(** Tokenize a whole source string. *)
+let tokenize (src : string) : token list =
+  let st = { src; pos = 0 } in
+  let rec go acc prev_atomish =
+    (* decide attachment from raw adjacency before skipping layout *)
+    let attached = prev_atomish && peek st = Some '(' in
+    let tok = next st ~prev_atomish:attached in
+    match tok with
+    | TEOF -> List.rev (TEOF :: acc)
+    | _ ->
+        let atomish =
+          match tok with TAtom _ | TVar _ | TRpar | TRbracket -> true | _ -> false
+        in
+        go (tok :: acc) atomish
+  in
+  go [] false
+
+let token_to_string = function
+  | TAtom a -> Printf.sprintf "atom(%s)" a
+  | TVar v -> Printf.sprintf "var(%s)" v
+  | TInt i -> Printf.sprintf "int(%d)" i
+  | TStr s -> Printf.sprintf "str(%S)" s
+  | TLpar b -> if b then "attached(" else "("
+  | TRpar -> ")"
+  | TLbracket -> "["
+  | TRbracket -> "]"
+  | TLbrace -> "{"
+  | TRbrace -> "}"
+  | TComma -> ","
+  | TBar -> "|"
+  | TEnd -> "."
+  | TEOF -> "<eof>"

@@ -1,0 +1,62 @@
+(** The standard Prolog operator table, as used by the reader and the
+    pretty-printer.  Only the operators needed by the benchmark corpus and
+    the analysis transformations are included; [add] lets a program extend
+    the table (e.g. via [:- op(...)] directives). *)
+
+type assoc = XFX | XFY | YFX | FY | FX
+
+type entry = { prec : int; assoc : assoc }
+
+type table = {
+  infix : (string, entry) Hashtbl.t;
+  prefix : (string, entry) Hashtbl.t;
+}
+
+let default_ops =
+  [
+    (1200, XFX, [ ":-"; "-->" ]);
+    (1200, FX, [ ":-"; "?-" ]);
+    (1100, XFY, [ ";" ]);
+    (1050, XFY, [ "->" ]);
+    (1000, XFY, [ "," ]);
+    (990, XFX, [ ":=" ]);
+    (900, FY, [ "\\+" ]);
+    (700, XFX,
+     [
+       "="; "\\="; "=="; "\\=="; "is"; "=:="; "=\\="; "<"; ">"; "=<"; ">=";
+       "=.."; "@<"; "@>"; "@=<"; "@>=";
+     ]);
+    (500, YFX, [ "+"; "-"; "/\\"; "\\/"; "xor" ]);
+    (400, YFX, [ "*"; "/"; "//"; "mod"; "rem"; "<<"; ">>" ]);
+    (200, XFX, [ "**" ]);
+    (200, XFY, [ "^" ]);
+    (200, FY, [ "-"; "+"; "\\" ]);
+    (100, YFX, [ "." ]);
+    (1, FX, [ "$" ]);
+  ]
+
+let create () : table =
+  let t = { infix = Hashtbl.create 64; prefix = Hashtbl.create 16 } in
+  List.iter
+    (fun (prec, assoc, names) ->
+      let dst =
+        match assoc with FY | FX -> t.prefix | XFX | XFY | YFX -> t.infix
+      in
+      List.iter (fun n -> Hashtbl.replace dst n { prec; assoc }) names)
+    default_ops;
+  t
+
+let add (t : table) prec assoc name =
+  let dst = match assoc with FY | FX -> t.prefix | _ -> t.infix in
+  Hashtbl.replace dst name { prec; assoc }
+
+let infix (t : table) name = Hashtbl.find_opt t.infix name
+let prefix (t : table) name = Hashtbl.find_opt t.prefix name
+
+let assoc_of_string = function
+  | "xfx" -> Some XFX
+  | "xfy" -> Some XFY
+  | "yfx" -> Some YFX
+  | "fy" -> Some FY
+  | "fx" -> Some FX
+  | _ -> None

@@ -1,0 +1,249 @@
+(** Operator-precedence parser for the Prolog subset (the reader).
+
+    Implements the standard Prolog term-reading algorithm over the token
+    stream from {!Lexer} and the operator table from {!Ops}.  Produces
+    {!Term.t} clauses; variables are scoped per clause and mapped to fresh
+    ids ([_] is always fresh). *)
+
+exception Parse_error of string
+
+type state = {
+  mutable toks : Lexer.token list;
+  ops : Ops.table;
+  vars : (string, int) Hashtbl.t;  (** clause-local variable scope *)
+}
+
+let peek st = match st.toks with [] -> Lexer.TEOF | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok msg =
+  if peek st = tok then advance st else raise (Parse_error msg)
+
+let var_of_name st name =
+  if String.equal name "_" then Term.fresh_var ()
+  else
+    match Hashtbl.find_opt st.vars name with
+    | Some id -> Term.Var id
+    | None ->
+        let id = Term.fresh_id () in
+        Hashtbl.add st.vars name id;
+        Term.Var id
+
+(* Can the upcoming token begin a term?  Decides whether an atom that is
+   also a prefix operator is applied or stands alone. *)
+let starts_term st =
+  match peek st with
+  | Lexer.TAtom _ | Lexer.TVar _ | Lexer.TInt _ | Lexer.TStr _
+  | Lexer.TLpar _ | Lexer.TLbracket | Lexer.TLbrace ->
+      true
+  | _ -> false
+
+let term_of_string s =
+  String.to_seq s |> List.of_seq
+  |> List.map (fun c -> Term.Int (Char.code c))
+  |> Term.of_list
+
+(* An infix operator occurrence: ',' and '|' tokens act as operators too. *)
+let infix_here st =
+  match peek st with
+  | Lexer.TAtom a -> (
+      match Ops.infix st.ops a with Some e -> Some (a, e) | None -> None)
+  | Lexer.TComma -> Some (",", { Ops.prec = 1000; assoc = Ops.XFY })
+  | Lexer.TBar -> Some (";", { Ops.prec = 1100; assoc = Ops.XFY })
+  | _ -> None
+
+let rec parse st maxprec : Term.t =
+  let left, leftprec = parse_primary st maxprec in
+  parse_infix st left leftprec maxprec
+
+and parse_infix st left leftprec maxprec =
+  match infix_here st with
+  | Some (name, { Ops.prec; assoc }) when prec <= maxprec ->
+      let lmax, rmax =
+        match assoc with
+        | Ops.XFX -> (prec - 1, prec - 1)
+        | Ops.XFY -> (prec - 1, prec)
+        | Ops.YFX -> (prec, prec - 1)
+        | Ops.FY | Ops.FX -> assert false
+      in
+      if leftprec <= lmax then begin
+        advance st;
+        let right = parse st rmax in
+        parse_infix st (Term.Struct (name, [| left; right |])) prec maxprec
+      end
+      else left
+  | _ -> left
+
+and parse_primary st maxprec : Term.t * int =
+  match peek st with
+  | Lexer.TInt i ->
+      advance st;
+      (Term.Int i, 0)
+  | Lexer.TVar v ->
+      advance st;
+      (var_of_name st v, 0)
+  | Lexer.TStr s ->
+      advance st;
+      (term_of_string s, 0)
+  | Lexer.TLpar _ ->
+      advance st;
+      let t = parse st 1200 in
+      expect st Lexer.TRpar "expected )";
+      (t, 0)
+  | Lexer.TLbracket ->
+      advance st;
+      (parse_list st, 0)
+  | Lexer.TLbrace ->
+      advance st;
+      if peek st = Lexer.TRbrace then begin
+        advance st;
+        (Term.Atom "{}", 0)
+      end
+      else begin
+        let t = parse st 1200 in
+        expect st Lexer.TRbrace "expected }";
+        (Term.Struct ("{}", [| t |]), 0)
+      end
+  | Lexer.TAtom a -> (
+      advance st;
+      match peek st with
+      | Lexer.TLpar true ->
+          advance st;
+          let args = parse_arglist st in
+          expect st Lexer.TRpar "expected ) after arguments";
+          (Term.mkl a args, 0)
+      | _ -> (
+          (* negative numeric literal *)
+          match (a, peek st) with
+          | "-", Lexer.TInt i ->
+              advance st;
+              (Term.Int (-i), 0)
+          | _ -> (
+              match Ops.prefix st.ops a with
+              | Some { Ops.prec; assoc } when prec <= maxprec && starts_term st
+                ->
+                  (* an atom that is also an infix op directly after a
+                     prefix op is being used as an operand, not applied *)
+                  let operand_is_infix =
+                    match infix_here st with
+                    | Some _ -> not (starts_term { st with toks = List.tl st.toks })
+                    | None -> false
+                  in
+                  if operand_is_infix then (Term.Atom a, 0)
+                  else
+                    let sub =
+                      match assoc with
+                      | Ops.FY -> prec
+                      | Ops.FX -> prec - 1
+                      | _ -> assert false
+                    in
+                    let arg = parse st sub in
+                    (Term.Struct (a, [| arg |]), prec)
+              | _ -> (Term.Atom a, 0))))
+  | tok ->
+      raise
+        (Parse_error
+           (Printf.sprintf "unexpected token %s" (Lexer.token_to_string tok)))
+
+and parse_arglist st : Term.t list =
+  let arg = parse st 999 in
+  if peek st = Lexer.TComma then begin
+    advance st;
+    arg :: parse_arglist st
+  end
+  else [ arg ]
+
+and parse_list st : Term.t =
+  if peek st = Lexer.TRbracket then begin
+    advance st;
+    Term.nil
+  end
+  else
+    let rec elements () =
+      let e = parse st 999 in
+      match peek st with
+      | Lexer.TComma ->
+          advance st;
+          let rest = elements () in
+          Term.cons e rest
+      | Lexer.TBar ->
+          advance st;
+          let tail = parse st 999 in
+          expect st Lexer.TRbracket "expected ] after list tail";
+          Term.cons e tail
+      | Lexer.TRbracket ->
+          advance st;
+          Term.cons e Term.nil
+      | tok ->
+          raise
+            (Parse_error
+               (Printf.sprintf "in list: unexpected %s"
+                  (Lexer.token_to_string tok)))
+    in
+    elements ()
+
+(** A program clause: [head :- body] with the body flattened into a list
+    of goals; facts have an empty body. *)
+type clause = { head : Term.t; body : Term.t list }
+
+type item = Clause of clause | Directive of Term.t
+
+let clause_of_term (t : Term.t) : item =
+  match t with
+  | Term.Struct (":-", [| h; b |]) -> Clause { head = h; body = Term.conjuncts b }
+  | Term.Struct (":-", [| d |]) -> Directive d
+  | Term.Struct ("?-", [| d |]) -> Directive d
+  | h -> Clause { head = h; body = [] }
+
+(** Parse one term terminated by an end-of-clause token. *)
+let read_term st : Term.t option =
+  Hashtbl.reset st.vars;
+  match peek st with
+  | Lexer.TEOF -> None
+  | _ ->
+      let t = parse st 1200 in
+      expect st Lexer.TEnd "expected . at end of clause";
+      Some t
+
+let handle_op_directive ops = function
+  | Term.Struct ("op", [| Term.Int p; Term.Atom a; Term.Atom name |]) -> (
+      match Ops.assoc_of_string a with
+      | Some assoc ->
+          Ops.add ops p assoc name;
+          true
+      | None -> false)
+  | _ -> false
+
+(** Parse a whole program.  [:- op(...)] directives take effect
+    immediately; all directives are also returned in order. *)
+let parse_program ?(ops = Ops.create ()) (src : string) : item list =
+  let st = { toks = Lexer.tokenize src; ops; vars = Hashtbl.create 16 } in
+  let rec go acc =
+    match read_term st with
+    | None -> List.rev acc
+    | Some t ->
+        let item = clause_of_term t in
+        (match item with
+        | Directive d -> ignore (handle_op_directive ops d)
+        | Clause _ -> ());
+        go (item :: acc)
+  in
+  go []
+
+(** Clauses only, directives dropped. *)
+let parse_clauses ?ops src : clause list =
+  parse_program ?ops src
+  |> List.filter_map (function Clause c -> Some c | Directive _ -> None)
+
+(** Parse a single term from a string (for tests and queries). *)
+let parse_term ?(ops = Ops.create ()) (src : string) : Term.t =
+  let st = { toks = Lexer.tokenize src; ops; vars = Hashtbl.create 16 } in
+  let t = parse st 1200 in
+  (match peek st with
+  | Lexer.TEnd | Lexer.TEOF -> ()
+  | tok ->
+      raise
+        (Parse_error
+           (Printf.sprintf "trailing input: %s" (Lexer.token_to_string tok))));
+  t

@@ -1,0 +1,24 @@
+(** Operator-precedence parser for the Prolog subset (the reader).
+    Variables are scoped per clause; [_] is always fresh. *)
+
+exception Parse_error of string
+
+(** A program clause with its body flattened into goals. *)
+type clause = { head : Term.t; body : Term.t list }
+
+type item = Clause of clause | Directive of Term.t
+
+val clause_of_term : Term.t -> item
+(** Interpret a term as a clause or directive ([:- G], [?- G]). *)
+
+val parse_program : ?ops:Ops.table -> string -> item list
+(** Parse a whole program.  [:- op(P, Assoc, Name)] directives take
+    effect immediately and are also returned. *)
+
+val parse_clauses : ?ops:Ops.table -> string -> clause list
+(** Clauses only, directives dropped. *)
+
+val parse_term : ?ops:Ops.table -> string -> Term.t
+(** A single term (for tests and queries). *)
+
+val handle_op_directive : Ops.table -> Term.t -> bool

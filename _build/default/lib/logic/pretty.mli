@@ -1,0 +1,9 @@
+(** Term pretty-printing with operator notation, list syntax, and
+    canonical variable names ([A], [B], …, [_27]). *)
+
+val var_name : int -> string
+val atom_to_string : string -> string
+
+val pp : ?ops:Ops.table -> Format.formatter -> Term.t -> unit
+val term_to_string : ?ops:Ops.table -> Term.t -> string
+val clause_to_string : ?ops:Ops.table -> Parser.clause -> string

@@ -1,0 +1,340 @@
+(** Plain SLD resolution: a non-tabled Prolog engine in
+    continuation-passing style, with cut, control constructs, arithmetic
+    and the usual term-inspection builtins.
+
+    This is the "ordinary Prolog" half of the XSB substitute: it executes
+    the benchmark programs concretely (used by the examples and by the
+    property tests that validate analysis soundness) and serves as the
+    compilation-time baseline for the "compile-time increase" column of
+    Tables 1 and 4. *)
+
+exception Cut_signal of int
+exception Found
+exception Instantiation_error of string
+exception Type_error of string * Term.t
+exception Existence_error of string * int
+exception Solution_limit
+
+type engine = {
+  db : Database.t;
+  mutable next_cut : int;
+  mutable inferences : int;
+  max_inferences : int;
+}
+
+let create ?(max_inferences = max_int) db =
+  { db; next_cut = 0; inferences = 0; max_inferences }
+
+let new_cut_id e =
+  e.next_cut <- e.next_cut + 1;
+  e.next_cut
+
+let tick e =
+  e.inferences <- e.inferences + 1;
+  if e.inferences > e.max_inferences then raise Solution_limit
+
+(* --- arithmetic -------------------------------------------------------- *)
+
+let rec eval_arith (s : Subst.t) (t : Term.t) : int =
+  match Subst.walk s t with
+  | Term.Int i -> i
+  | Term.Var _ -> raise (Instantiation_error "is/2")
+  | Term.Struct ("+", [| a; b |]) -> eval_arith s a + eval_arith s b
+  | Term.Struct ("-", [| a; b |]) -> eval_arith s a - eval_arith s b
+  | Term.Struct ("*", [| a; b |]) -> eval_arith s a * eval_arith s b
+  | Term.Struct (("/" | "//"), [| a; b |]) ->
+      let d = eval_arith s b in
+      if d = 0 then raise (Type_error ("zero divisor", t)) else eval_arith s a / d
+  | Term.Struct ("mod", [| a; b |]) ->
+      let d = eval_arith s b in
+      if d = 0 then raise (Type_error ("zero divisor", t))
+      else
+        let m = eval_arith s a mod d in
+        if (m < 0 && d > 0) || (m > 0 && d < 0) then m + d else m
+  | Term.Struct ("rem", [| a; b |]) -> eval_arith s a mod eval_arith s b
+  | Term.Struct ("-", [| a |]) -> -eval_arith s a
+  | Term.Struct ("+", [| a |]) -> eval_arith s a
+  | Term.Struct ("abs", [| a |]) -> abs (eval_arith s a)
+  | Term.Struct ("min", [| a; b |]) -> min (eval_arith s a) (eval_arith s b)
+  | Term.Struct ("max", [| a; b |]) -> max (eval_arith s a) (eval_arith s b)
+  | Term.Struct (">>", [| a; b |]) -> eval_arith s a asr eval_arith s b
+  | Term.Struct ("<<", [| a; b |]) -> eval_arith s a lsl eval_arith s b
+  | Term.Struct ("/\\", [| a; b |]) -> eval_arith s a land eval_arith s b
+  | Term.Struct ("\\/", [| a; b |]) -> eval_arith s a lor eval_arith s b
+  | Term.Struct ("xor", [| a; b |]) -> eval_arith s a lxor eval_arith s b
+  | Term.Struct ("sign", [| a |]) -> Int.compare (eval_arith s a) 0
+  | Term.Struct (("^" | "**"), [| a; b |]) ->
+      let base = eval_arith s a and e = eval_arith s b in
+      if e < 0 then raise (Type_error ("nonnegative exponent", t))
+      else
+        let rec pow acc n = if n = 0 then acc else pow (acc * base) (n - 1) in
+        pow 1 e
+  | t' -> raise (Type_error ("evaluable", t'))
+
+(* Standard order of terms for ==, @<, etc.: compare resolved forms. *)
+let std_compare s t1 t2 =
+  Term.compare (Subst.resolve s t1) (Subst.resolve s t2)
+
+(* --- the solver -------------------------------------------------------- *)
+
+(* [solve e s goal sc cutid]: enumerate solutions of [goal] under [s],
+   calling [sc] on each extended substitution.  [cutid] is the barrier a
+   [!] in this goal cuts to. *)
+let rec solve e (s : Subst.t) (goal : Term.t) (sc : Subst.t -> unit)
+    (cutid : int) : unit =
+  tick e;
+  match Subst.walk s goal with
+  | Term.Var _ -> raise (Instantiation_error "call/1")
+  | Term.Int _ -> raise (Type_error ("callable", goal))
+  | Term.Atom "true" -> sc s
+  | Term.Atom ("fail" | "false") -> ()
+  | Term.Atom "!" ->
+      sc s;
+      raise (Cut_signal cutid)
+  | Term.Atom "nl" ->
+      print_newline ();
+      sc s
+  | Term.Atom "halt" -> raise Found
+  | Term.Struct (",", [| a; b |]) ->
+      solve e s a (fun s' -> solve e s' b sc cutid) cutid
+  | Term.Struct (";", [| Term.Struct ("->", [| c; t |]); el |]) -> (
+      match solve_once e s c with
+      | Some s' -> solve e s' t sc cutid
+      | None -> solve e s el sc cutid)
+  | Term.Struct (";", [| a; b |]) ->
+      solve e s a sc cutid;
+      solve e s b sc cutid
+  | Term.Struct ("->", [| c; t |]) -> (
+      match solve_once e s c with
+      | Some s' -> solve e s' t sc cutid
+      | None -> ())
+  | Term.Struct ("\\+", [| g |]) -> (
+      match solve_once e s g with Some _ -> () | None -> sc s)
+  | Term.Struct ("not", [| g |]) -> (
+      match solve_once e s g with Some _ -> () | None -> sc s)
+  | Term.Struct ("call", args) when Array.length args >= 1 ->
+      let g = Subst.walk s args.(0) in
+      let extra = Array.sub args 1 (Array.length args - 1) in
+      let g' =
+        if Array.length extra = 0 then g
+        else
+          match g with
+          | Term.Atom f -> Term.Struct (f, extra)
+          | Term.Struct (f, a0) -> Term.Struct (f, Array.append a0 extra)
+          | _ -> raise (Type_error ("callable", g))
+      in
+      (* call/N is transparent to solutions but opaque to cut *)
+      let id = new_cut_id e in
+      (try solve e s g' sc id with Cut_signal i when i = id -> ())
+  | Term.Struct ("findall", [| tmpl; g; out |]) ->
+      let acc = ref [] in
+      let id = new_cut_id e in
+      (try
+         solve e s g (fun s' -> acc := Subst.resolve s' tmpl :: !acc) id
+       with Cut_signal i when i = id -> ());
+      let lst = Term.of_list (List.rev !acc) in
+      unify_k e s lst out sc
+  | Term.Struct ("=", [| a; b |]) -> unify_k e s a b sc
+  | Term.Struct ("\\=", [| a; b |]) -> (
+      match Unify.unify s a b with Some _ -> () | None -> sc s)
+  | Term.Struct ("==", [| a; b |]) -> if std_compare s a b = 0 then sc s
+  | Term.Struct ("\\==", [| a; b |]) -> if std_compare s a b <> 0 then sc s
+  | Term.Struct ("@<", [| a; b |]) -> if std_compare s a b < 0 then sc s
+  | Term.Struct ("@>", [| a; b |]) -> if std_compare s a b > 0 then sc s
+  | Term.Struct ("@=<", [| a; b |]) -> if std_compare s a b <= 0 then sc s
+  | Term.Struct ("@>=", [| a; b |]) -> if std_compare s a b >= 0 then sc s
+  | Term.Struct ("compare", [| ord; a; b |]) ->
+      let c = std_compare s a b in
+      let sym = if c < 0 then "<" else if c > 0 then ">" else "=" in
+      unify_k e s ord (Term.Atom sym) sc
+  | Term.Struct ("is", [| x; expr |]) ->
+      unify_k e s x (Term.Int (eval_arith s expr)) sc
+  | Term.Struct ("=:=", [| a; b |]) ->
+      if eval_arith s a = eval_arith s b then sc s
+  | Term.Struct ("=\\=", [| a; b |]) ->
+      if eval_arith s a <> eval_arith s b then sc s
+  | Term.Struct ("<", [| a; b |]) -> if eval_arith s a < eval_arith s b then sc s
+  | Term.Struct (">", [| a; b |]) -> if eval_arith s a > eval_arith s b then sc s
+  | Term.Struct ("=<", [| a; b |]) ->
+      if eval_arith s a <= eval_arith s b then sc s
+  | Term.Struct (">=", [| a; b |]) ->
+      if eval_arith s a >= eval_arith s b then sc s
+  | Term.Struct ("var", [| x |]) -> (
+      match Subst.walk s x with Term.Var _ -> sc s | _ -> ())
+  | Term.Struct ("nonvar", [| x |]) -> (
+      match Subst.walk s x with Term.Var _ -> () | _ -> sc s)
+  | Term.Struct ("atom", [| x |]) -> (
+      match Subst.walk s x with Term.Atom _ -> sc s | _ -> ())
+  | Term.Struct (("integer" | "number"), [| x |]) -> (
+      match Subst.walk s x with Term.Int _ -> sc s | _ -> ())
+  | Term.Struct ("atomic", [| x |]) -> (
+      match Subst.walk s x with Term.Atom _ | Term.Int _ -> sc s | _ -> ())
+  | Term.Struct ("compound", [| x |]) -> (
+      match Subst.walk s x with Term.Struct _ -> sc s | _ -> ())
+  | Term.Struct ("ground", [| x |]) ->
+      if Subst.is_ground_under s x then sc s
+  | Term.Struct ("functor", [| t; f; a |]) -> (
+      match Subst.walk s t with
+      | Term.Var _ -> (
+          match (Subst.walk s f, Subst.walk s a) with
+          | Term.Atom name, Term.Int n when n >= 0 ->
+              let t' =
+                if n = 0 then Term.Atom name
+                else
+                  Term.Struct (name, Array.init n (fun _ -> Term.fresh_var ()))
+              in
+              unify_k e s t t' sc
+          | Term.Int i, Term.Int 0 -> unify_k e s t (Term.Int i) sc
+          | _ -> raise (Instantiation_error "functor/3"))
+      | Term.Int i ->
+          unify2_k e s f (Term.Int i) a (Term.Int 0) sc
+      | Term.Atom name ->
+          unify2_k e s f (Term.Atom name) a (Term.Int 0) sc
+      | Term.Struct (name, args) ->
+          unify2_k e s f (Term.Atom name) a (Term.Int (Array.length args)) sc)
+  | Term.Struct ("arg", [| n; t; a |]) -> (
+      match (Subst.walk s n, Subst.walk s t) with
+      | Term.Int i, Term.Struct (_, args) when i >= 1 && i <= Array.length args
+        ->
+          unify_k e s a args.(i - 1) sc
+      | Term.Int _, Term.Struct _ -> ()
+      | _ -> raise (Instantiation_error "arg/3"))
+  | Term.Struct ("=..", [| t; l |]) -> (
+      match Subst.walk s t with
+      | Term.Var _ -> (
+          match Term.list_elements (Subst.resolve s l) with
+          | Some (Term.Atom f :: args) ->
+              unify_k e s t (Term.mkl f args) sc
+          | Some [ (Term.Int _ as i) ] -> unify_k e s t i sc
+          | _ -> raise (Instantiation_error "=../2"))
+      | Term.Int i -> unify_k e s l (Term.of_list [ Term.Int i ]) sc
+      | Term.Atom a -> unify_k e s l (Term.of_list [ Term.Atom a ]) sc
+      | Term.Struct (f, args) ->
+          unify_k e s l
+            (Term.of_list (Term.Atom f :: Array.to_list args))
+            sc)
+  | Term.Struct ("name", [| a; l |]) -> (
+      match Subst.walk s a with
+      | Term.Atom at ->
+          let codes =
+            Term.of_list
+              (List.map
+                 (fun c -> Term.Int (Char.code c))
+                 (List.of_seq (String.to_seq at)))
+          in
+          unify_k e s l codes sc
+      | Term.Int i ->
+          let codes =
+            Term.of_list
+              (List.map
+                 (fun c -> Term.Int (Char.code c))
+                 (List.of_seq (String.to_seq (string_of_int i))))
+          in
+          unify_k e s l codes sc
+      | _ -> (
+          match Term.list_elements (Subst.resolve s l) with
+          | Some codes ->
+              let str =
+                String.init (List.length codes) (fun i ->
+                    match List.nth codes i with
+                    | Term.Int c -> Char.chr c
+                    | _ -> raise (Type_error ("character code", l)))
+              in
+              unify_k e s a (Term.Atom str) sc
+          | None -> raise (Instantiation_error "name/2")))
+  | Term.Struct ("write", [| t |]) ->
+      print_string (Pretty.term_to_string (Subst.resolve s t));
+      sc s
+  | Term.Struct ("tab", [| n |]) ->
+      print_string (String.make (max 0 (eval_arith s n)) ' ');
+      sc s
+  | Term.Struct ("length", [| l; n |]) -> (
+      match Term.list_elements (Subst.resolve s l) with
+      | Some es -> unify_k e s n (Term.Int (List.length es)) sc
+      | None -> (
+          match Subst.walk s n with
+          | Term.Int k when k >= 0 ->
+              let fresh = List.init k (fun _ -> Term.fresh_var ()) in
+              unify_k e s l (Term.of_list fresh) sc
+          | _ -> raise (Instantiation_error "length/2")))
+  | (Term.Atom _ | Term.Struct _) as g -> solve_user e s g sc
+
+and unify_k e s a b sc =
+  ignore e;
+  match Unify.unify s a b with Some s' -> sc s' | None -> ()
+
+and unify2_k e s a1 b1 a2 b2 sc =
+  ignore e;
+  match Unify.unify s a1 b1 with
+  | Some s' -> ( match Unify.unify s' a2 b2 with Some s'' -> sc s'' | None -> ())
+  | None -> ()
+
+and solve_user e s g sc =
+  let p =
+    match Term.functor_of g with Some p -> p | None -> assert false
+  in
+  if not (Database.defined e.db p) then
+    raise (Existence_error (fst p, snd p));
+  let id = new_cut_id e in
+  let cs = Database.matching e.db s g in
+  try
+    List.iter
+      (fun c ->
+        tick e;
+        match Database.activate c s g with
+        | Some (s', body) ->
+            solve_goals e s' body (fun s'' -> sc s'') id
+        | None -> ())
+      cs
+  with Cut_signal i when i = id -> ()
+
+and solve_goals e s goals sc cutid =
+  match goals with
+  | [] -> sc s
+  | g :: rest ->
+      solve e s g (fun s' -> solve_goals e s' rest sc cutid) cutid
+
+and solve_once e s g =
+  let result = ref None in
+  let id = new_cut_id e in
+  (try
+     solve e s g
+       (fun s' ->
+         result := Some s';
+         raise Found)
+       id
+   with
+  | Found -> ()
+  | Cut_signal i when i = id -> ());
+  !result
+
+(* --- public API -------------------------------------------------------- *)
+
+(** All solutions of [goal], as substitutions, up to [limit]. *)
+let solutions ?(limit = max_int) ?max_inferences db (goal : Term.t) :
+    Subst.t list =
+  let e = create ?max_inferences db in
+  let acc = ref [] in
+  let count = ref 0 in
+  let id = new_cut_id e in
+  (try
+     solve e Subst.empty goal
+       (fun s ->
+         acc := s :: !acc;
+         incr count;
+         if !count >= limit then raise Found)
+       id
+   with
+  | Found -> ()
+  | Cut_signal i when i = id -> ());
+  List.rev !acc
+
+(** Resolved instances of [tmpl] for each solution of [goal]. *)
+let all_answers ?limit ?max_inferences db goal tmpl : Term.t list =
+  solutions ?limit ?max_inferences db goal
+  |> List.map (fun s -> Subst.resolve s tmpl)
+
+let has_solution ?max_inferences db goal =
+  match solutions ~limit:1 ?max_inferences db goal with
+  | [] -> false
+  | _ -> true

@@ -1,0 +1,34 @@
+(** Plain SLD resolution: a non-tabled Prolog engine with cut, control
+    constructs, arithmetic, and the usual term-inspection builtins.  Used
+    to execute benchmark programs concretely and to validate analysis
+    results. *)
+
+exception Cut_signal of int
+exception Found
+exception Instantiation_error of string
+exception Type_error of string * Term.t
+exception Existence_error of string * int
+exception Solution_limit
+(** Raised when the [max_inferences] budget is exhausted. *)
+
+val eval_arith : Subst.t -> Term.t -> int
+(** Evaluate an arithmetic expression ([+ - * / // mod rem abs min max
+    ^ ** << >> /\ \/ xor sign], unary [- +]).
+    @raise Instantiation_error on unbound variables
+    @raise Type_error on non-evaluable terms *)
+
+val solutions :
+  ?limit:int -> ?max_inferences:int -> Database.t -> Term.t -> Subst.t list
+(** All solutions of a goal, in Prolog order, up to [limit]. *)
+
+val all_answers :
+  ?limit:int ->
+  ?max_inferences:int ->
+  Database.t ->
+  Term.t ->
+  Term.t ->
+  Term.t list
+(** [all_answers db goal tmpl]: resolved instances of [tmpl] per
+    solution.  [goal] and [tmpl] must share their variable scope. *)
+
+val has_solution : ?max_inferences:int -> Database.t -> Term.t -> bool

@@ -1,0 +1,46 @@
+(** Idempotent-enough substitutions: persistent maps from variable ids to
+    terms, dereferenced lazily.  Persistence is what makes the
+    continuation-passing engines trivially backtrackable — no trail is
+    needed; an old substitution is simply kept. *)
+
+module IM = Map.Make (Int)
+
+type t = Term.t IM.t
+
+let empty : t = IM.empty
+let is_empty = IM.is_empty
+let cardinal = IM.cardinal
+
+(** Dereference the top of [t]: follow variable bindings until reaching a
+    non-variable or an unbound variable.  Does not descend into
+    structures. *)
+let rec walk (s : t) (t : Term.t) : Term.t =
+  match t with
+  | Term.Var i -> (
+      match IM.find_opt i s with Some t' -> walk s t' | None -> t)
+  | _ -> t
+
+(** Bind variable [i] to [t].  The caller must ensure [i] is unbound. *)
+let bind (s : t) i (t : Term.t) : t = IM.add i t s
+
+(** Fully apply [s] to [t], producing a term with only unbound variables. *)
+let rec resolve (s : t) (t : Term.t) : Term.t =
+  match walk s t with
+  | Term.Struct (f, args) -> Term.Struct (f, Array.map (resolve s) args)
+  | t' -> t'
+
+(** The unbound variables remaining in [resolve s t], in first-occurrence
+    order. *)
+let free_vars s t = Term.vars (resolve s t)
+
+let is_ground_under s t = Term.is_ground (resolve s t)
+
+(** Does variable [id] occur in [t] under [s]?  Used for occur-check. *)
+let rec occurs_check (s : t) id (t : Term.t) : bool =
+  match walk s t with
+  | Term.Var j -> j = id
+  | Term.Int _ | Term.Atom _ -> false
+  | Term.Struct (_, args) ->
+      let n = Array.length args in
+      let rec go i = i < n && (occurs_check s id args.(i) || go (i + 1)) in
+      go 0

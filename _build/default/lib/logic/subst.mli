@@ -1,0 +1,29 @@
+(** Persistent substitutions: maps from variable ids to terms,
+    dereferenced lazily.  Persistence is what makes the
+    continuation-passing engines trivially backtrackable — no trail is
+    needed. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val walk : t -> Term.t -> Term.t
+(** Follow variable bindings at the top of the term until reaching a
+    non-variable or an unbound variable.  Does not descend into
+    structures. *)
+
+val bind : t -> int -> Term.t -> t
+(** [bind s i t] binds variable [i] to [t].  The caller must ensure [i]
+    is unbound in [s]. *)
+
+val resolve : t -> Term.t -> Term.t
+(** Fully apply the substitution, producing a term whose only variables
+    are unbound ones. *)
+
+val free_vars : t -> Term.t -> int list
+val is_ground_under : t -> Term.t -> bool
+
+val occurs_check : t -> int -> Term.t -> bool
+(** Does the variable occur in the term under the substitution? *)

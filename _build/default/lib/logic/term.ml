@@ -1,0 +1,172 @@
+(** First-order terms, the common currency of every engine and analysis in
+    this repository.
+
+    Variables are identified by integers drawn from a global supply; the
+    supply can be reset for deterministic tests.  Atoms are 0-ary functors
+    and are kept distinct from [Struct] so that the common cases allocate
+    less and pattern-match faster. *)
+
+type t =
+  | Var of int
+  | Int of int
+  | Atom of string
+  | Struct of string * t array
+
+let counter = ref 0
+
+let fresh_var () =
+  incr counter;
+  Var !counter
+
+let fresh_id () =
+  incr counter;
+  !counter
+
+(** Reset the global variable supply.  Only for tests that need
+    reproducible variable numbering. *)
+let reset_gensym () = counter := 0
+
+let atom s = Atom s
+
+let mk name args = if Array.length args = 0 then Atom name else Struct (name, args)
+
+let mkl name args =
+  match args with [] -> Atom name | _ -> Struct (name, Array.of_list args)
+
+let true_ = Atom "true"
+let fail_ = Atom "fail"
+let nil = Atom "[]"
+let cons h t = Struct (".", [| h; t |])
+
+let rec of_list = function [] -> nil | x :: xs -> cons x (of_list xs)
+
+(** Functor name and arity of a callable term; variables and integers have
+    none. *)
+let functor_of = function
+  | Atom a -> Some (a, 0)
+  | Struct (f, args) -> Some (f, Array.length args)
+  | Var _ | Int _ -> None
+
+let args_of = function Struct (_, args) -> args | _ -> [||]
+
+let is_callable = function Atom _ | Struct _ -> true | Var _ | Int _ -> false
+
+let rec equal t1 t2 =
+  match (t1, t2) with
+  | Var i, Var j -> i = j
+  | Int i, Int j -> i = j
+  | Atom a, Atom b -> String.equal a b
+  | Struct (f, a1), Struct (g, a2) ->
+      String.equal f g
+      && Array.length a1 = Array.length a2
+      && equal_args a1 a2 0
+  | _ -> false
+
+and equal_args a1 a2 i =
+  i >= Array.length a1 || (equal a1.(i) a2.(i) && equal_args a1 a2 (i + 1))
+
+let rec compare t1 t2 =
+  match (t1, t2) with
+  | Var i, Var j -> Int.compare i j
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | Int i, Int j -> Int.compare i j
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Atom a, Atom b -> String.compare a b
+  | Atom _, _ -> -1
+  | _, Atom _ -> 1
+  | Struct (f, a1), Struct (g, a2) ->
+      let c = String.compare f g in
+      if c <> 0 then c
+      else
+        let c = Int.compare (Array.length a1) (Array.length a2) in
+        if c <> 0 then c else compare_args a1 a2 0
+
+and compare_args a1 a2 i =
+  if i >= Array.length a1 then 0
+  else
+    let c = compare a1.(i) a2.(i) in
+    if c <> 0 then c else compare_args a1 a2 (i + 1)
+
+let hash (t : t) = Hashtbl.hash t
+
+(** Fold over all variable ids occurring in [t]. *)
+let rec fold_vars f acc = function
+  | Var i -> f acc i
+  | Int _ | Atom _ -> acc
+  | Struct (_, args) -> Array.fold_left (fold_vars f) acc args
+
+(** Variable ids in order of first occurrence, without duplicates. *)
+let vars t =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let add i =
+    if not (Hashtbl.mem seen i) then begin
+      Hashtbl.add seen i ();
+      out := i :: !out
+    end
+  in
+  let rec go = function
+    | Var i -> add i
+    | Int _ | Atom _ -> ()
+    | Struct (_, args) -> Array.iter go args
+  in
+  go t;
+  List.rev !out
+
+let rec is_ground = function
+  | Var _ -> false
+  | Int _ | Atom _ -> true
+  | Struct (_, args) ->
+      let n = Array.length args in
+      let rec go i = i >= n || (is_ground args.(i) && go (i + 1)) in
+      go 0
+
+let occurs id t = fold_vars (fun acc i -> acc || i = id) false t
+
+(** Number of nodes; used for table-space accounting. *)
+let rec size = function
+  | Var _ | Int _ | Atom _ -> 1
+  | Struct (_, args) -> Array.fold_left (fun n t -> n + size t) 1 args
+
+let rec depth = function
+  | Var _ | Int _ | Atom _ -> 1
+  | Struct (_, args) -> 1 + Array.fold_left (fun d t -> max d (depth t)) 0 args
+
+(** Apply [f] to every variable, rebuilding the term. *)
+let rec map_vars f = function
+  | Var i -> f i
+  | (Int _ | Atom _) as t -> t
+  | Struct (g, args) -> Struct (g, Array.map (map_vars f) args)
+
+(** Rename all variables in [t] to fresh ones, consistently. *)
+let rename t =
+  let tbl = Hashtbl.create 8 in
+  map_vars
+    (fun i ->
+      match Hashtbl.find_opt tbl i with
+      | Some v -> v
+      | None ->
+          let v = fresh_var () in
+          Hashtbl.add tbl i v;
+          v)
+    t
+
+(** Flatten a [','/2] tree into the list of conjuncts. *)
+let rec conjuncts = function
+  | Struct (",", [| a; b |]) -> conjuncts a @ conjuncts b
+  | Atom "true" -> []
+  | t -> [ t ]
+
+let rec conj = function
+  | [] -> true_
+  | [ g ] -> g
+  | g :: gs -> Struct (",", [| g; conj gs |])
+
+(** Decompose a list term into [Some elements] if proper, [None] otherwise. *)
+let rec list_elements = function
+  | Atom "[]" -> Some []
+  | Struct (".", [| h; t |]) -> (
+      match list_elements t with Some es -> Some (h :: es) | None -> None)
+  | _ -> None

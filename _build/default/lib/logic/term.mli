@@ -1,0 +1,81 @@
+(** First-order terms, the common currency of every engine and analysis
+    in this repository. *)
+
+type t =
+  | Var of int
+  | Int of int
+  | Atom of string
+  | Struct of string * t array
+
+(** {2 Variable supply} *)
+
+val fresh_var : unit -> t
+(** A variable with a globally fresh id. *)
+
+val fresh_id : unit -> int
+
+val reset_gensym : unit -> unit
+(** Reset the global supply.  Only for tests needing reproducible
+    numbering. *)
+
+(** {2 Construction} *)
+
+val atom : string -> t
+
+val mk : string -> t array -> t
+(** [mk name args] is [Atom name] when [args] is empty. *)
+
+val mkl : string -> t list -> t
+
+val true_ : t
+val fail_ : t
+val nil : t
+val cons : t -> t -> t
+val of_list : t list -> t
+
+(** {2 Inspection} *)
+
+val functor_of : t -> (string * int) option
+(** Name and arity of a callable term; [None] for variables and
+    integers. *)
+
+val args_of : t -> t array
+(** Arguments of a [Struct]; [[||]] otherwise. *)
+
+val is_callable : t -> bool
+val is_ground : t -> bool
+
+val vars : t -> int list
+(** Variable ids in first-occurrence order, without duplicates. *)
+
+val fold_vars : ('a -> int -> 'a) -> 'a -> t -> 'a
+val occurs : int -> t -> bool
+
+val size : t -> int
+(** Node count; used for table-space accounting. *)
+
+val depth : t -> int
+
+(** {2 Comparison} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** {2 Transformation} *)
+
+val map_vars : (int -> t) -> t -> t
+(** Apply a function to every variable, rebuilding the term. *)
+
+val rename : t -> t
+(** Rename all variables to fresh ones, consistently. *)
+
+(** {2 Conjunctions and lists} *)
+
+val conjuncts : t -> t list
+(** Flatten a [','/2] tree into its conjuncts; [true] flattens to []. *)
+
+val conj : t list -> t
+
+val list_elements : t -> t list option
+(** Elements of a proper list term, or [None]. *)

@@ -1,0 +1,37 @@
+(** Syntactic unification over persistent substitutions.
+
+    [unify] is the engine default (no occur-check, as in Prolog/XSB);
+    [unify_oc] performs the occur-check and is used where the paper demands
+    it (Hindley–Milner-style equation solving, depth-k abstract
+    unification's underlying equality). *)
+
+let rec unify_gen ~oc (s : Subst.t) (t1 : Term.t) (t2 : Term.t) :
+    Subst.t option =
+  let t1 = Subst.walk s t1 and t2 = Subst.walk s t2 in
+  match (t1, t2) with
+  | Term.Var i, Term.Var j when i = j -> Some s
+  | Term.Var i, _ ->
+      if oc && Subst.occurs_check s i t2 then None
+      else Some (Subst.bind s i t2)
+  | _, Term.Var j ->
+      if oc && Subst.occurs_check s j t1 then None
+      else Some (Subst.bind s j t1)
+  | Term.Int a, Term.Int b -> if a = b then Some s else None
+  | Term.Atom a, Term.Atom b -> if String.equal a b then Some s else None
+  | Term.Struct (f, a1), Term.Struct (g, a2)
+    when String.equal f g && Array.length a1 = Array.length a2 ->
+      unify_args ~oc s a1 a2 0
+  | _ -> None
+
+and unify_args ~oc s a1 a2 i =
+  if i >= Array.length a1 then Some s
+  else
+    match unify_gen ~oc s a1.(i) a2.(i) with
+    | Some s' -> unify_args ~oc s' a1 a2 (i + 1)
+    | None -> None
+
+let unify s t1 t2 = unify_gen ~oc:false s t1 t2
+let unify_oc s t1 t2 = unify_gen ~oc:true s t1 t2
+
+(** Do [t1] and [t2] unify?  Convenience for tests. *)
+let unifiable t1 t2 = Option.is_some (unify Subst.empty t1 t2)

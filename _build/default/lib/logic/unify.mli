@@ -1,0 +1,12 @@
+(** Syntactic unification over persistent substitutions. *)
+
+val unify : Subst.t -> Term.t -> Term.t -> Subst.t option
+(** Standard unification without occur-check (as in Prolog/XSB). *)
+
+val unify_oc : Subst.t -> Term.t -> Term.t -> Subst.t option
+(** Unification with occur-check, as required by the depth-k abstract
+    unification and the Hindley–Milner type equations (Sections 5 and
+    6.1 of the paper). *)
+
+val unifiable : Term.t -> Term.t -> bool
+(** Do the terms unify under the empty substitution? *)

@@ -1,0 +1,1 @@
+lib/prop/bf.ml: Array Bytes Char Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/prop/iff.ml: Array Fun List Option Prax_logic Prax_tabling Subst Term Unify

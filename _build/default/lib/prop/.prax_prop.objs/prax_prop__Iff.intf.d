@@ -1,0 +1,1 @@
+lib/prop/iff.mli: Prax_logic Prax_tabling Subst Term

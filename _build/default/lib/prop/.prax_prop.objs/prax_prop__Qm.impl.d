@@ -1,0 +1,1 @@
+lib/prop/qm.ml: Array Bf Hashtbl List String

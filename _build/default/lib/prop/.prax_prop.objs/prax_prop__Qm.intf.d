@@ -1,0 +1,1 @@
+lib/prop/qm.mli: Bf

@@ -1,0 +1,81 @@
+(** The [iff/k+1] relation of the Prop formulation (Figure 1), provided to
+    the tabled engine as an enumerative builtin: [iff(A, B1, …, Bk)]
+    succeeds for exactly the assignments of [true]/[false] satisfying
+    [A ↔ B1 ∧ … ∧ Bk].
+
+    Rather than asserting the 2^(k+1)-row relation as facts, the builtin
+    enumerates the consistent completions of the current (partial)
+    binding — observationally the paper's enumerative representation,
+    including its incremental delta-set friendliness, without cluttering
+    the clause database. *)
+
+open Prax_logic
+
+let ttrue = Term.Atom "true"
+let tfalse = Term.Atom "false"
+
+let as_bool = function
+  | Term.Atom "true" -> Some true
+  | Term.Atom "false" -> Some false
+  | _ -> None
+
+let solve (unify : Subst.t -> Term.t -> Term.t -> Subst.t option)
+    (s : Subst.t) (args : Term.t array) (sc : Subst.t -> unit) : unit =
+  let n = Array.length args in
+  assert (n >= 1);
+  (* positions must hold booleans or variables; anything else fails *)
+  let feasible =
+    Array.for_all
+      (fun a ->
+        match Subst.walk s a with
+        | Term.Var _ -> true
+        | t -> Option.is_some (as_bool t))
+      args
+  in
+  if feasible then begin
+    let check s' =
+      let value i = Option.get (as_bool (Subst.walk s' args.(i))) in
+      let rec conj i = i >= n || (value i && conj (i + 1)) in
+      value 0 = conj 1
+    in
+    let rec unbound_ids i acc =
+      if i >= n then List.rev acc
+      else
+        match Subst.walk s args.(i) with
+        | Term.Var v when not (List.mem v acc) -> unbound_ids (i + 1) (v :: acc)
+        | _ -> unbound_ids (i + 1) acc
+    in
+    let rec assign s' = function
+      | [] -> if check s' then sc s'
+      | v :: rest ->
+          (match unify s' (Term.Var v) ttrue with
+          | Some s'' -> assign s'' rest
+          | None -> ());
+          (match unify s' (Term.Var v) tfalse with
+          | Some s'' -> assign s'' rest
+          | None -> ())
+    in
+    assign s (unbound_ids 0 [])
+  end
+
+(** Register [iff/k] builtins for arities [1 .. max_arity + 1] on the
+    given engine (1 lhs position + up to [max_arity] rhs positions). *)
+let register (e : Prax_tabling.Engine.t) ~max_arity =
+  for k = 1 to max_arity + 1 do
+    Prax_tabling.Engine.register_builtin e "iff" k (fun _eng s args sc ->
+        solve Unify.unify s args sc)
+  done
+
+(** The full extension of [iff/k+1] as ground fact rows — used by the
+    bottom-up (Coral-style) baseline, which needs an extensional
+    relation. *)
+let extension k : bool list list =
+  let sat = function
+    | a :: bs -> a = List.for_all Fun.id bs
+    | [] -> false
+  in
+  let rec enum i row acc =
+    if i > k then if sat (List.rev row) then List.rev row :: acc else acc
+    else enum (i + 1) (true :: row) (enum (i + 1) (false :: row) acc)
+  in
+  enum 0 [] []

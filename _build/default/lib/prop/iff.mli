@@ -1,0 +1,23 @@
+(** The [iff] relation of the Prop formulation (Figure 1):
+    [iff(A, B1, …, Bk)] holds for the boolean assignments satisfying
+    [A ↔ B1 ∧ … ∧ Bk], provided enumeratively. *)
+
+open Prax_logic
+
+val as_bool : Term.t -> bool option
+
+val solve :
+  (Subst.t -> Term.t -> Term.t -> Subst.t option) ->
+  Subst.t ->
+  Term.t array ->
+  (Subst.t -> unit) ->
+  unit
+(** Enumerate the consistent completions of the current partial
+    binding. *)
+
+val register : Prax_tabling.Engine.t -> max_arity:int -> unit
+(** Register [iff/k] builtins for arities [1..max_arity+1]. *)
+
+val extension : int -> bool list list
+(** The full ground extension of [iff/(k+1)], for the bottom-up
+    engine. *)

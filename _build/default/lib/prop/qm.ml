@@ -1,0 +1,131 @@
+(** Quine–McCluskey minimization, used to render Prop analysis results as
+    readable boolean formulae (the truth tables themselves are the
+    machine-facing representation).
+
+    An implicant is a cube: per position [True], [False] or [Dontcare].
+    We compute prime implicants by iterated merging and then a greedy
+    cover — exact minimality is not required for reporting. *)
+
+type lit = True | False | Dontcare
+
+type cube = lit array
+
+let cube_of_row arity r : cube =
+  Array.init arity (fun i -> if r land (1 lsl i) <> 0 then True else False)
+
+(* Two cubes merge when they differ in exactly one concrete position. *)
+let merge (a : cube) (b : cube) : cube option =
+  let n = Array.length a in
+  let diff = ref (-1) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if a.(i) <> b.(i) then
+      match (a.(i), b.(i)) with
+      | True, False | False, True ->
+          if !diff >= 0 then ok := false else diff := i
+      | _ -> ok := false
+  done;
+  if !ok && !diff >= 0 then begin
+    let c = Array.copy a in
+    c.(!diff) <- Dontcare;
+    Some c
+  end
+  else None
+
+let covers (c : cube) r =
+  let n = Array.length c in
+  let rec go i =
+    i >= n
+    ||
+    (match c.(i) with
+    | Dontcare -> true
+    | True -> r land (1 lsl i) <> 0
+    | False -> r land (1 lsl i) = 0)
+    && go (i + 1)
+  in
+  go 0
+
+let prime_implicants (f : Bf.t) : cube list =
+  let rec iterate (cubes : cube list) (primes : cube list) =
+    if cubes = [] then primes
+    else begin
+      let used = Hashtbl.create 16 in
+      let next = Hashtbl.create 16 in
+      List.iteri
+        (fun i a ->
+          List.iteri
+            (fun j b ->
+              if i < j then
+                match merge a b with
+                | Some c ->
+                    Hashtbl.replace used (Array.to_list a) ();
+                    Hashtbl.replace used (Array.to_list b) ();
+                    Hashtbl.replace next (Array.to_list c) ()
+                | None -> ())
+            cubes)
+        cubes;
+      let primes' =
+        List.filter (fun c -> not (Hashtbl.mem used (Array.to_list c))) cubes
+        @ primes
+      in
+      let next_cubes =
+        Hashtbl.fold (fun c () acc -> Array.of_list c :: acc) next []
+      in
+      iterate next_cubes primes'
+    end
+  in
+  iterate (List.map (cube_of_row (Bf.arity f)) (Bf.rows f)) []
+
+(** Greedy minimal-ish cover of [f]'s rows by its prime implicants. *)
+let minimize (f : Bf.t) : cube list =
+  let rs = Bf.rows f in
+  if rs = [] then []
+  else
+    let primes = prime_implicants f in
+    let uncovered = Hashtbl.create 16 in
+    List.iter (fun r -> Hashtbl.replace uncovered r ()) rs;
+    let chosen = ref [] in
+    while Hashtbl.length uncovered > 0 do
+      (* pick the prime covering the most uncovered rows *)
+      let best = ref None and best_count = ref 0 in
+      List.iter
+        (fun c ->
+          let n =
+            Hashtbl.fold
+              (fun r () acc -> if covers c r then acc + 1 else acc)
+              uncovered 0
+          in
+          if n > !best_count then begin
+            best := Some c;
+            best_count := n
+          end)
+        primes;
+      match !best with
+      | None -> Hashtbl.reset uncovered (* cannot happen: primes cover f *)
+      | Some c ->
+          chosen := c :: !chosen;
+          Hashtbl.iter
+            (fun r () -> if covers c r then Hashtbl.remove uncovered r)
+            (Hashtbl.copy uncovered)
+    done;
+    List.rev !chosen
+
+(** Render as a sum of products over the given position names. *)
+let to_string ~names (f : Bf.t) : string =
+  if Bf.is_empty f then "false"
+  else if Bf.equal f (Bf.top (Bf.arity f)) then "true"
+  else
+    let cube_str (c : cube) =
+      let lits = ref [] in
+      Array.iteri
+        (fun i l ->
+          match l with
+          | Dontcare -> ()
+          | True -> lits := names i :: !lits
+          | False -> lits := ("~" ^ names i) :: !lits)
+        c;
+      match List.rev !lits with
+      | [] -> "true"
+      | ls -> String.concat "&" ls
+    in
+    minimize f |> List.map cube_str |> String.concat " | "

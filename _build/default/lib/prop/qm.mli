@@ -1,0 +1,19 @@
+(** Quine–McCluskey minimization, used to render Prop results as
+    readable boolean formulae. *)
+
+type lit = True | False | Dontcare
+
+type cube = lit array
+(** An implicant: one literal per position. *)
+
+val covers : cube -> int -> bool
+(** Does the cube cover the assignment row? *)
+
+val prime_implicants : Bf.t -> cube list
+
+val minimize : Bf.t -> cube list
+(** A (greedy, near-minimal) prime-implicant cover of the function. *)
+
+val to_string : names:(int -> string) -> Bf.t -> string
+(** Sum-of-products rendering, e.g. ["a&~b | c"]; ["true"]/["false"]
+    for the constant functions. *)

@@ -1,0 +1,1 @@
+lib/strict/analyze.ml: Array Ast Check Database Demand Engine Eval List Prax_fp Prax_logic Prax_tabling Printf String Supplement Term Transform Unix

@@ -1,0 +1,1 @@
+lib/strict/demand.ml: Prax_logic Term

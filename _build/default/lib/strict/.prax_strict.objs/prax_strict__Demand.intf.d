@@ -1,0 +1,1 @@
+lib/strict/demand.mli: Prax_logic Term

@@ -1,0 +1,1 @@
+lib/strict/transform.ml: Array Ast Demand Hashtbl List Parser Prax_fp Prax_logic String Term

@@ -1,0 +1,163 @@
+(** Strictness analysis driver.  Phases mirror Table 3's methodology:
+    preprocess (parse + check + derive the sp/pm logic rules + load),
+    analyze (tabled evaluation of [sp_f(e,…)] and [sp_f(d,…)] for every
+    function), collect (per-argument glb over answers). *)
+
+open Prax_logic
+open Prax_tabling
+open Prax_fp
+
+type func_result = {
+  fname : string;
+  arity : int;
+  e_demands : Demand.t array option;
+      (** per-argument guaranteed demand when the result is demanded to
+          normal form; [None] if the function cannot be used under
+          e-demand at all *)
+  d_demands : Demand.t array option;
+      (** same under head-normal-form demand — the standard notion of
+          strictness *)
+}
+
+type phases = { preproc : float; analysis : float; collection : float }
+
+let total p = p.preproc +. p.analysis +. p.collection
+
+type report = {
+  results : func_result list;
+  phases : phases;
+  table_bytes : int;
+  engine_stats : Engine.stats;
+  rule_count : int;
+  source_lines : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* glb across answers, per argument; an unbound position means no demand
+   is guaranteed on that path *)
+let demands_of_answers arity (answers : Term.t list) : Demand.t array option =
+  match answers with
+  | [] -> None
+  | _ ->
+      let out = Array.make arity Demand.E in
+      List.iter
+        (fun ans ->
+          let args = Term.args_of ans in
+          for i = 1 to arity do
+            match Demand.of_term args.(i) with
+            | Some d -> out.(i - 1) <- Demand.glb out.(i - 1) d
+            | None -> out.(i - 1) <- Demand.N
+          done)
+        answers;
+      Some out
+
+let analyze_program ?(mode = Database.Dynamic) ?(supplementary = true)
+    ~source_lines (p : Ast.program) : report =
+  let t0 = now () in
+  let rules = Transform.program p in
+  let rules =
+    (* supplementary tabling (Section 4.2): indispensable for the long
+       bodies deep expression nesting produces — see the ablation bench *)
+    if supplementary then Supplement.fold_program ~threshold:2 rules
+    else rules
+  in
+  let db = Database.create ~mode () in
+  Database.load_clauses db rules;
+  let e = Engine.create db in
+  let t1 = now () in
+  let funcs = Ast.functions p in
+  List.iter
+    (fun (f, arity) ->
+      List.iter
+        (fun dem ->
+          let goal =
+            Term.mkl (Transform.sp_name f)
+              (Demand.to_atom dem
+              :: List.init arity (fun _ -> Term.fresh_var ()))
+          in
+          Engine.run e goal (fun _ -> ()))
+        [ Demand.E; Demand.D ])
+    funcs;
+  let t2 = now () in
+  let results =
+    List.map
+      (fun (f, arity) ->
+        let answers_under dem =
+          (* answers across all call variants, filtered by demand *)
+          Engine.answers_for e (Transform.sp_name f, arity + 1)
+          |> List.filter (fun ans ->
+                 match (Term.args_of ans).(0) with
+                 | Term.Atom a ->
+                     String.equal a (String.make 1 (Demand.to_char dem))
+                 | _ -> false)
+        in
+        {
+          fname = f;
+          arity;
+          e_demands = demands_of_answers arity (answers_under Demand.E);
+          d_demands = demands_of_answers arity (answers_under Demand.D);
+        })
+      funcs
+  in
+  let t3 = now () in
+  {
+    results;
+    phases = { preproc = t1 -. t0; analysis = t2 -. t1; collection = t3 -. t2 };
+    table_bytes = Engine.table_space_bytes e;
+    engine_stats = Engine.stats e;
+    rule_count = List.length rules;
+    source_lines;
+  }
+
+(** Full pipeline from source text. *)
+let analyze ?(mode = Database.Dynamic) ?supplementary (src : string) : report =
+  let t0 = now () in
+  let prog = Check.parse_and_check src in
+  let t_parse = now () -. t0 in
+  let r =
+    analyze_program ~mode ?supplementary ~source_lines:(Check.line_count src)
+      prog
+  in
+  { r with phases = { r.phases with preproc = r.phases.preproc +. t_parse } }
+
+(** Plain "compilation" of a functional program: parse, check, and build
+    the interpreter's equation index — the baseline against which the
+    paper reports strictness-analysis overhead. *)
+let compile_time (src : string) : float =
+  let t0 = now () in
+  let prog = Check.parse_and_check src in
+  ignore (Eval.make prog);
+  now () -. t0
+
+(* --- queries on results --------------------------------------------------- *)
+
+let result_for (rep : report) f =
+  List.find_opt (fun r -> String.equal r.fname f) rep.results
+
+(** Argument positions (0-based) that are strict in the standard sense:
+    demanded whenever the result is demanded to head-normal form. *)
+let strict_args (r : func_result) : int list =
+  match r.d_demands with
+  | None -> []
+  | Some ds ->
+      Array.to_list ds
+      |> List.mapi (fun i d -> (i, d))
+      |> List.filter_map (fun (i, d) ->
+             if Demand.is_strict d then Some i else None)
+
+let demand_string = function
+  | None -> "-"
+  | Some ds ->
+      String.init (Array.length ds) (fun i -> Demand.to_char ds.(i))
+
+let result_to_string (r : func_result) : string =
+  Printf.sprintf "%s/%d: e-demand=%s d-demand=%s strict-args={%s}" r.fname
+    r.arity
+    (demand_string r.e_demands)
+    (demand_string r.d_demands)
+    (String.concat ","
+       (List.map (fun i -> string_of_int (i + 1)) (strict_args r)))
+
+let report_to_string (rep : report) : string =
+  String.concat "\n" (List.map result_to_string rep.results)

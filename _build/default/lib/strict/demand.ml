@@ -1,0 +1,28 @@
+(** The three demand extents of the Sekar–Ramakrishnan strictness
+    analysis: [E] (normal-form demand), [D] (head-normal-form demand),
+    [N] (null demand), ordered N < D < E. *)
+
+open Prax_logic
+
+type t = E | D | N
+
+let to_atom = function E -> Term.Atom "e" | D -> Term.Atom "d" | N -> Term.Atom "n"
+
+let of_term = function
+  | Term.Atom "e" -> Some E
+  | Term.Atom "d" -> Some D
+  | Term.Atom "n" -> Some N
+  | Term.Var _ -> Some N  (* unconstrained = no demand guaranteed *)
+  | _ -> None
+
+let to_char = function E -> 'e' | D -> 'd' | N -> 'n'
+
+let rank = function N -> 0 | D -> 1 | E -> 2
+
+let glb a b = if rank a <= rank b then a else b
+let lub a b = if rank a >= rank b then a else b
+
+let all = [ E; D; N ]
+
+(** Strict in the standard sense: some evaluation is guaranteed. *)
+let is_strict = function E | D -> true | N -> false

@@ -1,0 +1,18 @@
+(** The three demand extents of the strictness analysis: [E] (normal
+    form), [D] (head normal form), [N] (null), ordered N < D < E. *)
+
+open Prax_logic
+
+type t = E | D | N
+
+val to_atom : t -> Term.t
+
+val of_term : Term.t -> t option
+(** Unbound variables read as [N] (no guaranteed demand). *)
+
+val to_char : t -> char
+val rank : t -> int
+val glb : t -> t -> t
+val lub : t -> t -> t
+val all : t list
+val is_strict : t -> bool

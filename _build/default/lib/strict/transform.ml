@@ -1,0 +1,257 @@
+(** The strictness formulation of Figure 3: translate a functional
+    program into a logic program over the demand domain {e,d,n}.
+
+    For each function [f/n] we derive [sp_f/(n+1)]: [sp_f(D, X1…Xn)]
+    holds when an application of [f] whose result is demanded to extent
+    [D] may propagate demands [Xi] to its arguments.  Demand flows
+    top-down through right-hand sides (function/constructor application)
+    and bottom-up through left-hand-side patterns (the [pm_c] relations),
+    and the generated literal order encodes exactly that flow — the
+    paper's key efficiency observation.
+
+    Base relations, generated as (enumerative) facts:
+    - [spc_c]: demand propagation through constructor application
+      ([e] forces components to [e]; [d]/[n] force nothing);
+    - [pm_c]: demand on a matched argument given component demands
+      ([e] iff all components [e]; [d] otherwise);
+    - [spstrict1]/[spstrict2]: flat strict primitives;
+    - [sp_if]: condition always demanded, branches alternatively;
+    - [dlub]: join of demands for variables used more than once. *)
+
+open Prax_logic
+open Prax_fp
+
+let sanitize = function ":" -> "cons" | "[]" -> "nil" | c -> c
+
+let sp_name f = "sp_" ^ f
+let spc_name c = "spc_" ^ sanitize c
+let pm_name c = "pm_" ^ sanitize c
+
+let e_ = Term.Atom "e"
+let d_ = Term.Atom "d"
+let n_ = Term.Atom "n"
+
+(* occurrence environment: innermost binding first (handles shadowing) *)
+type scope = (string * Term.t list ref) list
+
+let record_occurrence (sc : scope) x demand =
+  match List.assoc_opt x sc with
+  | Some cell -> cell := demand :: !cell
+  | None -> ()  (* checked programs cannot reach this *)
+
+(* Combine the demands of all occurrences of a variable: no occurrence →
+   an unconstrained fresh variable (no demand); one → itself; several →
+   dlub-chained join. *)
+let combine_occurrences (occs : Term.t list) (extra : Term.t list ref) :
+    Term.t =
+  match occs with
+  | [] -> Term.fresh_var ()
+  | [ d ] -> d
+  | d :: rest ->
+      List.fold_left
+        (fun acc d' ->
+          let z = Term.fresh_var () in
+          extra := Term.mkl "dlub" [ acc; d'; z ] :: !extra;
+          z)
+        d rest
+
+let rec trans_expr (sc : scope) (e : Ast.expr) (demand : Term.t) :
+    Term.t list =
+  match e with
+  | Ast.Int _ -> []
+  | Ast.Var x ->
+      record_occurrence sc x demand;
+      []
+  | Ast.Con (c, es) ->
+      let alphas = List.map (fun _ -> Term.fresh_var ()) es in
+      Term.mkl (spc_name c) (demand :: alphas)
+      :: List.concat (List.map2 (trans_expr sc) es alphas)
+  | Ast.App (f, es) ->
+      let alphas = List.map (fun _ -> Term.fresh_var ()) es in
+      Term.mkl (sp_name f) (demand :: alphas)
+      :: List.concat (List.map2 (trans_expr sc) es alphas)
+  | Ast.Prim (_, es) ->
+      let alphas = List.map (fun _ -> Term.fresh_var ()) es in
+      let lit =
+        match alphas with
+        | [ a ] -> Term.mkl "spstrict1" [ demand; a ]
+        | [ a; b ] -> Term.mkl "spstrict2" [ demand; a; b ]
+        | _ -> invalid_arg "Transform: primitive arity"
+      in
+      lit :: List.concat (List.map2 (trans_expr sc) es alphas)
+  | Ast.If (c, t, el) ->
+      let ac = Term.fresh_var ()
+      and at = Term.fresh_var ()
+      and ae = Term.fresh_var () in
+      (Term.mkl "sp_if" [ demand; ac; at; ae ] :: trans_expr sc c ac)
+      @ trans_expr sc t at @ trans_expr sc el ae
+  | Ast.Let (x, e1, e2) ->
+      let cell = ref [] in
+      let lits2 = trans_expr ((x, cell) :: sc) e2 demand in
+      if !cell = [] then lits2 (* binding never demanded: e1 unevaluated *)
+      else begin
+        let extra = ref [] in
+        let dx = combine_occurrences (List.rev !cell) extra in
+        lits2 @ List.rev !extra @ trans_expr sc e1 dx
+      end
+
+(* bottom-up pattern translation: returns the demand term for the whole
+   pattern plus the literals computing it *)
+let rec trans_pat (sc : scope) (p : Ast.pat) : Term.t * Term.t list =
+  match p with
+  | Ast.PVar x ->
+      (* occurrence cells are built by prepending: reverse to fold joins
+         in first-occurrence order, so the dlub chain becomes schedulable
+         as soon as each occurrence's producer has run *)
+      let occs =
+        match List.assoc_opt x sc with Some c -> List.rev !c | None -> []
+      in
+      let extra = ref [] in
+      let d = combine_occurrences occs extra in
+      (d, List.rev !extra)
+  | Ast.PInt _ -> (e_, [])  (* matching a literal fully evaluates it *)
+  | Ast.PCon (c, ps) ->
+      let subs = List.map (trans_pat sc) ps in
+      let betas = List.map fst subs in
+      let lits = List.concat_map snd subs in
+      let x = Term.fresh_var () in
+      (x, lits @ [ Term.mkl (pm_name c) (x :: betas) ])
+
+(* Liveness-minimizing literal scheduling.  The body's literal order does
+   not affect the minimal model, so we are free to pull the "reducer"
+   literals — dlub joins and pm pattern relations — to the earliest point
+   where their input demand variables have been produced.  This keeps the
+   live-variable sets of the supplementary-tabling chain small, which is
+   what keeps intermediate tables small on equations with many shared
+   variables (strassen, event). *)
+let schedule (lits : Term.t list) : Term.t list =
+  let inputs lit =
+    match lit with
+    | Term.Struct ("dlub", [| a; b; _ |]) -> Term.vars a @ Term.vars b
+    | Term.Struct (name, args)
+      when String.length name > 3 && String.equal (String.sub name 0 3) "pm_"
+      ->
+        (* arg 0 is the output; components are inputs *)
+        Array.to_list args |> List.tl |> List.concat_map Term.vars
+    | _ -> []
+  in
+  let is_reducer lit =
+    match lit with
+    | Term.Struct ("dlub", _) -> true
+    | Term.Struct (name, _) ->
+        String.length name > 3 && String.equal (String.sub name 0 3) "pm_"
+    | _ -> false
+  in
+  let seen = Hashtbl.create 16 in
+  let see lit = List.iter (fun v -> Hashtbl.replace seen v ()) (Term.vars lit) in
+  let ready lit = List.for_all (Hashtbl.mem seen) (inputs lit) in
+  let rec drain pending acc =
+    match List.partition (fun l -> is_reducer l && ready l) pending with
+    | [], _ -> (pending, acc)
+    | fire, rest ->
+        List.iter see fire;
+        drain rest (List.rev_append fire acc)
+  in
+  let rec go pending acc =
+    match pending with
+    | [] -> List.rev acc
+    | _ -> (
+        let pending, acc = drain pending acc in
+        match pending with
+        | [] -> List.rev acc
+        | l :: rest ->
+            see l;
+            go rest (l :: acc))
+  in
+  go lits []
+
+let trans_equation (eq : Ast.equation) : Parser.clause =
+  (* one occurrence cell per pattern variable *)
+  let pat_vars = List.fold_left Ast.pat_vars [] eq.Ast.pats in
+  let sc : scope = List.map (fun v -> (v, ref [])) pat_vars in
+  let d = Term.fresh_var () in
+  let rhs_lits = trans_expr sc eq.Ast.rhs d in
+  let pat_results = List.map (trans_pat sc) eq.Ast.pats in
+  let xs = List.map fst pat_results in
+  let pat_lits = List.concat_map snd pat_results in
+  {
+    Parser.head = Term.mkl (sp_name eq.Ast.fname) (d :: xs);
+    body = schedule (rhs_lits @ pat_lits);
+  }
+
+(* --- base relations ------------------------------------------------------ *)
+
+let fact head = { Parser.head; body = [] }
+
+let fresh_list k = List.init k (fun _ -> Term.fresh_var ())
+
+(* all tuples over {e,d,n}^k *)
+let rec edn_tuples k =
+  if k = 0 then [ [] ]
+  else
+    let rest = edn_tuples (k - 1) in
+    List.concat_map (fun t -> [ e_ :: t; d_ :: t; n_ :: t ]) rest
+
+let constructor_facts (c, k) : Parser.clause list =
+  let all_e = List.init k (fun _ -> e_) in
+  let spc =
+    [
+      fact (Term.mkl (spc_name c) (e_ :: all_e));
+      fact (Term.mkl (spc_name c) (d_ :: fresh_list k));
+      fact (Term.mkl (spc_name c) (n_ :: fresh_list k));
+    ]
+  in
+  let pm_e = fact (Term.mkl (pm_name c) (e_ :: all_e)) in
+  let pm_d =
+    edn_tuples k
+    |> List.filter (fun t -> not (List.for_all (Term.equal e_) t))
+    |> List.map (fun t -> fact (Term.mkl (pm_name c) (d_ :: t)))
+  in
+  spc @ (pm_e :: pm_d)
+
+let base_facts (constructors : (string * int) list) : Parser.clause list =
+  let prim_facts =
+    [
+      fact (Term.mkl "spstrict1" [ e_; e_ ]);
+      fact (Term.mkl "spstrict1" [ d_; e_ ]);
+      fact (Term.mkl "spstrict1" (n_ :: fresh_list 1));
+      fact (Term.mkl "spstrict2" [ e_; e_; e_ ]);
+      fact (Term.mkl "spstrict2" [ d_; e_; e_ ]);
+      fact (Term.mkl "spstrict2" (n_ :: fresh_list 2));
+      fact (Term.mkl "sp_if" [ e_; e_; e_; Term.fresh_var () ]);
+      fact (Term.mkl "sp_if" [ e_; e_; Term.fresh_var (); e_ ]);
+      fact (Term.mkl "sp_if" [ d_; e_; d_; Term.fresh_var () ]);
+      fact (Term.mkl "sp_if" [ d_; e_; Term.fresh_var (); d_ ]);
+      fact (Term.mkl "sp_if" (n_ :: fresh_list 3));
+    ]
+  in
+  let dlub_facts =
+    let atoms = [ Demand.E; Demand.D; Demand.N ] in
+    List.concat_map
+      (fun a ->
+        List.map
+          (fun b ->
+            fact
+              (Term.mkl "dlub"
+                 [
+                   Demand.to_atom a;
+                   Demand.to_atom b;
+                   Demand.to_atom (Demand.lub a b);
+                 ]))
+          atoms)
+      atoms
+  in
+  prim_facts @ dlub_facts @ List.concat_map constructor_facts constructors
+
+(** Translate a checked program: the derived [sp_f] clauses (including
+    the non-strictness clause [sp_f(n, _…)] per function) plus all base
+    relations. *)
+let program (p : Ast.program) : Parser.clause list =
+  let derived = List.map trans_equation p in
+  let nonstrict =
+    List.map
+      (fun (f, arity) ->
+        fact (Term.mkl (sp_name f) (n_ :: fresh_list arity)))
+      (Ast.functions p)
+  in
+  derived @ nonstrict @ base_facts (Ast.constructors p)

@@ -1,0 +1,1 @@
+lib/tabling/engine.ml: Array Canon Database Fun Hashtbl List Option Prax_logic Sld String Subst Term Unify Vec

@@ -1,0 +1,1 @@
+lib/tabling/engine.mli: Database Prax_logic Subst Term

@@ -1,0 +1,1 @@
+lib/tabling/supplement.ml: Array Int List Parser Prax_logic Printf Term

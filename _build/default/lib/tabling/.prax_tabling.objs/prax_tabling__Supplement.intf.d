@@ -1,0 +1,1 @@
+lib/tabling/supplement.mli: Parser Prax_logic

@@ -1,0 +1,344 @@
+(** The tabled evaluation engine — the XSB substitute (system S3 of
+    DESIGN.md).
+
+    A continuation-passing formulation of OLDT/SLG for definite programs:
+
+    - every tabled call is *canonicalized* (variables renumbered in
+      first-occurrence order) and looked up in the call table by variant
+      check, exactly as XSB does;
+    - the first occurrence of a call variant becomes its *producer*: it
+      resolves the (renamed-apart) canonical call against program clauses;
+    - each successful derivation yields a canonical *answer*; duplicate
+      answers are filtered by variant check; each genuinely new answer is
+      eagerly pushed to every registered consumer;
+    - later occurrences of the same call variant become *consumers*: they
+      replay the answers present at registration time and receive all
+      later answers through the eager broadcast.
+
+    For definite programs this computes the minimal model restricted to
+    the call forest, and terminates whenever calls and answers range over
+    a finite domain — the completeness guarantee the paper relies on.
+
+    The engine is parametric in three hooks so that the depth-k analysis
+    of Section 5 is this same engine with abstract unification and
+    depth-k call/answer abstraction plugged in (the paper does the
+    analogous thing by meta-programming abstract unification in XSB). *)
+
+open Prax_logic
+
+type hooks = {
+  unify : Subst.t -> Term.t -> Term.t -> Subst.t option;
+  abstract_call : Term.t -> Term.t;
+      (** applied to the canonical call before table lookup *)
+  abstract_answer : Term.t -> Term.t;
+      (** applied to the canonical answer before dedup/recording *)
+  widen : (previous:Term.t list -> Term.t -> Term.t) option;
+      (** on-the-fly widening (Section 6.1): sees the answers already in
+          the entry and may extrapolate the incoming one.  With a widening
+          operator whose image has finite chains this makes analyses over
+          infinite domains terminate. *)
+}
+
+let concrete_hooks =
+  {
+    unify = Unify.unify;
+    abstract_call = Fun.id;
+    abstract_answer = Fun.id;
+    widen = None;
+  }
+
+type stats = {
+  mutable calls : int;  (** tabled call occurrences *)
+  mutable table_entries : int;
+  mutable answers : int;  (** distinct answers recorded *)
+  mutable duplicates : int;  (** answers filtered by variant check *)
+  mutable resumptions : int;  (** consumer deliveries *)
+}
+
+type entry = {
+  call : Term.t;  (** canonical (post-abstraction) *)
+  answers : Term.t Vec.t;
+  answer_set : unit Canon.Tbl.t;
+  consumers : (Term.t -> unit) Vec.t;
+}
+
+type t = {
+  db : Database.t;
+  hooks : hooks;
+  builtins : (string * int, builtin) Hashtbl.t;
+  tables : entry Canon.Tbl.t;
+  stats : stats;
+  tabled : string * int -> bool;
+  open_calls : bool;
+      (** the forward-subsumption strategy of Section 6.2: table only the
+          most general (open) call per predicate and answer every
+          specific call by filtering its answers *)
+}
+
+and builtin = t -> Subst.t -> Term.t array -> (Subst.t -> unit) -> unit
+
+exception Not_definite of Term.t
+
+let register_builtin_tbl builtins name arity b =
+  Hashtbl.replace builtins (name, arity) b
+
+(* standard arithmetic and comparison builtins, as XSB provides them;
+   analyses override any of these by registering their own abstract
+   versions *)
+let default_builtins (builtins : (string * int, builtin) Hashtbl.t) =
+  let det name arity f =
+    register_builtin_tbl builtins name arity (fun _e s args sc ->
+        match f s args with Some s' -> sc s' | None -> ())
+  in
+  det "is" 2 (fun s args ->
+      let v = Term.Int (Sld.eval_arith s args.(1)) in
+      Unify.unify s args.(0) v);
+  List.iter
+    (fun (name, test) ->
+      det name 2 (fun s args ->
+          if test (Sld.eval_arith s args.(0)) (Sld.eval_arith s args.(1)) then
+            Some s
+          else None))
+    [
+      ("<", ( < )); (">", ( > )); ("=<", ( <= )); (">=", ( >= ));
+      ("=:=", ( = )); ("=\\=", ( <> ));
+    ];
+  det "==" 2 (fun s args ->
+      if Term.equal (Subst.resolve s args.(0)) (Subst.resolve s args.(1)) then
+        Some s
+      else None);
+  det "\\==" 2 (fun s args ->
+      if Term.equal (Subst.resolve s args.(0)) (Subst.resolve s args.(1)) then
+        None
+      else Some s);
+  det "\\=" 2 (fun s args ->
+      match Unify.unify s args.(0) args.(1) with
+      | Some _ -> None
+      | None -> Some s)
+
+let create ?(hooks = concrete_hooks) ?(tabled = fun _ -> true)
+    ?(open_calls = false) db =
+  let builtins = Hashtbl.create 16 in
+  default_builtins builtins;
+  {
+    db;
+    hooks;
+    builtins;
+    tables = Canon.Tbl.create 256;
+    stats =
+      { calls = 0; table_entries = 0; answers = 0; duplicates = 0;
+        resumptions = 0 };
+    tabled;
+    open_calls;
+  }
+
+(* the most general call pattern for a goal's predicate *)
+let open_call_of goal =
+  match goal with
+  | Term.Atom _ -> goal
+  | Term.Struct (f, args) ->
+      Term.Struct (f, Array.mapi (fun i _ -> Term.Var i) args)
+  | Term.Var _ | Term.Int _ -> goal
+
+let register_builtin e name arity (b : builtin) =
+  Hashtbl.replace e.builtins (name, arity) b
+
+(* --- core resolution --------------------------------------------------- *)
+
+let rec solve e (s : Subst.t) (goal : Term.t) (sc : Subst.t -> unit) : unit =
+  match Subst.walk s goal with
+  | Term.Var _ | Term.Int _ -> raise (Not_definite goal)
+  | Term.Atom "true" -> sc s
+  | Term.Atom ("fail" | "false") -> ()
+  | Term.Atom "!" -> sc s (* cut is control, invisible to the minimal model *)
+  | Term.Struct (",", [| a; b |]) ->
+      solve e s a (fun s' -> solve e s' b sc)
+  | Term.Struct (";", [| Term.Struct ("->", [| c; t |]); el |]) ->
+      (* non-committal if-then-else: sound over-approximation for
+         analysis programs (this engine evaluates definite programs;
+         concrete control constructs belong to Sld) *)
+      solve e s c (fun s' -> solve e s' t sc);
+      solve e s el sc
+  | Term.Struct (";", [| a; b |]) ->
+      solve e s a sc;
+      solve e s b sc
+  | Term.Struct ("->", [| c; t |]) ->
+      solve e s c (fun s' -> solve e s' t sc)
+  | Term.Struct (("\\+" | "not"), [| _ |]) ->
+      (* negation binds nothing on success: over-approximate by success *)
+      sc s
+  | Term.Struct ("=", [| a; b |]) -> (
+      match e.hooks.unify s a b with Some s' -> sc s' | None -> ())
+  | (Term.Atom _ | Term.Struct _) as g -> (
+      let p = Option.get (Term.functor_of g) in
+      match Hashtbl.find_opt e.builtins p with
+      | Some b -> b e s (Term.args_of g) sc
+      | None ->
+          if e.tabled p then solve_tabled e s g sc
+          else solve_program e s g sc)
+
+and solve_goals e s goals sc =
+  match goals with
+  | [] -> sc s
+  | g :: rest -> solve e s g (fun s' -> solve_goals e s' rest sc)
+
+(* Non-tabled program-clause resolution (plain SLD step). *)
+and solve_program e s g sc =
+  let concrete = e.hooks.unify == Unify.unify in
+  List.iter
+    (fun c ->
+      let activation =
+        if concrete then Database.activate c s g
+        else Database.activate_with ~unify:e.hooks.unify c s g
+      in
+      match activation with
+      | Some (s', body) -> solve_goals e s' body sc
+      | None -> ())
+    (Database.matching e.db s g)
+
+and solve_tabled e s goal sc =
+  e.stats.calls <- e.stats.calls + 1;
+  let canonical = Canon.canonical s goal in
+  let key =
+    e.hooks.abstract_call
+      (if e.open_calls then open_call_of canonical else canonical)
+  in
+  let entry, is_new =
+    match Canon.Tbl.find_opt e.tables key with
+    | Some entry -> (entry, false)
+    | None ->
+        let entry =
+          {
+            call = key;
+            answers = Vec.create ();
+            answer_set = Canon.Tbl.create 16;
+            consumers = Vec.create ();
+          }
+        in
+        Canon.Tbl.add e.tables key entry;
+        e.stats.table_entries <- e.stats.table_entries + 1;
+        (entry, true)
+  in
+  (* The consumer: unify a (renamed-apart) canonical answer with our goal
+     instance.  With abstraction enabled the call in the table may be more
+     general than [goal]; unifying against [key]'s instance keeps the
+     variable correspondence right, so unify goal with the answer term
+     directly. *)
+  let consumer ans =
+    e.stats.resumptions <- e.stats.resumptions + 1;
+    let inst = Canon.instantiate ans in
+    match e.hooks.unify s goal inst with Some s' -> sc s' | None -> ()
+  in
+  (* Snapshot-then-register so each answer reaches this consumer exactly
+     once: answers arriving after registration come via the broadcast. *)
+  let n0 = Vec.length entry.answers in
+  Vec.push entry.consumers consumer;
+  if is_new then producer e entry;
+  for i = 0 to n0 - 1 do
+    consumer (Vec.get entry.answers i)
+  done
+
+and producer e entry =
+  let call = Canon.instantiate entry.call in
+  let concrete = e.hooks.unify == Unify.unify in
+  let on_success s' =
+    let ans = e.hooks.abstract_answer (Canon.canonical s' call) in
+    let ans =
+      match e.hooks.widen with
+      | None -> ans
+      | Some w ->
+          Canon.of_term (w ~previous:(Vec.to_list entry.answers) ans)
+    in
+    if Canon.Tbl.mem entry.answer_set ans then
+      e.stats.duplicates <- e.stats.duplicates + 1
+    else begin
+      Canon.Tbl.add entry.answer_set ans ();
+      Vec.push entry.answers ans;
+      e.stats.answers <- e.stats.answers + 1;
+      (* Eager broadcast — but only to the consumers present when the
+         answer arrived: a consumer that registers during this loop has
+         already snapshotted this answer into its replay (it is in
+         [entry.answers]), so delivering it here too would duplicate
+         derivations, which diverges through recursive cycles. *)
+      let ncons = Vec.length entry.consumers in
+      for i = 0 to ncons - 1 do
+        (Vec.get entry.consumers i) ans
+      done
+    end
+  in
+  List.iter
+    (fun c ->
+      let activation =
+        if concrete then Database.activate c Subst.empty call
+        else Database.activate_with ~unify:e.hooks.unify c Subst.empty call
+      in
+      match activation with
+      | Some (s', body) -> solve_goals e s' body on_success
+      | None -> ())
+    (Database.matching e.db Subst.empty call)
+
+(* --- public API -------------------------------------------------------- *)
+
+(** Enumerate solutions of [goal], calling [k] with each substitution. *)
+let run e (goal : Term.t) (k : Subst.t -> unit) : unit =
+  solve e Subst.empty goal k
+
+(** Distinct canonical solutions of [goal], in discovery order. *)
+let query e (goal : Term.t) : Term.t list =
+  let seen = Canon.Tbl.create 32 in
+  let out = Vec.create () in
+  run e goal (fun s ->
+      let a = Canon.canonical s goal in
+      if not (Canon.Tbl.mem seen a) then begin
+        Canon.Tbl.add seen a ();
+        Vec.push out a
+      end);
+  Vec.to_list out
+
+(** The call table: every canonical call variant encountered.  Reading
+    input modes off this table is the paper's "input groundness for free"
+    observation. *)
+let calls e : Term.t list =
+  Canon.Tbl.fold (fun _ entry acc -> entry.call :: acc) e.tables []
+  |> List.sort Term.compare
+
+(** Recorded answers of every call variant of predicate [p]. *)
+let answers_for e (name, arity) : Term.t list =
+  Canon.Tbl.fold
+    (fun _ entry acc ->
+      match Term.functor_of entry.call with
+      | Some (n, a) when String.equal n name && a = arity ->
+          Vec.fold (fun acc t -> t :: acc) acc entry.answers
+      | _ -> acc)
+    e.tables []
+  |> List.sort Term.compare
+
+let calls_for e (name, arity) : Term.t list =
+  calls e
+  |> List.filter (fun c ->
+         match Term.functor_of c with
+         | Some (n, a) -> String.equal n name && a = arity
+         | None -> false)
+
+(** Table-space estimate in bytes: canonical call and answer terms at one
+    word per node, plus per-entry and per-answer overhead — the same
+    order-of-magnitude accounting as XSB's table statistics. *)
+let table_space_bytes e : int =
+  let words =
+    Canon.Tbl.fold
+      (fun _ entry acc ->
+        let acc = acc + Term.size entry.call + 8 in
+        Vec.fold (fun acc a -> acc + Term.size a + 2) acc entry.answers)
+      e.tables 0
+  in
+  8 * words
+
+let stats e = e.stats
+
+let reset_tables e =
+  Canon.Tbl.reset e.tables;
+  e.stats.calls <- 0;
+  e.stats.table_entries <- 0;
+  e.stats.answers <- 0;
+  e.stats.duplicates <- 0;
+  e.stats.resumptions <- 0

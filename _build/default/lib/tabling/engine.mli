@@ -1,0 +1,88 @@
+(** The tabled evaluation engine — the XSB substitute.
+
+    A continuation-passing formulation of OLDT/SLG for definite
+    programs: variant-based call tables, answer tables with duplicate
+    elimination, eager answer propagation to registered consumers.  For
+    definite programs it computes the minimal model restricted to the
+    call forest and terminates whenever calls and answers range over a
+    finite domain — the completeness guarantee the paper's analyses rely
+    on.
+
+    The engine is parametric in {!hooks} so the depth-k analysis
+    (Section 5) and the widening extension (Section 6.1) are this same
+    engine with abstract unification, call/answer abstraction, or answer
+    widening plugged in. *)
+
+open Prax_logic
+
+type hooks = {
+  unify : Subst.t -> Term.t -> Term.t -> Subst.t option;
+  abstract_call : Term.t -> Term.t;
+      (** applied to the canonical call before table lookup *)
+  abstract_answer : Term.t -> Term.t;
+      (** applied to the canonical answer before dedup/recording *)
+  widen : (previous:Term.t list -> Term.t -> Term.t) option;
+      (** on-the-fly widening: sees the answers already in the entry and
+          may extrapolate the incoming one *)
+}
+
+val concrete_hooks : hooks
+(** Syntactic unification, no abstraction, no widening. *)
+
+type stats = {
+  mutable calls : int;  (** tabled call occurrences *)
+  mutable table_entries : int;  (** distinct call variants *)
+  mutable answers : int;  (** distinct answers recorded *)
+  mutable duplicates : int;  (** answers filtered by variant check *)
+  mutable resumptions : int;  (** consumer deliveries *)
+}
+
+type t
+
+type builtin = t -> Subst.t -> Term.t array -> (Subst.t -> unit) -> unit
+(** A builtin receives the engine, the current substitution, the goal's
+    arguments, and a success continuation it may invoke any number of
+    times. *)
+
+exception Not_definite of Term.t
+(** Raised when a goal is not a definite-program construct (e.g. an
+    unbound variable under call position). *)
+
+val create :
+  ?hooks:hooks ->
+  ?tabled:(string * int -> bool) ->
+  ?open_calls:bool ->
+  Database.t ->
+  t
+(** [create db] makes an engine over the clause store.  [tabled]
+    selects which predicates are tabled (default: all).  [open_calls]
+    enables the Section 6.2 forward-subsumption strategy: only the most
+    general call per predicate is tabled and specific calls filter its
+    answers. *)
+
+val register_builtin : t -> string -> int -> builtin -> unit
+
+val solve : t -> Subst.t -> Term.t -> (Subst.t -> unit) -> unit
+(** Low-level entry: enumerate solutions of a goal under a
+    substitution. *)
+
+val run : t -> Term.t -> (Subst.t -> unit) -> unit
+(** [run e goal k]: solve [goal] from the empty substitution. *)
+
+val query : t -> Term.t -> Term.t list
+(** Distinct canonical solutions, in discovery order. *)
+
+val calls : t -> Term.t list
+(** The call table: every canonical call variant encountered.  Reading
+    input modes off this table is the paper's "input groundness for
+    free" observation. *)
+
+val calls_for : t -> string * int -> Term.t list
+val answers_for : t -> string * int -> Term.t list
+
+val table_space_bytes : t -> int
+(** Table-space estimate (canonical terms at one word per node plus
+    per-entry overhead), the Table 1/3/4 metric. *)
+
+val stats : t -> stats
+val reset_tables : t -> unit

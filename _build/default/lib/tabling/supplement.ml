@@ -1,0 +1,76 @@
+(** Supplementary tabling (Section 4.2): fold long clause bodies into
+    chains of intermediate tabled predicates, so that partial joins are
+    computed once per *variant* instead of once per derivation.
+
+    For a clause [h :- l1, …, ln] the transformation produces
+
+    {v
+      s1(K1) :- l1.
+      s2(K2) :- s1(K1), l2.
+      …
+      h :- s(n-1)(K(n-1)), ln.
+    v}
+
+    where [Ki] is the set of variables of [l1..li] still needed by the
+    head or by literals after position [i].  Because the [si] are tabled,
+    the existentially quantified intermediate variables (e.g. the demand
+    variables of the strictness formulation) are projected away at each
+    step, collapsing the multiplicative derivation space to an additive
+    one — the deductive-database "supplementary magic" idea transposed to
+    tabling, exactly as the paper suggests for the strictness analyser.
+
+    This is semantics-preserving (a fold/unfold transformation): the
+    minimal model restricted to the original predicates is unchanged. *)
+
+open Prax_logic
+
+let intersect a b = List.filter (fun x -> List.mem x b) a
+
+(** Fold one clause if its body is longer than [threshold]. *)
+let fold_clause ~threshold ~prefix idx (c : Parser.clause) :
+    Parser.clause list =
+  let body = c.Parser.body in
+  let n = List.length body in
+  if n <= threshold then [ c ]
+  else begin
+    let body_arr = Array.of_list body in
+    let head_vars = Term.vars c.Parser.head in
+    (* vars needed strictly after position i (0-based, inclusive of head) *)
+    let needed_after i =
+      let later = ref head_vars in
+      for j = i to n - 1 do
+        later := Term.vars body_arr.(j) @ !later
+      done;
+      List.sort_uniq Int.compare !later
+    in
+    let out = ref [] in
+    let seen = ref [] in
+    (* prev: the atom carrying the join so far (None before l1) *)
+    let prev = ref None in
+    for i = 0 to n - 2 do
+      let lit = body_arr.(i) in
+      seen := List.sort_uniq Int.compare (Term.vars lit @ !seen);
+      let keep = intersect !seen (needed_after (i + 1)) in
+      let sup =
+        Term.mkl
+          (Printf.sprintf "%s%d_%d" prefix idx (i + 1))
+          (List.map (fun v -> Term.Var v) keep)
+      in
+      let body_i =
+        match !prev with None -> [ lit ] | Some p -> [ p; lit ]
+      in
+      out := { Parser.head = sup; body = body_i } :: !out;
+      prev := Some sup
+    done;
+    let last = body_arr.(n - 1) in
+    let final_body =
+      match !prev with None -> [ last ] | Some p -> [ p; last ]
+    in
+    List.rev ({ Parser.head = c.Parser.head; body = final_body } :: !out)
+  end
+
+(** Fold every clause of a program whose body exceeds [threshold]
+    literals. *)
+let fold_program ?(threshold = 2) ?(prefix = "supp$") clauses :
+    Parser.clause list =
+  List.concat (List.mapi (fold_clause ~threshold ~prefix) clauses)

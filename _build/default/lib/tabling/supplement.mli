@@ -1,0 +1,17 @@
+(** Supplementary tabling (Section 4.2): fold long clause bodies into
+    chains of intermediate tabled predicates so partial joins are
+    computed once per variant instead of once per derivation.
+    Semantics-preserving: the minimal model restricted to the original
+    predicates is unchanged. *)
+
+open Prax_logic
+
+val fold_clause :
+  threshold:int -> prefix:string -> int -> Parser.clause -> Parser.clause list
+(** [fold_clause ~threshold ~prefix idx c] folds [c] if its body exceeds
+    [threshold] literals; [idx] disambiguates the generated predicate
+    names. *)
+
+val fold_program :
+  ?threshold:int -> ?prefix:string -> Parser.clause list -> Parser.clause list
+(** Fold every long clause of a program (default threshold 2). *)

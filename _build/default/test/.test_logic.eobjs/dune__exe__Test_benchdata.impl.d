@@ -1,0 +1,1 @@
+test/test_benchdata.ml: Alcotest Array Canon Database Float List Option Parser Prax_benchdata Prax_depthk Prax_gaia Prax_ground Prax_logic Prax_strict Pretty Printf Registry Sld String Subst Term

@@ -1,0 +1,1 @@
+test/test_bottomup.ml: Alcotest Array Datalog From_prop Fun List Magic Parser Prax_bottomup Prax_logic Prax_tabling Pretty Printf String Term

@@ -1,0 +1,1 @@
+test/test_depthk.ml: Alcotest Analyze Array Canon Database Domain List Option Parser Prax_benchdata Prax_depthk Prax_logic Prax_tabling Pretty Printf Sld Subst Term

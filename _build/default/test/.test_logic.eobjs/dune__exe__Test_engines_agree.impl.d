@@ -1,0 +1,1 @@
+test/test_engines_agree.ml: Alcotest Array Bf Canon Database Hashtbl Iff List Parser Prax_bdd Prax_benchdata Prax_bottomup Prax_gaia Prax_ground Prax_logic Prax_prop Prax_tabling Printf String Term

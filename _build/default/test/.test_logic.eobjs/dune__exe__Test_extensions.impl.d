@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Analyze Cfg Infer List Option Prax_benchdata Prax_dataflow Prax_hm Prax_infinite Prax_logic Prax_tabling Printf QCheck2 QCheck_alcotest Widen

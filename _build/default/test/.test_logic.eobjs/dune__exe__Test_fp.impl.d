@@ -1,0 +1,1 @@
+test/test_fp.ml: Alcotest Ast Check Eval List Prax_benchdata Prax_fp Printf String

@@ -1,0 +1,1 @@
+test/test_ground.ml: Alcotest Analyze Array Bf Database List Parser Prax_ground Prax_logic Prax_prop Printf Qm Sld String Subst Term

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Canon Database List Option Parser Prax_logic Pretty Printf QCheck2 QCheck_alcotest Sld Subst Term Unify

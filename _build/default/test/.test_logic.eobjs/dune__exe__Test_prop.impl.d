@@ -1,0 +1,1 @@
+test/test_prop.ml: Alcotest Array Bdd Bf Fun Iff List Parser Prax_bdd Prax_logic Prax_prop Pretty QCheck2 QCheck_alcotest Qm Subst Term Unify

@@ -1,0 +1,1 @@
+test/test_strict.ml: Alcotest Analyze Ast Check Demand Eval List Option Prax_benchdata Prax_fp Prax_logic Prax_strict QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_tabling.ml: Alcotest Array Canon Database Engine Hashtbl List Parser Prax_logic Prax_tabling Pretty Printf QCheck2 QCheck_alcotest Sld String Subst Term

@@ -1,0 +1,229 @@
+(* Tests for the bottom-up Datalog engine: naive/semi-naive agreement,
+   the Prop conversion, adornment, magic sets, and supplementary magic
+   (correctness of answers and the goal-directedness of derived facts). *)
+
+open Prax_logic
+open Prax_bottomup
+
+let v = Term.fresh_var
+let a s = Term.Atom s
+
+let atom name args = { Datalog.pred = (name, List.length args); args = Array.of_list args }
+
+let rule head body = { Datalog.head; body }
+
+(* edge/path over a small graph, directly as Datalog *)
+let graph_rules extra_edges =
+  let edge x y = rule (atom "edge" [ a x; a y ]) [] in
+  let x = v () and y = v () and z = v () in
+  [
+    edge "a" "b"; edge "b" "c"; edge "c" "d";
+    rule (atom "path" [ Term.Var 900001; Term.Var 900002 ])
+      [ atom "edge" [ Term.Var 900001; Term.Var 900002 ] ];
+    rule
+      (atom "path" [ x; y ])
+      [ atom "edge" [ x; z ] |> Fun.id; atom "path" [ z; y ] ];
+  ]
+  @ List.map (fun (p, q) -> edge p q) extra_edges
+
+let eval_with evaluator rules =
+  let intensional, db = Datalog.load rules in
+  ignore (evaluator intensional db);
+  db
+
+let path_facts db =
+  Datalog.tuples_of db ("path", 2)
+  |> List.map (fun t ->
+         Printf.sprintf "%s-%s" (Pretty.term_to_string t.(0))
+           (Pretty.term_to_string t.(1)))
+  |> List.sort compare
+
+let test_naive_path () =
+  let db = eval_with Datalog.naive (graph_rules []) in
+  Alcotest.(check (list string)) "closure"
+    [ "a-b"; "a-c"; "a-d"; "b-c"; "b-d"; "c-d" ]
+    (path_facts db)
+
+let test_seminaive_agrees_with_naive () =
+  List.iter
+    (fun extra ->
+      let d1 = eval_with Datalog.naive (graph_rules extra) in
+      let d2 = eval_with Datalog.seminaive (graph_rules extra) in
+      Alcotest.(check (list string)) "naive = seminaive" (path_facts d1)
+        (path_facts d2))
+    [ []; [ ("d", "a") ]; [ ("d", "b"); ("c", "a") ] ]
+
+let test_seminaive_cycle_terminates () =
+  let db = eval_with Datalog.seminaive (graph_rules [ ("d", "a") ]) in
+  Alcotest.(check int) "full closure on cycle" 16 (List.length (path_facts db))
+
+let test_dedup () =
+  let db = Datalog.create_db () in
+  Alcotest.(check bool) "first insert" true
+    (Datalog.add_fact db ("p", 1) [| a "x" |]);
+  Alcotest.(check bool) "duplicate rejected" false
+    (Datalog.add_fact db ("p", 1) [| a "x" |]);
+  Alcotest.(check int) "count" 1 (Datalog.fact_count db)
+
+let test_query_filters () =
+  let db = eval_with Datalog.seminaive (graph_rules []) in
+  let answers = Datalog.query db (atom "path" [ a "a"; v () ]) in
+  Alcotest.(check int) "path(a, _)" 3 (List.length answers)
+
+(* --- adornment / magic ------------------------------------------------------ *)
+
+let query_pattern bound =
+  atom "path" [ (if bound then a "a" else v ()); v () ]
+
+let test_adorn_names () =
+  let adorned, q = Magic.adorn (graph_rules []) (query_pattern true) in
+  Alcotest.(check string) "query adorned" "path$bf" (fst q.Datalog.pred);
+  Alcotest.(check bool) "adorned rules mention path$bf" true
+    (List.exists
+       (fun (r : Datalog.rule) -> fst r.Datalog.head.Datalog.pred = "path$bf")
+       adorned)
+
+let test_magic_same_answers () =
+  let rules = graph_rules [ ("d", "e"); ("e", "a") ] in
+  let full = eval_with Datalog.seminaive rules in
+  let expected =
+    Datalog.query full (query_pattern true)
+    |> List.map (fun t -> Pretty.term_to_string t.(1))
+    |> List.sort compare
+  in
+  List.iter
+    (fun (label, transform) ->
+      let trules, tq = transform rules (query_pattern true) in
+      let db = eval_with Datalog.seminaive trules in
+      let got =
+        Datalog.query db tq
+        |> List.map (fun t -> Pretty.term_to_string t.(1))
+        |> List.sort compare
+      in
+      Alcotest.(check (list string)) (label ^ " answers") expected got)
+    [ ("magic", Magic.magic); ("supplementary", Magic.supplementary) ]
+
+let test_magic_goal_directed () =
+  (* a graph with a large unreachable component: magic must not derive
+     path facts inside it *)
+  let unreachable =
+    List.init 10 (fun i -> (Printf.sprintf "u%d" i, Printf.sprintf "u%d" (i + 1)))
+  in
+  let rules = graph_rules unreachable in
+  let full = eval_with Datalog.seminaive rules in
+  let mrules, _ = Magic.magic rules (query_pattern true) in
+  let mdb = eval_with Datalog.seminaive mrules in
+  Alcotest.(check bool) "magic derives fewer facts" true
+    (Datalog.fact_count mdb < Datalog.fact_count full);
+  (* no adorned path fact with an unreachable source *)
+  let bad =
+    Datalog.tuples_of mdb ("path$bf", 2)
+    |> List.filter (fun t ->
+           match t.(0) with
+           | Term.Atom s -> String.length s > 0 && s.[0] = 'u'
+           | _ -> false)
+  in
+  Alcotest.(check int) "no unreachable paths" 0 (List.length bad)
+
+(* --- Prop conversion --------------------------------------------------------- *)
+
+let test_from_prop_equalities_solved () =
+  let clauses =
+    Parser.parse_clauses "gp_p(X) :- X = true. gp_q(Y) :- Y = Z, gp_p(Z)."
+  in
+  let rules = From_prop.convert ~domain:From_prop.bool_domain clauses in
+  (* gp_p(true) becomes a fact *)
+  Alcotest.(check bool) "equality became fact" true
+    (List.exists
+       (fun (r : Datalog.rule) ->
+         r.Datalog.body = []
+         && fst r.Datalog.head.Datalog.pred = "gp_p"
+         && Term.equal r.Datalog.head.Datalog.args.(0) (a "true"))
+       rules)
+
+let test_from_prop_disjunction_expanded () =
+  let clauses = Parser.parse_clauses "gp_p(X) :- (X = true ; X = false)." in
+  let rules = From_prop.convert ~domain:From_prop.bool_domain clauses in
+  let p_rules =
+    List.filter
+      (fun (r : Datalog.rule) -> fst r.Datalog.head.Datalog.pred = "gp_p")
+      rules
+  in
+  Alcotest.(check int) "two alternatives" 2 (List.length p_rules)
+
+let test_from_prop_var_facts_grounded () =
+  let clauses = Parser.parse_clauses "gp_p(X, Y)." in
+  let rules = From_prop.convert ~domain:From_prop.bool_domain clauses in
+  let p_rules =
+    List.filter
+      (fun (r : Datalog.rule) -> fst r.Datalog.head.Datalog.pred = "gp_p")
+      rules
+  in
+  Alcotest.(check int) "grounded over domain^2" 4 (List.length p_rules)
+
+let test_from_prop_failing_clause_dropped () =
+  let clauses = Parser.parse_clauses "gp_p(X) :- fail. gp_p(X) :- X = true." in
+  let rules = From_prop.convert ~domain:From_prop.bool_domain clauses in
+  let p_rules =
+    List.filter
+      (fun (r : Datalog.rule) -> fst r.Datalog.head.Datalog.pred = "gp_p")
+      rules
+  in
+  Alcotest.(check int) "only the succeeding clause" 1 (List.length p_rules)
+
+(* --- supplementary fold (tabling-side) ---------------------------------------- *)
+
+let test_supplement_shapes () =
+  let clauses =
+    Parser.parse_clauses "h(X, Y) :- p(X, A), q(A, B), r(B, Y)."
+  in
+  let folded = Prax_tabling.Supplement.fold_program ~threshold:2 clauses in
+  (* 3-literal body folds into a 2-step chain plus the final clause *)
+  Alcotest.(check int) "clause count" 3 (List.length folded);
+  List.iter
+    (fun (c : Parser.clause) ->
+      Alcotest.(check bool) "bodies at most 2 literals" true
+        (List.length c.Parser.body <= 2))
+    folded
+
+let test_supplement_short_bodies_untouched () =
+  let clauses = Parser.parse_clauses "p(X) :- q(X), r(X). s(a)." in
+  let folded = Prax_tabling.Supplement.fold_program ~threshold:2 clauses in
+  Alcotest.(check int) "unchanged" 2 (List.length folded)
+
+let () =
+  Alcotest.run "prax_bottomup"
+    [
+      ( "evaluation",
+        [
+          Alcotest.test_case "naive path" `Quick test_naive_path;
+          Alcotest.test_case "seminaive = naive" `Quick
+            test_seminaive_agrees_with_naive;
+          Alcotest.test_case "cycles terminate" `Quick
+            test_seminaive_cycle_terminates;
+          Alcotest.test_case "dedup" `Quick test_dedup;
+          Alcotest.test_case "query" `Quick test_query_filters;
+        ] );
+      ( "magic",
+        [
+          Alcotest.test_case "adornment" `Quick test_adorn_names;
+          Alcotest.test_case "answers preserved" `Quick test_magic_same_answers;
+          Alcotest.test_case "goal-directed" `Quick test_magic_goal_directed;
+        ] );
+      ( "prop conversion",
+        [
+          Alcotest.test_case "equalities" `Quick test_from_prop_equalities_solved;
+          Alcotest.test_case "disjunction" `Quick
+            test_from_prop_disjunction_expanded;
+          Alcotest.test_case "fact grounding" `Quick
+            test_from_prop_var_facts_grounded;
+          Alcotest.test_case "failing clause" `Quick
+            test_from_prop_failing_clause_dropped;
+        ] );
+      ( "supplement",
+        [
+          Alcotest.test_case "fold shapes" `Quick test_supplement_shapes;
+          Alcotest.test_case "short bodies" `Quick
+            test_supplement_short_bodies_untouched;
+        ] );
+    ]

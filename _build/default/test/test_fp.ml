@@ -1,0 +1,218 @@
+(* Tests for the functional-language frontend (lexer, parser, checker)
+   and the call-by-need interpreter. *)
+
+open Prax_fp
+
+let parse = Check.parse_and_check
+
+let run ?fuel src call args = Eval.run ?fuel (parse src) call args
+
+(* --- parsing ---------------------------------------------------------- *)
+
+let test_parse_shapes () =
+  let p = parse "f(x, y) = x + y;\ng() = f(1, 2);" in
+  Alcotest.(check int) "two functions" 2 (List.length (Ast.functions p));
+  match List.hd p with
+  | { Ast.fname = "f"; pats = [ Ast.PVar "x"; Ast.PVar "y" ];
+      rhs = Ast.Prim ("+", [ Ast.Var "x"; Ast.Var "y" ]) } ->
+      ()
+  | eq -> Alcotest.failf "unexpected shape %s" (Ast.equation_to_string eq)
+
+let test_parse_precedence () =
+  let p = parse "f(x) = 1 + 2 * x;" in
+  (match (List.hd p).Ast.rhs with
+  | Ast.Prim ("+", [ Ast.Int 1; Ast.Prim ("*", _) ]) -> ()
+  | e -> Alcotest.failf "precedence wrong: %s" (Ast.expr_to_string e));
+  let p2 = parse "g(x) = 1 : 2 : [] ;" in
+  match (List.hd p2).Ast.rhs with
+  | Ast.Con (":", [ Ast.Int 1; Ast.Con (":", _) ]) -> ()
+  | e -> Alcotest.failf "cons assoc wrong: %s" (Ast.expr_to_string e)
+
+let test_parse_cmp_vs_cons () =
+  (* x : xs == [] must parse as (x:xs) == [] — cons binds tighter *)
+  let p = parse "f(x, xs) = if x : xs == [] then 1 else 2;" in
+  match (List.hd p).Ast.rhs with
+  | Ast.If (Ast.Prim ("==", [ Ast.Con (":", _); Ast.Con ("[]", []) ]), _, _) ->
+      ()
+  | e -> Alcotest.failf "wrong: %s" (Ast.expr_to_string e)
+
+let test_parse_list_sugar () =
+  let p = parse "f() = [1, 2, 3];" in
+  match (List.hd p).Ast.rhs with
+  | Ast.Con (":", [ Ast.Int 1; Ast.Con (":", [ Ast.Int 2; Ast.Con (":", _) ]) ])
+    ->
+      ()
+  | e -> Alcotest.failf "list sugar: %s" (Ast.expr_to_string e)
+
+let test_parse_tuples () =
+  let p = parse "swap((a, b)) = (b, a);" in
+  match List.hd p with
+  | { Ast.pats = [ Ast.PCon ("tup2", [ Ast.PVar "a"; Ast.PVar "b" ]) ];
+      rhs = Ast.Con ("tup2", [ Ast.Var "b"; Ast.Var "a" ]); _ } ->
+      ()
+  | eq -> Alcotest.failf "tuples: %s" (Ast.equation_to_string eq)
+
+let test_parse_and_or_desugar () =
+  let p = parse "f(a, b) = a and b;\ng(a, b) = a or b;\nh(a) = not a;" in
+  (match (List.hd p).Ast.rhs with
+  | Ast.If (Ast.Var "a", Ast.Var "b", Ast.Con ("False", [])) -> ()
+  | e -> Alcotest.failf "and: %s" (Ast.expr_to_string e));
+  match (List.nth p 2).Ast.rhs with
+  | Ast.If (Ast.Var "a", Ast.Con ("False", []), Ast.Con ("True", [])) -> ()
+  | e -> Alcotest.failf "not: %s" (Ast.expr_to_string e)
+
+let test_parse_comments () =
+  let p = parse "-- a line comment\nf(x) = {- block {- nested -} -} x;" in
+  Alcotest.(check int) "one equation" 1 (List.length p)
+
+let test_check_arity_error () =
+  Alcotest.check_raises "arity mismatch"
+    (Check.Error "function f defined with arity 2, called with 1") (fun () ->
+      ignore (parse "f(x, y) = x;\ng(a) = f(a);"))
+
+let test_check_unbound () =
+  Alcotest.check_raises "unbound var" (Check.Error "unbound variable z")
+    (fun () -> ignore (parse "f(x) = z;"))
+
+let test_check_nonlinear () =
+  Alcotest.check_raises "repeated pattern var"
+    (Check.Error "f: repeated pattern variable x") (fun () ->
+      ignore (parse "f(x, x) = x;"))
+
+let test_check_caf_resolution () =
+  let p = parse "k = 42;\nf(x) = x + k;" in
+  match (List.nth p 1).Ast.rhs with
+  | Ast.Prim ("+", [ Ast.Var "x"; Ast.App ("k", []) ]) -> ()
+  | e -> Alcotest.failf "CAF not resolved: %s" (Ast.expr_to_string e)
+
+let test_constructors_collected () =
+  let p = parse "f(Leaf(x)) = Node(x, x);" in
+  let cs = Ast.constructors p in
+  Alcotest.(check bool) "Leaf/1" true (List.mem ("Leaf", 1) cs);
+  Alcotest.(check bool) "Node/2" true (List.mem ("Node", 2) cs);
+  Alcotest.(check bool) "builtin list cons" true (List.mem (":", 2) cs)
+
+(* --- evaluation -------------------------------------------------------- *)
+
+let test_eval_arith () =
+  Alcotest.(check string) "fib" "55"
+    (run "fib(n) = if n < 2 then n else fib(n-1) + fib(n-2);" "fib"
+       [ Ast.Int 10 ])
+
+let test_eval_lists () =
+  Alcotest.(check string) "append" "[1,2,3,4]"
+    (run "app([], ys) = ys;\napp(x:xs, ys) = x : app(xs, ys);" "app"
+       [
+         Ast.Con (":", [ Ast.Int 1; Ast.Con (":", [ Ast.Int 2; Ast.Con ("[]", []) ]) ]);
+         Ast.Con (":", [ Ast.Int 3; Ast.Con (":", [ Ast.Int 4; Ast.Con ("[]", []) ]) ]);
+       ])
+
+let test_eval_laziness () =
+  (* taking from an infinite list terminates: call-by-need *)
+  Alcotest.(check string) "take 3 nats" "[0,1,2]"
+    (run
+       "nats(k) = k : nats(k + 1);\n\
+        take(0, xs) = [];\ntake(n, []) = [];\ntake(n, x:xs) = x : take(n-1, xs);"
+       "take"
+       [ Ast.Int 3; Ast.App ("nats", [ Ast.Int 0 ]) ])
+
+let test_eval_sharing () =
+  (* call-by-need evaluates a shared binding once: with call-by-name this
+     would exceed the fuel budget *)
+  let src =
+    "slow(0) = 1;\nslow(n) = slow(n - 1) + slow(n - 1);\n\
+     double(x) = x + x;\nmain() = double(slow(18));"
+  in
+  Alcotest.(check string) "shared thunk" "524288"
+    (run ~fuel:3_000_000 src "main" [])
+
+let test_eval_equation_order () =
+  let src = "classify(0) = Zero;\nclassify(n) = Other;" in
+  Alcotest.(check string) "first match" "Zero" (run src "classify" [ Ast.Int 0 ]);
+  Alcotest.(check string) "fallthrough" "Other" (run src "classify" [ Ast.Int 7 ])
+
+let test_eval_divergence_detected () =
+  Alcotest.check_raises "bottom diverges" Eval.Diverged (fun () ->
+      ignore (run ~fuel:10_000 "bot = bot;" "bot" []))
+
+let test_eval_blackhole () =
+  (* recursive lets are rejected at check time (the language has no
+     letrec); self-dependency through a function call is detected by the
+     fuel bound *)
+  Alcotest.check_raises "recursive let rejected"
+    (Check.Error "unbound variable y") (fun () ->
+      ignore (run "f(x) = let y = y + 1 in y;" "f" [ Ast.Int 0 ]));
+  Alcotest.check_raises "self-dependent CAF" Eval.Diverged (fun () ->
+      ignore (run ~fuel:100_000 "id(x) = x;\nloop = id(loop);" "loop" []))
+
+let test_eval_pattern_failure () =
+  Alcotest.check_raises "no matching equation"
+    (Eval.Stuck "pattern match failure in hd") (fun () ->
+      ignore (run "hd(x:xs) = x;" "hd" [ Ast.Con ("[]", []) ]))
+
+let test_eval_let_laziness () =
+  (* the let-bound diverging computation is never demanded *)
+  Alcotest.(check string) "unused let" "5"
+    (run ~fuel:10_000 "bot = bot;\nf(x) = let d = bot in x;" "f" [ Ast.Int 5 ])
+
+let test_eval_deep_force () =
+  (* printing forces structures deeply *)
+  Alcotest.(check string) "nested tuples" "tup2(1,tup2(2,3))"
+    (run "f() = (1, (2, 3));" "f" [])
+
+let test_eval_div_by_zero () =
+  Alcotest.check_raises "div by zero" (Eval.Stuck "division by zero")
+    (fun () -> ignore (run "f(x) = x div 0;" "f" [ Ast.Int 1 ]))
+
+let test_eval_benchmarks_run () =
+  (* every corpus benchmark's main() evaluates to a normal form *)
+  List.iter
+    (fun (b : Prax_benchdata.Registry.fp_bench) ->
+      let prog = parse b.Prax_benchdata.Registry.source in
+      match Eval.run ~fuel:30_000_000 prog "main" [] with
+      | s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s main() nonempty" b.Prax_benchdata.Registry.name)
+            true (String.length s > 0)
+      | exception Eval.Diverged ->
+          Alcotest.failf "%s main() exhausted fuel" b.Prax_benchdata.Registry.name)
+    Prax_benchdata.Registry.fp_benchmarks
+
+let () =
+  Alcotest.run "prax_fp"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "shapes" `Quick test_parse_shapes;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "cons vs cmp" `Quick test_parse_cmp_vs_cons;
+          Alcotest.test_case "list sugar" `Quick test_parse_list_sugar;
+          Alcotest.test_case "tuples" `Quick test_parse_tuples;
+          Alcotest.test_case "and/or/not desugar" `Quick test_parse_and_or_desugar;
+          Alcotest.test_case "comments" `Quick test_parse_comments;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "arity error" `Quick test_check_arity_error;
+          Alcotest.test_case "unbound variable" `Quick test_check_unbound;
+          Alcotest.test_case "nonlinear pattern" `Quick test_check_nonlinear;
+          Alcotest.test_case "CAF resolution" `Quick test_check_caf_resolution;
+          Alcotest.test_case "constructor collection" `Quick
+            test_constructors_collected;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_eval_arith;
+          Alcotest.test_case "lists" `Quick test_eval_lists;
+          Alcotest.test_case "laziness" `Quick test_eval_laziness;
+          Alcotest.test_case "sharing (call-by-need)" `Quick test_eval_sharing;
+          Alcotest.test_case "equation order" `Quick test_eval_equation_order;
+          Alcotest.test_case "divergence" `Quick test_eval_divergence_detected;
+          Alcotest.test_case "blackhole" `Quick test_eval_blackhole;
+          Alcotest.test_case "pattern failure" `Quick test_eval_pattern_failure;
+          Alcotest.test_case "lazy let" `Quick test_eval_let_laziness;
+          Alcotest.test_case "deep forcing" `Quick test_eval_deep_force;
+          Alcotest.test_case "division by zero" `Quick test_eval_div_by_zero;
+          Alcotest.test_case "benchmark mains" `Slow test_eval_benchmarks_run;
+        ] );
+    ]

@@ -1,0 +1,246 @@
+(* Tests for Prop-domain groundness analysis (Figure 1 / Table 1).
+   Includes the paper's running example: the success set of gp_ap is the
+   truth table of (X1 ∧ X2) ↔ X3. *)
+
+open Prax_logic
+open Prax_prop
+open Prax_ground
+
+let result_for rep p =
+  List.find (fun r -> r.Analyze.pred = p) rep.Analyze.results
+
+let analyze = Analyze.analyze
+
+let check_definite msg rep p expected =
+  let r = result_for rep p in
+  let got =
+    String.concat ""
+      (Array.to_list (Array.map (fun b -> if b then "g" else "?") r.Analyze.definite))
+  in
+  Alcotest.(check string) msg expected got
+
+(* --- the paper's Figure 2 example --------------------------------------- *)
+
+let ap_src = "ap([], Ys, Ys). ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs)."
+
+let test_ap_success_set () =
+  let rep = analyze ap_src in
+  let r = result_for rep ("ap", 3) in
+  (* rows of (X1 ∧ X2) ↔ X3: ttt, tff, ftf, fff *)
+  let expected =
+    Bf.of_tuples 3
+      [
+        [ Some true; Some true; Some true ];
+        [ Some true; Some false; Some false ];
+        [ Some false; Some true; Some false ];
+        [ Some false; Some false; Some false ];
+      ]
+  in
+  Alcotest.(check bool) "success set = (X1&X2)<->X3" true
+    (Bf.equal r.Analyze.success expected)
+
+let test_ap_definite () =
+  (* no argument of ap is ground in all answers *)
+  check_definite "ap definite" (analyze ap_src) ("ap", 3) "???"
+
+let test_ap_formula_rendering () =
+  let rep = analyze ap_src in
+  let r = result_for rep ("ap", 3) in
+  let s = Qm.to_string ~names:(fun i -> [ "X"; "Y"; "Z" ] |> fun l -> List.nth l i) r.Analyze.success in
+  (* minimal SOP of (X∧Y)↔Z; exact form depends on cover choice, but it
+     must mention all three variables and contain 3 cubes *)
+  Alcotest.(check bool) "formula nonempty" true (String.length s > 5)
+
+(* --- definite groundness propagation ------------------------------------ *)
+
+let test_facts_ground () =
+  let rep = analyze "p(a, b). p(c, d)." in
+  check_definite "ground facts" rep ("p", 2) "gg"
+
+let test_mixed_facts () =
+  let rep = analyze "p(a, X). p(c, d)." in
+  check_definite "second arg open" rep ("p", 2) "g?"
+
+let test_propagation_through_calls () =
+  let rep =
+    analyze
+      "base(a). wrap(f(X)) :- base(X). pair(X, Y) :- wrap(X), wrap(Y)."
+  in
+  check_definite "wrap grounds" rep ("wrap", 1) "g";
+  check_definite "pair grounds both" rep ("pair", 2) "gg"
+
+let test_unification_grounds () =
+  let rep = analyze "p(X, Y) :- X = f(Y), Y = a." in
+  check_definite "chained =" rep ("p", 2) "gg"
+
+let test_arithmetic_grounds () =
+  let rep = analyze "inc(X, Y) :- Y is X + 1." in
+  check_definite "is/2 grounds" rep ("inc", 2) "gg"
+
+let test_comparison_grounds () =
+  let rep = analyze "lt(X, Y) :- X < Y." in
+  check_definite "</2 grounds" rep ("lt", 2) "gg"
+
+let test_never_succeeds () =
+  let rep = analyze "p(X) :- fail. q(X) :- a = b." in
+  Alcotest.(check bool) "fail detected" true
+    (result_for rep ("p", 1)).Analyze.never_succeeds;
+  Alcotest.(check bool) "static clash detected" true
+    (result_for rep ("q", 1)).Analyze.never_succeeds
+
+let test_recursive_never_ground () =
+  (* s(X) keeps X's groundness open through infinite data *)
+  let rep = analyze "stream(X) :- stream(X)." in
+  Alcotest.(check bool) "empty success set" true
+    (result_for rep ("stream", 1)).Analyze.never_succeeds
+
+let test_disjunction () =
+  let rep = analyze "p(X) :- (X = a ; X = f(Y))." in
+  let r = result_for rep ("p", 1) in
+  (* X ground in first branch, open in second: both rows present *)
+  Alcotest.(check bool) "both groundness values" true
+    (Bf.equal r.Analyze.success (Bf.top 1))
+
+let test_if_then_else_sound () =
+  let rep = analyze "p(X, Y) :- (X = a -> Y = b ; Y = c)." in
+  check_definite "both branches ground Y" rep ("p", 2) "?g"
+
+let test_negation_sound () =
+  let rep = analyze "p(X) :- \\+ q(X). q(a)." in
+  let r = result_for rep ("p", 1) in
+  Alcotest.(check bool) "naf binds nothing" true
+    (Bf.equal r.Analyze.success (Bf.top 1))
+
+let test_var_test_binds_nothing () =
+  let rep = analyze "p(X) :- var(X)." in
+  Alcotest.(check bool) "var/1 top" true
+    (Bf.equal (result_for rep ("p", 1)).Analyze.success (Bf.top 1))
+
+let test_type_test_grounds () =
+  let rep = analyze "p(X) :- atom(X)." in
+  check_definite "atom/1 grounds" rep ("p", 1) "g"
+
+let test_cut_ignored () =
+  let rep = analyze "max(X, Y, X) :- X >= Y, !. max(X, Y, Y)." in
+  (* sound over-approximation: both clauses contribute *)
+  let r = result_for rep ("max", 3) in
+  (* clause 1 contributes (t,t,t); clause 2 shares Y across args 2,3 and
+     contributes (x,y,y) for all x,y *)
+  let expected =
+    Bf.of_tuples 3
+      [
+        [ Some true; Some true; Some true ];
+        [ Some true; Some false; Some false ];
+        [ Some false; Some true; Some true ];
+        [ Some false; Some false; Some false ];
+      ]
+  in
+  Alcotest.(check bool) "success set" true (Bf.equal r.Analyze.success expected);
+  check_definite "no definite args across both clauses" rep ("max", 3) "???"
+
+(* --- input modes (call patterns) ---------------------------------------- *)
+
+let test_call_patterns () =
+  let rep =
+    analyze "main(Y) :- helper(a, Y).\nhelper(X, f(X))."
+  in
+  let r = result_for rep ("helper", 2) in
+  (* called from main with first arg ground: pattern g? plus the open
+     pattern ?? from the driver's open query *)
+  Alcotest.(check (list string)) "input modes" [ "??"; "g?" ]
+    (List.sort compare r.Analyze.call_patterns)
+
+(* --- phases and metadata ------------------------------------------------ *)
+
+let test_phases_positive () =
+  let rep = analyze ap_src in
+  Alcotest.(check bool) "preproc >= 0" true (rep.Analyze.phases.Analyze.preproc >= 0.);
+  Alcotest.(check bool) "total > 0" true (Analyze.total rep.Analyze.phases > 0.);
+  Alcotest.(check bool) "table space > 0" true (rep.Analyze.table_bytes > 0)
+
+let test_modes_agree () =
+  let src =
+    "rev([], A, A). rev([H|T], A, R) :- rev(T, [H|A], R).\n\
+     top(X) :- rev([a,b,c], [], X)."
+  in
+  let r1 = analyze ~mode:Database.Dynamic src in
+  let r2 = analyze ~mode:Database.Compiled src in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s agree" (fst a.Analyze.pred))
+        true
+        (Bf.equal a.Analyze.success b.Analyze.success))
+    r1.Analyze.results r2.Analyze.results
+
+(* soundness property: definite groundness claims hold on concrete runs *)
+let prop_soundness_src =
+  [
+    ("ap([],Y,Y). ap([H|T],Y,[H|Z]) :- ap(T,Y,Z).", "ap([1,2],[3],R)", "ap");
+    ( "rev([],A,A). rev([H|T],A,R) :- rev(T,[H|A],R).",
+      "rev([a,b],[],R)",
+      "rev" );
+    ( "len([],0). len([_|T],N) :- len(T,M), N is M + 1.",
+      "len([a,b,c],N)",
+      "len" );
+  ]
+
+let test_soundness_on_concrete_runs () =
+  List.iter
+    (fun (src, query, pname) ->
+      let rep = analyze src in
+      let db = Database.create () in
+      ignore (Database.load_string db src);
+      let goal = Parser.parse_term query in
+      let arity = Array.length (Term.args_of goal) in
+      let r = result_for rep (pname, arity) in
+      let sols = Sld.solutions db goal in
+      List.iter
+        (fun s ->
+          Array.iteri
+            (fun i arg ->
+              if r.Analyze.definite.(i) then
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s arg %d ground" pname (i + 1))
+                  true
+                  (Subst.is_ground_under s arg))
+            (Term.args_of goal))
+        sols)
+    prop_soundness_src
+
+let () =
+  Alcotest.run "prax_ground"
+    [
+      ( "paper example",
+        [
+          Alcotest.test_case "ap success set" `Quick test_ap_success_set;
+          Alcotest.test_case "ap definite" `Quick test_ap_definite;
+          Alcotest.test_case "ap formula" `Quick test_ap_formula_rendering;
+        ] );
+      ( "propagation",
+        [
+          Alcotest.test_case "ground facts" `Quick test_facts_ground;
+          Alcotest.test_case "mixed facts" `Quick test_mixed_facts;
+          Alcotest.test_case "through calls" `Quick test_propagation_through_calls;
+          Alcotest.test_case "unification" `Quick test_unification_grounds;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic_grounds;
+          Alcotest.test_case "comparison" `Quick test_comparison_grounds;
+          Alcotest.test_case "never succeeds" `Quick test_never_succeeds;
+          Alcotest.test_case "recursive empty" `Quick test_recursive_never_ground;
+          Alcotest.test_case "disjunction" `Quick test_disjunction;
+          Alcotest.test_case "if-then-else" `Quick test_if_then_else_sound;
+          Alcotest.test_case "negation" `Quick test_negation_sound;
+          Alcotest.test_case "var test" `Quick test_var_test_binds_nothing;
+          Alcotest.test_case "type test" `Quick test_type_test_grounds;
+          Alcotest.test_case "cut ignored" `Quick test_cut_ignored;
+        ] );
+      ( "input modes",
+        [ Alcotest.test_case "call patterns" `Quick test_call_patterns ] );
+      ( "driver",
+        [
+          Alcotest.test_case "phases" `Quick test_phases_positive;
+          Alcotest.test_case "modes agree" `Quick test_modes_agree;
+          Alcotest.test_case "soundness on concrete runs" `Quick
+            test_soundness_on_concrete_runs;
+        ] );
+    ]

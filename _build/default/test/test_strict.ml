@@ -1,0 +1,256 @@
+(* Tests for strictness analysis: the paper's Figure 4 example, the
+   demand lattice, base relations, collection, supplementary tabling
+   equivalence, and the soundness property against the lazy interpreter:
+   forcing an argument the analysis marks strict never turns a
+   terminating program into a diverging one. *)
+
+open Prax_fp
+open Prax_strict
+
+let analyze = Analyze.analyze
+
+let demands rep f =
+  match Analyze.result_for rep f with
+  | Some r -> (r.Analyze.e_demands, r.Analyze.d_demands)
+  | None -> Alcotest.failf "no result for %s" f
+
+let dstr = Analyze.demand_string
+
+(* --- the paper's example ----------------------------------------------- *)
+
+let ap_src = "ap([], ys) = ys;\nap(x:xs, ys) = x : ap(xs, ys);"
+
+let test_ap_paper_result () =
+  let rep = analyze ap_src in
+  let e, d = demands rep "ap" in
+  Alcotest.(check string) "ee-strict" "ee" (dstr e);
+  Alcotest.(check string) "d-strict in 1st only" "dn" (dstr d)
+
+(* --- demand lattice ------------------------------------------------------ *)
+
+let test_demand_lattice () =
+  let open Demand in
+  Alcotest.(check bool) "glb e d" true (glb E D = D);
+  Alcotest.(check bool) "glb d n" true (glb D N = N);
+  Alcotest.(check bool) "lub d n" true (lub D N = D);
+  Alcotest.(check bool) "lub e anything" true (lub E N = E);
+  Alcotest.(check bool) "strict e" true (is_strict E);
+  Alcotest.(check bool) "strict d" true (is_strict D);
+  Alcotest.(check bool) "not strict n" false (is_strict N);
+  (* unbound variables collect as N *)
+  Alcotest.(check bool) "var is N" true
+    (of_term (Prax_logic.Term.Var 3) = Some N)
+
+(* --- basic propagations -------------------------------------------------- *)
+
+let test_identity () =
+  let rep = analyze "id(x) = x;" in
+  let e, d = demands rep "id" in
+  Alcotest.(check string) "e passes through" "e" (dstr e);
+  Alcotest.(check string) "d passes through" "d" (dstr d)
+
+let test_primitive_strict () =
+  let rep = analyze "add(x, y) = x + y;" in
+  let e, d = demands rep "add" in
+  Alcotest.(check string) "flat e" "ee" (dstr e);
+  Alcotest.(check string) "flat d" "ee" (dstr d)
+
+let test_const_ignores () =
+  let rep = analyze "konst(x, y) = x;" in
+  let _, d = demands rep "konst" in
+  Alcotest.(check string) "second arg never demanded" "dn" (dstr d)
+
+let test_if_joins_branches () =
+  (* x demanded in both branches: strict; y and z in one each: not *)
+  let rep = analyze "f(c, x, y, z) = if c == 0 then x + y else x + z;" in
+  let _, d = demands rep "f" in
+  Alcotest.(check string) "condition + both-branch var" "eenn" (dstr d)
+
+let test_constructor_lazy () =
+  (* building a cons demands nothing of its components under d *)
+  let rep = analyze "wrap(x) = x : [];" in
+  let e, d = demands rep "wrap" in
+  Alcotest.(check string) "e forces components" "e" (dstr e);
+  Alcotest.(check string) "d forces nothing" "n" (dstr d)
+
+let test_pattern_match_demands () =
+  (* matching forces the scrutinized argument *)
+  let rep = analyze "null([]) = True;\nnull(x:xs) = False;" in
+  let _, d = demands rep "null" in
+  Alcotest.(check string) "whnf demand from matching" "d" (dstr d)
+
+let test_deep_pattern () =
+  let rep = analyze "second(x:y:rest) = y;" in
+  let _, d = demands rep "second" in
+  (* matching two cons cells and returning y: at least d *)
+  Alcotest.(check string) "nested pattern" "d" (dstr d)
+
+let test_multiple_occurrences_join () =
+  let rep = analyze "both(x) = x + x;" in
+  let _, d = demands rep "both" in
+  Alcotest.(check string) "join of occurrences" "e" (dstr d)
+
+let test_let_laziness () =
+  (* the let binding is only demanded when used *)
+  let rep = analyze "f(x, y) = let u = y + 1 in x;" in
+  let _, d = demands rep "f" in
+  Alcotest.(check string) "unused let leaves y alone" "dn" (dstr d);
+  let rep2 = analyze "g(x, y) = let u = y + 1 in x + u;" in
+  let _, d2 = demands rep2 "g" in
+  Alcotest.(check string) "used let forces y" "ee" (dstr d2)
+
+let test_nonterminating_function () =
+  let rep = analyze "bot = bot;" in
+  (match Analyze.result_for rep "bot" with
+  | Some r ->
+      Alcotest.(check bool) "no answers under e" true
+        (r.Analyze.e_demands = None)
+  | None -> Alcotest.fail "missing bot")
+
+let test_mutual_recursion () =
+  let rep =
+    analyze
+      "even(n) = if n == 0 then True else odd(n - 1);\n\
+       odd(n) = if n == 0 then False else even(n - 1);"
+  in
+  let _, d = demands rep "even" in
+  Alcotest.(check string) "mutually recursive strictness" "e" (dstr d)
+
+let test_short_circuit_and () =
+  (* a and b: b only demanded when a is True -> not strict in b *)
+  let rep = analyze "conj(a, b) = a and b;" in
+  let _, d = demands rep "conj" in
+  Alcotest.(check string) "short-circuit" "en" (dstr d)
+
+(* --- supplementary tabling equivalence ----------------------------------- *)
+
+let test_supplementary_same_results () =
+  List.iter
+    (fun src ->
+      let r1 = Analyze.analyze ~supplementary:true src in
+      let r2 = Analyze.analyze ~supplementary:false src in
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string)
+            (a.Analyze.fname ^ " e-demands agree")
+            (dstr a.Analyze.e_demands) (dstr b.Analyze.e_demands);
+          Alcotest.(check string)
+            (a.Analyze.fname ^ " d-demands agree")
+            (dstr a.Analyze.d_demands) (dstr b.Analyze.d_demands))
+        r1.Analyze.results r2.Analyze.results)
+    [
+      ap_src;
+      "f(c, x, y, z) = if c == 0 then x + y else x + z;";
+      "sum([]) = 0;\nsum(x:xs) = x + sum(xs);\n\
+       sq([]) = [];\nsq(x:xs) = (x*x) : sq(xs);\nmain(l) = sum(sq(l));";
+    ]
+
+(* --- corpus sanity --------------------------------------------------------- *)
+
+let test_corpus_known_results () =
+  (* spot-check well-understood functions from the benchmark corpus *)
+  let src b =
+    (Option.get (Prax_benchdata.Registry.find_fp b))
+      .Prax_benchdata.Registry.source
+  in
+  let rep = analyze (src "mergesort") in
+  let _, d = demands rep "merge" in
+  Alcotest.(check string) "merge d-strict in both" "dd" (dstr d);
+  let _, dm = demands rep "msort" in
+  Alcotest.(check string) "msort d-strict" "d" (dstr dm);
+  let rep2 = analyze (src "quicksort") in
+  let _, dq = demands rep2 "qsort" in
+  Alcotest.(check string) "qsort d-strict" "d" (dstr dq);
+  let eq, _ = demands rep2 "smaller" in
+  (* the base equation smaller(p, []) ignores the pivot, so no demand on
+     it is guaranteed across equations; the list is always forced *)
+  Alcotest.(check string) "smaller under e" "ne" (dstr eq)
+
+(* --- soundness against the interpreter ------------------------------------ *)
+
+(* For strict arguments, forcing before the call must preserve results on
+   terminating inputs. *)
+let test_soundness_forcing () =
+  let cases =
+    [
+      (ap_src, "ap",
+       [ Ast.Con (":", [ Ast.Int 1; Ast.Con ("[]", []) ]); Ast.Con ("[]", []) ]);
+      ( "sum([]) = 0;\nsum(x:xs) = x + sum(xs);",
+        "sum",
+        [
+          Ast.Con (":", [ Ast.Int 2; Ast.Con (":", [ Ast.Int 3; Ast.Con ("[]", []) ]) ]);
+        ] );
+      ( "f(c, x, y, z) = if c == 0 then x + y else x + z;",
+        "f",
+        [ Ast.Int 0; Ast.Int 1; Ast.Int 2; Ast.Int 3 ] );
+    ]
+  in
+  List.iter
+    (fun (src, fname, args) ->
+      let rep = analyze src in
+      let r = Option.get (Analyze.result_for rep fname) in
+      let strict = Analyze.strict_args r in
+      let prog = Check.parse_and_check src in
+      let plain = Eval.run prog fname args in
+      let forced = Eval.run_forcing prog fname args ~force_args:strict in
+      Alcotest.(check string) (fname ^ " forced = plain") plain forced)
+    cases
+
+(* soundness property on random list inputs for corpus sorts *)
+let gen_int_list = QCheck2.Gen.(list_size (int_range 0 8) (int_range (-20) 20))
+
+let list_expr xs =
+  List.fold_right
+    (fun x acc -> Ast.Con (":", [ Ast.Int x; acc ]))
+    xs (Ast.Con ("[]", []))
+
+let prop_force_strict_sound =
+  QCheck2.Test.make ~name:"forcing strict args preserves msort results"
+    ~count:60 gen_int_list (fun xs ->
+      let src =
+        (Option.get (Prax_benchdata.Registry.find_fp "mergesort"))
+          .Prax_benchdata.Registry.source
+      in
+      let rep = analyze src in
+      let r = Option.get (Analyze.result_for rep "msort") in
+      let strict = Analyze.strict_args r in
+      let prog = Check.parse_and_check src in
+      let args = [ list_expr xs ] in
+      let plain = Eval.run prog "msort" args in
+      let forced = Eval.run_forcing prog "msort" args ~force_args:strict in
+      String.equal plain forced)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_force_strict_sound ]
+
+let () =
+  Alcotest.run "prax_strict"
+    [
+      ( "paper example",
+        [ Alcotest.test_case "ap strictness" `Quick test_ap_paper_result ] );
+      ("lattice", [ Alcotest.test_case "demand order" `Quick test_demand_lattice ]);
+      ( "propagation",
+        [
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "primitives" `Quick test_primitive_strict;
+          Alcotest.test_case "constant function" `Quick test_const_ignores;
+          Alcotest.test_case "if joins branches" `Quick test_if_joins_branches;
+          Alcotest.test_case "lazy constructors" `Quick test_constructor_lazy;
+          Alcotest.test_case "pattern demand" `Quick test_pattern_match_demands;
+          Alcotest.test_case "deep pattern" `Quick test_deep_pattern;
+          Alcotest.test_case "occurrence join" `Quick test_multiple_occurrences_join;
+          Alcotest.test_case "let laziness" `Quick test_let_laziness;
+          Alcotest.test_case "nontermination" `Quick test_nonterminating_function;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+          Alcotest.test_case "short-circuit and" `Quick test_short_circuit_and;
+        ] );
+      ( "supplementary tabling",
+        [
+          Alcotest.test_case "same results" `Quick
+            test_supplementary_same_results;
+        ] );
+      ( "corpus",
+        [ Alcotest.test_case "known results" `Quick test_corpus_known_results ] );
+      ( "soundness",
+        Alcotest.test_case "forcing strict args" `Quick test_soundness_forcing
+        :: qsuite );
+    ]

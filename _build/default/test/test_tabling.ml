@@ -1,0 +1,292 @@
+(* Tests for the tabled evaluation engine: termination on left recursion,
+   variant-based call/answer tables, duplicate elimination, consumer
+   resumption, and agreement with SLD where both terminate. *)
+
+open Prax_logic
+open Prax_tabling
+
+let parse = Parser.parse_term
+let show t = Pretty.term_to_string t
+
+let engine_of ?mode src =
+  let db = Database.create ?mode () in
+  ignore (Database.load_string db src);
+  Engine.create db
+
+let query_strings e q = Engine.query e (parse q) |> List.map show
+
+(* Left recursion: the canonical program no Prolog system terminates on,
+   and the first thing a tabled system must get right. *)
+let left_rec_path =
+  "edge(a,b). edge(b,c). edge(c,d). edge(b,a).\n\
+   path(X,Y) :- path(X,Z), edge(Z,Y).\n\
+   path(X,Y) :- edge(X,Y)."
+
+let test_left_recursion () =
+  let e = engine_of left_rec_path in
+  let sols = query_strings e "path(a, Y)" in
+  Alcotest.(check (list string))
+    "reachable from a"
+    [ "path(a,a)"; "path(a,b)"; "path(a,c)"; "path(a,d)" ]
+    (List.sort compare sols)
+
+let test_right_recursion_same_answers () =
+  let right =
+    "edge(a,b). edge(b,c). edge(c,d). edge(b,a).\n\
+     path(X,Y) :- edge(X,Y).\n\
+     path(X,Y) :- edge(X,Z), path(Z,Y)."
+  in
+  let e1 = engine_of left_rec_path and e2 = engine_of right in
+  Alcotest.(check (list string))
+    "formulation-independent"
+    (List.sort compare (query_strings e1 "path(X, Y)"))
+    (List.sort compare (query_strings e2 "path(X, Y)"))
+
+let test_cyclic_termination () =
+  (* fully cyclic graph; non-tabled evaluation diverges *)
+  let e =
+    engine_of
+      "edge(a,b). edge(b,c). edge(c,a).\n\
+       path(X,Y) :- edge(X,Y).\n\
+       path(X,Y) :- path(X,Z), path(Z,Y)."
+  in
+  Alcotest.(check int) "3x3 pairs" 9
+    (List.length (query_strings e "path(X,Y)"))
+
+let test_no_answer_loop_terminates () =
+  (* p :- p has no answers; tabling must fail finitely *)
+  let e = engine_of "p :- p. q(1)." in
+  Alcotest.(check (list string)) "no answers" [] (query_strings e "p");
+  Alcotest.(check (list string)) "rest of program alive" [ "q(1)" ]
+    (query_strings e "q(X)")
+
+let test_mutual_recursion () =
+  let e =
+    engine_of
+      "even(0). even(s(N)) :- odd(N). odd(s(N)) :- even(N)."
+  in
+  Alcotest.(check bool) "even 4" true
+    (query_strings e "even(s(s(s(s(0)))))" <> []);
+  Alcotest.(check bool) "odd 4 fails" true
+    (query_strings e "odd(s(s(s(s(0)))))" = [])
+
+let test_variant_tables () =
+  let e = engine_of left_rec_path in
+  ignore (Engine.query e (parse "path(a, Y)"));
+  ignore (Engine.query e (parse "path(a, X)"));
+  (* the second query is a variant of the first: no new table entry *)
+  let calls = Engine.calls_for e ("path", 2) in
+  Alcotest.(check bool) "variant call shared" true (List.length calls >= 1);
+  let open_before = List.length (Engine.calls e) in
+  ignore (Engine.query e (parse "path(a, Z)"));
+  Alcotest.(check int) "no growth on variant re-query" open_before
+    (List.length (Engine.calls e))
+
+let test_duplicate_answers_filtered () =
+  let e = engine_of "p(a). p(a). p(a). p(b)." in
+  let sols = query_strings e "p(X)" in
+  Alcotest.(check (list string)) "dedup" [ "p(a)"; "p(b)" ]
+    (List.sort compare sols);
+  let st = Engine.stats e in
+  Alcotest.(check int) "2 distinct answers" 2 st.Engine.answers;
+  Alcotest.(check int) "2 duplicates filtered" 2 st.Engine.duplicates
+
+let test_call_table_records_input_modes () =
+  (* the paper's "input groundness for free": body calls with ground
+     first argument show up as more specific call variants *)
+  let e =
+    engine_of
+      "top(Y) :- helper(a, Y).\nhelper(X, f(X))."
+  in
+  ignore (Engine.query e (parse "top(Y)"));
+  let calls = Engine.calls_for e ("helper", 2) in
+  (match calls with
+  | [ c ] -> (
+      match Term.args_of c with
+      | [| Term.Atom "a"; Term.Var _ |] -> ()
+      | _ -> Alcotest.failf "expected helper(a,_), got %s" (show c))
+  | _ -> Alcotest.fail "expected exactly one call variant")
+
+let test_answers_for () =
+  let e = engine_of left_rec_path in
+  ignore (Engine.query e (parse "path(a, Y)"));
+  let answers = Engine.answers_for e ("path", 2) in
+  Alcotest.(check int) "4 answers" 4 (List.length answers)
+
+let test_nonground_answers () =
+  let e = engine_of "p(X, X). p(a, b)." in
+  let sols = query_strings e "p(U, V)" in
+  Alcotest.(check (list string)) "most general answer kept"
+    [ "p(A,A)"; "p(a,b)" ]
+    (List.sort compare sols)
+
+let test_agreement_with_sld () =
+  let src =
+    "app([], Y, Y). app([H|T], Y, [H|Z]) :- app(T, Y, Z).\n\
+     nrev([], []). nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R)."
+  in
+  let db = Database.create () in
+  ignore (Database.load_string db src);
+  let e = Engine.create db in
+  let goal = parse "nrev([1,2,3,4], R)" in
+  let tabled = Engine.query e goal |> List.map show in
+  let sld =
+    Sld.solutions db goal
+    |> List.map (fun s -> show (Canon.canonical s goal))
+  in
+  Alcotest.(check (list string)) "tabled = sld" sld tabled
+
+let test_builtin_registration () =
+  let e = engine_of "p(X, Y) :- myplus(X, 1, Y)." in
+  Engine.register_builtin e "myplus" 3 (fun eng s args sc ->
+      match (Subst.walk s args.(0), Subst.walk s args.(1)) with
+      | Term.Int a, Term.Int b -> (
+          match (Engine.concrete_hooks.Engine.unify) s args.(2) (Term.Int (a + b)) with
+          | Some s' -> sc s'
+          | None -> ())
+      | _ ->
+          ignore eng;
+          ());
+  Alcotest.(check (list string)) "builtin used" [ "p(41,42)" ]
+    (query_strings e "p(41, Y)")
+
+let test_table_space_positive () =
+  let e = engine_of left_rec_path in
+  ignore (Engine.query e (parse "path(X, Y)"));
+  Alcotest.(check bool) "space accounted" true (Engine.table_space_bytes e > 0)
+
+let test_reset_tables () =
+  let e = engine_of left_rec_path in
+  ignore (Engine.query e (parse "path(X, Y)"));
+  Engine.reset_tables e;
+  Alcotest.(check int) "tables empty" 0 (List.length (Engine.calls e));
+  (* engine still usable after reset *)
+  Alcotest.(check int) "re-run ok" 4
+    (List.length (query_strings e "path(a, Y)"))
+
+let test_open_call_strategy () =
+  (* Section 6.2: table only the open call; specific calls filter its
+     answers (forward subsumption).  Same answers, fewer table entries. *)
+  let src =
+    "edge(a,b). edge(b,c). edge(c,d).\n\
+     path(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y)."
+  in
+  let db = Database.create () in
+  ignore (Database.load_string db src);
+  let ev = Engine.create db in
+  let eo = Engine.create ~open_calls:true db in
+  List.iter
+    (fun q ->
+      Alcotest.(check (list string))
+        (q ^ " same answers")
+        (List.sort compare (query_strings ev q))
+        (List.sort compare (query_strings eo q)))
+    [ "path(a, Y)"; "path(X, d)"; "path(b, c)"; "path(X, Y)" ];
+  Alcotest.(check bool) "fewer or equal table entries" true
+    (List.length (Engine.calls eo) <= List.length (Engine.calls ev));
+  (* under the open strategy, every tabled call variant is open *)
+  List.iter
+    (fun c ->
+      match Term.args_of c with
+      | [||] -> ()
+      | args ->
+          Alcotest.(check bool) "entry is an open call" true
+            (Array.for_all (function Term.Var _ -> true | _ -> false) args))
+    (Engine.calls eo)
+
+let test_nontabled_predicates () =
+  let db = Database.create () in
+  ignore
+    (Database.load_string db
+       "double(X, Y) :- plusx(X, X, Y).\nplusx(a, a, aa).");
+  let e = Engine.create ~tabled:(fun (n, _) -> n <> "plusx") db in
+  Alcotest.(check (list string)) "mixed tabled/nontabled" [ "double(a,aa)" ]
+    (query_strings e "double(a, Y)");
+  Alcotest.(check (list string)) "only tabled preds in table" [ "double/2" ]
+    (Engine.calls e
+    |> List.filter_map Term.functor_of
+    |> List.map (fun (n, a) -> Printf.sprintf "%s/%d" n a))
+
+(* Property: on random acyclic graphs, tabled reachability agrees with a
+   direct OCaml reachability computation. *)
+let prop_reachability =
+  QCheck2.Test.make ~name:"tabled path = OCaml reachability" ~count:40
+    QCheck2.Gen.(
+      list_size (int_range 0 30) (pair (int_range 0 7) (int_range 0 7)))
+    (fun edges ->
+      let src =
+        "path(X,Y) :- path(X,Z), edge(Z,Y). path(X,Y) :- edge(X,Y)."
+        ^ String.concat ""
+            (List.map (fun (a, b) -> Printf.sprintf " edge(n%d,n%d)." a b) edges)
+      in
+      (* direct transitive closure *)
+      let reach = Hashtbl.create 64 in
+      List.iter (fun (a, b) -> Hashtbl.replace reach (a, b) ()) edges;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        Hashtbl.iter
+          (fun (a, b) () ->
+            List.iter
+              (fun (c, d) ->
+                if b = c && not (Hashtbl.mem reach (a, d)) then begin
+                  Hashtbl.replace reach (a, d) ();
+                  changed := true
+                end)
+              edges)
+          reach
+      done;
+      let expected =
+        Hashtbl.fold
+          (fun (a, b) () acc -> Printf.sprintf "path(n%d,n%d)" a b :: acc)
+          reach []
+        |> List.sort compare
+      in
+      match edges with
+      | [] -> true
+      | _ ->
+          let e = engine_of src in
+          let got =
+            query_strings e "path(X,Y)" |> List.sort compare
+          in
+          got = expected)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_reachability ]
+
+let () =
+  Alcotest.run "prax_tabling"
+    [
+      ( "termination",
+        [
+          Alcotest.test_case "left recursion" `Quick test_left_recursion;
+          Alcotest.test_case "right recursion agrees" `Quick
+            test_right_recursion_same_answers;
+          Alcotest.test_case "cyclic graph" `Quick test_cyclic_termination;
+          Alcotest.test_case "answerless loop" `Quick
+            test_no_answer_loop_terminates;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "variant call sharing" `Quick test_variant_tables;
+          Alcotest.test_case "duplicate answers" `Quick
+            test_duplicate_answers_filtered;
+          Alcotest.test_case "call table = input modes" `Quick
+            test_call_table_records_input_modes;
+          Alcotest.test_case "answers_for" `Quick test_answers_for;
+          Alcotest.test_case "nonground answers" `Quick test_nonground_answers;
+          Alcotest.test_case "table space" `Quick test_table_space_positive;
+          Alcotest.test_case "reset" `Quick test_reset_tables;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "agreement with SLD" `Quick test_agreement_with_sld;
+          Alcotest.test_case "builtin registration" `Quick
+            test_builtin_registration;
+          Alcotest.test_case "nontabled predicates" `Quick
+            test_nontabled_predicates;
+          Alcotest.test_case "open-call strategy" `Quick
+            test_open_call_strategy;
+        ] );
+      ("properties", qsuite);
+    ]
