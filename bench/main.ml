@@ -34,8 +34,9 @@ let table1 () =
   section
     "Table 1: performance of Prop-based groundness analysis (tabled engine, \
      dynamic mode)";
-  Printf.printf "%-8s %5s | %8s %8s %8s %8s | %8s %10s\n" "Program" "lines"
-    "Preproc" "Analysis" "Collect" "Total" "Incr.(%)" "Table(B)";
+  Printf.printf "%-8s %5s | %8s %8s %8s %8s | %8s %10s | %7s %7s %7s\n"
+    "Program" "lines" "Preproc" "Analysis" "Collect" "Total" "Incr.(%)"
+    "Table(B)" "Entries" "Answers" "Resump";
   List.iter
     (fun (b : Benchdata.Registry.logic_bench) ->
       let (total, (rep, compile)) =
@@ -48,13 +49,16 @@ let table1 () =
              (rep, compile)))
       in
       let p = rep.Prax_ground.Analyze.phases in
+      let st = rep.Prax_ground.Analyze.engine_stats in
       Printf.printf
-        "%-8s %5d | %8.4f %8.4f %8.4f %8.4f | %8.1f %10d\n"
+        "%-8s %5d | %8.4f %8.4f %8.4f %8.4f | %8.1f %10d | %7d %7d %7d\n"
         b.Benchdata.Registry.name b.Benchdata.Registry.paper_lines
         p.Prax_ground.Analyze.preproc p.Prax_ground.Analyze.analysis
         p.Prax_ground.Analyze.collection total
         (100. *. total /. max 1e-9 compile)
-        rep.Prax_ground.Analyze.table_bytes)
+        rep.Prax_ground.Analyze.table_bytes
+        st.Prax_tabling.Engine.table_entries st.Prax_tabling.Engine.answers
+        st.Prax_tabling.Engine.resumptions)
     Benchdata.Registry.logic_benchmarks
 
 (* ------------------------------------------------------------------ *)
@@ -96,8 +100,9 @@ let table2 () =
 
 let table3 () =
   section "Table 3: performance of strictness analysis (tabled engine)";
-  Printf.printf "%-10s %5s | %8s %8s %8s %8s | %9s %10s\n" "Program" "lines"
-    "Preproc" "Analysis" "Collect" "Total" "lines/s" "Table(B)";
+  Printf.printf "%-10s %5s | %8s %8s %8s %8s | %9s %10s | %7s %7s %7s\n"
+    "Program" "lines" "Preproc" "Analysis" "Collect" "Total" "lines/s"
+    "Table(B)" "Entries" "Answers" "Resump";
   let total_lines = ref 0 and total_time = ref 0. in
   List.iter
     (fun (b : Benchdata.Registry.fp_bench) ->
@@ -107,14 +112,18 @@ let table3 () =
             (Prax_strict.Analyze.total rep.Prax_strict.Analyze.phases, rep))
       in
       let p = rep.Prax_strict.Analyze.phases in
+      let st = rep.Prax_strict.Analyze.engine_stats in
       let lines = rep.Prax_strict.Analyze.source_lines in
       total_lines := !total_lines + lines;
       total_time := !total_time +. total;
-      Printf.printf "%-10s %5d | %8.4f %8.4f %8.4f %8.4f | %9.0f %10d\n"
+      Printf.printf
+        "%-10s %5d | %8.4f %8.4f %8.4f %8.4f | %9.0f %10d | %7d %7d %7d\n"
         b.Benchdata.Registry.name lines p.Prax_strict.Analyze.preproc
         p.Prax_strict.Analyze.analysis p.Prax_strict.Analyze.collection total
         (float_of_int lines /. max 1e-9 total)
-        rep.Prax_strict.Analyze.table_bytes)
+        rep.Prax_strict.Analyze.table_bytes
+        st.Prax_tabling.Engine.table_entries st.Prax_tabling.Engine.answers
+        st.Prax_tabling.Engine.resumptions)
     Benchdata.Registry.fp_benchmarks;
   Printf.printf
     "\nThroughput over the whole corpus: %.0f source lines/second\n"
@@ -128,8 +137,9 @@ let table4 () =
   section
     "Table 4: groundness analysis with depth-k term abstraction (k=1; the \
      paper's Table 4 also omits gabriel/press1/press2)";
-  Printf.printf "%-8s | %8s %8s %8s %8s | %8s %10s\n" "Program" "Preproc"
-    "Analysis" "Collect" "Total" "Incr.(%)" "Table(B)";
+  Printf.printf "%-8s | %8s %8s %8s %8s | %8s %10s | %7s %7s %7s\n" "Program"
+    "Preproc" "Analysis" "Collect" "Total" "Incr.(%)" "Table(B)" "Entries"
+    "Answers" "Resump";
   List.iter
     (fun (b : Benchdata.Registry.logic_bench) ->
       let (total, (rep, compile)) =
@@ -142,11 +152,15 @@ let table4 () =
              (rep, compile)))
       in
       let p = rep.Prax_depthk.Analyze.phases in
-      Printf.printf "%-8s | %8.4f %8.4f %8.4f %8.4f | %8.1f %10d\n"
+      let st = rep.Prax_depthk.Analyze.engine_stats in
+      Printf.printf
+        "%-8s | %8.4f %8.4f %8.4f %8.4f | %8.1f %10d | %7d %7d %7d\n"
         b.Benchdata.Registry.name p.Prax_depthk.Analyze.preproc
         p.Prax_depthk.Analyze.analysis p.Prax_depthk.Analyze.collection total
         (100. *. total /. max 1e-9 compile)
-        rep.Prax_depthk.Analyze.table_bytes)
+        rep.Prax_depthk.Analyze.table_bytes
+        st.Prax_tabling.Engine.table_entries st.Prax_tabling.Engine.answers
+        st.Prax_tabling.Engine.resumptions)
     Benchdata.Registry.table4_benchmarks
 
 (* ------------------------------------------------------------------ *)
@@ -470,6 +484,49 @@ let ext_types () =
     Benchdata.Registry.fp_benchmarks
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable stats dump                                         *)
+(* ------------------------------------------------------------------ *)
+
+let statsjson () =
+  section
+    "Machine-readable stats: one prax.stats JSON document per corpus \
+     benchmark (schema in docs/METRICS.md)";
+  let emit ~analysis ~timer_prefix ~input ~table_bytes =
+    let open Metrics in
+    let g =
+      gauge ~units:"bytes" ~doc:"call/answer table space estimate"
+        "engine.table_space_bytes"
+    in
+    set g table_bytes;
+    let phases =
+      List.map
+        (fun ph -> (ph, timer_seconds (timer_prefix ^ "." ^ ph)))
+        [ "preprocess"; "evaluate"; "collect" ]
+    in
+    print_endline
+      (json_to_string
+         (stats_doc ~tool:"bench" ~analysis ~input ~phases (snapshot ())))
+  in
+  List.iter
+    (fun (b : Benchdata.Registry.logic_bench) ->
+      (* counters are process-wide: reset so each document covers one run *)
+      Metrics.reset ();
+      let rep = Groundness.analyze b.Benchdata.Registry.source in
+      emit ~analysis:"groundness" ~timer_prefix:"ground"
+        ~input:b.Benchdata.Registry.name
+        ~table_bytes:rep.Prax_ground.Analyze.table_bytes)
+    Benchdata.Registry.logic_benchmarks;
+  List.iter
+    (fun (b : Benchdata.Registry.fp_bench) ->
+      Metrics.reset ();
+      let rep = Strictness.analyze b.Benchdata.Registry.source in
+      emit ~analysis:"strictness" ~timer_prefix:"strict"
+        ~input:b.Benchdata.Registry.name
+        ~table_bytes:rep.Prax_strict.Analyze.table_bytes)
+    Benchdata.Registry.fp_benchmarks;
+  Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -540,6 +597,7 @@ let sections =
     ("ext_dataflow", ext_dataflow);
     ("ext_widening", ext_widening);
     ("ext_types", ext_types);
+    ("statsjson", statsjson);
     ("bechamel", bechamel);
   ]
 

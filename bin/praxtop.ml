@@ -74,7 +74,20 @@ let show_stats s =
     st.Prax_tabling.Engine.calls st.Prax_tabling.Engine.table_entries
     st.Prax_tabling.Engine.answers st.Prax_tabling.Engine.duplicates
     st.Prax_tabling.Engine.resumptions
-    (Tabling.Engine.table_space_bytes s.engine)
+    (Tabling.Engine.table_space_bytes s.engine);
+  (* process-wide counters accumulated across every engine this session *)
+  print_string (Metrics.snapshot_to_human (Metrics.snapshot ()))
+
+let show_stats_json s =
+  let g =
+    Metrics.gauge ~units:"bytes" ~doc:"call/answer table space estimate"
+      "engine.table_space_bytes"
+  in
+  Metrics.set g (Tabling.Engine.table_space_bytes s.engine);
+  print_endline
+    (Metrics.json_to_string
+       (Metrics.stats_doc ~tool:"praxtop" ~analysis:"session" ~input:"-"
+          (Metrics.snapshot ())))
 
 let show_listing s =
   List.iter
@@ -90,6 +103,8 @@ let handle_directive s (d : Logic.Term.t) =
   | Logic.Term.Atom "halt" -> raise Quit
   | Logic.Term.Atom "tables" -> show_tables s
   | Logic.Term.Atom "stats" -> show_stats s
+  | Logic.Term.Struct ("stats", [| Logic.Term.Atom "json" |]) ->
+      show_stats_json s
   | Logic.Term.Atom "listing" -> show_listing s
   | Logic.Term.Atom "reset" ->
       refresh s;

@@ -28,6 +28,52 @@ let source_of ~bench name_or_path =
         exit 1
   else read_input name_or_path
 
+(* --- stats emission (docs/METRICS.md) ----------------------------------- *)
+
+let stats_arg =
+  let fmt = Arg.enum [ ("human", `Human); ("json", `Json); ("csv", `Csv) ] in
+  Arg.(
+    value
+    & opt ~vopt:(Some `Human) (some fmt) None
+    & info [ "stats" ] ~docv:"FMT"
+        ~doc:
+          "Emit engine metrics after the run: $(b,human) (appended to the \
+           report; the default when FMT is omitted), $(b,json) (the \
+           versioned prax.stats document; replaces the report on stdout so \
+           the output parses as one JSON value), or $(b,csv) (likewise \
+           replaces the report).  The schema is documented in \
+           docs/METRICS.md.")
+
+(* json/csv must leave stdout machine-parseable, so they suppress the
+   human report *)
+let report_suppressed = function Some `Json | Some `Csv -> true | _ -> false
+
+let emit_stats ~analysis ~timer_prefix ~input ~table_bytes stats =
+  match stats with
+  | None -> ()
+  | Some fmt -> (
+      let open Prax.Metrics in
+      let g =
+        gauge ~units:"bytes" ~doc:"call/answer table space estimate"
+          "engine.table_space_bytes"
+      in
+      set g table_bytes;
+      let snap = snapshot () in
+      let phases =
+        List.map
+          (fun ph -> (ph, timer_seconds (timer_prefix ^ "." ^ ph)))
+          [ "preprocess"; "evaluate"; "collect" ]
+      in
+      match fmt with
+      | `Human ->
+          print_newline ();
+          print_string (snapshot_to_human snap)
+      | `Json ->
+          print_endline
+            (json_to_string
+               (stats_doc ~tool:"xanalyze" ~analysis ~input ~phases snap))
+      | `Csv -> print_string (snapshot_to_csv snap))
+
 let print_ground_timings (p : Prax_ground.Analyze.phases) table_bytes =
   Printf.printf
     "\nphases: preprocess %.4fs, analysis %.4fs, collection %.4fs, total \
@@ -40,16 +86,20 @@ let print_ground_timings (p : Prax_ground.Analyze.phases) table_bytes =
 (* --- groundness -------------------------------------------------------- *)
 
 let groundness_cmd =
-  let run input bench timings compiled =
+  let run input bench timings compiled stats =
     let src = source_of ~bench input in
     let mode =
       if compiled then Logic.Database.Compiled else Logic.Database.Dynamic
     in
     let rep = Groundness.Analyze.analyze ~mode src in
-    print_endline (Prax_ground.Analyze.report_to_string rep);
-    if timings then
-      print_ground_timings rep.Prax_ground.Analyze.phases
-        rep.Prax_ground.Analyze.table_bytes
+    if not (report_suppressed stats) then begin
+      print_endline (Prax_ground.Analyze.report_to_string rep);
+      if timings then
+        print_ground_timings rep.Prax_ground.Analyze.phases
+          rep.Prax_ground.Analyze.table_bytes
+    end;
+    emit_stats ~analysis:"groundness" ~timer_prefix:"ground" ~input
+      ~table_bytes:rep.Prax_ground.Analyze.table_bytes stats
   in
   let input =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
@@ -67,25 +117,30 @@ let groundness_cmd =
   Cmd.v
     (Cmd.info "groundness"
        ~doc:"Prop-domain groundness analysis of a logic program (Figure 1)")
-    Term.(const run $ input $ bench $ timings $ compiled)
+    Term.(const run $ input $ bench $ timings $ compiled $ stats_arg)
 
 (* --- strictness -------------------------------------------------------- *)
 
 let strictness_cmd =
-  let run input bench timings no_supp =
+  let run input bench timings no_supp stats =
     let src = source_of ~bench input in
     let rep = Strictness.Analyze.analyze ~supplementary:(not no_supp) src in
-    print_endline (Prax_strict.Analyze.report_to_string rep);
-    if timings then begin
-      let p = rep.Prax_strict.Analyze.phases in
-      Printf.printf
-        "\nphases: preprocess %.4fs, analysis %.4fs, collection %.4fs, total \
-         %.4fs; table space %d bytes; %d rules\n"
-        p.Prax_strict.Analyze.preproc p.Prax_strict.Analyze.analysis
-        p.Prax_strict.Analyze.collection
-        (Prax_strict.Analyze.total p)
-        rep.Prax_strict.Analyze.table_bytes rep.Prax_strict.Analyze.rule_count
-    end
+    if not (report_suppressed stats) then begin
+      print_endline (Prax_strict.Analyze.report_to_string rep);
+      if timings then begin
+        let p = rep.Prax_strict.Analyze.phases in
+        Printf.printf
+          "\nphases: preprocess %.4fs, analysis %.4fs, collection %.4fs, \
+           total %.4fs; table space %d bytes; %d rules\n"
+          p.Prax_strict.Analyze.preproc p.Prax_strict.Analyze.analysis
+          p.Prax_strict.Analyze.collection
+          (Prax_strict.Analyze.total p)
+          rep.Prax_strict.Analyze.table_bytes
+          rep.Prax_strict.Analyze.rule_count
+      end
+    end;
+    emit_stats ~analysis:"strictness" ~timer_prefix:"strict" ~input
+      ~table_bytes:rep.Prax_strict.Analyze.table_bytes stats
   in
   let input =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
@@ -105,25 +160,29 @@ let strictness_cmd =
        ~doc:
          "Demand-propagation strictness analysis of a lazy functional \
           program (Figure 3)")
-    Term.(const run $ input $ bench $ timings $ no_supp)
+    Term.(const run $ input $ bench $ timings $ no_supp $ stats_arg)
 
 (* --- depth-k ------------------------------------------------------------ *)
 
 let depthk_cmd =
-  let run input bench timings k =
+  let run input bench timings k stats =
     let src = source_of ~bench input in
     let rep = Depthk.Analyze.analyze ~k src in
-    print_endline (Prax_depthk.Analyze.report_to_string rep);
-    if timings then begin
-      let p = rep.Prax_depthk.Analyze.phases in
-      Printf.printf
-        "\nphases: preprocess %.4fs, analysis %.4fs, collection %.4fs, total \
-         %.4fs; table space %d bytes\n"
-        p.Prax_depthk.Analyze.preproc p.Prax_depthk.Analyze.analysis
-        p.Prax_depthk.Analyze.collection
-        (Prax_depthk.Analyze.total p)
-        rep.Prax_depthk.Analyze.table_bytes
-    end
+    if not (report_suppressed stats) then begin
+      print_endline (Prax_depthk.Analyze.report_to_string rep);
+      if timings then begin
+        let p = rep.Prax_depthk.Analyze.phases in
+        Printf.printf
+          "\nphases: preprocess %.4fs, analysis %.4fs, collection %.4fs, \
+           total %.4fs; table space %d bytes\n"
+          p.Prax_depthk.Analyze.preproc p.Prax_depthk.Analyze.analysis
+          p.Prax_depthk.Analyze.collection
+          (Prax_depthk.Analyze.total p)
+          rep.Prax_depthk.Analyze.table_bytes
+      end
+    end;
+    emit_stats ~analysis:"depthk" ~timer_prefix:"depthk" ~input
+      ~table_bytes:rep.Prax_depthk.Analyze.table_bytes stats
   in
   let input =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
@@ -140,7 +199,7 @@ let depthk_cmd =
   Cmd.v
     (Cmd.info "depthk"
        ~doc:"Groundness analysis with depth-k term abstraction (Section 5)")
-    Term.(const run $ input $ bench $ timings $ k)
+    Term.(const run $ input $ bench $ timings $ k $ stats_arg)
 
 (* --- run: concrete execution -------------------------------------------- *)
 

@@ -8,6 +8,30 @@
     ({!From_prop}). *)
 
 open Prax_logic
+module Metrics = Prax_metrics.Metrics
+
+let m_iterations =
+  Metrics.counter ~units:"iterations"
+    ~doc:"bottom-up fixpoint iterations (naive and semi-naive)"
+    "datalog.iterations"
+
+let m_derivations =
+  Metrics.counter ~units:"derivations"
+    ~doc:"rule-body matches producing a candidate fact" "datalog.derivations"
+
+let m_facts_inserted =
+  Metrics.counter ~units:"facts" ~doc:"new tuples added to the fact store"
+    "datalog.facts_inserted"
+
+let m_facts_deduped =
+  Metrics.counter ~units:"facts"
+    ~doc:"candidate tuples already present in the fact store"
+    "datalog.facts_deduped"
+
+let m_delta_tuples =
+  Metrics.counter ~units:"facts"
+    ~doc:"tuples carried in delta relations across all iterations"
+    "datalog.delta_tuples"
 
 type atom = { pred : string * int; args : Term.t array }
 
@@ -56,10 +80,14 @@ let relation db pred =
 
 let add_fact db pred (tuple : Term.t array) : bool =
   let r = relation db pred in
-  if TupleTbl.mem r.index tuple then false
+  if TupleTbl.mem r.index tuple then begin
+    Metrics.incr m_facts_deduped;
+    false
+  end
   else begin
     TupleTbl.add r.index tuple ();
     r.tuples <- tuple :: r.tuples;
+    Metrics.incr m_facts_inserted;
     true
   end
 
@@ -106,7 +134,14 @@ let subst_args env (args : Term.t array) : Term.t array =
 
 (* --- evaluation ---------------------------------------------------------- *)
 
-type stats = { mutable iterations : int; mutable derivations : int }
+type stats = {
+  mutable iterations : int;
+  mutable derivations : int;
+  mutable deltas : int list;
+      (** new facts per iteration, oldest first — the convergence profile
+          of the fixpoint (a stratified program would have one such
+          profile per stratum; this engine evaluates a single stratum) *)
+}
 
 (* Evaluate [body] under [env], matching atom [i] against the given
    tuple source selector, and call [k] with each complete environment. *)
@@ -125,11 +160,13 @@ let rec eval_body db (source : int -> string * int -> Term.t array list)
 (** Naive evaluation: recompute all rules from the full database until no
     new facts appear. *)
 let naive (rules : rule list) (db : db) : stats =
-  let st = { iterations = 0; derivations = 0 } in
+  let st = { iterations = 0; derivations = 0; deltas = [] } in
   let changed = ref true in
   while !changed do
     changed := false;
     st.iterations <- st.iterations + 1;
+    Metrics.incr m_iterations;
+    let fresh = ref 0 in
     List.iter
       (fun r ->
         eval_body db
@@ -137,9 +174,14 @@ let naive (rules : rule list) (db : db) : stats =
           r.body 0 []
           (fun env ->
             st.derivations <- st.derivations + 1;
-            if add_fact db r.head.pred (subst_args env r.head.args) then
-              changed := true))
-      rules
+            Metrics.incr m_derivations;
+            if add_fact db r.head.pred (subst_args env r.head.args) then begin
+              incr fresh;
+              changed := true
+            end))
+      rules;
+    Metrics.add m_delta_tuples !fresh;
+    st.deltas <- st.deltas @ [ !fresh ]
   done;
   st
 
@@ -147,18 +189,20 @@ let naive (rules : rule list) (db : db) : stats =
     each rule once per body position, that position restricted to the
     previous iteration's new facts. *)
 let seminaive (rules : rule list) (db : db) : stats =
-  let st = { iterations = 0; derivations = 0 } in
+  let st = { iterations = 0; derivations = 0; deltas = [] } in
   (* deltas from facts present initially *)
   let delta : (string * int, Term.t array list) Hashtbl.t = Hashtbl.create 32 in
   Hashtbl.iter (fun pred r -> Hashtbl.replace delta pred r.tuples) db.rels;
   let continue_ = ref true in
   while !continue_ do
     st.iterations <- st.iterations + 1;
+    Metrics.incr m_iterations;
     let next_delta : (string * int, Term.t array list) Hashtbl.t =
       Hashtbl.create 32
     in
     let emit pred tuple =
       st.derivations <- st.derivations + 1;
+      Metrics.incr m_derivations;
       if add_fact db pred tuple then
         Hashtbl.replace next_delta pred
           (tuple :: Option.value ~default:[] (Hashtbl.find_opt next_delta pred))
@@ -176,6 +220,11 @@ let seminaive (rules : rule list) (db : db) : stats =
               emit r.head.pred (subst_args env r.head.args))
         done)
       rules;
+    let fresh =
+      Hashtbl.fold (fun _ ts acc -> acc + List.length ts) next_delta 0
+    in
+    Metrics.add m_delta_tuples fresh;
+    st.deltas <- st.deltas @ [ fresh ];
     if Hashtbl.length next_delta = 0 then continue_ := false
     else begin
       Hashtbl.reset delta;

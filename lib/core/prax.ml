@@ -32,6 +32,10 @@
     - {!Benchdata}: the 22-program benchmark corpus with the paper's
       reported numbers. *)
 
+(** Engine observability: process-wide counters, gauges, and phase
+    timers with machine-readable snapshots (see docs/METRICS.md). *)
+module Metrics = Prax_metrics.Metrics
+
 module Logic = struct
   module Term = Prax_logic.Term
   module Subst = Prax_logic.Subst

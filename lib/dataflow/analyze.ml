@@ -5,15 +5,29 @@
 
 open Prax_logic
 open Prax_tabling
+module Metrics = Prax_metrics.Metrics
+
+(* Phase timers (docs/METRICS.md): encoding the CFG as clauses, and
+   demand-driven query evaluation. *)
+let t_encode =
+  Metrics.timer ~doc:"dataflow: encode the CFG program as clauses"
+    "dataflow.encode"
+
+let t_query =
+  Metrics.timer ~doc:"dataflow: tabled evaluation of demand queries"
+    "dataflow.query"
 
 type t = { engine : Engine.t; program : Cfg.program }
 
 let make (p : Cfg.program) : t =
-  let db = Database.create () in
-  Database.load_clauses db (Encode.program p);
-  { engine = Engine.create db; program = p }
+  Metrics.time t_encode (fun () ->
+      let db = Database.create () in
+      Database.load_clauses db (Encode.program p);
+      { engine = Engine.create db; program = p })
 
-let query t goal_src = Engine.query t.engine (Parser.parse_term goal_src)
+let query t goal_src =
+  Metrics.time t_query (fun () ->
+      Engine.query t.engine (Parser.parse_term goal_src))
 
 (** Does the definition of [var] at node [d] reach node [n]?  A single
     demand: tabled evaluation explores only what the query needs. *)
@@ -21,38 +35,41 @@ let reaches t ~var ~def ~node : bool =
   let goal =
     Term.mkl "reach" [ Encode.def_term var def; Term.Int node ]
   in
-  Engine.query t.engine goal <> []
+  Metrics.time t_query (fun () -> Engine.query t.engine goal <> [])
 
 (** All definitions reaching [node] — the exhaustive question. *)
 let reaching_at t ~node : (string * int) list =
   let v = Term.fresh_var () and m = Term.fresh_var () in
   let goal = Term.mkl "reach" [ Term.mkl "def" [ v; m ]; Term.Int node ] in
   let out = ref [] in
-  Engine.run t.engine goal (fun s ->
-      match (Subst.walk s v, Subst.walk s m) with
-      | Term.Atom var, Term.Int d -> out := (var, d) :: !out
-      | _ -> ());
+  Metrics.time t_query (fun () ->
+      Engine.run t.engine goal (fun s ->
+          match (Subst.walk s v, Subst.walk s m) with
+          | Term.Atom var, Term.Int d -> out := (var, d) :: !out
+          | _ -> ()));
   List.sort_uniq compare !out
 
 let live_at t ~node : string list =
   let v = Term.fresh_var () in
   let goal = Term.mkl "livein" [ v; Term.Int node ] in
   let out = ref [] in
-  Engine.run t.engine goal (fun s ->
-      match Subst.walk s v with
-      | Term.Atom var -> out := var :: !out
-      | _ -> ());
+  Metrics.time t_query (fun () ->
+      Engine.run t.engine goal (fun s ->
+          match Subst.walk s v with
+          | Term.Atom var -> out := var :: !out
+          | _ -> ()));
   List.sort_uniq compare !out
 
 let def_use_chains t : ((string * int) * int) list =
   let v = Term.fresh_var () and m = Term.fresh_var () and u = Term.fresh_var () in
   let goal = Term.mkl "du" [ Term.mkl "def" [ v; m ]; u ] in
   let out = ref [] in
-  Engine.run t.engine goal (fun s ->
-      match (Subst.walk s v, Subst.walk s m, Subst.walk s u) with
-      | Term.Atom var, Term.Int d, Term.Int usenode ->
-          out := ((var, d), usenode) :: !out
-      | _ -> ());
+  Metrics.time t_query (fun () ->
+      Engine.run t.engine goal (fun s ->
+          match (Subst.walk s v, Subst.walk s m, Subst.walk s u) with
+          | Term.Atom var, Term.Int d, Term.Int usenode ->
+              out := ((var, d), usenode) :: !out
+          | _ -> ()));
   List.sort_uniq compare !out
 
 let stats t = Engine.stats t.engine

@@ -9,6 +9,20 @@
 
 open Prax_logic
 open Prax_tabling
+module Metrics = Prax_metrics.Metrics
+
+(* Phase timers mirroring the Table 4 columns (docs/METRICS.md). *)
+let t_preprocess =
+  Metrics.timer ~doc:"depth-k: parse and load the original clauses"
+    "depthk.preprocess"
+
+let t_evaluate =
+  Metrics.timer ~doc:"depth-k: tabled evaluation under abstract unification"
+    "depthk.evaluate"
+
+let t_collect =
+  Metrics.timer ~doc:"depth-k: fold answer tables into per-predicate results"
+    "depthk.collect"
 
 type pred_result = {
   pred : string * int;
@@ -81,22 +95,30 @@ let a_ground_arg (t : Term.t) = Domain.a_ground t
 let analyze_clauses ?(mode = Database.Dynamic) ~k
     (clauses : Parser.clause list) : report =
   let t0 = now () in
-  let db = Database.create ~mode () in
-  Database.load_clauses db clauses;
-  let e = Engine.create ~hooks:(Domain.hooks ~k) db in
-  register_builtins e;
-  let preds =
-    List.filter_map (fun c -> Term.functor_of c.Parser.head) clauses
-    |> List.sort_uniq compare
+  let e, preds =
+    Metrics.time t_preprocess (fun () ->
+        let db = Database.create ~mode () in
+        Database.load_clauses db clauses;
+        let e = Engine.create ~hooks:(Domain.hooks ~k) db in
+        register_builtins e;
+        let preds =
+          List.filter_map (fun c -> Term.functor_of c.Parser.head) clauses
+          |> List.sort_uniq compare
+        in
+        (e, preds))
   in
   let t1 = now () in
-  List.iter
-    (fun (name, arity) ->
-      let goal = Term.mk name (Array.init arity (fun _ -> Term.fresh_var ())) in
-      Engine.run e goal (fun _ -> ()))
-    preds;
+  Metrics.time t_evaluate (fun () ->
+      List.iter
+        (fun (name, arity) ->
+          let goal =
+            Term.mk name (Array.init arity (fun _ -> Term.fresh_var ()))
+          in
+          Engine.run e goal (fun _ -> ()))
+        preds);
   let t2 = now () in
   let results =
+    Metrics.time t_collect @@ fun () ->
     List.map
       (fun (name, arity) ->
         let answers = Engine.answers_for e (name, arity) in
@@ -126,7 +148,7 @@ let analyze_clauses ?(mode = Database.Dynamic) ~k
 
 let analyze ?(mode = Database.Dynamic) ?(k = 2) (src : string) : report =
   let t0 = now () in
-  let clauses = Parser.parse_clauses src in
+  let clauses = Metrics.time t_preprocess (fun () -> Parser.parse_clauses src) in
   let t_parse = now () -. t0 in
   let r = analyze_clauses ~mode ~k clauses in
   { r with phases = { r.phases with preproc = r.phases.preproc +. t_parse } }

@@ -8,6 +8,21 @@
 open Prax_logic
 open Prax_tabling
 open Prax_prop
+module Metrics = Prax_metrics.Metrics
+
+(* Phase timers mirroring the Table 1 columns (docs/METRICS.md).  The
+   [phases] record carries the same breakdown per report; the timers
+   accumulate process-wide for `--stats` output. *)
+let t_preprocess =
+  Metrics.timer ~doc:"groundness: parse, transform, load" "ground.preprocess"
+
+let t_evaluate =
+  Metrics.timer ~doc:"groundness: tabled evaluation of the abstract program"
+    "ground.evaluate"
+
+let t_collect =
+  Metrics.timer ~doc:"groundness: fold call/answer tables into results"
+    "ground.collect"
 
 type pred_result = {
   pred : string * int;
@@ -77,38 +92,44 @@ let analyze_clauses ?(mode = Database.Dynamic) (clauses : Parser.clause list)
     : report =
   (* preprocessing: transform + load into the clause store *)
   let t0 = now () in
-  let abstract, preds, max_iff = Transform.program clauses in
-  let db = Database.create ~mode () in
-  Database.load_clauses db abstract;
-  let e = Engine.create db in
-  Iff.register e ~max_arity:max_iff;
+  let abstract, preds, e =
+    Metrics.time t_preprocess (fun () ->
+        let abstract, preds, max_iff = Transform.program clauses in
+        let db = Database.create ~mode () in
+        Database.load_clauses db abstract;
+        let e = Engine.create db in
+        Iff.register e ~max_arity:max_iff;
+        (abstract, preds, e))
+  in
   let t1 = now () in
   (* analysis: open call on every abstracted predicate *)
-  List.iter
-    (fun (name, arity) ->
-      let goal =
-        Term.mk (Transform.prefix ^ name)
-          (Array.init arity (fun _ -> Term.fresh_var ()))
-      in
-      Engine.run e goal (fun _ -> ()))
-    preds;
+  Metrics.time t_evaluate (fun () ->
+      List.iter
+        (fun (name, arity) ->
+          let goal =
+            Term.mk (Transform.prefix ^ name)
+              (Array.init arity (fun _ -> Term.fresh_var ()))
+          in
+          Engine.run e goal (fun _ -> ()))
+        preds);
   let t2 = now () in
   (* collection: combine answers per predicate *)
   let results =
-    List.map
-      (fun (name, arity) ->
-        let gp = (Transform.prefix ^ name, arity) in
-        let answers = Engine.answers_for e gp in
-        let success = bf_of_answers arity answers in
-        let never = Bf.is_empty success in
-        let definite = Bf.definite success in
-        let call_patterns =
-          Engine.calls_for e gp |> List.map pattern_of_call
-          |> List.sort_uniq compare
-        in
-        { pred = (name, arity); success; definite; never_succeeds = never;
-          call_patterns })
-      preds
+    Metrics.time t_collect (fun () ->
+        List.map
+          (fun (name, arity) ->
+            let gp = (Transform.prefix ^ name, arity) in
+            let answers = Engine.answers_for e gp in
+            let success = bf_of_answers arity answers in
+            let never = Bf.is_empty success in
+            let definite = Bf.definite success in
+            let call_patterns =
+              Engine.calls_for e gp |> List.map pattern_of_call
+              |> List.sort_uniq compare
+            in
+            { pred = (name, arity); success; definite; never_succeeds = never;
+              call_patterns })
+          preds)
   in
   let t3 = now () in
   {
@@ -124,7 +145,7 @@ let analyze_clauses ?(mode = Database.Dynamic) (clauses : Parser.clause list)
     as in the paper. *)
 let analyze ?(mode = Database.Dynamic) (src : string) : report =
   let t0 = now () in
-  let clauses = Parser.parse_clauses src in
+  let clauses = Metrics.time t_preprocess (fun () -> Parser.parse_clauses src) in
   let t_parse = now () -. t0 in
   let r = analyze_clauses ~mode clauses in
   { r with phases = { r.phases with preproc = r.phases.preproc +. t_parse } }

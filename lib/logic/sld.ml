@@ -8,6 +8,13 @@
     compilation-time baseline for the "compile-time increase" column of
     Tables 1 and 4. *)
 
+module Metrics = Prax_metrics.Metrics
+
+let m_steps =
+  Metrics.counter ~units:"steps"
+    ~doc:"SLD resolution steps: goal reductions and clause activations"
+    "sld.resolution_steps"
+
 exception Cut_signal of int
 exception Found
 exception Instantiation_error of string
@@ -31,6 +38,7 @@ let new_cut_id e =
 
 let tick e =
   e.inferences <- e.inferences + 1;
+  Metrics.incr m_steps;
   if e.inferences > e.max_inferences then raise Solution_limit
 
 (* --- arithmetic -------------------------------------------------------- *)

@@ -5,16 +5,38 @@
     it (Hindley–Milner-style equation solving, depth-k abstract
     unification's underlying equality). *)
 
+module Metrics = Prax_metrics.Metrics
+
+let m_attempts =
+  Metrics.counter ~units:"calls"
+    ~doc:"top-level unification attempts (both engines, any hook)"
+    "unify.attempts"
+
+let m_failures =
+  Metrics.counter ~units:"calls" ~doc:"top-level unification attempts that failed"
+    "unify.failures"
+
+let m_occur_hits =
+  Metrics.counter ~units:"hits"
+    ~doc:"variable bindings rejected by the occur-check (unify_oc only)"
+    "unify.occur_check_hits"
+
 let rec unify_gen ~oc (s : Subst.t) (t1 : Term.t) (t2 : Term.t) :
     Subst.t option =
   let t1 = Subst.walk s t1 and t2 = Subst.walk s t2 in
   match (t1, t2) with
   | Term.Var i, Term.Var j when i = j -> Some s
   | Term.Var i, _ ->
-      if oc && Subst.occurs_check s i t2 then None
+      if oc && Subst.occurs_check s i t2 then begin
+        Metrics.incr m_occur_hits;
+        None
+      end
       else Some (Subst.bind s i t2)
   | _, Term.Var j ->
-      if oc && Subst.occurs_check s j t1 then None
+      if oc && Subst.occurs_check s j t1 then begin
+        Metrics.incr m_occur_hits;
+        None
+      end
       else Some (Subst.bind s j t1)
   | Term.Int a, Term.Int b -> if a = b then Some s else None
   | Term.Atom a, Term.Atom b -> if String.equal a b then Some s else None
@@ -30,8 +52,13 @@ and unify_args ~oc s a1 a2 i =
     | Some s' -> unify_args ~oc s' a1 a2 (i + 1)
     | None -> None
 
-let unify s t1 t2 = unify_gen ~oc:false s t1 t2
-let unify_oc s t1 t2 = unify_gen ~oc:true s t1 t2
+let counted result =
+  Metrics.incr m_attempts;
+  (match result with None -> Metrics.incr m_failures | Some _ -> ());
+  result
+
+let unify s t1 t2 = counted (unify_gen ~oc:false s t1 t2)
+let unify_oc s t1 t2 = counted (unify_gen ~oc:true s t1 t2)
 
 (** Do [t1] and [t2] unify?  Convenience for tests. *)
 let unifiable t1 t2 = Option.is_some (unify Subst.empty t1 t2)

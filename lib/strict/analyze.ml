@@ -6,6 +6,20 @@
 open Prax_logic
 open Prax_tabling
 open Prax_fp
+module Metrics = Prax_metrics.Metrics
+
+(* Phase timers mirroring the Table 3 columns (docs/METRICS.md). *)
+let t_preprocess =
+  Metrics.timer ~doc:"strictness: parse, check, derive sp/pm rules, load"
+    "strict.preprocess"
+
+let t_evaluate =
+  Metrics.timer ~doc:"strictness: tabled evaluation of sp_f goals"
+    "strict.evaluate"
+
+let t_collect =
+  Metrics.timer ~doc:"strictness: per-argument glb over answers"
+    "strict.collect"
 
 type func_result = {
   fname : string;
@@ -55,32 +69,38 @@ let demands_of_answers arity (answers : Term.t list) : Demand.t array option =
 let analyze_program ?(mode = Database.Dynamic) ?(supplementary = true)
     ~source_lines (p : Ast.program) : report =
   let t0 = now () in
-  let rules = Transform.program p in
-  let rules =
-    (* supplementary tabling (Section 4.2): indispensable for the long
-       bodies deep expression nesting produces — see the ablation bench *)
-    if supplementary then Supplement.fold_program ~threshold:2 rules
-    else rules
+  let rules, e =
+    Metrics.time t_preprocess (fun () ->
+        let rules = Transform.program p in
+        let rules =
+          (* supplementary tabling (Section 4.2): indispensable for the
+             long bodies deep expression nesting produces — see the
+             ablation bench *)
+          if supplementary then Supplement.fold_program ~threshold:2 rules
+          else rules
+        in
+        let db = Database.create ~mode () in
+        Database.load_clauses db rules;
+        (rules, Engine.create db))
   in
-  let db = Database.create ~mode () in
-  Database.load_clauses db rules;
-  let e = Engine.create db in
   let t1 = now () in
   let funcs = Ast.functions p in
-  List.iter
-    (fun (f, arity) ->
+  Metrics.time t_evaluate (fun () ->
       List.iter
-        (fun dem ->
-          let goal =
-            Term.mkl (Transform.sp_name f)
-              (Demand.to_atom dem
-              :: List.init arity (fun _ -> Term.fresh_var ()))
-          in
-          Engine.run e goal (fun _ -> ()))
-        [ Demand.E; Demand.D ])
-    funcs;
+        (fun (f, arity) ->
+          List.iter
+            (fun dem ->
+              let goal =
+                Term.mkl (Transform.sp_name f)
+                  (Demand.to_atom dem
+                  :: List.init arity (fun _ -> Term.fresh_var ()))
+              in
+              Engine.run e goal (fun _ -> ()))
+            [ Demand.E; Demand.D ])
+        funcs);
   let t2 = now () in
   let results =
+    Metrics.time t_collect @@ fun () ->
     List.map
       (fun (f, arity) ->
         let answers_under dem =
@@ -113,7 +133,7 @@ let analyze_program ?(mode = Database.Dynamic) ?(supplementary = true)
 (** Full pipeline from source text. *)
 let analyze ?(mode = Database.Dynamic) ?supplementary (src : string) : report =
   let t0 = now () in
-  let prog = Check.parse_and_check src in
+  let prog = Metrics.time t_preprocess (fun () -> Check.parse_and_check src) in
   let t_parse = now () -. t0 in
   let r =
     analyze_program ~mode ?supplementary ~source_lines:(Check.line_count src)

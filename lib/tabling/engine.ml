@@ -25,6 +25,62 @@
     analogous thing by meta-programming abstract unification in XSB). *)
 
 open Prax_logic
+module Metrics = Prax_metrics.Metrics
+
+(* Process-wide observability counters (docs/METRICS.md).  Per-engine
+   figures remain available through the [stats] record; these global
+   cells are what `xanalyze --stats`, praxtop's `:- stats.`, and the
+   bench harness snapshot. *)
+let m_call_lookups =
+  Metrics.counter ~units:"calls"
+    ~doc:"tabled call occurrences (call-table lookups by variant)"
+    "engine.call_lookups"
+
+let m_call_hits =
+  Metrics.counter ~units:"calls"
+    ~doc:"call-table lookups answered by an existing variant entry"
+    "engine.call_hits"
+
+let m_call_misses =
+  Metrics.counter ~units:"calls"
+    ~doc:"call-table lookups that created a new entry (producer started)"
+    "engine.call_misses"
+
+let m_answers_offered =
+  Metrics.counter ~units:"answers"
+    ~doc:"candidate answers derived by producers (pre-dedup)"
+    "engine.answers_offered"
+
+let m_answers_inserted =
+  Metrics.counter ~units:"answers"
+    ~doc:"genuinely new canonical answers recorded in answer tables"
+    "engine.answers_inserted"
+
+let m_answers_deduped =
+  Metrics.counter ~units:"answers"
+    ~doc:"candidate answers suppressed by the variant check"
+    "engine.answers_deduped"
+
+let m_suspensions =
+  Metrics.counter ~units:"consumers"
+    ~doc:"consumer registrations on a table entry (suspensions)"
+    "engine.consumer_suspensions"
+
+let m_resumptions =
+  Metrics.counter ~units:"deliveries"
+    ~doc:"answer deliveries to consumers, replay and broadcast (resumptions)"
+    "engine.consumer_resumptions"
+
+let m_completions =
+  Metrics.counter ~units:"producers"
+    ~doc:
+      "producers that exhausted clause resolution (this engine's analogue of \
+       SCC completion)"
+    "engine.producer_completions"
+
+let m_widenings =
+  Metrics.counter ~units:"answers"
+    ~doc:"applications of the answer-widening hook" "engine.widenings"
 
 type hooks = {
   unify : Subst.t -> Term.t -> Term.t -> Subst.t option;
@@ -198,6 +254,7 @@ and solve_program e s g sc =
 
 and solve_tabled e s goal sc =
   e.stats.calls <- e.stats.calls + 1;
+  Metrics.incr m_call_lookups;
   let canonical = Canon.canonical s goal in
   let key =
     e.hooks.abstract_call
@@ -205,7 +262,9 @@ and solve_tabled e s goal sc =
   in
   let entry, is_new =
     match Canon.Tbl.find_opt e.tables key with
-    | Some entry -> (entry, false)
+    | Some entry ->
+        Metrics.incr m_call_hits;
+        (entry, false)
     | None ->
         let entry =
           {
@@ -217,6 +276,7 @@ and solve_tabled e s goal sc =
         in
         Canon.Tbl.add e.tables key entry;
         e.stats.table_entries <- e.stats.table_entries + 1;
+        Metrics.incr m_call_misses;
         (entry, true)
   in
   (* The consumer: unify a (renamed-apart) canonical answer with our goal
@@ -226,12 +286,14 @@ and solve_tabled e s goal sc =
      directly. *)
   let consumer ans =
     e.stats.resumptions <- e.stats.resumptions + 1;
+    Metrics.incr m_resumptions;
     let inst = Canon.instantiate ans in
     match e.hooks.unify s goal inst with Some s' -> sc s' | None -> ()
   in
   (* Snapshot-then-register so each answer reaches this consumer exactly
      once: answers arriving after registration come via the broadcast. *)
   let n0 = Vec.length entry.answers in
+  Metrics.incr m_suspensions;
   Vec.push entry.consumers consumer;
   if is_new then producer e entry;
   for i = 0 to n0 - 1 do
@@ -242,19 +304,24 @@ and producer e entry =
   let call = Canon.instantiate entry.call in
   let concrete = e.hooks.unify == Unify.unify in
   let on_success s' =
+    Metrics.incr m_answers_offered;
     let ans = e.hooks.abstract_answer (Canon.canonical s' call) in
     let ans =
       match e.hooks.widen with
       | None -> ans
       | Some w ->
+          Metrics.incr m_widenings;
           Canon.of_term (w ~previous:(Vec.to_list entry.answers) ans)
     in
-    if Canon.Tbl.mem entry.answer_set ans then
-      e.stats.duplicates <- e.stats.duplicates + 1
+    if Canon.Tbl.mem entry.answer_set ans then begin
+      e.stats.duplicates <- e.stats.duplicates + 1;
+      Metrics.incr m_answers_deduped
+    end
     else begin
       Canon.Tbl.add entry.answer_set ans ();
       Vec.push entry.answers ans;
       e.stats.answers <- e.stats.answers + 1;
+      Metrics.incr m_answers_inserted;
       (* Eager broadcast — but only to the consumers present when the
          answer arrived: a consumer that registers during this loop has
          already snapshotted this answer into its replay (it is in
@@ -275,7 +342,11 @@ and producer e entry =
       match activation with
       | Some (s', body) -> solve_goals e s' body on_success
       | None -> ())
-    (Database.matching e.db Subst.empty call)
+    (Database.matching e.db Subst.empty call);
+  (* All program clauses for this call variant are exhausted.  With eager
+     broadcast there is no separate completion phase; this is the closest
+     event to an SCC completion. *)
+  Metrics.incr m_completions
 
 (* --- public API -------------------------------------------------------- *)
 

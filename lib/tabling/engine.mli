@@ -29,6 +29,32 @@ type hooks = {
 val concrete_hooks : hooks
 (** Syntactic unification, no abstraction, no widening. *)
 
+(** Per-engine operation counts, reset by {!reset_tables}.
+
+    The engine also feeds the process-wide observability registry
+    ({!Prax_metrics.Metrics}) on the same events, under these names
+    (catalogued in [docs/METRICS.md]):
+
+    - [engine.call_lookups] — every tabled call occurrence (equals
+      {!field-stats.calls} summed over engines);
+    - [engine.call_hits] / [engine.call_misses] — lookup resolved by an
+      existing variant entry vs. creating one; hits + misses = lookups,
+      and misses equals {!field-stats.table_entries} summed over engines;
+    - [engine.answers_offered] — candidate answers derived by producers,
+      before duplicate suppression;
+    - [engine.answers_inserted] / [engine.answers_deduped] — genuinely
+      new answers recorded vs. variants suppressed; inserted + deduped =
+      offered;
+    - [engine.consumer_suspensions] — consumer registrations on a table
+      entry (one per tabled call occurrence);
+    - [engine.consumer_resumptions] — answer deliveries to consumers,
+      replay and eager broadcast alike (equals
+      {!field-stats.resumptions} summed over engines);
+    - [engine.producer_completions] — producers that exhausted clause
+      resolution; with eager answer broadcast there is no separate
+      completion phase, so this is the engine's analogue of an SCC
+      completion;
+    - [engine.widenings] — applications of the {!hooks.widen} hook. *)
 type stats = {
   mutable calls : int;  (** tabled call occurrences *)
   mutable table_entries : int;  (** distinct call variants *)
