@@ -1,0 +1,25 @@
+# Tier-1 gate: build + tests, under a global timeout so a regression
+# that makes evaluation diverge fails the gate instead of wedging it
+# (docs/ROBUSTNESS.md).  CI (.github/workflows/ci.yml) runs `make check`.
+
+TIMEOUT ?= 600
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check:
+	timeout $(TIMEOUT) dune build
+	timeout $(TIMEOUT) dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -16,6 +16,19 @@ let line = String.make 78 '-'
 let section title =
   Printf.printf "\n%s\n%s\n%s\n" line title line
 
+(* Every governed table row runs under a per-run wall-clock budget: a
+   corpus program that diverges (or a regression that makes one diverge)
+   degrades that row to a sound partial result instead of wedging the
+   whole harness.  The status and budget are recorded per row. *)
+let bench_timeout = 10. (* seconds *)
+let bench_guard () = Guard.create ~timeout:bench_timeout ()
+let budget_cell = Printf.sprintf "%gs" bench_timeout
+
+let status_cell = function
+  | Guard.Complete -> "complete"
+  | Guard.Partial { reason; _ } ->
+      "partial:" ^ Guard.reason_to_string reason
+
 (* best of three runs, as a mild guard against scheduler noise *)
 let best3 f =
   let r1 = f () in
@@ -34,14 +47,17 @@ let table1 () =
   section
     "Table 1: performance of Prop-based groundness analysis (tabled engine, \
      dynamic mode)";
-  Printf.printf "%-8s %5s | %8s %8s %8s %8s | %8s %10s | %7s %7s %7s\n"
+  Printf.printf "%-8s %5s | %8s %8s %8s %8s | %8s %10s | %7s %7s %7s | %-8s %s\n"
     "Program" "lines" "Preproc" "Analysis" "Collect" "Total" "Incr.(%)"
-    "Table(B)" "Entries" "Answers" "Resump";
+    "Table(B)" "Entries" "Answers" "Resump" "Status" "Budget";
   List.iter
     (fun (b : Benchdata.Registry.logic_bench) ->
       let (total, (rep, compile)) =
         best3 (fun () ->
-            let rep = Groundness.analyze b.Benchdata.Registry.source in
+            let rep =
+              Groundness.analyze ~guard:(bench_guard ())
+                b.Benchdata.Registry.source
+            in
             let compile =
               Groundness.Analyze.compile_time b.Benchdata.Registry.source
             in
@@ -51,14 +67,16 @@ let table1 () =
       let p = rep.Prax_ground.Analyze.phases in
       let st = rep.Prax_ground.Analyze.engine_stats in
       Printf.printf
-        "%-8s %5d | %8.4f %8.4f %8.4f %8.4f | %8.1f %10d | %7d %7d %7d\n"
+        "%-8s %5d | %8.4f %8.4f %8.4f %8.4f | %8.1f %10d | %7d %7d %7d | %-8s %s\n"
         b.Benchdata.Registry.name b.Benchdata.Registry.paper_lines
         p.Prax_ground.Analyze.preproc p.Prax_ground.Analyze.analysis
         p.Prax_ground.Analyze.collection total
         (100. *. total /. max 1e-9 compile)
         rep.Prax_ground.Analyze.table_bytes
         st.Prax_tabling.Engine.table_entries st.Prax_tabling.Engine.answers
-        st.Prax_tabling.Engine.resumptions)
+        st.Prax_tabling.Engine.resumptions
+        (status_cell rep.Prax_ground.Analyze.status)
+        budget_cell)
     Benchdata.Registry.logic_benchmarks
 
 (* ------------------------------------------------------------------ *)
@@ -100,15 +118,18 @@ let table2 () =
 
 let table3 () =
   section "Table 3: performance of strictness analysis (tabled engine)";
-  Printf.printf "%-10s %5s | %8s %8s %8s %8s | %9s %10s | %7s %7s %7s\n"
+  Printf.printf "%-10s %5s | %8s %8s %8s %8s | %9s %10s | %7s %7s %7s | %-8s %s\n"
     "Program" "lines" "Preproc" "Analysis" "Collect" "Total" "lines/s"
-    "Table(B)" "Entries" "Answers" "Resump";
+    "Table(B)" "Entries" "Answers" "Resump" "Status" "Budget";
   let total_lines = ref 0 and total_time = ref 0. in
   List.iter
     (fun (b : Benchdata.Registry.fp_bench) ->
       let (total, rep) =
         best3 (fun () ->
-            let rep = Strictness.analyze b.Benchdata.Registry.source in
+            let rep =
+              Strictness.analyze ~guard:(bench_guard ())
+                b.Benchdata.Registry.source
+            in
             (Prax_strict.Analyze.total rep.Prax_strict.Analyze.phases, rep))
       in
       let p = rep.Prax_strict.Analyze.phases in
@@ -117,13 +138,15 @@ let table3 () =
       total_lines := !total_lines + lines;
       total_time := !total_time +. total;
       Printf.printf
-        "%-10s %5d | %8.4f %8.4f %8.4f %8.4f | %9.0f %10d | %7d %7d %7d\n"
+        "%-10s %5d | %8.4f %8.4f %8.4f %8.4f | %9.0f %10d | %7d %7d %7d | %-8s %s\n"
         b.Benchdata.Registry.name lines p.Prax_strict.Analyze.preproc
         p.Prax_strict.Analyze.analysis p.Prax_strict.Analyze.collection total
         (float_of_int lines /. max 1e-9 total)
         rep.Prax_strict.Analyze.table_bytes
         st.Prax_tabling.Engine.table_entries st.Prax_tabling.Engine.answers
-        st.Prax_tabling.Engine.resumptions)
+        st.Prax_tabling.Engine.resumptions
+        (status_cell rep.Prax_strict.Analyze.status)
+        budget_cell)
     Benchdata.Registry.fp_benchmarks;
   Printf.printf
     "\nThroughput over the whole corpus: %.0f source lines/second\n"
@@ -137,14 +160,17 @@ let table4 () =
   section
     "Table 4: groundness analysis with depth-k term abstraction (k=1; the \
      paper's Table 4 also omits gabriel/press1/press2)";
-  Printf.printf "%-8s | %8s %8s %8s %8s | %8s %10s | %7s %7s %7s\n" "Program"
-    "Preproc" "Analysis" "Collect" "Total" "Incr.(%)" "Table(B)" "Entries"
-    "Answers" "Resump";
+  Printf.printf "%-8s | %8s %8s %8s %8s | %8s %10s | %7s %7s %7s | %-8s %s\n"
+    "Program" "Preproc" "Analysis" "Collect" "Total" "Incr.(%)" "Table(B)"
+    "Entries" "Answers" "Resump" "Status" "Budget";
   List.iter
     (fun (b : Benchdata.Registry.logic_bench) ->
       let (total, (rep, compile)) =
         best3 (fun () ->
-            let rep = Depthk.analyze ~k:1 b.Benchdata.Registry.source in
+            let rep =
+              Depthk.analyze ~guard:(bench_guard ()) ~k:1
+                b.Benchdata.Registry.source
+            in
             let compile =
               Groundness.Analyze.compile_time b.Benchdata.Registry.source
             in
@@ -154,13 +180,15 @@ let table4 () =
       let p = rep.Prax_depthk.Analyze.phases in
       let st = rep.Prax_depthk.Analyze.engine_stats in
       Printf.printf
-        "%-8s | %8.4f %8.4f %8.4f %8.4f | %8.1f %10d | %7d %7d %7d\n"
+        "%-8s | %8.4f %8.4f %8.4f %8.4f | %8.1f %10d | %7d %7d %7d | %-8s %s\n"
         b.Benchdata.Registry.name p.Prax_depthk.Analyze.preproc
         p.Prax_depthk.Analyze.analysis p.Prax_depthk.Analyze.collection total
         (100. *. total /. max 1e-9 compile)
         rep.Prax_depthk.Analyze.table_bytes
         st.Prax_tabling.Engine.table_entries st.Prax_tabling.Engine.answers
-        st.Prax_tabling.Engine.resumptions)
+        st.Prax_tabling.Engine.resumptions
+        (status_cell rep.Prax_depthk.Analyze.status)
+        budget_cell)
     Benchdata.Registry.table4_benchmarks
 
 (* ------------------------------------------------------------------ *)
@@ -491,7 +519,7 @@ let statsjson () =
   section
     "Machine-readable stats: one prax.stats JSON document per corpus \
      benchmark (schema in docs/METRICS.md)";
-  let emit ~analysis ~timer_prefix ~input ~table_bytes =
+  let emit ~analysis ~timer_prefix ~input ~table_bytes ~guard ~status =
     let open Metrics in
     let g =
       gauge ~units:"bytes" ~doc:"call/answer table space estimate"
@@ -503,26 +531,34 @@ let statsjson () =
         (fun ph -> (ph, timer_seconds (timer_prefix ^ "." ^ ph)))
         [ "preprocess"; "evaluate"; "collect" ]
     in
+    let extra =
+      Guard.status_json_fields status @ Guard.budget_json_fields guard
+    in
     print_endline
       (json_to_string
-         (stats_doc ~tool:"bench" ~analysis ~input ~phases (snapshot ())))
+         (stats_doc ~tool:"bench" ~analysis ~input ~phases ~extra
+            (snapshot ())))
   in
   List.iter
     (fun (b : Benchdata.Registry.logic_bench) ->
       (* counters are process-wide: reset so each document covers one run *)
       Metrics.reset ();
-      let rep = Groundness.analyze b.Benchdata.Registry.source in
+      let guard = bench_guard () in
+      let rep = Groundness.analyze ~guard b.Benchdata.Registry.source in
       emit ~analysis:"groundness" ~timer_prefix:"ground"
         ~input:b.Benchdata.Registry.name
-        ~table_bytes:rep.Prax_ground.Analyze.table_bytes)
+        ~table_bytes:rep.Prax_ground.Analyze.table_bytes ~guard
+        ~status:rep.Prax_ground.Analyze.status)
     Benchdata.Registry.logic_benchmarks;
   List.iter
     (fun (b : Benchdata.Registry.fp_bench) ->
       Metrics.reset ();
-      let rep = Strictness.analyze b.Benchdata.Registry.source in
+      let guard = bench_guard () in
+      let rep = Strictness.analyze ~guard b.Benchdata.Registry.source in
       emit ~analysis:"strictness" ~timer_prefix:"strict"
         ~input:b.Benchdata.Registry.name
-        ~table_bytes:rep.Prax_strict.Analyze.table_bytes)
+        ~table_bytes:rep.Prax_strict.Analyze.table_bytes ~guard
+        ~status:rep.Prax_strict.Analyze.status)
     Benchdata.Registry.fp_benchmarks;
   Metrics.reset ()
 

@@ -13,51 +13,113 @@
      :- stats.           engine statistics
      :- reset.           clear the tables
      :- listing.         predicates currently defined
+     :- set_limit(timeout, '500ms').   wall-clock budget per query
+     :- set_limit(steps, 100000).      derivation-step budget per query
+     :- set_limit(table_bytes, N).     table-space budget per query
+     :- set_limit(off).                lift all budgets
+     :- limits.          show the configured budgets
      :- halt.            leave
-   Plain clauses typed at the prompt are asserted. *)
+   Plain clauses typed at the prompt are asserted.
+
+   Budgets degrade gracefully (docs/ROBUSTNESS.md): an exhausted query
+   prints its answers so far plus a "partial" notice, and the session —
+   including the engine's tables — stays usable. *)
 
 open Prax
 
-type session = { db : Logic.Database.t; mutable engine : Tabling.Engine.t }
+type limits = {
+  timeout : float option;  (** seconds *)
+  max_steps : int option;
+  max_bytes : int option;
+}
+
+let no_limits = { timeout = None; max_steps = None; max_bytes = None }
+
+type session = {
+  db : Logic.Database.t;
+  mutable engine : Tabling.Engine.t;
+  mutable limits : limits;
+}
 
 let make_session () =
   let db = Logic.Database.create () in
-  { db; engine = Tabling.Engine.create db }
+  { db; engine = Tabling.Engine.create db; limits = no_limits }
 
 (* asserting clauses invalidates completed tables: rebuild the engine *)
 let refresh s = s.engine <- Tabling.Engine.create s.db
 
+(* A fresh guard per query: the deadline is relative to the query start,
+   not to when the limit was configured. *)
+let fresh_guard s =
+  match s.limits with
+  | { timeout = None; max_steps = None; max_bytes = None } -> Guard.unlimited
+  | { timeout; max_steps; max_bytes } ->
+      Guard.create ?timeout ?max_steps ?max_table_bytes:max_bytes ()
+
 let consult s src =
-  let items = Logic.Parser.parse_program src in
-  let count = ref 0 in
-  List.iter
-    (function
-      | Logic.Parser.Clause c ->
-          Logic.Database.assertz s.db c;
-          incr count
-      | Logic.Parser.Directive _ -> ())
-    items;
-  refresh s;
-  Printf.printf "loaded %d clauses\n" !count
+  (* a malformed file must not kill the session: report the diagnostic
+     and keep the clauses asserted so far *)
+  match Logic.Parser.parse_program src with
+  | exception ((Logic.Parser.Parse_error _ | Logic.Lexer.Lex_error _) as exn)
+    ->
+      let d = Option.get (Logic.Diag.of_exn ~file:"<consult>" ~text:src exn) in
+      Printf.printf "error: %s\n" (Logic.Diag.to_string d)
+  | items ->
+      let count = ref 0 in
+      List.iter
+        (function
+          | Logic.Parser.Clause c ->
+              Logic.Database.assertz s.db c;
+              incr count
+          | Logic.Parser.Directive _ -> ())
+        items;
+      refresh s;
+      Printf.printf "loaded %d clauses\n" !count
+
+let report_partial = function
+  | Guard.Complete -> ()
+  | Guard.Partial { reason; exhausted_entries } ->
+      Printf.printf
+        "partial: budget exhausted (%s); answers above are sound but %d \
+         table entr%s widened to most-general\n"
+        (Guard.reason_to_string reason)
+        exhausted_entries
+        (if exhausted_entries = 1 then "y was" else "ies were")
 
 let show_solutions s goal =
+  Tabling.Engine.set_guard s.engine (fresh_guard s);
   let n = ref 0 in
-  Tabling.Engine.run s.engine goal (fun subst ->
-      incr n;
-      print_endline
-        ("  " ^ Logic.Pretty.term_to_string (Logic.Canon.canonical subst goal)));
-  if !n = 0 then print_endline "no." else Printf.printf "%d answer(s).\n" !n
+  let status =
+    Tabling.Engine.run_status s.engine goal (fun subst ->
+        incr n;
+        print_endline
+          ("  "
+          ^ Logic.Pretty.term_to_string (Logic.Canon.canonical subst goal)))
+  in
+  Tabling.Engine.set_guard s.engine Guard.unlimited;
+  if !n = 0 then print_endline "no." else Printf.printf "%d answer(s).\n" !n;
+  report_partial status
 
 let show_sld s goal =
-  match Logic.Sld.solutions ~limit:50 s.db goal with
+  let sols, status =
+    Logic.Sld.solutions_status ~limit:50 ~guard:(fresh_guard s) s.db goal
+  in
+  (match sols with
   | [] -> print_endline "no."
   | sols ->
       List.iter
         (fun subst ->
           print_endline
-            ("  " ^ Logic.Pretty.term_to_string (Logic.Canon.canonical subst goal)))
+            ("  "
+            ^ Logic.Pretty.term_to_string (Logic.Canon.canonical subst goal)))
         sols;
-      Printf.printf "%d answer(s) (limit 50).\n" (List.length sols)
+      Printf.printf "%d answer(s) (limit 50).\n" (List.length sols));
+  match status with
+  | Guard.Complete -> ()
+  | Guard.Partial { reason; _ } ->
+      Printf.printf
+        "partial: budget exhausted (%s); enumeration stopped early\n"
+        (Guard.reason_to_string reason)
 
 let show_tables s =
   let calls = Tabling.Engine.calls s.engine in
@@ -70,10 +132,11 @@ let show_tables s =
 let show_stats s =
   let st = Tabling.Engine.stats s.engine in
   Printf.printf
-    "calls=%d entries=%d answers=%d duplicates=%d resumptions=%d table-bytes=%d\n"
+    "calls=%d entries=%d answers=%d duplicates=%d resumptions=%d forced=%d \
+     table-bytes=%d\n"
     st.Prax_tabling.Engine.calls st.Prax_tabling.Engine.table_entries
     st.Prax_tabling.Engine.answers st.Prax_tabling.Engine.duplicates
-    st.Prax_tabling.Engine.resumptions
+    st.Prax_tabling.Engine.resumptions st.Prax_tabling.Engine.forced
     (Tabling.Engine.table_space_bytes s.engine);
   (* process-wide counters accumulated across every engine this session *)
   print_string (Metrics.snapshot_to_human (Metrics.snapshot ()))
@@ -87,6 +150,7 @@ let show_stats_json s =
   print_endline
     (Metrics.json_to_string
        (Metrics.stats_doc ~tool:"praxtop" ~analysis:"session" ~input:"-"
+          ~extra:(Guard.budget_json_fields (fresh_guard s))
           (Metrics.snapshot ())))
 
 let show_listing s =
@@ -95,6 +159,45 @@ let show_listing s =
       Printf.printf "  %s/%d (%d clauses)\n" name arity
         (List.length (Logic.Database.clauses_of s.db (name, arity))))
     (Logic.Database.predicates s.db)
+
+let show_limits s =
+  let b = function None -> "off" | Some v -> v in
+  Printf.printf "timeout=%s steps=%s table_bytes=%s\n"
+    (b (Option.map (Printf.sprintf "%gs") s.limits.timeout))
+    (b (Option.map string_of_int s.limits.max_steps))
+    (b (Option.map string_of_int s.limits.max_bytes))
+
+(* :- set_limit(timeout, '500ms' | Millis). / (steps, N) / (table_bytes, N)
+   / set_limit(off) *)
+let set_limit s (args : Logic.Term.t array) =
+  let bad () =
+    print_endline
+      "usage: set_limit(timeout, '500ms') | set_limit(timeout, Millis) | \
+       set_limit(steps, N) | set_limit(table_bytes, N) | set_limit(off)"
+  in
+  match args with
+  | [| Logic.Term.Atom "off" |] ->
+      s.limits <- no_limits;
+      print_endline "limits lifted."
+  | [| Logic.Term.Atom "timeout"; v |] -> (
+      let parsed =
+        match v with
+        | Logic.Term.Atom dur -> Guard.duration_of_string dur
+        | Logic.Term.Int ms when ms >= 0 -> Some (float_of_int ms /. 1e3)
+        | _ -> None
+      in
+      match parsed with
+      | Some seconds ->
+          s.limits <- { s.limits with timeout = Some seconds };
+          show_limits s
+      | None -> bad ())
+  | [| Logic.Term.Atom "steps"; Logic.Term.Int n |] when n > 0 ->
+      s.limits <- { s.limits with max_steps = Some n };
+      show_limits s
+  | [| Logic.Term.Atom "table_bytes"; Logic.Term.Int n |] when n > 0 ->
+      s.limits <- { s.limits with max_bytes = Some n };
+      show_limits s
+  | _ -> bad ()
 
 exception Quit
 
@@ -106,6 +209,8 @@ let handle_directive s (d : Logic.Term.t) =
   | Logic.Term.Struct ("stats", [| Logic.Term.Atom "json" |]) ->
       show_stats_json s
   | Logic.Term.Atom "listing" -> show_listing s
+  | Logic.Term.Atom "limits" -> show_limits s
+  | Logic.Term.Struct ("set_limit", args) -> set_limit s args
   | Logic.Term.Atom "reset" ->
       refresh s;
       print_endline "tables cleared."
@@ -167,10 +272,14 @@ let () =
        match In_channel.input_line stdin with
        | None -> raise Quit
        | Some line -> (
-           (* allow both "?- g." and plain "g." at the prompt: try as a
-              query first when it starts with a goal-looking term *)
+           (* nothing a line does may kill the session: known engine
+              errors get tailored messages; anything else falls through
+              to a generic report.  After any of these the engine's
+              tables have been restored to a consistent state by
+              [Engine.run_status]'s recovery path. *)
            try handle_line s line
            with
+           | Quit -> raise Quit
            | Prax_logic.Sld.Existence_error (n, a) ->
                Printf.printf "undefined predicate %s/%d\n" n a
            | Prax_logic.Sld.Instantiation_error w ->
@@ -180,6 +289,8 @@ let () =
                  (Logic.Pretty.term_to_string t)
            | Tabling.Engine.Not_definite t ->
                Printf.printf "not a definite goal: %s\n"
-                 (Logic.Pretty.term_to_string t))
+                 (Logic.Pretty.term_to_string t)
+           | Stack_overflow -> print_endline "error: stack overflow"
+           | exn -> Printf.printf "error: %s\n" (Printexc.to_string exn))
      done
    with Quit -> print_endline "bye.")

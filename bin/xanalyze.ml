@@ -6,10 +6,25 @@
      xanalyze bench <name>                analyze a named corpus benchmark
 
    Input "-" reads stdin.  --timings prints the phase breakdown the paper
-   reports. *)
+   reports.
+
+   Resource budgets (docs/ROBUSTNESS.md): --timeout DUR, --max-steps N,
+   --max-table-bytes N bound the evaluation; on exhaustion the analysis
+   degrades to a sound partial result and the process exits with
+   EXIT_PARTIAL (3).  Malformed input is reported as a structured
+   file:line:col diagnostic on stderr with EXIT_INPUT (1). *)
 
 open Cmdliner
 open Prax
+
+(* Documented exit codes (also in docs/ROBUSTNESS.md):
+     0  complete result
+     1  input or usage error (structured diagnostic on stderr)
+     3  partial result: a resource budget was exhausted and the printed
+        result is a sound over-approximation
+   (124/125 are reserved by cmdliner for CLI parse/internal errors.) *)
+let exit_input = 1
+let exit_partial = 3
 
 let read_input = function
   | "-" -> In_channel.input_all stdin
@@ -25,8 +40,104 @@ let source_of ~bench name_or_path =
     | None, Some b -> b.Benchdata.Registry.source
     | None, None ->
         Printf.eprintf "unknown benchmark %s\n" name_or_path;
-        exit 1
+        exit exit_input
   else read_input name_or_path
+
+(* --- structured diagnostics (docs/ROBUSTNESS.md) ------------------------- *)
+
+(* Run [f] with every toolchain input-error exception rendered as a
+   file:line:col diagnostic on stderr + EXIT_INPUT, instead of an OCaml
+   backtrace. *)
+let with_diagnostics ~file ~text f =
+  let fail d =
+    Printf.eprintf "%s\n" (Logic.Diag.to_string d);
+    exit exit_input
+  in
+  try f () with
+  | (Logic.Lexer.Lex_error _ | Logic.Parser.Parse_error _) as exn ->
+      fail (Option.get (Logic.Diag.of_exn ~file ~text exn))
+  | Fp.Lexer.Error (msg, offset) ->
+      fail (Logic.Diag.at_offset ~file ~text ~offset msg)
+  | Fp.Parser.Error msg | Fp.Check.Error msg -> fail (Logic.Diag.make ~file msg)
+  | Tabling.Engine.Not_definite t ->
+      fail
+        (Logic.Diag.make ~file
+           (Printf.sprintf "goal is not a definite-program construct: %s"
+              (Logic.Pretty.term_to_string t)))
+  | Logic.Sld.Instantiation_error what ->
+      fail
+        (Logic.Diag.make ~file
+           (Printf.sprintf "arguments insufficiently instantiated in %s" what))
+  | Logic.Sld.Type_error (expected, t) ->
+      fail
+        (Logic.Diag.make ~file
+           (Printf.sprintf "type error: expected %s, got %s" expected
+              (Logic.Pretty.term_to_string t)))
+  | Logic.Sld.Existence_error (name, arity) ->
+      fail
+        (Logic.Diag.make ~file
+           (Printf.sprintf "unknown predicate %s/%d" name arity))
+
+(* --- resource budgets ---------------------------------------------------- *)
+
+let duration_conv =
+  let parse s =
+    match Guard.duration_of_string s with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "invalid duration %S (expected e.g. 500ms, 2s, 1.5s, 1m)" s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%gs" v)
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some duration_conv) None
+    & info [ "timeout" ] ~docv:"DUR"
+        ~doc:
+          "Wall-clock budget for the evaluation (e.g. $(b,100ms), $(b,2s), \
+           $(b,1m)).  On exhaustion the analysis returns a sound partial \
+           result and exits with code 3.")
+
+let max_steps_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:
+          "Derivation-step budget for the evaluation.  On exhaustion the \
+           analysis returns a sound partial result and exits with code 3.")
+
+let max_table_bytes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-table-bytes" ] ~docv:"N"
+        ~doc:
+          "Table-space budget in bytes (the engine's table estimate).  On \
+           exhaustion the analysis returns a sound partial result and exits \
+           with code 3.")
+
+let guard_of timeout max_steps max_table_bytes =
+  match (timeout, max_steps, max_table_bytes) with
+  | None, None, None -> Guard.unlimited
+  | _ -> Guard.create ?timeout ?max_steps ?max_table_bytes ()
+
+(* Partial-result epilogue: notice on stderr (stdout stays the result /
+   stats document), then the documented exit code. *)
+let finish (status : Guard.status) =
+  match status with
+  | Guard.Complete -> ()
+  | Guard.Partial { reason; exhausted_entries } ->
+      Printf.eprintf
+        "xanalyze: budget exhausted (%s): result is a sound \
+         over-approximation (%d table entries widened)\n"
+        (Guard.reason_to_string reason)
+        exhausted_entries;
+      exit exit_partial
 
 (* --- stats emission (docs/METRICS.md) ----------------------------------- *)
 
@@ -48,7 +159,8 @@ let stats_arg =
    human report *)
 let report_suppressed = function Some `Json | Some `Csv -> true | _ -> false
 
-let emit_stats ~analysis ~timer_prefix ~input ~table_bytes stats =
+let emit_stats ~analysis ~timer_prefix ~input ~table_bytes ?(guard = Guard.unlimited)
+    ?(status = Guard.Complete) stats =
   match stats with
   | None -> ()
   | Some fmt -> (
@@ -69,9 +181,12 @@ let emit_stats ~analysis ~timer_prefix ~input ~table_bytes stats =
           print_newline ();
           print_string (snapshot_to_human snap)
       | `Json ->
+          let extra =
+            Guard.status_json_fields status @ Guard.budget_json_fields guard
+          in
           print_endline
             (json_to_string
-               (stats_doc ~tool:"xanalyze" ~analysis ~input ~phases snap))
+               (stats_doc ~tool:"xanalyze" ~analysis ~input ~phases ~extra snap))
       | `Csv -> print_string (snapshot_to_csv snap))
 
 let print_ground_timings (p : Prax_ground.Analyze.phases) table_bytes =
@@ -86,12 +201,17 @@ let print_ground_timings (p : Prax_ground.Analyze.phases) table_bytes =
 (* --- groundness -------------------------------------------------------- *)
 
 let groundness_cmd =
-  let run input bench timings compiled stats =
+  let run input bench timings compiled stats timeout max_steps max_bytes =
     let src = source_of ~bench input in
-    let mode =
-      if compiled then Logic.Database.Compiled else Logic.Database.Dynamic
+    let guard = guard_of timeout max_steps max_bytes in
+    let rep =
+      with_diagnostics ~file:input ~text:src (fun () ->
+          Groundness.Analyze.analyze
+            ~mode:
+              (if compiled then Logic.Database.Compiled
+               else Logic.Database.Dynamic)
+            ~guard src)
     in
-    let rep = Groundness.Analyze.analyze ~mode src in
     if not (report_suppressed stats) then begin
       print_endline (Prax_ground.Analyze.report_to_string rep);
       if timings then
@@ -99,7 +219,9 @@ let groundness_cmd =
           rep.Prax_ground.Analyze.table_bytes
     end;
     emit_stats ~analysis:"groundness" ~timer_prefix:"ground" ~input
-      ~table_bytes:rep.Prax_ground.Analyze.table_bytes stats
+      ~table_bytes:rep.Prax_ground.Analyze.table_bytes ~guard
+      ~status:rep.Prax_ground.Analyze.status stats;
+    finish rep.Prax_ground.Analyze.status
   in
   let input =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
@@ -117,14 +239,20 @@ let groundness_cmd =
   Cmd.v
     (Cmd.info "groundness"
        ~doc:"Prop-domain groundness analysis of a logic program (Figure 1)")
-    Term.(const run $ input $ bench $ timings $ compiled $ stats_arg)
+    Term.(
+      const run $ input $ bench $ timings $ compiled $ stats_arg $ timeout_arg
+      $ max_steps_arg $ max_table_bytes_arg)
 
 (* --- strictness -------------------------------------------------------- *)
 
 let strictness_cmd =
-  let run input bench timings no_supp stats =
+  let run input bench timings no_supp stats timeout max_steps max_bytes =
     let src = source_of ~bench input in
-    let rep = Strictness.Analyze.analyze ~supplementary:(not no_supp) src in
+    let guard = guard_of timeout max_steps max_bytes in
+    let rep =
+      with_diagnostics ~file:input ~text:src (fun () ->
+          Strictness.Analyze.analyze ~supplementary:(not no_supp) ~guard src)
+    in
     if not (report_suppressed stats) then begin
       print_endline (Prax_strict.Analyze.report_to_string rep);
       if timings then begin
@@ -140,7 +268,9 @@ let strictness_cmd =
       end
     end;
     emit_stats ~analysis:"strictness" ~timer_prefix:"strict" ~input
-      ~table_bytes:rep.Prax_strict.Analyze.table_bytes stats
+      ~table_bytes:rep.Prax_strict.Analyze.table_bytes ~guard
+      ~status:rep.Prax_strict.Analyze.status stats;
+    finish rep.Prax_strict.Analyze.status
   in
   let input =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
@@ -160,14 +290,20 @@ let strictness_cmd =
        ~doc:
          "Demand-propagation strictness analysis of a lazy functional \
           program (Figure 3)")
-    Term.(const run $ input $ bench $ timings $ no_supp $ stats_arg)
+    Term.(
+      const run $ input $ bench $ timings $ no_supp $ stats_arg $ timeout_arg
+      $ max_steps_arg $ max_table_bytes_arg)
 
 (* --- depth-k ------------------------------------------------------------ *)
 
 let depthk_cmd =
-  let run input bench timings k stats =
+  let run input bench timings k stats timeout max_steps max_bytes =
     let src = source_of ~bench input in
-    let rep = Depthk.Analyze.analyze ~k src in
+    let guard = guard_of timeout max_steps max_bytes in
+    let rep =
+      with_diagnostics ~file:input ~text:src (fun () ->
+          Depthk.Analyze.analyze ~guard ~k src)
+    in
     if not (report_suppressed stats) then begin
       print_endline (Prax_depthk.Analyze.report_to_string rep);
       if timings then begin
@@ -182,7 +318,9 @@ let depthk_cmd =
       end
     end;
     emit_stats ~analysis:"depthk" ~timer_prefix:"depthk" ~input
-      ~table_bytes:rep.Prax_depthk.Analyze.table_bytes stats
+      ~table_bytes:rep.Prax_depthk.Analyze.table_bytes ~guard
+      ~status:rep.Prax_depthk.Analyze.status stats;
+    finish rep.Prax_depthk.Analyze.status
   in
   let input =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
@@ -199,24 +337,45 @@ let depthk_cmd =
   Cmd.v
     (Cmd.info "depthk"
        ~doc:"Groundness analysis with depth-k term abstraction (Section 5)")
-    Term.(const run $ input $ bench $ timings $ k $ stats_arg)
+    Term.(
+      const run $ input $ bench $ timings $ k $ stats_arg $ timeout_arg
+      $ max_steps_arg $ max_table_bytes_arg)
 
 (* --- run: concrete execution -------------------------------------------- *)
 
 let run_cmd =
-  let run input bench query limit =
+  let run input bench query limit timeout max_steps =
     let src = source_of ~bench input in
-    let db = Logic.Database.create () in
-    ignore (Logic.Database.load_string db src);
-    let goal = Logic.Parser.parse_term query in
-    let solutions = Logic.Sld.solutions ~limit db goal in
-    if solutions = [] then print_endline "no."
-    else
-      List.iter
-        (fun s ->
-          print_endline
-            (Logic.Pretty.term_to_string (Logic.Canon.canonical s goal)))
-        solutions
+    let guard =
+      match (timeout, max_steps) with
+      | None, None -> Guard.unlimited
+      | _ -> Guard.create ?timeout ?max_steps ()
+    in
+    let status =
+      with_diagnostics ~file:input ~text:src (fun () ->
+          let db = Logic.Database.create () in
+          ignore (Logic.Database.load_string db src);
+          let goal = Logic.Parser.parse_term query in
+          let solutions, status =
+            Logic.Sld.solutions_status ~limit ~guard db goal
+          in
+          if solutions = [] then print_endline "no."
+          else
+            List.iter
+              (fun s ->
+                print_endline
+                  (Logic.Pretty.term_to_string (Logic.Canon.canonical s goal)))
+              solutions;
+          status)
+    in
+    (match status with
+    | Guard.Complete -> ()
+    | Guard.Partial { reason; _ } ->
+        Printf.eprintf
+          "xanalyze: budget exhausted (%s): solution enumeration stopped \
+           early (the listed solutions are valid but possibly incomplete)\n"
+          (Guard.reason_to_string reason);
+        exit exit_partial)
   in
   let input =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
@@ -232,26 +391,30 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a Prolog query against a program (SLD)")
-    Term.(const run $ input $ bench $ query $ limit)
+    Term.(
+      const run $ input $ bench $ query $ limit $ timeout_arg $ max_steps_arg)
 
 (* --- eval: run a functional program -------------------------------------- *)
 
 let eval_cmd =
   let run input bench call fuel =
     let src = source_of ~bench input in
-    let prog = Fp.Check.parse_and_check src in
-    let f, args =
-      match String.index_opt call '(' with
-      | None -> (call, [])
-      | Some _ -> (
-          (* parse the call as an expression *)
-          match Fp.Parser.parse_program (Printf.sprintf "q() = %s;" call) with
-          | [ { Fp.Ast.rhs = Fp.Ast.App (f, args); _ } ] -> (f, args)
-          | _ ->
-              Printf.eprintf "cannot parse call %s\n" call;
-              exit 1)
-    in
-    print_endline (Fp.Eval.run ~fuel prog f args)
+    with_diagnostics ~file:input ~text:src (fun () ->
+        let prog = Fp.Check.parse_and_check src in
+        let f, args =
+          match String.index_opt call '(' with
+          | None -> (call, [])
+          | Some _ -> (
+              (* parse the call as an expression *)
+              match
+                Fp.Parser.parse_program (Printf.sprintf "q() = %s;" call)
+              with
+              | [ { Fp.Ast.rhs = Fp.Ast.App (f, args); _ } ] -> (f, args)
+              | _ ->
+                  Printf.eprintf "cannot parse call %s\n" call;
+                  exit exit_input)
+        in
+        print_endline (Fp.Eval.run ~fuel prog f args))
   in
   let input =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
@@ -275,14 +438,15 @@ let eval_cmd =
 let types_cmd =
   let run input bench =
     let src = source_of ~bench input in
-    match Hm.Infer.infer_source src with
-    | results ->
-        List.iter
-          (fun r -> print_endline (Hm.Infer.result_to_string r))
-          results
-    | exception Hm.Infer.Type_error msg ->
-        Printf.eprintf "type error: %s\n" msg;
-        exit 1
+    with_diagnostics ~file:input ~text:src (fun () ->
+        match Hm.Infer.infer_source src with
+        | results ->
+            List.iter
+              (fun r -> print_endline (Hm.Infer.result_to_string r))
+              results
+        | exception Hm.Infer.Type_error msg ->
+            Printf.eprintf "type error: %s\n" msg;
+            exit exit_input)
   in
   let input =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
@@ -302,7 +466,10 @@ let types_cmd =
 let widen_cmd =
   let run input bench chain =
     let src = source_of ~bench input in
-    let rep = Infinite.Widen.analyze ~chain src in
+    let rep =
+      with_diagnostics ~file:input ~text:src (fun () ->
+          Infinite.Widen.analyze ~chain src)
+    in
     List.iter
       (fun r ->
         let name, arity = r.Prax_infinite.Widen.pred in

@@ -9,6 +9,7 @@
 
 open Prax_logic
 module Metrics = Prax_metrics.Metrics
+module Guard = Prax_guard.Guard
 
 let m_iterations =
   Metrics.counter ~units:"iterations"
@@ -32,6 +33,11 @@ let m_delta_tuples =
   Metrics.counter ~units:"facts"
     ~doc:"tuples carried in delta relations across all iterations"
     "datalog.delta_tuples"
+
+let m_aborts =
+  Metrics.counter ~units:"aborts"
+    ~doc:"bottom-up fixpoints stopped early by budget exhaustion"
+    "datalog.aborts"
 
 type atom = { pred : string * int; args : Term.t array }
 
@@ -141,6 +147,12 @@ type stats = {
       (** new facts per iteration, oldest first — the convergence profile
           of the fixpoint (a stratified program would have one such
           profile per stratum; this engine evaluates a single stratum) *)
+  mutable status : Guard.status;
+      (** [Partial] when a budget stopped the fixpoint before it
+          converged.  Bottom-up derivation only ever adds true facts, so
+          the database then holds a sound {e under}-approximation of the
+          model: every fact present is derivable, but absence proves
+          nothing — the dual of the tabled engine's widening. *)
 }
 
 (* Evaluate [body] under [env], matching atom [i] against the given
@@ -158,79 +170,98 @@ let rec eval_body db (source : int -> string * int -> Term.t array list)
         (source i b.pred)
 
 (** Naive evaluation: recompute all rules from the full database until no
-    new facts appear. *)
-let naive (rules : rule list) (db : db) : stats =
-  let st = { iterations = 0; derivations = 0; deltas = [] } in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    st.iterations <- st.iterations + 1;
-    Metrics.incr m_iterations;
-    let fresh = ref 0 in
-    List.iter
-      (fun r ->
-        eval_body db
-          (fun _ pred -> tuples_of db pred)
-          r.body 0 []
-          (fun env ->
-            st.derivations <- st.derivations + 1;
-            Metrics.incr m_derivations;
-            if add_fact db r.head.pred (subst_args env r.head.args) then begin
-              incr fresh;
-              changed := true
-            end))
-      rules;
-    Metrics.add m_delta_tuples !fresh;
-    st.deltas <- st.deltas @ [ !fresh ]
-  done;
+    new facts appear.  Under a [guard], budget exhaustion stops the
+    fixpoint cleanly: the facts derived so far stay in [db] and
+    [stats.status] reports [Partial]. *)
+let naive ?(guard = Guard.unlimited) (rules : rule list) (db : db) : stats =
+  let st =
+    { iterations = 0; derivations = 0; deltas = []; status = Guard.Complete }
+  in
+  (try
+     let changed = ref true in
+     while !changed do
+       changed := false;
+       st.iterations <- st.iterations + 1;
+       Metrics.incr m_iterations;
+       let fresh = ref 0 in
+       List.iter
+         (fun r ->
+           eval_body db
+             (fun _ pred -> tuples_of db pred)
+             r.body 0 []
+             (fun env ->
+               Guard.check guard;
+               st.derivations <- st.derivations + 1;
+               Metrics.incr m_derivations;
+               if add_fact db r.head.pred (subst_args env r.head.args) then begin
+                 incr fresh;
+                 changed := true
+               end))
+         rules;
+       Metrics.add m_delta_tuples !fresh;
+       st.deltas <- st.deltas @ [ !fresh ]
+     done
+   with Guard.Exhausted reason ->
+     Metrics.incr m_aborts;
+     st.status <- Guard.Partial { reason; exhausted_entries = 0 });
   st
 
 (** Semi-naive evaluation with delta relations: each iteration matches
     each rule once per body position, that position restricted to the
     previous iteration's new facts. *)
-let seminaive (rules : rule list) (db : db) : stats =
-  let st = { iterations = 0; derivations = 0; deltas = [] } in
+let seminaive ?(guard = Guard.unlimited) (rules : rule list) (db : db) : stats
+    =
+  let st =
+    { iterations = 0; derivations = 0; deltas = []; status = Guard.Complete }
+  in
   (* deltas from facts present initially *)
   let delta : (string * int, Term.t array list) Hashtbl.t = Hashtbl.create 32 in
   Hashtbl.iter (fun pred r -> Hashtbl.replace delta pred r.tuples) db.rels;
-  let continue_ = ref true in
-  while !continue_ do
-    st.iterations <- st.iterations + 1;
-    Metrics.incr m_iterations;
-    let next_delta : (string * int, Term.t array list) Hashtbl.t =
-      Hashtbl.create 32
-    in
-    let emit pred tuple =
-      st.derivations <- st.derivations + 1;
-      Metrics.incr m_derivations;
-      if add_fact db pred tuple then
-        Hashtbl.replace next_delta pred
-          (tuple :: Option.value ~default:[] (Hashtbl.find_opt next_delta pred))
-    in
-    List.iter
-      (fun r ->
-        let n = List.length r.body in
-        for d = 0 to n - 1 do
-          (* position d reads the delta; others read the full store *)
-          let source i pred =
-            if i = d then Option.value ~default:[] (Hashtbl.find_opt delta pred)
-            else tuples_of db pred
-          in
-          eval_body db source r.body 0 [] (fun env ->
-              emit r.head.pred (subst_args env r.head.args))
-        done)
-      rules;
-    let fresh =
-      Hashtbl.fold (fun _ ts acc -> acc + List.length ts) next_delta 0
-    in
-    Metrics.add m_delta_tuples fresh;
-    st.deltas <- st.deltas @ [ fresh ];
-    if Hashtbl.length next_delta = 0 then continue_ := false
-    else begin
-      Hashtbl.reset delta;
-      Hashtbl.iter (Hashtbl.replace delta) next_delta
-    end
-  done;
+  (try
+     let continue_ = ref true in
+     while !continue_ do
+       st.iterations <- st.iterations + 1;
+       Metrics.incr m_iterations;
+       let next_delta : (string * int, Term.t array list) Hashtbl.t =
+         Hashtbl.create 32
+       in
+       let emit pred tuple =
+         Guard.check guard;
+         st.derivations <- st.derivations + 1;
+         Metrics.incr m_derivations;
+         if add_fact db pred tuple then
+           Hashtbl.replace next_delta pred
+             (tuple
+             :: Option.value ~default:[] (Hashtbl.find_opt next_delta pred))
+       in
+       List.iter
+         (fun r ->
+           let n = List.length r.body in
+           for d = 0 to n - 1 do
+             (* position d reads the delta; others read the full store *)
+             let source i pred =
+               if i = d then
+                 Option.value ~default:[] (Hashtbl.find_opt delta pred)
+               else tuples_of db pred
+             in
+             eval_body db source r.body 0 [] (fun env ->
+                 emit r.head.pred (subst_args env r.head.args))
+           done)
+         rules;
+       let fresh =
+         Hashtbl.fold (fun _ ts acc -> acc + List.length ts) next_delta 0
+       in
+       Metrics.add m_delta_tuples fresh;
+       st.deltas <- st.deltas @ [ fresh ];
+       if Hashtbl.length next_delta = 0 then continue_ := false
+       else begin
+         Hashtbl.reset delta;
+         Hashtbl.iter (Hashtbl.replace delta) next_delta
+       end
+     done
+   with Guard.Exhausted reason ->
+     Metrics.incr m_aborts;
+     st.status <- Guard.Partial { reason; exhausted_entries = 0 });
   st
 
 (* --- program loading ------------------------------------------------------ *)

@@ -36,6 +36,13 @@
     timers with machine-readable snapshots (see docs/METRICS.md). *)
 module Metrics = Prax_metrics.Metrics
 
+(** Resource governance: composable budgets (deadline, steps, table
+    space), graceful degradation to sound partial results, and the
+    fault-injection harness (see docs/ROBUSTNESS.md). *)
+module Guard = Prax_guard.Guard
+
+module Inject = Prax_guard.Inject
+
 module Logic = struct
   module Term = Prax_logic.Term
   module Subst = Prax_logic.Subst
@@ -47,6 +54,7 @@ module Logic = struct
   module Pretty = Prax_logic.Pretty
   module Database = Prax_logic.Database
   module Sld = Prax_logic.Sld
+  module Diag = Prax_logic.Diag
   module Vec = Prax_logic.Vec
 end
 

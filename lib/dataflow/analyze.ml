@@ -19,11 +19,11 @@ let t_query =
 
 type t = { engine : Engine.t; program : Cfg.program }
 
-let make (p : Cfg.program) : t =
+let make ?guard (p : Cfg.program) : t =
   Metrics.time t_encode (fun () ->
       let db = Database.create () in
       Database.load_clauses db (Encode.program p);
-      { engine = Engine.create db; program = p })
+      { engine = Engine.create ?guard db; program = p })
 
 let query t goal_src =
   Metrics.time t_query (fun () ->

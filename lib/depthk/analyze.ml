@@ -10,6 +10,7 @@
 open Prax_logic
 open Prax_tabling
 module Metrics = Prax_metrics.Metrics
+module Guard = Prax_guard.Guard
 
 (* Phase timers mirroring the Table 4 columns (docs/METRICS.md). *)
 let t_preprocess =
@@ -41,6 +42,11 @@ type report = {
   table_bytes : int;
   engine_stats : Engine.stats;
   k : int;
+  status : Guard.status;
+      (** [Partial] when a resource budget stopped evaluation: widened
+          entries answer their most general call, so [definite] degrades
+          to all-[?] for the affected predicates — a sound
+          over-approximation *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -92,14 +98,14 @@ let register_builtins (e : Engine.t) =
 
 let a_ground_arg (t : Term.t) = Domain.a_ground t
 
-let analyze_clauses ?(mode = Database.Dynamic) ~k
+let analyze_clauses ?(mode = Database.Dynamic) ?(guard = Guard.unlimited) ~k
     (clauses : Parser.clause list) : report =
   let t0 = now () in
   let e, preds =
     Metrics.time t_preprocess (fun () ->
         let db = Database.create ~mode () in
         Database.load_clauses db clauses;
-        let e = Engine.create ~hooks:(Domain.hooks ~k) db in
+        let e = Engine.create ~hooks:(Domain.hooks ~k) ~guard db in
         register_builtins e;
         let preds =
           List.filter_map (fun c -> Term.functor_of c.Parser.head) clauses
@@ -108,33 +114,48 @@ let analyze_clauses ?(mode = Database.Dynamic) ~k
         (e, preds))
   in
   let t1 = now () in
-  Metrics.time t_evaluate (fun () ->
-      List.iter
-        (fun (name, arity) ->
-          let goal =
-            Term.mk name (Array.init arity (fun _ -> Term.fresh_var ()))
-          in
-          Engine.run e goal (fun _ -> ()))
-        preds);
+  let status =
+    Metrics.time t_evaluate (fun () ->
+        List.fold_left
+          (fun acc (name, arity) ->
+            let goal =
+              Term.mk name (Array.init arity (fun _ -> Term.fresh_var ()))
+            in
+            Guard.combine acc (Engine.run_status e goal (fun _ -> ())))
+          Guard.Complete preds)
+  in
   let t2 = now () in
   let results =
     Metrics.time t_collect @@ fun () ->
     List.map
       (fun (name, arity) ->
         let answers = Engine.answers_for e (name, arity) in
-        let definite = Array.make arity true in
-        List.iter
-          (fun ans ->
-            Array.iteri
-              (fun i a -> if not (a_ground_arg a) then definite.(i) <- false)
-              (Term.args_of ans))
-          answers;
-        {
-          pred = (name, arity);
-          answers;
-          definite;
-          never_succeeds = answers = [];
-        })
+        if Guard.is_partial status && Engine.calls_for e (name, arity) = []
+        then
+          (* the budget tripped before this predicate's open call even
+             created a table entry: its empty answer table means
+             "unexplored", not "fails" — degrade to the no-claim result *)
+          {
+            pred = (name, arity);
+            answers = [];
+            definite = Array.make arity false;
+            never_succeeds = false;
+          }
+        else begin
+          let definite = Array.make arity true in
+          List.iter
+            (fun ans ->
+              Array.iteri
+                (fun i a -> if not (a_ground_arg a) then definite.(i) <- false)
+                (Term.args_of ans))
+            answers;
+          {
+            pred = (name, arity);
+            answers;
+            definite;
+            never_succeeds = answers = [];
+          }
+        end)
       preds
   in
   let t3 = now () in
@@ -144,13 +165,15 @@ let analyze_clauses ?(mode = Database.Dynamic) ~k
     table_bytes = Engine.table_space_bytes e;
     engine_stats = Engine.stats e;
     k;
+    status;
   }
 
-let analyze ?(mode = Database.Dynamic) ?(k = 2) (src : string) : report =
+let analyze ?(mode = Database.Dynamic) ?guard ?(k = 2) (src : string) : report
+    =
   let t0 = now () in
   let clauses = Metrics.time t_preprocess (fun () -> Parser.parse_clauses src) in
   let t_parse = now () -. t0 in
-  let r = analyze_clauses ~mode ~k clauses in
+  let r = analyze_clauses ~mode ?guard ~k clauses in
   { r with phases = { r.phases with preproc = r.phases.preproc +. t_parse } }
 
 let result_for (rep : report) p =

@@ -9,6 +9,7 @@ open Prax_logic
 open Prax_tabling
 open Prax_prop
 module Metrics = Prax_metrics.Metrics
+module Guard = Prax_guard.Guard
 
 (* Phase timers mirroring the Table 1 columns (docs/METRICS.md).  The
    [phases] record carries the same breakdown per report; the timers
@@ -42,6 +43,10 @@ type report = {
   table_bytes : int;
   engine_stats : Engine.stats;
   clause_count : int;  (** size of the abstract program *)
+  status : Guard.status;
+      (** [Partial] when a resource budget stopped evaluation: the
+          results are then a sound over-approximation (widened table
+          entries answer their most general call) *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -88,8 +93,8 @@ let pattern_of_call (call : Term.t) : string =
 
 (** Run the analysis on already-parsed clauses (so callers can time
     parsing separately if they wish). *)
-let analyze_clauses ?(mode = Database.Dynamic) (clauses : Parser.clause list)
-    : report =
+let analyze_clauses ?(mode = Database.Dynamic) ?(guard = Guard.unlimited)
+    (clauses : Parser.clause list) : report =
   (* preprocessing: transform + load into the clause store *)
   let t0 = now () in
   let abstract, preds, e =
@@ -97,21 +102,25 @@ let analyze_clauses ?(mode = Database.Dynamic) (clauses : Parser.clause list)
         let abstract, preds, max_iff = Transform.program clauses in
         let db = Database.create ~mode () in
         Database.load_clauses db abstract;
-        let e = Engine.create db in
+        let e = Engine.create ~guard db in
         Iff.register e ~max_arity:max_iff;
         (abstract, preds, e))
   in
   let t1 = now () in
-  (* analysis: open call on every abstracted predicate *)
-  Metrics.time t_evaluate (fun () ->
-      List.iter
-        (fun (name, arity) ->
-          let goal =
-            Term.mk (Transform.prefix ^ name)
-              (Array.init arity (fun _ -> Term.fresh_var ()))
-          in
-          Engine.run e goal (fun _ -> ()))
-        preds);
+  (* analysis: open call on every abstracted predicate.  Budgets are
+     sticky, so after an exhaustion the remaining predicates degrade
+     immediately instead of each burning a full budget. *)
+  let status =
+    Metrics.time t_evaluate (fun () ->
+        List.fold_left
+          (fun acc (name, arity) ->
+            let goal =
+              Term.mk (Transform.prefix ^ name)
+                (Array.init arity (fun _ -> Term.fresh_var ()))
+            in
+            Guard.combine acc (Engine.run_status e goal (fun _ -> ())))
+          Guard.Complete preds)
+  in
   let t2 = now () in
   (* collection: combine answers per predicate *)
   let results =
@@ -119,8 +128,17 @@ let analyze_clauses ?(mode = Database.Dynamic) (clauses : Parser.clause list)
         List.map
           (fun (name, arity) ->
             let gp = (Transform.prefix ^ name, arity) in
+            let unexplored =
+              (* a partial run may have tripped before this predicate's
+                 open call even created a table entry; its answer table
+                 is then empty because nothing was derived, not because
+                 the predicate fails — degrade to top, not bottom *)
+              Guard.is_partial status && Engine.calls_for e gp = []
+            in
             let answers = Engine.answers_for e gp in
-            let success = bf_of_answers arity answers in
+            let success =
+              if unexplored then Bf.top arity else bf_of_answers arity answers
+            in
             let never = Bf.is_empty success in
             let definite = Bf.definite success in
             let call_patterns =
@@ -139,15 +157,16 @@ let analyze_clauses ?(mode = Database.Dynamic) (clauses : Parser.clause list)
     table_bytes = Engine.table_space_bytes e;
     engine_stats = Engine.stats e;
     clause_count = List.length abstract;
+    status;
   }
 
 (** Full pipeline from source text; parse time is part of preprocessing,
     as in the paper. *)
-let analyze ?(mode = Database.Dynamic) (src : string) : report =
+let analyze ?(mode = Database.Dynamic) ?guard (src : string) : report =
   let t0 = now () in
   let clauses = Metrics.time t_preprocess (fun () -> Parser.parse_clauses src) in
   let t_parse = now () -. t0 in
-  let r = analyze_clauses ~mode clauses in
+  let r = analyze_clauses ~mode ?guard clauses in
   { r with phases = { r.phases with preproc = r.phases.preproc +. t_parse } }
 
 (** Plain compilation time of the source (parse + load), the baseline for

@@ -1,0 +1,40 @@
+(** Fault-injection harness: guards that abort or raise at the Nth
+    engine event.
+
+    The point is to make the abort-anywhere property testable: for a
+    deterministic engine run, event [n] identifies a unique program
+    point, so [abort_at n] tears the evaluation down exactly there.
+    Sweeping [n] over a run's event span (measured with
+    {!Guard.counting}) and asserting after every abort that
+
+    - the reported answers are a sound over-approximation restricted to
+      completed-or-widened table entries, and
+    - the same engine instance completes a fresh query afterwards
+
+    proves that no engine event leaves the tables in a state the
+    degradation machinery cannot repair.  [test/test_guard.ml] runs this
+    sweep. *)
+
+(** [abort_at n] trips a {!Guard.Fault} exactly at event [n] (one-shot:
+    the engine stays usable afterwards without swapping guards). *)
+let abort_at ?timeout ?max_steps ?max_table_bytes n : Guard.t =
+  Guard.create ?timeout ?max_steps ?max_table_bytes
+    ~on_event:(fun k ->
+      if k = n then raise (Guard.Exhausted (Guard.Fault "injected-abort")))
+    ()
+
+(** [raise_at n exn] raises an arbitrary exception at event [n] —
+    modelling a crashing user builtin rather than a budget trip.  The
+    engine must recover its table invariants (discarding entries whose
+    producers were interrupted) rather than degrade to a partial
+    result. *)
+let raise_at n exn : Guard.t =
+  Guard.create ~on_event:(fun k -> if k = n then raise exn) ()
+
+(** Event span of a deterministic run: execute [f] under a counting
+    guard and return how many events it saw.  The sweep range for
+    {!abort_at}. *)
+let events_of (f : Guard.t -> unit) : int =
+  let g = Guard.counting () in
+  f g;
+  Guard.steps g

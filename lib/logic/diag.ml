@@ -1,0 +1,34 @@
+type t = {
+  file : string;
+  line : int option;
+  col : int option;
+  msg : string;
+}
+
+let make ?line ?col ~file msg = { file; line; col; msg }
+
+let line_col text offset =
+  let offset = max 0 (min offset (String.length text)) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to offset - 1 do
+    if text.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, offset - !bol + 1)
+
+let at_offset ~file ~text ~offset msg =
+  let line, col = line_col text offset in
+  { file; line = Some line; col = Some col; msg }
+
+let to_string d =
+  match (d.line, d.col) with
+  | Some l, Some c -> Printf.sprintf "%s:%d:%d: %s" d.file l c d.msg
+  | Some l, None -> Printf.sprintf "%s:%d: %s" d.file l d.msg
+  | _ -> Printf.sprintf "%s: %s" d.file d.msg
+
+let of_exn ~file ~text = function
+  | Lexer.Lex_error (msg, offset) -> Some (at_offset ~file ~text ~offset msg)
+  | Parser.Parse_error msg -> Some (make ~file msg)
+  | _ -> None

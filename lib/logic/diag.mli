@@ -1,0 +1,34 @@
+(** Structured diagnostics for the CLI tools.
+
+    The lexer and parsers signal errors with exceptions carrying a
+    message and (for lexers) a byte offset; the tools must render these
+    as [file:line:col: message] on stderr and exit non-zero instead of
+    dying with an OCaml backtrace.  This module is the shared
+    machinery: offset→position mapping and a diagnostic record. *)
+
+type t = {
+  file : string;  (** input name, ["<stdin>"] or ["<expr>"] for ad-hoc text *)
+  line : int option;  (** 1-based *)
+  col : int option;  (** 1-based *)
+  msg : string;
+}
+
+val make : ?line:int -> ?col:int -> file:string -> string -> t
+
+val line_col : string -> int -> int * int
+(** [line_col text offset] maps a byte offset into [text] to a 1-based
+    (line, column) pair.  Offsets past the end report the position just
+    after the last character. *)
+
+val at_offset : file:string -> text:string -> offset:int -> string -> t
+(** Diagnostic at a byte offset, with the position resolved against the
+    source [text]. *)
+
+val to_string : t -> string
+(** GNU-style rendering: [file:line:col: message], omitting the
+    position components that are unknown. *)
+
+val of_exn : file:string -> text:string -> exn -> t option
+(** Map the toolchain's input-error exceptions ([Lexer.Lex_error],
+    [Parser.Parse_error]) to a diagnostic; [None] for exceptions that
+    are not input errors. *)

@@ -9,6 +9,7 @@
     Tables 1 and 4. *)
 
 module Metrics = Prax_metrics.Metrics
+module Guard = Prax_guard.Guard
 
 let m_steps =
   Metrics.counter ~units:"steps"
@@ -27,10 +28,11 @@ type engine = {
   mutable next_cut : int;
   mutable inferences : int;
   max_inferences : int;
+  guard : Guard.t;
 }
 
-let create ?(max_inferences = max_int) db =
-  { db; next_cut = 0; inferences = 0; max_inferences }
+let create ?(max_inferences = max_int) ?(guard = Guard.unlimited) db =
+  { db; next_cut = 0; inferences = 0; max_inferences; guard }
 
 let new_cut_id e =
   e.next_cut <- e.next_cut + 1;
@@ -39,6 +41,7 @@ let new_cut_id e =
 let tick e =
   e.inferences <- e.inferences + 1;
   Metrics.incr m_steps;
+  Guard.check e.guard;
   if e.inferences > e.max_inferences then raise Solution_limit
 
 (* --- arithmetic -------------------------------------------------------- *)
@@ -318,13 +321,18 @@ and solve_once e s g =
 
 (* --- public API -------------------------------------------------------- *)
 
-(** All solutions of [goal], as substitutions, up to [limit]. *)
-let solutions ?(limit = max_int) ?max_inferences db (goal : Term.t) :
-    Subst.t list =
-  let e = create ?max_inferences db in
+(** All solutions of [goal] with the evaluation status: budget
+    exhaustion yields the solutions found so far flagged [Partial] (for
+    a top-down enumeration this is an under-approximation of the full
+    solution set — the dual of the tabled engine's widening — so the
+    flag must be checked before treating the list as exhaustive). *)
+let solutions_status ?(limit = max_int) ?max_inferences ?guard db
+    (goal : Term.t) : Subst.t list * Guard.status =
+  let e = create ?max_inferences ?guard db in
   let acc = ref [] in
   let count = ref 0 in
   let id = new_cut_id e in
+  let status = ref Guard.Complete in
   (try
      solve e Subst.empty goal
        (fun s ->
@@ -334,15 +342,21 @@ let solutions ?(limit = max_int) ?max_inferences db (goal : Term.t) :
        id
    with
   | Found -> ()
-  | Cut_signal i when i = id -> ());
-  List.rev !acc
+  | Cut_signal i when i = id -> ()
+  | Guard.Exhausted reason ->
+      status := Guard.Partial { reason; exhausted_entries = 0 });
+  (List.rev !acc, !status)
+
+(** All solutions of [goal], as substitutions, up to [limit]. *)
+let solutions ?limit ?max_inferences ?guard db (goal : Term.t) : Subst.t list =
+  fst (solutions_status ?limit ?max_inferences ?guard db goal)
 
 (** Resolved instances of [tmpl] for each solution of [goal]. *)
-let all_answers ?limit ?max_inferences db goal tmpl : Term.t list =
-  solutions ?limit ?max_inferences db goal
+let all_answers ?limit ?max_inferences ?guard db goal tmpl : Term.t list =
+  solutions ?limit ?max_inferences ?guard db goal
   |> List.map (fun s -> Subst.resolve s tmpl)
 
-let has_solution ?max_inferences db goal =
-  match solutions ~limit:1 ?max_inferences db goal with
+let has_solution ?max_inferences ?guard db goal =
+  match solutions ~limit:1 ?max_inferences ?guard db goal with
   | [] -> false
   | _ -> true

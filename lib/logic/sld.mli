@@ -11,19 +11,40 @@ exception Existence_error of string * int
 exception Solution_limit
 (** Raised when the [max_inferences] budget is exhausted. *)
 
+module Guard = Prax_guard.Guard
+
 val eval_arith : Subst.t -> Term.t -> int
 (** Evaluate an arithmetic expression ([+ - * / // mod rem abs min max
     ^ ** << >> /\ \/ xor sign], unary [- +]).
     @raise Instantiation_error on unbound variables
     @raise Type_error on non-evaluable terms *)
 
+val solutions_status :
+  ?limit:int ->
+  ?max_inferences:int ->
+  ?guard:Guard.t ->
+  Database.t ->
+  Term.t ->
+  Subst.t list * Guard.status
+(** All solutions with the evaluation status.  On budget exhaustion the
+    solutions found so far are returned flagged [Partial]; for a
+    top-down enumeration this is an {e under}-approximation of the full
+    solution set (the dual of the tabled engine's widening), so check
+    the flag before treating the list as exhaustive. *)
+
 val solutions :
-  ?limit:int -> ?max_inferences:int -> Database.t -> Term.t -> Subst.t list
+  ?limit:int ->
+  ?max_inferences:int ->
+  ?guard:Guard.t ->
+  Database.t ->
+  Term.t ->
+  Subst.t list
 (** All solutions of a goal, in Prolog order, up to [limit]. *)
 
 val all_answers :
   ?limit:int ->
   ?max_inferences:int ->
+  ?guard:Guard.t ->
   Database.t ->
   Term.t ->
   Term.t ->
@@ -31,4 +52,5 @@ val all_answers :
 (** [all_answers db goal tmpl]: resolved instances of [tmpl] per
     solution.  [goal] and [tmpl] must share their variable scope. *)
 
-val has_solution : ?max_inferences:int -> Database.t -> Term.t -> bool
+val has_solution :
+  ?max_inferences:int -> ?guard:Guard.t -> Database.t -> Term.t -> bool

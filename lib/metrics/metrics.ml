@@ -15,7 +15,16 @@
       benchmark harness can consume without scraping human output. *)
 
 let schema_name = "prax.stats"
-let schema_version = 1
+
+(* v2 (additive over v1): evaluation [status] / [partial_reason] /
+   [widened_entries] and the [budget] object on governed runs, plus the
+   guard.* / engine.aborts / engine.forced_completions / datalog.aborts
+   counters.  v1 documents remain valid v2 prefixes. *)
+let schema_version = 2
+let min_supported_schema_version = 1
+
+let schema_version_supported v =
+  v >= min_supported_schema_version && v <= schema_version
 
 (* --- registry ----------------------------------------------------------- *)
 

@@ -28,7 +28,17 @@ val schema_name : string
 val schema_version : int
 (** Version of the serialized stats schema.  Bump it (and document the
     change in [docs/METRICS.md]) whenever a field is renamed, removed,
-    or changes meaning; adding new counters does not require a bump. *)
+    or changes meaning; adding new counters does not require a bump.
+    History: 1 = initial; 2 = adds evaluation status/budget fields
+    (additive — v1 documents remain valid). *)
+
+val min_supported_schema_version : int
+(** Oldest schema version consumers of prax.stats documents are expected
+    to accept.  v2 is additive over v1, so this stays 1. *)
+
+val schema_version_supported : int -> bool
+(** [schema_version_supported v]: does a document claiming version [v]
+    parse under this library's schema expectations? *)
 
 (** {1 Runtime switch} *)
 

@@ -7,6 +7,7 @@ open Prax_logic
 open Prax_tabling
 open Prax_fp
 module Metrics = Prax_metrics.Metrics
+module Guard = Prax_guard.Guard
 
 (* Phase timers mirroring the Table 3 columns (docs/METRICS.md). *)
 let t_preprocess =
@@ -44,6 +45,10 @@ type report = {
   engine_stats : Engine.stats;
   rule_count : int;
   source_lines : int;
+  status : Guard.status;
+      (** [Partial] when a resource budget stopped evaluation; widened
+          entries then report the weakest demand (sound: strictness
+          claims only shrink) *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -67,7 +72,7 @@ let demands_of_answers arity (answers : Term.t list) : Demand.t array option =
       Some out
 
 let analyze_program ?(mode = Database.Dynamic) ?(supplementary = true)
-    ~source_lines (p : Ast.program) : report =
+    ?(guard = Guard.unlimited) ~source_lines (p : Ast.program) : report =
   let t0 = now () in
   let rules, e =
     Metrics.time t_preprocess (fun () ->
@@ -81,23 +86,26 @@ let analyze_program ?(mode = Database.Dynamic) ?(supplementary = true)
         in
         let db = Database.create ~mode () in
         Database.load_clauses db rules;
-        (rules, Engine.create db))
+        (rules, Engine.create ~guard db))
   in
   let t1 = now () in
   let funcs = Ast.functions p in
-  Metrics.time t_evaluate (fun () ->
-      List.iter
-        (fun (f, arity) ->
-          List.iter
-            (fun dem ->
-              let goal =
-                Term.mkl (Transform.sp_name f)
-                  (Demand.to_atom dem
-                  :: List.init arity (fun _ -> Term.fresh_var ()))
-              in
-              Engine.run e goal (fun _ -> ()))
-            [ Demand.E; Demand.D ])
-        funcs);
+  let status =
+    Metrics.time t_evaluate (fun () ->
+        List.fold_left
+          (fun acc (f, arity) ->
+            List.fold_left
+              (fun acc dem ->
+                let goal =
+                  Term.mkl (Transform.sp_name f)
+                    (Demand.to_atom dem
+                    :: List.init arity (fun _ -> Term.fresh_var ()))
+                in
+                Guard.combine acc (Engine.run_status e goal (fun _ -> ())))
+              acc
+              [ Demand.E; Demand.D ])
+          Guard.Complete funcs)
+  in
   let t2 = now () in
   let results =
     Metrics.time t_collect @@ fun () ->
@@ -112,12 +120,22 @@ let analyze_program ?(mode = Database.Dynamic) ?(supplementary = true)
                      String.equal a (String.make 1 (Demand.to_char dem))
                  | _ -> false)
         in
-        {
-          fname = f;
-          arity;
-          e_demands = demands_of_answers arity (answers_under Demand.E);
-          d_demands = demands_of_answers arity (answers_under Demand.D);
-        })
+        if
+          Guard.is_partial status
+          && Engine.calls_for e (Transform.sp_name f, arity + 1) = []
+        then
+          (* the budget tripped before this function's sp goals even
+             created table entries: claim nothing (no demand guaranteed
+             on any argument), not "unusable under demand" *)
+          let no_claim = Some (Array.make arity Demand.N) in
+          { fname = f; arity; e_demands = no_claim; d_demands = no_claim }
+        else
+          {
+            fname = f;
+            arity;
+            e_demands = demands_of_answers arity (answers_under Demand.E);
+            d_demands = demands_of_answers arity (answers_under Demand.D);
+          })
       funcs
   in
   let t3 = now () in
@@ -128,16 +146,18 @@ let analyze_program ?(mode = Database.Dynamic) ?(supplementary = true)
     engine_stats = Engine.stats e;
     rule_count = List.length rules;
     source_lines;
+    status;
   }
 
 (** Full pipeline from source text. *)
-let analyze ?(mode = Database.Dynamic) ?supplementary (src : string) : report =
+let analyze ?(mode = Database.Dynamic) ?supplementary ?guard (src : string) :
+    report =
   let t0 = now () in
   let prog = Metrics.time t_preprocess (fun () -> Check.parse_and_check src) in
   let t_parse = now () -. t0 in
   let r =
-    analyze_program ~mode ?supplementary ~source_lines:(Check.line_count src)
-      prog
+    analyze_program ~mode ?supplementary ?guard
+      ~source_lines:(Check.line_count src) prog
   in
   { r with phases = { r.phases with preproc = r.phases.preproc +. t_parse } }
 

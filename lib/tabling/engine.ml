@@ -22,10 +22,23 @@
     The engine is parametric in three hooks so that the depth-k analysis
     of Section 5 is this same engine with abstract unification and
     depth-k call/answer abstraction plugged in (the paper does the
-    analogous thing by meta-programming abstract unification in XSB). *)
+    analogous thing by meta-programming abstract unification in XSB).
+
+    {2 Resource governance}
+
+    Evaluation can be governed by a {!Prax_guard.Guard.t}: every
+    resolution step checks the budgets, and on exhaustion the engine
+    does not raise out of a half-mutated state — {!run_status}
+    force-completes every table entry that could still have received
+    answers by widening it to its most general answer (the entry's own
+    call pattern, whose concretization covers everything the entry could
+    ever answer), then reports [Partial].  The tables stay consistent
+    and reusable: later queries replay the widened answers, a sound
+    over-approximation.  See docs/ROBUSTNESS.md. *)
 
 open Prax_logic
 module Metrics = Prax_metrics.Metrics
+module Guard = Prax_guard.Guard
 
 (* Process-wide observability counters (docs/METRICS.md).  Per-engine
    figures remain available through the [stats] record; these global
@@ -82,6 +95,20 @@ let m_widenings =
   Metrics.counter ~units:"answers"
     ~doc:"applications of the answer-widening hook" "engine.widenings"
 
+let m_aborts =
+  Metrics.counter ~units:"aborts"
+    ~doc:
+      "governed runs torn down by budget exhaustion or an exception \
+       unwinding through the engine"
+    "engine.aborts"
+
+let m_forced_completions =
+  Metrics.counter ~units:"entries"
+    ~doc:
+      "table entries force-completed (widened to their most general answer) \
+       after budget exhaustion"
+    "engine.forced_completions"
+
 type hooks = {
   unify : Subst.t -> Term.t -> Term.t -> Subst.t option;
   abstract_call : Term.t -> Term.t;
@@ -109,6 +136,7 @@ type stats = {
   mutable answers : int;  (** distinct answers recorded *)
   mutable duplicates : int;  (** answers filtered by variant check *)
   mutable resumptions : int;  (** consumer deliveries *)
+  mutable forced : int;  (** entries force-completed after an abort *)
 }
 
 type entry = {
@@ -116,6 +144,14 @@ type entry = {
   answers : Term.t Vec.t;
   answer_set : unit Canon.Tbl.t;
   consumers : (Term.t -> unit) Vec.t;
+  deps : entry Vec.t;
+      (** entries this entry's producer consumes from: through a
+          registered consumer, a new answer in a dep can extend this
+          entry's answer set even after its own clause resolution is
+          exhausted, so abort recovery must treat this entry as open
+          whenever a dep is open *)
+  mutable completed : bool;  (** producer exhausted clause resolution *)
+  mutable mark : bool;  (** scratch for abort-recovery closure computation *)
 }
 
 type t = {
@@ -129,6 +165,15 @@ type t = {
       (** the forward-subsumption strategy of Section 6.2: table only the
           most general (open) call per predicate and answer every
           specific call by filtering its answers *)
+  mutable guard : Guard.t;
+  mutable space_words : int;
+      (** incremental table-space estimate, kept exact w.r.t. the
+          {!table_space_bytes} accounting so the guard can check the
+          byte budget in O(1) *)
+  mutable producing : entry list;
+      (** stack of producers currently resolving clauses, innermost
+          first; used to attribute consumer registrations ([deps]) *)
+  mutable run_depth : int;  (** nesting of public [run_status] calls *)
 }
 
 and builtin = t -> Subst.t -> Term.t array -> (Subst.t -> unit) -> unit
@@ -173,7 +218,7 @@ let default_builtins (builtins : (string * int, builtin) Hashtbl.t) =
       | None -> Some s)
 
 let create ?(hooks = concrete_hooks) ?(tabled = fun _ -> true)
-    ?(open_calls = false) db =
+    ?(open_calls = false) ?(guard = Guard.unlimited) db =
   let builtins = Hashtbl.create 16 in
   default_builtins builtins;
   {
@@ -183,10 +228,17 @@ let create ?(hooks = concrete_hooks) ?(tabled = fun _ -> true)
     tables = Canon.Tbl.create 256;
     stats =
       { calls = 0; table_entries = 0; answers = 0; duplicates = 0;
-        resumptions = 0 };
+        resumptions = 0; forced = 0 };
     tabled;
     open_calls;
+    guard;
+    space_words = 0;
+    producing = [];
+    run_depth = 0;
   }
+
+let set_guard e g = e.guard <- g
+let guard e = e.guard
 
 (* the most general call pattern for a goal's predicate *)
 let open_call_of goal =
@@ -199,9 +251,25 @@ let open_call_of goal =
 let register_builtin e name arity (b : builtin) =
   Hashtbl.replace e.builtins (name, arity) b
 
+(* --- table-space accounting -------------------------------------------- *)
+
+(* canonical call and answer terms at one word per node, plus per-entry
+   and per-answer overhead — the same order-of-magnitude accounting as
+   XSB's table statistics, maintained incrementally so the guard's byte
+   budget is O(1) to check *)
+let entry_words call = Term.size call + 8
+let answer_words ans = Term.size ans + 2
+
+let grow_space e words =
+  e.space_words <- e.space_words + words;
+  Guard.note_space e.guard (8 * e.space_words)
+
+let table_space_bytes e : int = 8 * e.space_words
+
 (* --- core resolution --------------------------------------------------- *)
 
 let rec solve e (s : Subst.t) (goal : Term.t) (sc : Subst.t -> unit) : unit =
+  Guard.check e.guard;
   match Subst.walk s goal with
   | Term.Var _ | Term.Int _ -> raise (Not_definite goal)
   | Term.Atom "true" -> sc s
@@ -272,19 +340,33 @@ and solve_tabled e s goal sc =
             answers = Vec.create ();
             answer_set = Canon.Tbl.create 16;
             consumers = Vec.create ();
+            deps = Vec.create ();
+            completed = false;
+            mark = false;
           }
         in
         Canon.Tbl.add e.tables key entry;
         e.stats.table_entries <- e.stats.table_entries + 1;
         Metrics.incr m_call_misses;
+        grow_space e (entry_words key);
         (entry, true)
   in
+  (* Attribute the registration to the producer on whose behalf we
+     consume: new answers in [entry] can extend that producer's answer
+     set even after its own clause resolution finished, so abort
+     recovery must not treat it as closed while [entry] is open. *)
+  (match e.producing with
+  | p :: _ when p != entry ->
+      let n = Vec.length p.deps in
+      if n = 0 || Vec.get p.deps (n - 1) != entry then Vec.push p.deps entry
+  | _ -> ());
   (* The consumer: unify a (renamed-apart) canonical answer with our goal
      instance.  With abstraction enabled the call in the table may be more
      general than [goal]; unifying against [key]'s instance keeps the
      variable correspondence right, so unify goal with the answer term
      directly. *)
   let consumer ans =
+    Guard.check e.guard;
     e.stats.resumptions <- e.stats.resumptions + 1;
     Metrics.incr m_resumptions;
     let inst = Canon.instantiate ans in
@@ -304,6 +386,10 @@ and producer e entry =
   let call = Canon.instantiate entry.call in
   let concrete = e.hooks.unify == Unify.unify in
   let on_success s' =
+    (* the eager-broadcast cascade (answer -> consumer -> new answer)
+       never re-enters [solve], so the guard must also be checked at the
+       answer-offer event or a recursive producer could run unbounded *)
+    Guard.check e.guard;
     Metrics.incr m_answers_offered;
     let ans = e.hooks.abstract_answer (Canon.canonical s' call) in
     let ans =
@@ -322,6 +408,7 @@ and producer e entry =
       Vec.push entry.answers ans;
       e.stats.answers <- e.stats.answers + 1;
       Metrics.incr m_answers_inserted;
+      grow_space e (answer_words ans);
       (* Eager broadcast — but only to the consumers present when the
          answer arrived: a consumer that registers during this loop has
          already snapshotted this answer into its replay (it is in
@@ -333,6 +420,7 @@ and producer e entry =
       done
     end
   in
+  e.producing <- entry :: e.producing;
   List.iter
     (fun c ->
       let activation =
@@ -346,25 +434,169 @@ and producer e entry =
   (* All program clauses for this call variant are exhausted.  With eager
      broadcast there is no separate completion phase; this is the closest
      event to an SCC completion. *)
+  e.producing <- List.tl e.producing;
+  entry.completed <- true;
   Metrics.incr m_completions
+
+(* --- abort recovery ----------------------------------------------------- *)
+
+(* An entry is *closed* iff its producer exhausted clause resolution and
+   every entry it consumes from is closed: only then can no further
+   answer reach it.  The greatest such set is computed by demotion from
+   "every completed entry". *)
+let closed_set e =
+  Canon.Tbl.iter (fun _ entry -> entry.mark <- entry.completed) e.tables;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Canon.Tbl.iter
+      (fun _ entry ->
+        if
+          entry.mark
+          && Vec.fold (fun acc d -> acc || not d.mark) false entry.deps
+        then begin
+          entry.mark <- false;
+          changed := true
+        end)
+      e.tables
+  done
+
+(* Stale consumers hold continuations of the aborted run; none of them
+   may ever be poked again.  Closed entries keep their (exact) answers
+   and will only ever be replayed. *)
+let scrub_entry entry =
+  Vec.clear entry.consumers;
+  Vec.clear entry.deps;
+  entry.completed <- true;
+  entry.mark <- false
+
+(* Budget exhaustion: degrade to a sound over-approximation.  Every
+   entry that could still have received answers is force-completed by
+   widening: its own call pattern is inserted as an answer, and every
+   concrete answer the interrupted run could have derived for the entry
+   is an instance of it.  Returns the number of entries widened. *)
+let force_complete_tables e =
+  closed_set e;
+  let widened = ref 0 in
+  Canon.Tbl.iter
+    (fun _ entry ->
+      if not entry.mark then begin
+        incr widened;
+        e.stats.forced <- e.stats.forced + 1;
+        Metrics.incr m_forced_completions;
+        if not (Canon.Tbl.mem entry.answer_set entry.call) then begin
+          Canon.Tbl.add entry.answer_set entry.call ();
+          Vec.push entry.answers entry.call;
+          e.stats.answers <- e.stats.answers + 1;
+          (* account the widened answer directly: consulting the guard
+             here would re-trip a sticky table-space budget from inside
+             the recovery path *)
+          e.space_words <- e.space_words + answer_words entry.call
+        end
+      end;
+      scrub_entry entry)
+    e.tables;
+  e.producing <- [];
+  !widened
+
+(* A non-guard exception (crashing user builtin, [Not_definite], …):
+   there is no partial result to report, so restore the invariants by
+   discarding every entry whose answer set may be incomplete — a reused
+   engine then re-produces those calls from scratch instead of replaying
+   silently truncated tables. *)
+let recover_after_error e =
+  closed_set e;
+  let stale =
+    Canon.Tbl.fold
+      (fun key entry acc -> if entry.mark then acc else (key, entry) :: acc)
+      e.tables []
+  in
+  List.iter
+    (fun (key, entry) ->
+      e.stats.table_entries <- e.stats.table_entries - 1;
+      e.stats.answers <- e.stats.answers - Vec.length entry.answers;
+      e.space_words <-
+        e.space_words - entry_words entry.call
+        - Vec.fold (fun acc a -> acc + answer_words a) 0 entry.answers;
+      Canon.Tbl.remove e.tables key)
+    stale;
+  Canon.Tbl.iter (fun _ entry -> scrub_entry entry) e.tables;
+  e.producing <- []
+
+(* Table invariants, checked by the fault-injection tests: every entry's
+   answer vector and dedup set agree, and after any abort every entry is
+   completed with no registered consumers or dependency edges. *)
+let tables_consistent ?(after_abort = false) e : bool =
+  Canon.Tbl.fold
+    (fun _ entry ok ->
+      ok
+      && Vec.length entry.answers = Canon.Tbl.length entry.answer_set
+      && Vec.fold
+           (fun acc a -> acc && Canon.Tbl.mem entry.answer_set a)
+           true entry.answers
+      && ((not after_abort)
+         || entry.completed
+            && Vec.length entry.consumers = 0
+            && Vec.length entry.deps = 0))
+    e.tables true
+  && (not after_abort || e.producing = [])
 
 (* --- public API -------------------------------------------------------- *)
 
-(** Enumerate solutions of [goal], calling [k] with each substitution. *)
-let run e (goal : Term.t) (k : Subst.t -> unit) : unit =
-  solve e Subst.empty goal k
+(** Enumerate solutions of [goal] under the engine's guard, calling [k]
+    with each substitution as it is derived.  On budget exhaustion the
+    tables are force-completed (see above) and the result is [Partial];
+    answers already delivered to [k] stand, and the over-approximating
+    widened answers are readable from the tables ({!answers_for}).  On
+    any other exception the tables are restored to a reusable state and
+    the exception is re-raised. *)
+let run_status e (goal : Term.t) (k : Subst.t -> unit) : Guard.status =
+  if e.run_depth > 0 then begin
+    (* nested run (e.g. from a builtin): the outermost invocation owns
+       abort recovery *)
+    solve e Subst.empty goal k;
+    Guard.Complete
+  end
+  else begin
+    e.run_depth <- 1;
+    match solve e Subst.empty goal k with
+    | () ->
+        e.run_depth <- 0;
+        Guard.Complete
+    | exception Guard.Exhausted reason ->
+        e.run_depth <- 0;
+        Metrics.incr m_aborts;
+        let exhausted_entries = force_complete_tables e in
+        Guard.Partial { reason; exhausted_entries }
+    | exception exn ->
+        e.run_depth <- 0;
+        Metrics.incr m_aborts;
+        recover_after_error e;
+        raise exn
+  end
 
-(** Distinct canonical solutions of [goal], in discovery order. *)
-let query e (goal : Term.t) : Term.t list =
+(** Enumerate solutions of [goal], calling [k] with each substitution.
+    Degrades gracefully under a guard (the status is dropped; use
+    {!run_status} to observe it). *)
+let run e (goal : Term.t) (k : Subst.t -> unit) : unit =
+  ignore (run_status e goal k)
+
+(** Distinct canonical solutions of [goal] with the evaluation status. *)
+let query_status e (goal : Term.t) : Term.t list * Guard.status =
   let seen = Canon.Tbl.create 32 in
   let out = Vec.create () in
-  run e goal (fun s ->
-      let a = Canon.canonical s goal in
-      if not (Canon.Tbl.mem seen a) then begin
-        Canon.Tbl.add seen a ();
-        Vec.push out a
-      end);
-  Vec.to_list out
+  let status =
+    run_status e goal (fun s ->
+        let a = Canon.canonical s goal in
+        if not (Canon.Tbl.mem seen a) then begin
+          Canon.Tbl.add seen a ();
+          Vec.push out a
+        end)
+  in
+  (Vec.to_list out, status)
+
+(** Distinct canonical solutions of [goal], in discovery order. *)
+let query e (goal : Term.t) : Term.t list = fst (query_status e goal)
 
 (** The call table: every canonical call variant encountered.  Reading
     input modes off this table is the paper's "input groundness for free"
@@ -391,25 +623,16 @@ let calls_for e (name, arity) : Term.t list =
          | Some (n, a) -> String.equal n name && a = arity
          | None -> false)
 
-(** Table-space estimate in bytes: canonical call and answer terms at one
-    word per node, plus per-entry and per-answer overhead — the same
-    order-of-magnitude accounting as XSB's table statistics. *)
-let table_space_bytes e : int =
-  let words =
-    Canon.Tbl.fold
-      (fun _ entry acc ->
-        let acc = acc + Term.size entry.call + 8 in
-        Vec.fold (fun acc a -> acc + Term.size a + 2) acc entry.answers)
-      e.tables 0
-  in
-  8 * words
-
 let stats e = e.stats
 
 let reset_tables e =
   Canon.Tbl.reset e.tables;
+  e.space_words <- 0;
+  e.producing <- [];
+  e.run_depth <- 0;
   e.stats.calls <- 0;
   e.stats.table_entries <- 0;
   e.stats.answers <- 0;
   e.stats.duplicates <- 0;
-  e.stats.resumptions <- 0
+  e.stats.resumptions <- 0;
+  e.stats.forced <- 0

@@ -11,9 +11,15 @@
     The engine is parametric in {!hooks} so the depth-k analysis
     (Section 5) and the widening extension (Section 6.1) are this same
     engine with abstract unification, call/answer abstraction, or answer
-    widening plugged in. *)
+    widening plugged in.
+
+    Evaluation can be governed by a {!Prax_guard.Guard.t}: budgets are
+    checked on every resolution step, and on exhaustion {!run_status}
+    degrades to a sound partial result instead of raising out of a
+    half-mutated state — see [docs/ROBUSTNESS.md]. *)
 
 open Prax_logic
+module Guard = Prax_guard.Guard
 
 type hooks = {
   unify : Subst.t -> Term.t -> Term.t -> Subst.t option;
@@ -54,13 +60,19 @@ val concrete_hooks : hooks
       resolution; with eager answer broadcast there is no separate
       completion phase, so this is the engine's analogue of an SCC
       completion;
-    - [engine.widenings] — applications of the {!hooks.widen} hook. *)
+    - [engine.widenings] — applications of the {!hooks.widen} hook;
+    - [engine.aborts] — governed runs torn down by budget exhaustion or
+      an exception unwinding through the engine;
+    - [engine.forced_completions] — table entries force-completed
+      (widened to their most general answer) after budget exhaustion
+      (equals {!field-stats.forced} summed over engines). *)
 type stats = {
   mutable calls : int;  (** tabled call occurrences *)
   mutable table_entries : int;  (** distinct call variants *)
   mutable answers : int;  (** distinct answers recorded *)
   mutable duplicates : int;  (** answers filtered by variant check *)
   mutable resumptions : int;  (** consumer deliveries *)
+  mutable forced : int;  (** entries force-completed after an abort *)
 }
 
 type t
@@ -78,25 +90,49 @@ val create :
   ?hooks:hooks ->
   ?tabled:(string * int -> bool) ->
   ?open_calls:bool ->
+  ?guard:Guard.t ->
   Database.t ->
   t
 (** [create db] makes an engine over the clause store.  [tabled]
     selects which predicates are tabled (default: all).  [open_calls]
     enables the Section 6.2 forward-subsumption strategy: only the most
     general call per predicate is tabled and specific calls filter its
-    answers. *)
+    answers.  [guard] governs resource budgets (default
+    {!Guard.unlimited}). *)
+
+val set_guard : t -> Guard.t -> unit
+(** Swap the engine's guard — e.g. a fresh deadline per top-level query,
+    or {!Guard.unlimited} to lift budgets after a partial run. *)
+
+val guard : t -> Guard.t
 
 val register_builtin : t -> string -> int -> builtin -> unit
 
 val solve : t -> Subst.t -> Term.t -> (Subst.t -> unit) -> unit
 (** Low-level entry: enumerate solutions of a goal under a
-    substitution. *)
+    substitution.  No abort recovery — {!Guard.Exhausted} propagates to
+    the caller; prefer {!run_status}. *)
 
 val run : t -> Term.t -> (Subst.t -> unit) -> unit
-(** [run e goal k]: solve [goal] from the empty substitution. *)
+(** [run e goal k]: solve [goal] from the empty substitution.  Degrades
+    gracefully under a guard; the status is dropped (use {!run_status}
+    to observe it). *)
+
+val run_status : t -> Term.t -> (Subst.t -> unit) -> Guard.status
+(** Like {!run}, but reports the evaluation outcome.  On budget
+    exhaustion every table entry that could still have received answers
+    is force-completed by widening it to its most general answer (the
+    entry's own call pattern) and the result is [Partial]: the tables
+    then hold a sound over-approximation and remain consistent and
+    reusable.  On any other exception the affected entries are discarded
+    (so a reused engine re-derives them), invariants are restored, and
+    the exception is re-raised. *)
 
 val query : t -> Term.t -> Term.t list
 (** Distinct canonical solutions, in discovery order. *)
+
+val query_status : t -> Term.t -> Term.t list * Guard.status
+(** Distinct canonical solutions plus the evaluation status. *)
 
 val calls : t -> Term.t list
 (** The call table: every canonical call variant encountered.  Reading
@@ -108,7 +144,14 @@ val answers_for : t -> string * int -> Term.t list
 
 val table_space_bytes : t -> int
 (** Table-space estimate (canonical terms at one word per node plus
-    per-entry overhead), the Table 1/3/4 metric. *)
+    per-entry overhead), the Table 1/3/4 metric.  Maintained
+    incrementally, so O(1). *)
+
+val tables_consistent : ?after_abort:bool -> t -> bool
+(** Table invariants, for tests and debugging: every entry's answer
+    vector and dedup set agree; with [~after_abort:true] additionally
+    every entry is completed with no registered consumers or dependency
+    edges left behind. *)
 
 val stats : t -> stats
 val reset_tables : t -> unit
