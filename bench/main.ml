@@ -11,6 +11,14 @@
 
 open Prax
 
+(* Tabled evaluation is allocation-heavy (activation copies, persistent
+   substitution nodes, canonical answers), and the long-lived survivors
+   are the tables themselves.  The default 256k-word minor heap forces a
+   minor collection every fraction of a millisecond and promotes
+   still-live transients; a workload-sized nursery removes that overhead
+   (docs/PERFORMANCE.md quantifies it). *)
+let () = Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 }
+
 let line = String.make 78 '-'
 
 let section title =
@@ -38,6 +46,12 @@ let best3 f =
   let r3 = f () in
   let m3 = fst r3 in
   if m1 <= m2 && m1 <= m3 then r1 else if m2 <= m3 then r2 else r3
+
+let src n =
+  (Option.get (Benchdata.Registry.find_logic n)).Benchdata.Registry.source
+
+let fsrc n =
+  (Option.get (Benchdata.Registry.find_fp n)).Benchdata.Registry.source
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: Prop-based groundness analysis                             *)
@@ -566,17 +580,34 @@ let statsjson () =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
+let run_bechamel ?(quota = 0.5) ?(kde = Some 1000) tests =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let name = Test.name test in
+      Hashtbl.iter
+        (fun key raw ->
+          let est = Analyze.one ols instance raw in
+          ignore key;
+          match Analyze.OLS.estimates est with
+          | Some [ t ] ->
+              Printf.printf "%-34s %12.1f ns/run\n" name t
+          | _ -> Printf.printf "%-34s (no estimate)\n" name)
+        results)
+    tests
+
 let bechamel () =
   section
     "Bechamel micro-benchmarks: one statistically-sampled representative per \
      table (analysis pipeline end to end)";
   let open Bechamel in
-  let src n =
-    (Option.get (Benchdata.Registry.find_logic n)).Benchdata.Registry.source
-  in
-  let fsrc n =
-    (Option.get (Benchdata.Registry.find_fp n)).Benchdata.Registry.source
-  in
   let tests =
     [
       Test.make ~name:"table1/groundness-qsort"
@@ -593,30 +624,272 @@ let bechamel () =
         (Staged.stage (fun () -> ignore (Depthk.analyze ~k:1 (src "queens"))));
     ]
   in
-  let instance = Toolkit.Instance.monotonic_clock in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
-  in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true
-      ~predictors:[| Measure.run |]
-  in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg [ instance ] test in
-      let name = Test.name test in
-      Hashtbl.iter
-        (fun key raw ->
-          let est = Analyze.one ols instance raw in
-          ignore key;
-          match Analyze.OLS.estimates est with
-          | Some [ t ] ->
-              Printf.printf "%-30s %12.1f ns/run\n" name t
-          | _ -> Printf.printf "%-30s (no estimate)\n" name)
-        results)
-    tests
+  run_bechamel tests
 
 (* ------------------------------------------------------------------ *)
+(* Micro-benchmarks of the term-representation hot paths               *)
+(* ------------------------------------------------------------------ *)
+
+(* The three operations the interned/hash-consed representation is meant
+   to make cheap: head unification, canonicalization for variant table
+   keys, and answer-table insert with duplicate detection.  Variable ids
+   are fixed (disjoint blocks) so every run measures the same work. *)
+let micro_tests () =
+  let open Bechamel in
+  let v i = Logic.Term.var (1000 + i) in
+  let pat =
+    Logic.Term.mk "p"
+      [|
+        v 0;
+        Logic.Term.mk "f" [| v 1; Logic.Term.atom "a" |];
+        Logic.Term.mk "g" [| v 0; v 2 |];
+      |]
+  in
+  let ground_goal =
+    Logic.Parser.parse_term "p(h(b), f(c, a), g(h(b), [1, 2, 3, 4, 5]))"
+  in
+  let variant = Logic.Term.map_vars (fun i -> Logic.Term.var (i + 1000)) pat in
+  let nonground = Logic.Parser.parse_term "f(X, g(Y, h(Z, [A, B | C])), Y)" in
+  let ground_big =
+    Logic.Parser.parse_term "f(1, g(2, h(3, [4, 5, 6, 7, 8])), 9)"
+  in
+  (* 64 offers, 32 distinct: every other insert is a duplicate, the mix
+     the engine's answer tables see on the iff-heavy corpus *)
+  let answers =
+    Array.init 64 (fun i ->
+        Logic.Canon.of_term
+          (Logic.Term.mk "ans"
+             [| Logic.Term.int (i mod 32); Logic.Term.var 0 |]))
+  in
+  [
+    Test.make ~name:"micro/unify-bind"
+      (Staged.stage (fun () ->
+           ignore (Logic.Unify.unify Logic.Subst.empty pat ground_goal)));
+    Test.make ~name:"micro/unify-variant"
+      (Staged.stage (fun () ->
+           ignore (Logic.Unify.unify Logic.Subst.empty pat variant)));
+    Test.make ~name:"micro/canonical-ground"
+      (Staged.stage (fun () ->
+           ignore (Logic.Canon.canonical Logic.Subst.empty ground_big)));
+    Test.make ~name:"micro/canonical-vars"
+      (Staged.stage (fun () ->
+           ignore (Logic.Canon.canonical Logic.Subst.empty nonground)));
+    Test.make ~name:"micro/answer-insert-dedup"
+      (Staged.stage (fun () ->
+           let tbl = Logic.Canon.Tbl.create 64 in
+           Array.iter
+             (fun a ->
+               if not (Logic.Canon.Tbl.mem tbl a) then
+                 Logic.Canon.Tbl.add tbl a ())
+             answers));
+  ]
+
+let micro () =
+  section
+    "Bechamel micro-benchmarks: term-representation hot paths (unify, \
+     canonicalization, answer-table insert/dedup)";
+  run_bechamel (micro_tests ())
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable benchmark dump: BENCH_engine.json                  *)
+(* ------------------------------------------------------------------ *)
+
+let bench_json_file = "BENCH_engine.json"
+
+let tracked_counters =
+  [
+    "engine.call_lookups";
+    "engine.call_hits";
+    "engine.call_misses";
+    "engine.answers_offered";
+    "engine.answers_inserted";
+    "engine.answers_deduped";
+    "engine.consumer_resumptions";
+    "unify.attempts";
+    "unify.failures";
+    "hashcons.hits";
+    "hashcons.misses";
+    "intern.symbols";
+  ]
+
+(* One row per corpus benchmark (Table-1 groundness + Table-3
+   strictness), best of three runs, counters reset per repetition so
+   each row's counters describe exactly the run whose times it reports.
+   The perf trajectory across PRs is tracked by diffing these files;
+   docs/PERFORMANCE.md explains how to read one. *)
+let benchjson () =
+  section
+    ("Machine-readable engine benchmarks -> " ^ bench_json_file
+   ^ " (docs/PERFORMANCE.md explains the fields)");
+  let open Metrics in
+  let counters_now () =
+    List.map (fun c -> (c, Int (counter_value c))) tracked_counters
+  in
+  let row ~analysis ~name ~lines ~pre ~ana ~col ~table_bytes
+      ~(st : Prax_tabling.Engine.stats) ~status ~counters =
+    Obj
+      [
+        ("name", Str name);
+        ("analysis", Str analysis);
+        ("source_lines", Int lines);
+        ( "phases",
+          Obj
+            [
+              ("preprocess", Float pre);
+              ("evaluate", Float ana);
+              ("collect", Float col);
+            ] );
+        ("total_seconds", Float (pre +. ana +. col));
+        ("table_bytes", Int table_bytes);
+        ("table_entries", Int st.Prax_tabling.Engine.table_entries);
+        ("answers", Int st.Prax_tabling.Engine.answers);
+        ("resumptions", Int st.Prax_tabling.Engine.resumptions);
+        ("status", Str (status_cell status));
+        ("counters", Obj counters);
+      ]
+  in
+  let ground_rows =
+    List.map
+      (fun (b : Benchdata.Registry.logic_bench) ->
+        let _, (rep, counters) =
+          best3 (fun () ->
+              Metrics.reset ();
+              let rep =
+                Groundness.analyze ~guard:(bench_guard ())
+                  b.Benchdata.Registry.source
+              in
+              ( Prax_ground.Analyze.total rep.Prax_ground.Analyze.phases,
+                (rep, counters_now ()) ))
+        in
+        let p = rep.Prax_ground.Analyze.phases in
+        Printf.printf "  groundness %-10s analysis %8.4fs  table %7dB\n"
+          b.Benchdata.Registry.name p.Prax_ground.Analyze.analysis
+          rep.Prax_ground.Analyze.table_bytes;
+        row ~analysis:"groundness" ~name:b.Benchdata.Registry.name
+          ~lines:b.Benchdata.Registry.paper_lines
+          ~pre:p.Prax_ground.Analyze.preproc
+          ~ana:p.Prax_ground.Analyze.analysis
+          ~col:p.Prax_ground.Analyze.collection
+          ~table_bytes:rep.Prax_ground.Analyze.table_bytes
+          ~st:rep.Prax_ground.Analyze.engine_stats
+          ~status:rep.Prax_ground.Analyze.status ~counters)
+      Benchdata.Registry.logic_benchmarks
+  in
+  let strict_rows =
+    List.map
+      (fun (b : Benchdata.Registry.fp_bench) ->
+        let _, (rep, counters) =
+          best3 (fun () ->
+              Metrics.reset ();
+              let rep =
+                Strictness.analyze ~guard:(bench_guard ())
+                  b.Benchdata.Registry.source
+              in
+              ( Prax_strict.Analyze.total rep.Prax_strict.Analyze.phases,
+                (rep, counters_now ()) ))
+        in
+        let p = rep.Prax_strict.Analyze.phases in
+        Printf.printf "  strictness %-10s analysis %8.4fs  table %7dB\n"
+          b.Benchdata.Registry.name p.Prax_strict.Analyze.analysis
+          rep.Prax_strict.Analyze.table_bytes;
+        row ~analysis:"strictness" ~name:b.Benchdata.Registry.name
+          ~lines:rep.Prax_strict.Analyze.source_lines
+          ~pre:p.Prax_strict.Analyze.preproc
+          ~ana:p.Prax_strict.Analyze.analysis
+          ~col:p.Prax_strict.Analyze.collection
+          ~table_bytes:rep.Prax_strict.Analyze.table_bytes
+          ~st:rep.Prax_strict.Analyze.engine_stats
+          ~status:rep.Prax_strict.Analyze.status ~counters)
+      Benchdata.Registry.fp_benchmarks
+  in
+  Metrics.reset ();
+  let rows = ground_rows @ strict_rows in
+  let doc =
+    Obj
+      [
+        ("schema", Str "prax.bench");
+        ("schema_version", Int 1);
+        ("stats_schema_version", Int Metrics.schema_version);
+        ("benchmarks", Arr rows);
+      ]
+  in
+  let oc = open_out bench_json_file in
+  output_string oc (json_to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d rows)\n" bench_json_file (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* Smoke: the CI gate over the term representation                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Quick (<~5s) representation-invariant checks plus a short-quota run
+   of the micro-benchmarks, exiting nonzero on any violation so a
+   representation regression fails the CI workflow loudly. *)
+let smoke () =
+  section
+    "Smoke: term-representation invariants + short-quota micro-benchmarks \
+     (CI gate; nonzero exit on failure)";
+  let failed = ref false in
+  let check name ok =
+    Printf.printf "  %-52s %s\n" name (if ok then "ok" else "FAIL");
+    if not ok then failed := true
+  in
+  let a = Logic.Term.mk "pt" [| Logic.Term.int 1; Logic.Term.atom "smoke" |] in
+  let b = Logic.Term.mk "pt" [| Logic.Term.int 1; Logic.Term.atom "smoke" |] in
+  check "structurally equal structs are physically equal" (a == b);
+  check "atoms are interned"
+    (Logic.Term.atom "smoke" == Logic.Term.atom "smoke");
+  check "O(1) size from the meta word" (Logic.Term.size a = 3);
+  check "O(1) ground flag" (Logic.Term.is_ground a);
+  check "O(1) ground flag (negative)"
+    (not (Logic.Term.is_ground (Logic.Term.mk "f" [| Logic.Term.var 0 |])));
+  check "variant check via canonical forms"
+    (Logic.Canon.variant
+       (Logic.Parser.parse_term "f(X, g(X, Y))")
+       (Logic.Parser.parse_term "f(A, g(A, B))"));
+  Metrics.reset ();
+  ignore (Logic.Term.atom "smoke_fresh_symbol_probe");
+  let rep = Groundness.analyze (src "qsort") in
+  check "groundness(qsort) completes"
+    (match rep.Prax_ground.Analyze.status with
+    | Guard.Complete -> true
+    | Guard.Partial _ -> false);
+  check "table space accounted" (rep.Prax_ground.Analyze.table_bytes > 0);
+  check "hash-cons counters live"
+    (Metrics.counter_value "hashcons.hits"
+     + Metrics.counter_value "hashcons.misses"
+     > 0);
+  check "symbol-intern counter live"
+    (Metrics.counter_value "intern.symbols" > 0);
+  Metrics.reset ();
+  run_bechamel ~quota:0.05 ~kde:None (micro_tests ());
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Profiling loop: run one groundness analysis many times in-process   *)
+(* so sampling profilers (gprofng, perf) get enough samples.           *)
+(* ------------------------------------------------------------------ *)
+
+let profile () =
+  let name =
+    try Sys.getenv "PROFILE_BENCH" with Not_found -> "read"
+  in
+  let reps =
+    try int_of_string (Sys.getenv "PROFILE_REPS") with _ -> 400
+  in
+  section
+    (Printf.sprintf "Profile loop: groundness on %s x%d (for sampling \
+                     profilers; PROFILE_BENCH / PROFILE_REPS to override)"
+       name reps);
+  let source = src name in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Groundness.analyze ~guard:(bench_guard ()) source)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%d runs in %.3fs (%.4fs/run)\n%!" reps dt
+    (dt /. float_of_int reps)
 
 let sections =
   [
@@ -634,13 +907,22 @@ let sections =
     ("ext_widening", ext_widening);
     ("ext_types", ext_types);
     ("statsjson", statsjson);
+    ("benchjson", benchjson);
     ("bechamel", bechamel);
+    ("micro", micro);
+    ("smoke", smoke);
+    ("profile", profile);
   ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
-  | [] -> List.iter (fun (_, f) -> f ()) sections
+  | [] ->
+      (* the profiling loop is opt-in: it exists for sampling profilers,
+         not for the report *)
+      List.iter
+        (fun (n, f) -> if n <> "profile" then f ())
+        sections
   | names ->
       List.iter
         (fun n ->

@@ -206,24 +206,24 @@ let handle_directive s (d : Logic.Term.t) =
   | Logic.Term.Atom "halt" -> raise Quit
   | Logic.Term.Atom "tables" -> show_tables s
   | Logic.Term.Atom "stats" -> show_stats s
-  | Logic.Term.Struct ("stats", [| Logic.Term.Atom "json" |]) ->
+  | Logic.Term.Struct ("stats", [| Logic.Term.Atom "json" |], _) ->
       show_stats_json s
   | Logic.Term.Atom "listing" -> show_listing s
   | Logic.Term.Atom "limits" -> show_limits s
-  | Logic.Term.Struct ("set_limit", args) -> set_limit s args
+  | Logic.Term.Struct ("set_limit", args, _) -> set_limit s args
   | Logic.Term.Atom "reset" ->
       refresh s;
       print_endline "tables cleared."
-  | Logic.Term.Struct ("sld", [| g |]) -> show_sld s g
-  | Logic.Term.Struct ("consult", [| Logic.Term.Atom path |]) -> (
+  | Logic.Term.Struct ("sld", [| g |], _) -> show_sld s g
+  | Logic.Term.Struct ("consult", [| Logic.Term.Atom path |], _) -> (
       match In_channel.with_open_text path In_channel.input_all with
       | src -> consult s src
       | exception Sys_error m -> Printf.printf "cannot read %s: %s\n" path m)
-  | Logic.Term.Struct ("bench", [| Logic.Term.Atom name |]) -> (
+  | Logic.Term.Struct ("bench", [| Logic.Term.Atom name |], _) -> (
       match Benchdata.Registry.find_logic name with
       | Some b -> consult s b.Benchdata.Registry.source
       | None -> Printf.printf "unknown benchmark %s\n" name)
-  | Logic.Term.Struct (("assert" | "assertz"), [| t |]) ->
+  | Logic.Term.Struct (("assert" | "assertz"), [| t |], _) ->
       (match Logic.Parser.clause_of_term t with
       | Logic.Parser.Clause c ->
           Logic.Database.assertz s.db c;

@@ -498,6 +498,10 @@ let widen_cmd =
     Term.(const run $ input $ bench $ chain)
 
 let () =
+  (* workload-sized nursery: tabled evaluation is allocation-heavy and
+     the default 256k-word minor heap costs 20-30% of the analysis phase
+     in collections (docs/PERFORMANCE.md) *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
   let doc =
     "practical program analysis on a general-purpose tabled logic \
      programming system (PLDI'96 reproduction)"

@@ -66,7 +66,7 @@ let () =
         let atom t =
           match t with
           | Logic.Term.Atom n -> { Bottomup.Datalog.pred = (n, 0); args = [||] }
-          | Logic.Term.Struct (n, args) ->
+          | Logic.Term.Struct (n, args, _) ->
               { Bottomup.Datalog.pred = (n, Array.length args); args }
           | _ -> assert false
         in
@@ -97,7 +97,7 @@ let () =
   let q =
     {
       Bottomup.Datalog.pred = ("above", 2);
-      args = [| Logic.Term.Atom "gil"; Logic.Term.fresh_var () |];
+      args = [| Logic.Term.atom "gil"; Logic.Term.fresh_var () |];
     }
   in
   let mrules, mq = Bottomup.Magic.magic rules q in

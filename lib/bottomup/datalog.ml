@@ -65,7 +65,13 @@ module Tuple = struct
   type t = Term.t array
 
   let equal a b = Array.length a = Array.length b && Array.for_all2 Term.equal a b
-  let hash (t : t) = Hashtbl.hash (Array.map Term.hash t)
+
+  (* fold the O(1) per-term hashes directly instead of materializing an
+     intermediate int array for Hashtbl.hash to walk *)
+  let hash (t : t) =
+    Array.fold_left
+      (fun acc x -> ((acc * 65599) + Term.hash x) land max_int)
+      (Array.length t) t
 end
 
 module TupleTbl = Hashtbl.Make (Tuple)

@@ -18,8 +18,8 @@ exception Not_convertible of string
 (* expand ;/2 into alternative conjunction lists *)
 let rec alternatives (g : Term.t) : Term.t list list =
   match g with
-  | Term.Struct (";", [| a; b |]) -> alternatives a @ alternatives b
-  | Term.Struct (",", [| a; b |]) ->
+  | Term.Struct (";", [| a; b |], _) -> alternatives a @ alternatives b
+  | Term.Struct (",", [| a; b |], _) ->
       List.concat_map
         (fun la -> List.map (fun lb -> la @ lb) (alternatives b))
         (alternatives a)
@@ -38,7 +38,7 @@ let body_alternatives (body : Term.t list) : Term.t list list =
 let solve_equalities (goals : Term.t list) : (Subst.t * Term.t list) option =
   let rec go s acc = function
     | [] -> Some (s, List.rev acc)
-    | Term.Struct ("=", [| a; b |]) :: rest -> (
+    | Term.Struct ("=", [| a; b |], _) :: rest -> (
         match Unify.unify s a b with
         | Some s' -> go s' acc rest
         | None -> None)
@@ -50,12 +50,12 @@ let solve_equalities (goals : Term.t list) : (Subst.t * Term.t list) option =
 let atom_of_term (t : Term.t) : Datalog.atom =
   match t with
   | Term.Atom name -> { Datalog.pred = (name, 0); args = [||] }
-  | Term.Struct ("iff", args) ->
+  | Term.Struct ("iff", args, _) ->
       {
         Datalog.pred = (Printf.sprintf "$iff_%d" (Array.length args), Array.length args);
         args;
       }
-  | Term.Struct (name, args) -> { Datalog.pred = (name, Array.length args); args }
+  | Term.Struct (name, args, _) -> { Datalog.pred = (name, Array.length args); args }
   | _ -> raise (Not_convertible (Pretty.term_to_string t))
 
 (* ground the variables of a fact over the value domain *)
@@ -106,7 +106,7 @@ let make_safe domain_needed (head : Datalog.atom) (body : Datalog.atom list) :
   if unsafe <> [] then domain_needed := true;
   body
   @ List.map
-      (fun v -> { Datalog.pred = dom_pred; args = [| Term.Var v |] })
+      (fun v -> { Datalog.pred = dom_pred; args = [| Term.var v |] })
       unsafe
 
 (** Convert abstract clauses to Datalog rules over the given finite value
@@ -160,7 +160,7 @@ let convert ~(domain : Term.t list) (clauses : Parser.clause list) :
                        Array.of_list
                          (List.map
                             (fun b ->
-                              Term.Atom (if b then "true" else "false"))
+                              Term.atom (if b then "true" else "false"))
                             row);
                    };
                  body = [];
@@ -177,5 +177,5 @@ let convert ~(domain : Term.t list) (clauses : Parser.clause list) :
   in
   rules @ iff_facts @ dom_facts
 
-let bool_domain = [ Term.Atom "true"; Term.Atom "false" ]
-let demand_domain = [ Term.Atom "e"; Term.Atom "d"; Term.Atom "n" ]
+let bool_domain = [ Term.atom "true"; Term.atom "false" ]
+let demand_domain = [ Term.atom "e"; Term.atom "d"; Term.atom "n" ]

@@ -291,7 +291,7 @@ let supplementary (rules : Datalog.rule list) (query : Datalog.atom) :
               let sup =
                 {
                   Datalog.pred = sup_pred (i + 1) keep;
-                  args = Array.of_list (List.map (fun v -> Term.Var v) keep);
+                  args = Array.of_list (List.map (fun v -> Term.var v) keep);
                 }
               in
               out := { Datalog.head = sup; body = [ !prev; b ] } :: !out;

@@ -33,14 +33,14 @@ let query t goal_src =
     demand: tabled evaluation explores only what the query needs. *)
 let reaches t ~var ~def ~node : bool =
   let goal =
-    Term.mkl "reach" [ Encode.def_term var def; Term.Int node ]
+    Term.mkl "reach" [ Encode.def_term var def; Term.int node ]
   in
   Metrics.time t_query (fun () -> Engine.query t.engine goal <> [])
 
 (** All definitions reaching [node] — the exhaustive question. *)
 let reaching_at t ~node : (string * int) list =
   let v = Term.fresh_var () and m = Term.fresh_var () in
-  let goal = Term.mkl "reach" [ Term.mkl "def" [ v; m ]; Term.Int node ] in
+  let goal = Term.mkl "reach" [ Term.mkl "def" [ v; m ]; Term.int node ] in
   let out = ref [] in
   Metrics.time t_query (fun () ->
       Engine.run t.engine goal (fun s ->
@@ -51,7 +51,7 @@ let reaching_at t ~node : (string * int) list =
 
 let live_at t ~node : string list =
   let v = Term.fresh_var () in
-  let goal = Term.mkl "livein" [ v; Term.Int node ] in
+  let goal = Term.mkl "livein" [ v; Term.int node ] in
   let out = ref [] in
   Metrics.time t_query (fun () ->
       Engine.run t.engine goal (fun s ->

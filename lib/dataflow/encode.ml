@@ -15,7 +15,7 @@
 
 open Prax_logic
 
-let int i = Term.Int i
+let int i = Term.int i
 let atom = Term.atom
 
 let def_term var node = Term.mkl "def" [ atom var; int node ]

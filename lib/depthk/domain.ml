@@ -13,15 +13,14 @@
 
 open Prax_logic
 
-let gamma = Term.Atom "$gamma"
+let gamma = Term.atom "$gamma"
 
 let is_gamma = function Term.Atom "$gamma" -> true | _ -> false
 
-(** Ground in the abstract sense: no variables (γ counts as ground). *)
-let rec a_ground = function
-  | Term.Var _ -> false
-  | Term.Int _ | Term.Atom _ -> true
-  | Term.Struct (_, args) -> Array.for_all a_ground args
+(** Ground in the abstract sense: no variables (γ counts as ground).
+    γ is a 0-ary symbol, hence ground in the syntactic sense too, so this
+    coincides with {!Term.is_ground} — an O(1) flag read. *)
+let a_ground = Term.is_ground
 
 (* Constrain [t] to denote only ground terms: variables are bound to γ;
    structures recurse.  Fails never (grounding is always satisfiable). *)
@@ -29,7 +28,7 @@ let rec ground_term (s : Subst.t) (t : Term.t) : Subst.t =
   match Subst.walk s t with
   | Term.Var v -> Subst.bind s v gamma
   | Term.Int _ | Term.Atom _ -> s
-  | Term.Struct (_, args) -> Array.fold_left ground_term s args
+  | Term.Struct (_, args, _) -> Array.fold_left ground_term s args
 
 (** Abstract unification with occur-check. *)
 let rec unify (s : Subst.t) (t1 : Term.t) (t2 : Term.t) : Subst.t option =
@@ -44,7 +43,7 @@ let rec unify (s : Subst.t) (t1 : Term.t) (t2 : Term.t) : Subst.t option =
       Some (ground_term s t)
   | Term.Int a, Term.Int b -> if a = b then Some s else None
   | Term.Atom a, Term.Atom b -> if String.equal a b then Some s else None
-  | Term.Struct (f, a1), Term.Struct (g, a2)
+  | Term.Struct (f, a1, _), Term.Struct (g, a2, _)
     when String.equal f g && Array.length a1 = Array.length a2 ->
       let n = Array.length a1 in
       let rec go s i =
@@ -65,9 +64,9 @@ let truncate ~k (t : Term.t) : Term.t =
   let rec go depth t =
     match t with
     | Term.Var _ | Term.Int _ | Term.Atom _ -> t
-    | Term.Struct (f, args) ->
+    | Term.Struct (_, args, _) ->
         if depth >= k then if a_ground t then gamma else Term.fresh_var ()
-        else Term.Struct (f, Array.map (go (depth + 1)) args)
+        else Term.rebuild t (Array.map (go (depth + 1)) args)
   in
   go 0 t
 

@@ -49,12 +49,12 @@ module Make (B : Boolfun.S) = struct
       Term.map_vars
         (fun v ->
           match Hashtbl.find_opt tbl v with
-          | Some p -> Term.Var p
+          | Some p -> Term.var p
           | None ->
               let p = !next in
               incr next;
               Hashtbl.add tbl v p;
-              Term.Var p)
+              Term.var p)
         t
     in
     let head = remap c.Parser.head in
@@ -110,19 +110,19 @@ module Make (B : Boolfun.S) = struct
     match g with
     | Term.Atom "true" -> sigma
     | Term.Atom ("fail" | "false") -> B.bottom nvars
-    | Term.Struct (",", [| a; b |]) ->
+    | Term.Struct (",", [| a; b |], _) ->
         eval_body st nvars sigma [ a; b ]
-    | Term.Struct (";", [| a; b |]) ->
+    | Term.Struct (";", [| a; b |], _) ->
         let s1 = eval_body st nvars sigma (Term.conjuncts a) in
         let s2 = eval_body st nvars sigma (Term.conjuncts b) in
         B.disj s1 s2
-    | Term.Struct ("=", [| Term.Var x; rhs |]) -> (
+    | Term.Struct ("=", [| Term.Var x; rhs |], _) -> (
         match rhs with
         | Term.Atom "true" -> B.conj sigma (B.lit nvars x true)
         | Term.Atom "false" -> B.conj sigma (B.lit nvars x false)
         | Term.Var y -> B.conj sigma (B.iff_c nvars x [ y ])
         | _ -> invalid_arg "Absint: unexpected = rhs")
-    | Term.Struct ("iff", args) -> (
+    | Term.Struct ("iff", args, _) -> (
         match arg_positions args with
         | `Pos x :: rest ->
             let set =
@@ -135,7 +135,7 @@ module Make (B : Boolfun.S) = struct
             in
             B.conj sigma (B.iff_c nvars x set)
         | _ -> invalid_arg "Absint: iff lhs must be a variable")
-    | Term.Struct (name, args) -> solve_literal st nvars sigma name args
+    | Term.Struct (name, args, _) -> solve_literal st nvars sigma name args
     | Term.Atom name -> solve_literal st nvars sigma name [||]
     | _ -> invalid_arg "Absint: unexpected goal"
 

@@ -35,21 +35,21 @@ type ctx = {
 
 let target_var ctx v =
   match List.assoc_opt v ctx.map with
-  | Some tv -> Term.Var tv
+  | Some tv -> Term.var tv
   | None ->
       let tv = Term.fresh_id () in
       ctx.map <- (v, tv) :: ctx.map;
-      Term.Var tv
+      Term.var tv
 
 (* iff(alpha, TX1..TXk) for the variables of [t]; degenerate cases emitted
    as unifications to keep the abstract program small (the "coding for the
    evaluation mechanism" the paper describes). *)
 let abstract_arg ctx (t : Term.t) (alpha : Term.t) : Term.t list =
   match t with
-  | Term.Var v -> [ Term.Struct ("=", [| alpha; target_var ctx v |]) ]
+  | Term.Var v -> [ Term.mk "=" [| alpha; target_var ctx v |] ]
   | _ ->
       let vs = Term.vars t in
-      if vs = [] then [ Term.Struct ("=", [| alpha; Term.Atom "true" |]) ]
+      if vs = [] then [ Term.mk "=" [| alpha; Term.true_ |] ]
       else begin
         ctx.max_iff_arity <- max ctx.max_iff_arity (List.length vs);
         [
@@ -60,14 +60,14 @@ let abstract_arg ctx (t : Term.t) (alpha : Term.t) : Term.t list =
 (* all variables of [t] become ground *)
 let ground_all ctx t =
   List.map
-    (fun v -> Term.Struct ("=", [| target_var ctx v; Term.Atom "true" |]))
+    (fun v -> Term.mk "=" [| target_var ctx v; Term.true_ |])
     (Term.vars t)
 
 (* abstraction of X = t bindings from a static mgu *)
 let abstract_bindings ctx (s : Subst.t) vars_involved : Term.t list =
   List.concat_map
     (fun v ->
-      match Subst.walk s (Term.Var v) with
+      match Subst.walk s (Term.var v) with
       | Term.Var v' when v' = v -> []
       | t -> abstract_arg ctx (Subst.resolve s t) (target_var ctx v))
     vars_involved
@@ -76,59 +76,59 @@ let rec abstract_goal ctx (g : Term.t) : Term.t list =
   match g with
   | Term.Atom ("true" | "!" | "nl" | "fail" | "false" | "halt" | "listing") ->
       (* [fail] must keep failing abstractly *)
-      if g = Term.Atom "fail" || g = Term.Atom "false" then [ Term.Atom "fail" ]
+      if g = Term.fail_ || g = Term.atom "false" then [ Term.fail_ ]
       else []
   | Term.Atom name ->
-      if Hashtbl.mem ctx.defined (name, 0) then [ Term.Atom (prefix ^ name) ]
+      if Hashtbl.mem ctx.defined (name, 0) then [ Term.atom (prefix ^ name) ]
       else []
-  | Term.Struct (",", [| a; b |]) -> abstract_goal ctx a @ abstract_goal ctx b
-  | Term.Struct (";", [| a; b |]) ->
+  | Term.Struct (",", [| a; b |], _) -> abstract_goal ctx a @ abstract_goal ctx b
+  | Term.Struct (";", [| a; b |], _) ->
       let a' = Term.conj (abstract_goal ctx a) in
       let b' = Term.conj (abstract_goal ctx b) in
-      [ Term.Struct (";", [| a'; b' |]) ]
-  | Term.Struct ("->", [| c; t |]) ->
+      [ Term.mk ";" [| a'; b' |] ]
+  | Term.Struct ("->", [| c; t |], _) ->
       abstract_goal ctx c @ abstract_goal ctx t
-  | Term.Struct ("\\+", [| _ |]) | Term.Struct ("not", [| _ |]) ->
+  | Term.Struct ("\\+", [| _ |], _) | Term.Struct ("not", [| _ |], _) ->
       (* negation binds nothing on success *)
       []
-  | Term.Struct ("=", [| t1; t2 |]) -> (
+  | Term.Struct ("=", [| t1; t2 |], _) -> (
       match Unify.unify_oc Subst.empty t1 t2 with
       | None ->
           (* genuine clash → clause cannot succeed; occur-check-only
              failure → concrete Prolog may still succeed (cyclic term), so
              claim nothing *)
           if Option.is_none (Unify.unify Subst.empty t1 t2) then
-            [ Term.Atom "fail" ]
+            [ Term.fail_ ]
           else []
       | Some s ->
           let vs =
             List.sort_uniq Int.compare (Term.vars t1 @ Term.vars t2)
           in
           abstract_bindings ctx s vs)
-  | Term.Struct ("\\=", [| _; _ |]) -> []
-  | Term.Struct ("is", [| x; e |]) -> ground_all ctx e @ ground_all ctx x
-  | Term.Struct (("=:=" | "=\\=" | "<" | ">" | "=<" | ">="), [| a; b |]) ->
+  | Term.Struct ("\\=", [| _; _ |], _) -> []
+  | Term.Struct ("is", [| x; e |], _) -> ground_all ctx e @ ground_all ctx x
+  | Term.Struct (("=:=" | "=\\=" | "<" | ">" | "=<" | ">="), [| a; b |], _) ->
       ground_all ctx a @ ground_all ctx b
-  | Term.Struct (("atom" | "atomic" | "number" | "integer" | "ground"), [| t |])
+  | Term.Struct (("atom" | "atomic" | "number" | "integer" | "ground"), [| t |], _)
     ->
       ground_all ctx t
-  | Term.Struct (("var" | "nonvar" | "compound"), [| _ |]) -> []
-  | Term.Struct ("==", [| t1; t2 |]) ->
+  | Term.Struct (("var" | "nonvar" | "compound"), [| _ |], _) -> []
+  | Term.Struct ("==", [| t1; t2 |], _) ->
       (* identical terms have identical groundness *)
       let alpha = Term.fresh_var () in
       abstract_arg ctx t1 alpha @ abstract_arg ctx t2 alpha
-  | Term.Struct (("\\==" | "@<" | "@>" | "@=<" | "@>="), [| _; _ |]) -> []
-  | Term.Struct ("compare", [| o; _; _ |]) -> ground_all ctx o
-  | Term.Struct ("functor", [| _; f; a |]) -> ground_all ctx f @ ground_all ctx a
-  | Term.Struct ("arg", [| n; _; _ |]) -> ground_all ctx n
-  | Term.Struct (("write" | "print" | "tab" | "name"), _) -> []
-  | Term.Struct ("call", [| g |]) -> abstract_goal ctx g
-  | Term.Struct ("findall", [| _; g; _ |]) ->
+  | Term.Struct (("\\==" | "@<" | "@>" | "@=<" | "@>="), [| _; _ |], _) -> []
+  | Term.Struct ("compare", [| o; _; _ |], _) -> ground_all ctx o
+  | Term.Struct ("functor", [| _; f; a |], _) -> ground_all ctx f @ ground_all ctx a
+  | Term.Struct ("arg", [| n; _; _ |], _) -> ground_all ctx n
+  | Term.Struct (("write" | "print" | "tab" | "name"), _, _) -> []
+  | Term.Struct ("call", [| g |], _) -> abstract_goal ctx g
+  | Term.Struct ("findall", [| _; g; _ |], _) ->
       (* inner bindings do not escape; analyze a renamed copy for failure
          propagation only, leaving the result list unconstrained *)
       let g' = Term.rename g in
       abstract_goal ctx g'
-  | Term.Struct (name, args) ->
+  | Term.Struct (name, args, _) ->
       let arity = Array.length args in
       if Hashtbl.mem ctx.defined (name, arity) then begin
         let alphas = Array.map (fun _ -> Term.fresh_var ()) args in
@@ -138,7 +138,7 @@ let rec abstract_goal ctx (g : Term.t) : Term.t list =
                (fun i t -> abstract_arg ctx t alphas.(i))
                (Array.to_list args))
         in
-        arg_lits @ [ Term.Struct (prefix ^ name, alphas) ]
+        arg_lits @ [ Term.mk (prefix ^ name) alphas ]
       end
       else
         (* unknown predicate: no groundness information on success *)
@@ -153,7 +153,7 @@ let abstract_clause ctx (c : Parser.clause) : Parser.clause =
   let name, args =
     match c.Parser.head with
     | Term.Atom a -> (a, [||])
-    | Term.Struct (f, args) -> (f, args)
+    | Term.Struct (f, args, _) -> (f, args)
     | _ -> invalid_arg "Transform.abstract_clause: bad clause head"
   in
   let alphas = Array.map (fun _ -> Term.fresh_var ()) args in

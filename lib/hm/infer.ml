@@ -23,9 +23,9 @@ exception Type_error of string
 
 let terr fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
 
-let tint = Term.Atom "int"
-let tbool = Term.Atom "bool"
-let tlist t = Term.Struct ("list", [| t |])
+let tint = Term.atom "int"
+let tbool = Term.atom "bool"
+let tlist t = Term.mk "list" [| t |]
 let tfun args res = Term.mkl "fn" (args @ [ res ])
 
 (** A type scheme quantifies only the variables that are not free in the
@@ -118,11 +118,11 @@ let instantiate_scheme env (sc : scheme) : Term.t list * Term.t =
               let fresh = Term.fresh_var () in
               Hashtbl.add tbl v fresh;
               fresh)
-        else Term.Var v)
+        else Term.var v)
       body
   in
   match inst with
-  | Term.Struct ("fn", parts) ->
+  | Term.Struct ("fn", parts, _) ->
       let n = Array.length parts in
       (Array.to_list (Array.sub parts 0 (n - 1)), parts.(n - 1))
   | t -> ([], t)
@@ -132,7 +132,7 @@ let fn_type env f arity : Term.t list * Term.t =
   | Some t -> (
       (* within the current SCC: monomorphic *)
       match Subst.walk env.subst t with
-      | Term.Struct ("fn", parts) ->
+      | Term.Struct ("fn", parts, _) ->
           let n = Array.length parts in
           (Array.to_list (Array.sub parts 0 (n - 1)), parts.(n - 1))
       | _ -> assert false)
@@ -317,7 +317,7 @@ let infer (p : Ast.program) : result list =
         (fun (c, (res, _)) ->
           match Subst.walk env.subst res with
           | Term.Var v ->
-              env.subst <- Subst.bind env.subst v (Term.Atom ("dt$" ^ c))
+              env.subst <- Subst.bind env.subst v (Term.atom ("dt$" ^ c))
           | _ -> ())
         cons_sorted;
       (* generalize: quantify the variables not free in the constructor
@@ -350,14 +350,14 @@ let tyvar_name i =
 let rec type_to_string = function
   | Term.Var i -> tyvar_name i
   | Term.Atom a -> a
-  | Term.Struct ("list", [| t |]) -> Printf.sprintf "list(%s)" (type_to_string t)
-  | Term.Struct ("fn", parts) ->
+  | Term.Struct ("list", [| t |], _) -> Printf.sprintf "list(%s)" (type_to_string t)
+  | Term.Struct ("fn", parts, _) ->
       let n = Array.length parts in
       let args = Array.to_list (Array.sub parts 0 (n - 1)) in
       Printf.sprintf "(%s) -> %s"
         (String.concat ", " (List.map type_to_string args))
         (type_to_string parts.(n - 1))
-  | Term.Struct (f, args) ->
+  | Term.Struct (f, args, _) ->
       Printf.sprintf "%s(%s)" f
         (String.concat ", " (Array.to_list (Array.map type_to_string args)))
   | Term.Int i -> string_of_int i

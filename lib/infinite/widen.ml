@@ -22,7 +22,7 @@
 
 open Prax_logic
 
-let omega = Term.Atom "$omega"
+let omega = Term.atom "$omega"
 
 (** Depth of a numeral [s^k(z)]: [Some (k, base)] where [base] is [`Zero]
     for a complete numeral or [`Var]/[`Omega] for a partial one. *)
@@ -30,7 +30,7 @@ let rec numeral_shape = function
   | Term.Int 0 | Term.Atom "0" -> Some (0, `Zero)
   | Term.Atom "$omega" -> Some (0, `Omega)
   | Term.Var _ -> Some (0, `Var)
-  | Term.Struct ("s", [| t |]) -> (
+  | Term.Struct ("s", [| t |], _) -> (
       match numeral_shape t with
       | Some (k, base) -> Some (k + 1, base)
       | None -> None)
@@ -48,7 +48,7 @@ let numeral_depth t =
     all of them, replace it by ω. *)
 let widen_answers ~chain ~previous (ans : Term.t) : Term.t =
   match ans with
-  | Term.Struct (f, args) ->
+  | Term.Struct (f, args, _) ->
       let args' =
         Array.mapi
           (fun i a ->
@@ -58,7 +58,7 @@ let widen_answers ~chain ~previous (ans : Term.t) : Term.t =
                   List.filter_map
                     (fun prev ->
                       match prev with
-                      | Term.Struct (g, pargs)
+                      | Term.Struct (g, pargs, _)
                         when String.equal f g && Array.length pargs = Array.length args ->
                           if is_complete_numeral pargs.(i) then
                             numeral_depth pargs.(i)
@@ -75,13 +75,13 @@ let widen_answers ~chain ~previous (ans : Term.t) : Term.t =
             | _ -> a)
           args
       in
-      Term.Struct (f, args')
+      Term.rebuild ans args'
   | _ -> ans
 
 (* generalize deep numeral call arguments to variables *)
 let generalize_call ~chain (call : Term.t) : Term.t =
   match call with
-  | Term.Struct (f, args) ->
+  | Term.Struct (_, args, _) ->
       let args' =
         Array.map
           (fun a ->
@@ -90,7 +90,7 @@ let generalize_call ~chain (call : Term.t) : Term.t =
             | _ -> a)
           args
       in
-      Term.Struct (f, args')
+      Term.rebuild call args'
   | _ -> call
 
 (** ω-aware unification: ω stands for "any numeral at least as deep as
@@ -107,7 +107,7 @@ let rec unify (s : Subst.t) t1 t2 =
   | Term.Var i, t | t, Term.Var i -> Some (Subst.bind s i t)
   | Term.Int a, Term.Int b -> if a = b then Some s else None
   | Term.Atom a, Term.Atom b -> if String.equal a b then Some s else None
-  | Term.Struct (f, a1), Term.Struct (g, a2)
+  | Term.Struct (f, a1, _), Term.Struct (g, a2, _)
     when String.equal f g && Array.length a1 = Array.length a2 ->
       let n = Array.length a1 in
       let rec go s i =
@@ -130,8 +130,8 @@ let rec normalize ~chain (t : Term.t) : Term.t =
   | Some (k, `Var) when k > chain -> Term.fresh_var ()
   | _ -> (
       match t with
-      | Term.Struct (f, args) ->
-          Term.Struct (f, Array.map (normalize ~chain) args)
+      | Term.Struct (_, args, _) ->
+          Term.rebuild t (Array.map (normalize ~chain) args)
       | _ -> t)
 
 let hooks ~chain : Prax_tabling.Engine.hooks =
@@ -155,7 +155,7 @@ type report = { results : pred_result list; engine_stats : Prax_tabling.Engine.s
 
 let rec contains_omega = function
   | Term.Atom "$omega" -> true
-  | Term.Struct (_, args) -> Array.exists contains_omega args
+  | Term.Struct (_, args, _) -> Array.exists contains_omega args
   | _ -> false
 
 let analyze ?(chain = 3) (src : string) : report =

@@ -8,21 +8,58 @@
     consistently, so they serve directly as hash-table keys. *)
 
 (** [canonical s t] resolves [t] under [s] and renumbers its free
-    variables in first-occurrence order. *)
+    variables in first-occurrence order, in a single traversal: each node
+    is dereferenced through [s] as it is visited, ground subterms are
+    returned as-is (an O(1) flag check), and unbound variables are
+    renumbered on the spot.  Fusing resolution with renumbering avoids
+    building the intermediate resolvent that a [Subst.resolve] +
+    [Term.map_vars] pipeline would allocate; a node whose children come
+    back physically unchanged is shared, so an already-canonical term is
+    returned as-is. *)
 let canonical (s : Subst.t) (t : Term.t) : Term.t =
-  let resolved = Subst.resolve s t in
-  let tbl = Hashtbl.create 8 in
-  let next = ref 0 in
-  Term.map_vars
-    (fun i ->
-      match Hashtbl.find_opt tbl i with
-      | Some v -> v
-      | None ->
-          let v = Term.Var !next in
-          incr next;
-          Hashtbl.add tbl i v;
-          v)
-    resolved
+  (* renumbering table as a linear scan: tabled calls and answers carry a
+     handful of distinct variables, where a scan over a small array beats
+     allocating a hash table per call *)
+  let seen = ref (Array.make 8 0) in
+  let n = ref 0 in
+  let renumber i =
+    let arr = !seen and k = !n in
+    let rec find j =
+      if j >= k then -1 else if arr.(j) = i then j else find (j + 1)
+    in
+    let j = find 0 in
+    if j >= 0 then Term.var j
+    else begin
+      if k >= Array.length arr then begin
+        let bigger = Array.make (2 * k) 0 in
+        Array.blit arr 0 bigger 0 k;
+        seen := bigger
+      end;
+      !seen.(k) <- i;
+      incr n;
+      Term.var k
+    end
+  in
+  let rec go t =
+    match Subst.walk s t with
+    | Term.Var i -> renumber i
+    | Term.Struct (_, args, _) as t' ->
+        if Term.is_ground t' then t'
+        else begin
+          let changed = ref false in
+          let args' =
+            Array.map
+              (fun a ->
+                let a' = go a in
+                if a' != a then changed := true;
+                a')
+              args
+          in
+          if !changed then Term.rebuild t' args' else t'
+        end
+    | t' -> t'
+  in
+  go t
 
 (** Renumber an already-resolved term. *)
 let of_term (t : Term.t) : Term.t = canonical Subst.empty t

@@ -17,14 +17,16 @@ type mode = Dynamic | Compiled
 
 type pred = string * int
 
-(* First-argument index key *)
-type key = KInt of int | KAtom of string | KStruct of string * int
+(* First-argument index key.  Names are interned to symbol ids, so key
+   hashing and equality are integer operations — no string traversal on
+   the per-resolution lookup path. *)
+type key = KInt of int | KAtom of Symbol.t | KStruct of Symbol.t * int
 
 let key_of_term (t : Term.t) : key option =
   match t with
   | Term.Int i -> Some (KInt i)
-  | Term.Atom a -> Some (KAtom a)
-  | Term.Struct (f, args) -> Some (KStruct (f, Array.length args))
+  | Term.Atom a -> Some (KAtom (Symbol.intern a))
+  | Term.Struct (f, args, _) -> Some (KStruct (Symbol.intern f, Array.length args))
   | Term.Var _ -> None
 
 (** A head-argument matcher produced by compilation: matches a goal
@@ -84,7 +86,17 @@ let rec compile_pattern seen (pat : Term.t) : matcher =
         Unify.unify s slots.(i) goal
       else begin
         Hashtbl.add seen i ();
-        fun slots s goal -> Unify.unify s slots.(i) goal
+        (* First occurrence: the slot holds a fresh, unbound variable, so
+           a full unification always succeeds by binding it — bind it
+           directly.  Guard only against the goal dereferencing to that
+           same variable (binding a variable to itself would loop). *)
+        fun slots s goal ->
+          match slots.(i) with
+          | Term.Var v -> (
+              match Subst.walk s goal with
+              | Term.Var w when w = v -> Some s
+              | g -> Some (Subst.bind s v g))
+          | _ -> Unify.unify s slots.(i) goal
       end
   | Term.Int n ->
       fun _ s goal -> (
@@ -98,12 +110,12 @@ let rec compile_pattern seen (pat : Term.t) : matcher =
         | Term.Atom b when String.equal a b -> Some s
         | Term.Var v -> Some (Subst.bind s v pat)
         | _ -> None)
-  | Term.Struct (f, args) ->
+  | Term.Struct (f, args, _) ->
       let n = Array.length args in
       let subs = Array.map (compile_pattern seen) args in
       fun slots s goal -> (
         match Subst.walk s goal with
-        | Term.Struct (g, gargs)
+        | Term.Struct (g, gargs, _)
           when String.equal f g && Array.length gargs = n ->
             let rec go s i =
               if i >= n then Some s
@@ -129,7 +141,7 @@ let canonicalize_clause (c : Parser.clause) : int * Term.t * Term.t list =
         match Hashtbl.find_opt tbl i with
         | Some v -> v
         | None ->
-            let v = Term.Var !next in
+            let v = Term.var !next in
             incr next;
             Hashtbl.add tbl i v;
             v)
@@ -255,15 +267,76 @@ let activate (c : cclause) (s : Subst.t) (goal : Term.t) :
             (s', body))
           (go s 0)
     | None ->
-        let slots = Array.init c.nvars (fun _ -> Term.fresh_var ()) in
-        let head = Term.map_vars (fun i -> slots.(i)) c.head in
+        (* Interpretive head matching, with the same first-occurrence
+           discipline as the compiled matchers: the first time a clause
+           variable is met its slot takes the (dereferenced) goal subterm
+           directly — no fresh variable, no substitution entry — and only
+           repeated occurrences fall back to real unification.  Clause
+           variables never reached by matching get fresh variables when
+           the body is instantiated. *)
+        let slots = Array.make c.nvars Term.true_ in
+        let filled = Array.make c.nvars false in
+        let slot_of v =
+          if filled.(v) then slots.(v)
+          else begin
+            filled.(v) <- true;
+            let f = Term.fresh_var () in
+            slots.(v) <- f;
+            f
+          end
+        in
+        let rec match_arg s (pat : Term.t) (garg : Term.t) : Subst.t option =
+          match pat with
+          | Term.Var v ->
+              if filled.(v) then Unify.unify s slots.(v) garg
+              else begin
+                filled.(v) <- true;
+                slots.(v) <- Subst.walk s garg;
+                Some s
+              end
+          | Term.Int n -> (
+              match Subst.walk s garg with
+              | Term.Int m when m = n -> Some s
+              | Term.Var w -> Some (Subst.bind s w pat)
+              | _ -> None)
+          | Term.Atom a -> (
+              match Subst.walk s garg with
+              | Term.Atom b when String.equal a b -> Some s
+              | Term.Var w -> Some (Subst.bind s w pat)
+              | _ -> None)
+          | Term.Struct (f, pargs, _) -> (
+              match Subst.walk s garg with
+              | Term.Struct (g, gargs2, _)
+                when String.equal f g
+                     && Array.length gargs2 = Array.length pargs ->
+                  let n = Array.length pargs in
+                  let rec go s i =
+                    if i >= n then Some s
+                    else
+                      match match_arg s pargs.(i) gargs2.(i) with
+                      | Some s' -> go s' (i + 1)
+                      | None -> None
+                  in
+                  go s 0
+              | Term.Var w ->
+                  (* goal side unbound: instantiate the pattern through
+                     the slots and bind *)
+                  Some (Subst.bind s w (Term.map_vars slot_of pat))
+              | _ -> None)
+        in
+        let n = Array.length hargs in
+        let rec go s i =
+          if i >= n then Some s
+          else
+            match match_arg s hargs.(i) gargs.(i) with
+            | Some s' -> go s' (i + 1)
+            | None -> None
+        in
         Option.map
           (fun s' ->
-            let body =
-              List.map (Term.map_vars (fun i -> slots.(i))) c.body
-            in
+            let body = List.map (Term.map_vars slot_of) c.body in
             (s', body))
-          (Unify.unify s head goal)
+          (go s 0)
 
 (** Like {!activate} but resolving the head with a caller-supplied
     unification (e.g. depth-k abstract unification).  Always takes the

@@ -24,11 +24,11 @@ let var_of_name st name =
   if String.equal name "_" then Term.fresh_var ()
   else
     match Hashtbl.find_opt st.vars name with
-    | Some id -> Term.Var id
+    | Some id -> Term.var id
     | None ->
         let id = Term.fresh_id () in
         Hashtbl.add st.vars name id;
-        Term.Var id
+        Term.var id
 
 (* Can the upcoming token begin a term?  Decides whether an atom that is
    also a prefix operator is applied or stands alone. *)
@@ -41,7 +41,7 @@ let starts_term st =
 
 let term_of_string s =
   String.to_seq s |> List.of_seq
-  |> List.map (fun c -> Term.Int (Char.code c))
+  |> List.map (fun c -> Term.int (Char.code c))
   |> Term.of_list
 
 (* An infix operator occurrence: ',' and '|' tokens act as operators too. *)
@@ -70,7 +70,7 @@ and parse_infix st left leftprec maxprec =
       if leftprec <= lmax then begin
         advance st;
         let right = parse st rmax in
-        parse_infix st (Term.Struct (name, [| left; right |])) prec maxprec
+        parse_infix st (Term.mk name [| left; right |]) prec maxprec
       end
       else left
   | _ -> left
@@ -79,7 +79,7 @@ and parse_primary st maxprec : Term.t * int =
   match peek st with
   | Lexer.TInt i ->
       advance st;
-      (Term.Int i, 0)
+      (Term.int i, 0)
   | Lexer.TVar v ->
       advance st;
       (var_of_name st v, 0)
@@ -98,12 +98,12 @@ and parse_primary st maxprec : Term.t * int =
       advance st;
       if peek st = Lexer.TRbrace then begin
         advance st;
-        (Term.Atom "{}", 0)
+        (Term.atom "{}", 0)
       end
       else begin
         let t = parse st 1200 in
         expect st Lexer.TRbrace "expected }";
-        (Term.Struct ("{}", [| t |]), 0)
+        (Term.mk "{}" [| t |], 0)
       end
   | Lexer.TAtom a -> (
       advance st;
@@ -118,7 +118,7 @@ and parse_primary st maxprec : Term.t * int =
           match (a, peek st) with
           | "-", Lexer.TInt i ->
               advance st;
-              (Term.Int (-i), 0)
+              (Term.int (-i), 0)
           | _ -> (
               match Ops.prefix st.ops a with
               | Some { Ops.prec; assoc } when prec <= maxprec && starts_term st
@@ -130,7 +130,7 @@ and parse_primary st maxprec : Term.t * int =
                     | Some _ -> not (starts_term { st with toks = List.tl st.toks })
                     | None -> false
                   in
-                  if operand_is_infix then (Term.Atom a, 0)
+                  if operand_is_infix then (Term.atom a, 0)
                   else
                     let sub =
                       match assoc with
@@ -139,8 +139,8 @@ and parse_primary st maxprec : Term.t * int =
                       | _ -> assert false
                     in
                     let arg = parse st sub in
-                    (Term.Struct (a, [| arg |]), prec)
-              | _ -> (Term.Atom a, 0))))
+                    (Term.mk a [| arg |], prec)
+              | _ -> (Term.atom a, 0))))
   | tok ->
       raise
         (Parse_error
@@ -191,9 +191,9 @@ type item = Clause of clause | Directive of Term.t
 
 let clause_of_term (t : Term.t) : item =
   match t with
-  | Term.Struct (":-", [| h; b |]) -> Clause { head = h; body = Term.conjuncts b }
-  | Term.Struct (":-", [| d |]) -> Directive d
-  | Term.Struct ("?-", [| d |]) -> Directive d
+  | Term.Struct (":-", [| h; b |], _) -> Clause { head = h; body = Term.conjuncts b }
+  | Term.Struct (":-", [| d |], _) -> Directive d
+  | Term.Struct ("?-", [| d |], _) -> Directive d
   | h -> Clause { head = h; body = [] }
 
 (** Parse one term terminated by an end-of-clause token. *)
@@ -207,7 +207,7 @@ let read_term st : Term.t option =
       Some t
 
 let handle_op_directive ops = function
-  | Term.Struct ("op", [| Term.Int p; Term.Atom a; Term.Atom name |]) -> (
+  | Term.Struct ("op", [| Term.Int p; Term.Atom a; Term.Atom name |], _) -> (
       match Ops.assoc_of_string a with
       | Some assoc ->
           Ops.add ops p assoc name;

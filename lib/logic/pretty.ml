@@ -27,8 +27,8 @@ and pp_prec ops maxprec fmt t =
   | Term.Var i -> Format.pp_print_string fmt (var_name i)
   | Term.Int i -> Format.fprintf fmt "%d" i
   | Term.Atom a -> Format.pp_print_string fmt (atom_to_string a)
-  | Term.Struct (".", [| _; _ |]) -> pp_list ops fmt t
-  | Term.Struct (f, [| a; b |]) as whole -> (
+  | Term.Struct (".", [| _; _ |], _) -> pp_list ops fmt t
+  | Term.Struct (f, [| a; b |], _) as whole -> (
       match Ops.infix ops f with
       | Some { Ops.prec; assoc } ->
           let lmax, rmax =
@@ -46,7 +46,7 @@ and pp_prec ops maxprec fmt t =
           if prec > maxprec then Format.fprintf fmt "(%a)" bare ()
           else bare fmt ()
       | None -> pp_canonical ops fmt whole)
-  | Term.Struct (f, [| a |]) as whole -> (
+  | Term.Struct (f, [| a |], _) as whole -> (
       match Ops.prefix ops f with
       | Some { Ops.prec; assoc } ->
           let sub = match assoc with Ops.FY -> prec | _ -> prec - 1 in
@@ -59,7 +59,7 @@ and pp_prec ops maxprec fmt t =
   | Term.Struct _ -> pp_canonical ops fmt t
 
 and pp_canonical ops fmt = function
-  | Term.Struct (f, args) ->
+  | Term.Struct (f, args, _) ->
       Format.fprintf fmt "%s(" (atom_to_string f);
       Array.iteri
         (fun i a ->
@@ -74,7 +74,7 @@ and pp_list ops fmt t =
   let rec go first t =
     match t with
     | Term.Atom "[]" -> ()
-    | Term.Struct (".", [| h; tl |]) ->
+    | Term.Struct (".", [| h; tl |], _) ->
         if not first then Format.pp_print_string fmt ",";
         pp_prec ops 999 fmt h;
         go false tl

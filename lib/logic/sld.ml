@@ -50,31 +50,31 @@ let rec eval_arith (s : Subst.t) (t : Term.t) : int =
   match Subst.walk s t with
   | Term.Int i -> i
   | Term.Var _ -> raise (Instantiation_error "is/2")
-  | Term.Struct ("+", [| a; b |]) -> eval_arith s a + eval_arith s b
-  | Term.Struct ("-", [| a; b |]) -> eval_arith s a - eval_arith s b
-  | Term.Struct ("*", [| a; b |]) -> eval_arith s a * eval_arith s b
-  | Term.Struct (("/" | "//"), [| a; b |]) ->
+  | Term.Struct ("+", [| a; b |], _) -> eval_arith s a + eval_arith s b
+  | Term.Struct ("-", [| a; b |], _) -> eval_arith s a - eval_arith s b
+  | Term.Struct ("*", [| a; b |], _) -> eval_arith s a * eval_arith s b
+  | Term.Struct (("/" | "//"), [| a; b |], _) ->
       let d = eval_arith s b in
       if d = 0 then raise (Type_error ("zero divisor", t)) else eval_arith s a / d
-  | Term.Struct ("mod", [| a; b |]) ->
+  | Term.Struct ("mod", [| a; b |], _) ->
       let d = eval_arith s b in
       if d = 0 then raise (Type_error ("zero divisor", t))
       else
         let m = eval_arith s a mod d in
         if (m < 0 && d > 0) || (m > 0 && d < 0) then m + d else m
-  | Term.Struct ("rem", [| a; b |]) -> eval_arith s a mod eval_arith s b
-  | Term.Struct ("-", [| a |]) -> -eval_arith s a
-  | Term.Struct ("+", [| a |]) -> eval_arith s a
-  | Term.Struct ("abs", [| a |]) -> abs (eval_arith s a)
-  | Term.Struct ("min", [| a; b |]) -> min (eval_arith s a) (eval_arith s b)
-  | Term.Struct ("max", [| a; b |]) -> max (eval_arith s a) (eval_arith s b)
-  | Term.Struct (">>", [| a; b |]) -> eval_arith s a asr eval_arith s b
-  | Term.Struct ("<<", [| a; b |]) -> eval_arith s a lsl eval_arith s b
-  | Term.Struct ("/\\", [| a; b |]) -> eval_arith s a land eval_arith s b
-  | Term.Struct ("\\/", [| a; b |]) -> eval_arith s a lor eval_arith s b
-  | Term.Struct ("xor", [| a; b |]) -> eval_arith s a lxor eval_arith s b
-  | Term.Struct ("sign", [| a |]) -> Int.compare (eval_arith s a) 0
-  | Term.Struct (("^" | "**"), [| a; b |]) ->
+  | Term.Struct ("rem", [| a; b |], _) -> eval_arith s a mod eval_arith s b
+  | Term.Struct ("-", [| a |], _) -> -eval_arith s a
+  | Term.Struct ("+", [| a |], _) -> eval_arith s a
+  | Term.Struct ("abs", [| a |], _) -> abs (eval_arith s a)
+  | Term.Struct ("min", [| a; b |], _) -> min (eval_arith s a) (eval_arith s b)
+  | Term.Struct ("max", [| a; b |], _) -> max (eval_arith s a) (eval_arith s b)
+  | Term.Struct (">>", [| a; b |], _) -> eval_arith s a asr eval_arith s b
+  | Term.Struct ("<<", [| a; b |], _) -> eval_arith s a lsl eval_arith s b
+  | Term.Struct ("/\\", [| a; b |], _) -> eval_arith s a land eval_arith s b
+  | Term.Struct ("\\/", [| a; b |], _) -> eval_arith s a lor eval_arith s b
+  | Term.Struct ("xor", [| a; b |], _) -> eval_arith s a lxor eval_arith s b
+  | Term.Struct ("sign", [| a |], _) -> Int.compare (eval_arith s a) 0
+  | Term.Struct (("^" | "**"), [| a; b |], _) ->
       let base = eval_arith s a and e = eval_arith s b in
       if e < 0 then raise (Type_error ("nonnegative exponent", t))
       else
@@ -106,38 +106,38 @@ let rec solve e (s : Subst.t) (goal : Term.t) (sc : Subst.t -> unit)
       print_newline ();
       sc s
   | Term.Atom "halt" -> raise Found
-  | Term.Struct (",", [| a; b |]) ->
+  | Term.Struct (",", [| a; b |], _) ->
       solve e s a (fun s' -> solve e s' b sc cutid) cutid
-  | Term.Struct (";", [| Term.Struct ("->", [| c; t |]); el |]) -> (
+  | Term.Struct (";", [| Term.Struct ("->", [| c; t |], _); el |], _) -> (
       match solve_once e s c with
       | Some s' -> solve e s' t sc cutid
       | None -> solve e s el sc cutid)
-  | Term.Struct (";", [| a; b |]) ->
+  | Term.Struct (";", [| a; b |], _) ->
       solve e s a sc cutid;
       solve e s b sc cutid
-  | Term.Struct ("->", [| c; t |]) -> (
+  | Term.Struct ("->", [| c; t |], _) -> (
       match solve_once e s c with
       | Some s' -> solve e s' t sc cutid
       | None -> ())
-  | Term.Struct ("\\+", [| g |]) -> (
+  | Term.Struct ("\\+", [| g |], _) -> (
       match solve_once e s g with Some _ -> () | None -> sc s)
-  | Term.Struct ("not", [| g |]) -> (
+  | Term.Struct ("not", [| g |], _) -> (
       match solve_once e s g with Some _ -> () | None -> sc s)
-  | Term.Struct ("call", args) when Array.length args >= 1 ->
+  | Term.Struct ("call", args, _) when Array.length args >= 1 ->
       let g = Subst.walk s args.(0) in
       let extra = Array.sub args 1 (Array.length args - 1) in
       let g' =
         if Array.length extra = 0 then g
         else
           match g with
-          | Term.Atom f -> Term.Struct (f, extra)
-          | Term.Struct (f, a0) -> Term.Struct (f, Array.append a0 extra)
+          | Term.Atom f -> Term.mk f extra
+          | Term.Struct (f, a0, _) -> Term.mk f (Array.append a0 extra)
           | _ -> raise (Type_error ("callable", g))
       in
       (* call/N is transparent to solutions but opaque to cut *)
       let id = new_cut_id e in
       (try solve e s g' sc id with Cut_signal i when i = id -> ())
-  | Term.Struct ("findall", [| tmpl; g; out |]) ->
+  | Term.Struct ("findall", [| tmpl; g; out |], _) ->
       let acc = ref [] in
       let id = new_cut_id e in
       (try
@@ -145,72 +145,72 @@ let rec solve e (s : Subst.t) (goal : Term.t) (sc : Subst.t -> unit)
        with Cut_signal i when i = id -> ());
       let lst = Term.of_list (List.rev !acc) in
       unify_k e s lst out sc
-  | Term.Struct ("=", [| a; b |]) -> unify_k e s a b sc
-  | Term.Struct ("\\=", [| a; b |]) -> (
+  | Term.Struct ("=", [| a; b |], _) -> unify_k e s a b sc
+  | Term.Struct ("\\=", [| a; b |], _) -> (
       match Unify.unify s a b with Some _ -> () | None -> sc s)
-  | Term.Struct ("==", [| a; b |]) -> if std_compare s a b = 0 then sc s
-  | Term.Struct ("\\==", [| a; b |]) -> if std_compare s a b <> 0 then sc s
-  | Term.Struct ("@<", [| a; b |]) -> if std_compare s a b < 0 then sc s
-  | Term.Struct ("@>", [| a; b |]) -> if std_compare s a b > 0 then sc s
-  | Term.Struct ("@=<", [| a; b |]) -> if std_compare s a b <= 0 then sc s
-  | Term.Struct ("@>=", [| a; b |]) -> if std_compare s a b >= 0 then sc s
-  | Term.Struct ("compare", [| ord; a; b |]) ->
+  | Term.Struct ("==", [| a; b |], _) -> if std_compare s a b = 0 then sc s
+  | Term.Struct ("\\==", [| a; b |], _) -> if std_compare s a b <> 0 then sc s
+  | Term.Struct ("@<", [| a; b |], _) -> if std_compare s a b < 0 then sc s
+  | Term.Struct ("@>", [| a; b |], _) -> if std_compare s a b > 0 then sc s
+  | Term.Struct ("@=<", [| a; b |], _) -> if std_compare s a b <= 0 then sc s
+  | Term.Struct ("@>=", [| a; b |], _) -> if std_compare s a b >= 0 then sc s
+  | Term.Struct ("compare", [| ord; a; b |], _) ->
       let c = std_compare s a b in
       let sym = if c < 0 then "<" else if c > 0 then ">" else "=" in
-      unify_k e s ord (Term.Atom sym) sc
-  | Term.Struct ("is", [| x; expr |]) ->
-      unify_k e s x (Term.Int (eval_arith s expr)) sc
-  | Term.Struct ("=:=", [| a; b |]) ->
+      unify_k e s ord (Term.atom sym) sc
+  | Term.Struct ("is", [| x; expr |], _) ->
+      unify_k e s x (Term.int (eval_arith s expr)) sc
+  | Term.Struct ("=:=", [| a; b |], _) ->
       if eval_arith s a = eval_arith s b then sc s
-  | Term.Struct ("=\\=", [| a; b |]) ->
+  | Term.Struct ("=\\=", [| a; b |], _) ->
       if eval_arith s a <> eval_arith s b then sc s
-  | Term.Struct ("<", [| a; b |]) -> if eval_arith s a < eval_arith s b then sc s
-  | Term.Struct (">", [| a; b |]) -> if eval_arith s a > eval_arith s b then sc s
-  | Term.Struct ("=<", [| a; b |]) ->
+  | Term.Struct ("<", [| a; b |], _) -> if eval_arith s a < eval_arith s b then sc s
+  | Term.Struct (">", [| a; b |], _) -> if eval_arith s a > eval_arith s b then sc s
+  | Term.Struct ("=<", [| a; b |], _) ->
       if eval_arith s a <= eval_arith s b then sc s
-  | Term.Struct (">=", [| a; b |]) ->
+  | Term.Struct (">=", [| a; b |], _) ->
       if eval_arith s a >= eval_arith s b then sc s
-  | Term.Struct ("var", [| x |]) -> (
+  | Term.Struct ("var", [| x |], _) -> (
       match Subst.walk s x with Term.Var _ -> sc s | _ -> ())
-  | Term.Struct ("nonvar", [| x |]) -> (
+  | Term.Struct ("nonvar", [| x |], _) -> (
       match Subst.walk s x with Term.Var _ -> () | _ -> sc s)
-  | Term.Struct ("atom", [| x |]) -> (
+  | Term.Struct ("atom", [| x |], _) -> (
       match Subst.walk s x with Term.Atom _ -> sc s | _ -> ())
-  | Term.Struct (("integer" | "number"), [| x |]) -> (
+  | Term.Struct (("integer" | "number"), [| x |], _) -> (
       match Subst.walk s x with Term.Int _ -> sc s | _ -> ())
-  | Term.Struct ("atomic", [| x |]) -> (
+  | Term.Struct ("atomic", [| x |], _) -> (
       match Subst.walk s x with Term.Atom _ | Term.Int _ -> sc s | _ -> ())
-  | Term.Struct ("compound", [| x |]) -> (
+  | Term.Struct ("compound", [| x |], _) -> (
       match Subst.walk s x with Term.Struct _ -> sc s | _ -> ())
-  | Term.Struct ("ground", [| x |]) ->
+  | Term.Struct ("ground", [| x |], _) ->
       if Subst.is_ground_under s x then sc s
-  | Term.Struct ("functor", [| t; f; a |]) -> (
+  | Term.Struct ("functor", [| t; f; a |], _) -> (
       match Subst.walk s t with
       | Term.Var _ -> (
           match (Subst.walk s f, Subst.walk s a) with
           | Term.Atom name, Term.Int n when n >= 0 ->
               let t' =
-                if n = 0 then Term.Atom name
+                if n = 0 then Term.atom name
                 else
-                  Term.Struct (name, Array.init n (fun _ -> Term.fresh_var ()))
+                  Term.mk name (Array.init n (fun _ -> Term.fresh_var ()))
               in
               unify_k e s t t' sc
-          | Term.Int i, Term.Int 0 -> unify_k e s t (Term.Int i) sc
+          | Term.Int i, Term.Int 0 -> unify_k e s t (Term.int i) sc
           | _ -> raise (Instantiation_error "functor/3"))
       | Term.Int i ->
-          unify2_k e s f (Term.Int i) a (Term.Int 0) sc
+          unify2_k e s f (Term.int i) a (Term.int 0) sc
       | Term.Atom name ->
-          unify2_k e s f (Term.Atom name) a (Term.Int 0) sc
-      | Term.Struct (name, args) ->
-          unify2_k e s f (Term.Atom name) a (Term.Int (Array.length args)) sc)
-  | Term.Struct ("arg", [| n; t; a |]) -> (
+          unify2_k e s f (Term.atom name) a (Term.int 0) sc
+      | Term.Struct (name, args, _) ->
+          unify2_k e s f (Term.atom name) a (Term.int (Array.length args)) sc)
+  | Term.Struct ("arg", [| n; t; a |], _) -> (
       match (Subst.walk s n, Subst.walk s t) with
-      | Term.Int i, Term.Struct (_, args) when i >= 1 && i <= Array.length args
+      | Term.Int i, Term.Struct (_, args, _) when i >= 1 && i <= Array.length args
         ->
           unify_k e s a args.(i - 1) sc
       | Term.Int _, Term.Struct _ -> ()
       | _ -> raise (Instantiation_error "arg/3"))
-  | Term.Struct ("=..", [| t; l |]) -> (
+  | Term.Struct ("=..", [| t; l |], _) -> (
       match Subst.walk s t with
       | Term.Var _ -> (
           match Term.list_elements (Subst.resolve s l) with
@@ -218,19 +218,19 @@ let rec solve e (s : Subst.t) (goal : Term.t) (sc : Subst.t -> unit)
               unify_k e s t (Term.mkl f args) sc
           | Some [ (Term.Int _ as i) ] -> unify_k e s t i sc
           | _ -> raise (Instantiation_error "=../2"))
-      | Term.Int i -> unify_k e s l (Term.of_list [ Term.Int i ]) sc
-      | Term.Atom a -> unify_k e s l (Term.of_list [ Term.Atom a ]) sc
-      | Term.Struct (f, args) ->
+      | Term.Int i -> unify_k e s l (Term.of_list [ Term.int i ]) sc
+      | Term.Atom a -> unify_k e s l (Term.of_list [ Term.atom a ]) sc
+      | Term.Struct (f, args, _) ->
           unify_k e s l
-            (Term.of_list (Term.Atom f :: Array.to_list args))
+            (Term.of_list (Term.atom f :: Array.to_list args))
             sc)
-  | Term.Struct ("name", [| a; l |]) -> (
+  | Term.Struct ("name", [| a; l |], _) -> (
       match Subst.walk s a with
       | Term.Atom at ->
           let codes =
             Term.of_list
               (List.map
-                 (fun c -> Term.Int (Char.code c))
+                 (fun c -> Term.int (Char.code c))
                  (List.of_seq (String.to_seq at)))
           in
           unify_k e s l codes sc
@@ -238,7 +238,7 @@ let rec solve e (s : Subst.t) (goal : Term.t) (sc : Subst.t -> unit)
           let codes =
             Term.of_list
               (List.map
-                 (fun c -> Term.Int (Char.code c))
+                 (fun c -> Term.int (Char.code c))
                  (List.of_seq (String.to_seq (string_of_int i))))
           in
           unify_k e s l codes sc
@@ -251,17 +251,17 @@ let rec solve e (s : Subst.t) (goal : Term.t) (sc : Subst.t -> unit)
                     | Term.Int c -> Char.chr c
                     | _ -> raise (Type_error ("character code", l)))
               in
-              unify_k e s a (Term.Atom str) sc
+              unify_k e s a (Term.atom str) sc
           | None -> raise (Instantiation_error "name/2")))
-  | Term.Struct ("write", [| t |]) ->
+  | Term.Struct ("write", [| t |], _) ->
       print_string (Pretty.term_to_string (Subst.resolve s t));
       sc s
-  | Term.Struct ("tab", [| n |]) ->
+  | Term.Struct ("tab", [| n |], _) ->
       print_string (String.make (max 0 (eval_arith s n)) ' ');
       sc s
-  | Term.Struct ("length", [| l; n |]) -> (
+  | Term.Struct ("length", [| l; n |], _) -> (
       match Term.list_elements (Subst.resolve s l) with
-      | Some es -> unify_k e s n (Term.Int (List.length es)) sc
+      | Some es -> unify_k e s n (Term.int (List.length es)) sc
       | None -> (
           match Subst.walk s n with
           | Term.Int k when k >= 0 ->

@@ -1,0 +1,33 @@
+(** Global symbol interning: every functor and atom name is mapped to a
+    small integer id with an inverse table, so that the canonical
+    (physically unique) spelling of a name can be recovered in O(1) and
+    name equality on interned strings degenerates to pointer equality.
+
+    The table is process-wide and append-only; ids are dense from 0.
+    Interning is idempotent: [intern s] returns the same id for every
+    string structurally equal to [s], and [name (intern s)] returns one
+    canonical [string] instance shared by every term built from it. *)
+
+type t = private int
+(** A symbol id.  Dense, starting at 0, stable for the process
+    lifetime. *)
+
+val intern : string -> t
+(** Intern a name, registering it on first sight (counted by the
+    [intern.symbols] metric). *)
+
+val name : t -> string
+(** The canonical spelling.  O(1); total on ids produced by {!intern}. *)
+
+val hash : t -> int
+(** Precomputed hash of the symbol's name.  O(1), consistent with
+    [Hashtbl.hash (name t)]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val count : unit -> int
+(** Number of distinct symbols interned so far. *)
+
+val mem : string -> bool
+(** Has this name been interned already?  (Does not intern.) *)

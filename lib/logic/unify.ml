@@ -23,27 +23,37 @@ let m_occur_hits =
 
 let rec unify_gen ~oc (s : Subst.t) (t1 : Term.t) (t2 : Term.t) :
     Subst.t option =
-  let t1 = Subst.walk s t1 and t2 = Subst.walk s t2 in
-  match (t1, t2) with
-  | Term.Var i, Term.Var j when i = j -> Some s
-  | Term.Var i, _ ->
-      if oc && Subst.occurs_check s i t2 then begin
-        Metrics.incr m_occur_hits;
-        None
-      end
-      else Some (Subst.bind s i t2)
-  | _, Term.Var j ->
-      if oc && Subst.occurs_check s j t1 then begin
-        Metrics.incr m_occur_hits;
-        None
-      end
-      else Some (Subst.bind s j t1)
-  | Term.Int a, Term.Int b -> if a = b then Some s else None
-  | Term.Atom a, Term.Atom b -> if String.equal a b then Some s else None
-  | Term.Struct (f, a1), Term.Struct (g, a2)
-    when String.equal f g && Array.length a1 = Array.length a2 ->
-      unify_args ~oc s a1 a2 0
-  | _ -> None
+  if t1 == t2 then Some s
+    (* unifying any term with itself binds nothing; hash-consing makes
+       this pointer test hit for every shared subterm *)
+  else
+    let t1 = Subst.walk s t1 and t2 = Subst.walk s t2 in
+    match (t1, t2) with
+    | Term.Var i, Term.Var j when i = j -> Some s
+    | Term.Var i, _ ->
+        if oc && Subst.occurs_check s i t2 then begin
+          Metrics.incr m_occur_hits;
+          None
+        end
+        else Some (Subst.bind s i t2)
+    | _, Term.Var j ->
+        if oc && Subst.occurs_check s j t1 then begin
+          Metrics.incr m_occur_hits;
+          None
+        end
+        else Some (Subst.bind s j t1)
+    | Term.Int a, Term.Int b -> if a = b then Some s else None
+    | Term.Atom a, Term.Atom b -> if String.equal a b then Some s else None
+    | Term.Struct (f, a1, _), Term.Struct (g, a2, _)
+      when String.equal f g && Array.length a1 = Array.length a2 ->
+        (* interned functors: String.equal is a pointer comparison here *)
+        if t1 == t2 then Some s
+        else if Term.is_ground t1 && Term.is_ground t2 then
+          (* ground structs are hash-consed: distinct pointers are
+             distinct terms, and two distinct ground terms never unify *)
+          None
+        else unify_args ~oc s a1 a2 0
+    | _ -> None
 
 and unify_args ~oc s a1 a2 i =
   if i >= Array.length a1 then Some s

@@ -19,8 +19,13 @@ let schema_name = "prax.stats"
 (* v2 (additive over v1): evaluation [status] / [partial_reason] /
    [widened_entries] and the [budget] object on governed runs, plus the
    guard.* / engine.aborts / engine.forced_completions / datalog.aborts
-   counters.  v1 documents remain valid v2 prefixes. *)
-let schema_version = 2
+   counters.  v1 documents remain valid v2 prefixes.
+
+   v3 (additive over v2): the term-representation counters
+   intern.symbols, hashcons.hits, hashcons.misses introduced with
+   interned symbols and hash-consed terms.  No field changed shape; v2
+   consumers that ignore unknown counters keep working. *)
+let schema_version = 3
 let min_supported_schema_version = 1
 
 let schema_version_supported v =

@@ -11,8 +11,8 @@
 
 open Prax_logic
 
-let ttrue = Term.Atom "true"
-let tfalse = Term.Atom "false"
+let ttrue = Term.atom "true"
+let tfalse = Term.atom "false"
 
 let as_bool = function
   | Term.Atom "true" -> Some true
@@ -33,29 +33,66 @@ let solve (unify : Subst.t -> Term.t -> Term.t -> Subst.t option)
       args
   in
   if feasible then begin
-    let check s' =
-      let value i = Option.get (as_bool (Subst.walk s' args.(i))) in
-      let rec conj i = i >= n || (value i && conj (i + 1)) in
-      value 0 = conj 1
-    in
-    let rec unbound_ids i acc =
-      if i >= n then List.rev acc
-      else
-        match Subst.walk s args.(i) with
-        | Term.Var v when not (List.mem v acc) -> unbound_ids (i + 1) (v :: acc)
-        | _ -> unbound_ids (i + 1) acc
-    in
-    let rec assign s' = function
-      | [] -> if check s' then sc s'
-      | v :: rest ->
-          (match unify s' (Term.Var v) ttrue with
-          | Some s'' -> assign s'' rest
-          | None -> ());
-          (match unify s' (Term.Var v) tfalse with
-          | Some s'' -> assign s'' rest
-          | None -> ())
-    in
-    assign s (unbound_ids 0 [])
+    (* Feasibility established every position as a boolean or a variable,
+       and the positions' variables are bound only to boolean atoms below,
+       so assignments are direct [Subst.bind]s — a full unification would
+       only rediscover that the variable is unbound.  [unify] stays the
+       entry point for engines that hook abstract unification over
+       non-Var positions. *)
+    ignore unify;
+    match as_bool (Subst.walk s args.(0)) with
+    | Some true ->
+        (* [A = true] forces the whole conjunction true: bind every
+           unbound rhs position and check the bound ones, instead of
+           enumerating 2^u assignments to find the single consistent
+           one. *)
+        let rec force s' i =
+          if i >= n then sc s'
+          else
+            match Subst.walk s' args.(i) with
+            | Term.Var v -> force (Subst.bind s' v ttrue) (i + 1)
+            | t -> if as_bool t = Some true then force s' (i + 1)
+        in
+        force s 1
+    | lhs ->
+        (* Enumerate only the rhs unknowns; each completion determines the
+           conjunction's value, which either checks against a bound lhs or
+           binds an unbound one.  Successful substitutions arrive in the
+           same order as the naive 2^(u+1) enumeration: the all-true
+           completion (lhs true) first, then the falsifying completions in
+           lexicographic order (lhs false). *)
+        let rhs_conj s' =
+          let rec go i =
+            i >= n || (Option.get (as_bool (Subst.walk s' args.(i))) && go (i + 1))
+          in
+          go 1
+        in
+        let finish s' =
+          let c = rhs_conj s' in
+          match lhs with
+          | Some b -> if b = c then sc s'
+          | None -> (
+              (* the lhs variable may itself occur in an rhs position and
+                 have been bound by the enumeration *)
+              match Subst.walk s' args.(0) with
+              | Term.Var v -> sc (Subst.bind s' v (if c then ttrue else tfalse))
+              | t -> if as_bool t = Some c then sc s')
+        in
+        let rec unbound_ids i acc =
+          if i >= n then List.rev acc
+          else
+            match Subst.walk s args.(i) with
+            | Term.Var v when not (List.mem v acc) ->
+                unbound_ids (i + 1) (v :: acc)
+            | _ -> unbound_ids (i + 1) acc
+        in
+        let rec assign s' = function
+          | [] -> finish s'
+          | v :: rest ->
+              assign (Subst.bind s' v ttrue) rest;
+              assign (Subst.bind s' v tfalse) rest
+        in
+        assign s (unbound_ids 1 [])
   end
 
 (** Register [iff/k] builtins for arities [1 .. max_arity + 1] on the

@@ -6,7 +6,7 @@ open Prax_logic
 
 type t = E | D | N
 
-let to_atom = function E -> Term.Atom "e" | D -> Term.Atom "d" | N -> Term.Atom "n"
+let to_atom = function E -> Term.atom "e" | D -> Term.atom "d" | N -> Term.atom "n"
 
 let of_term = function
   | Term.Atom "e" -> Some E

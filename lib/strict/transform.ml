@@ -27,9 +27,9 @@ let sp_name f = "sp_" ^ f
 let spc_name c = "spc_" ^ sanitize c
 let pm_name c = "pm_" ^ sanitize c
 
-let e_ = Term.Atom "e"
-let d_ = Term.Atom "d"
-let n_ = Term.Atom "n"
+let e_ = Term.atom "e"
+let d_ = Term.atom "d"
+let n_ = Term.atom "n"
 
 (* occurrence environment: innermost binding first (handles shadowing) *)
 type scope = (string * Term.t list ref) list
@@ -127,8 +127,8 @@ let rec trans_pat (sc : scope) (p : Ast.pat) : Term.t * Term.t list =
 let schedule (lits : Term.t list) : Term.t list =
   let inputs lit =
     match lit with
-    | Term.Struct ("dlub", [| a; b; _ |]) -> Term.vars a @ Term.vars b
-    | Term.Struct (name, args)
+    | Term.Struct ("dlub", [| a; b; _ |], _) -> Term.vars a @ Term.vars b
+    | Term.Struct (name, args, _)
       when String.length name > 3 && String.equal (String.sub name 0 3) "pm_"
       ->
         (* arg 0 is the output; components are inputs *)
@@ -137,8 +137,8 @@ let schedule (lits : Term.t list) : Term.t list =
   in
   let is_reducer lit =
     match lit with
-    | Term.Struct ("dlub", _) -> true
-    | Term.Struct (name, _) ->
+    | Term.Struct ("dlub", _, _) -> true
+    | Term.Struct (name, _, _) ->
         String.length name > 3 && String.equal (String.sub name 0 3) "pm_"
     | _ -> false
   in

@@ -192,7 +192,7 @@ let default_builtins (builtins : (string * int, builtin) Hashtbl.t) =
         match f s args with Some s' -> sc s' | None -> ())
   in
   det "is" 2 (fun s args ->
-      let v = Term.Int (Sld.eval_arith s args.(1)) in
+      let v = Term.int (Sld.eval_arith s args.(1)) in
       Unify.unify s args.(0) v);
   List.iter
     (fun (name, test) ->
@@ -244,8 +244,8 @@ let guard e = e.guard
 let open_call_of goal =
   match goal with
   | Term.Atom _ -> goal
-  | Term.Struct (f, args) ->
-      Term.Struct (f, Array.mapi (fun i _ -> Term.Var i) args)
+  | Term.Struct (_, args, _) ->
+      Term.rebuild goal (Array.mapi (fun i _ -> Term.var i) args)
   | Term.Var _ | Term.Int _ -> goal
 
 let register_builtin e name arity (b : builtin) =
@@ -275,24 +275,36 @@ let rec solve e (s : Subst.t) (goal : Term.t) (sc : Subst.t -> unit) : unit =
   | Term.Atom "true" -> sc s
   | Term.Atom ("fail" | "false") -> ()
   | Term.Atom "!" -> sc s (* cut is control, invisible to the minimal model *)
-  | Term.Struct (",", [| a; b |]) ->
+  | Term.Struct (",", [| a; b |], _) ->
       solve e s a (fun s' -> solve e s' b sc)
-  | Term.Struct (";", [| Term.Struct ("->", [| c; t |]); el |]) ->
+  | Term.Struct (";", [| Term.Struct ("->", [| c; t |], _); el |], _) ->
       (* non-committal if-then-else: sound over-approximation for
          analysis programs (this engine evaluates definite programs;
          concrete control constructs belong to Sld) *)
       solve e s c (fun s' -> solve e s' t sc);
       solve e s el sc
-  | Term.Struct (";", [| a; b |]) ->
+  | Term.Struct (";", [| a; b |], _) ->
       solve e s a sc;
       solve e s b sc
-  | Term.Struct ("->", [| c; t |]) ->
+  | Term.Struct ("->", [| c; t |], _) ->
       solve e s c (fun s' -> solve e s' t sc)
-  | Term.Struct (("\\+" | "not"), [| _ |]) ->
+  | Term.Struct (("\\+" | "not"), [| _ |], _) ->
       (* negation binds nothing on success: over-approximate by success *)
       sc s
-  | Term.Struct ("=", [| a; b |]) -> (
-      match e.hooks.unify s a b with Some s' -> sc s' | None -> ())
+  | Term.Struct ("=", [| a; b |], _) ->
+      if e.hooks.unify == Unify.unify then (
+        (* Concrete =/2: the transformed analysis programs emit long runs
+           of [V = true] / [V = W] bindings, so inline unification's
+           variable cases and fall back to the full routine only for
+           structure-against-structure. *)
+        match (Subst.walk s a, Subst.walk s b) with
+        | Term.Var i, Term.Var j when i = j -> sc s
+        | Term.Var i, tb -> sc (Subst.bind s i tb)
+        | ta, Term.Var j -> sc (Subst.bind s j ta)
+        | ta, tb -> (
+            match Unify.unify s ta tb with Some s' -> sc s' | None -> ()))
+      else (
+        match e.hooks.unify s a b with Some s' -> sc s' | None -> ())
   | (Term.Atom _ | Term.Struct _) as g -> (
       let p = Option.get (Term.functor_of g) in
       match Hashtbl.find_opt e.builtins p with

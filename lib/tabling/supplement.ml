@@ -54,7 +54,7 @@ let fold_clause ~threshold ~prefix idx (c : Parser.clause) :
       let sup =
         Term.mkl
           (Printf.sprintf "%s%d_%d" prefix idx (i + 1))
-          (List.map (fun v -> Term.Var v) keep)
+          (List.map (fun v -> Term.var v) keep)
       in
       let body_i =
         match !prev with None -> [ lit ] | Some p -> [ p; lit ]

@@ -6,7 +6,7 @@ open Prax_logic
 open Prax_bottomup
 
 let v = Term.fresh_var
-let a s = Term.Atom s
+let a s = Term.atom s
 
 let atom name args = { Datalog.pred = (name, List.length args); args = Array.of_list args }
 
@@ -18,8 +18,8 @@ let graph_rules extra_edges =
   let x = v () and y = v () and z = v () in
   [
     edge "a" "b"; edge "b" "c"; edge "c" "d";
-    rule (atom "path" [ Term.Var 900001; Term.Var 900002 ])
-      [ atom "edge" [ Term.Var 900001; Term.Var 900002 ] ];
+    rule (atom "path" [ Term.var 900001; Term.var 900002 ])
+      [ atom "edge" [ Term.var 900001; Term.var 900002 ] ];
     rule
       (atom "path" [ x; y ])
       [ atom "edge" [ x; z ] |> Fun.id; atom "path" [ z; y ] ];

@@ -18,13 +18,13 @@ let test_gamma_unifies_ground () =
   (match Domain.unify Subst.empty Domain.gamma (parse "f(a, b)") with
   | Some _ -> ()
   | None -> Alcotest.fail "gamma ~ ground struct");
-  match Domain.unify Subst.empty Domain.gamma (Term.Int 3) with
+  match Domain.unify Subst.empty Domain.gamma (Term.int 3) with
   | Some _ -> ()
   | None -> Alcotest.fail "gamma ~ int"
 
 let test_gamma_grounds_variables () =
   let x = Term.fresh_var () in
-  let t = Term.Struct ("f", [| x; Term.Atom "a" |]) in
+  let t = Term.mk "f" [| x; Term.atom "a" |] in
   match Domain.unify Subst.empty Domain.gamma t with
   | Some s ->
       Alcotest.(check string) "var bound to gamma" "'$gamma'"
@@ -42,7 +42,7 @@ let test_abstract_clash () =
 
 let test_abstract_occur_check () =
   let x = Term.fresh_var () in
-  let fx = Term.Struct ("f", [| x |]) in
+  let fx = Term.mk "f" [| x |] in
   Alcotest.(check bool) "occur check" true
     (Domain.unify Subst.empty x fx = None)
 
@@ -66,7 +66,7 @@ let test_truncate_nonground_becomes_var () =
   let t = parse "f(g(h(X)))" in
   let tr = Domain.truncate ~k:2 t in
   match Canon.of_term tr with
-  | Term.Struct ("f", [| Term.Struct ("g", [| Term.Var _ |]) |]) -> ()
+  | Term.Struct ("f", [| Term.Struct ("g", [| Term.Var _ |], _) |], _) -> ()
   | t' -> Alcotest.failf "expected f(g(Var)), got %s" (show t')
 
 let test_truncate_shallow_unchanged () =
@@ -119,7 +119,7 @@ let test_structure_tracked () =
     (List.exists
        (fun a ->
          match Term.args_of a with
-         | [| Term.Struct (".", [| Term.Atom "a"; _ |]) |] -> true
+         | [| Term.Struct (".", [| Term.Atom "a"; _ |], _) |] -> true
          | _ -> false)
        r.Analyze.answers)
 

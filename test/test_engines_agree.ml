@@ -76,7 +76,7 @@ let bottomup_success src =
         (fun tup ->
           let row = ref 0 in
           Array.iteri
-            (fun i t -> if Term.equal t (Term.Atom "true") then row := !row lor (1 lsl i))
+            (fun i t -> if Term.equal t Term.true_ then row := !row lor (1 lsl i))
             tup;
           Bf.add f !row)
         tuples;

@@ -233,10 +233,10 @@ let test_datalog_partial () =
         D.head = a ("tc", 2) [ x; z ];
         body = [ a ("edge", 2) [ x; y ]; a ("tc", 2) [ y; z ] ];
       };
-      fact ("edge", 2) [ Term.Atom "a"; Term.Atom "b" ];
-      fact ("edge", 2) [ Term.Atom "b"; Term.Atom "c" ];
-      fact ("edge", 2) [ Term.Atom "c"; Term.Atom "d" ];
-      fact ("edge", 2) [ Term.Atom "d"; Term.Atom "a" ];
+      fact ("edge", 2) [ Term.atom "a"; Term.atom "b" ];
+      fact ("edge", 2) [ Term.atom "b"; Term.atom "c" ];
+      fact ("edge", 2) [ Term.atom "c"; Term.atom "d" ];
+      fact ("edge", 2) [ Term.atom "d"; Term.atom "a" ];
     ]
   in
   let intensional, db = D.load rules in
@@ -300,7 +300,7 @@ let test_combine () =
 
 let test_schema_versioning () =
   let module M = Prax_metrics.Metrics in
-  Alcotest.(check int) "schema bumped for status/budget fields" 2
+  Alcotest.(check int) "schema bumped for term-representation counters" 3
     M.schema_version;
   Alcotest.(check bool) "v1 documents still accepted" true
     (M.schema_version_supported 1);

@@ -1,0 +1,265 @@
+(* Interned-term representation tests: the hash-consed [Term] must be
+   observationally identical to the seed's plain structural
+   representation.  Reference implementations of equality, comparison,
+   groundness, size, and variant checking are re-stated here exactly as
+   the seed defined them (structurally, no meta word, no physical
+   equality) and property-tested against the interned versions on
+   random terms; variant semantics additionally gets a ≥10k-pair run
+   against an independent bijection-based oracle. *)
+
+open Prax_logic
+
+(* --- reference (seed) definitions -------------------------------------- *)
+
+let rec ref_equal t1 t2 =
+  match (t1, t2) with
+  | Term.Var i, Term.Var j -> i = j
+  | Term.Int i, Term.Int j -> i = j
+  | Term.Atom a, Term.Atom b -> String.equal a b
+  | Term.Struct (f, a1, _), Term.Struct (g, a2, _) ->
+      String.equal f g
+      && Array.length a1 = Array.length a2
+      && ref_equal_args a1 a2 0
+  | _ -> false
+
+and ref_equal_args a1 a2 i =
+  i >= Array.length a1 || (ref_equal a1.(i) a2.(i) && ref_equal_args a1 a2 (i + 1))
+
+let rec ref_compare t1 t2 =
+  match (t1, t2) with
+  | Term.Var i, Term.Var j -> Int.compare i j
+  | Term.Var _, _ -> -1
+  | _, Term.Var _ -> 1
+  | Term.Int i, Term.Int j -> Int.compare i j
+  | Term.Int _, _ -> -1
+  | _, Term.Int _ -> 1
+  | Term.Atom a, Term.Atom b -> String.compare a b
+  | Term.Atom _, _ -> -1
+  | _, Term.Atom _ -> 1
+  | Term.Struct (f, a1, _), Term.Struct (g, a2, _) ->
+      let c = String.compare f g in
+      if c <> 0 then c
+      else
+        let c = Int.compare (Array.length a1) (Array.length a2) in
+        if c <> 0 then c else ref_compare_args a1 a2 0
+
+and ref_compare_args a1 a2 i =
+  if i >= Array.length a1 then 0
+  else
+    let c = ref_compare a1.(i) a2.(i) in
+    if c <> 0 then c else ref_compare_args a1 a2 (i + 1)
+
+let rec ref_is_ground = function
+  | Term.Var _ -> false
+  | Term.Int _ | Term.Atom _ -> true
+  | Term.Struct (_, args, _) -> Array.for_all ref_is_ground args
+
+let rec ref_size = function
+  | Term.Var _ | Term.Int _ | Term.Atom _ -> 1
+  | Term.Struct (_, args, _) ->
+      Array.fold_left (fun acc t -> acc + ref_size t) 1 args
+
+let rec ref_occurs id = function
+  | Term.Var i -> i = id
+  | Term.Int _ | Term.Atom _ -> false
+  | Term.Struct (_, args, _) -> Array.exists (ref_occurs id) args
+
+(* Variant oracle, independent of canonicalization: a bijection between
+   the variable occurrences must exist. *)
+let ref_variant t1 t2 =
+  let fwd = Hashtbl.create 8 and bwd = Hashtbl.create 8 in
+  let rec go t1 t2 =
+    match (t1, t2) with
+    | Term.Var i, Term.Var j -> (
+        match (Hashtbl.find_opt fwd i, Hashtbl.find_opt bwd j) with
+        | None, None ->
+            Hashtbl.add fwd i j;
+            Hashtbl.add bwd j i;
+            true
+        | Some j', Some i' -> j' = j && i' = i
+        | _ -> false)
+    | Term.Int a, Term.Int b -> a = b
+    | Term.Atom a, Term.Atom b -> String.equal a b
+    | Term.Struct (f, a1, _), Term.Struct (g, a2, _) ->
+        String.equal f g
+        && Array.length a1 = Array.length a2
+        &&
+        let n = Array.length a1 in
+        let rec args i = i >= n || (go a1.(i) a2.(i) && args (i + 1)) in
+        args 0
+    | _ -> false
+  in
+  go t1 t2
+
+(* Rebuild through the public constructors with fresh argument arrays:
+   structurally identical, but constructed independently. *)
+let rec deep_copy = function
+  | Term.Var i -> Term.var i
+  | Term.Int i -> Term.int i
+  | Term.Atom a -> Term.atom a
+  | Term.Struct (f, args, _) -> Term.mk f (Array.map deep_copy args)
+
+(* Consistent variable renaming with an offset: a variant by construction. *)
+let rename_by n t = Term.map_vars (fun i -> Term.var (i + n)) t
+
+(* --- generators --------------------------------------------------------- *)
+
+let gen_term =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then
+           oneof
+             [
+               map (fun i -> Term.var (i mod 6)) small_nat;
+               map (fun i -> Term.int i) small_int;
+               oneofl [ Term.atom "a"; Term.atom "b"; Term.atom "c" ];
+             ]
+         else
+           frequency
+             [
+               (2, map (fun i -> Term.var (i mod 6)) small_nat);
+               (1, oneofl [ Term.atom "a"; Term.atom "b" ]);
+               ( 3,
+                 map2
+                   (fun f args -> Term.mkl f args)
+                   (oneofl [ "f"; "g"; "h"; "." ])
+                   (list_size (int_range 1 3) (self (n / 2))) );
+             ])
+
+let gen_pair = QCheck2.Gen.pair gen_term gen_term
+
+(* --- properties --------------------------------------------------------- *)
+
+let prop name count gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let equal_agrees =
+  prop "equal agrees with seed structural equality" 2000 gen_pair
+    (fun (t1, t2) ->
+      Term.equal t1 t2 = ref_equal t1 t2
+      && Term.equal t1 (deep_copy t1)
+      && ref_equal t1 (deep_copy t1))
+
+let compare_agrees =
+  prop "compare agrees with seed structural order" 2000 gen_pair
+    (fun (t1, t2) ->
+      Stdlib.compare (Int.compare (Term.compare t1 t2) 0)
+        (Int.compare (ref_compare t1 t2) 0)
+      = 0
+      && Term.compare t1 (deep_copy t1) = 0)
+
+let hash_consistent =
+  prop "hash is consistent with equality" 2000 gen_pair (fun (t1, t2) ->
+      Term.hash t1 = Term.hash (deep_copy t1)
+      && ((not (ref_equal t1 t2)) || Term.hash t1 = Term.hash t2))
+
+let meta_agrees =
+  prop "O(1) size/ground/occurs agree with traversal" 2000 gen_term (fun t ->
+      Term.size t = ref_size t
+      && Term.is_ground t = ref_is_ground t
+      && List.for_all
+           (fun id -> Term.occurs id t = ref_occurs id t)
+           [ 0; 1; 2; 3; 4; 5; 99 ])
+
+let hashcons_sharing =
+  prop "structurally equal ground callables are physically equal" 1000
+    gen_term (fun t ->
+      let c = deep_copy t in
+      match t with
+      | Term.Atom _ -> t == c
+      | Term.Struct _ when Term.is_ground t -> t == c
+      | _ -> Term.equal t c)
+
+(* The headline property: variant checking via interned canonical forms
+   agrees with the bijection oracle.  ≥10k pairs: 6000 independent
+   random pairs (mostly negative) + 6000 positive-by-construction
+   renamings (flipping one into a near-miss half the time). *)
+let variant_random =
+  prop "variant agrees with oracle (random pairs)" 6000 gen_pair
+    (fun (t1, t2) -> Canon.variant t1 t2 = ref_variant t1 t2)
+
+let variant_renamed =
+  prop "variant agrees with oracle (renamed pairs)" 6000
+    QCheck2.Gen.(pair gen_term small_nat)
+    (fun (t, salt) ->
+      let r = rename_by (100 + (salt mod 7)) t in
+      let r =
+        (* half the time, graft a leaf change to exercise near-misses *)
+        if salt mod 2 = 0 then r
+        else Term.mk "f" [| r; Term.atom "zz" |]
+      in
+      Canon.variant t r = ref_variant t r)
+
+let canonical_stable =
+  prop "canonical forms stable under renaming" 2000 gen_term (fun t ->
+      let c = Canon.of_term t in
+      Term.equal c (Canon.of_term c)
+      && Term.equal c (Canon.of_term (rename_by 1000 t))
+      && Term.equal c (Canon.of_term (Term.rename t)))
+
+let table_keys_collapse =
+  prop "Canon.Tbl collapses a variant class to one key" 500 gen_term (fun t ->
+      let tbl = Canon.Tbl.create 4 in
+      List.iter
+        (fun v -> Canon.Tbl.replace tbl (Canon.of_term v) ())
+        [ t; rename_by 17 t; rename_by 4242 t; Term.rename t ];
+      Canon.Tbl.length tbl = 1)
+
+(* --- unit tests --------------------------------------------------------- *)
+
+let test_symbol_roundtrip () =
+  List.iter
+    (fun s ->
+      let id = Symbol.intern s in
+      Alcotest.(check string) ("name of " ^ s) s (Symbol.name id);
+      Alcotest.(check bool) "re-intern is identical" true
+        (Symbol.equal id (Symbol.intern s));
+      Alcotest.(check int) "hash matches the canonical string's" (Hashtbl.hash s)
+        (Symbol.hash id))
+    [ "foo"; ""; "with space"; "[]"; "."; ","; "gp_append"; "foo" ];
+  Alcotest.(check bool) "interned names are known" true (Symbol.mem "foo");
+  Alcotest.(check bool) "unknown names are not" false
+    (Symbol.mem "never_interned_xyzzy")
+
+let test_atom_uniqueness () =
+  Alcotest.(check bool) "atoms unique per name" true
+    (Term.atom "unique_atom_t" == Term.atom "unique_atom_t");
+  Alcotest.(check bool) "parser output shares atom nodes" true
+    (Parser.parse_term "hello" == Term.atom "hello")
+
+let test_struct_sharing () =
+  let a = Term.mk "pt" [| Term.int 1; Term.int 2 |] in
+  let b = Term.mk "pt" [| Term.int 1; Term.int 2 |] in
+  Alcotest.(check bool) "hash-consed structs shared" true (a == b);
+  let c = Parser.parse_term "pt(1, 2)" in
+  Alcotest.(check bool) "parsed structs shared too" true (a == c)
+
+let test_meta_word () =
+  let t = Parser.parse_term "f(g(a, X), h(1, 2, 3))" in
+  Alcotest.(check int) "size" 8 (Term.size t);
+  Alcotest.(check bool) "not ground" false (Term.is_ground t);
+  let g = Parser.parse_term "f(g(a, b), h(1, 2, 3))" in
+  Alcotest.(check bool) "ground" true (Term.is_ground g)
+
+let () =
+  Alcotest.run "intern"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "symbol round-trip" `Quick test_symbol_roundtrip;
+          Alcotest.test_case "atom uniqueness" `Quick test_atom_uniqueness;
+          Alcotest.test_case "struct hash-consing" `Quick test_struct_sharing;
+          Alcotest.test_case "meta word" `Quick test_meta_word;
+        ] );
+      ( "agreement-with-seed",
+        [
+          equal_agrees;
+          compare_agrees;
+          hash_consistent;
+          meta_agrees;
+          hashcons_sharing;
+        ] );
+      ("variants", [ variant_random; variant_renamed; canonical_stable;
+                     table_keys_collapse ]);
+    ]

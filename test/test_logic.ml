@@ -101,7 +101,7 @@ let test_parse_underscore () =
 let test_parse_if_then_else () =
   let t = parse "(a -> b ; c)" in
   match t with
-  | Term.Struct (";", [| Term.Struct ("->", _); Term.Atom "c" |]) -> ()
+  | Term.Struct (";", [| Term.Struct ("->", _, _); Term.Atom "c" |], _) -> ()
   | _ -> Alcotest.failf "if-then-else shape, got %s" (show t)
 
 let test_parse_op_directive () =
@@ -109,7 +109,7 @@ let test_parse_op_directive () =
   match items with
   | [ Parser.Directive _; Parser.Clause c ] -> (
       match c.Parser.head with
-      | Term.Struct ("===", [| _; _ |]) -> ()
+      | Term.Struct ("===", [| _; _ |], _) -> ()
       | t -> Alcotest.failf "custom op, got %s" (show t))
   | _ -> Alcotest.fail "expected directive + clause"
 
@@ -146,8 +146,8 @@ let test_unify_failure () =
   Alcotest.(check bool) "arity" false (Unify.unifiable (parse "f(a)") (parse "f(a,b)"))
 
 let test_unify_occur_check () =
-  let x = Term.Var 1 in
-  let fx = Term.Struct ("f", [| x |]) in
+  let x = Term.var 1 in
+  let fx = Term.mk "f" [| x |] in
   Alcotest.(check bool) "no occur-check binds" true
     (Option.is_some (Unify.unify Subst.empty x fx));
   Alcotest.(check bool) "occur-check rejects" false
@@ -155,11 +155,11 @@ let test_unify_occur_check () =
 
 let test_unify_chains () =
   (* X=Y, Y=Z, Z=a must make all three a *)
-  let x = Term.Var 101 and y = Term.Var 102 and z = Term.Var 103 in
+  let x = Term.var 101 and y = Term.var 102 and z = Term.var 103 in
   let s = Subst.empty in
   let s = Option.get (Unify.unify s x y) in
   let s = Option.get (Unify.unify s y z) in
-  let s = Option.get (Unify.unify s z (Term.Atom "a")) in
+  let s = Option.get (Unify.unify s z (Term.atom "a")) in
   check_term "x" "a" (Subst.resolve s x);
   check_term "y" "a" (Subst.resolve s y)
 
@@ -184,15 +184,15 @@ let gen_term =
       if n <= 0 then
         oneof
           [
-            map (fun i -> Term.Var (i mod 4)) small_nat;
-            map (fun i -> Term.Int i) small_int;
-            oneofl [ Term.Atom "a"; Term.Atom "b"; Term.Atom "c" ];
+            map (fun i -> Term.var (i mod 4)) small_nat;
+            map (fun i -> Term.int i) small_int;
+            oneofl [ Term.atom "a"; Term.atom "b"; Term.atom "c" ];
           ]
       else
         frequency
           [
-            (2, map (fun i -> Term.Var (i mod 4)) small_nat);
-            (1, oneofl [ Term.Atom "a"; Term.Atom "b" ]);
+            (2, map (fun i -> Term.var (i mod 4)) small_nat);
+            (1, oneofl [ Term.atom "a"; Term.atom "b" ]);
             ( 3,
               map2
                 (fun f args -> Term.mkl f args)
@@ -249,7 +249,7 @@ let db_of src =
 (* parse goal and answer template together so they share variable scope *)
 let answers db q tmpl =
   match parse (Printf.sprintf "(%s) - (%s)" q tmpl) with
-  | Term.Struct ("-", [| g; t |]) ->
+  | Term.Struct ("-", [| g; t |], _) ->
       Sld.all_answers db g t |> List.map (fun a -> show (Canon.of_term a))
   | _ -> assert false
 

@@ -39,7 +39,7 @@ let test_demand_lattice () =
   Alcotest.(check bool) "not strict n" false (is_strict N);
   (* unbound variables collect as N *)
   Alcotest.(check bool) "var is N" true
-    (of_term (Prax_logic.Term.Var 3) = Some N)
+    (of_term (Prax_logic.Term.var 3) = Some N)
 
 (* --- basic propagations -------------------------------------------------- *)
 

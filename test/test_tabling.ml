@@ -141,7 +141,7 @@ let test_builtin_registration () =
   Engine.register_builtin e "myplus" 3 (fun eng s args sc ->
       match (Subst.walk s args.(0), Subst.walk s args.(1)) with
       | Term.Int a, Term.Int b -> (
-          match (Engine.concrete_hooks.Engine.unify) s args.(2) (Term.Int (a + b)) with
+          match (Engine.concrete_hooks.Engine.unify) s args.(2) (Term.int (a + b)) with
           | Some s' -> sc s'
           | None -> ())
       | _ ->
