@@ -891,6 +891,106 @@ let profile () =
   Printf.printf "%d runs in %.3fs (%.4fs/run)\n%!" reps dt
     (dt /. float_of_int reps)
 
+(* ------------------------------------------------------------------ *)
+(* Batch: supervised fork-per-job overhead and store warm-start        *)
+(* ------------------------------------------------------------------ *)
+
+(* Quantifies what OS-process isolation costs (fork + result-frame
+   round trip per job, vs calling the analyzer in-process) and what the
+   persistent store buys back (a warm second run answers every job from
+   snapshots without forking at all).  docs/ROBUSTNESS.md describes the
+   supervision protocol and the snapshot format. *)
+let batch () =
+  section
+    "Batch: supervised fork-per-job overhead vs in-process, and \
+     persistent-store warm start";
+  let names = [ "cs"; "disj"; "gabriel"; "qsort"; "queens"; "read" ] in
+  let sources = List.map (fun n -> (n, src n)) names in
+  let jobs = List.map fst sources in
+  let config =
+    {
+      Serve.default_config with
+      Serve.jobs = 2;
+      budget = Guard.spec ~timeout:bench_timeout ();
+    }
+  in
+  let worker ~job ~attempt:_ ~guard =
+    let rep = Groundness.analyze ~guard (List.assoc job sources) in
+    match rep.Prax_ground.Analyze.status with
+    | Guard.Complete -> (Serve.Complete, "ok:" ^ job)
+    | Guard.Partial { reason; _ } ->
+        (Serve.Partial_result (Guard.reason_to_string reason), "partial:" ^ job)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let inproc, () =
+    time (fun () ->
+        List.iter
+          (fun (_, source) ->
+            ignore (Groundness.analyze ~guard:(bench_guard ()) source))
+          sources)
+  in
+  let cold, _ = time (fun () -> Serve.run_batch ~config ~worker jobs) in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "prax-bench-store.%d" (Unix.getpid ()))
+  in
+  let store = Store.open_dir dir in
+  let key_of job =
+    {
+      Store.analysis = "groundness";
+      source_digest = Store.digest_source (List.assoc job sources);
+      config = "mode=dynamic";
+      schema_version = Metrics.schema_version;
+    }
+  in
+  let cached ~job = Store.load store (key_of job) in
+  let persist ~job ~payload = Store.save store (key_of job) payload in
+  Metrics.reset ();
+  let cold_store, _ =
+    time (fun () -> Serve.run_batch ~config ~cached ~persist ~worker jobs)
+  in
+  let writes = Metrics.counter_value "store.writes" in
+  Metrics.reset ();
+  let warm, reports =
+    time (fun () -> Serve.run_batch ~config ~cached ~persist ~worker jobs)
+  in
+  let hits = Metrics.counter_value "store.hits" in
+  let forks = Metrics.counter_value "serve.workers_spawned" in
+  let n = List.length jobs in
+  let pct a b = 100. *. (a -. b) /. b in
+  Printf.printf "  %d groundness jobs, %d concurrent workers\n" n
+    config.Serve.jobs;
+  Printf.printf "  in-process, sequential        %8.4fs\n" inproc;
+  Printf.printf "  supervised, no store (cold)   %8.4fs  isolation overhead %+.1f%%\n"
+    cold (pct cold inproc);
+  Printf.printf "  supervised + store (cold)     %8.4fs  %d snapshot writes\n"
+    cold_store writes;
+  Printf.printf
+    "  supervised + store (warm)     %8.4fs  %d/%d store hits, %d forks (%.1fx vs cold)\n"
+    warm hits n forks
+    (if warm > 0. then cold /. warm else 0.);
+  let cached_n =
+    List.length
+      (List.filter
+         (fun r ->
+           match r.Serve.outcome with
+           | Serve.Done { from_cache = true; _ } -> true
+           | _ -> false)
+         reports)
+  in
+  if cached_n <> n then
+    Printf.printf "  WARNING: only %d/%d jobs answered from cache\n" cached_n n;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  Metrics.reset ()
+
 let sections =
   [
     ("table1", table1);
@@ -911,6 +1011,7 @@ let sections =
     ("bechamel", bechamel);
     ("micro", micro);
     ("smoke", smoke);
+    ("batch", batch);
     ("profile", profile);
   ]
 

@@ -18,7 +18,8 @@
      :- set_limit(table_bytes, N).     table-space budget per query
      :- set_limit(off).                lift all budgets
      :- limits.          show the configured budgets
-     :- halt.            leave
+     :- halt.            leave (Ctrl-D halts too; Ctrl-C aborts the
+                         query in flight and returns to the prompt)
    Plain clauses typed at the prompt are asserted.
 
    Budgets degrade gracefully (docs/ROBUSTNESS.md): an exhausted query
@@ -266,11 +267,21 @@ let () =
     Sys.argv;
   print_endline
     "praxtop - tabled logic programming top level  (:- halt. to leave)";
+  (* SIGINT becomes Sys.Break: Ctrl-C aborts the query in flight and
+     returns to the prompt instead of killing the session *)
+  Sys.catch_break true;
   (try
      while true do
        print_string "?- ";
        match In_channel.input_line stdin with
-       | None -> raise Quit
+       | None ->
+           (* EOF (Ctrl-D): halt as cleanly as :- halt. — the newline
+              keeps "bye." off the prompt line *)
+           print_newline ();
+           raise Quit
+       | exception Sys.Break ->
+           (* Ctrl-C at the prompt itself: fresh prompt *)
+           print_newline ()
        | Some line -> (
            (* nothing a line does may kill the session: known engine
               errors get tailored messages; anything else falls through
@@ -280,6 +291,10 @@ let () =
            try handle_line s line
            with
            | Quit -> raise Quit
+           | Sys.Break ->
+               (* the tables were restored by the engine's abort
+                  recovery before the exception reached us *)
+               print_endline "interrupted."
            | Prax_logic.Sld.Existence_error (n, a) ->
                Printf.printf "undefined predicate %s/%d\n" n a
            | Prax_logic.Sld.Instantiation_error w ->

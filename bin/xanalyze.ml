@@ -21,10 +21,14 @@ open Prax
      0  complete result
      1  input or usage error (structured diagnostic on stderr)
      3  partial result: a resource budget was exhausted and the printed
-        result is a sound over-approximation
+        result is a sound over-approximation (in batch mode: at least
+        one job degraded to a partial result)
+     4  batch only: at least one worker crashed after exhausting its
+        retries; the batch report still accounts for every job
    (124/125 are reserved by cmdliner for CLI parse/internal errors.) *)
 let exit_input = 1
 let exit_partial = 3
+let exit_crashed = 4
 
 let read_input = function
   | "-" -> In_channel.input_all stdin
@@ -497,6 +501,344 @@ let widen_cmd =
           on-the-fly widening (Section 6.1)")
     Term.(const run $ input $ bench $ chain)
 
+(* --- batch: supervised analysis of a corpus ------------------------------ *)
+
+(* One batch job = one analysis of one input, run in a forked worker
+   under the supervisor (lib/serve, docs/ROBUSTNESS.md).  Job ids are
+   "groundness:qsort" / "strictness:path/to/prog.eq"; sources are
+   resolved in the parent (input errors exit 1 before anything forks)
+   and inherited by the workers. *)
+
+type batch_job = {
+  bj_analysis : [ `Groundness | `Strictness ];
+  bj_input : string;  (* bench name or file path, for display/keys *)
+  bj_src : string;
+}
+
+let batch_analysis_name = function
+  | `Groundness -> "groundness"
+  | `Strictness -> "strictness"
+
+(* Store keys must distinguish results that could differ: the analysis,
+   the exact source bytes, and the analysis configuration.  The budget
+   is deliberately not in the key — only complete results are
+   persisted, and a complete result does not depend on how generous the
+   budget was. *)
+let batch_config_of = function
+  | `Groundness -> "mode=dynamic"
+  | `Strictness -> "supplementary=true"
+
+let batch_payload ~analysis ~input ~partial ~table_bytes report =
+  Metrics.json_to_string
+    (Metrics.Obj
+       [
+         ("schema", Metrics.Str "prax.result");
+         ("schema_version", Metrics.Int Metrics.schema_version);
+         ("analysis", Metrics.Str analysis);
+         ("input", Metrics.Str input);
+         ( "status",
+           Metrics.Str (if partial then "partial" else "complete") );
+         ("table_bytes", Metrics.Int table_bytes);
+         ("report", Metrics.Str report);
+       ])
+
+let batch_jobs_of_dir dir =
+  let entries =
+    try Array.to_list (Sys.readdir dir)
+    with Sys_error msg ->
+      Printf.eprintf "xanalyze batch: %s\n" msg;
+      exit exit_input
+  in
+  List.filter_map
+    (fun f ->
+      let path = Filename.concat dir f in
+      if Filename.check_suffix f ".pl" then Some (`Groundness, path)
+      else if Filename.check_suffix f ".eq" then Some (`Strictness, path)
+      else None)
+    (List.sort String.compare entries)
+
+let batch_jobs_of_corpus spec =
+  let names =
+    match spec with
+    | "all" ->
+        List.map
+          (fun (b : Benchdata.Registry.logic_bench) -> b.name)
+          Benchdata.Registry.logic_benchmarks
+        @ List.map
+            (fun (b : Benchdata.Registry.fp_bench) -> b.name)
+            Benchdata.Registry.fp_benchmarks
+    | _ -> String.split_on_char ',' spec |> List.map String.trim
+           |> List.filter (fun s -> s <> "")
+  in
+  List.map
+    (fun name ->
+      match
+        (Benchdata.Registry.find_logic name, Benchdata.Registry.find_fp name)
+      with
+      | Some _, _ -> (`Groundness, name)
+      | None, Some _ -> (`Strictness, name)
+      | None, None ->
+          Printf.eprintf "xanalyze batch: unknown benchmark %s\n" name;
+          exit exit_input)
+    names
+
+let batch_cmd =
+  let run dir corpus njobs retries job_timeout store_dir stats timeout
+      max_steps max_bytes =
+    let specs =
+      (match dir with
+      | None -> []
+      | Some d ->
+          if not (Sys.file_exists d && Sys.is_directory d) then begin
+            Printf.eprintf "xanalyze batch: not a directory: %s\n" d;
+            exit exit_input
+          end;
+          batch_jobs_of_dir d)
+      @ (match corpus with None -> [] | Some c -> batch_jobs_of_corpus c)
+    in
+    if specs = [] then begin
+      Printf.eprintf
+        "xanalyze batch: nothing to do (give a DIR of .pl/.eq files and/or \
+         --corpus)\n";
+      exit exit_input
+    end;
+    (* resolve every source up front: input errors are the caller's
+       fault and exit 1 before any worker forks *)
+    let table : (string, batch_job) Hashtbl.t = Hashtbl.create 64 in
+    let jobs =
+      List.filter_map
+        (fun (analysis, input) ->
+          let job = batch_analysis_name analysis ^ ":" ^ input in
+          if Hashtbl.mem table job then None
+          else begin
+            let src =
+              source_of
+                ~bench:
+                  (Benchdata.Registry.find_logic input <> None
+                  || Benchdata.Registry.find_fp input <> None)
+                input
+            in
+            Hashtbl.add table job
+              { bj_analysis = analysis; bj_input = input; bj_src = src };
+            Some job
+          end)
+        specs
+    in
+    let store = Option.map Store.open_dir store_dir in
+    let key_of job =
+      let bj = Hashtbl.find table job in
+      {
+        Store.analysis = batch_analysis_name bj.bj_analysis;
+        source_digest = Store.digest_source bj.bj_src;
+        config = batch_config_of bj.bj_analysis;
+        schema_version = Metrics.schema_version;
+      }
+    in
+    let cached ~job =
+      Option.bind store (fun t -> Store.load t (key_of job))
+    in
+    let persist ~job ~payload =
+      Option.iter (fun t -> Store.save t (key_of job) payload) store
+    in
+    (* the worker body — runs in the forked child *)
+    let worker ~job ~attempt ~guard =
+      (match Inject.worker_fault_of_env ~job ~attempt () with
+      | Some fault -> Inject.apply_worker_fault fault
+      | None -> ());
+      let bj = Hashtbl.find table job in
+      let input = bj.bj_input in
+      match bj.bj_analysis with
+      | `Groundness ->
+          let rep = Groundness.Analyze.analyze ~guard bj.bj_src in
+          let payload =
+            batch_payload ~analysis:"groundness" ~input
+              ~partial:(Guard.is_partial rep.Prax_ground.Analyze.status)
+              ~table_bytes:rep.Prax_ground.Analyze.table_bytes
+              (Prax_ground.Analyze.report_to_string rep)
+          in
+          (match rep.Prax_ground.Analyze.status with
+          | Guard.Complete -> (Serve.Complete, payload)
+          | Guard.Partial { reason; _ } ->
+              (Serve.Partial_result (Guard.reason_to_string reason), payload))
+      | `Strictness ->
+          let rep = Strictness.Analyze.analyze ~guard bj.bj_src in
+          let payload =
+            batch_payload ~analysis:"strictness" ~input
+              ~partial:(Guard.is_partial rep.Prax_strict.Analyze.status)
+              ~table_bytes:rep.Prax_strict.Analyze.table_bytes
+              (Prax_strict.Analyze.report_to_string rep)
+          in
+          (match rep.Prax_strict.Analyze.status with
+          | Guard.Complete -> (Serve.Complete, payload)
+          | Guard.Partial { reason; _ } ->
+              (Serve.Partial_result (Guard.reason_to_string reason), payload))
+    in
+    let config =
+      {
+        Serve.default_config with
+        Serve.jobs = max 1 njobs;
+        retries = max 0 retries;
+        job_timeout;
+        budget = Guard.spec ?timeout ?max_steps ?max_table_bytes:max_bytes ();
+      }
+    in
+    let quiet = report_suppressed stats in
+    let total = List.length jobs in
+    let done_count = ref 0 in
+    let on_report (r : Serve.report) =
+      incr done_count;
+      if not quiet then begin
+        let detail =
+          match r.Serve.outcome with
+          | Serve.Done { from_cache = true; _ } -> "(store hit)"
+          | Serve.Done { partial = Some reason; _ } -> "(" ^ reason ^ ")"
+          | Serve.Done _ -> ""
+          | Serve.Crashed { what; _ } -> "(" ^ what ^ ")"
+        in
+        Printf.printf "[%d/%d] %-40s %-8s %d attempt%s %6.2fs %s\n%!"
+          !done_count total r.Serve.job
+          (Serve.outcome_class r.Serve.outcome)
+          r.Serve.attempts
+          (if r.Serve.attempts = 1 then " " else "s")
+          r.Serve.elapsed detail
+      end
+    in
+    let reports = Serve.run_batch ~config ~cached ~persist ~on_report ~worker jobs in
+    let count cls =
+      List.length
+        (List.filter
+           (fun r -> String.equal (Serve.outcome_class r.Serve.outcome) cls)
+           reports)
+    in
+    let complete = count "complete"
+    and partial = count "partial"
+    and crashed = count "crashed"
+    and from_cache = count "cached" in
+    if not quiet then begin
+      Printf.printf
+        "\nbatch: %d job%s — %d complete, %d partial, %d crashed, %d from \
+         the store\n"
+        total
+        (if total = 1 then "" else "s")
+        complete partial crashed from_cache;
+      List.iter
+        (fun (r : Serve.report) ->
+          match r.Serve.outcome with
+          | Serve.Crashed { what; stderr; _ } ->
+              Printf.printf "  crashed: %s — %s after %d attempts%s\n"
+                r.Serve.job what r.Serve.attempts
+                (if stderr = "" then ""
+                 else
+                   "\n    stderr: "
+                   ^ String.concat "\n    stderr: "
+                       (String.split_on_char '\n' (String.trim stderr)))
+          | Serve.Done _ -> ())
+        reports
+    end;
+    (match stats with
+    | None -> ()
+    | Some fmt -> (
+        let open Prax.Metrics in
+        let snap = snapshot () in
+        let input_label =
+          String.concat "+"
+            ((match dir with Some d -> [ d ] | None -> [])
+            @ match corpus with Some c -> [ "corpus:" ^ c ] | None -> [])
+        in
+        match fmt with
+        | `Human ->
+            print_newline ();
+            print_string (snapshot_to_human snap)
+        | `Json ->
+            let extra =
+              [
+                ("jobs", Int total);
+                ("complete", Int complete);
+                ("partial", Int partial);
+                ("crashed", Int crashed);
+                ("from_cache", Int from_cache);
+              ]
+            in
+            print_endline
+              (json_to_string
+                 (stats_doc ~tool:"xanalyze" ~analysis:"batch"
+                    ~input:input_label ~extra snap))
+        | `Csv -> print_string (snapshot_to_csv snap)));
+    if crashed > 0 then exit exit_crashed
+    else if partial > 0 then exit exit_partial
+  in
+  let dir =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "Directory of inputs: every $(b,.pl) file is analyzed for \
+             groundness, every $(b,.eq) file for strictness.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated corpus benchmark names (see $(b,xanalyze bench)) \
+             to add as jobs, or $(b,all) for the whole registry.")
+  in
+  let njobs =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Concurrent worker processes.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"R"
+          ~doc:
+            "Re-executions of a crashed job after its first attempt; later \
+             retries run at a reduced budget (the degradation ladder, \
+             docs/ROBUSTNESS.md).")
+  in
+  let job_timeout =
+    Arg.(
+      value
+      & opt (some duration_conv) None
+      & info [ "job-timeout" ] ~docv:"DUR"
+          ~doc:
+            "Wall-clock watchdog per job attempt (e.g. $(b,30s)); a worker \
+             still running after DUR is SIGKILLed and the attempt counts as \
+             a crash.")
+  in
+  let store_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persistent result store: completed jobs are saved as crash-safe \
+             snapshots under DIR and answered from the store on the next \
+             run (warm start).  Corrupt or version-skewed snapshots are \
+             detected and silently recomputed.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Supervised batch analysis: every job in its own worker process, \
+          with retry/backoff, a crash watchdog, and an optional persistent \
+          result store"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "$(b,0) every job completed; $(b,1) input or usage error; \
+              $(b,3) at least one job finished with a partial (budget-bounded) \
+              result; $(b,4) at least one job crashed after exhausting its \
+              retries.";
+         ])
+    Term.(
+      const run $ dir $ corpus $ njobs $ retries $ job_timeout $ store_dir
+      $ stats_arg $ timeout_arg $ max_steps_arg $ max_table_bytes_arg)
+
 let () =
   (* workload-sized nursery: tabled evaluation is allocation-heavy and
      the default 256k-word minor heap costs 20-30% of the analysis phase
@@ -511,5 +853,5 @@ let () =
        (Cmd.group (Cmd.info "xanalyze" ~doc)
           [
             groundness_cmd; strictness_cmd; depthk_cmd; run_cmd; eval_cmd;
-            types_cmd; widen_cmd;
+            types_cmd; widen_cmd; batch_cmd;
           ]))

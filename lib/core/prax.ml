@@ -43,6 +43,15 @@ module Guard = Prax_guard.Guard
 
 module Inject = Prax_guard.Inject
 
+(** Supervised batch evaluation: process-isolated worker fleet with a
+    per-job watchdog, retry/backoff, and a degradation ladder (see
+    docs/ROBUSTNESS.md). *)
+module Serve = Prax_serve.Serve
+
+(** Crash-safe persistent store of analysis outcomes: atomic versioned
+    snapshots with CRC trailers, warm-start resume for batches. *)
+module Store = Prax_store.Store
+
 module Logic = struct
   module Term = Prax_logic.Term
   module Subst = Prax_logic.Subst

@@ -160,6 +160,46 @@ let duration_of_string s =
       | "m" | "min" -> Some (v *. 60.)
       | _ -> None)
 
+(* --- budget specifications ---------------------------------------------- *)
+
+type spec = {
+  timeout : float option;
+  max_steps : int option;
+  max_table_bytes : int option;
+}
+
+let no_limits = { timeout = None; max_steps = None; max_table_bytes = None }
+
+let spec ?timeout ?max_steps ?max_table_bytes () =
+  { timeout; max_steps; max_table_bytes }
+
+let spec_is_unlimited = function
+  | { timeout = None; max_steps = None; max_table_bytes = None } -> true
+  | _ -> false
+
+let scale_spec s f =
+  {
+    (* floors keep a deeply-scaled budget trippable: a 0 step budget
+       would read as max_int and a 0s timeout as "instant", both wrong *)
+    timeout = Option.map (fun t -> Float.max 1e-3 (t *. f)) s.timeout;
+    max_steps = Option.map (fun n -> max 1 (int_of_float (float_of_int n *. f))) s.max_steps;
+    max_table_bytes =
+      Option.map (fun n -> max 1 (int_of_float (float_of_int n *. f))) s.max_table_bytes;
+  }
+
+let of_spec s =
+  if spec_is_unlimited s then unlimited
+  else
+    create ?timeout:s.timeout ?max_steps:s.max_steps
+      ?max_table_bytes:s.max_table_bytes ()
+
+let spec_to_string s =
+  let b f = function None -> "off" | Some v -> f v in
+  Printf.sprintf "timeout=%s steps=%s bytes=%s"
+    (b (Printf.sprintf "%gs") s.timeout)
+    (b string_of_int s.max_steps)
+    (b string_of_int s.max_table_bytes)
+
 let budget_json_fields g =
   let open Metrics in
   if not g.active then []

@@ -109,6 +109,41 @@ val duration_of_string : string -> float option
 (** Parse a human duration: ["100ms"], ["2s"], ["1.5s"], ["90us"],
     ["2m"], or a bare number meaning seconds.  [None] on junk. *)
 
+(** {1 Budget specifications}
+
+    A {!t} is a live object — its deadline is absolute from creation —
+    so it cannot be stored, shipped to a worker process, or scaled for
+    a retry.  A [spec] is the inert description: the supervisor
+    ({!Prax_serve}) keeps a [spec] per batch, scales it down the
+    degradation ladder, and mints a fresh guard from it at the start of
+    every attempt. *)
+
+type spec = {
+  timeout : float option;  (** seconds of wall clock per attempt *)
+  max_steps : int option;
+  max_table_bytes : int option;
+}
+
+val no_limits : spec
+
+val spec :
+  ?timeout:float -> ?max_steps:int -> ?max_table_bytes:int -> unit -> spec
+
+val spec_is_unlimited : spec -> bool
+
+val scale_spec : spec -> float -> spec
+(** [scale_spec s f] multiplies every finite budget by [f] (floors at 1
+    step / 1 byte / 1ms so a scaled budget still trips rather than
+    degenerating to zero-which-means-unlimited). *)
+
+val of_spec : spec -> t
+(** A fresh guard honoring [spec]; {!unlimited} when nothing is set
+    (the deadline clock starts now). *)
+
+val spec_to_string : spec -> string
+(** Human rendering, e.g. ["timeout=2s steps=10000 bytes=off"]; used in
+    batch reports and as a store-key configuration discriminator. *)
+
 val budget_json_fields : t -> (string * Prax_metrics.Metrics.json) list
 (** [("budget", {...})] fields for a prax.stats document (empty list for
     {!unlimited}); see docs/METRICS.md. *)

@@ -38,3 +38,93 @@ let events_of (f : Guard.t -> unit) : int =
   let g = Guard.counting () in
   f g;
   Guard.steps g
+
+(** {1 Worker-process faults}
+
+    The in-process harness above proves abort-anywhere for one engine;
+    the supervisor ({!Prax_serve}) additionally promises that a worker
+    {e process} dying arbitrarily — SIGKILL, OOM-kill, a hang — cannot
+    take down a batch.  That promise is exercised by planting faults in
+    the worker via an environment variable, because the fault must
+    occur in the forked child, beyond any in-process control flow the
+    supervisor could see.
+
+    Grammar of [PRAX_INJECT_WORKER] (comma-separated directives):
+
+    {v kind:job[:attempt]     kind ∈ {crash, exit, hang}
+crash:kalah:1          SIGKILL itself on kalah's first attempt
+exit:*:2               exit(70) on every job's second attempt
+hang:qsort             sleep forever on every qsort attempt v}
+
+    [job] is the job id ["*"] for any; [attempt] is 1-based, omitted
+    for any.  Faults are planted before the analysis starts, so a
+    crashed attempt has produced no result frame — exactly the
+    worker-death shape the retry ladder must absorb. *)
+
+type worker_fault =
+  | Kill_self  (** SIGKILL own pid: the mid-job `kill -9` drill *)
+  | Exit_nonzero  (** exit(70): a crashing worker that dies politely *)
+  | Hang  (** sleep past any watchdog: exercises the SIGKILL path *)
+
+let inject_worker_var = "PRAX_INJECT_WORKER"
+
+let worker_fault_of_string ~job ~attempt (value : string) :
+    worker_fault option =
+  let directive d =
+    let d = String.trim d in
+    match String.index_opt d ':' with
+    | None -> None
+    | Some i -> (
+        let kind = String.sub d 0 i in
+        let rest = String.sub d (i + 1) (String.length d - i - 1) in
+        (* job names may themselves contain ':' (batch job ids are
+           "analysis:input"), so the attempt selector is only the
+           *last* segment, and only when it parses as an integer *)
+        let job, attempt =
+          match String.rindex_opt rest ':' with
+          | None -> (rest, None)
+          | Some j -> (
+              let tail =
+                String.sub rest (j + 1) (String.length rest - j - 1)
+              in
+              match int_of_string_opt tail with
+              | Some n -> (String.sub rest 0 j, Some n)
+              | None ->
+                  if String.equal tail "" then (String.sub rest 0 j, None)
+                  else (rest, None))
+        in
+        if String.equal job "" then None else Some (kind, job, attempt))
+  in
+  let matches (kind, j, a) =
+    (String.equal j "*" || String.equal j job)
+    && (match a with None -> true | Some n -> n = attempt)
+    &&
+    match kind with "crash" | "exit" | "hang" -> true | _ -> false
+  in
+  String.split_on_char ',' value
+  |> List.filter_map directive
+  |> List.find_opt matches
+  |> Option.map (fun (kind, _, _) ->
+         match kind with
+         | "crash" -> Kill_self
+         | "exit" -> Exit_nonzero
+         | _ -> Hang)
+
+(** The fault planted for [job]'s [attempt], read from
+    [PRAX_INJECT_WORKER] (unset / no match: [None]). *)
+let worker_fault_of_env ~job ~attempt () : worker_fault option =
+  match Sys.getenv_opt inject_worker_var with
+  | None | Some "" -> None
+  | Some v -> worker_fault_of_string ~job ~attempt v
+
+(** Execute a planted fault inside the worker process.  Does not
+    return (kills, exits, or sleeps far past any sane watchdog). *)
+let apply_worker_fault : worker_fault -> unit = function
+  | Kill_self -> Unix.kill (Unix.getpid ()) Sys.sigkill
+  | Exit_nonzero -> exit 70
+  | Hang ->
+      (* long enough that only the watchdog ends it; loop in case a
+         stray signal interrupts the sleep *)
+      while true do
+        Unix.sleepf 3600.
+      done

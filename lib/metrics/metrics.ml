@@ -24,8 +24,16 @@ let schema_name = "prax.stats"
    v3 (additive over v2): the term-representation counters
    intern.symbols, hashcons.hits, hashcons.misses introduced with
    interned symbols and hash-consed terms.  No field changed shape; v2
-   consumers that ignore unknown counters keep working. *)
-let schema_version = 3
+   consumers that ignore unknown counters keep working.
+
+   v4 (additive over v3): the supervised-batch counters — serve.jobs,
+   serve.workers_spawned, serve.crashes, serve.watchdog_kills,
+   serve.retries, serve.backoff_ms, serve.bad_frames, serve.partials,
+   serve.cache_answers — and the persistent-store counters store.hits,
+   store.misses, store.writes, store.corrupt_detected,
+   store.version_skew.  The batch surface also emits per-batch
+   documents with analysis="batch".  No field changed shape. *)
+let schema_version = 4
 let min_supported_schema_version = 1
 
 let schema_version_supported v =

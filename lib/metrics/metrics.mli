@@ -29,12 +29,14 @@ val schema_version : int
 (** Version of the serialized stats schema.  Bump it (and document the
     change in [docs/METRICS.md]) whenever a field is renamed, removed,
     or changes meaning; adding new counters does not require a bump.
-    History: 1 = initial; 2 = adds evaluation status/budget fields
-    (additive — v1 documents remain valid). *)
+    History: 1 = initial; 2 = adds evaluation status/budget fields;
+    3 = adds term-representation counters; 4 = adds the supervised-batch
+    [serve.] and persistent-store [store.] counter families (all
+    additive — older documents remain valid). *)
 
 val min_supported_schema_version : int
 (** Oldest schema version consumers of prax.stats documents are expected
-    to accept.  v2 is additive over v1, so this stays 1. *)
+    to accept.  Every bump so far is additive, so this stays 1. *)
 
 val schema_version_supported : int -> bool
 (** [schema_version_supported v]: does a document claiming version [v]

@@ -1,0 +1,128 @@
+(** Supervised batch evaluation: a worker-pool supervisor with
+    OS-process isolation.
+
+    The paper's evaluation is a batch over a 22-program corpus; one bad
+    input — a transform that diverges past every budget, a term that
+    blows the table, a plain bug that segfaults the runtime — must not
+    invalidate the whole run.  {!Prax_guard} gives {e in-process}
+    isolation (budgets, sound partial results); this module adds the
+    next rung, {e OS-process} isolation: every analysis job runs in a
+    forked worker, so a crash, hang, or OOM kill in one job cannot take
+    down the batch, and the batch always terminates with a complete
+    per-job report.
+
+    {2 Supervision protocol}
+
+    - One [fork]ed worker per job attempt; results come back over a
+      pipe as a single length-prefixed, MD5-digest-checked frame, so a
+      worker that dies mid-write (truncated frame) or scribbles on its
+      pipe (digest mismatch) is classified as crashed, never as a
+      bogus result.
+    - Worker stderr is captured over a second pipe (bounded) and
+      attached to crash records.
+    - A per-attempt wall-clock watchdog [SIGKILL]s hung workers
+      ([serve.watchdog_kills]).
+    - Crashed attempts are retried up to [retries] times with
+      exponential backoff plus deterministic jitter
+      ([serve.retries], [serve.backoff_ms]).
+    - The degradation ladder (docs/ROBUSTNESS.md): attempt at full
+      budget → retry at full budget → retries at a reduced
+      {!Prax_guard.Guard.spec} budget (so a job that dies {e because}
+      of its budget appetite completes degraded instead of crashing
+      forever) → a worker that completes under budget exhaustion
+      reports [Partial] → only when every attempt died is the job
+      recorded [Crashed], with the last exit status and captured
+      stderr.
+
+    The supervisor is single-threaded ([select]-based) and generic in
+    the worker function; the analysis wiring lives in [bin/xanalyze.ml]
+    (the [batch] command) and the bench harness. *)
+
+module Guard = Prax_guard.Guard
+
+type config = {
+  jobs : int;  (** concurrent workers (≥ 1) *)
+  retries : int;  (** re-executions after the first attempt (≥ 0) *)
+  job_timeout : float option;
+      (** watchdog: seconds of wall clock per attempt before SIGKILL *)
+  budget : Guard.spec;
+      (** in-worker evaluation budget for attempt 1 (and 2); minted
+          fresh per attempt *)
+  reduced_budget_factor : float;
+      (** per-extra-attempt budget scale applied from attempt 3 on
+          (the "retry at reduced budget" rung); 0 < f ≤ 1 *)
+  backoff_base : float;  (** seconds before the first retry *)
+  backoff_factor : float;  (** exponential growth per further retry *)
+  backoff_jitter : float;
+      (** relative jitter amplitude in [0,1], deterministic per
+          (job, attempt) so runs are reproducible *)
+  max_stderr_bytes : int;  (** cap on captured worker stderr *)
+  max_frame_bytes : int;  (** cap on a result frame's payload *)
+}
+
+val default_config : config
+(** [jobs=2; retries=2; job_timeout=None; budget=no_limits;
+    reduced_budget_factor=0.5; backoff_base=0.05; backoff_factor=2.0;
+    backoff_jitter=0.25; max_stderr_bytes=64k; max_frame_bytes=256M] *)
+
+(** What a worker reports about its own evaluation. *)
+type worker_status =
+  | Complete
+  | Partial_result of string  (** sound degraded result; the reason *)
+
+(** A failed attempt, as observed by the supervisor. *)
+type crash = {
+  attempt : int;  (** 1-based *)
+  what : string;
+      (** ["signal -7"], ["exit 70"], ["watchdog SIGKILL after 2.0s"],
+          ["bad frame: ..."] *)
+  stderr : string;  (** captured worker stderr (bounded) *)
+}
+
+type outcome =
+  | Done of {
+      payload : string;  (** the worker's result frame *)
+      partial : string option;  (** degradation reason when partial *)
+      from_cache : bool;  (** answered by [cached] without forking *)
+    }
+  | Crashed of crash  (** the last attempt; earlier ones in [crashes] *)
+
+type report = {
+  job : string;
+  outcome : outcome;
+  attempts : int;  (** 0 when answered from cache *)
+  crashes : crash list;  (** every failed attempt, oldest first *)
+  elapsed : float;  (** seconds, spawn of first attempt → outcome *)
+  backoff : float;  (** seconds spent waiting between attempts *)
+}
+
+val outcome_class : outcome -> string
+(** ["complete"], ["partial"], ["crashed"], or ["cached"] — the batch
+    report / exit-code classification. *)
+
+val run_batch :
+  ?config:config ->
+  ?cached:(job:string -> string option) ->
+  ?persist:(job:string -> payload:string -> unit) ->
+  ?on_report:(report -> unit) ->
+  worker:(job:string -> attempt:int -> guard:Guard.t -> worker_status * string) ->
+  string list ->
+  report list
+(** [run_batch ~worker jobs] supervises one worker process per job and
+    returns a report per job, in input order.  [worker] runs {e in the
+    forked child}: it receives the 1-based attempt number and the
+    attempt's guard (already scaled down the ladder) and returns its
+    status and result payload; anything it raises is printed to
+    (captured) stderr and classified as a crash.
+
+    [cached] is consulted before the first spawn of each job; a [Some]
+    answers the job without forking ([from_cache = true]) — the
+    warm-start hook for {!Prax_store}.  [persist] is called in the
+    supervisor on every {e complete} (not partial, not cached) result —
+    the store-write hook.  [on_report] streams each job's final report
+    as it is reached (progress display).
+
+    Counters (docs/METRICS.md): [serve.jobs], [serve.workers_spawned],
+    [serve.crashes], [serve.watchdog_kills], [serve.retries],
+    [serve.backoff_ms], [serve.bad_frames], [serve.partials],
+    [serve.cache_answers]. *)

@@ -1,0 +1,38 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+
+    The snapshot trailer needs an error-detecting code that catches the
+    failure modes a result store actually sees — truncated writes,
+    single flipped bits/bytes from storage rot, swapped blocks — without
+    pulling in a compression library the container does not carry.
+    CRC-32 detects all single- and double-bit errors, any odd number of
+    bit errors, and all burst errors up to 32 bits; collisions require
+    adversarial corruption, which a local result cache does not defend
+    against (the store is a cache, not a security boundary — a miss or a
+    false recompute is always safe). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+(** [update crc s pos len] folds bytes [pos..pos+len-1] of [s] into a
+    running CRC (start from [0l] via {!string_}). *)
+let update (crc : int32) (s : string) pos len : int32 =
+  let t = Lazy.force table in
+  let c = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xffl) in
+    c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let string_ (s : string) : int32 = update 0l s 0 (String.length s)
+
+let to_hex (c : int32) : string = Printf.sprintf "%08lx" c

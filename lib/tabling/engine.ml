@@ -635,6 +635,39 @@ let calls_for e (name, arity) : Term.t list =
          | Some (n, a) -> String.equal n name && a = arity
          | None -> false)
 
+(* --- outcome serialization (docs/ROBUSTNESS.md) -------------------------- *)
+
+(** Canonical textual dump of the call/answer tables: one line per call
+    variant, [call => a1 | a2.] ("-" for an empty answer set), answers
+    and lines sorted.  Canonical terms carry first-occurrence variable
+    numbering, so two engines that derived the same tables — in any
+    discovery order — render byte-identical dumps: the property the
+    persistent store's round-trip check and warm-start digests rely on
+    (parse a line back and the terms re-enter the hash-cons tables as
+    the same canonical forms). *)
+let dump_tables e : string =
+  let lines =
+    Canon.Tbl.fold
+      (fun _ entry acc ->
+        let answers =
+          Vec.to_list entry.answers
+          |> List.sort Term.compare
+          |> List.map Pretty.term_to_string
+        in
+        Printf.sprintf "%s => %s."
+          (Pretty.term_to_string entry.call)
+          (match answers with [] -> "-" | l -> String.concat " | " l)
+        :: acc)
+      e.tables []
+    |> List.sort compare
+  in
+  match lines with [] -> "" | _ -> String.concat "\n" lines ^ "\n"
+
+(** MD5 hex of {!dump_tables} — a compact fingerprint of the complete
+    analysis outcome, recorded in stored snapshots so a warm-started
+    batch can assert bit-identity with recomputation. *)
+let table_digest e : string = Digest.to_hex (Digest.string (dump_tables e))
+
 let stats e = e.stats
 
 let reset_tables e =

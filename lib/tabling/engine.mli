@@ -147,6 +147,19 @@ val table_space_bytes : t -> int
     per-entry overhead), the Table 1/3/4 metric.  Maintained
     incrementally, so O(1). *)
 
+val dump_tables : t -> string
+(** Canonical textual dump of the call/answer tables: one
+    [call => a1 | a2.] line per call variant ("-" when no answers),
+    answers and lines sorted.  Deterministic across runs and engines
+    that derived the same tables (canonical variable numbering), so it
+    serves as the serialized outcome for the persistent store's
+    round-trip verification — parsing a line back re-interns the same
+    canonical terms. *)
+
+val table_digest : t -> string
+(** MD5 hex of {!dump_tables}: a compact outcome fingerprint for
+    stored snapshots and warm-start equality checks. *)
+
 val tables_consistent : ?after_abort:bool -> t -> bool
 (** Table invariants, for tests and debugging: every entry's answer
     vector and dedup set agree; with [~after_abort:true] additionally
