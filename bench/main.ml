@@ -19,6 +19,9 @@ open Prax
    (docs/PERFORMANCE.md quantifies it). *)
 let () = Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 }
 
+(* the registry-driven sections dispatch through Prax.Analysis *)
+let () = Analyses.ensure ()
+
 let line = String.make 78 '-'
 
 let section title =
@@ -712,104 +715,128 @@ let tracked_counters =
     "intern.symbols";
   ]
 
-(* One row per corpus benchmark (Table-1 groundness + Table-3
-   strictness), best of three runs, counters reset per repetition so
-   each row's counters describe exactly the run whose times it reports.
-   The perf trajectory across PRs is tracked by diffing these files;
-   docs/PERFORMANCE.md explains how to read one. *)
+(* Which corpus slice a registered analysis sweeps in benchjson, and
+   any non-default configuration.  Everything else about the row is
+   generic: the analysis is found in the registry and run through
+   [Analysis.run].  depthk reproduces Table 4 (k=1 over the paper's
+   Table-4 subset); the other analyses take their kind's whole corpus
+   at default configuration. *)
+let bench_corpus (a : Analysis.t) :
+    (string * string * int option) list * Analysis.config =
+  match a.Analysis.name with
+  | "depthk" ->
+      ( List.map
+          (fun (b : Benchdata.Registry.logic_bench) ->
+            ( b.Benchdata.Registry.name,
+              b.Benchdata.Registry.source,
+              Some b.Benchdata.Registry.paper_lines ))
+          Benchdata.Registry.table4_benchmarks,
+        [ ("k", "1") ] )
+  | _ ->
+      let rows =
+        match a.Analysis.kind with
+        | Analysis.Logic_program ->
+            List.map
+              (fun (b : Benchdata.Registry.logic_bench) ->
+                ( b.Benchdata.Registry.name,
+                  b.Benchdata.Registry.source,
+                  Some b.Benchdata.Registry.paper_lines ))
+              Benchdata.Registry.logic_benchmarks
+        | Analysis.Fp_program ->
+            List.map
+              (fun (b : Benchdata.Registry.fp_bench) ->
+                ( b.Benchdata.Registry.name,
+                  b.Benchdata.Registry.source,
+                  Some b.Benchdata.Registry.paper_lines ))
+              Benchdata.Registry.fp_benchmarks
+        | Analysis.Cfg_program ->
+            List.map
+              (fun (b : Benchdata.Registry.cfg_bench) ->
+                (b.Benchdata.Registry.name, b.Benchdata.Registry.source, None))
+              Benchdata.Registry.cfg_benchmarks
+      in
+      (rows, [])
+
+(* One row per (registered analysis, corpus benchmark of its kind) —
+   Tables 1, 3, and 4 plus the gaia and dataflow sweeps all go through
+   the same registry dispatch.  Best of three runs, counters reset per
+   repetition so each row's counters describe exactly the run whose
+   times it reports.  The perf trajectory across PRs is tracked by
+   diffing these files; docs/PERFORMANCE.md explains how to read one. *)
 let benchjson () =
   section
     ("Machine-readable engine benchmarks -> " ^ bench_json_file
-   ^ " (docs/PERFORMANCE.md explains the fields)");
+   ^ " (every registered analysis over its corpus; docs/PERFORMANCE.md \
+      explains the fields)");
   let open Metrics in
   let counters_now () =
     List.map (fun c -> (c, Int (counter_value c))) tracked_counters
   in
-  let row ~analysis ~name ~lines ~pre ~ana ~col ~table_bytes
-      ~(st : Prax_tabling.Engine.stats) ~status ~counters =
+  let row ~name ~lines ~(rep : Analysis.report) ~counters =
+    let p = rep.Analysis.phases in
     Obj
-      [
-        ("name", Str name);
-        ("analysis", Str analysis);
-        ("source_lines", Int lines);
-        ( "phases",
-          Obj
+      ([
+         ("name", Str name);
+         ("analysis", Str rep.Analysis.analysis);
+         ("config", Analysis.config_to_json rep.Analysis.config);
+       ]
+      @ (match (rep.Analysis.source_lines, lines) with
+        | Some l, _ | None, Some l -> [ ("source_lines", Int l) ]
+        | None, None -> [])
+      @ [
+          ( "phases",
+            Obj
+              [
+                ("preprocess", Float p.Analysis.preproc);
+                ("evaluate", Float p.Analysis.analysis);
+                ("collect", Float p.Analysis.collection);
+              ] );
+          ("total_seconds", Float (Analysis.total p));
+          ("table_bytes", Int rep.Analysis.table_bytes);
+          ("clause_count", Int rep.Analysis.clause_count);
+        ]
+      @ (match rep.Analysis.engine with
+        | Some e ->
             [
-              ("preprocess", Float pre);
-              ("evaluate", Float ana);
-              ("collect", Float col);
-            ] );
-        ("total_seconds", Float (pre +. ana +. col));
-        ("table_bytes", Int table_bytes);
-        ("table_entries", Int st.Prax_tabling.Engine.table_entries);
-        ("answers", Int st.Prax_tabling.Engine.answers);
-        ("resumptions", Int st.Prax_tabling.Engine.resumptions);
-        ("status", Str (status_cell status));
-        ("counters", Obj counters);
-      ]
+              ("table_entries", Int e.Analysis.table_entries);
+              ("answers", Int e.Analysis.answers);
+              ("resumptions", Int e.Analysis.resumptions);
+            ]
+        | None -> [])
+      @ [ ("status", Str (status_cell rep.Analysis.status));
+          ("counters", Obj counters);
+        ])
   in
-  let ground_rows =
-    List.map
-      (fun (b : Benchdata.Registry.logic_bench) ->
-        let _, (rep, counters) =
-          best3 (fun () ->
-              Metrics.reset ();
-              let rep =
-                Groundness.analyze ~guard:(bench_guard ())
-                  b.Benchdata.Registry.source
-              in
-              ( Prax_ground.Analyze.total rep.Prax_ground.Analyze.phases,
-                (rep, counters_now ()) ))
-        in
-        let p = rep.Prax_ground.Analyze.phases in
-        Printf.printf "  groundness %-10s analysis %8.4fs  table %7dB\n"
-          b.Benchdata.Registry.name p.Prax_ground.Analyze.analysis
-          rep.Prax_ground.Analyze.table_bytes;
-        row ~analysis:"groundness" ~name:b.Benchdata.Registry.name
-          ~lines:b.Benchdata.Registry.paper_lines
-          ~pre:p.Prax_ground.Analyze.preproc
-          ~ana:p.Prax_ground.Analyze.analysis
-          ~col:p.Prax_ground.Analyze.collection
-          ~table_bytes:rep.Prax_ground.Analyze.table_bytes
-          ~st:rep.Prax_ground.Analyze.engine_stats
-          ~status:rep.Prax_ground.Analyze.status ~counters)
-      Benchdata.Registry.logic_benchmarks
-  in
-  let strict_rows =
-    List.map
-      (fun (b : Benchdata.Registry.fp_bench) ->
-        let _, (rep, counters) =
-          best3 (fun () ->
-              Metrics.reset ();
-              let rep =
-                Strictness.analyze ~guard:(bench_guard ())
-                  b.Benchdata.Registry.source
-              in
-              ( Prax_strict.Analyze.total rep.Prax_strict.Analyze.phases,
-                (rep, counters_now ()) ))
-        in
-        let p = rep.Prax_strict.Analyze.phases in
-        Printf.printf "  strictness %-10s analysis %8.4fs  table %7dB\n"
-          b.Benchdata.Registry.name p.Prax_strict.Analyze.analysis
-          rep.Prax_strict.Analyze.table_bytes;
-        row ~analysis:"strictness" ~name:b.Benchdata.Registry.name
-          ~lines:rep.Prax_strict.Analyze.source_lines
-          ~pre:p.Prax_strict.Analyze.preproc
-          ~ana:p.Prax_strict.Analyze.analysis
-          ~col:p.Prax_strict.Analyze.collection
-          ~table_bytes:rep.Prax_strict.Analyze.table_bytes
-          ~st:rep.Prax_strict.Analyze.engine_stats
-          ~status:rep.Prax_strict.Analyze.status ~counters)
-      Benchdata.Registry.fp_benchmarks
+  let rows =
+    List.concat_map
+      (fun (a : Analysis.t) ->
+        let corpus, config = bench_corpus a in
+        List.map
+          (fun (name, source, lines) ->
+            let _, (rep, counters) =
+              best3 (fun () ->
+                  Metrics.reset ();
+                  let rep =
+                    Analysis.run a ~config ~guard:(bench_guard ()) source
+                  in
+                  (Analysis.total rep.Analysis.phases, (rep, counters_now ())))
+            in
+            Printf.printf "  %-10s %-10s analysis %8.4fs  table %7dB\n"
+              a.Analysis.name name
+              rep.Analysis.phases.Analysis.analysis
+              rep.Analysis.table_bytes;
+            row ~name ~lines ~rep ~counters)
+          corpus)
+      (Analysis.all ())
   in
   Metrics.reset ();
-  let rows = ground_rows @ strict_rows in
   let doc =
     Obj
       [
         ("schema", Str "prax.bench");
-        ("schema_version", Int 1);
+        ("schema_version", Int 2);
         ("stats_schema_version", Int Metrics.schema_version);
+        ("report_schema_version", Int Analysis.report_schema_version);
         ("benchmarks", Arr rows);
       ]
   in
@@ -848,6 +875,13 @@ let smoke () =
     (Logic.Canon.variant
        (Logic.Parser.parse_term "f(X, g(X, Y))")
        (Logic.Parser.parse_term "f(A, g(A, B))"));
+  check "all five analyses registered"
+    (List.sort compare (Analysis.names ())
+    = [ "dataflow"; "depthk"; "gaia"; "groundness"; "strictness" ]);
+  check "registry claims .pl/.eq/.cfg"
+    (List.for_all
+       (fun ext -> Analysis.claiming_extension ext <> None)
+       [ ".pl"; ".eq"; ".cfg" ]);
   Metrics.reset ();
   ignore (Logic.Term.atom "smoke_fresh_symbol_probe");
   let rep = Groundness.analyze (src "qsort") in

@@ -10,6 +10,10 @@
      :- consult 'file'.  load a program file
      :- bench name.      load a corpus benchmark
      :- tables.          dump the call table
+     :- analyses.        list the analysis registry
+     :- analyze(name, 'file').         run a registered analysis on a file
+     :- analyze(name, bench(b)).       ... on a corpus benchmark
+     :- analyze(name, Input, 'k=v').   ... with configuration overrides
      :- stats.           engine statistics
      :- reset.           clear the tables
      :- listing.         predicates currently defined
@@ -200,11 +204,95 @@ let set_limit s (args : Logic.Term.t array) =
       show_limits s
   | _ -> bad ()
 
+(* --- the analysis registry (docs/ANALYSES.md) ----------------------------- *)
+
+let show_analyses () =
+  List.iter
+    (fun (a : Analysis.t) ->
+      Printf.printf "  %-11s %-13s %-9s %s\n" a.Analysis.name
+        (Analysis.kind_to_string a.Analysis.kind)
+        (String.concat "," a.Analysis.extensions)
+        (match a.Analysis.defaults with
+        | [] -> "(no configuration)"
+        | d -> Analysis.config_to_string d))
+    (Analysis.all ())
+
+let bench_source_of_kind (kind : Analysis.source_kind) name =
+  match kind with
+  | Analysis.Logic_program ->
+      Option.map
+        (fun (b : Benchdata.Registry.logic_bench) -> b.source)
+        (Benchdata.Registry.find_logic name)
+  | Analysis.Fp_program ->
+      Option.map
+        (fun (b : Benchdata.Registry.fp_bench) -> b.source)
+        (Benchdata.Registry.find_fp name)
+  | Analysis.Cfg_program ->
+      Option.map
+        (fun (b : Benchdata.Registry.cfg_bench) -> b.source)
+        (Benchdata.Registry.find_cfg name)
+
+(* :- analyze(name, 'file' | bench(b) [, 'k=v,...']).  Any registered
+   analysis, run under the session's budgets; failures never kill the
+   session. *)
+let run_analysis s (args : Logic.Term.t array) =
+  let bad () =
+    print_endline
+      "usage: analyze(name, 'file') | analyze(name, bench(b)) | \
+       analyze(name, Input, 'k=v,...')"
+  in
+  let go name input cfg =
+    match Analysis.find name with
+    | None ->
+        Printf.printf "unknown analysis %s (registered: %s)\n" name
+          (String.concat ", " (Analysis.names ()))
+    | Some a -> (
+        let source =
+          match input with
+          | Logic.Term.Struct ("bench", [| Logic.Term.Atom b |], _) -> (
+              match bench_source_of_kind a.Analysis.kind b with
+              | Some src -> Some src
+              | None ->
+                  Printf.printf "unknown %s benchmark %s\n"
+                    (Analysis.kind_to_string a.Analysis.kind)
+                    b;
+                  None)
+          | Logic.Term.Atom path -> (
+              match In_channel.with_open_text path In_channel.input_all with
+              | src -> Some src
+              | exception Sys_error m ->
+                  Printf.printf "cannot read %s: %s\n" path m;
+                  None)
+          | _ ->
+              bad ();
+              None
+        in
+        match source with
+        | None -> ()
+        | Some src -> (
+            match Analysis.assignments_of_string cfg with
+            | Error msg -> Printf.printf "error: %s\n" msg
+            | Ok config -> (
+                match Analysis.run a ~config ~guard:(fresh_guard s) src with
+                | rep ->
+                    print_endline rep.Analysis.payload_text;
+                    print_endline (Analysis.timings_line rep);
+                    report_partial rep.Analysis.status
+                | exception Analysis.Config_error msg ->
+                    Printf.printf "error: %s\n" msg)))
+  in
+  match args with
+  | [| Logic.Term.Atom name; input |] -> go name input ""
+  | [| Logic.Term.Atom name; input; Logic.Term.Atom cfg |] -> go name input cfg
+  | _ -> bad ()
+
 exception Quit
 
 let handle_directive s (d : Logic.Term.t) =
   match d with
   | Logic.Term.Atom "halt" -> raise Quit
+  | Logic.Term.Atom "analyses" -> show_analyses ()
+  | Logic.Term.Struct ("analyze", args, _) -> run_analysis s args
   | Logic.Term.Atom "tables" -> show_tables s
   | Logic.Term.Atom "stats" -> show_stats s
   | Logic.Term.Struct ("stats", [| Logic.Term.Atom "json" |], _) ->
@@ -257,6 +345,8 @@ let handle_line s line =
         Printf.printf "lexical error at %d: %s\n" pos m
 
 let () =
+  (* force the shipped analyses into the registry before any lookup *)
+  Analyses.ensure ();
   let s = make_session () in
   Array.iteri
     (fun i arg ->

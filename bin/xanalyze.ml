@@ -1,12 +1,16 @@
-(* xanalyze — command-line front end to the three analyzers.
+(* xanalyze — command-line front end to the analysis registry.
 
+     xanalyze --list-analyses             print the registry
      xanalyze groundness file.pl          Prop groundness of a logic program
      xanalyze strictness file.eq          strictness of a functional program
      xanalyze depthk -k 2 file.pl         depth-k groundness
-     xanalyze bench <name>                analyze a named corpus benchmark
+     xanalyze analyze NAME FILE           any registered analysis by name
+     xanalyze batch DIR --corpus all      supervised batch over a corpus
 
-   Input "-" reads stdin.  --timings prints the phase breakdown the paper
-   reports.
+   Every analysis command dispatches through the Prax.Analysis registry
+   (docs/ANALYSES.md): the named subcommands only map their flags to
+   configuration assignments.  Input "-" reads stdin.  --timings prints
+   the phase breakdown the paper reports.
 
    Resource budgets (docs/ROBUSTNESS.md): --timeout DUR, --max-steps N,
    --max-table-bytes N bound the evaluation; on exhaustion the analysis
@@ -34,15 +38,34 @@ let read_input = function
   | "-" -> In_channel.input_all stdin
   | path -> In_channel.with_open_text path In_channel.input_all
 
-let source_of ~bench name_or_path =
+let bench_source_of_kind (kind : Analysis.source_kind) name =
+  match kind with
+  | Analysis.Logic_program ->
+      Option.map
+        (fun (b : Benchdata.Registry.logic_bench) -> b.source)
+        (Benchdata.Registry.find_logic name)
+  | Analysis.Fp_program ->
+      Option.map
+        (fun (b : Benchdata.Registry.fp_bench) -> b.source)
+        (Benchdata.Registry.find_fp name)
+  | Analysis.Cfg_program ->
+      Option.map
+        (fun (b : Benchdata.Registry.cfg_bench) -> b.source)
+        (Benchdata.Registry.find_cfg name)
+
+let source_of ?kind ~bench name_or_path =
   if bench then
+    let kinds =
+      match kind with
+      | Some k -> [ k ]
+      | None ->
+          [ Analysis.Logic_program; Analysis.Fp_program; Analysis.Cfg_program ]
+    in
     match
-      ( Benchdata.Registry.find_logic name_or_path,
-        Benchdata.Registry.find_fp name_or_path )
+      List.find_map (fun k -> bench_source_of_kind k name_or_path) kinds
     with
-    | Some b, _ -> b.Benchdata.Registry.source
-    | None, Some b -> b.Benchdata.Registry.source
-    | None, None ->
+    | Some src -> src
+    | None ->
         Printf.eprintf "unknown benchmark %s\n" name_or_path;
         exit exit_input
   else read_input name_or_path
@@ -81,6 +104,8 @@ let with_diagnostics ~file ~text f =
       fail
         (Logic.Diag.make ~file
            (Printf.sprintf "unknown predicate %s/%d" name arity))
+  | Analysis.Config_error msg -> fail (Logic.Diag.make ~file msg)
+  | Dataflow.Cfg.Parse_error msg -> fail (Logic.Diag.make ~file msg)
 
 (* --- resource budgets ---------------------------------------------------- *)
 
@@ -163,7 +188,7 @@ let stats_arg =
    human report *)
 let report_suppressed = function Some `Json | Some `Csv -> true | _ -> false
 
-let emit_stats ~analysis ~timer_prefix ~input ~table_bytes ?(guard = Guard.unlimited)
+let emit_stats ~analysis ~input ~table_bytes ?phases ?(guard = Guard.unlimited)
     ?(status = Guard.Complete) stats =
   match stats with
   | None -> ()
@@ -176,9 +201,14 @@ let emit_stats ~analysis ~timer_prefix ~input ~table_bytes ?(guard = Guard.unlim
       set g table_bytes;
       let snap = snapshot () in
       let phases =
-        List.map
-          (fun ph -> (ph, timer_seconds (timer_prefix ^ "." ^ ph)))
-          [ "preprocess"; "evaluate"; "collect" ]
+        Option.map
+          (fun (p : Analysis.phases) ->
+            [
+              ("preprocess", p.preproc);
+              ("evaluate", p.analysis);
+              ("collect", p.collection);
+            ])
+          phases
       in
       match fmt with
       | `Human ->
@@ -190,51 +220,58 @@ let emit_stats ~analysis ~timer_prefix ~input ~table_bytes ?(guard = Guard.unlim
           in
           print_endline
             (json_to_string
-               (stats_doc ~tool:"xanalyze" ~analysis ~input ~phases ~extra snap))
+               (stats_doc ~tool:"xanalyze" ~analysis ~input ?phases ~extra snap))
       | `Csv -> print_string (snapshot_to_csv snap))
 
-let print_ground_timings (p : Prax_ground.Analyze.phases) table_bytes =
-  Printf.printf
-    "\nphases: preprocess %.4fs, analysis %.4fs, collection %.4fs, total \
-     %.4fs; table space %d bytes\n"
-    p.Prax_ground.Analyze.preproc p.Prax_ground.Analyze.analysis
-    p.Prax_ground.Analyze.collection
-    (Prax_ground.Analyze.total p)
-    table_bytes
+(* --- single-run commands: registry dispatch ------------------------------ *)
 
-(* --- groundness -------------------------------------------------------- *)
+let find_analysis name =
+  match Analysis.find name with
+  | Some a -> a
+  | None ->
+      Printf.eprintf "xanalyze: unknown analysis %s (registered: %s)\n" name
+        (String.concat ", " (Analysis.names ()));
+      exit exit_input
+
+(* One analysis of one input through the registry: resolve the source,
+   run under the guard, print the driver-rendered report plus the shared
+   timings line, emit stats, map the status to the exit code.  There is
+   no per-analysis code here — the registry entry carries everything;
+   the named subcommands below only translate their flags into
+   configuration assignments. *)
+let run_single ~name ~config ~input ~bench ~timings ~stats ~timeout ~max_steps
+    ~max_bytes =
+  let a = find_analysis name in
+  let src = source_of ~kind:a.Analysis.kind ~bench input in
+  let guard = guard_of timeout max_steps max_bytes in
+  let rep =
+    with_diagnostics ~file:input ~text:src (fun () ->
+        Analysis.run a ~config ~guard src)
+  in
+  if not (report_suppressed stats) then begin
+    print_endline rep.Analysis.payload_text;
+    if timings then Printf.printf "\n%s\n" (Analysis.timings_line rep)
+  end;
+  emit_stats ~analysis:name ~input ~table_bytes:rep.Analysis.table_bytes
+    ~phases:rep.Analysis.phases ~guard ~status:rep.Analysis.status stats;
+  finish rep.Analysis.status
+
+let input_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+
+let bench_flag =
+  Arg.(
+    value & flag
+    & info [ "bench" ] ~doc:"Treat FILE as a corpus benchmark name.")
+
+let timings_flag =
+  Arg.(value & flag & info [ "timings" ] ~doc:"Print the phase breakdown.")
 
 let groundness_cmd =
   let run input bench timings compiled stats timeout max_steps max_bytes =
-    let src = source_of ~bench input in
-    let guard = guard_of timeout max_steps max_bytes in
-    let rep =
-      with_diagnostics ~file:input ~text:src (fun () ->
-          Groundness.Analyze.analyze
-            ~mode:
-              (if compiled then Logic.Database.Compiled
-               else Logic.Database.Dynamic)
-            ~guard src)
-    in
-    if not (report_suppressed stats) then begin
-      print_endline (Prax_ground.Analyze.report_to_string rep);
-      if timings then
-        print_ground_timings rep.Prax_ground.Analyze.phases
-          rep.Prax_ground.Analyze.table_bytes
-    end;
-    emit_stats ~analysis:"groundness" ~timer_prefix:"ground" ~input
-      ~table_bytes:rep.Prax_ground.Analyze.table_bytes ~guard
-      ~status:rep.Prax_ground.Analyze.status stats;
-    finish rep.Prax_ground.Analyze.status
-  in
-  let input =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
-  in
-  let bench =
-    Arg.(value & flag & info [ "bench" ] ~doc:"Treat FILE as a corpus benchmark name.")
-  in
-  let timings =
-    Arg.(value & flag & info [ "timings" ] ~doc:"Print the phase breakdown.")
+    run_single ~name:"groundness"
+      ~config:(if compiled then [ ("mode", "compiled") ] else [])
+      ~input ~bench ~timings ~stats ~timeout ~max_steps ~max_bytes
   in
   let compiled =
     Arg.(value & flag & info [ "compiled" ]
@@ -244,46 +281,14 @@ let groundness_cmd =
     (Cmd.info "groundness"
        ~doc:"Prop-domain groundness analysis of a logic program (Figure 1)")
     Term.(
-      const run $ input $ bench $ timings $ compiled $ stats_arg $ timeout_arg
-      $ max_steps_arg $ max_table_bytes_arg)
-
-(* --- strictness -------------------------------------------------------- *)
+      const run $ input_pos $ bench_flag $ timings_flag $ compiled $ stats_arg
+      $ timeout_arg $ max_steps_arg $ max_table_bytes_arg)
 
 let strictness_cmd =
   let run input bench timings no_supp stats timeout max_steps max_bytes =
-    let src = source_of ~bench input in
-    let guard = guard_of timeout max_steps max_bytes in
-    let rep =
-      with_diagnostics ~file:input ~text:src (fun () ->
-          Strictness.Analyze.analyze ~supplementary:(not no_supp) ~guard src)
-    in
-    if not (report_suppressed stats) then begin
-      print_endline (Prax_strict.Analyze.report_to_string rep);
-      if timings then begin
-        let p = rep.Prax_strict.Analyze.phases in
-        Printf.printf
-          "\nphases: preprocess %.4fs, analysis %.4fs, collection %.4fs, \
-           total %.4fs; table space %d bytes; %d rules\n"
-          p.Prax_strict.Analyze.preproc p.Prax_strict.Analyze.analysis
-          p.Prax_strict.Analyze.collection
-          (Prax_strict.Analyze.total p)
-          rep.Prax_strict.Analyze.table_bytes
-          rep.Prax_strict.Analyze.rule_count
-      end
-    end;
-    emit_stats ~analysis:"strictness" ~timer_prefix:"strict" ~input
-      ~table_bytes:rep.Prax_strict.Analyze.table_bytes ~guard
-      ~status:rep.Prax_strict.Analyze.status stats;
-    finish rep.Prax_strict.Analyze.status
-  in
-  let input =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
-  in
-  let bench =
-    Arg.(value & flag & info [ "bench" ] ~doc:"Treat FILE as a corpus benchmark name.")
-  in
-  let timings =
-    Arg.(value & flag & info [ "timings" ] ~doc:"Print the phase breakdown.")
+    run_single ~name:"strictness"
+      ~config:(if no_supp then [ ("supplementary", "false") ] else [])
+      ~input ~bench ~timings ~stats ~timeout ~max_steps ~max_bytes
   in
   let no_supp =
     Arg.(value & flag & info [ "no-supplementary" ]
@@ -295,45 +300,14 @@ let strictness_cmd =
          "Demand-propagation strictness analysis of a lazy functional \
           program (Figure 3)")
     Term.(
-      const run $ input $ bench $ timings $ no_supp $ stats_arg $ timeout_arg
-      $ max_steps_arg $ max_table_bytes_arg)
-
-(* --- depth-k ------------------------------------------------------------ *)
+      const run $ input_pos $ bench_flag $ timings_flag $ no_supp $ stats_arg
+      $ timeout_arg $ max_steps_arg $ max_table_bytes_arg)
 
 let depthk_cmd =
   let run input bench timings k stats timeout max_steps max_bytes =
-    let src = source_of ~bench input in
-    let guard = guard_of timeout max_steps max_bytes in
-    let rep =
-      with_diagnostics ~file:input ~text:src (fun () ->
-          Depthk.Analyze.analyze ~guard ~k src)
-    in
-    if not (report_suppressed stats) then begin
-      print_endline (Prax_depthk.Analyze.report_to_string rep);
-      if timings then begin
-        let p = rep.Prax_depthk.Analyze.phases in
-        Printf.printf
-          "\nphases: preprocess %.4fs, analysis %.4fs, collection %.4fs, \
-           total %.4fs; table space %d bytes\n"
-          p.Prax_depthk.Analyze.preproc p.Prax_depthk.Analyze.analysis
-          p.Prax_depthk.Analyze.collection
-          (Prax_depthk.Analyze.total p)
-          rep.Prax_depthk.Analyze.table_bytes
-      end
-    end;
-    emit_stats ~analysis:"depthk" ~timer_prefix:"depthk" ~input
-      ~table_bytes:rep.Prax_depthk.Analyze.table_bytes ~guard
-      ~status:rep.Prax_depthk.Analyze.status stats;
-    finish rep.Prax_depthk.Analyze.status
-  in
-  let input =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
-  in
-  let bench =
-    Arg.(value & flag & info [ "bench" ] ~doc:"Treat FILE as a corpus benchmark name.")
-  in
-  let timings =
-    Arg.(value & flag & info [ "timings" ] ~doc:"Print the phase breakdown.")
+    run_single ~name:"depthk"
+      ~config:[ ("k", string_of_int k) ]
+      ~input ~bench ~timings ~stats ~timeout ~max_steps ~max_bytes
   in
   let k =
     Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Term-depth bound.")
@@ -342,8 +316,55 @@ let depthk_cmd =
     (Cmd.info "depthk"
        ~doc:"Groundness analysis with depth-k term abstraction (Section 5)")
     Term.(
-      const run $ input $ bench $ timings $ k $ stats_arg $ timeout_arg
-      $ max_steps_arg $ max_table_bytes_arg)
+      const run $ input_pos $ bench_flag $ timings_flag $ k $ stats_arg
+      $ timeout_arg $ max_steps_arg $ max_table_bytes_arg)
+
+(* --- analyze: any registered analysis by name ----------------------------- *)
+
+let set_args =
+  Arg.(
+    value & opt_all string []
+    & info [ "set" ] ~docv:"KEY=VALUE"
+        ~doc:
+          "Override a configuration default of the analysis (repeatable; \
+           comma-separated assignment lists accepted).  Unknown keys are an \
+           input error; $(b,--list-analyses) prints each analysis's \
+           accepted keys and defaults.")
+
+let parse_sets ~what sets =
+  List.concat_map
+    (fun s ->
+      match Analysis.assignments_of_string s with
+      | Ok kvs -> kvs
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" what msg;
+          exit exit_input)
+    sets
+
+let analyze_cmd =
+  let run name input bench sets timings stats timeout max_steps max_bytes =
+    run_single ~name
+      ~config:(parse_sets ~what:"xanalyze analyze" sets)
+      ~input ~bench ~timings ~stats ~timeout ~max_steps ~max_bytes
+  in
+  let aname =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ANALYSIS"
+          ~doc:"Registered analysis name (see $(b,xanalyze --list-analyses)).")
+  in
+  let input =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run any registered analysis on an input (pure registry dispatch; \
+          the named subcommands are shorthands for this)")
+    Term.(
+      const run $ aname $ input $ bench_flag $ set_args $ timings_flag
+      $ stats_arg $ timeout_arg $ max_steps_arg $ max_table_bytes_arg)
 
 (* --- run: concrete execution -------------------------------------------- *)
 
@@ -503,46 +524,34 @@ let widen_cmd =
 
 (* --- batch: supervised analysis of a corpus ------------------------------ *)
 
-(* One batch job = one analysis of one input, run in a forked worker
-   under the supervisor (lib/serve, docs/ROBUSTNESS.md).  Job ids are
-   "groundness:qsort" / "strictness:path/to/prog.eq"; sources are
+(* One batch job = one registered analysis of one input, run in a forked
+   worker under the supervisor (lib/serve, docs/ROBUSTNESS.md).  Job ids
+   are "groundness:qsort" / "dataflow:path/to/prog.cfg"; sources are
    resolved in the parent (input errors exit 1 before anything forks)
    and inherited by the workers. *)
 
 type batch_job = {
-  bj_analysis : [ `Groundness | `Strictness ];
+  bj_analysis : Analysis.t;
+  bj_config : Analysis.config;  (* merged over the analysis's defaults *)
   bj_input : string;  (* bench name or file path, for display/keys *)
   bj_src : string;
 }
 
-let batch_analysis_name = function
-  | `Groundness -> "groundness"
-  | `Strictness -> "strictness"
+(* The default analysis for a corpus entry is the first registrant of
+   its source kind: groundness for logic benches, strictness for
+   functional ones, dataflow for CFGs. *)
+let default_for_kind kind =
+  match
+    List.find_opt (fun (a : Analysis.t) -> a.Analysis.kind = kind)
+      (Analysis.all ())
+  with
+  | Some a -> a
+  | None ->
+      Printf.eprintf "xanalyze batch: no registered analysis accepts %s\n"
+        (Analysis.kind_to_string kind);
+      exit exit_input
 
-(* Store keys must distinguish results that could differ: the analysis,
-   the exact source bytes, and the analysis configuration.  The budget
-   is deliberately not in the key — only complete results are
-   persisted, and a complete result does not depend on how generous the
-   budget was. *)
-let batch_config_of = function
-  | `Groundness -> "mode=dynamic"
-  | `Strictness -> "supplementary=true"
-
-let batch_payload ~analysis ~input ~partial ~table_bytes report =
-  Metrics.json_to_string
-    (Metrics.Obj
-       [
-         ("schema", Metrics.Str "prax.result");
-         ("schema_version", Metrics.Int Metrics.schema_version);
-         ("analysis", Metrics.Str analysis);
-         ("input", Metrics.Str input);
-         ( "status",
-           Metrics.Str (if partial then "partial" else "complete") );
-         ("table_bytes", Metrics.Int table_bytes);
-         ("report", Metrics.Str report);
-       ])
-
-let batch_jobs_of_dir dir =
+let batch_jobs_of_dir ~analysis dir =
   let entries =
     try Array.to_list (Sys.readdir dir)
     with Sys_error msg ->
@@ -552,39 +561,87 @@ let batch_jobs_of_dir dir =
   List.filter_map
     (fun f ->
       let path = Filename.concat dir f in
-      if Filename.check_suffix f ".pl" then Some (`Groundness, path)
-      else if Filename.check_suffix f ".eq" then Some (`Strictness, path)
-      else None)
+      let ext = Filename.extension f in
+      match analysis with
+      | Some (a : Analysis.t) ->
+          if List.mem ext a.Analysis.extensions then Some (a, path) else None
+      | None ->
+          Option.map (fun a -> (a, path)) (Analysis.claiming_extension ext))
     (List.sort String.compare entries)
 
-let batch_jobs_of_corpus spec =
-  let names =
-    match spec with
-    | "all" ->
-        List.map
-          (fun (b : Benchdata.Registry.logic_bench) -> b.name)
-          Benchdata.Registry.logic_benchmarks
-        @ List.map
-            (fun (b : Benchdata.Registry.fp_bench) -> b.name)
-            Benchdata.Registry.fp_benchmarks
-    | _ -> String.split_on_char ',' spec |> List.map String.trim
-           |> List.filter (fun s -> s <> "")
+let corpus_names_of_kind = function
+  | Analysis.Logic_program ->
+      List.map
+        (fun (b : Benchdata.Registry.logic_bench) -> b.name)
+        Benchdata.Registry.logic_benchmarks
+  | Analysis.Fp_program ->
+      List.map
+        (fun (b : Benchdata.Registry.fp_bench) -> b.name)
+        Benchdata.Registry.fp_benchmarks
+  | Analysis.Cfg_program ->
+      List.map
+        (fun (b : Benchdata.Registry.cfg_bench) -> b.name)
+        Benchdata.Registry.cfg_benchmarks
+
+let corpus_kind_of name =
+  if Benchdata.Registry.find_logic name <> None then
+    Some Analysis.Logic_program
+  else if Benchdata.Registry.find_fp name <> None then Some Analysis.Fp_program
+  else if Benchdata.Registry.find_cfg name <> None then
+    Some Analysis.Cfg_program
+  else None
+
+let batch_jobs_of_corpus ~analysis spec =
+  let split spec =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
   in
-  List.map
-    (fun name ->
-      match
-        (Benchdata.Registry.find_logic name, Benchdata.Registry.find_fp name)
-      with
-      | Some _, _ -> (`Groundness, name)
-      | None, Some _ -> (`Strictness, name)
-      | None, None ->
-          Printf.eprintf "xanalyze batch: unknown benchmark %s\n" name;
-          exit exit_input)
-    names
+  match analysis with
+  | Some (a : Analysis.t) ->
+      let names =
+        match spec with
+        | "all" -> corpus_names_of_kind a.Analysis.kind
+        | _ -> split spec
+      in
+      List.map
+        (fun name ->
+          if bench_source_of_kind a.Analysis.kind name = None then begin
+            Printf.eprintf "xanalyze batch: unknown %s benchmark %s\n"
+              (Analysis.kind_to_string a.Analysis.kind)
+              name;
+            exit exit_input
+          end;
+          (a, name))
+        names
+  | None ->
+      let names =
+        match spec with
+        | "all" ->
+            List.concat_map corpus_names_of_kind
+              [
+                Analysis.Logic_program; Analysis.Fp_program;
+                Analysis.Cfg_program;
+              ]
+        | _ -> split spec
+      in
+      List.map
+        (fun name ->
+          match corpus_kind_of name with
+          | Some k -> (default_for_kind k, name)
+          | None ->
+              Printf.eprintf "xanalyze batch: unknown benchmark %s\n" name;
+              exit exit_input)
+        names
 
 let batch_cmd =
-  let run dir corpus njobs retries job_timeout store_dir stats timeout
-      max_steps max_bytes =
+  let run dir corpus analysis sets njobs retries job_timeout store_dir stats
+      timeout max_steps max_bytes =
+    let analysis = Option.map find_analysis analysis in
+    let overrides = parse_sets ~what:"xanalyze batch" sets in
+    if overrides <> [] && analysis = None then begin
+      Printf.eprintf "xanalyze batch: --set requires --analysis\n";
+      exit exit_input
+    end;
     let specs =
       (match dir with
       | None -> []
@@ -593,45 +650,58 @@ let batch_cmd =
             Printf.eprintf "xanalyze batch: not a directory: %s\n" d;
             exit exit_input
           end;
-          batch_jobs_of_dir d)
-      @ (match corpus with None -> [] | Some c -> batch_jobs_of_corpus c)
+          batch_jobs_of_dir ~analysis d)
+      @ (match corpus with
+        | None -> []
+        | Some c -> batch_jobs_of_corpus ~analysis c)
     in
     if specs = [] then begin
       Printf.eprintf
-        "xanalyze batch: nothing to do (give a DIR of .pl/.eq files and/or \
-         --corpus)\n";
+        "xanalyze batch: nothing to do (give a DIR of .pl/.eq/.cfg files \
+         and/or --corpus)\n";
       exit exit_input
     end;
-    (* resolve every source up front: input errors are the caller's
-       fault and exit 1 before any worker forks *)
+    (* resolve every source and configuration up front: input errors are
+       the caller's fault and exit 1 before any worker forks *)
     let table : (string, batch_job) Hashtbl.t = Hashtbl.create 64 in
     let jobs =
       List.filter_map
-        (fun (analysis, input) ->
-          let job = batch_analysis_name analysis ^ ":" ^ input in
+        (fun ((a : Analysis.t), input) ->
+          let job = a.Analysis.name ^ ":" ^ input in
           if Hashtbl.mem table job then None
           else begin
-            let src =
-              source_of
-                ~bench:
-                  (Benchdata.Registry.find_logic input <> None
-                  || Benchdata.Registry.find_fp input <> None)
-                input
+            let bench = bench_source_of_kind a.Analysis.kind input <> None in
+            let src = source_of ~kind:a.Analysis.kind ~bench input in
+            let config =
+              match
+                Analysis.merge_config ~defaults:a.Analysis.defaults overrides
+              with
+              | Ok c -> c
+              | Error msg ->
+                  Printf.eprintf "xanalyze batch: %s\n" msg;
+                  exit exit_input
             in
             Hashtbl.add table job
-              { bj_analysis = analysis; bj_input = input; bj_src = src };
+              { bj_analysis = a; bj_config = config; bj_input = input;
+                bj_src = src };
             Some job
           end)
         specs
     in
     let store = Option.map Store.open_dir store_dir in
+    (* Store keys must distinguish results that could differ: the
+       analysis name, the exact source bytes, and the effective
+       configuration (canonical k=v rendering).  The budget is
+       deliberately not in the key — only complete results are
+       persisted, and a complete result does not depend on how generous
+       the budget was. *)
     let key_of job =
       let bj = Hashtbl.find table job in
       {
-        Store.analysis = batch_analysis_name bj.bj_analysis;
+        Store.analysis = bj.bj_analysis.Analysis.name;
         source_digest = Store.digest_source bj.bj_src;
-        config = batch_config_of bj.bj_analysis;
-        schema_version = Metrics.schema_version;
+        config = Analysis.config_to_string bj.bj_config;
+        schema_version = Analysis.report_schema_version;
       }
     in
     let cached ~job =
@@ -640,38 +710,25 @@ let batch_cmd =
     let persist ~job ~payload =
       Option.iter (fun t -> Store.save t (key_of job) payload) store
     in
-    (* the worker body — runs in the forked child *)
+    (* the worker body — runs in the forked child; the payload persisted
+       to the store (and replayed on warm starts) is the analysis's
+       prax.report document *)
     let worker ~job ~attempt ~guard =
       (match Inject.worker_fault_of_env ~job ~attempt () with
       | Some fault -> Inject.apply_worker_fault fault
       | None -> ());
       let bj = Hashtbl.find table job in
-      let input = bj.bj_input in
-      match bj.bj_analysis with
-      | `Groundness ->
-          let rep = Groundness.Analyze.analyze ~guard bj.bj_src in
-          let payload =
-            batch_payload ~analysis:"groundness" ~input
-              ~partial:(Guard.is_partial rep.Prax_ground.Analyze.status)
-              ~table_bytes:rep.Prax_ground.Analyze.table_bytes
-              (Prax_ground.Analyze.report_to_string rep)
-          in
-          (match rep.Prax_ground.Analyze.status with
-          | Guard.Complete -> (Serve.Complete, payload)
-          | Guard.Partial { reason; _ } ->
-              (Serve.Partial_result (Guard.reason_to_string reason), payload))
-      | `Strictness ->
-          let rep = Strictness.Analyze.analyze ~guard bj.bj_src in
-          let payload =
-            batch_payload ~analysis:"strictness" ~input
-              ~partial:(Guard.is_partial rep.Prax_strict.Analyze.status)
-              ~table_bytes:rep.Prax_strict.Analyze.table_bytes
-              (Prax_strict.Analyze.report_to_string rep)
-          in
-          (match rep.Prax_strict.Analyze.status with
-          | Guard.Complete -> (Serve.Complete, payload)
-          | Guard.Partial { reason; _ } ->
-              (Serve.Partial_result (Guard.reason_to_string reason), payload))
+      let rep =
+        bj.bj_analysis.Analysis.run ~config:bj.bj_config ~guard bj.bj_src
+      in
+      let payload =
+        Metrics.json_to_string
+          (Analysis.report_to_json ~input:bj.bj_input rep)
+      in
+      match rep.Analysis.status with
+      | Guard.Complete -> (Serve.Complete, payload)
+      | Guard.Partial { reason; _ } ->
+          (Serve.Partial_result (Guard.reason_to_string reason), payload)
     in
     let config =
       {
@@ -773,8 +830,10 @@ let batch_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"DIR"
           ~doc:
-            "Directory of inputs: every $(b,.pl) file is analyzed for \
-             groundness, every $(b,.eq) file for strictness.")
+            "Directory of inputs, dispatched by extension through the \
+             analysis registry: $(b,.pl) files to groundness, $(b,.eq) to \
+             strictness, $(b,.cfg) to dataflow (or all to the \
+             $(b,--analysis) analysis when given).")
   in
   let corpus =
     Arg.(
@@ -782,8 +841,20 @@ let batch_cmd =
       & opt (some string) None
       & info [ "corpus" ] ~docv:"NAMES"
           ~doc:
-            "Comma-separated corpus benchmark names (see $(b,xanalyze bench)) \
-             to add as jobs, or $(b,all) for the whole registry.")
+            "Comma-separated corpus benchmark names to add as jobs, or \
+             $(b,all) for every benchmark the selected analysis accepts \
+             (without $(b,--analysis): the whole registry, each benchmark \
+             under its source kind's default analysis).")
+  in
+  let analysis =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "analysis" ] ~docv:"NAME"
+          ~doc:
+            "Run every job under the named registered analysis (see \
+             $(b,xanalyze --list-analyses)) instead of dispatching by file \
+             extension or corpus kind.")
   in
   let njobs =
     Arg.(
@@ -836,22 +907,55 @@ let batch_cmd =
               retries.";
          ])
     Term.(
-      const run $ dir $ corpus $ njobs $ retries $ job_timeout $ store_dir
-      $ stats_arg $ timeout_arg $ max_steps_arg $ max_table_bytes_arg)
+      const run $ dir $ corpus $ analysis $ set_args $ njobs $ retries
+      $ job_timeout $ store_dir $ stats_arg $ timeout_arg $ max_steps_arg
+      $ max_table_bytes_arg)
+
+(* --- the registry listing ------------------------------------------------- *)
+
+let list_analyses () =
+  List.iter
+    (fun (a : Analysis.t) ->
+      Printf.printf "%-11s %-13s %-9s %s\n    %s\n" a.Analysis.name
+        (Analysis.kind_to_string a.Analysis.kind)
+        (String.concat "," a.Analysis.extensions)
+        (match a.Analysis.defaults with
+        | [] -> "(no configuration)"
+        | d -> Analysis.config_to_string d)
+        a.Analysis.doc)
+    (Analysis.all ())
+
+let default_term =
+  let run list =
+    if list then `Ok (list_analyses ()) else `Help (`Pager, None)
+  in
+  let list =
+    Arg.(
+      value & flag
+      & info [ "list-analyses" ]
+          ~doc:
+            "Print the analysis registry — name, source kind, claimed \
+             extensions, configuration defaults — one analysis per two \
+             lines, and exit.")
+  in
+  Term.(ret (const run $ list))
 
 let () =
   (* workload-sized nursery: tabled evaluation is allocation-heavy and
      the default 256k-word minor heap costs 20-30% of the analysis phase
      in collections (docs/PERFORMANCE.md) *)
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
+  (* force the shipped analyses into the registry before any lookup *)
+  Analyses.ensure ();
   let doc =
     "practical program analysis on a general-purpose tabled logic \
      programming system (PLDI'96 reproduction)"
   in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "xanalyze" ~doc)
+       (Cmd.group ~default:default_term
+          (Cmd.info "xanalyze" ~doc)
           [
-            groundness_cmd; strictness_cmd; depthk_cmd; run_cmd; eval_cmd;
-            types_cmd; widen_cmd; batch_cmd;
+            groundness_cmd; strictness_cmd; depthk_cmd; analyze_cmd; run_cmd;
+            eval_cmd; types_cmd; widen_cmd; batch_cmd;
           ]))

@@ -1,0 +1,22 @@
+(** The shipped analyses, registered into {!Prax_analysis.Analysis}'s
+    process-wide registry.
+
+    Registration happens at module initialization, but the OCaml linker
+    drops libraries nothing references — so every front-end calls
+    {!ensure} (a cheap no-op beyond forcing this module) before its
+    first registry lookup.  Registration order is meaningful:
+    [Analysis.claiming_extension] awards an extension to the first
+    registrant, so [.pl] defaults to groundness even though depth-k and
+    gaia accept it too. *)
+
+module Analysis = Prax_analysis.Analysis
+
+let () =
+  Analysis.register Prax_ground.Analysis_def.def;
+  Analysis.register Prax_strict.Analysis_def.def;
+  Analysis.register Prax_depthk.Analysis_def.def;
+  Analysis.register Prax_gaia.Analysis_def.def;
+  Analysis.register Prax_dataflow.Analysis_def.def
+
+(** Force registration of the shipped analyses (idempotent). *)
+let ensure () = ()

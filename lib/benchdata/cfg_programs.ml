@@ -1,0 +1,68 @@
+(** Textual control-flow-graph programs ([.cfg] format, see
+    docs/ANALYSES.md) for the Section 7 dataflow corpus.  The paper
+    reports no Table for these; they exercise the demand-driven
+    reaching-definitions analysis at realistic shapes. *)
+
+(** The running interprocedural example: main initializes, loops calling
+    helper, then reads the results (mirrors [Cfg.example]). *)
+let interp =
+  "proc main\n\
+   node 0 entry\n\
+   node 1 assign x\n\
+   node 2 assign y\n\
+   node 3 test x\n\
+   node 4 call helper\n\
+   node 5 assign y x\n\
+   node 6 test y\n\
+   node 7 assign z y\n\
+   node 8 exit\n\
+   edge 0 1\n\
+   edge 1 2\n\
+   edge 2 3\n\
+   edge 3 4\n\
+   edge 3 7\n\
+   edge 4 5\n\
+   edge 5 6\n\
+   edge 6 3\n\
+   edge 6 7\n\
+   edge 7 8\n\
+   proc helper\n\
+   node 10 entry\n\
+   node 11 test y\n\
+   node 12 assign x y\n\
+   node 13 skip\n\
+   node 14 exit\n\
+   edge 10 11\n\
+   edge 11 12\n\
+   edge 11 13\n\
+   edge 12 13\n\
+   edge 13 14\n"
+
+(** A looping ladder of [rungs] define/test/branch rungs: definitions
+    made early must be chased through many nodes (the [Cfg.ladder]
+    shape, rendered textually). *)
+let ladder ~rungs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "proc loop\nnode 0 entry\n";
+  let id = ref 1 and prev = ref 0 in
+  for r = 0 to rungs - 1 do
+    let var = Printf.sprintf "v%d" (r mod 8) in
+    let use = Printf.sprintf "v%d" ((r + 1) mod 8) in
+    let def = !id and test = !id + 1 and skip = !id + 2 in
+    id := !id + 3;
+    Buffer.add_string buf
+      (Printf.sprintf "node %d assign %s %s\nnode %d test %s\nnode %d skip\n"
+         def var use test var skip);
+    Buffer.add_string buf
+      (Printf.sprintf "edge %d %d\nedge %d %d\nedge %d %d\nedge %d %d\n" !prev
+         def def test test skip def skip);
+    prev := skip
+  done;
+  let exit = !id in
+  Buffer.add_string buf
+    (Printf.sprintf "node %d exit\nedge %d %d\nedge %d %d\n" exit !prev exit
+       (exit - 1) 1);
+  Buffer.contents buf
+
+let ladder8 = ladder ~rungs:8
+let ladder24 = ladder ~rungs:24

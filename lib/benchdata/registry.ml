@@ -165,6 +165,24 @@ let fp_benchmarks : fp_bench list =
       table3 = row 0.09 0.08 0.01 0.18 0. 2760 };
   ]
 
+type cfg_bench = {
+  name : string;
+  source : string;  (** [.cfg] textual control-flow-graph format *)
+}
+
+(** The Section 7 dataflow corpus (no paper table to compare against). *)
+let cfg_benchmarks : cfg_bench list =
+  [
+    { name = "interp"; source = Cfg_programs.interp };
+    { name = "ladder8"; source = Cfg_programs.ladder8 };
+    { name = "ladder24"; source = Cfg_programs.ladder24 };
+  ]
+
+let find_cfg name =
+  List.find_opt
+    (fun (b : cfg_bench) -> String.equal b.name name)
+    cfg_benchmarks
+
 let find_logic name =
   List.find_opt
     (fun (b : logic_bench) -> String.equal b.name name)

@@ -43,6 +43,15 @@ module Guard = Prax_guard.Guard
 
 module Inject = Prax_guard.Inject
 
+(** The unified analysis pipeline: the first-class analysis interface,
+    generic [prax.report] reports, and the process-wide registry every
+    front-end dispatches through (see docs/ANALYSES.md). *)
+module Analysis = Prax_analysis.Analysis
+
+(** The five shipped analyses, self-registered; call
+    [Analyses.ensure ()] before the first registry lookup. *)
+module Analyses = Prax_analyses.Analyses
+
 (** Supervised batch evaluation: process-isolated worker fleet with a
     per-job watchdog, retry/backoff, and a degradation ladder (see
     docs/ROBUSTNESS.md). *)

@@ -6,6 +6,8 @@
 open Prax_logic
 open Prax_tabling
 module Metrics = Prax_metrics.Metrics
+module Guard = Prax_guard.Guard
+module Analysis = Prax_analysis.Analysis
 
 (* Phase timers (docs/METRICS.md): encoding the CFG as clauses, and
    demand-driven query evaluation. *)
@@ -73,6 +75,127 @@ let def_use_chains t : ((string * int) * int) list =
   List.sort_uniq compare !out
 
 let stats t = Engine.stats t.engine
+
+(* --- whole-program driver ------------------------------------------------- *)
+
+let t_collect =
+  Metrics.timer ~doc:"dataflow: fold reach answers into per-node rows"
+    "dataflow.collect"
+
+(* The shared Table-style phase record, re-exported like the other
+   drivers (definition lives in prax.analysis). *)
+type phases = Analysis.phases = {
+  preproc : float;
+  analysis : float;
+  collection : float;
+}
+
+let total = Analysis.total
+
+type report = {
+  rows : (int * (string * int) list) list;
+      (** per node, sorted by id: definitions [(var, def_node)] reaching
+          its entry *)
+  phases : phases;
+  table_bytes : int;
+  engine_stats : Engine.stats;
+  node_count : int;
+  proc_count : int;
+  status : Guard.status;
+      (** [Partial] when a resource budget stopped evaluation; the rows
+          then under-report reachability for the unexplored demands *)
+}
+
+(** Exhaustive reaching-definitions over a whole program, demand by
+    demand: one [reach(def(V,M), n)] query per node, evaluated on the
+    tabled engine, then the answer tables folded into per-node rows —
+    the same preprocess/evaluate/collect skeleton as the other
+    analyses, so Section 7's comparison is like-for-like. *)
+let analyze ?(guard = Guard.unlimited) (p : Cfg.program) : report =
+  let phases, t, status, rows =
+    Analysis.phased ~timers:(t_encode, t_query, t_collect)
+      ~pre:(fun () ->
+        let db = Database.create () in
+        Database.load_clauses db (Encode.program p);
+        { engine = Engine.create ~guard db; program = p })
+      (* one demand per node: which definitions reach its entry?
+         Budgets are sticky, so after an exhaustion the remaining
+         demands degrade immediately. *)
+      ~eval:(fun t ->
+        List.fold_left
+          (fun acc (pr : Cfg.proc) ->
+            List.fold_left
+              (fun acc (n : Cfg.node) ->
+                let v = Term.fresh_var () and m = Term.fresh_var () in
+                let goal =
+                  Term.mkl "reach"
+                    [ Term.mkl "def" [ v; m ]; Term.int n.Cfg.id ]
+                in
+                Guard.combine acc (Engine.run_status t.engine goal (fun _ -> ())))
+              acc pr.Cfg.nodes)
+          Guard.Complete p)
+      (* collection: fold the reach/2 answer tables (across all call
+         variants) into one row per node *)
+      ~collect:(fun t _status ->
+        let tbl : (int, (string * int) list) Hashtbl.t = Hashtbl.create 64 in
+        List.iter
+          (fun ans ->
+            match Term.args_of ans with
+            | [| dterm; Term.Int n |] -> (
+                match
+                  if Term.functor_of dterm = Some ("def", 2) then
+                    Term.args_of dterm
+                  else [||]
+                with
+                | [| Term.Atom v; Term.Int m |] ->
+                    let cur =
+                      Option.value (Hashtbl.find_opt tbl n) ~default:[]
+                    in
+                    if not (List.mem (v, m) cur) then
+                      Hashtbl.replace tbl n ((v, m) :: cur)
+                | _ -> ())
+            | _ -> ())
+          (Engine.answers_for t.engine ("reach", 2));
+        List.concat_map
+          (fun (pr : Cfg.proc) ->
+            List.map
+              (fun (n : Cfg.node) ->
+                ( n.Cfg.id,
+                  List.sort compare
+                    (Option.value (Hashtbl.find_opt tbl n.Cfg.id) ~default:[])
+                ))
+              pr.Cfg.nodes)
+          p
+        |> List.sort compare)
+      ()
+  in
+  {
+    rows;
+    phases;
+    table_bytes = Engine.table_space_bytes t.engine;
+    engine_stats = Engine.stats t.engine;
+    node_count =
+      List.fold_left (fun acc pr -> acc + List.length pr.Cfg.nodes) 0 p;
+    proc_count = List.length p;
+    status;
+  }
+
+(** Full pipeline from [.cfg] source text; parse time is billed to
+    preprocessing like the other drivers. *)
+let analyze_source ?guard (src : string) : report =
+  let t0 = Analysis.now () in
+  let p = Metrics.time t_encode (fun () -> Cfg.parse src) in
+  let t_parse = Analysis.now () -. t0 in
+  let r = analyze ?guard p in
+  { r with phases = Analysis.add_preproc r.phases t_parse }
+
+let row_to_string (n, defs) =
+  Printf.sprintf "node %d: reaching={%s}" n
+    (String.concat ","
+       (List.map (fun (v, d) -> Printf.sprintf "%s@%d" v d) defs))
+
+let report_to_string (rep : report) : string =
+  String.concat "\n" (List.map row_to_string rep.rows)
 
 (* --- reference implementation ------------------------------------------- *)
 

@@ -28,6 +28,8 @@ type proc = {
 
 type program = proc list
 
+exception Parse_error of string
+
 let defs = function Assign (x, _) -> [ x ] | _ -> []
 
 let uses = function
@@ -39,6 +41,110 @@ let find_proc (p : program) name =
   List.find_opt (fun pr -> String.equal pr.pname name) p
 
 let node_of (pr : proc) id = List.find (fun n -> n.id = id) pr.nodes
+
+(* --- the textual format --------------------------------------------------- *)
+
+(* One directive per line (# comments and blank lines ignored):
+     proc NAME
+     node ID entry|exit|skip
+     node ID assign DEF [USES...]
+     node ID test [USES...]
+     node ID call PROC
+     edge A B
+   Entry and exit points are inferred: each procedure must contain
+   exactly one [entry] and one [exit] node.  This is the [.cfg] source
+   format the analysis registry accepts (docs/ANALYSES.md). *)
+
+let stmt_to_source = function
+  | Entry -> "entry"
+  | Exit -> "exit"
+  | Skip -> "skip"
+  | Call p -> "call " ^ p
+  | Test uses -> String.concat " " ("test" :: uses)
+  | Assign (x, uses) -> String.concat " " ("assign" :: x :: uses)
+
+let to_source (p : program) : string =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun pr ->
+      Buffer.add_string buf (Printf.sprintf "proc %s\n" pr.pname);
+      List.iter
+        (fun n ->
+          Buffer.add_string buf
+            (Printf.sprintf "node %d %s\n" n.id (stmt_to_source n.stmt)))
+        pr.nodes;
+      List.iter
+        (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" a b))
+        pr.edges)
+    p;
+  Buffer.contents buf
+
+let parse (src : string) : program =
+  let err ln msg = raise (Parse_error (Printf.sprintf "line %d: %s" ln msg)) in
+  let procs = ref [] in
+  let cur : (string * node list ref * (int * int) list ref) option ref =
+    ref None
+  in
+  let flush ln =
+    Option.iter
+      (fun (name, nodes, edges) ->
+        let nodes = List.rev !nodes and edges = List.rev !edges in
+        let unique stmt what =
+          match List.filter (fun n -> n.stmt = stmt) nodes with
+          | [ n ] -> n.id
+          | _ ->
+              err ln
+                (Printf.sprintf "procedure %s needs exactly one %s node" name
+                   what)
+        in
+        let entry = unique Entry "entry" and exit = unique Exit "exit" in
+        procs := { pname = name; nodes; edges; entry; exit } :: !procs)
+      !cur;
+    cur := None
+  in
+  let words l =
+    String.split_on_char ' ' l |> List.filter (fun w -> w <> "")
+  in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match words line with
+        | [ "proc"; name ] ->
+            flush ln;
+            cur := Some (name, ref [], ref [])
+        | "node" :: id :: rest -> (
+            let id =
+              match int_of_string_opt id with
+              | Some n -> n
+              | None -> err ln (Printf.sprintf "bad node id %S" id)
+            in
+            let stmt =
+              match rest with
+              | [ "entry" ] -> Entry
+              | [ "exit" ] -> Exit
+              | [ "skip" ] -> Skip
+              | [ "call"; p ] -> Call p
+              | "test" :: uses -> Test uses
+              | "assign" :: x :: uses -> Assign (x, uses)
+              | _ -> err ln (Printf.sprintf "bad node statement %S" line)
+            in
+            match !cur with
+            | Some (_, nodes, _) -> nodes := { id; stmt } :: !nodes
+            | None -> err ln "node directive before any proc")
+        | [ "edge"; a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b, !cur) with
+            | Some a, Some b, Some (_, _, edges) -> edges := (a, b) :: !edges
+            | _, _, None -> err ln "edge directive before any proc"
+            | _ -> err ln (Printf.sprintf "bad edge %S" line))
+        | _ -> err ln (Printf.sprintf "unrecognized directive %S" line))
+    lines;
+  flush (List.length lines);
+  if !procs = [] then raise (Parse_error "empty CFG program");
+  List.rev !procs
 
 (* --- builders ------------------------------------------------------------ *)
 

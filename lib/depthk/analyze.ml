@@ -11,6 +11,7 @@ open Prax_logic
 open Prax_tabling
 module Metrics = Prax_metrics.Metrics
 module Guard = Prax_guard.Guard
+module Analysis = Prax_analysis.Analysis
 
 (* Phase timers mirroring the Table 4 columns (docs/METRICS.md). *)
 let t_preprocess =
@@ -32,9 +33,16 @@ type pred_result = {
   never_succeeds : bool;
 }
 
-type phases = { preproc : float; analysis : float; collection : float }
+(* The shared Table-style phase record, re-exported so existing callers
+   keep their [Analyze.phases] spelling (the definition now lives in
+   prax.analysis, one copy for all drivers). *)
+type phases = Analysis.phases = {
+  preproc : float;
+  analysis : float;
+  collection : float;
+}
 
-let total p = p.preproc +. p.analysis +. p.collection
+let total = Analysis.total
 
 type report = {
   results : pred_result list;
@@ -42,6 +50,7 @@ type report = {
   table_bytes : int;
   engine_stats : Engine.stats;
   k : int;
+  clause_count : int;  (** size of the evaluated program *)
   status : Guard.status;
       (** [Partial] when a resource budget stopped evaluation: widened
           entries answer their most general call, so [definite] degrades
@@ -49,7 +58,8 @@ type report = {
           over-approximation *)
 }
 
-let now () = Unix.gettimeofday ()
+(* monotonic, same clock as the Metrics timers (docs/ANALYSES.md) *)
+let now = Analysis.now
 
 (* --- abstract builtins ----------------------------------------------------- *)
 
@@ -165,6 +175,7 @@ let analyze_clauses ?(mode = Database.Dynamic) ?(guard = Guard.unlimited) ~k
     table_bytes = Engine.table_space_bytes e;
     engine_stats = Engine.stats e;
     k;
+    clause_count = List.length clauses;
     status;
   }
 
@@ -174,7 +185,7 @@ let analyze ?(mode = Database.Dynamic) ?guard ?(k = 2) (src : string) : report
   let clauses = Metrics.time t_preprocess (fun () -> Parser.parse_clauses src) in
   let t_parse = now () -. t0 in
   let r = analyze_clauses ~mode ?guard ~k clauses in
-  { r with phases = { r.phases with preproc = r.phases.preproc +. t_parse } }
+  { r with phases = Analysis.add_preproc r.phases t_parse }
 
 let result_for (rep : report) p =
   List.find_opt (fun r -> r.pred = p) rep.results

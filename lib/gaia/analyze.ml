@@ -2,7 +2,7 @@
     the declarative analyzers so Table 2's comparison is like-for-like. *)
 
 open Prax_logic
-
+module Analysis = Prax_analysis.Analysis
 module Bitset = Absint.Make (Backend_bitset)
 module Bdd_backend = Absint.Make (Backend_bdd)
 
@@ -12,13 +12,29 @@ type pred_result = {
   never_succeeds : bool;
 }
 
-type phases = { preproc : float; analysis : float; collection : float }
+(* The shared Table-style phase record, re-exported so existing callers
+   keep their [Analyze.phases] spelling (the definition now lives in
+   prax.analysis, one copy for all drivers). *)
+type phases = Analysis.phases = {
+  preproc : float;
+  analysis : float;
+  collection : float;
+}
 
-let total p = p.preproc +. p.analysis +. p.collection
+let total = Analysis.total
 
-type report = { results : pred_result list; phases : phases }
+type report = {
+  results : pred_result list;
+  phases : phases;
+  clause_count : int;  (** size of the abstract program analyzed *)
+}
 
-let now () = Unix.gettimeofday ()
+(* monotonic, same clock as the Metrics timers (docs/ANALYSES.md) *)
+let now = Analysis.now
+
+(* Phase timers mirroring the Table 2 comparison columns
+   (docs/METRICS.md). *)
+let timers = Analysis.phase_timers ~doc:"gaia" "gaia"
 
 let strip_prefix name =
   let p = Prax_ground.Transform.prefix in
@@ -37,35 +53,30 @@ module type RUNNER = sig
 end
 
 let analyze_gen ?(fold = false) (module M : RUNNER) (src : string) : report =
-  let t0 = now () in
-  let clauses = Parser.parse_clauses src in
-  let abstract, _, _ = Prax_ground.Transform.program clauses in
-  let abstract =
-    (* the truth-table back-end cannot represent universes beyond ~20
-       positions: fold long bodies through supplementary predicates,
-       which preserves the minimal model *)
-    if fold then Prax_tabling.Supplement.fold_program ~threshold:2 abstract
-    else abstract
+  let phases, abstract, _, results =
+    Analysis.phased ~timers
+      ~pre:(fun () ->
+        let clauses = Parser.parse_clauses src in
+        let abstract, _, _ = Prax_ground.Transform.program clauses in
+        (* the truth-table back-end cannot represent universes beyond
+           ~20 positions: fold long bodies through supplementary
+           predicates, which preserves the minimal model *)
+        if fold then Prax_tabling.Supplement.fold_program ~threshold:2 abstract
+        else abstract)
+      ~eval:(fun abstract -> M.analyze abstract)
+      ~collect:(fun _ raw ->
+        List.map
+          (fun r ->
+            let name, arity = M.pred_of r in
+            {
+              pred = (strip_prefix name, arity);
+              definite = M.definite_of r;
+              never_succeeds = M.empty_of r;
+            })
+          raw)
+      ()
   in
-  let t1 = now () in
-  let raw = M.analyze abstract in
-  let t2 = now () in
-  let results =
-    List.map
-      (fun r ->
-        let name, arity = M.pred_of r in
-        {
-          pred = (strip_prefix name, arity);
-          definite = M.definite_of r;
-          never_succeeds = M.empty_of r;
-        })
-      raw
-  in
-  let t3 = now () in
-  {
-    results;
-    phases = { preproc = t1 -. t0; analysis = t2 -. t1; collection = t3 -. t2 };
-  }
+  { results; phases; clause_count = List.length abstract }
 
 let analyze_bitset (src : string) : report =
   analyze_gen ~fold:true

@@ -1,0 +1,72 @@
+(** Registry entry for Prop groundness: adapts the typed {!Analyze}
+    driver to the generic {!Prax_analysis.Analysis} interface (see
+    docs/ANALYSES.md).  Registered by [Prax_analyses.Analyses]. *)
+
+open Prax_logic
+open Prax_prop
+module Analysis = Prax_analysis.Analysis
+module Metrics = Prax_metrics.Metrics
+
+let counts (st : Prax_tabling.Engine.stats) : Analysis.engine_counts =
+  {
+    Analysis.calls = st.Prax_tabling.Engine.calls;
+    table_entries = st.Prax_tabling.Engine.table_entries;
+    answers = st.Prax_tabling.Engine.answers;
+    duplicates = st.Prax_tabling.Engine.duplicates;
+    resumptions = st.Prax_tabling.Engine.resumptions;
+    forced = st.Prax_tabling.Engine.forced;
+  }
+
+let result_json (r : Analyze.pred_result) : Metrics.json =
+  let name, arity = r.Analyze.pred in
+  let args = List.init arity (fun i -> Printf.sprintf "A%d" (i + 1)) in
+  Metrics.Obj
+    [
+      ("name", Metrics.Str name);
+      ("arity", Metrics.Int arity);
+      ( "success",
+        Metrics.Str
+          (if r.Analyze.never_succeeds then "unreachable"
+           else
+             Qm.to_string ~names:(fun i -> List.nth args i) r.Analyze.success)
+      );
+      ( "definite",
+        Metrics.Str
+          (String.concat ""
+             (List.init arity (fun i ->
+                  if r.Analyze.definite.(i) then "g" else "?"))) );
+      ("never_succeeds", Metrics.Bool r.Analyze.never_succeeds);
+      ( "calls",
+        Metrics.Arr
+          (List.map (fun p -> Metrics.Str p) r.Analyze.call_patterns) );
+    ]
+
+let run ~config ~guard src : Analysis.report =
+  let mode =
+    match Analysis.config_enum config "mode" [ "dynamic"; "compiled" ] with
+    | "compiled" -> Database.Compiled
+    | _ -> Database.Dynamic
+  in
+  let rep = Analyze.analyze ~mode ~guard src in
+  {
+    Analysis.analysis = "groundness";
+    config;
+    phases = rep.Analyze.phases;
+    status = rep.Analyze.status;
+    table_bytes = rep.Analyze.table_bytes;
+    clause_count = rep.Analyze.clause_count;
+    source_lines = None;
+    engine = Some (counts rep.Analyze.engine_stats);
+    payload_text = Analyze.report_to_string rep;
+    payload_json = Metrics.Arr (List.map result_json rep.Analyze.results);
+  }
+
+let def : Analysis.t =
+  {
+    Analysis.name = "groundness";
+    doc = "Prop-domain groundness analysis of a logic program (Figure 1)";
+    kind = Analysis.Logic_program;
+    extensions = [ ".pl" ];
+    defaults = [ ("mode", "dynamic") ];
+    run;
+  }

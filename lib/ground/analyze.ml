@@ -10,6 +10,7 @@ open Prax_tabling
 open Prax_prop
 module Metrics = Prax_metrics.Metrics
 module Guard = Prax_guard.Guard
+module Analysis = Prax_analysis.Analysis
 
 (* Phase timers mirroring the Table 1 columns (docs/METRICS.md).  The
    [phases] record carries the same breakdown per report; the timers
@@ -33,9 +34,16 @@ type pred_result = {
   call_patterns : string list;  (** input modes, e.g. ["gf"; "gg"] *)
 }
 
-type phases = { preproc : float; analysis : float; collection : float }
+(* The shared Table-style phase record, re-exported so existing callers
+   keep their [Analyze.phases] spelling (the definition now lives in
+   prax.analysis, one copy for all drivers). *)
+type phases = Analysis.phases = {
+  preproc : float;
+  analysis : float;
+  collection : float;
+}
 
-let total p = p.preproc +. p.analysis +. p.collection
+let total = Analysis.total
 
 type report = {
   results : pred_result list;
@@ -49,7 +57,8 @@ type report = {
           entries answer their most general call) *)
 }
 
-let now () = Unix.gettimeofday ()
+(* monotonic, same clock as the Metrics timers (docs/ANALYSES.md) *)
+let now = Analysis.now
 
 (* Fold an answer's rows into [f].  Unbound variables in an answer range
    over both values, but sharing must be respected: gp_ap(true,A,A)
@@ -95,23 +104,20 @@ let pattern_of_call (call : Term.t) : string =
     parsing separately if they wish). *)
 let analyze_clauses ?(mode = Database.Dynamic) ?(guard = Guard.unlimited)
     (clauses : Parser.clause list) : report =
-  (* preprocessing: transform + load into the clause store *)
-  let t0 = now () in
-  let abstract, preds, e =
-    Metrics.time t_preprocess (fun () ->
+  let phases, (abstract, _, e), status, results =
+    Analysis.phased ~timers:(t_preprocess, t_evaluate, t_collect)
+      (* preprocessing: transform + load into the clause store *)
+      ~pre:(fun () ->
         let abstract, preds, max_iff = Transform.program clauses in
         let db = Database.create ~mode () in
         Database.load_clauses db abstract;
         let e = Engine.create ~guard db in
         Iff.register e ~max_arity:max_iff;
         (abstract, preds, e))
-  in
-  let t1 = now () in
-  (* analysis: open call on every abstracted predicate.  Budgets are
-     sticky, so after an exhaustion the remaining predicates degrade
-     immediately instead of each burning a full budget. *)
-  let status =
-    Metrics.time t_evaluate (fun () ->
+      (* analysis: open call on every abstracted predicate.  Budgets are
+         sticky, so after an exhaustion the remaining predicates degrade
+         immediately instead of each burning a full budget. *)
+      ~eval:(fun (_, preds, e) ->
         List.fold_left
           (fun acc (name, arity) ->
             let goal =
@@ -120,11 +126,8 @@ let analyze_clauses ?(mode = Database.Dynamic) ?(guard = Guard.unlimited)
             in
             Guard.combine acc (Engine.run_status e goal (fun _ -> ())))
           Guard.Complete preds)
-  in
-  let t2 = now () in
-  (* collection: combine answers per predicate *)
-  let results =
-    Metrics.time t_collect (fun () ->
+      (* collection: combine answers per predicate *)
+      ~collect:(fun (_, preds, e) status ->
         List.map
           (fun (name, arity) ->
             let gp = (Transform.prefix ^ name, arity) in
@@ -148,12 +151,11 @@ let analyze_clauses ?(mode = Database.Dynamic) ?(guard = Guard.unlimited)
             { pred = (name, arity); success; definite; never_succeeds = never;
               call_patterns })
           preds)
+      ()
   in
-  let t3 = now () in
   {
     results;
-    phases =
-      { preproc = t1 -. t0; analysis = t2 -. t1; collection = t3 -. t2 };
+    phases;
     table_bytes = Engine.table_space_bytes e;
     engine_stats = Engine.stats e;
     clause_count = List.length abstract;
@@ -167,7 +169,7 @@ let analyze ?(mode = Database.Dynamic) ?guard (src : string) : report =
   let clauses = Metrics.time t_preprocess (fun () -> Parser.parse_clauses src) in
   let t_parse = now () -. t0 in
   let r = analyze_clauses ~mode ?guard clauses in
-  { r with phases = { r.phases with preproc = r.phases.preproc +. t_parse } }
+  { r with phases = Analysis.add_preproc r.phases t_parse }
 
 (** Plain compilation time of the source (parse + load), the baseline for
     the paper's "compile time increase" column. *)

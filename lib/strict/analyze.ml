@@ -8,6 +8,7 @@ open Prax_tabling
 open Prax_fp
 module Metrics = Prax_metrics.Metrics
 module Guard = Prax_guard.Guard
+module Analysis = Prax_analysis.Analysis
 
 (* Phase timers mirroring the Table 3 columns (docs/METRICS.md). *)
 let t_preprocess =
@@ -34,9 +35,16 @@ type func_result = {
           strictness *)
 }
 
-type phases = { preproc : float; analysis : float; collection : float }
+(* The shared Table-style phase record, re-exported so existing callers
+   keep their [Analyze.phases] spelling (the definition now lives in
+   prax.analysis, one copy for all drivers). *)
+type phases = Analysis.phases = {
+  preproc : float;
+  analysis : float;
+  collection : float;
+}
 
-let total p = p.preproc +. p.analysis +. p.collection
+let total = Analysis.total
 
 type report = {
   results : func_result list;
@@ -51,7 +59,8 @@ type report = {
           claims only shrink) *)
 }
 
-let now () = Unix.gettimeofday ()
+(* monotonic, same clock as the Metrics timers (docs/ANALYSES.md) *)
+let now = Analysis.now
 
 (* glb across answers, per argument; an unbound position means no demand
    is guaranteed on that path *)
@@ -159,7 +168,7 @@ let analyze ?(mode = Database.Dynamic) ?supplementary ?guard (src : string) :
     analyze_program ~mode ?supplementary ?guard
       ~source_lines:(Check.line_count src) prog
   in
-  { r with phases = { r.phases with preproc = r.phases.preproc +. t_parse } }
+  { r with phases = Analysis.add_preproc r.phases t_parse }
 
 (** Plain "compilation" of a functional program: parse, check, and build
     the interpreter's equation index — the baseline against which the

@@ -165,6 +165,80 @@ let test_exit_crashed () =
   Alcotest.(check bool) "retry visible in the report" true
     (contains r.out "2 attempts")
 
+(* --- the analysis registry (docs/ANALYSES.md) ----------------------------- *)
+
+let analyses = [ "groundness"; "strictness"; "depthk"; "gaia"; "dataflow" ]
+
+let test_list_analyses () =
+  let r = run [ xanalyze; "--list-analyses" ] in
+  check_code "--list-analyses" 0 r;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " listed") true (contains r.out name))
+    analyses
+
+let test_analyze_dispatch () =
+  (* the generic front door runs any registered analysis... *)
+  let r =
+    run ~stdin_data:"p(a). q(X) :- p(X)."
+      [ xanalyze; "analyze"; "gaia"; "-" ]
+  in
+  check_code "analyze gaia" 0 r;
+  (* ... accepts --set assignments declared by the analysis ... *)
+  let r =
+    run ~stdin_data:"p(a)."
+      [ xanalyze; "analyze"; "depthk"; "-"; "--set"; "k=1" ]
+  in
+  check_code "analyze depthk --set k=1" 0 r;
+  (* ... and maps config mistakes to the input-error exit code *)
+  let r =
+    run ~stdin_data:"p(a)."
+      [ xanalyze; "analyze"; "depthk"; "-"; "--set"; "k=many" ]
+  in
+  check_code "malformed value" 1 r;
+  let r =
+    run ~stdin_data:"p(a)."
+      [ xanalyze; "analyze"; "gaia"; "-"; "--set"; "bogus=1" ]
+  in
+  check_code "unknown key" 1 r;
+  let r = run ~stdin_data:"p(a)." [ xanalyze; "analyze"; "nosuch"; "-" ] in
+  check_code "unknown analysis" 1 r;
+  Alcotest.(check bool) "registered names suggested" true
+    (contains r.err "groundness")
+
+let test_batch_per_analysis () =
+  (* every registered analysis sweeps its slice of the corpus through
+     the same batch door; cfg corpus is small enough for a test *)
+  let r =
+    run [ xanalyze; "batch"; "--corpus"; "all"; "--analysis"; "dataflow" ]
+  in
+  check_code "batch --analysis dataflow" 0 r;
+  Alcotest.(check bool) "cfg benchmarks swept" true (contains r.out "interp");
+  let r =
+    run
+      [
+        xanalyze; "batch"; "--corpus"; "qsort"; "--analysis"; "nosuch";
+      ]
+  in
+  check_code "batch with unknown analysis" 1 r
+
+let test_praxtop_analyses () =
+  let r =
+    run
+      ~stdin_data:
+        ":- analyses.\n:- analyze(gaia, bench(qsort)).\n:- analyze(nosuch, \
+         bench(qsort)).\n:- halt.\n"
+      [ praxtop ]
+  in
+  check_code "praxtop registry session" 0 r;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " listed") true (contains r.out name))
+    analyses;
+  Alcotest.(check bool) "analysis ran" true (contains r.out "phases:");
+  Alcotest.(check bool) "unknown analysis survives the session" true
+    (contains r.out "unknown analysis nosuch")
+
 (* --- batch warm start ----------------------------------------------------- *)
 
 let corpus = "cs,disj,gabriel,qsort,mergesort"
@@ -301,6 +375,15 @@ let () =
           Alcotest.test_case "3 = partial" `Quick test_exit_partial;
           Alcotest.test_case "4 = crashed after retries" `Quick
             test_exit_crashed;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "--list-analyses" `Quick test_list_analyses;
+          Alcotest.test_case "analyze dispatches any analysis" `Quick
+            test_analyze_dispatch;
+          Alcotest.test_case "batch --analysis" `Quick test_batch_per_analysis;
+          Alcotest.test_case "praxtop :- analyses. and :- analyze(...)" `Quick
+            test_praxtop_analyses;
         ] );
       ( "batch",
         [
