@@ -5,6 +5,12 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table1  -- one section
 
+   Assessment-driven runs (lib/benchrun, docs/BENCHMARKING.md):
+
+     bench/main.exe run [--repeats N] ...     persistent run directory
+     bench/main.exe ab <a> <b>                A/B deltas between two runs
+     bench/main.exe gate --baseline <id>      nonzero exit on regression
+
    Shapes, not absolute times, are the reproduction target: the paper
    measured XSB 1.4.2 on 1996 SPARCstations.  EXPERIMENTS.md holds the
    side-by-side discussion. *)
@@ -1025,6 +1031,527 @@ let batch () =
   (try Unix.rmdir dir with Unix.Unix_error _ -> ());
   Metrics.reset ()
 
+(* ------------------------------------------------------------------ *)
+(* Run store: bench run / ab / gate (lib/benchrun, docs/BENCHMARKING.md)*)
+(* ------------------------------------------------------------------ *)
+
+let default_runs_dir = Filename.concat "bench_data" "runs"
+
+(* exit codes of the run-store subcommands (docs/CLI.md): 0 ok / gate
+   passed, 1 usage or load error, 2 gate found regressions *)
+let exit_usage = 1
+let exit_regression = 2
+
+let usage_fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("bench: " ^ msg);
+      exit exit_usage)
+    fmt
+
+(* PRAX_BENCH_SLOWDOWN="analysis:benchmark:seconds[,...]" — measurement
+   injection for testing the gate: the seconds are added to the
+   recorded evaluate/total samples of every matching row, making the
+   row *report* slower without sleeping.  CI and test_benchrun use it
+   to prove that an artificially slowed benchmark trips the gate. *)
+let injected_slowdown ~analysis ~name =
+  match Sys.getenv_opt "PRAX_BENCH_SLOWDOWN" with
+  | None -> 0.
+  | Some spec ->
+      List.fold_left
+        (fun acc entry ->
+          match String.split_on_char ':' (String.trim entry) with
+          | [ a; n; secs ] when a = analysis && n = name -> (
+              match float_of_string_opt secs with
+              | Some s -> acc +. s
+              | None -> usage_fail "PRAX_BENCH_SLOWDOWN: bad seconds in %S" entry)
+          | _ -> acc)
+        0.
+        (String.split_on_char ',' spec)
+
+type sweep_sample = {
+  s_phases : (string * float) list;  (* preprocess/evaluate/collect *)
+  s_total : float;
+  s_bytes : float;
+  s_status : string;
+  s_counters : (string * float) list;
+}
+
+(* One repeat of one (analysis x benchmark) cell, counters reset around
+   it so they describe exactly this repetition. *)
+let sweep_once (a : Analysis.t) ~config ~name source =
+  Metrics.reset ();
+  let rep = Analysis.run a ~config ~guard:(bench_guard ()) source in
+  let p = rep.Analysis.phases in
+  let slow = injected_slowdown ~analysis:a.Analysis.name ~name in
+  ( {
+      s_phases =
+        [
+          ("preprocess", p.Analysis.preproc);
+          ("evaluate", p.Analysis.analysis +. slow);
+          ("collect", p.Analysis.collection);
+        ];
+      s_total = Analysis.total p +. slow;
+      s_bytes = float_of_int rep.Analysis.table_bytes;
+      s_status = status_cell rep.Analysis.status;
+      s_counters =
+        List.map
+          (fun c -> (c, float_of_int (Metrics.counter_value c)))
+          tracked_counters;
+    },
+    rep )
+
+(* The repeat-sampling loop over the (analysis x corpus) matrix.
+   Filters: [analyses] / [benchmarks] are comma-lists of names (None =
+   everything).  Returns the rows plus one log per row with the
+   per-repeat raw samples. *)
+let sweep ~repeats ~analyses ~benchmarks () =
+  let wanted filter x =
+    match filter with None -> true | Some l -> List.mem x l
+  in
+  let rows = ref [] and logs = ref [] in
+  List.iter
+    (fun (a : Analysis.t) ->
+      if wanted analyses a.Analysis.name then begin
+        let corpus, config = bench_corpus a in
+        List.iter
+          (fun (name, source, lines) ->
+            if wanted benchmarks name then begin
+              let samples = ref [] and last_rep = ref None in
+              (* one untimed warm-up: the cold first execution of a
+                 cell can run an order of magnitude slower (heap
+                 growth, cold caches) and would pollute q3/IQR *)
+              ignore (sweep_once a ~config ~name source);
+              for _ = 1 to repeats do
+                (* settle the GC so a pending major slice from the
+                   previous cell doesn't land in this one — without
+                   this, adjacent cells' times trade off between
+                   otherwise-identical runs *)
+                Gc.full_major ();
+                let s, rep = sweep_once a ~config ~name source in
+                samples := s :: !samples;
+                last_rep := Some rep
+              done;
+              let samples = List.rev !samples in
+              let rep = Option.get !last_rep in
+              let totals = List.map (fun s -> s.s_total) samples in
+              let total = Benchrun.stats_of totals in
+              (* the representative repeat (status): the one whose
+                 total lands closest to the median *)
+              let repr =
+                List.fold_left
+                  (fun best s ->
+                    if
+                      Float.abs (s.s_total -. total.Benchrun.median)
+                      < Float.abs (best.s_total -. total.Benchrun.median)
+                    then s
+                    else best)
+                  (List.hd samples) samples
+              in
+              let phase ph =
+                ( ph,
+                  Benchrun.stats_of
+                    (List.map (fun s -> List.assoc ph s.s_phases) samples) )
+              in
+              let row =
+                {
+                  Benchrun.r_analysis = a.Analysis.name;
+                  r_name = name;
+                  r_config = config;
+                  r_status = repr.s_status;
+                  r_source_lines =
+                    (match (rep.Analysis.source_lines, lines) with
+                    | Some l, _ | None, Some l -> Some l
+                    | None, None -> None);
+                  r_clause_count = rep.Analysis.clause_count;
+                  r_phases =
+                    List.map phase [ "preprocess"; "evaluate"; "collect" ];
+                  r_total = total;
+                  r_table_bytes =
+                    Benchrun.stats_of (List.map (fun s -> s.s_bytes) samples);
+                  (* counters come from the LAST repeat: with the
+                     process warmed up they are deterministic for a
+                     given binary and matrix order, so A/B counter
+                     deltas reflect code changes, not cold-start
+                     effects of whichever repeat won the median *)
+                  r_counters =
+                    (List.nth samples (List.length samples - 1)).s_counters;
+                }
+              in
+              Printf.printf "  %-10s %-10s median %8.4fs  iqr %8.4fs  table %7.0fB  %s\n%!"
+                a.Analysis.name name total.Benchrun.median
+                (Benchrun.iqr total) row.Benchrun.r_table_bytes.Benchrun.median
+                repr.s_status;
+              let log =
+                String.concat ""
+                  (List.mapi
+                     (fun i s ->
+                       Printf.sprintf
+                         "repeat %d: total=%.6f preprocess=%.6f \
+                          evaluate=%.6f collect=%.6f table_bytes=%.0f \
+                          status=%s\n"
+                         (i + 1) s.s_total
+                         (List.assoc "preprocess" s.s_phases)
+                         (List.assoc "evaluate" s.s_phases)
+                         (List.assoc "collect" s.s_phases)
+                         s.s_bytes s.s_status)
+                     samples)
+              in
+              rows := row :: !rows;
+              logs :=
+                (Printf.sprintf "%s-%s.log" a.Analysis.name name, log) :: !logs
+            end)
+          corpus
+      end)
+    (Analysis.all ());
+  Metrics.reset ();
+  (List.rev !rows, List.rev !logs)
+
+(* --- flag parsing (shared by run/ab/gate) --------------------------- *)
+
+let comma_list s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+type runopts = {
+  mutable repeats : int;
+  mutable shards : int;
+  mutable runs_dir : string;
+  mutable run_id : string option;
+  mutable analyses : string list option;
+  mutable benchmarks : string list option;
+  mutable baseline : string option;
+  mutable candidate : string option;
+  mutable json : bool;
+  mutable th : Benchrun.thresholds;
+}
+
+let parse_opts ~what ~defaults_repeats args =
+  let o =
+    {
+      repeats = defaults_repeats;
+      shards = 2;
+      runs_dir = default_runs_dir;
+      run_id = None;
+      analyses = None;
+      benchmarks = None;
+      baseline = None;
+      candidate = None;
+      json = false;
+      th = Benchrun.default_thresholds;
+    }
+  in
+  let positional = ref [] in
+  let int_of ~flag v =
+    match int_of_string_opt v with
+    | Some n when n > 0 -> n
+    | _ -> usage_fail "%s: %s expects a positive integer, got %S" what flag v
+  in
+  let float_of ~flag v =
+    match float_of_string_opt v with
+    | Some f when f >= 0. -> f
+    | _ -> usage_fail "%s: %s expects a non-negative number, got %S" what flag v
+  in
+  let rec go = function
+    | [] -> ()
+    | "--repeats" :: v :: rest ->
+        o.repeats <- int_of ~flag:"--repeats" v;
+        go rest
+    | "--shards" :: v :: rest ->
+        o.shards <- int_of ~flag:"--shards" v;
+        go rest
+    | "--runs-dir" :: v :: rest ->
+        o.runs_dir <- v;
+        go rest
+    | "--id" :: v :: rest ->
+        o.run_id <- Some v;
+        go rest
+    | "--analyses" :: v :: rest ->
+        o.analyses <- Some (comma_list v);
+        go rest
+    | "--benchmarks" :: v :: rest ->
+        o.benchmarks <- Some (comma_list v);
+        go rest
+    | "--baseline" :: v :: rest ->
+        o.baseline <- Some v;
+        go rest
+    | "--candidate" :: v :: rest ->
+        o.candidate <- Some v;
+        go rest
+    | "--json" :: rest ->
+        o.json <- true;
+        go rest
+    | "--rel-time" :: v :: rest ->
+        o.th <- { o.th with Benchrun.rel_time = float_of ~flag:"--rel-time" v };
+        go rest
+    | "--abs-time" :: v :: rest ->
+        o.th <- { o.th with Benchrun.abs_time = float_of ~flag:"--abs-time" v };
+        go rest
+    | "--rel-bytes" :: v :: rest ->
+        o.th <- { o.th with Benchrun.rel_bytes = float_of ~flag:"--rel-bytes" v };
+        go rest
+    | "--abs-bytes" :: v :: rest ->
+        o.th <- { o.th with Benchrun.abs_bytes = float_of ~flag:"--abs-bytes" v };
+        go rest
+    | "--metrics" :: v :: rest ->
+        let ms = comma_list v in
+        List.iter
+          (fun m ->
+            if m <> "time" && m <> "bytes" then
+              usage_fail "%s: --metrics accepts time,bytes (got %S)" what m)
+          ms;
+        o.th <-
+          {
+            o.th with
+            Benchrun.gate_time = List.mem "time" ms;
+            gate_bytes = List.mem "bytes" ms;
+          };
+        go rest
+    | flag :: _ when String.length flag > 2 && String.sub flag 0 2 = "--" ->
+        usage_fail "%s: unknown or value-less option %s" what flag
+    | arg :: rest ->
+        positional := arg :: !positional;
+        go rest
+  in
+  go args;
+  (o, List.rev !positional)
+
+let load_run_or_fail ~runs_dir spec =
+  match Benchrun.find_run ~runs_dir spec with
+  | Ok run -> run
+  | Error msg -> usage_fail "%s" msg
+
+(* Execute the matrix in [shards] fresh processes and pool the
+   samples.  Code/heap layout is a per-process lottery worth tens of
+   percent on some cells for the process's whole lifetime, so a single
+   process's tight samples can systematically mislead an A/B; with
+   every run's samples drawn from several layouts, that variance shows
+   up in each row's own IQR and the noise bound adapts.  Each shard is
+   a re-exec of this binary with [--shards 1] (fork would inherit the
+   parent's layout and defeat the point). *)
+let sharded_sweep o =
+  let per_shard =
+    List.init o.shards (fun i ->
+        (o.repeats / o.shards)
+        + if i < o.repeats mod o.shards then 1 else 0)
+    |> List.filter (fun n -> n > 0)
+  in
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "prax-bench-shards-%d" (Unix.getpid ()))
+  in
+  let filters =
+    (match o.analyses with
+    | Some l -> [ "--analyses"; String.concat "," l ]
+    | None -> [])
+    @
+    match o.benchmarks with
+    | Some l -> [ "--benchmarks"; String.concat "," l ]
+    | None -> []
+  in
+  let shard_dirs =
+    List.mapi
+      (fun i reps ->
+        let id = Printf.sprintf "shard-%d" (i + 1) in
+        Printf.printf "  shard %d/%d: %d repeat%s...\n%!" (i + 1)
+          (List.length per_shard) reps
+          (if reps = 1 then "" else "s");
+        let argv =
+          [
+            Sys.executable_name; "run"; "--shards"; "1"; "--runs-dir"; tmp;
+            "--id"; id; "--repeats"; string_of_int reps;
+          ]
+          @ filters
+        in
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        let pid =
+          Unix.create_process Sys.executable_name (Array.of_list argv)
+            Unix.stdin devnull Unix.stderr
+        in
+        Unix.close devnull;
+        (match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _, st ->
+            let what =
+              match st with
+              | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+              | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+              | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+            in
+            usage_fail "bench run: shard %d failed (%s)" (i + 1) what);
+        Filename.concat tmp id)
+      per_shard
+  in
+  let shards =
+    List.map
+      (fun d ->
+        match Benchrun.load_run d with
+        | Ok run -> run
+        | Error msg -> usage_fail "bench run: shard unreadable: %s" msg)
+      shard_dirs
+  in
+  let rows = Benchrun.pool_rows (List.map (fun r -> r.Benchrun.rows) shards) in
+  (* merge the per-cell logs, one "# shard i" block per process *)
+  let logs = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iteri
+    (fun i d ->
+      let ldir = Filename.concat d "logs" in
+      if Sys.file_exists ldir then
+        Array.iter
+          (fun f ->
+            let ic = open_in (Filename.concat ldir f) in
+            let len = in_channel_length ic in
+            let content = really_input_string ic len in
+            close_in ic;
+            let name = f in
+            if not (Hashtbl.mem logs name) then order := name :: !order;
+            Hashtbl.replace logs name
+              (Option.value ~default:"" (Hashtbl.find_opt logs name)
+              ^ Printf.sprintf "# shard %d\n" (i + 1)
+              ^ content))
+          (Sys.readdir ldir))
+    shard_dirs;
+  let logs =
+    List.rev_map (fun name -> (name, Hashtbl.find logs name)) !order
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  (try rm tmp with Sys_error _ -> ());
+  List.iter
+    (fun (r : Benchrun.row) ->
+      Printf.printf
+        "  %-10s %-10s median %8.4fs  iqr %8.4fs  table %7.0fB  %s\n%!"
+        r.Benchrun.r_analysis r.Benchrun.r_name
+        r.Benchrun.r_total.Benchrun.median
+        (Benchrun.iqr r.Benchrun.r_total)
+        r.Benchrun.r_table_bytes.Benchrun.median r.Benchrun.r_status)
+    rows;
+  (rows, logs)
+
+(* bench run: execute the matrix, persist a run directory *)
+let cmd_run args =
+  let o, positional = parse_opts ~what:"bench run" ~defaults_repeats:6 args in
+  if positional <> [] then
+    usage_fail "bench run: unexpected argument %s" (List.hd positional);
+  let run_id =
+    match o.run_id with Some id -> id | None -> Benchrun.fresh_id ()
+  in
+  let dir = Filename.concat o.runs_dir run_id in
+  if Sys.file_exists dir then
+    usage_fail "bench run: %s already exists (pick another --id)" dir;
+  section
+    (Printf.sprintf
+       "Bench run %s: %d repeat%s x %d shard%s per (analysis x benchmark) -> %s"
+       run_id o.repeats
+       (if o.repeats = 1 then "" else "s")
+       o.shards
+       (if o.shards = 1 then "" else "s")
+       dir);
+  let rows, logs =
+    if o.shards > 1 && o.repeats > 1 then sharded_sweep o
+    else
+      sweep ~repeats:o.repeats ~analyses:o.analyses ~benchmarks:o.benchmarks ()
+  in
+  if rows = [] then
+    usage_fail "bench run: the filters selected no (analysis x benchmark) cells";
+  let manifest =
+    Benchrun.make_manifest ~run_id ~repeats:o.repeats
+      ~argv:(Array.to_list Sys.argv)
+  in
+  Benchrun.write_run ~dir ~manifest ~rows ~logs;
+  Printf.printf "wrote %s (%d rows, %d repeats, rev %s)\n" dir
+    (List.length rows) o.repeats manifest.Benchrun.m_git_rev;
+  run_id
+
+(* bench ab: load two runs, print the deltas *)
+let cmd_ab args =
+  let o, positional = parse_opts ~what:"bench ab" ~defaults_repeats:5 args in
+  let a, b =
+    match positional with
+    | [ a; b ] -> (a, b)
+    | _ -> usage_fail "usage: bench ab <run-id-or-dir> <run-id-or-dir>"
+  in
+  let base = load_run_or_fail ~runs_dir:o.runs_dir a in
+  let cand = load_run_or_fail ~runs_dir:o.runs_dir b in
+  (match (base.Benchrun.manifest, cand.Benchrun.manifest) with
+  | Some mb, Some mc when mb.Benchrun.m_git_rev <> mc.Benchrun.m_git_rev ->
+      Printf.printf "note: comparing different revisions (%s vs %s)\n"
+        mb.Benchrun.m_git_rev mc.Benchrun.m_git_rev
+  | None, _ | _, None ->
+      print_endline
+        "note: a manifest is missing or corrupt; comparing rows only"
+  | _ -> ());
+  let ab = Benchrun.compare_runs ~thresholds:o.th base cand in
+  if o.json then print_endline (Metrics.json_to_string (Benchrun.ab_to_json ab))
+  else print_string (Benchrun.render_ab ab)
+
+(* bench gate: compare a candidate (given, or freshly swept) against a
+   baseline; exit 2 on any gated regression *)
+let cmd_gate args =
+  let o, positional = parse_opts ~what:"bench gate" ~defaults_repeats:4 args in
+  if positional <> [] then
+    usage_fail "bench gate: unexpected argument %s" (List.hd positional);
+  let baseline_spec =
+    match o.baseline with
+    | Some b -> b
+    | None -> usage_fail "bench gate: --baseline <run-id-or-dir> is required"
+  in
+  let base = load_run_or_fail ~runs_dir:o.runs_dir baseline_spec in
+  let cand =
+    match o.candidate with
+    | Some c -> load_run_or_fail ~runs_dir:o.runs_dir c
+    | None ->
+        (* no candidate run given: sweep one now, restricted to the
+           baseline's matrix so missing-row gating compares like with
+           like *)
+        let analyses =
+          match o.analyses with
+          | Some _ as f -> f
+          | None ->
+              Some
+                (List.sort_uniq compare
+                   (List.map
+                      (fun r -> r.Benchrun.r_analysis)
+                      base.Benchrun.rows))
+        in
+        let benchmarks =
+          match o.benchmarks with
+          | Some _ as f -> f
+          | None ->
+              Some
+                (List.sort_uniq compare
+                   (List.map (fun r -> r.Benchrun.r_name) base.Benchrun.rows))
+        in
+        let id =
+          cmd_run
+            ([ "--repeats"; string_of_int o.repeats;
+               "--shards"; string_of_int o.shards;
+               "--runs-dir"; o.runs_dir;
+               "--analyses"; String.concat "," (Option.get analyses);
+               "--benchmarks"; String.concat "," (Option.get benchmarks);
+             ]
+            @ match o.run_id with Some id -> [ "--id"; id ] | None -> [])
+        in
+        load_run_or_fail ~runs_dir:o.runs_dir id
+  in
+  let ab = Benchrun.compare_runs ~thresholds:o.th base cand in
+  if o.json then print_endline (Metrics.json_to_string (Benchrun.ab_to_json ab))
+  else print_string (Benchrun.render_ab ab);
+  if ab.Benchrun.regressions > 0 then begin
+    Printf.printf "gate: FAIL (%d regression%s vs %s)\n" ab.Benchrun.regressions
+      (if ab.Benchrun.regressions = 1 then "" else "s")
+      ab.Benchrun.base_id;
+    exit exit_regression
+  end
+  else Printf.printf "gate: PASS (vs %s)\n" ab.Benchrun.base_id
+
 let sections =
   [
     ("table1", table1);
@@ -1052,6 +1579,9 @@ let sections =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
+  | "run" :: rest -> ignore (cmd_run rest)
+  | "ab" :: rest -> cmd_ab rest
+  | "gate" :: rest -> cmd_gate rest
   | [] ->
       (* the profiling loop is opt-in: it exists for sampling profilers,
          not for the report *)
@@ -1064,7 +1594,10 @@ let () =
           match List.assoc_opt n sections with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown section %s; available: %s\n" n
+              Printf.eprintf
+                "unknown section %s; available: %s\n\
+                 run-store subcommands: run, ab, gate (docs/BENCHMARKING.md)\n"
+                n
                 (String.concat ", " (List.map fst sections));
               exit 1)
         names

@@ -61,6 +61,11 @@ module Serve = Prax_serve.Serve
     snapshots with CRC trailers, warm-start resume for batches. *)
 module Store = Prax_store.Store
 
+(** The bench-run store: persistent run directories with repeat-sample
+    statistics, the noise-aware A/B comparator, and the regression-gate
+    logic behind [bench run|ab|gate] (see docs/BENCHMARKING.md). *)
+module Benchrun = Prax_benchrun.Benchrun
+
 module Logic = struct
   module Term = Prax_logic.Term
   module Subst = Prax_logic.Subst
