@@ -29,14 +29,25 @@ open Prax
         one job degraded to a partial result)
      4  batch only: at least one worker crashed after exhausting its
         retries; the batch report still accounts for every job
+     5  client only: the daemon shed the request (overloaded, rejected,
+        or draining) — retry later
+     6  client only: the daemon was unreachable or broke protocol
+   130/143  batch interrupted by SIGINT/SIGTERM after killing and
+        reaping every in-flight worker (no orphan processes)
    (124/125 are reserved by cmdliner for CLI parse/internal errors.) *)
 let exit_input = 1
 let exit_partial = 3
 let exit_crashed = 4
+let exit_shed = 5
+let exit_unreachable = 6
 
 let read_input = function
   | "-" -> In_channel.input_all stdin
-  | path -> In_channel.with_open_text path In_channel.input_all
+  | path -> (
+      try In_channel.with_open_text path In_channel.input_all
+      with Sys_error msg ->
+        Printf.eprintf "xanalyze: %s\n" msg;
+        exit exit_input)
 
 let bench_source_of_kind (kind : Analysis.source_kind) name =
   match kind with
@@ -760,7 +771,25 @@ let batch_cmd =
           r.Serve.elapsed detail
       end
     in
-    let reports = Serve.run_batch ~config ~cached ~persist ~on_report ~worker jobs in
+    let reports =
+      try Serve.run_batch ~config ~cached ~persist ~on_report ~worker jobs
+      with Serve.Interrupted sg ->
+        (* every in-flight worker is already SIGKILLed and reaped; exit
+           the way a shell reports death-by-signal so wrappers see the
+           interruption, not a bogus "success" *)
+        let code =
+          if sg = Sys.sigint then 130
+          else if sg = Sys.sigterm then 143
+          else 128 + abs sg
+        in
+        Printf.eprintf
+          "\nxanalyze batch: interrupted (%s) — in-flight workers killed \
+           and reaped\n"
+          (if sg = Sys.sigint then "SIGINT"
+           else if sg = Sys.sigterm then "SIGTERM"
+           else Printf.sprintf "signal %d" sg);
+        exit code
+    in
     let count cls =
       List.length
         (List.filter
@@ -911,6 +940,122 @@ let batch_cmd =
       $ job_timeout $ store_dir $ stats_arg $ timeout_arg $ max_steps_arg
       $ max_table_bytes_arg)
 
+(* --- client: talk to a resident praxd daemon ------------------------------ *)
+
+(* The daemon never reads client files: the source text travels in the
+   request, so the client resolves paths/bench names locally and the
+   daemon's warm cache keys on the bytes.  Exit codes: 0 complete/cached,
+   3 partial, 4 crashed, 5 shed (overloaded/rejected/draining — retry
+   later), 6 daemon unreachable or protocol error. *)
+
+let client_socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket of the praxd daemon.")
+
+let client_analyze_cmd =
+  let run socket name input bench sets client_id as_json =
+    let a = find_analysis name in
+    let src = source_of ~kind:a.Analysis.kind ~bench input in
+    let config = parse_sets ~what:"xanalyze client" sets in
+    let req =
+      {
+        Daemon.Wire.id = Metrics.Int (Unix.getpid ());
+        client = client_id;
+        op = Daemon.Wire.Analyze { analysis = name; input; source = src; config };
+      }
+    in
+    match Daemon.Client.request ~socket req with
+    | Error e ->
+        Printf.eprintf "xanalyze client: %s\n" (Daemon.Client.error_to_string e);
+        exit exit_unreachable
+    | Ok (status, doc) -> (
+        if as_json then print_endline (Metrics.json_to_string doc)
+        else begin
+          (match Metrics.member "report" doc with
+          | Some report -> (
+              match Metrics.member "text" report with
+              | Some (Metrics.Str text) -> print_endline text
+              | _ -> print_endline (Metrics.json_to_string report))
+          | None -> ());
+          let say_reason what =
+            match Metrics.member "reason" doc with
+            | Some (Metrics.Str r) ->
+                Printf.eprintf "xanalyze client: %s (%s)\n" what r
+            | _ -> Printf.eprintf "xanalyze client: %s\n" what
+          in
+          match status with
+          | "complete" | "cached" | "ok" -> ()
+          | "partial" -> say_reason "partial result"
+          | "overloaded" -> say_reason "request shed by the daemon"
+          | "rejected" -> say_reason "request rejected"
+          | "draining" -> say_reason "daemon is draining"
+          | "crashed" -> (
+              match Metrics.member "error" doc with
+              | Some (Metrics.Str e) ->
+                  Printf.eprintf "xanalyze client: job crashed: %s\n" e
+              | _ -> Printf.eprintf "xanalyze client: job crashed\n")
+          | other ->
+              Printf.eprintf "xanalyze client: unexpected status %s\n" other
+        end;
+        match status with
+        | "complete" | "cached" | "ok" -> ()
+        | "partial" -> exit exit_partial
+        | "crashed" -> exit exit_crashed
+        | "overloaded" | "rejected" | "draining" -> exit exit_shed
+        | "error" | _ -> exit exit_input)
+  in
+  let aname =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ANALYSIS" ~doc:"Registered analysis name.")
+  in
+  let input =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE")
+  in
+  let client_id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "client" ] ~docv:"ID"
+          ~doc:
+            "Client identity for the daemon's per-client rate limiting \
+             (default: the connection).")
+  in
+  let as_json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the raw prax.wire response document instead of the \
+                report text.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Analyze a file (or $(b,--bench) corpus entry) on the daemon"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "$(b,0) complete or cached; $(b,3) partial (budget-degraded); \
+              $(b,4) crashed after retries; $(b,5) shed by admission \
+              control (overloaded / rejected / draining) — retry later; \
+              $(b,6) daemon unreachable or protocol error.";
+         ])
+    Term.(
+      const run $ client_socket_arg $ aname $ input $ bench_flag $ set_args
+      $ client_id $ as_json)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a resident praxd analysis daemon over its Unix socket \
+          (see $(b,praxd)(1))")
+    [ client_analyze_cmd ]
+
 (* --- the registry listing ------------------------------------------------- *)
 
 let list_analyses () =
@@ -957,5 +1102,5 @@ let () =
           (Cmd.info "xanalyze" ~doc)
           [
             groundness_cmd; strictness_cmd; depthk_cmd; analyze_cmd; run_cmd;
-            eval_cmd; types_cmd; widen_cmd; batch_cmd;
+            eval_cmd; types_cmd; widen_cmd; batch_cmd; client_cmd;
           ]))

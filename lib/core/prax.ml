@@ -61,6 +61,17 @@ module Serve = Prax_serve.Serve
     snapshots with CRC trailers, warm-start resume for batches. *)
 module Store = Prax_store.Store
 
+(** The resident analysis daemon ([praxd]): a Unix-socket server over
+    the worker fleet with admission control (token buckets, queue-depth
+    backpressure, load shedding) and graceful drain, speaking the
+    newline-delimited-JSON [prax.wire] protocol. *)
+module Daemon = struct
+  module Wire = Prax_daemon.Wire
+  module Admission = Prax_daemon.Admission
+  module Daemon = Prax_daemon.Daemon
+  module Client = Prax_daemon.Client
+end
+
 (** The bench-run store: persistent run directories with repeat-sample
     statistics, the noise-aware A/B comparator, and the regression-gate
     logic behind [bench run|ab|gate] (see docs/BENCHMARKING.md). *)

@@ -1,0 +1,43 @@
+(** Per-client token buckets — see admission.mli. *)
+
+type bucket = { mutable tokens : float; mutable last : float }
+
+type t = {
+  rate : float;
+  burst : float;
+  buckets : (string, bucket) Hashtbl.t;
+}
+
+let create ~rate ~burst =
+  { rate; burst = Float.max 1.0 burst; buckets = Hashtbl.create 16 }
+
+let refill t (b : bucket) ~now =
+  let dt = Float.max 0. (now -. b.last) in
+  b.tokens <- Float.min t.burst (b.tokens +. (dt *. t.rate));
+  b.last <- now
+
+let bucket_of t ~client ~now =
+  match Hashtbl.find_opt t.buckets client with
+  | Some b ->
+      refill t b ~now;
+      b
+  | None ->
+      let b = { tokens = t.burst; last = now } in
+      Hashtbl.add t.buckets client b;
+      b
+
+let admit t ~client ~now =
+  if t.rate <= 0. then true
+  else
+    let b = bucket_of t ~client ~now in
+    if b.tokens >= 1.0 then begin
+      b.tokens <- b.tokens -. 1.0;
+      true
+    end
+    else false
+
+let tokens t ~client ~now =
+  if t.rate <= 0. then infinity
+  else (bucket_of t ~client ~now).tokens
+
+let clients t = Hashtbl.length t.buckets

@@ -1,0 +1,30 @@
+(** Admission control: per-client token buckets.
+
+    The daemon's first line of defense (docs/ROBUSTNESS.md "serving
+    under load"): before a request touches the queue or the fleet, its
+    client must hold a token.  A bucket refills continuously at [rate]
+    tokens per second up to a [burst] ceiling, so steady traffic at or
+    under [rate] never waits while a burst larger than [burst] is shed
+    with ["overloaded"/"rate_limited"].
+
+    Time is an explicit parameter, never read from the clock, so refill
+    behavior is deterministic under test. *)
+
+type t
+
+val create : rate:float -> burst:float -> t
+(** [rate ≤ 0] disables limiting: every {!admit} succeeds.
+    [burst] is clamped to at least [1.0] token. *)
+
+val admit : t -> client:string -> now:float -> bool
+(** Refill [client]'s bucket to [min burst (tokens + (now - last) *
+    rate)], then take one token if available.  First sight of a client
+    starts it at a full burst.  [now] is any monotone seconds clock;
+    going backwards refills nothing (never raises). *)
+
+val tokens : t -> client:string -> now:float -> float
+(** The tokens [client] would hold at [now], without taking any —
+    observability and tests. *)
+
+val clients : t -> int
+(** Distinct clients tracked so far. *)

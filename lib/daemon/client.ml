@@ -1,0 +1,87 @@
+(** Blocking prax.wire client — see client.mli. *)
+
+module Metrics = Prax_metrics.Metrics
+
+type error = Connect_failed of string | Protocol_error of string
+
+let error_to_string = function
+  | Connect_failed msg -> "cannot reach daemon: " ^ msg
+  | Protocol_error msg -> "protocol error: " ^ msg
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+(* read up to (and including) the first newline; [deadline] is an
+   absolute gettimeofday time, or none *)
+let read_line_fd ?deadline fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    if Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) = '\n'
+    then Ok (String.trim (Buffer.contents buf))
+    else begin
+      (match deadline with
+      | None -> ()
+      | Some d ->
+          let left = d -. Unix.gettimeofday () in
+          if left <= 0. then raise Exit;
+          ignore (Unix.select [ fd ] [] [] left));
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 ->
+          if Buffer.length buf = 0 then
+            Error (Protocol_error "connection closed before response")
+          else Ok (String.trim (Buffer.contents buf))
+      | n ->
+          (* stop at the first newline; a response is one line *)
+          let stop = ref n in
+          (try
+             for i = 0 to n - 1 do
+               if Bytes.get chunk i = '\n' then begin
+                 stop := i + 1;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          Buffer.add_subbytes buf chunk 0 !stop;
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Protocol_error (Unix.error_message e))
+    end
+  in
+  try loop () with Exit -> Error (Protocol_error "timed out awaiting response")
+
+let request ?timeout ~socket (req : Wire.request) :
+    (string * Metrics.json, error) result =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Connect_failed (socket ^ ": " ^ Unix.error_message e))
+      | () -> (
+          let line = Wire.request_to_string req ^ "\n" in
+          match write_all fd line 0 (String.length line) with
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Connect_failed (Unix.error_message e))
+          | () -> (
+              let deadline =
+                Option.map (fun t -> Unix.gettimeofday () +. t) timeout
+              in
+              match read_line_fd ?deadline fd with
+              | Error _ as e -> e
+              | Ok line -> (
+                  match Metrics.json_of_string line with
+                  | exception _ ->
+                      Error (Protocol_error "response is not JSON")
+                  | j -> (
+                      match Wire.response_status j with
+                      | Ok status -> Ok (status, j)
+                      | Error msg -> Error (Protocol_error msg))))))

@@ -1,0 +1,20 @@
+(** Minimal blocking client for the [prax.wire] protocol — the other
+    end of {!Daemon}: connect to the socket, send one request line,
+    read one response line.  Used by [praxd ping/stats/drain] and
+    [xanalyze client]. *)
+
+module Metrics = Prax_metrics.Metrics
+
+type error =
+  | Connect_failed of string  (** no daemon: ENOENT/ECONNREFUSED/... *)
+  | Protocol_error of string  (** EOF, bad JSON, bad schema header *)
+
+val error_to_string : error -> string
+
+val request :
+  ?timeout:float -> socket:string -> Wire.request ->
+  (string * Metrics.json, error) result
+(** [request ~socket req] performs one round trip and returns the
+    response's validated [status] plus the whole response document.
+    [timeout] bounds the wait for the response line (default: none —
+    analyses can be slow; pass one for control verbs). *)

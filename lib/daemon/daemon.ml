@@ -1,0 +1,602 @@
+(** The resident analysis daemon — see daemon.mli for the contract. *)
+
+module Metrics = Prax_metrics.Metrics
+module Guard = Prax_guard.Guard
+module Inject = Prax_guard.Inject
+module Serve = Prax_serve.Serve
+module Store = Prax_store.Store
+module Analysis = Prax_analysis.Analysis
+
+(* --- metrics (stats schema v5, docs/METRICS.md) -------------------------- *)
+
+let m_accepted =
+  Metrics.counter ~units:"connections" ~doc:"client connections accepted"
+    "daemon.accepted"
+
+let m_requests =
+  Metrics.counter ~units:"requests" ~doc:"request lines received"
+    "daemon.requests"
+
+let m_shed_queue =
+  Metrics.counter ~units:"requests"
+    ~doc:"analyze requests shed because the job queue was full"
+    "daemon.shed_queue"
+
+let m_shed_rate =
+  Metrics.counter ~units:"requests"
+    ~doc:"analyze requests shed by a client's token bucket"
+    "daemon.shed_rate"
+
+let m_rejected =
+  Metrics.counter ~units:"frames"
+    ~doc:"malformed or oversized request frames rejected"
+    "daemon.rejected_bad_frame"
+
+let m_warm =
+  Metrics.counter ~units:"requests"
+    ~doc:"analyze requests answered from the resident result cache"
+    "daemon.warm_hits"
+
+let m_cold_ms =
+  Metrics.counter ~units:"ms"
+    ~doc:"cumulative wall-clock of fleet-computed (cold) answers"
+    "daemon.cold_ms"
+
+let m_warm_ms =
+  Metrics.counter ~units:"ms"
+    ~doc:"cumulative wall-clock of cache-answered (warm) requests"
+    "daemon.warm_ms"
+
+let m_drain_ms =
+  Metrics.counter ~units:"ms" ~doc:"wall-clock spent in graceful drain"
+    "daemon.drain_ms"
+
+let g_queue =
+  Metrics.gauge ~units:"jobs" ~doc:"analyze jobs queued for a worker slot"
+    "daemon.queue_depth"
+
+let g_inflight =
+  Metrics.gauge ~units:"jobs" ~doc:"analyze jobs running in workers"
+    "daemon.inflight"
+
+(* --- configuration ------------------------------------------------------- *)
+
+type config = {
+  socket_path : string;
+  max_queue : int;
+  rate : float;
+  burst : float;
+  max_request_bytes : int;
+  drain_deadline : float;
+  store_dir : string option;
+  serve : Serve.config;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    max_queue = 32;
+    rate = 0.;
+    burst = 8.;
+    max_request_bytes = 8 * 1024 * 1024;
+    drain_deadline = 5.;
+    store_dir = None;
+    serve = Serve.default_config;
+  }
+
+(* --- state ---------------------------------------------------------------- *)
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  c_in : Buffer.t;
+  mutable c_out : string;  (* bytes not yet written *)
+  mutable c_closing : bool;  (* close once c_out drains *)
+  mutable c_dead : bool;
+}
+
+(* an admitted analyze job waiting for (or running in) the fleet *)
+type pending = {
+  jb_conn : int;
+  jb_reqid : Metrics.json;
+  jb_analysis : Analysis.t;
+  jb_config : Analysis.config;
+  jb_input : string;
+  jb_source : string;
+  jb_cache_key : string;
+  jb_store_key : Store.key;
+  jb_started : float;
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  store : Store.t option;
+  admission : Admission.t;
+  jobs : (string, pending) Hashtbl.t;
+  cache : (string, string) Hashtbl.t;  (* resident complete results *)
+  mutable pool : Serve.Pool.t option;  (* built in [run] (needs self) *)
+  mutable conns : conn list;
+  mutable next_conn : int;
+  mutable seq : int;
+  mutable draining : bool;
+  mutable drain_started : float;
+}
+
+let socket_path d = d.config.socket_path
+let pid_path d = d.config.socket_path ^ ".pid"
+
+exception Already_running of string
+
+(* --- startup: stale-socket and pidfile recovery --------------------------- *)
+
+(* A SIGKILLed daemon leaves its socket and pidfile behind; binding
+   would fail with EADDRINUSE forever.  A connect probe distinguishes
+   the cases: a live daemon accepts, a stale socket refuses. *)
+let probe path =
+  if not (Sys.file_exists path) then `Absent
+  else
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd (Unix.ADDR_UNIX path) with
+        | () -> `Live
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Absent
+        | exception Unix.Unix_error _ -> `Not_a_socket)
+
+let listen (config : config) : t =
+  let path = config.socket_path in
+  (match probe path with
+  | `Absent -> ()
+  | `Live -> raise (Already_running path)
+  | `Stale ->
+      (* stale socket from a killed predecessor: sweep it and its
+         pidfile *)
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      (try Unix.unlink (path ^ ".pid") with Unix.Unix_error _ -> ())
+  | `Not_a_socket ->
+      raise (Sys_error (path ^ ": exists and is not a praxd socket")));
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 64;
+     Unix.set_nonblock fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let oc = open_out (path ^ ".pid") in
+  output_string oc (string_of_int (Unix.getpid ()) ^ "\n");
+  close_out oc;
+  {
+    config;
+    listen_fd = fd;
+    store = Option.map Store.open_dir config.store_dir;
+    admission = Admission.create ~rate:config.rate ~burst:config.burst;
+    jobs = Hashtbl.create 64;
+    cache = Hashtbl.create 64;
+    pool = None;
+    conns = [];
+    next_conn = 0;
+    seq = 0;
+    draining = false;
+    drain_started = 0.;
+  }
+
+(* --- responses ------------------------------------------------------------ *)
+
+let send conn line = if not conn.c_dead then conn.c_out <- conn.c_out ^ line ^ "\n"
+
+let respond conn ~id ~status extra = send conn (Wire.response ~id ~status extra)
+
+let conn_by_id d cid = List.find_opt (fun c -> c.c_id = cid) d.conns
+
+(* --- the warm result cache ------------------------------------------------ *)
+
+let cache_key (k : Store.key) =
+  String.concat "\x00"
+    [ k.Store.analysis; k.Store.source_digest; k.Store.config;
+      string_of_int k.Store.schema_version ]
+
+let warm_lookup d (p : string) (k : Store.key) =
+  match Hashtbl.find_opt d.cache p with
+  | Some payload -> Some payload
+  | None -> (
+      match Option.bind d.store (fun s -> Store.load s k) with
+      | Some payload ->
+          Hashtbl.replace d.cache p payload;
+          Some payload
+      | None -> None)
+
+let cache_put d (p : string) (k : Store.key) payload =
+  Hashtbl.replace d.cache p payload;
+  Option.iter (fun s -> Store.save s k payload) d.store
+
+(* --- request handling ----------------------------------------------------- *)
+
+let report_field payload =
+  match Metrics.json_of_string payload with
+  | j -> [ ("report", j) ]
+  | exception _ -> [ ("report", Metrics.Str payload) ]
+
+let stats_json d =
+  Metrics.set g_queue
+    (match d.pool with Some p -> Serve.Pool.pending p | None -> 0);
+  Metrics.set g_inflight
+    (match d.pool with Some p -> Serve.Pool.inflight p | None -> 0);
+  Metrics.stats_doc ~tool:"praxd" ~analysis:"daemon"
+    ~input:d.config.socket_path (Metrics.snapshot ())
+
+let handle_analyze d conn ~id ~client ~analysis ~input ~source ~config =
+  if d.draining then
+    respond conn ~id ~status:"draining"
+      [ ("reason", Metrics.Str "daemon is draining") ]
+  else
+    let client =
+      Option.value client ~default:(Printf.sprintf "conn-%d" conn.c_id)
+    in
+    let now = Unix.gettimeofday () in
+    let pool = Option.get d.pool in
+    if not (Admission.admit d.admission ~client ~now) then begin
+      Metrics.incr m_shed_rate;
+      respond conn ~id ~status:"overloaded"
+        [ ("reason", Metrics.Str "rate_limited"); ("client", Metrics.Str client) ]
+    end
+    else if Serve.Pool.pending pool >= d.config.max_queue then begin
+      Metrics.incr m_shed_queue;
+      respond conn ~id ~status:"overloaded"
+        [
+          ("reason", Metrics.Str "queue_full");
+          ("queue_depth", Metrics.Int (Serve.Pool.pending pool));
+          ("max_queue", Metrics.Int d.config.max_queue);
+        ]
+    end
+    else
+      match Analysis.find analysis with
+      | None ->
+          respond conn ~id ~status:"error"
+            [
+              ( "reason",
+                Metrics.Str
+                  (Printf.sprintf "unknown analysis %s (registered: %s)"
+                     analysis
+                     (String.concat ", " (Analysis.names ()))) );
+            ]
+      | Some a -> (
+          match Analysis.merge_config ~defaults:a.Analysis.defaults config with
+          | Error msg ->
+              respond conn ~id ~status:"error" [ ("reason", Metrics.Str msg) ]
+          | Ok cfg -> (
+              let store_key =
+                {
+                  Store.analysis = a.Analysis.name;
+                  source_digest = Store.digest_source source;
+                  config = Analysis.config_to_string cfg;
+                  schema_version = Analysis.report_schema_version;
+                }
+              in
+              let ckey = cache_key store_key in
+              match warm_lookup d ckey store_key with
+              | Some payload ->
+                  Metrics.incr m_warm;
+                  Metrics.add m_warm_ms
+                    (int_of_float ((Unix.gettimeofday () -. now) *. 1000.));
+                  respond conn ~id ~status:"cached" (report_field payload)
+              | None ->
+                  d.seq <- d.seq + 1;
+                  let job =
+                    Printf.sprintf "%s:%s#%d" a.Analysis.name input d.seq
+                  in
+                  Hashtbl.replace d.jobs job
+                    {
+                      jb_conn = conn.c_id;
+                      jb_reqid = id;
+                      jb_analysis = a;
+                      jb_config = cfg;
+                      jb_input = input;
+                      jb_source = source;
+                      jb_cache_key = ckey;
+                      jb_store_key = store_key;
+                      jb_started = now;
+                    };
+                  Serve.Pool.submit pool job))
+
+let begin_drain d =
+  if not d.draining then begin
+    d.draining <- true;
+    d.drain_started <- Unix.gettimeofday ();
+    (* stop accepting at once: close and remove the socket so new
+       connects fail fast instead of queueing in the backlog *)
+    (try Unix.close d.listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink d.config.socket_path with Unix.Unix_error _ -> ()
+  end
+
+let handle_line d conn line =
+  Metrics.incr m_requests;
+  match Wire.parse_request line with
+  | Error reason ->
+      Metrics.incr m_rejected;
+      respond conn ~id:Metrics.Null ~status:"rejected"
+        [ ("reason", Metrics.Str reason) ]
+  | Ok { Wire.id; client; op } -> (
+      match op with
+      | Wire.Ping ->
+          respond conn ~id ~status:"ok"
+            [ ("pid", Metrics.Int (Unix.getpid ())) ]
+      | Wire.Stats -> respond conn ~id ~status:"ok" [ ("stats", stats_json d) ]
+      | Wire.Drain ->
+          respond conn ~id ~status:"ok" [ ("draining", Metrics.Bool true) ];
+          begin_drain d
+      | Wire.Analyze { analysis; input; source; config } ->
+          handle_analyze d conn ~id ~client ~analysis ~input ~source ~config)
+
+(* Split complete lines off a connection's input buffer; an over-limit
+   line — terminated or not — is a framing violation: reject and close
+   (the stream position can no longer be trusted). *)
+let process_input d conn =
+  let s = Buffer.contents conn.c_in in
+  let n = String.length s in
+  let pos = ref 0 in
+  (try
+     while !pos < n do
+       match String.index_from_opt s !pos '\n' with
+       | Some i when i - !pos <= d.config.max_request_bytes ->
+           handle_line d conn (String.sub s !pos (i - !pos));
+           pos := i + 1
+       | Some _ | None ->
+           if n - !pos > d.config.max_request_bytes then begin
+             Metrics.incr m_rejected;
+             respond conn ~id:Metrics.Null ~status:"rejected"
+               [
+                 ("reason", Metrics.Str "oversized frame");
+                 ("max_request_bytes", Metrics.Int d.config.max_request_bytes);
+               ];
+             conn.c_closing <- true;
+             Buffer.clear conn.c_in;
+             pos := n;
+             raise Exit
+           end
+           else raise Exit (* incomplete line: wait for more bytes *)
+     done
+   with Exit -> ());
+  if !pos > 0 && not conn.c_closing then begin
+    let rest = String.sub s !pos (n - !pos) in
+    Buffer.clear conn.c_in;
+    Buffer.add_string conn.c_in rest
+  end
+
+(* --- fleet results back to clients ---------------------------------------- *)
+
+let finish_report d (r : Serve.report) =
+  match Hashtbl.find_opt d.jobs r.Serve.job with
+  | None -> ()
+  | Some p -> (
+      Hashtbl.remove d.jobs r.Serve.job;
+      let conn = conn_by_id d p.jb_conn in
+      let respond_opt ~status extra =
+        match conn with
+        | Some c when not c.c_dead -> respond c ~id:p.jb_reqid ~status extra
+        | _ -> ()  (* client went away; the result still warmed the cache *)
+      in
+      match r.Serve.outcome with
+      | Serve.Done { payload; partial; _ } ->
+          if partial = None then cache_put d p.jb_cache_key p.jb_store_key payload;
+          Metrics.add m_cold_ms
+            (int_of_float ((Unix.gettimeofday () -. p.jb_started) *. 1000.));
+          let status, extra =
+            match partial with
+            | None -> ("complete", [])
+            | Some reason -> ("partial", [ ("reason", Metrics.Str reason) ])
+          in
+          respond_opt ~status
+            (extra
+            @ [ ("attempts", Metrics.Int r.Serve.attempts) ]
+            @ report_field payload)
+      | Serve.Crashed { what; stderr; _ } ->
+          respond_opt ~status:"crashed"
+            ([
+               ("error", Metrics.Str what);
+               ("attempts", Metrics.Int r.Serve.attempts);
+             ]
+            @
+            if String.equal stderr "" then []
+            else [ ("stderr", Metrics.Str stderr) ]))
+
+(* --- the event loop ------------------------------------------------------- *)
+
+let read_chunk = Bytes.create 65536
+
+let accept_ready d =
+  let rec loop () =
+    match Unix.accept ~cloexec:true d.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        Metrics.incr m_accepted;
+        d.next_conn <- d.next_conn + 1;
+        d.conns <-
+          {
+            c_id = d.next_conn;
+            c_fd = fd;
+            c_in = Buffer.create 1024;
+            c_out = "";
+            c_closing = false;
+            c_dead = false;
+          }
+          :: d.conns;
+        loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ()
+
+let read_conn d conn =
+  match Unix.read conn.c_fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 -> conn.c_dead <- true
+  | n ->
+      Buffer.add_subbytes conn.c_in read_chunk 0 n;
+      process_input d conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error _ -> conn.c_dead <- true
+
+let write_conn conn =
+  if (not conn.c_dead) && conn.c_out <> "" then
+    match
+      Unix.single_write_substring conn.c_fd conn.c_out 0
+        (String.length conn.c_out)
+    with
+    | n ->
+        conn.c_out <-
+          String.sub conn.c_out n (String.length conn.c_out - n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> conn.c_dead <- true
+
+let close_conn conn =
+  conn.c_dead <- true;
+  try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+
+let run ?on_ready (d : t) : unit =
+  (* the worker body runs in the forked child and inherits the pending
+     table (and the whole warm interned heap) copy-on-write *)
+  let worker ~job ~attempt ~guard =
+    (match Inject.worker_fault_of_env ~job ~attempt () with
+    | Some fault -> Inject.apply_worker_fault fault
+    | None -> ());
+    let p = Hashtbl.find d.jobs job in
+    let rep =
+      p.jb_analysis.Analysis.run ~config:p.jb_config ~guard p.jb_source
+    in
+    let payload =
+      Metrics.json_to_string (Analysis.report_to_json ~input:p.jb_input rep)
+    in
+    match rep.Analysis.status with
+    | Guard.Complete -> (Serve.Complete, payload)
+    | Guard.Partial { reason; _ } ->
+        (Serve.Partial_result (Guard.reason_to_string reason), payload)
+  in
+  (* children must not hold the daemon's sockets open: a worker
+     outliving a client would postpone that client's EOF *)
+  let on_child () =
+    (try Unix.close d.listen_fd with Unix.Unix_error _ -> ());
+    List.iter
+      (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+      d.conns
+  in
+  let pool = Serve.Pool.create ~config:d.config.serve ~on_child ~worker () in
+  d.pool <- Some pool;
+  let sig_requested = ref false in
+  let old_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> sig_requested := true))
+  in
+  let old_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> sig_requested := true))
+  in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let restore () =
+    Sys.set_signal Sys.sigterm old_term;
+    Sys.set_signal Sys.sigint old_int;
+    Sys.set_signal Sys.sigpipe old_pipe
+  in
+  Fun.protect ~finally:restore (fun () ->
+      (match on_ready with Some f -> f () | None -> ());
+      let finished = ref false in
+      while not !finished do
+        if !sig_requested then begin_drain d;
+        let now = Unix.gettimeofday () in
+        let pool_fds = Serve.Pool.fds pool in
+        let read_fds =
+          (if d.draining then [] else [ d.listen_fd ])
+          @ List.filter_map
+              (fun c ->
+                if c.c_dead || c.c_closing then None else Some c.c_fd)
+              d.conns
+          @ pool_fds
+        in
+        let write_fds =
+          List.filter_map
+            (fun c -> if (not c.c_dead) && c.c_out <> "" then Some c.c_fd else None)
+            d.conns
+        in
+        let wake =
+          let candidates =
+            (now +. 0.5)
+            :: Option.to_list (Serve.Pool.next_wake pool)
+            @
+            if d.draining then [ d.drain_started +. d.config.drain_deadline ]
+            else []
+          in
+          List.fold_left Float.min (List.hd candidates) (List.tl candidates)
+        in
+        let timeout = Float.max 0.01 (wake -. now) in
+        let readable, writable, _ =
+          match Unix.select read_fds write_fds [] timeout with
+          | r -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        if (not d.draining) && List.memq d.listen_fd readable then
+          accept_ready d;
+        List.iter
+          (fun c ->
+            if (not c.c_dead) && List.memq c.c_fd readable then read_conn d c)
+          d.conns;
+        let pool_readable = List.filter (fun fd -> List.mem fd pool_fds) readable in
+        List.iter (finish_report d) (Serve.Pool.step pool ~readable:pool_readable);
+        List.iter
+          (fun c -> if List.memq c.c_fd writable then write_conn c)
+          d.conns;
+        (* opportunistic flush for responses generated this round *)
+        List.iter write_conn d.conns;
+        (* retire finished connections *)
+        let gone, live =
+          List.partition
+            (fun c -> c.c_dead || (c.c_closing && c.c_out = ""))
+            d.conns
+        in
+        List.iter close_conn gone;
+        d.conns <- live;
+        Metrics.set g_queue (Serve.Pool.pending pool);
+        Metrics.set g_inflight (Serve.Pool.inflight pool);
+        if d.draining then
+          if Serve.Pool.idle pool then finished := true
+          else if
+            Unix.gettimeofday () > d.drain_started +. d.config.drain_deadline
+          then begin
+            (* deadline: the stragglers are killed, their clients get a
+               structured crash, and the daemon still exits cleanly *)
+            let abandoned = Serve.Pool.kill_all pool in
+            List.iter
+              (fun job ->
+                match Hashtbl.find_opt d.jobs job with
+                | None -> ()
+                | Some p -> (
+                    Hashtbl.remove d.jobs job;
+                    match conn_by_id d p.jb_conn with
+                    | Some c when not c.c_dead ->
+                        respond c ~id:p.jb_reqid ~status:"crashed"
+                          [
+                            ( "error",
+                              Metrics.Str "killed by drain deadline" );
+                          ]
+                    | _ -> ()))
+              abandoned;
+            finished := true
+          end
+      done;
+      (* drain epilogue: flush what we can, tear everything down *)
+      List.iter write_conn d.conns;
+      List.iter close_conn d.conns;
+      d.conns <- [];
+      if not d.draining then begin
+        (* natural exit without a drain request cleans up the same way *)
+        try Unix.close d.listen_fd with Unix.Unix_error _ -> ()
+      end;
+      (try Unix.unlink d.config.socket_path with Unix.Unix_error _ -> ());
+      (try Unix.unlink (pid_path d) with Unix.Unix_error _ -> ());
+      if d.draining then
+        Metrics.add m_drain_ms
+          (int_of_float ((Unix.gettimeofday () -. d.drain_started) *. 1000.)))

@@ -1,0 +1,92 @@
+(** praxd — the resident analysis daemon.
+
+    The batch surface ([xanalyze batch]) pays a cold process per
+    invocation: registry construction, symbol interning, store opens.
+    This module keeps all of that resident in one long-lived process — a
+    Unix-domain-socket server that parses requests off the {!Wire}
+    protocol, admits them through {!Admission} plus queue-depth
+    backpressure, dispatches them onto the {!Prax_serve.Serve.Pool}
+    worker fleet (each job still forks: a crashing analysis can never
+    take the daemon down, and forked children inherit the warm interned
+    heap copy-on-write), and answers repeats from a resident result
+    cache backed by the optional {!Prax_store.Store}.
+
+    {2 Admission ladder}
+
+    An [analyze] request passes, in order (docs/ROBUSTNESS.md):
+
+    + {b drain check} — a draining daemon answers ["draining"];
+    + {b rate limit} — the client's token bucket ([rate]/[burst]);
+      empty answers ["overloaded"/"rate_limited"] ([daemon.shed_rate]);
+    + {b queue depth} — pool backlog at [max_queue] answers
+      ["overloaded"/"queue_full"] ([daemon.shed_queue]);
+    + {b registry validation} — unknown analysis or config key answers
+      ["error"] (the caller's fault, not load);
+    + {b warm cache} — a resident (or stored) complete result for the
+      same (analysis, source bytes, config, schema) answers ["cached"]
+      without forking ([daemon.warm_hits]);
+    + otherwise the job joins the fleet; its budget is the [serve]
+      config's guard spec, so a budget-tripped job degrades to
+      ["partial"] instead of being shed.
+
+    Malformed frames answer ["rejected"] and poison only themselves;
+    an oversized frame loses framing, so it also closes its connection
+    ([daemon.rejected_bad_frame]).  Either way the accept loop is
+    untouched.
+
+    {2 Lifecycle}
+
+    {!listen} refuses to start over a live daemon (socket probe), and
+    sweeps a stale socket + pidfile left by a SIGKILLed predecessor.
+    SIGTERM/SIGINT (or a [drain] request) begin graceful drain: stop
+    accepting, answer queued requests ["draining"], let in-flight jobs
+    finish until [drain_deadline], then SIGKILL-and-reap the rest;
+    finally the socket and pidfile are removed and [daemon.drain_ms]
+    records the drain.  {!run} then returns — the process exits 0.
+
+    Counters/gauges (stats schema v5, docs/METRICS.md):
+    [daemon.accepted], [daemon.requests], [daemon.shed_queue],
+    [daemon.shed_rate], [daemon.rejected_bad_frame], [daemon.warm_hits],
+    [daemon.cold_ms], [daemon.warm_ms], [daemon.drain_ms],
+    [daemon.queue_depth], [daemon.inflight]. *)
+
+module Serve = Prax_serve.Serve
+
+type config = {
+  socket_path : string;
+  max_queue : int;  (** pool backlog bound before queue_full shedding *)
+  rate : float;  (** per-client tokens/second; ≤ 0 disables *)
+  burst : float;  (** per-client bucket ceiling *)
+  max_request_bytes : int;  (** request-line cap *)
+  drain_deadline : float;  (** seconds granted to in-flight jobs on drain *)
+  store_dir : string option;  (** persistent backing for the warm cache *)
+  serve : Serve.config;
+      (** the worker fleet: [serve.jobs] is the in-flight cap, its
+          budget/retry/watchdog knobs apply per job *)
+}
+
+val default_config : socket_path:string -> config
+(** [max_queue=32; rate=0 (off); burst=8; max_request_bytes=8M;
+    drain_deadline=5s; store_dir=None; serve=Serve.default_config]. *)
+
+type t
+
+exception Already_running of string
+(** Raised by {!listen} when a live daemon answers on the socket (the
+    message names the path). *)
+
+val listen : config -> t
+(** Claim the socket: probe-and-sweep a stale one, bind, listen, write
+    the pidfile ([<socket>.pid]).
+    @raise Already_running when a live daemon holds the socket.
+    @raise Unix.Unix_error on bind/permission failures. *)
+
+val run : ?on_ready:(unit -> unit) -> t -> unit
+(** Serve until drained.  Installs SIGTERM/SIGINT handlers (restored on
+    return) that trigger graceful drain; ignores SIGPIPE for the
+    duration (a client gone mid-response must not kill the daemon).
+    [on_ready] fires once the loop is about to accept — startup
+    synchronization for scripts and tests. *)
+
+val socket_path : t -> string
+val pid_path : t -> string

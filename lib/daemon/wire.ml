@@ -1,0 +1,129 @@
+(** prax.wire v1 — see wire.mli for the grammar. *)
+
+module Metrics = Prax_metrics.Metrics
+
+let schema_name = "prax.wire"
+let schema_version = 1
+
+type op =
+  | Ping
+  | Stats
+  | Drain
+  | Analyze of {
+      analysis : string;
+      input : string;
+      source : string;
+      config : (string * string) list;
+    }
+
+type request = { id : Metrics.json; client : string option; op : op }
+
+let header =
+  [
+    ("wire", Metrics.Str schema_name);
+    ("version", Metrics.Int schema_version);
+  ]
+
+let check_header (j : Metrics.json) : (unit, string) result =
+  match Metrics.member "wire" j with
+  | Some (Metrics.Str n) when String.equal n schema_name -> (
+      match Metrics.member "version" j with
+      | Some (Metrics.Int v) when v = schema_version -> Ok ()
+      | Some (Metrics.Int v) ->
+          Error (Printf.sprintf "unsupported %s version %d" schema_name v)
+      | _ -> Error "missing version")
+  | Some _ -> Error "wrong wire schema"
+  | None -> Error "not a prax.wire frame"
+
+let str_field name j =
+  match Metrics.member name j with
+  | Some (Metrics.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %s must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %s" name)
+
+let parse_request line : (request, string) result =
+  match Metrics.json_of_string line with
+  | exception _ -> Error "malformed JSON"
+  | j -> (
+      match check_header j with
+      | Error _ as e -> e
+      | Ok () -> (
+          let id = Option.value (Metrics.member "id" j) ~default:Metrics.Null in
+          let client =
+            match Metrics.member "client" j with
+            | Some (Metrics.Str s) -> Some s
+            | _ -> None
+          in
+          match str_field "op" j with
+          | Error _ as e -> e
+          | Ok "ping" -> Ok { id; client; op = Ping }
+          | Ok "stats" -> Ok { id; client; op = Stats }
+          | Ok "drain" -> Ok { id; client; op = Drain }
+          | Ok "analyze" -> (
+              match
+                ( str_field "analysis" j,
+                  str_field "input" j,
+                  str_field "source" j )
+              with
+              | Ok analysis, Ok input, Ok source -> (
+                  let config_result =
+                    match Metrics.member "config" j with
+                    | None | Some Metrics.Null -> Ok []
+                    | Some (Metrics.Obj kvs) ->
+                        let rec conv acc = function
+                          | [] -> Ok (List.rev acc)
+                          | (k, Metrics.Str v) :: rest ->
+                              conv ((k, v) :: acc) rest
+                          | (k, _) :: _ ->
+                              Error
+                                (Printf.sprintf
+                                   "config value for %s must be a string" k)
+                        in
+                        conv [] kvs
+                    | Some _ -> Error "config must be an object"
+                  in
+                  match config_result with
+                  | Ok config ->
+                      Ok { id; client; op = Analyze { analysis; input; source; config } }
+                  | Error _ as e -> e)
+              | (Error _ as e), _, _ | _, (Error _ as e), _ | _, _, (Error _ as e)
+                ->
+                  e)
+          | Ok other -> Error (Printf.sprintf "unknown op %S" other)))
+
+let request_to_string (r : request) : string =
+  let op_fields =
+    match r.op with
+    | Ping -> [ ("op", Metrics.Str "ping") ]
+    | Stats -> [ ("op", Metrics.Str "stats") ]
+    | Drain -> [ ("op", Metrics.Str "drain") ]
+    | Analyze { analysis; input; source; config } ->
+        [
+          ("op", Metrics.Str "analyze");
+          ("analysis", Metrics.Str analysis);
+          ("input", Metrics.Str input);
+          ("source", Metrics.Str source);
+          ( "config",
+            Metrics.Obj (List.map (fun (k, v) -> (k, Metrics.Str v)) config) );
+        ]
+  in
+  let client =
+    match r.client with
+    | Some c -> [ ("client", Metrics.Str c) ]
+    | None -> []
+  in
+  Metrics.json_to_string
+    (Metrics.Obj (header @ [ ("id", r.id) ] @ client @ op_fields))
+
+let response ~id ~status extra : string =
+  Metrics.json_to_string
+    (Metrics.Obj
+       (header @ [ ("id", id); ("status", Metrics.Str status) ] @ extra))
+
+let response_status (j : Metrics.json) : (string, string) result =
+  match check_header j with
+  | Error _ as e -> e
+  | Ok () -> (
+      match Metrics.member "status" j with
+      | Some (Metrics.Str s) -> Ok s
+      | _ -> Error "missing status")

@@ -32,8 +32,15 @@ let schema_name = "prax.stats"
    serve.cache_answers — and the persistent-store counters store.hits,
    store.misses, store.writes, store.corrupt_detected,
    store.version_skew.  The batch surface also emits per-batch
-   documents with analysis="batch".  No field changed shape. *)
-let schema_version = 4
+   documents with analysis="batch".  No field changed shape.
+
+   v5 (additive over v4): the analysis-daemon family — daemon.accepted,
+   daemon.requests, daemon.shed_queue, daemon.shed_rate,
+   daemon.rejected_bad_frame, daemon.warm_hits, daemon.drain_ms and the
+   gauges daemon.queue_depth / daemon.inflight — plus store.tmp_swept
+   (orphaned write-temp files removed at store open).  No field changed
+   shape. *)
+let schema_version = 5
 let min_supported_schema_version = 1
 
 let schema_version_supported v =

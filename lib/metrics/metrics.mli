@@ -31,7 +31,8 @@ val schema_version : int
     or changes meaning; adding new counters does not require a bump.
     History: 1 = initial; 2 = adds evaluation status/budget fields;
     3 = adds term-representation counters; 4 = adds the supervised-batch
-    [serve.] and persistent-store [store.] counter families (all
+    [serve.] and persistent-store [store.] counter families; 5 = adds
+    the analysis-daemon [daemon.] family and [store.tmp_swept] (all
     additive — older documents remain valid). *)
 
 val min_supported_schema_version : int

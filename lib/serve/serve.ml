@@ -270,71 +270,79 @@ let backoff_delay config ~job ~attempt =
   let j = 1. +. (config.backoff_jitter *. jitter_of job attempt) in
   Float.max 0. (exp' *. j)
 
-(* --- the supervisor loop -------------------------------------------------- *)
+(* --- the incremental worker pool ----------------------------------------- *)
 
-let run_batch ?(config = default_config) ?cached ?persist ?on_report ~worker
-    (jobs : string list) : report list =
-  if config.jobs < 1 then invalid_arg "Serve.run_batch: jobs < 1";
-  if config.retries < 0 then invalid_arg "Serve.run_batch: retries < 0";
-  let results : (string, report) Hashtbl.t = Hashtbl.create 16 in
-  let finish_job (rep : report) =
-    Hashtbl.replace results rep.job rep;
-    (match rep.outcome with
-    | Done { partial = Some _; _ } -> Metrics.incr m_partials
-    | Done { payload; partial = None; from_cache = false } -> (
-        match persist with
-        | Some p -> p ~job:rep.job ~payload
-        | None -> ())
-    | Done _ | Crashed _ -> ());
-    match on_report with Some f -> f rep | None -> ()
-  in
-  (* cache pass: answered jobs never fork *)
-  let cold =
-    List.filter
-      (fun job ->
-        Metrics.incr m_jobs;
-        match cached with
-        | Some c -> (
-            match c ~job with
-            | Some payload ->
-                Metrics.incr m_cache_answers;
-                finish_job
-                  {
-                    job;
-                    outcome =
-                      Done { payload; partial = None; from_cache = true };
-                    attempts = 0;
-                    crashes = [];
-                    elapsed = 0.;
-                    backoff = 0.;
-                  };
-                false
-            | None -> true)
-        | None -> true)
-      jobs
-  in
-  let waiting =
-    ref
-      (List.map
-         (fun job ->
-           {
-             w_job = job;
-             w_attempt = 1;
-             w_ready_at = 0.;
-             w_crashes = [];
-             w_first_spawn = None;
-             w_backoff = 0.;
-           })
-         cold)
-  in
-  let running : running list ref = ref [] in
-  let parent_fds () =
+exception Interrupted of int
+
+module Pool = struct
+  (* The supervisor's state machine, factored out of the batch loop so
+     a long-lived host (the analysis daemon) can drive it from its own
+     select loop: jobs are [submit]ted at any time, [step] advances
+     every worker without blocking, and the host owns the select. *)
+
+  type t = {
+    p_config : config;
+    p_worker :
+      job:string -> attempt:int -> guard:Guard.t -> worker_status * string;
+    p_on_child : (unit -> unit) option;
+    p_read_chunk : Bytes.t;
+    mutable p_waiting : waiting list;
+    mutable p_running : running list;
+  }
+
+  let create ?(config = default_config) ?on_child ~worker () =
+    if config.jobs < 1 then invalid_arg "Serve.Pool.create: jobs < 1";
+    if config.retries < 0 then invalid_arg "Serve.Pool.create: retries < 0";
+    {
+      p_config = config;
+      p_worker = worker;
+      p_on_child = on_child;
+      p_read_chunk = Bytes.create 65536;
+      p_waiting = [];
+      p_running = [];
+    }
+
+  let submit t job =
+    Metrics.incr m_jobs;
+    t.p_waiting <-
+      t.p_waiting
+      @ [
+          {
+            w_job = job;
+            w_attempt = 1;
+            w_ready_at = 0.;
+            w_crashes = [];
+            w_first_spawn = None;
+            w_backoff = 0.;
+          };
+        ]
+
+  let pending t = List.length t.p_waiting
+  let inflight t = List.length t.p_running
+  let idle t = t.p_waiting = [] && t.p_running = []
+
+  let fds t =
     List.concat_map
-      (fun r ->
-        Option.to_list r.r_result_fd @ Option.to_list r.r_stderr_fd)
-      !running
-  in
-  let spawn now (w : waiting) =
+      (fun r -> Option.to_list r.r_result_fd @ Option.to_list r.r_stderr_fd)
+      t.p_running
+
+  let next_wake t =
+    let deadlines =
+      List.filter_map
+        (fun r -> if r.r_watchdog_killed then None else r.r_deadline)
+        t.p_running
+    in
+    let ready =
+      List.filter_map
+        (fun w -> if w.w_ready_at > 0. then Some w.w_ready_at else None)
+        t.p_waiting
+    in
+    match deadlines @ ready with
+    | [] -> None
+    | l -> Some (List.fold_left Float.min (List.hd l) (List.tl l))
+
+  let spawn t now (w : waiting) =
+    let config = t.p_config in
     (* buffered output written before the fork must not be re-flushed
        by the child *)
     flush stdout;
@@ -343,28 +351,39 @@ let run_batch ?(config = default_config) ?cached ?persist ?on_report ~worker
     let e_read, e_write = Unix.pipe () in
     match Unix.fork () with
     | 0 ->
-        (* child: drop every parent-side fd, including other workers'
-           pipes inherited across fork — a sibling holding a pipe open
-           would postpone that worker's EOF past its own lifetime *)
+        (* child: restore default signal dispositions (a host's drain
+           handler must not leak into workers), drop every parent-side
+           fd — including other workers' pipes inherited across fork (a
+           sibling holding a pipe open would postpone that worker's EOF
+           past its own lifetime) and whatever sockets the host asks to
+           close via on_child *)
+        (try Sys.set_signal Sys.sigterm Sys.Signal_default
+         with Sys_error _ | Invalid_argument _ -> ());
+        (try Sys.set_signal Sys.sigint Sys.Signal_default
+         with Sys_error _ | Invalid_argument _ -> ());
         Unix.close r_read;
         Unix.close e_read;
         List.iter
           (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-          (parent_fds ());
+          (fds t);
+        (match t.p_on_child with
+        | Some f -> ( try f () with _ -> ())
+        | None -> ());
         Unix.dup2 e_write Unix.stderr;
         Unix.close e_write;
-        child_run config ~worker ~job:w.w_job ~attempt:w.w_attempt r_write
+        child_run config ~worker:t.p_worker ~job:w.w_job ~attempt:w.w_attempt
+          r_write
     | pid ->
         Unix.close r_write;
         Unix.close e_write;
         Metrics.incr m_spawned;
-        running :=
+        t.p_running <-
           {
             r_job = w.w_job;
             r_attempt = w.w_attempt;
             r_pid = pid;
             r_started = now;
-            r_deadline = Option.map (fun t -> now +. t) config.job_timeout;
+            r_deadline = Option.map (fun tmo -> now +. tmo) config.job_timeout;
             r_result_fd = Some r_read;
             r_stderr_fd = Some e_read;
             r_result_buf = Buffer.create 1024;
@@ -376,10 +395,10 @@ let run_batch ?(config = default_config) ?cached ?persist ?on_report ~worker
             r_first_spawn = Option.value w.w_first_spawn ~default:now;
             r_backoff = w.w_backoff;
           }
-          :: !running
-  in
-  let read_chunk = Bytes.create 65536 in
-  let drain (r : running) which =
+          :: t.p_running
+
+  let drain t (r : running) which =
+    let config = t.p_config in
     let fd_opt, buf =
       match which with
       | `Result -> (r.r_result_fd, r.r_result_buf)
@@ -388,7 +407,9 @@ let run_batch ?(config = default_config) ?cached ?persist ?on_report ~worker
     match fd_opt with
     | None -> ()
     | Some fd -> (
-        match restart_eintr (fun () -> Unix.read fd read_chunk 0 65536) with
+        match
+          restart_eintr (fun () -> Unix.read fd t.p_read_chunk 0 65536)
+        with
         | 0 ->
             Unix.close fd;
             (match which with
@@ -400,25 +421,31 @@ let run_batch ?(config = default_config) ?cached ?persist ?on_report ~worker
                 (* a frame larger than the cap can never verify; stop
                    buffering but keep draining so the child is not
                    blocked on a full pipe before we kill it *)
-                if Buffer.length buf <= config.max_frame_bytes + frame_header_len
-                then Buffer.add_subbytes buf read_chunk 0 n
+                if
+                  Buffer.length buf
+                  <= config.max_frame_bytes + frame_header_len
+                then Buffer.add_subbytes buf t.p_read_chunk 0 n
             | `Stderr ->
                 let room = config.max_stderr_bytes - Buffer.length buf in
-                if room >= n then Buffer.add_subbytes buf read_chunk 0 n
+                if room >= n then Buffer.add_subbytes buf t.p_read_chunk 0 n
                 else begin
-                  if room > 0 then Buffer.add_subbytes buf read_chunk 0 room;
+                  if room > 0 then Buffer.add_subbytes buf t.p_read_chunk 0 room;
                   r.r_stderr_dropped <- true
                 end))
-  in
-  let finalize now (r : running) =
+
+  (* a finalized attempt either yields the job's report or re-enqueues
+     the next attempt down the retry ladder *)
+  let finalize t now (r : running) : report option =
+    let config = t.p_config in
     let exit_status = Option.get r.r_exit in
     let stderr_text =
       Buffer.contents r.r_stderr_buf
       ^ if r.r_stderr_dropped then "\n[stderr truncated]" else ""
     in
     let attempt_result =
-      match decode_frame ~max_frame_bytes:config.max_frame_bytes
-              (Buffer.contents r.r_result_buf)
+      match
+        decode_frame ~max_frame_bytes:config.max_frame_bytes
+          (Buffer.contents r.r_result_buf)
       with
       | Ok (status, payload) -> Ok (status, payload)
       | Error frame_err ->
@@ -442,7 +469,7 @@ let run_batch ?(config = default_config) ?cached ?persist ?on_report ~worker
           | Complete -> None
           | Partial_result reason -> Some reason
         in
-        finish_job
+        Some
           {
             job = r.r_job;
             outcome = Done { payload; partial; from_cache = false };
@@ -457,7 +484,7 @@ let run_batch ?(config = default_config) ?cached ?persist ?on_report ~worker
           let delay = backoff_delay config ~job:r.r_job ~attempt:r.r_attempt in
           Metrics.incr m_retries;
           Metrics.add m_backoff_ms (int_of_float (delay *. 1e3));
-          waiting :=
+          t.p_waiting <-
             {
               w_job = r.r_job;
               w_attempt = r.r_attempt + 1;
@@ -466,10 +493,11 @@ let run_batch ?(config = default_config) ?cached ?persist ?on_report ~worker
               w_first_spawn = Some r.r_first_spawn;
               w_backoff = r.r_backoff +. delay;
             }
-            :: !waiting
+            :: t.p_waiting;
+          None
         end
         else
-          finish_job
+          Some
             {
               job = r.r_job;
               outcome = Crashed crash;
@@ -478,56 +506,34 @@ let run_batch ?(config = default_config) ?cached ?persist ?on_report ~worker
               elapsed = now -. r.r_first_spawn;
               backoff = r.r_backoff;
             }
-  in
-  (* main loop *)
-  while !waiting <> [] || !running <> [] do
+
+  let step t ~readable : report list =
+    let config = t.p_config in
     let now = Unix.gettimeofday () in
     (* fill free slots with due work, earliest-ready first *)
     let due, not_due =
-      List.partition (fun w -> w.w_ready_at <= now) !waiting
+      List.partition (fun w -> w.w_ready_at <= now) t.p_waiting
     in
-    let due =
-      List.sort (fun a b -> compare a.w_ready_at b.w_ready_at) due
-    in
-    let free = config.jobs - List.length !running in
+    let due = List.sort (fun a b -> compare a.w_ready_at b.w_ready_at) due in
+    let free = config.jobs - List.length t.p_running in
     let to_spawn, overflow =
       if free >= List.length due then (due, [])
       else
         ( List.filteri (fun i _ -> i < free) due,
           List.filteri (fun i _ -> i >= free) due )
     in
-    waiting := overflow @ not_due;
-    List.iter (spawn now) to_spawn;
-    (* wake up for: pipe activity, the nearest watchdog deadline, the
-       nearest retry becoming ready *)
-    let next_deadline =
-      List.filter_map
-        (fun r -> if r.r_watchdog_killed then None else r.r_deadline)
-        !running
-    in
-    let next_ready = List.map (fun w -> w.w_ready_at) !waiting in
-    let wake =
-      List.fold_left Float.min (now +. 0.5) (next_deadline @ next_ready)
-    in
-    let timeout = Float.max 0.01 (wake -. now) in
-    let fds = parent_fds () in
-    let readable, _, _ =
-      if fds = [] then begin
-        restart_eintr (fun () -> Unix.sleepf timeout);
-        ([], [], [])
-      end
-      else
-        restart_eintr (fun () -> Unix.select fds [] [] timeout)
-    in
+    t.p_waiting <- overflow @ not_due;
+    List.iter (spawn t now) to_spawn;
+    (* drain whatever the host's select saw *)
     List.iter
       (fun r ->
         (match r.r_result_fd with
-        | Some fd when List.memq fd readable -> drain r `Result
+        | Some fd when List.memq fd readable -> drain t r `Result
         | _ -> ());
         match r.r_stderr_fd with
-        | Some fd when List.memq fd readable -> drain r `Stderr
+        | Some fd when List.memq fd readable -> drain t r `Stderr
         | _ -> ())
-      !running;
+      t.p_running;
     let now = Unix.gettimeofday () in
     (* watchdog: SIGKILL attempts past their deadline *)
     List.iter
@@ -537,10 +543,9 @@ let run_batch ?(config = default_config) ?cached ?persist ?on_report ~worker
           ->
             r.r_watchdog_killed <- true;
             Metrics.incr m_kills;
-            (try Unix.kill r.r_pid Sys.sigkill
-             with Unix.Unix_error _ -> ())
+            (try Unix.kill r.r_pid Sys.sigkill with Unix.Unix_error _ -> ())
         | _ -> ())
-      !running;
+      t.p_running;
     (* frame-overflow protection: a worker streaming an over-limit
        frame is killed like a hang *)
     List.iter
@@ -555,23 +560,129 @@ let run_batch ?(config = default_config) ?cached ?persist ?on_report ~worker
           Metrics.incr m_kills;
           try Unix.kill r.r_pid Sys.sigkill with Unix.Unix_error _ -> ()
         end)
-      !running;
+      t.p_running;
     (* reap exits without blocking *)
     List.iter
       (fun r ->
         if r.r_exit = None then
-          match restart_eintr (fun () -> Unix.waitpid [ Unix.WNOHANG ] r.r_pid) with
+          match
+            restart_eintr (fun () -> Unix.waitpid [ Unix.WNOHANG ] r.r_pid)
+          with
           | 0, _ -> ()
           | _, st -> r.r_exit <- Some st)
-      !running;
+      t.p_running;
     (* finalize workers that exited and whose pipes are fully drained *)
     let done_, still =
       List.partition
         (fun r ->
           r.r_exit <> None && r.r_result_fd = None && r.r_stderr_fd = None)
-        !running
+        t.p_running
     in
-    running := still;
-    List.iter (finalize now) done_
-  done;
+    t.p_running <- still;
+    List.filter_map (finalize t now) done_
+
+  let cancel_pending t =
+    let cancelled = List.map (fun w -> w.w_job) t.p_waiting in
+    t.p_waiting <- [];
+    cancelled
+
+  let kill_all t =
+    let killed = List.map (fun r -> r.r_job) t.p_running in
+    List.iter
+      (fun r ->
+        (try Unix.kill r.r_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (match r.r_result_fd with
+        | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+        | None -> ());
+        (match r.r_stderr_fd with
+        | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+        | None -> ());
+        (* SIGKILL cannot be caught, so a blocking reap terminates *)
+        if r.r_exit = None then
+          try ignore (restart_eintr (fun () -> Unix.waitpid [] r.r_pid))
+          with Unix.Unix_error _ -> ())
+      t.p_running;
+    t.p_running <- [];
+    killed @ cancel_pending t
+end
+
+(* --- the batch supervisor loop -------------------------------------------- *)
+
+let run_batch ?(config = default_config) ?cached ?persist ?on_report ~worker
+    (jobs : string list) : report list =
+  let results : (string, report) Hashtbl.t = Hashtbl.create 16 in
+  let finish_job (rep : report) =
+    Hashtbl.replace results rep.job rep;
+    (match rep.outcome with
+    | Done { partial = Some _; _ } -> Metrics.incr m_partials
+    | Done { payload; partial = None; from_cache = false } -> (
+        match persist with
+        | Some p -> p ~job:rep.job ~payload
+        | None -> ())
+    | Done _ | Crashed _ -> ());
+    match on_report with Some f -> f rep | None -> ()
+  in
+  let pool = Pool.create ~config ~worker () in
+  (* cache pass: answered jobs never fork *)
+  List.iter
+    (fun job ->
+      match Option.bind cached (fun c -> c ~job) with
+      | Some payload ->
+          Metrics.incr m_jobs;
+          Metrics.incr m_cache_answers;
+          finish_job
+            {
+              job;
+              outcome = Done { payload; partial = None; from_cache = true };
+              attempts = 0;
+              crashes = [];
+              elapsed = 0.;
+              backoff = 0.;
+            }
+      | None -> Pool.submit pool job)
+    jobs;
+  (* An interrupted batch must not strand workers: SIGTERM/SIGINT break
+     the loop, SIGKILL and reap every in-flight worker, and surface as
+     {!Interrupted} so the CLI can take its distinct exit path. *)
+  let interrupted = ref None in
+  let old_term =
+    Sys.signal Sys.sigterm
+      (Sys.Signal_handle (fun sg -> interrupted := Some sg))
+  in
+  let old_int =
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle (fun sg -> interrupted := Some sg))
+  in
+  let restore () =
+    Sys.set_signal Sys.sigterm old_term;
+    Sys.set_signal Sys.sigint old_int
+  in
+  Fun.protect ~finally:restore (fun () ->
+      let readable = ref [] in
+      while not (Pool.idle pool) do
+        (match !interrupted with
+        | Some sg ->
+            ignore (Pool.kill_all pool);
+            raise (Interrupted sg)
+        | None -> ());
+        List.iter finish_job (Pool.step pool ~readable:!readable);
+        readable := [];
+        if not (Pool.idle pool) then begin
+          let now = Unix.gettimeofday () in
+          let wake =
+            match Pool.next_wake pool with
+            | Some w -> Float.min w (now +. 0.5)
+            | None -> now +. 0.5
+          in
+          let timeout = Float.max 0.01 (wake -. now) in
+          match Pool.fds pool with
+          | [] -> (
+              try Unix.sleepf timeout
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          | fds -> (
+              match Unix.select fds [] [] timeout with
+              | r, _, _ -> readable := r
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+        end
+      done);
   List.filter_map (fun job -> Hashtbl.find_opt results job) jobs

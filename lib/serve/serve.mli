@@ -100,6 +100,75 @@ val outcome_class : outcome -> string
 (** ["complete"], ["partial"], ["crashed"], or ["cached"] — the batch
     report / exit-code classification. *)
 
+exception Interrupted of int
+(** Raised by {!run_batch} when SIGTERM or SIGINT arrives mid-batch,
+    {e after} every in-flight worker has been SIGKILLed and reaped (no
+    orphans) and pending work discarded.  Carries the OCaml signal
+    number ([Sys.sigterm] / [Sys.sigint]) so the CLI can exit
+    [128+signal] like a shell would. *)
+
+(** The supervisor's state machine as an incremental API, for hosts
+    that own their own event loop (the analysis daemon).  Jobs are
+    {!Pool.submit}ted at any time; {!Pool.step} advances every worker
+    without blocking and returns finished reports; the host selects on
+    {!Pool.fds} with a timeout bounded by {!Pool.next_wake}.
+    {!run_batch} is a thin driver over this module. *)
+module Pool : sig
+  type t
+
+  val create :
+    ?config:config ->
+    ?on_child:(unit -> unit) ->
+    worker:
+      (job:string -> attempt:int -> guard:Guard.t -> worker_status * string) ->
+    unit ->
+    t
+  (** [on_child] runs in the forked worker before the job; hosts use it
+      to close inherited fds (listen sockets, client connections) the
+      pool cannot know about.  Workers also reset SIGTERM/SIGINT to
+      their default dispositions so a host's drain handler never leaks
+      into children. *)
+
+  val submit : t -> string -> unit
+  (** Enqueue a job (counted in [serve.jobs]); it spawns on a later
+      {!step} when a slot is free. *)
+
+  val pending : t -> int
+  (** Jobs submitted (or awaiting retry) but not currently running. *)
+
+  val inflight : t -> int
+  (** Worker processes currently alive (or awaiting final reap). *)
+
+  val idle : t -> bool
+  (** No pending and no in-flight work. *)
+
+  val fds : t -> Unix.file_descr list
+  (** Every live worker pipe fd — the host's select read set. *)
+
+  val next_wake : t -> float option
+  (** Earliest absolute time ({!Unix.gettimeofday} clock) at which the
+      pool needs a {!step} even without fd activity: the nearest
+      watchdog deadline or retry-backoff expiry.  [None] when only fd
+      activity matters. *)
+
+  val step : t -> readable:Unix.file_descr list -> report list
+  (** One non-blocking supervision round: spawn due work into free
+      slots, drain [readable] pipes, SIGKILL watchdog-expired and
+      frame-overflowing workers, reap exits, finalize.  Crashed
+      attempts with retries left are re-enqueued internally; the
+      returned reports are final.  Call with [readable:[]] to run
+      timers only. *)
+
+  val cancel_pending : t -> string list
+  (** Drop all pending (never-spawned this attempt) jobs, returning
+      their ids. *)
+
+  val kill_all : t -> string list
+  (** SIGKILL and synchronously reap every in-flight worker, then drop
+      pending work; returns all abandoned job ids.  The pool is idle
+      afterwards.  Safe against already-dead workers. *)
+end
+
 val run_batch :
   ?config:config ->
   ?cached:(job:string -> string option) ->

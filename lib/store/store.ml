@@ -26,6 +26,11 @@ let m_writes =
   Metrics.counter ~units:"snapshots" ~doc:"snapshots written (temp+rename)"
     "store.writes"
 
+let m_tmp_swept =
+  Metrics.counter ~units:"files"
+    ~doc:"orphaned temp files from crashed writers removed at store open"
+    "store.tmp_swept"
+
 let format_version = 1
 let magic = "PRAXSNAP"
 
@@ -40,6 +45,55 @@ let digest_source src = Digest.to_hex (Digest.string src)
 
 type t = { root : string }
 
+(* A writer that died between [openfile] and [rename] leaves
+   `<name>.snap.tmp.<pid>.<counter>` behind; the snapshot itself is
+   intact-or-absent (that is the point of the protocol), but the temp
+   files accumulate forever.  Opening the store sweeps them — except
+   those whose writer pid is still alive, which may be a concurrent
+   saver mid-write. *)
+let writer_alive pid =
+  if pid = Unix.getpid () then true
+  else
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+    | exception Unix.Unix_error (_, _, _) ->
+        (* EPERM: exists but not ours — alive *)
+        true
+
+let sweep_tmp root =
+  match Sys.readdir root with
+  | exception Sys_error _ -> ()
+  | entries ->
+      Array.iter
+        (fun name ->
+          let marker = ".snap.tmp." in
+          match
+            (* name = <base>.snap.tmp.<pid>.<counter> *)
+            let rec find i =
+              if i + String.length marker > String.length name then None
+              else if String.sub name i (String.length marker) = marker then
+                Some (i + String.length marker)
+              else find (i + 1)
+            in
+            find 0
+          with
+          | None -> ()
+          | Some rest_at -> (
+              let rest =
+                String.sub name rest_at (String.length name - rest_at)
+              in
+              match String.split_on_char '.' rest with
+              | [ pid_s; _counter ] -> (
+                  match int_of_string_opt pid_s with
+                  | Some pid when not (writer_alive pid) -> (
+                      match Unix.unlink (Filename.concat root name) with
+                      | () -> Metrics.incr m_tmp_swept
+                      | exception Unix.Unix_error _ -> ())
+                  | _ -> ())
+              | _ -> ()))
+        entries
+
 let open_dir root =
   (if Sys.file_exists root then begin
      if not (Sys.is_directory root) then
@@ -48,6 +102,7 @@ let open_dir root =
    else
      try Unix.mkdir root 0o755
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  sweep_tmp root;
   { root }
 
 let dir t = t.root

@@ -48,7 +48,10 @@ type t
 
 val open_dir : string -> t
 (** [open_dir dir] opens (creating if needed) the store rooted at
-    [dir].
+    [dir], then sweeps orphaned write-temp files
+    ([*.snap.tmp.<pid>.<n>]) left by crashed writers — each removal
+    bumps [store.tmp_swept].  Temp files whose writer pid is still
+    alive are left alone (a concurrent saver mid-write).
     @raise Sys_error when [dir] exists and is not a directory. *)
 
 val dir : t -> string

@@ -312,6 +312,86 @@ let test_batch_warm_start () =
       Alcotest.(check int) "recomputed result re-persisted" 1
         (counter_int healed_doc "store.writes"))
 
+(* --- batch interrupt ------------------------------------------------------ *)
+
+(* live PIDs (other than our own) whose environment carries [marker] —
+   the orphan probe: workers inherit the batch's environment, so any
+   process still wearing the marker after the batch died is a leak *)
+let procs_with_env marker =
+  Sys.readdir "/proc" |> Array.to_list
+  |> List.filter_map int_of_string_opt
+  |> List.filter (fun p ->
+         p <> Unix.getpid ()
+         &&
+         match
+           In_channel.with_open_bin
+             (Printf.sprintf "/proc/%d/environ" p)
+             In_channel.input_all
+         with
+         | s -> contains s marker
+         | exception _ -> false)
+
+let test_batch_sigterm_interrupt () =
+  (* SIGTERM mid-batch: every in-flight worker is killed and reaped,
+     the batch exits 143 with a notice — never a silent signal death
+     (which the harness would surface as 128+N) and never an orphan *)
+  let marker = Printf.sprintf "prax-orphan-probe-%d" (Unix.getpid ()) in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let err_r, err_w = Unix.pipe ~cloexec:true () in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process_env xanalyze
+      [|
+        xanalyze; "batch"; "--corpus"; "all"; "--jobs"; "2"; "--retries"; "0";
+      |]
+      (env_with
+         [
+           (* wedge every worker so the batch is reliably mid-flight *)
+           ("PRAX_INJECT_WORKER", "hang:*");
+           ("PRAX_ORPHAN_MARKER", marker);
+         ])
+      null out_w err_w
+  in
+  Unix.close null;
+  Unix.close out_w;
+  Unix.close err_w;
+  (* let the supervisor fork its workers before interrupting *)
+  Unix.sleepf 1.0;
+  Unix.kill pid Sys.sigterm;
+  let out_buf = Buffer.create 1024 and err_buf = Buffer.create 1024 in
+  let open_fds = ref [ (out_r, out_buf); (err_r, err_buf) ] in
+  let chunk = Bytes.create 8192 in
+  while !open_fds <> [] do
+    let ready, _, _ = Unix.select (List.map fst !open_fds) [] [] (-1.) in
+    List.iter
+      (fun fd ->
+        let buf = List.assoc fd !open_fds in
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 ->
+            Unix.close fd;
+            open_fds := List.remove_assoc fd !open_fds
+        | k -> Buffer.add_subbytes buf chunk 0 k
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      ready
+  done;
+  let _, status = Unix.waitpid [] pid in
+  let err = Buffer.contents err_buf in
+  (match status with
+  | Unix.WEXITED 143 -> ()
+  | Unix.WEXITED c ->
+      Alcotest.failf "batch exited %d, wanted 143 (stderr %S)" c err
+  | Unix.WSIGNALED _ ->
+      Alcotest.failf "batch died of the raw signal (stderr %S)" err
+  | Unix.WSTOPPED _ -> Alcotest.fail "batch stopped");
+  Alcotest.(check bool) "interrupt notice on stderr" true
+    (contains err "interrupted");
+  (* the workers were SIGKILLed and reaped before the batch exited *)
+  match procs_with_env marker with
+  | [] -> ()
+  | orphans ->
+      Alcotest.failf "orphaned workers left behind: %s"
+        (String.concat ", " (List.map string_of_int orphans))
+
 (* --- praxtop session behavior -------------------------------------------- *)
 
 let test_praxtop_eof_halts () =
@@ -389,6 +469,8 @@ let () =
         [
           Alcotest.test_case "warm start, corruption heals" `Quick
             test_batch_warm_start;
+          Alcotest.test_case "SIGTERM interrupts: exit 143, no orphans" `Quick
+            test_batch_sigterm_interrupt;
         ] );
       ( "praxtop",
         [

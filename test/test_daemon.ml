@@ -1,0 +1,551 @@
+(* The resident analysis daemon (docs/ROBUSTNESS.md "serving under
+   load").  In-process: token-bucket refill timing and the prax.wire
+   grammar.  End-to-end against a live praxd: analyze round trips, the
+   warm cache, queue-full and rate-limit shedding, malformed/oversized
+   frame rejection, drain with in-flight jobs, stale-socket recovery
+   after SIGKILL, and refusal to double-serve a live socket. *)
+
+module Metrics = Prax_metrics.Metrics
+module Wire = Prax_daemon.Wire
+module Admission = Prax_daemon.Admission
+module Client = Prax_daemon.Client
+
+let bin name =
+  Filename.concat
+    (Filename.concat
+       (Filename.dirname (Filename.dirname Sys.executable_name))
+       "bin")
+    name
+
+let praxd = bin "praxd.exe"
+let xanalyze = bin "xanalyze.exe"
+
+(* --- admission: token buckets (deterministic, clock injected) ----------- *)
+
+let test_token_bucket_refill () =
+  let a = Admission.create ~rate:2.0 ~burst:2.0 in
+  (* a fresh client starts with a full burst *)
+  Alcotest.(check bool) "burst 1" true (Admission.admit a ~client:"c" ~now:0.);
+  Alcotest.(check bool) "burst 2" true (Admission.admit a ~client:"c" ~now:0.);
+  Alcotest.(check bool) "empty" false (Admission.admit a ~client:"c" ~now:0.);
+  (* refill at 2 tokens/s: 0.4s -> 0.8 tokens, still short *)
+  Alcotest.(check bool) "0.4s: not yet" false
+    (Admission.admit a ~client:"c" ~now:0.4);
+  (* 0.55s from empty: >= 1 token (0.4s refill left the 0.8 in place) *)
+  Alcotest.(check bool) "0.55s: one token back" true
+    (Admission.admit a ~client:"c" ~now:0.55);
+  Alcotest.(check bool) "and spent again" false
+    (Admission.admit a ~client:"c" ~now:0.55);
+  (* a long idle caps at burst, not unbounded accumulation *)
+  Alcotest.(check bool) "cap 1" true (Admission.admit a ~client:"c" ~now:60.);
+  Alcotest.(check bool) "cap 2" true (Admission.admit a ~client:"c" ~now:60.);
+  Alcotest.(check bool) "capped at burst" false
+    (Admission.admit a ~client:"c" ~now:60.);
+  (* time running backwards refills nothing and does not raise *)
+  Alcotest.(check bool) "clock skew safe" false
+    (Admission.admit a ~client:"c" ~now:59.);
+  (* clients are independent *)
+  Alcotest.(check bool) "other client unaffected" true
+    (Admission.admit a ~client:"d" ~now:60.);
+  Alcotest.(check int) "two clients tracked" 2 (Admission.clients a)
+
+let test_token_bucket_disabled () =
+  let a = Admission.create ~rate:0. ~burst:1.0 in
+  for i = 1 to 100 do
+    Alcotest.(check bool)
+      (Printf.sprintf "rate 0 admits (%d)" i)
+      true
+      (Admission.admit a ~client:"c" ~now:0.)
+  done
+
+(* --- the wire grammar ---------------------------------------------------- *)
+
+let test_wire_grammar () =
+  let reject line what =
+    match Wire.parse_request line with
+    | Ok _ -> Alcotest.failf "%s: accepted %S" what line
+    | Error _ -> ()
+  in
+  reject "not JSON" "]junk[";
+  reject "wrong schema" {|{"wire":"other.wire","version":1,"op":"ping"}|};
+  reject "future version" {|{"wire":"prax.wire","version":99,"op":"ping"}|};
+  reject "unknown op" {|{"wire":"prax.wire","version":1,"op":"reboot"}|};
+  reject "missing op" {|{"wire":"prax.wire","version":1}|};
+  reject "analyze missing source"
+    {|{"wire":"prax.wire","version":1,"op":"analyze","analysis":"g","input":"f"}|};
+  reject "non-string config value"
+    {|{"wire":"prax.wire","version":1,"op":"analyze","analysis":"g","input":"f","source":"s","config":{"k":2}}|};
+  (* a well-formed analyze round-trips through the serializer *)
+  let req =
+    {
+      Wire.id = Metrics.Int 7;
+      client = Some "t";
+      op =
+        Wire.Analyze
+          {
+            analysis = "groundness";
+            input = "x.pl";
+            source = "p(a).";
+            config = [ ("mode", "dynamic") ];
+          };
+    }
+  in
+  (match Wire.parse_request (Wire.request_to_string req) with
+  | Error e -> Alcotest.failf "round trip: %s" e
+  | Ok r -> (
+      Alcotest.(check bool) "id survives" true (r.Wire.id = Metrics.Int 7);
+      match r.Wire.op with
+      | Wire.Analyze { analysis; config; _ } ->
+          Alcotest.(check string) "analysis survives" "groundness" analysis;
+          Alcotest.(check (list (pair string string)))
+            "config survives"
+            [ ("mode", "dynamic") ]
+            config
+      | _ -> Alcotest.fail "op changed"));
+  (* response documents validate and carry their status *)
+  let line = Wire.response ~id:(Metrics.Int 7) ~status:"overloaded" [] in
+  match Wire.response_status (Metrics.json_of_string line) with
+  | Ok s -> Alcotest.(check string) "status extracted" "overloaded" s
+  | Error e -> Alcotest.failf "response rejected: %s" e
+
+(* --- e2e plumbing --------------------------------------------------------- *)
+
+let env_with extra =
+  Array.append (Unix.environment ())
+    (Array.of_list (List.map (fun (k, v) -> k ^ "=" ^ v) extra))
+
+let fresh_socket () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "praxd-t-%d-%d.sock" (Unix.getpid ())
+       (int_of_float (Unix.gettimeofday () *. 1e6) land 0xfffff))
+
+let devnull () = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0o600
+
+(* spawn praxd serve with [args]; stdout/stderr to /dev/null *)
+let spawn_praxd ?(env = []) ~socket args =
+  let null = devnull () in
+  let pid =
+    Unix.create_process_env praxd
+      (Array.of_list
+         ([ praxd; "serve"; "--socket"; socket; "-q" ] @ args))
+      (env_with env) null null null
+  in
+  Unix.close null;
+  pid
+
+let ping ?(timeout = 5.) socket =
+  Client.request ~timeout ~socket
+    { Wire.id = Metrics.Int 0; client = Some "test"; op = Wire.Ping }
+
+let wait_ready socket =
+  let rec loop n =
+    if n = 0 then Alcotest.fail "praxd did not become ready"
+    else
+      match ping socket with
+      | Ok ("ok", _) -> ()
+      | _ ->
+          Unix.sleepf 0.05;
+          loop (n - 1)
+  in
+  loop 200
+
+let reap ?(kill = true) pid =
+  if kill then (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  match Unix.waitpid [] pid with
+  | _, st -> st
+  | exception Unix.Unix_error _ -> Unix.WEXITED 255
+
+let with_daemon ?env ?(args = []) f =
+  let socket = fresh_socket () in
+  let pid = spawn_praxd ?env ~socket args in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (reap pid);
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      try Unix.unlink (socket ^ ".pid") with Unix.Unix_error _ -> ())
+    (fun () ->
+      wait_ready socket;
+      f ~socket ~pid)
+
+let analyze_req ?(client = "test") ~input ~source () =
+  {
+    Wire.id = Metrics.Int 1;
+    client = Some client;
+    op =
+      Wire.Analyze
+        { analysis = "groundness"; input; source; config = [] };
+  }
+
+let request_status ?(timeout = 30.) socket req =
+  match Client.request ~timeout ~socket req with
+  | Ok (status, doc) -> (status, doc)
+  | Error e -> Alcotest.failf "request failed: %s" (Client.error_to_string e)
+
+(* raw-socket side of the protocol, for async sends and bad frames *)
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let raw_send fd s =
+  let n = String.length s in
+  let w = ref 0 in
+  while !w < n do
+    w := !w + Unix.write_substring fd s !w (n - !w)
+  done
+
+let raw_recv_line ?(timeout = 10.) fd =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1 in
+  let rec loop () =
+    let left = deadline -. Unix.gettimeofday () in
+    if left <= 0. then Alcotest.fail "timed out awaiting response line";
+    match Unix.select [ fd ] [] [] left with
+    | [], _, _ -> loop ()
+    | _ -> (
+        match Unix.read fd chunk 0 1 with
+        | 0 -> `Eof
+        | _ ->
+            if Bytes.get chunk 0 = '\n' then `Line (Buffer.contents buf)
+            else begin
+              Buffer.add_bytes buf chunk;
+              loop ()
+            end)
+  in
+  loop ()
+
+let status_of_line line =
+  match Wire.response_status (Metrics.json_of_string line) with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "bad response %S: %s" line e
+
+(* --- e2e: round trips, warm cache, lifecycle ------------------------------ *)
+
+let test_analyze_and_warm_cache () =
+  with_daemon (fun ~socket ~pid ->
+      let req = analyze_req ~input:"t.pl" ~source:"p(a). q(X) :- p(X)." () in
+      let status, doc = request_status socket req in
+      Alcotest.(check string) "cold is complete" "complete" status;
+      (match Metrics.member "report" doc with
+      | Some _ -> ()
+      | None -> Alcotest.fail "no report in response");
+      (* the identical request is answered from the resident cache *)
+      let status2, _ = request_status socket req in
+      Alcotest.(check string) "repeat is cached" "cached" status2;
+      (* a config change is a different key: cold again *)
+      let status3, _ =
+        request_status socket
+          {
+            (analyze_req ~input:"t.pl" ~source:"p(a). q(X) :- p(X)." ()) with
+            Wire.op =
+              Wire.Analyze
+                {
+                  analysis = "groundness";
+                  input = "t.pl";
+                  source = "p(a). q(X) :- p(X).";
+                  config = [ ("mode", "compiled") ];
+                };
+          }
+      in
+      Alcotest.(check string) "distinct config misses" "complete" status3;
+      (* unknown analysis: a structured error, daemon stays up *)
+      let status4, _ =
+        request_status socket
+          {
+            Wire.id = Metrics.Int 9;
+            client = Some "test";
+            op =
+              Wire.Analyze
+                { analysis = "no_such"; input = "x"; source = "p(a)."; config = [] };
+          }
+      in
+      Alcotest.(check string) "unknown analysis errors" "error" status4;
+      (* the stats verb reports the daemon.* family under schema v5 *)
+      let status5, doc5 =
+        request_status socket
+          { Wire.id = Metrics.Int 2; client = Some "test"; op = Wire.Stats }
+      in
+      Alcotest.(check string) "stats ok" "ok" status5;
+      (match Metrics.member "stats" doc5 with
+      | Some stats -> (
+          (match Metrics.member "schema_version" stats with
+          | Some (Metrics.Int v) ->
+              Alcotest.(check int) "stats schema v5" 5 v
+          | _ -> Alcotest.fail "stats lacks schema_version");
+          match Metrics.member "counters" stats with
+          | Some (Metrics.Obj counters) ->
+              (match List.assoc_opt "daemon.warm_hits" counters with
+              | Some (Metrics.Int n) ->
+                  Alcotest.(check bool) "warm hit counted" true (n >= 1)
+              | _ -> Alcotest.fail "daemon.warm_hits missing");
+              (match List.assoc_opt "daemon.cold_ms" counters with
+              | Some (Metrics.Int n) ->
+                  (* warm answers never touch cold_ms; two cold runs did *)
+                  Alcotest.(check bool) "cold time accumulated" true (n >= 0)
+              | _ -> Alcotest.fail "daemon.cold_ms missing")
+          | _ -> Alcotest.fail "stats lacks counters")
+      | None -> Alcotest.fail "no stats in response");
+      (* graceful drain by request: daemon exits 0, socket + pidfile gone *)
+      let status6, _ =
+        request_status socket
+          { Wire.id = Metrics.Int 3; client = Some "test"; op = Wire.Drain }
+      in
+      Alcotest.(check string) "drain acknowledged" "ok" status6;
+      (match reap ~kill:false pid with
+      | Unix.WEXITED 0 -> ()
+      | st ->
+          Alcotest.failf "daemon did not exit 0 after drain (%s)"
+            (match st with
+            | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+            | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+            | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s));
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists socket);
+      Alcotest.(check bool) "pidfile removed" false
+        (Sys.file_exists (socket ^ ".pid")))
+
+let test_worker_crash_absorbed () =
+  (* a first-attempt SIGKILL in the worker is retried to completion:
+     the client sees a complete result, never the crash *)
+  with_daemon
+    ~env:[ ("PRAX_INJECT_WORKER", "crash:*:1") ]
+    ~args:[ "--retries"; "2" ]
+    (fun ~socket ~pid:_ ->
+      let status, doc =
+        request_status socket
+          (analyze_req ~input:"c.pl" ~source:"p(a). r(X) :- p(X)." ())
+      in
+      Alcotest.(check string) "retried to complete" "complete" status;
+      match Metrics.member "attempts" doc with
+      | Some (Metrics.Int n) ->
+          Alcotest.(check bool) "took more than one attempt" true (n >= 2)
+      | _ -> Alcotest.fail "no attempts field")
+
+(* --- e2e: admission control ----------------------------------------------- *)
+
+let test_queue_full_shed_and_drain_kill () =
+  (* one worker slot, queue of one, every worker hangs: the third
+     concurrent request must be shed with queue_full, and SIGTERM must
+     drain by killing the stragglers — structured crashes, exit 0 *)
+  with_daemon
+    ~env:[ ("PRAX_INJECT_WORKER", "hang:*") ]
+    ~args:[ "--jobs"; "1"; "--max-queue"; "1"; "--retries"; "0";
+            "--drain-deadline"; "1s" ]
+    (fun ~socket ~pid ->
+      let send_analyze i =
+        let fd = raw_connect socket in
+        raw_send fd
+          (Wire.request_to_string
+             (analyze_req
+                ~input:(Printf.sprintf "h%d.pl" i)
+                ~source:(Printf.sprintf "p(a%d)." i)
+                ())
+          ^ "\n");
+        fd
+      in
+      (* staggered sends: #1 occupies the slot, #2 the queue, #3 is shed *)
+      let c1 = send_analyze 1 in
+      Unix.sleepf 0.3;
+      let c2 = send_analyze 2 in
+      Unix.sleepf 0.3;
+      let c3 = send_analyze 3 in
+      (match raw_recv_line c3 with
+      | `Line l ->
+          Alcotest.(check string) "third is shed" "overloaded"
+            (status_of_line l);
+          Alcotest.(check bool) "names queue_full" true
+            (let j = Metrics.json_of_string l in
+             match Metrics.member "reason" j with
+             | Some (Metrics.Str r) -> String.equal r "queue_full"
+             | _ -> false)
+      | `Eof -> Alcotest.fail "shed connection closed without response");
+      (* now drain: the hung worker and its queued sibling are killed at
+         the deadline and answered with structured crashes *)
+      Unix.kill pid Sys.sigterm;
+      (match raw_recv_line ~timeout:15. c1 with
+      | `Line l ->
+          Alcotest.(check string) "in-flight job crash-reported" "crashed"
+            (status_of_line l)
+      | `Eof -> Alcotest.fail "in-flight connection closed silently");
+      (match raw_recv_line ~timeout:15. c2 with
+      | `Line l ->
+          Alcotest.(check string) "queued job crash-reported" "crashed"
+            (status_of_line l)
+      | `Eof -> Alcotest.fail "queued connection closed silently");
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ c1; c2; c3 ];
+      (match reap ~kill:false pid with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "daemon did not exit 0 after deadline drain");
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists socket))
+
+let test_rate_limit_shed () =
+  (* burst 1, slow refill: the second request from the same client is
+     shed before any work — even a cache-warm one *)
+  with_daemon ~args:[ "--rate"; "0.05"; "--burst"; "1" ]
+    (fun ~socket ~pid:_ ->
+      let req = analyze_req ~client:"hammer" ~input:"r.pl" ~source:"p(a)." () in
+      let status, _ = request_status socket req in
+      Alcotest.(check string) "first admitted" "complete" status;
+      let status2, doc2 = request_status socket req in
+      Alcotest.(check string) "second shed" "overloaded" status2;
+      (match Metrics.member "reason" doc2 with
+      | Some (Metrics.Str r) ->
+          Alcotest.(check string) "rate limited" "rate_limited" r
+      | _ -> Alcotest.fail "no reason");
+      (* a different client is admitted *)
+      let status3, _ =
+        request_status socket
+          (analyze_req ~client:"other" ~input:"r.pl" ~source:"p(a)." ())
+      in
+      Alcotest.(check string) "other client cached" "cached" status3)
+
+(* --- e2e: frame hygiene --------------------------------------------------- *)
+
+let test_malformed_and_oversized_frames () =
+  with_daemon ~args:[ "--max-request-bytes"; "256" ] (fun ~socket ~pid:_ ->
+      (* malformed line: rejected, connection still usable *)
+      let fd = raw_connect socket in
+      raw_send fd "this is not json\n";
+      (match raw_recv_line fd with
+      | `Line l ->
+          Alcotest.(check string) "malformed rejected" "rejected"
+            (status_of_line l)
+      | `Eof -> Alcotest.fail "connection closed on malformed frame");
+      raw_send fd
+        ({|{"wire":"prax.wire","version":1,"id":1,"op":"ping"}|} ^ "\n");
+      (match raw_recv_line fd with
+      | `Line l ->
+          Alcotest.(check string) "connection not poisoned" "ok"
+            (status_of_line l)
+      | `Eof -> Alcotest.fail "connection dead after rejection");
+      Unix.close fd;
+      (* oversized frame: rejected and the connection is closed *)
+      let fd = raw_connect socket in
+      raw_send fd (String.make 1000 'x');
+      (match raw_recv_line fd with
+      | `Line l ->
+          Alcotest.(check string) "oversize rejected" "rejected"
+            (status_of_line l)
+      | `Eof -> Alcotest.fail "no rejection for oversized frame");
+      (match raw_recv_line fd with
+      | `Eof -> ()
+      | `Line l -> Alcotest.failf "expected close after oversize, got %S" l);
+      Unix.close fd;
+      (* the accept loop survived both *)
+      match ping socket with
+      | Ok ("ok", _) -> ()
+      | _ -> Alcotest.fail "daemon unhealthy after bad frames")
+
+(* --- e2e: lifecycle ------------------------------------------------------- *)
+
+let test_stale_socket_recovery () =
+  let socket = fresh_socket () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      try Unix.unlink (socket ^ ".pid") with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* first daemon dies by SIGKILL: no cleanup, stale socket+pidfile *)
+      let pid1 = spawn_praxd ~socket [] in
+      wait_ready socket;
+      Unix.kill pid1 Sys.sigkill;
+      ignore (Unix.waitpid [] pid1);
+      Alcotest.(check bool) "stale socket left behind" true
+        (Sys.file_exists socket);
+      (* a successor must sweep the stale socket and serve *)
+      let pid2 = spawn_praxd ~socket [] in
+      Fun.protect
+        ~finally:(fun () -> ignore (reap pid2))
+        (fun () ->
+          wait_ready socket;
+          (* but a live daemon must never be double-served *)
+          let null = devnull () in
+          let pid3 =
+            Unix.create_process praxd
+              [| praxd; "serve"; "--socket"; socket; "-q" |]
+              null null null
+          in
+          Unix.close null;
+          (match Unix.waitpid [] pid3 with
+          | _, Unix.WEXITED 1 -> ()
+          | _, Unix.WEXITED c ->
+              Alcotest.failf "double-serve exited %d (expected 1)" c
+          | _ -> Alcotest.fail "double-serve died abnormally");
+          match ping socket with
+          | Ok ("ok", _) -> ()
+          | _ -> Alcotest.fail "original daemon disturbed by refused start"))
+
+(* --- e2e: the xanalyze client exit codes ---------------------------------- *)
+
+let test_client_exit_codes () =
+  with_daemon (fun ~socket ~pid:_ ->
+      let run_client args =
+        let null = devnull () in
+        let pid =
+          Unix.create_process xanalyze
+            (Array.of_list (xanalyze :: args))
+            null null null
+        in
+        Unix.close null;
+        match Unix.waitpid [] pid with
+        | _, Unix.WEXITED c -> c
+        | _ -> 255
+      in
+      let code =
+        run_client
+          [ "client"; "analyze"; "groundness"; "qsort"; "--bench";
+            "--socket"; socket ]
+      in
+      Alcotest.(check int) "complete exits 0" 0 code;
+      let code =
+        run_client
+          [ "client"; "analyze"; "groundness"; "qsort"; "--bench";
+            "--socket"; socket ]
+      in
+      Alcotest.(check int) "cached repeat exits 0" 0 code;
+      let code =
+        run_client
+          [ "client"; "analyze"; "groundness"; "qsort"; "--bench";
+            "--socket"; socket ^ ".nope" ]
+      in
+      Alcotest.(check int) "unreachable daemon exits 6" 6 code;
+      let code =
+        run_client
+          [ "client"; "analyze"; "groundness"; "no-such-file.pl";
+            "--socket"; socket ]
+      in
+      Alcotest.(check int) "missing input file exits 1" 1 code)
+
+let () =
+  Prax_analyses.Analyses.ensure ();
+  Alcotest.run "daemon"
+    [
+      ( "admission",
+        [
+          Alcotest.test_case "token bucket refill timing" `Quick
+            test_token_bucket_refill;
+          Alcotest.test_case "rate 0 disables limiting" `Quick
+            test_token_bucket_disabled;
+        ] );
+      ("wire", [ Alcotest.test_case "grammar" `Quick test_wire_grammar ]);
+      ( "serving",
+        [
+          Alcotest.test_case "analyze, warm cache, stats, drain" `Quick
+            test_analyze_and_warm_cache;
+          Alcotest.test_case "worker crash absorbed by retries" `Quick
+            test_worker_crash_absorbed;
+          Alcotest.test_case "queue-full shed + drain kills stragglers" `Quick
+            test_queue_full_shed_and_drain_kill;
+          Alcotest.test_case "per-client rate-limit shed" `Quick
+            test_rate_limit_shed;
+          Alcotest.test_case "malformed/oversized frames rejected" `Quick
+            test_malformed_and_oversized_frames;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "stale socket swept, live socket refused" `Quick
+            test_stale_socket_recovery;
+          Alcotest.test_case "client exit codes" `Quick test_client_exit_codes;
+        ] );
+    ]

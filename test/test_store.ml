@@ -252,6 +252,44 @@ let test_concurrent_writers_never_tear () =
                (List.init writers Fun.id))
       | Error e -> Alcotest.failf "final load: %s" (Store.load_error_to_string e))
 
+(* Crashed-writer drill: a writer that dies between openfile and
+   rename leaves `<name>.snap.tmp.<pid>.<n>` behind.  Re-opening the
+   store must sweep temp files whose writer is dead (counting
+   store.tmp_swept), leave a live writer's temp file alone, and never
+   touch published snapshots. *)
+let test_orphan_tmp_swept_at_open () =
+  with_store (fun t ->
+      let k = key "p(a)." in
+      Store.save t k "published payload";
+      let snap = Store.path_of t k in
+      (* a genuinely dead writer pid: fork a child that exits at once *)
+      flush stdout;
+      flush stderr;
+      let dead_pid =
+        match Unix.fork () with 0 -> Unix._exit 0 | pid -> pid
+      in
+      ignore (Unix.waitpid [] dead_pid);
+      let orphan = Printf.sprintf "%s.tmp.%d.1" snap dead_pid in
+      write_file orphan "half-written snapshot from a crashed writer";
+      (* a live writer (this process) mid-write *)
+      let live = Printf.sprintf "%s.tmp.%d.9" snap (Unix.getpid ()) in
+      write_file live "concurrent saver, still writing";
+      (* junk that merely resembles a temp name must not be unlinked *)
+      let junk = Filename.concat (Store.dir t) "notes.snap.tmp.abc.def" in
+      write_file junk "operator file";
+      let base = counter "store.tmp_swept" in
+      let t2 = Store.open_dir (Store.dir t) in
+      Alcotest.(check bool) "orphan removed" false (Sys.file_exists orphan);
+      Alcotest.(check bool) "live writer's temp kept" true
+        (Sys.file_exists live);
+      Alcotest.(check bool) "non-pid temp name kept" true
+        (Sys.file_exists junk);
+      Alcotest.(check int) "store.tmp_swept counts exactly the orphan"
+        (base + 1)
+        (counter "store.tmp_swept");
+      Alcotest.(check (option string)) "published snapshot untouched"
+        (Some "published payload") (Store.load t2 k))
+
 (* no leftover temp files visible as snapshots *)
 let test_no_temp_leak () =
   with_store (fun t ->
@@ -289,6 +327,8 @@ let () =
         [
           Alcotest.test_case "concurrent writers never tear" `Quick
             test_concurrent_writers_never_tear;
+          Alcotest.test_case "orphan temp files swept at open" `Quick
+            test_orphan_tmp_swept_at_open;
           Alcotest.test_case "no temp residue" `Quick test_no_temp_leak;
         ] );
     ]
