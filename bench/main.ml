@@ -215,6 +215,43 @@ let table4 () =
     Benchdata.Registry.table4_benchmarks
 
 (* ------------------------------------------------------------------ *)
+(* Stress: worst-case groundness, dynamic vs def under a step budget   *)
+(* ------------------------------------------------------------------ *)
+
+let stress () =
+  section
+    "Stress: worst-case groundness programs (examples/stress/, after \
+     Genaim-Howe-Codish) - tabled Prop (mode=dynamic) vs def-domain \
+     fast path (mode=def) under the registry step budgets";
+  Printf.printf "%-12s %8s | %-16s %10s %10s %8s | %-10s %10s %10s\n" "Program"
+    "budget" "dynamic" "total(s)" "Table(B)" "answers" "def" "total(s)"
+    "Table(B)";
+  List.iter
+    (fun (b : Benchdata.Registry.stress_bench) ->
+      let measure mode =
+        let guard = Guard.create ~max_steps:b.Benchdata.Registry.max_steps () in
+        let rep =
+          match mode with
+          | `Dynamic -> Groundness.analyze ~guard b.Benchdata.Registry.source
+          | `Def ->
+              Groundness.Def.analyze ~guard b.Benchdata.Registry.source
+        in
+        rep
+      in
+      let d = measure `Dynamic and f = measure `Def in
+      Printf.printf
+        "%-12s %8d | %-16s %10.4f %10d %8d | %-10s %10.4f %10d\n"
+        b.Benchdata.Registry.name b.Benchdata.Registry.max_steps
+        (status_cell d.Prax_ground.Analyze.status)
+        (Prax_ground.Analyze.total d.Prax_ground.Analyze.phases)
+        d.Prax_ground.Analyze.table_bytes
+        d.Prax_ground.Analyze.engine_stats.Prax_tabling.Engine.answers
+        (status_cell f.Prax_ground.Analyze.status)
+        (Prax_ground.Analyze.total f.Prax_ground.Analyze.phases)
+        f.Prax_ground.Analyze.table_bytes)
+    Benchdata.Registry.stress_benchmarks
+
+(* ------------------------------------------------------------------ *)
 (* Ablation: dynamic (assert) vs compiled clause store                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -719,49 +756,62 @@ let tracked_counters =
     "hashcons.hits";
     "hashcons.misses";
     "intern.symbols";
+    "trie.nodes";
+    "trie.prefix_hits";
   ]
 
-(* Which corpus slice a registered analysis sweeps in benchjson, and
-   any non-default configuration.  Everything else about the row is
+(* Which corpus slice a registered analysis sweeps in benchjson, with
+   each row's configuration.  Everything else about the row is
    generic: the analysis is found in the registry and run through
    [Analysis.run].  depthk reproduces Table 4 (k=1 over the paper's
-   Table-4 subset); the other analyses take their kind's whole corpus
-   at default configuration. *)
+   Table-4 subset); groundness additionally sweeps the worst-case
+   stress corpus in def mode (the mode that completes it —
+   examples/stress/README.md); the other analyses take their kind's
+   whole corpus at default configuration. *)
 let bench_corpus (a : Analysis.t) :
-    (string * string * int option) list * Analysis.config =
+    (string * string * int option * Analysis.config) list =
   match a.Analysis.name with
   | "depthk" ->
-      ( List.map
-          (fun (b : Benchdata.Registry.logic_bench) ->
-            ( b.Benchdata.Registry.name,
-              b.Benchdata.Registry.source,
-              Some b.Benchdata.Registry.paper_lines ))
-          Benchdata.Registry.table4_benchmarks,
-        [ ("k", "1") ] )
-  | _ ->
-      let rows =
-        match a.Analysis.kind with
-        | Analysis.Logic_program ->
+      List.map
+        (fun (b : Benchdata.Registry.logic_bench) ->
+          ( b.Benchdata.Registry.name,
+            b.Benchdata.Registry.source,
+            Some b.Benchdata.Registry.paper_lines,
+            [ ("k", "1") ] ))
+        Benchdata.Registry.table4_benchmarks
+  | _ -> (
+      match a.Analysis.kind with
+      | Analysis.Logic_program ->
+          List.map
+            (fun (b : Benchdata.Registry.logic_bench) ->
+              ( b.Benchdata.Registry.name,
+                b.Benchdata.Registry.source,
+                Some b.Benchdata.Registry.paper_lines,
+                [] ))
+            Benchdata.Registry.logic_benchmarks
+          @
+          if a.Analysis.name = "groundness" then
             List.map
-              (fun (b : Benchdata.Registry.logic_bench) ->
+              (fun (b : Benchdata.Registry.stress_bench) ->
                 ( b.Benchdata.Registry.name,
                   b.Benchdata.Registry.source,
-                  Some b.Benchdata.Registry.paper_lines ))
-              Benchdata.Registry.logic_benchmarks
-        | Analysis.Fp_program ->
-            List.map
-              (fun (b : Benchdata.Registry.fp_bench) ->
-                ( b.Benchdata.Registry.name,
-                  b.Benchdata.Registry.source,
-                  Some b.Benchdata.Registry.paper_lines ))
-              Benchdata.Registry.fp_benchmarks
-        | Analysis.Cfg_program ->
-            List.map
-              (fun (b : Benchdata.Registry.cfg_bench) ->
-                (b.Benchdata.Registry.name, b.Benchdata.Registry.source, None))
-              Benchdata.Registry.cfg_benchmarks
-      in
-      (rows, [])
+                  None,
+                  [ ("mode", "def") ] ))
+              Benchdata.Registry.stress_benchmarks
+          else []
+      | Analysis.Fp_program ->
+          List.map
+            (fun (b : Benchdata.Registry.fp_bench) ->
+              ( b.Benchdata.Registry.name,
+                b.Benchdata.Registry.source,
+                Some b.Benchdata.Registry.paper_lines,
+                [] ))
+            Benchdata.Registry.fp_benchmarks
+      | Analysis.Cfg_program ->
+          List.map
+            (fun (b : Benchdata.Registry.cfg_bench) ->
+              (b.Benchdata.Registry.name, b.Benchdata.Registry.source, None, []))
+            Benchdata.Registry.cfg_benchmarks)
 
 (* One row per (registered analysis, corpus benchmark of its kind) —
    Tables 1, 3, and 4 plus the gaia and dataflow sweeps all go through
@@ -816,9 +866,9 @@ let benchjson () =
   let rows =
     List.concat_map
       (fun (a : Analysis.t) ->
-        let corpus, config = bench_corpus a in
+        let corpus = bench_corpus a in
         List.map
-          (fun (name, source, lines) ->
+          (fun (name, source, lines, config) ->
             let _, (rep, counters) =
               best3 (fun () ->
                   Metrics.reset ();
@@ -1113,9 +1163,9 @@ let sweep ~repeats ~analyses ~benchmarks () =
   List.iter
     (fun (a : Analysis.t) ->
       if wanted analyses a.Analysis.name then begin
-        let corpus, config = bench_corpus a in
+        let corpus = bench_corpus a in
         List.iter
-          (fun (name, source, lines) ->
+          (fun (name, source, lines, config) ->
             if wanted benchmarks name then begin
               let samples = ref [] and last_rep = ref None in
               (* one untimed warm-up: the cold first execution of a
@@ -1558,6 +1608,7 @@ let sections =
     ("table2", table2);
     ("table3", table3);
     ("table4", table4);
+    ("stress", stress);
     ("ablation_dynvscomp", ablation_dynvscomp);
     ("ablation_repr", ablation_repr);
     ("ablation_magic", ablation_magic);

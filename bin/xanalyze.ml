@@ -645,8 +645,8 @@ let batch_jobs_of_corpus ~analysis spec =
         names
 
 let batch_cmd =
-  let run dir corpus analysis sets njobs retries job_timeout store_dir stats
-      timeout max_steps max_bytes =
+  let run dir corpus analysis sets runner njobs retries job_timeout store_dir
+      stats timeout max_steps max_bytes =
     let analysis = Option.map find_analysis analysis in
     let overrides = parse_sets ~what:"xanalyze batch" sets in
     if overrides <> [] && analysis = None then begin
@@ -741,38 +741,56 @@ let batch_cmd =
       | Guard.Partial { reason; _ } ->
           (Serve.Partial_result (Guard.reason_to_string reason), payload)
     in
+    let budget = Guard.spec ?timeout ?max_steps ?max_table_bytes:max_bytes () in
     let config =
       {
         Serve.default_config with
         Serve.jobs = max 1 njobs;
         retries = max 0 retries;
         job_timeout;
-        budget = Guard.spec ?timeout ?max_steps ?max_table_bytes:max_bytes ();
+        budget;
       }
     in
     let quiet = report_suppressed stats in
     let total = List.length jobs in
     let done_count = ref 0 in
+    let detail_of (r : Serve.report) =
+      match r.Serve.outcome with
+      | Serve.Done { from_cache = true; _ } -> "(store hit)"
+      | Serve.Done { partial = Some reason; _ } -> "(" ^ reason ^ ")"
+      | Serve.Done _ -> ""
+      | Serve.Crashed { what; _ } -> "(" ^ what ^ ")"
+    in
     let on_report (r : Serve.report) =
       incr done_count;
-      if not quiet then begin
-        let detail =
-          match r.Serve.outcome with
-          | Serve.Done { from_cache = true; _ } -> "(store hit)"
-          | Serve.Done { partial = Some reason; _ } -> "(" ^ reason ^ ")"
-          | Serve.Done _ -> ""
-          | Serve.Crashed { what; _ } -> "(" ^ what ^ ")"
-        in
+      if not quiet then
         Printf.printf "[%d/%d] %-40s %-8s %d attempt%s %6.2fs %s\n%!"
           !done_count total r.Serve.job
           (Serve.outcome_class r.Serve.outcome)
           r.Serve.attempts
           (if r.Serve.attempts = 1 then " " else "s")
-          r.Serve.elapsed detail
-      end
+          r.Serve.elapsed (detail_of r)
+    in
+    (* domains-mode progress omits wall times and attempt counts: reports
+       arrive in input order and the lines are byte-for-byte identical
+       whatever --jobs says (the multicore determinism smoke relies on
+       this) *)
+    let on_report_domains (r : Serve.report) =
+      incr done_count;
+      if not quiet then
+        Printf.printf "[%d/%d] %-40s %-8s %s\n%!" !done_count total
+          r.Serve.job
+          (Serve.outcome_class r.Serve.outcome)
+          (detail_of r)
     in
     let reports =
-      try Serve.run_batch ~config ~cached ~persist ~on_report ~worker jobs
+      try
+        match runner with
+        | `Domains ->
+            Domains.run ~jobs:(max 1 njobs) ~budget ~cached ~persist
+              ~on_report:on_report_domains ~worker jobs
+        | `Fork ->
+            Serve.run_batch ~config ~cached ~persist ~on_report ~worker jobs
       with Serve.Interrupted sg ->
         (* every in-flight worker is already SIGKILLed and reaped; exit
            the way a shell reports death-by-signal so wrappers see the
@@ -885,10 +903,25 @@ let batch_cmd =
              $(b,xanalyze --list-analyses)) instead of dispatching by file \
              extension or corpus kind.")
   in
+  let runner =
+    let modes = Arg.enum [ ("fork", `Fork); ("domains", `Domains) ] in
+    Arg.(
+      value & opt modes `Fork
+      & info [ "runner" ] ~docv:"RUNNER"
+          ~doc:
+            "Worker isolation: $(b,fork) (the default) runs every job in \
+             its own supervised OS process with watchdog, retries, and \
+             crash containment; $(b,domains) runs jobs on a fleet of \
+             shared-memory OCaml domains — no fork overhead, deterministic \
+             input-order output, budgets still enforced, but no watchdog \
+             or retry ladder ($(b,--retries)/$(b,--job-timeout) are \
+             ignored).")
+  in
   let njobs =
     Arg.(
       value & opt int 2
-      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Concurrent worker processes.")
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Concurrent workers (processes or domains).")
   in
   let retries =
     Arg.(
@@ -936,9 +969,9 @@ let batch_cmd =
               retries.";
          ])
     Term.(
-      const run $ dir $ corpus $ analysis $ set_args $ njobs $ retries
-      $ job_timeout $ store_dir $ stats_arg $ timeout_arg $ max_steps_arg
-      $ max_table_bytes_arg)
+      const run $ dir $ corpus $ analysis $ set_args $ runner $ njobs
+      $ retries $ job_timeout $ store_dir $ stats_arg $ timeout_arg
+      $ max_steps_arg $ max_table_bytes_arg)
 
 (* --- client: talk to a resident praxd daemon ------------------------------ *)
 

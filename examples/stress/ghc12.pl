@@ -1,0 +1,15 @@
+gen(a).
+gen(_).
+p(X1, X2, X3, X4, X5, X6, X7, X8, X9, X10, X11, X12) :-
+    gen(X1),
+    gen(X2),
+    gen(X3),
+    gen(X4),
+    gen(X5),
+    gen(X6),
+    gen(X7),
+    gen(X8),
+    gen(X9),
+    gen(X10),
+    gen(X11),
+    gen(X12).

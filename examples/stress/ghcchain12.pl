@@ -1,0 +1,14 @@
+flip(X, Y) :- X = Y.
+flip(X, Y) :- X = a.
+p(X1, X2, X3, X4, X5, X6, X7, X8, X9, X10, X11, X12) :-
+    flip(X1, X2),
+    flip(X2, X3),
+    flip(X3, X4),
+    flip(X4, X5),
+    flip(X5, X6),
+    flip(X6, X7),
+    flip(X7, X8),
+    flip(X8, X9),
+    flip(X9, X10),
+    flip(X10, X11),
+    flip(X11, X12).

@@ -9,7 +9,8 @@
     re-measured.
 
     Variables are non-negative integers ordered by value.  Nodes are
-    globally hash-consed, so structural equality is physical equality. *)
+    hash-consed (per domain — see the state note below), so structural
+    equality is physical equality. *)
 
 type t = Leaf of bool | Node of { id : int; var : int; lo : t; hi : t }
 
@@ -18,20 +19,39 @@ let id = function Leaf false -> 0 | Leaf true -> 1 | Node { id; _ } -> id
 let zero = Leaf false
 let one = Leaf true
 
-(* hash-cons table: (var, lo-id, hi-id) -> node *)
-let table : (int * int * int, t) Hashtbl.t = Hashtbl.create 1024
-let next_id = ref 2
+(* Hash-cons table, (var, lo-id, hi-id) -> node, and the apply memo.
+   Both are domain-local: a worker domain of the multicore batch runner
+   starts from a copy of its parent's tables (parent quiescent at
+   spawn), so node ids stay canonical within every domain and
+   evaluation never races.  BDDs never cross domains. *)
+type state = {
+  uniq : (int * int * int, t) Hashtbl.t;
+  memo : (int * int * int, t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let key : state Domain.DLS.key =
+  Domain.DLS.new_key
+    ~split_from_parent:(fun (p : state) ->
+      {
+        uniq = Hashtbl.copy p.uniq;
+        memo = Hashtbl.copy p.memo;
+        next_id = p.next_id;
+      })
+    (fun () ->
+      { uniq = Hashtbl.create 1024; memo = Hashtbl.create 4096; next_id = 2 })
 
 let node var lo hi =
   if id lo = id hi then lo
   else
-    let key = (var, id lo, id hi) in
-    match Hashtbl.find_opt table key with
+    let st = Domain.DLS.get key in
+    let k = (var, id lo, id hi) in
+    match Hashtbl.find_opt st.uniq k with
     | Some n -> n
     | None ->
-        let n = Node { id = !next_id; var; lo; hi } in
-        incr next_id;
-        Hashtbl.add table key n;
+        let n = Node { id = st.next_id; var; lo; hi } in
+        st.next_id <- st.next_id + 1;
+        Hashtbl.add st.uniq k n;
         n
 
 let var v = node v zero one
@@ -40,8 +60,6 @@ let nvar v = node v one zero
 let equal a b = id a = id b
 
 (* --- apply ----------------------------------------------------------------- *)
-
-let apply_cache : (int * int * int, t) Hashtbl.t = Hashtbl.create 4096
 
 type op = And | Or | Xor | Imp | Iff
 
@@ -71,8 +89,9 @@ let rec apply op a b =
       (match shortcut with
       | Some r -> r
       | None ->
-          let key = (op_code op, id a, id b) in
-          (match Hashtbl.find_opt apply_cache key with
+          let memo = (Domain.DLS.get key).memo in
+          let k = (op_code op, id a, id b) in
+          (match Hashtbl.find_opt memo k with
           | Some r -> r
           | None ->
               let split =
@@ -87,7 +106,7 @@ let rec apply op a b =
               in
               let v, alo, ahi, blo, bhi = split in
               let r = node v (apply op alo blo) (apply op ahi bhi) in
-              Hashtbl.add apply_cache key r;
+              Hashtbl.add memo k r;
               r))
 
 let conj a b = apply And a b
@@ -168,8 +187,8 @@ let of_rows ~nvars rows =
       disj acc !cube)
     zero rows
 
-(** Number of live hash-consed nodes (global). *)
-let node_count () = Hashtbl.length table
+(** Number of live hash-consed nodes (in this domain). *)
+let node_count () = Hashtbl.length (Domain.DLS.get key).uniq
 
 let rec size f =
   match f with Leaf _ -> 1 | Node { lo; hi; _ } -> 1 + size lo + size hi

@@ -178,6 +178,33 @@ let cfg_benchmarks : cfg_bench list =
     { name = "ladder24"; source = Cfg_programs.ladder24 };
   ]
 
+type stress_bench = {
+  name : string;
+  source : string;
+  max_steps : int;
+      (** the step budget the harness applies to mode=dynamic runs: big
+          enough for the smallest sizes to complete, so both exit codes
+          (0 complete / 3 partial) stay exercised *)
+}
+
+(** Worst-case groundness corpus (examples/stress/, after
+    Genaim–Howe–Codish): mode=dynamic must degrade to a sound partial
+    result within the budget on the larger sizes, mode=def must
+    complete on all of them. *)
+let stress_benchmarks : stress_bench list =
+  [
+    { name = "ghc8"; source = Stress_programs.product 8; max_steps = 20_000 };
+    { name = "ghc12"; source = Stress_programs.product 12; max_steps = 20_000 };
+    { name = "ghc16"; source = Stress_programs.product 16; max_steps = 20_000 };
+    { name = "ghcchain12"; source = Stress_programs.chain 12; max_steps = 20_000 };
+    { name = "ghcchain16"; source = Stress_programs.chain 16; max_steps = 20_000 };
+  ]
+
+let find_stress name =
+  List.find_opt
+    (fun (b : stress_bench) -> String.equal b.name name)
+    stress_benchmarks
+
 let find_cfg name =
   List.find_opt
     (fun (b : cfg_bench) -> String.equal b.name name)

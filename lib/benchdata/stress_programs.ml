@@ -1,0 +1,42 @@
+(** Worst-case groundness programs, after Genaim–Howe–Codish ("Worst-case
+    groundness analysis"): tiny sources whose Prop abstraction has
+    exponentially many distinct answer variants, so the tabled
+    (mode=dynamic) analysis exhausts any step budget while the def
+    domain (mode=def) finishes in a handful of implications.
+
+    Two shapes, generated rather than hand-written so the sizes stay
+    honest:
+
+    - [product n]: n independent generators, each leaving its argument
+      either ground or open — 2^n answer variants for [gp_p/n];
+    - [chain n]: a chain of flip/2 goals sharing neighbouring
+      variables — answer variants grow with the number of ways to cut
+      the chain into ground prefixes and aliased runs.
+
+    The files under examples/stress/ are these exact strings
+    (test_benchdata locks the sync), so CLI runs and CI exercise the
+    same programs the bench harness measures. *)
+
+let args n = List.init n (fun i -> Printf.sprintf "X%d" (i + 1))
+
+(** 2^n distinct answers: every argument independently ground or open. *)
+let product n =
+  let xs = args n in
+  Printf.sprintf "gen(a).\ngen(_).\np(%s) :-\n    %s.\n"
+    (String.concat ", " xs)
+    (String.concat ",\n    " (List.map (fun x -> "gen(" ^ x ^ ")") xs))
+
+(** Chained flips: each goal either aliases its arguments' groundness or
+    grounds the left one, multiplying variants along the chain. *)
+let chain n =
+  let xs = args n in
+  let pairs =
+    List.map2
+      (fun a b -> Printf.sprintf "flip(%s, %s)" a b)
+      (List.filteri (fun i _ -> i < n - 1) xs)
+      (List.tl xs)
+  in
+  Printf.sprintf
+    "flip(X, Y) :- X = Y.\nflip(X, Y) :- X = a.\np(%s) :-\n    %s.\n"
+    (String.concat ", " xs)
+    (String.concat ",\n    " pairs)

@@ -57,6 +57,11 @@ module Analyses = Prax_analyses.Analyses
     docs/ROBUSTNESS.md). *)
 module Serve = Prax_serve.Serve
 
+(** Shared-memory parallel batch: worker domains (OCaml multicore) over
+    the same job/worker interface — no fork, no watchdog, deterministic
+    input-order reports ([xanalyze batch --runner domains]). *)
+module Domains = Prax_serve.Domains
+
 (** Crash-safe persistent store of analysis outcomes: atomic versioned
     snapshots with CRC trailers, warm-start resume for batches. *)
 module Store = Prax_store.Store
@@ -108,6 +113,7 @@ module Bdd = Prax_bdd.Bdd
 module Groundness = struct
   module Transform = Prax_ground.Transform
   module Analyze = Prax_ground.Analyze
+  module Def = Prax_ground.Def
 
   (** Analyze a logic program's groundness; returns the per-predicate
       report. *)

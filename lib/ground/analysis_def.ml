@@ -42,12 +42,18 @@ let result_json (r : Analyze.pred_result) : Metrics.json =
     ]
 
 let run ~config ~guard src : Analysis.report =
-  let mode =
-    match Analysis.config_enum config "mode" [ "dynamic"; "compiled" ] with
-    | "compiled" -> Database.Compiled
-    | _ -> Database.Dynamic
+  let rep =
+    match Analysis.config_enum config "mode" [ "dynamic"; "compiled"; "def" ] with
+    | "def" ->
+        (* def-domain fast path: bottom-up over definite Boolean
+           functions, no tabled evaluation (docs/ANALYSES.md) *)
+        Def.analyze ~guard src
+    | mode_name ->
+        let mode =
+          if mode_name = "compiled" then Database.Compiled else Database.Dynamic
+        in
+        Analyze.analyze ~mode ~guard src
   in
-  let rep = Analyze.analyze ~mode ~guard src in
   {
     Analysis.analysis = "groundness";
     config;

@@ -1,0 +1,187 @@
+(** Term tries (discrimination trees) over canonical terms — the
+    call/answer table index of the tabled engine (see trie.mli for the
+    contract).
+
+    A canonical term is fully determined by its preorder label sequence:
+    each node of the term contributes one label — [Lvar i] / [Lint i]
+    for leaves, [Latom a] for nullary callables, [Lfun (f, n)] for a
+    structure head — and the arities embedded in the labels make the
+    sequence self-delimiting.  The trie stores one node per distinct
+    label-sequence prefix, so insert and variant lookup are a single
+    preorder walk and terms sharing a prefix (answers of the same call
+    almost always share at least the functor and the first arguments)
+    share its nodes.
+
+    Child edges are scanned linearly: tabled-analysis domains branch
+    over tiny alphabets ([true]/[false]/a variable, a handful of functor
+    names), so a per-node hash table would cost more than it saves.
+    Label comparison against a term head is pointer-first on interned
+    names with a structural fallback, never allocating. *)
+
+module Metrics = Prax_metrics.Metrics
+
+let m_nodes =
+  Metrics.counter ~units:"nodes"
+    ~doc:"trie nodes allocated by call/answer-table inserts"
+    "trie.nodes"
+
+let m_prefix_hits =
+  Metrics.counter ~units:"edges"
+    ~doc:"insert steps that reused an existing trie edge (prefix sharing)"
+    "trie.prefix_hits"
+
+type label =
+  | Lvar of int
+  | Lint of int
+  | Latom of string
+  | Lfun of string * int
+
+(* [payload] marks a terminal: the node reached after consuming a whole
+   key's label sequence.  The key itself is kept alongside the value so
+   iteration can hand both back without re-deriving terms from paths. *)
+type 'a node = {
+  mutable labels : label array;
+  mutable kids : 'a node array;
+  mutable nkids : int;
+  mutable payload : (Term.t * 'a) option;
+}
+
+type 'a t = {
+  mutable root : 'a node;
+  mutable count : int;  (** terminals holding a value *)
+  mutable nodes : int;  (** live nodes, root excluded *)
+}
+
+let new_node () = { labels = [||]; kids = [||]; nkids = 0; payload = None }
+let create () = { root = new_node (); count = 0; nodes = 0 }
+let cardinal t = t.count
+let live_nodes t = t.nodes
+
+let clear t =
+  t.root <- new_node ();
+  t.count <- 0;
+  t.nodes <- 0
+
+(* Does edge label [lbl] match the head of term [x]?  Interned names
+   make the pointer test hit almost always; [String.equal] keeps the
+   test sound for names interned by another domain. *)
+let label_matches lbl (x : Term.t) =
+  match (lbl, x) with
+  | Lvar i, Term.Var j -> i = j
+  | Lint i, Term.Int j -> i = j
+  | Latom a, Term.Atom b -> a == b || String.equal a b
+  | Lfun (f, n), Term.Struct (g, args, _) ->
+      n = Array.length args && (f == g || String.equal f g)
+  | _ -> false
+
+let label_of (x : Term.t) =
+  match x with
+  | Term.Var i -> Lvar i
+  | Term.Int i -> Lint i
+  | Term.Atom a -> Latom a
+  | Term.Struct (f, args, _) -> Lfun (f, Array.length args)
+
+let find_child node x =
+  let n = node.nkids in
+  let labels = node.labels in
+  let rec go i =
+    if i >= n then None
+    else if label_matches labels.(i) x then Some node.kids.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let add_child node x =
+  let child = new_node () in
+  let n = node.nkids in
+  if n = Array.length node.kids then begin
+    let cap = max 2 (2 * n) in
+    let labels = Array.make cap (Lint 0) in
+    let kids = Array.make cap child in
+    Array.blit node.labels 0 labels 0 n;
+    Array.blit node.kids 0 kids 0 n;
+    node.labels <- labels;
+    node.kids <- kids
+  end;
+  node.labels.(n) <- label_of x;
+  node.kids.(n) <- child;
+  node.nkids <- n + 1;
+  child
+
+(* Preorder walk consuming [x]'s whole label sequence, creating missing
+   edges.  [fresh] counts nodes allocated on this walk. *)
+let rec walk_insert t fresh node (x : Term.t) =
+  let child =
+    match find_child node x with
+    | Some c ->
+        Metrics.incr m_prefix_hits;
+        c
+    | None ->
+        incr fresh;
+        t.nodes <- t.nodes + 1;
+        Metrics.incr m_nodes;
+        add_child node x
+  in
+  match x with
+  | Term.Struct (_, args, _) ->
+      let n = Array.length args in
+      let rec go node i =
+        if i >= n then node else go (walk_insert t fresh node args.(i)) (i + 1)
+      in
+      go child 0
+  | _ -> child
+
+(* Read-only walk; [None] as soon as an edge is missing. *)
+let rec walk_find node (x : Term.t) =
+  match find_child node x with
+  | None -> None
+  | Some child -> (
+      match x with
+      | Term.Struct (_, args, _) ->
+          let n = Array.length args in
+          let rec go node i =
+            if i >= n then Some node
+            else
+              match walk_find node args.(i) with
+              | None -> None
+              | Some node -> go node (i + 1)
+          in
+          go child 0
+      | _ -> Some child)
+
+let find_opt t key =
+  match walk_find t.root key with
+  | Some { payload = Some (_, v); _ } -> Some v
+  | _ -> None
+
+let mem t key =
+  match walk_find t.root key with
+  | Some { payload = Some _; _ } -> true
+  | _ -> false
+
+type 'a outcome = Existing of 'a | Added of 'a * int
+
+let find_or_add t key mk =
+  let fresh = ref 0 in
+  let node = walk_insert t fresh t.root key in
+  match node.payload with
+  | Some (_, v) -> Existing v
+  | None ->
+      let v = mk () in
+      node.payload <- Some (key, v);
+      t.count <- t.count + 1;
+      Added (v, !fresh)
+
+let iter f t =
+  let rec go node =
+    (match node.payload with Some (k, v) -> f k v | None -> ());
+    for i = 0 to node.nkids - 1 do
+      go node.kids.(i)
+    done
+  in
+  go t.root
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc

@@ -1,0 +1,50 @@
+(** Shared-memory parallel batch: a fleet of worker {e domains} (OCaml
+    multicore) instead of forked worker processes.
+
+    The fork supervisor ({!Serve}) buys OS-process isolation — crashes,
+    hangs, OOM kills — at the cost of a fork + re-parse per job.  This
+    runner is the other point in the design space: [jobs] domains pull
+    jobs off a shared atomic queue and run the worker function {e in
+    process}, so a batch over many small inputs spends its time
+    analyzing, not forking.  There is no watchdog, no retry ladder, and
+    no crash containment beyond catching exceptions: a worker that
+    diverges diverges (use the fork runner for hostile inputs; budgets
+    still bound each job via [budget]).
+
+    Safe parallel evaluation rests on the domain-local interning state
+    of the substrate: the symbol table, hash-consed terms, and BDD
+    tables are split per domain at spawn ({!Domain.DLS} with
+    [split_from_parent]), and metrics accumulate in per-domain arrays
+    that are {!Prax_metrics.Metrics.absorb}ed at join.  Jobs exchange
+    only strings with the caller, so nothing interned ever crosses a
+    domain boundary.
+
+    Determinism: reports are returned (and [on_report] streamed) in
+    input order, with identical payload/outcome classification whatever
+    the domain count — [xanalyze batch --runner domains] output is
+    byte-for-byte identical between [--jobs 1] and [--jobs N].
+
+    Counters: [serve.jobs], [serve.partials], [serve.crashes],
+    [serve.cache_answers] (shared with the fork supervisor) and
+    [serve.domains_spawned]. *)
+
+module Guard = Prax_guard.Guard
+
+val run :
+  ?jobs:int ->
+  ?budget:Guard.spec ->
+  ?cached:(job:string -> string option) ->
+  ?persist:(job:string -> payload:string -> unit) ->
+  ?on_report:(Serve.report -> unit) ->
+  worker:
+    (job:string -> attempt:int -> guard:Guard.t -> Serve.worker_status * string) ->
+  string list ->
+  Serve.report list
+(** [run ~worker jobs] evaluates every job on a fleet of
+    [min jobs (length names)] domains and returns one {!Serve.report}
+    per distinct job, in input order.  [worker] runs in a worker domain
+    with [attempt = 1] and a fresh guard minted from [budget]; an
+    exception it raises is caught and reported as a [Crashed] outcome
+    (attempt 1, no stderr capture — the exception text is in [what]).
+    [cached] / [persist] / [on_report] have the same contract as in
+    {!Serve.run_batch} and all run in the calling domain. *)

@@ -142,7 +142,12 @@ type stats = {
 type entry = {
   call : Term.t;  (** canonical (post-abstraction) *)
   answers : Term.t Vec.t;
-  answer_set : unit Canon.Tbl.t;
+  answer_set : unit Trie.t;
+      (** per-entry answer trie: duplicate suppression is a single
+          walk, and answers sharing a prefix share its nodes *)
+  mutable answer_space : int;
+      (** words accounted to this entry's answers, so abort recovery
+          can subtract (or keep) them exactly *)
   consumers : (Term.t -> unit) Vec.t;
   deps : entry Vec.t;
       (** entries this entry's producer consumes from: through a
@@ -158,7 +163,9 @@ type t = {
   db : Database.t;
   hooks : hooks;
   builtins : (string * int, builtin) Hashtbl.t;
-  tables : entry Canon.Tbl.t;
+  mutable tables : entry Trie.t;
+      (** call trie: canonical (post-abstraction) call variants; mutable
+          only so abort recovery can rebuild it without stale branches *)
   stats : stats;
   tabled : string * int -> bool;
   open_calls : bool;
@@ -225,7 +232,7 @@ let create ?(hooks = concrete_hooks) ?(tabled = fun _ -> true)
     db;
     hooks;
     builtins;
-    tables = Canon.Tbl.create 256;
+    tables = Trie.create ();
     stats =
       { calls = 0; table_entries = 0; answers = 0; duplicates = 0;
         resumptions = 0; forced = 0 };
@@ -253,12 +260,15 @@ let register_builtin e name arity (b : builtin) =
 
 (* --- table-space accounting -------------------------------------------- *)
 
-(* canonical call and answer terms at one word per node, plus per-entry
-   and per-answer overhead — the same order-of-magnitude accounting as
-   XSB's table statistics, maintained incrementally so the guard's byte
-   budget is O(1) to check *)
-let entry_words call = Term.size call + 8
-let answer_words ans = Term.size ans + 2
+(* one word per trie node actually allocated by the insert, plus
+   per-entry and per-answer overhead — the same unit (a word per stored
+   node) as the pre-trie accounting, so before/after byte figures
+   compare like for like and the delta measures exactly the structural
+   sharing the discrimination tree buys (a key never costs more nodes
+   than its term size).  Maintained incrementally so the guard's byte
+   budget is O(1) to check, as XSB's table statistics are. *)
+let entry_overhead = 8
+let answer_overhead = 2
 
 let grow_space e words =
   e.space_words <- e.space_words + words;
@@ -340,27 +350,27 @@ and solve_tabled e s goal sc =
     e.hooks.abstract_call
       (if e.open_calls then open_call_of canonical else canonical)
   in
+  let mk_entry () =
+    {
+      call = key;
+      answers = Vec.create ();
+      answer_set = Trie.create ();
+      answer_space = 0;
+      consumers = Vec.create ();
+      deps = Vec.create ();
+      completed = false;
+      mark = false;
+    }
+  in
   let entry, is_new =
-    match Canon.Tbl.find_opt e.tables key with
-    | Some entry ->
+    match Trie.find_or_add e.tables key mk_entry with
+    | Trie.Existing entry ->
         Metrics.incr m_call_hits;
         (entry, false)
-    | None ->
-        let entry =
-          {
-            call = key;
-            answers = Vec.create ();
-            answer_set = Canon.Tbl.create 16;
-            consumers = Vec.create ();
-            deps = Vec.create ();
-            completed = false;
-            mark = false;
-          }
-        in
-        Canon.Tbl.add e.tables key entry;
+    | Trie.Added (entry, fresh_nodes) ->
         e.stats.table_entries <- e.stats.table_entries + 1;
         Metrics.incr m_call_misses;
-        grow_space e (entry_words key);
+        grow_space e (fresh_nodes + entry_overhead);
         (entry, true)
   in
   (* Attribute the registration to the producer on whose behalf we
@@ -411,26 +421,26 @@ and producer e entry =
           Metrics.incr m_widenings;
           Canon.of_term (w ~previous:(Vec.to_list entry.answers) ans)
     in
-    if Canon.Tbl.mem entry.answer_set ans then begin
-      e.stats.duplicates <- e.stats.duplicates + 1;
-      Metrics.incr m_answers_deduped
-    end
-    else begin
-      Canon.Tbl.add entry.answer_set ans ();
-      Vec.push entry.answers ans;
-      e.stats.answers <- e.stats.answers + 1;
-      Metrics.incr m_answers_inserted;
-      grow_space e (answer_words ans);
-      (* Eager broadcast — but only to the consumers present when the
-         answer arrived: a consumer that registers during this loop has
-         already snapshotted this answer into its replay (it is in
-         [entry.answers]), so delivering it here too would duplicate
-         derivations, which diverges through recursive cycles. *)
-      let ncons = Vec.length entry.consumers in
-      for i = 0 to ncons - 1 do
-        (Vec.get entry.consumers i) ans
-      done
-    end
+    match Trie.find_or_add entry.answer_set ans (fun () -> ()) with
+    | Trie.Existing () ->
+        e.stats.duplicates <- e.stats.duplicates + 1;
+        Metrics.incr m_answers_deduped
+    | Trie.Added ((), fresh_nodes) ->
+        Vec.push entry.answers ans;
+        e.stats.answers <- e.stats.answers + 1;
+        Metrics.incr m_answers_inserted;
+        let words = fresh_nodes + answer_overhead in
+        entry.answer_space <- entry.answer_space + words;
+        grow_space e words;
+        (* Eager broadcast — but only to the consumers present when the
+           answer arrived: a consumer that registers during this loop has
+           already snapshotted this answer into its replay (it is in
+           [entry.answers]), so delivering it here too would duplicate
+           derivations, which diverges through recursive cycles. *)
+        let ncons = Vec.length entry.consumers in
+        for i = 0 to ncons - 1 do
+          (Vec.get entry.consumers i) ans
+        done
   in
   e.producing <- entry :: e.producing;
   List.iter
@@ -457,11 +467,11 @@ and producer e entry =
    answer reach it.  The greatest such set is computed by demotion from
    "every completed entry". *)
 let closed_set e =
-  Canon.Tbl.iter (fun _ entry -> entry.mark <- entry.completed) e.tables;
+  Trie.iter (fun _ entry -> entry.mark <- entry.completed) e.tables;
   let changed = ref true in
   while !changed do
     changed := false;
-    Canon.Tbl.iter
+    Trie.iter
       (fun _ entry ->
         if
           entry.mark
@@ -490,21 +500,23 @@ let scrub_entry entry =
 let force_complete_tables e =
   closed_set e;
   let widened = ref 0 in
-  Canon.Tbl.iter
+  Trie.iter
     (fun _ entry ->
       if not entry.mark then begin
         incr widened;
         e.stats.forced <- e.stats.forced + 1;
         Metrics.incr m_forced_completions;
-        if not (Canon.Tbl.mem entry.answer_set entry.call) then begin
-          Canon.Tbl.add entry.answer_set entry.call ();
-          Vec.push entry.answers entry.call;
-          e.stats.answers <- e.stats.answers + 1;
-          (* account the widened answer directly: consulting the guard
-             here would re-trip a sticky table-space budget from inside
-             the recovery path *)
-          e.space_words <- e.space_words + answer_words entry.call
-        end
+        match Trie.find_or_add entry.answer_set entry.call (fun () -> ()) with
+        | Trie.Existing () -> ()
+        | Trie.Added ((), fresh_nodes) ->
+            Vec.push entry.answers entry.call;
+            e.stats.answers <- e.stats.answers + 1;
+            (* account the widened answer directly: consulting the guard
+               here would re-trip a sticky table-space budget from inside
+               the recovery path *)
+            let words = fresh_nodes + answer_overhead in
+            entry.answer_space <- entry.answer_space + words;
+            e.space_words <- e.space_words + words
       end;
       scrub_entry entry)
     e.tables;
@@ -518,33 +530,47 @@ let force_complete_tables e =
    silently truncated tables. *)
 let recover_after_error e =
   closed_set e;
-  let stale =
-    Canon.Tbl.fold
-      (fun key entry acc -> if entry.mark then acc else (key, entry) :: acc)
+  let survivors =
+    Trie.fold
+      (fun key entry acc ->
+        if entry.mark then (key, entry) :: acc
+        else begin
+          e.stats.table_entries <- e.stats.table_entries - 1;
+          e.stats.answers <- e.stats.answers - Vec.length entry.answers;
+          acc
+        end)
       e.tables []
   in
+  (* Rebuild the call trie from the surviving entries: dropping a key
+     from a discrimination tree cannot reclaim the prefix nodes it
+     shares, so this cold path re-inserts the survivors into a fresh
+     trie and recomputes the space estimate from the fresh-node counts
+     (each entry's answer trie is untouched, so its accounted words
+     carry over exactly). *)
+  let tables = Trie.create () in
+  e.space_words <- 0;
   List.iter
     (fun (key, entry) ->
-      e.stats.table_entries <- e.stats.table_entries - 1;
-      e.stats.answers <- e.stats.answers - Vec.length entry.answers;
-      e.space_words <-
-        e.space_words - entry_words entry.call
-        - Vec.fold (fun acc a -> acc + answer_words a) 0 entry.answers;
-      Canon.Tbl.remove e.tables key)
-    stale;
-  Canon.Tbl.iter (fun _ entry -> scrub_entry entry) e.tables;
+      scrub_entry entry;
+      match Trie.find_or_add tables key (fun () -> entry) with
+      | Trie.Existing _ -> assert false (* keys were distinct in the old trie *)
+      | Trie.Added (_, fresh_nodes) ->
+          e.space_words <-
+            e.space_words + fresh_nodes + entry_overhead + entry.answer_space)
+    survivors;
+  e.tables <- tables;
   e.producing <- []
 
 (* Table invariants, checked by the fault-injection tests: every entry's
    answer vector and dedup set agree, and after any abort every entry is
    completed with no registered consumers or dependency edges. *)
 let tables_consistent ?(after_abort = false) e : bool =
-  Canon.Tbl.fold
+  Trie.fold
     (fun _ entry ok ->
       ok
-      && Vec.length entry.answers = Canon.Tbl.length entry.answer_set
+      && Vec.length entry.answers = Trie.cardinal entry.answer_set
       && Vec.fold
-           (fun acc a -> acc && Canon.Tbl.mem entry.answer_set a)
+           (fun acc a -> acc && Trie.mem entry.answer_set a)
            true entry.answers
       && ((not after_abort)
          || entry.completed
@@ -614,12 +640,12 @@ let query e (goal : Term.t) : Term.t list = fst (query_status e goal)
     input modes off this table is the paper's "input groundness for free"
     observation. *)
 let calls e : Term.t list =
-  Canon.Tbl.fold (fun _ entry acc -> entry.call :: acc) e.tables []
+  Trie.fold (fun _ entry acc -> entry.call :: acc) e.tables []
   |> List.sort Term.compare
 
 (** Recorded answers of every call variant of predicate [p]. *)
 let answers_for e (name, arity) : Term.t list =
-  Canon.Tbl.fold
+  Trie.fold
     (fun _ entry acc ->
       match Term.functor_of entry.call with
       | Some (n, a) when String.equal n name && a = arity ->
@@ -647,7 +673,7 @@ let calls_for e (name, arity) : Term.t list =
     the same canonical forms). *)
 let dump_tables e : string =
   let lines =
-    Canon.Tbl.fold
+    Trie.fold
       (fun _ entry acc ->
         let answers =
           Vec.to_list entry.answers
@@ -671,7 +697,7 @@ let table_digest e : string = Digest.to_hex (Digest.string (dump_tables e))
 let stats e = e.stats
 
 let reset_tables e =
-  Canon.Tbl.reset e.tables;
+  Trie.clear e.tables;
   e.space_words <- 0;
   e.producing <- [];
   e.run_depth <- 0;

@@ -143,8 +143,11 @@ val calls_for : t -> string * int -> Term.t list
 val answers_for : t -> string * int -> Term.t list
 
 val table_space_bytes : t -> int
-(** Table-space estimate (canonical terms at one word per node plus
-    per-entry overhead), the Table 1/3/4 metric.  Maintained
+(** Table-space estimate, the Table 1/3/4 metric: one word per trie
+    node the call/answer indexes actually allocated, plus per-entry
+    and per-answer overhead.  Prefix sharing across keys means this is
+    substantially below one stored term per entry — a key never costs
+    more nodes than its term size (docs/PERFORMANCE.md).  Maintained
     incrementally, so O(1). *)
 
 val dump_tables : t -> string

@@ -163,6 +163,64 @@ let test_plan_achieves_goals () =
   | [ _ ] -> ()
   | _ -> Alcotest.fail "plan invalid or missing"
 
+(* --- worst-case stress corpus (examples/stress/) ------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* dune runtest runs from _build/default/test, dune exec from the
+   invocation directory — accept either *)
+let stress_dir () =
+  List.find_opt Sys.file_exists
+    [ "../examples/stress"; "examples/stress" ]
+
+let test_stress_files_in_sync () =
+  (* the on-disk .pl files CI and the CLI exercise must be byte-identical
+     to the sources the bench harness embeds *)
+  let dir =
+    match stress_dir () with
+    | Some d -> d
+    | None -> Alcotest.fail "examples/stress not found from test cwd"
+  in
+  List.iter
+    (fun (b : Registry.stress_bench) ->
+      let path = Filename.concat dir (b.Registry.name ^ ".pl") in
+      Alcotest.(check string)
+        (b.Registry.name ^ ".pl in sync")
+        b.Registry.source (read_file path))
+    Registry.stress_benchmarks
+
+let test_stress_contract () =
+  (* the registry budget keeps both exit codes exercised: the smallest
+     product size completes under mode=dynamic, the largest trips the
+     budget — and mode=def completes every size *)
+  let module Guard = Prax_guard.Guard in
+  let run mode name =
+    let b = Option.get (Registry.find_stress name) in
+    let guard = Guard.create ~max_steps:b.Registry.max_steps () in
+    let rep =
+      match mode with
+      | `Dynamic -> Prax_ground.Analyze.analyze ~guard b.Registry.source
+      | `Def -> Prax_ground.Def.analyze ~guard b.Registry.source
+    in
+    rep.Prax_ground.Analyze.status
+  in
+  Alcotest.(check bool) "ghc8 dynamic completes" true
+    (run `Dynamic "ghc8" = Guard.Complete);
+  Alcotest.(check bool) "ghc16 dynamic trips" true
+    (Guard.is_partial (run `Dynamic "ghc16"));
+  List.iter
+    (fun (b : Registry.stress_bench) ->
+      Alcotest.(check bool)
+        (b.Registry.name ^ " def completes")
+        true
+        (run `Def b.Registry.name = Guard.Complete))
+    Registry.stress_benchmarks
+
 let () =
   Alcotest.run "prax_benchdata"
     [
@@ -186,5 +244,10 @@ let () =
             test_all_engines_run_corpus;
           Alcotest.test_case "strictness subset" `Quick
             test_strictness_runs_corpus;
+        ] );
+      ( "stress corpus",
+        [
+          Alcotest.test_case "files in sync" `Quick test_stress_files_in_sync;
+          Alcotest.test_case "budget contract" `Quick test_stress_contract;
         ] );
     ]

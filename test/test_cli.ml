@@ -204,7 +204,24 @@ let test_analyze_dispatch () =
   let r = run ~stdin_data:"p(a)." [ xanalyze; "analyze"; "nosuch"; "-" ] in
   check_code "unknown analysis" 1 r;
   Alcotest.(check bool) "registered names suggested" true
-    (contains r.err "groundness")
+    (contains r.err "groundness");
+  (* groundness mode is an enum: unknown values are rejected with a
+     diagnostic naming every valid mode, and def is one of them *)
+  let r =
+    run ~stdin_data:"p(a)."
+      [ xanalyze; "analyze"; "groundness"; "-"; "--set"; "mode=bogus" ]
+  in
+  check_code "unknown groundness mode" 1 r;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) (m ^ " named in diagnostic") true
+        (contains r.err m))
+    [ "dynamic"; "compiled"; "def" ];
+  let r =
+    run ~stdin_data:"p(a)."
+      [ xanalyze; "analyze"; "groundness"; "-"; "--set"; "mode=def" ]
+  in
+  check_code "analyze groundness --set mode=def" 0 r
 
 let test_batch_per_analysis () =
   (* every registered analysis sweeps its slice of the corpus through
@@ -221,6 +238,35 @@ let test_batch_per_analysis () =
       ]
   in
   check_code "batch with unknown analysis" 1 r
+
+(* --- multicore batch (docs/PERFORMANCE.md) -------------------------------- *)
+
+let test_batch_domains_deterministic () =
+  (* the domains runner's contract: reports stream in input order with
+     identical classification whatever the domain count, so stdout is
+     byte-for-byte identical between --jobs 1 and --jobs 4 *)
+  let batch jobs =
+    run
+      [
+        xanalyze; "batch"; "--corpus"; "cs,qsort,disj,queens"; "--runner";
+        "domains"; "--jobs"; string_of_int jobs;
+      ]
+  in
+  let serial = batch 1 in
+  check_code "domains --jobs 1" 0 serial;
+  let wide = batch 4 in
+  check_code "domains --jobs 4" 0 wide;
+  Alcotest.(check string)
+    "stdout byte-for-byte identical across domain counts" serial.out wide.out;
+  (* a budget-tripped job still degrades to a sound partial in-process *)
+  let r =
+    run
+      [
+        xanalyze; "batch"; "--corpus"; "cs"; "--runner"; "domains";
+        "--max-steps"; "10";
+      ]
+  in
+  check_code "domains batch with a partial job" 3 r
 
 let test_praxtop_analyses () =
   let r =
@@ -471,6 +517,8 @@ let () =
             test_batch_warm_start;
           Alcotest.test_case "SIGTERM interrupts: exit 143, no orphans" `Quick
             test_batch_sigterm_interrupt;
+          Alcotest.test_case "domains runner is deterministic" `Quick
+            test_batch_domains_deterministic;
         ] );
       ( "praxtop",
         [

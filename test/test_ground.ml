@@ -208,6 +208,105 @@ let test_soundness_on_concrete_runs () =
         sols)
     prop_soundness_src
 
+(* --- def domain (mode=def) ---------------------------------------------- *)
+
+module Guard = Prax_guard.Guard
+
+(* def cannot express disjunctive groundness, so its success sets must
+   contain the Prop ones — never the other way round *)
+let def_over_approx_srcs =
+  [
+    ap_src;
+    "p(X) :- (X = a ; X = f(Y)).";
+    "max(X, Y, X) :- X >= Y, !. max(X, Y, Y).";
+    "base(a). wrap(f(X)) :- base(X). pair(X, Y) :- wrap(X), wrap(Y).";
+    "or(X, Y) :- (X = a ; Y = b).";
+    "rev([], A, A). rev([H|T], A, R) :- rev(T, [H|A], R).";
+  ]
+
+let test_def_over_approximates () =
+  List.iter
+    (fun src ->
+      let dyn = analyze src and def = Def.analyze src in
+      List.iter2
+        (fun d f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%d: dynamic implies def" (fst d.Analyze.pred)
+               (snd d.Analyze.pred))
+            true
+            (Bf.implies d.Analyze.success f.Analyze.success))
+        dyn.Analyze.results def.Analyze.results)
+    def_over_approx_srcs
+
+(* on programs whose Prop success set is itself a definite function, the
+   two modes agree exactly — ap's (X1&X2)<->X3 is the paper's example *)
+let test_def_agrees_when_definite () =
+  List.iter
+    (fun src ->
+      let dyn = analyze src and def = Def.analyze src in
+      List.iter2
+        (fun d f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%d: modes agree" (fst d.Analyze.pred)
+               (snd d.Analyze.pred))
+            true
+            (Bf.equal d.Analyze.success f.Analyze.success))
+        dyn.Analyze.results def.Analyze.results)
+    [
+      ap_src;
+      "p(a, b). p(c, d).";
+      "p(X, Y) :- X = f(Y), Y = a.";
+      "inc(X, Y) :- Y is X + 1.";
+      "base(a). wrap(f(X)) :- base(X). pair(X, Y) :- wrap(X), wrap(Y).";
+    ]
+
+let test_def_definite_and_failure () =
+  let rep = Def.analyze "p(a, b). p(c, d)." in
+  check_definite "def ground facts" rep ("p", 2) "gg";
+  let rep = Def.analyze "p(X) :- fail. q(X) :- a = b." in
+  Alcotest.(check bool) "def fail detected" true
+    (result_for rep ("p", 1)).Analyze.never_succeeds;
+  Alcotest.(check bool) "def static clash detected" true
+    (result_for rep ("q", 1)).Analyze.never_succeeds;
+  Alcotest.(check bool) "def is goal-independent" true
+    ((result_for rep ("p", 1)).Analyze.call_patterns = [])
+
+(* the Genaim–Howe–Codish shape: 2^n distinct answer variants for the
+   tabled Prop evaluation, a two-element implication store for def.
+   Under the same step budget dynamic degrades to Partial while def
+   completes — the property examples/stress/ turns into benchmarks. *)
+let worst_case n =
+  let args = List.init n (fun i -> Printf.sprintf "X%d" (i + 1)) in
+  Printf.sprintf "gen(a).\ngen(_).\np(%s) :- %s.\n"
+    (String.concat ", " args)
+    (String.concat ", " (List.map (fun a -> "gen(" ^ a ^ ")") args))
+
+let test_def_immune_to_worst_case () =
+  let src = worst_case 12 in
+  let dyn = analyze ~guard:(Guard.create ~max_steps:20000 ()) src in
+  let def = Def.analyze ~guard:(Guard.create ~max_steps:20000 ()) src in
+  Alcotest.(check bool) "dynamic trips the budget" true
+    (Guard.is_partial dyn.Analyze.status);
+  Alcotest.(check bool) "def completes" true
+    (def.Analyze.status = Guard.Complete);
+  (* and still lands the right answer: p's success set is top *)
+  Alcotest.(check bool) "def success = top" true
+    (Bf.equal (result_for def ("p", 12)).Analyze.success (Bf.top 12))
+
+let test_def_partial_is_top () =
+  (* a tripped def run must widen every value to top, not report the
+     intermediate under-approximation *)
+  let def = Def.analyze ~guard:(Guard.create ~max_steps:1 ()) ap_src in
+  Alcotest.(check bool) "partial" true (Guard.is_partial def.Analyze.status);
+  List.iter
+    (fun r ->
+      let arity = snd r.Analyze.pred in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s widened to top" (fst r.Analyze.pred))
+        true
+        (Bf.equal r.Analyze.success (Bf.top arity)))
+    def.Analyze.results
+
 let () =
   Alcotest.run "prax_ground"
     [
@@ -242,5 +341,18 @@ let () =
           Alcotest.test_case "modes agree" `Quick test_modes_agree;
           Alcotest.test_case "soundness on concrete runs" `Quick
             test_soundness_on_concrete_runs;
+        ] );
+      ( "def domain",
+        [
+          Alcotest.test_case "over-approximates Prop" `Quick
+            test_def_over_approximates;
+          Alcotest.test_case "agrees on definite programs" `Quick
+            test_def_agrees_when_definite;
+          Alcotest.test_case "definite args and failure" `Quick
+            test_def_definite_and_failure;
+          Alcotest.test_case "immune to worst case" `Quick
+            test_def_immune_to_worst_case;
+          Alcotest.test_case "partial widens to top" `Quick
+            test_def_partial_is_top;
         ] );
     ]
