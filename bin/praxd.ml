@@ -43,7 +43,8 @@ let socket_arg =
 
 let serve_cmd =
   let run socket jobs max_queue rate burst max_request_bytes drain_deadline
-      store_dir retries job_timeout timeout max_steps max_bytes quiet =
+      store_dir cache_entries cache_bytes chaos_file retries job_timeout
+      timeout max_steps max_bytes quiet =
     let serve =
       {
         Serve.default_config with
@@ -52,6 +53,34 @@ let serve_cmd =
         job_timeout;
         budget = Guard.spec ?timeout ?max_steps ?max_table_bytes:max_bytes ();
       }
+    in
+    (* a chaos plan is test machinery: a bad plan must fail startup
+       loudly, never be silently ignored *)
+    let chaos =
+      let from_file =
+        match chaos_file with
+        | None -> []
+        | Some path -> (
+            let text =
+              try In_channel.with_open_text path In_channel.input_all
+              with Sys_error msg ->
+                Printf.eprintf "praxd: %s\n" msg;
+                exit exit_startup
+            in
+            match Inject.daemon_plan_of_json text with
+            | Ok plan -> plan
+            | Error msg ->
+                Printf.eprintf "praxd: --chaos %s: %s\n" path msg;
+                exit exit_startup)
+      in
+      let from_env =
+        match Inject.daemon_plan_of_env () with
+        | Ok plan -> plan
+        | Error msg ->
+            Printf.eprintf "praxd: %s: %s\n" Inject.inject_daemon_var msg;
+            exit exit_startup
+      in
+      from_file @ from_env
     in
     let config =
       {
@@ -62,6 +91,9 @@ let serve_cmd =
         max_request_bytes;
         drain_deadline;
         store_dir;
+        cache_entries = max 1 cache_entries;
+        cache_bytes = max 1 cache_bytes;
+        chaos;
         serve;
       }
     in
@@ -144,6 +176,35 @@ let serve_cmd =
              complete results are saved under DIR and survive daemon \
              restarts.")
   in
+  let cache_entries =
+    Arg.(
+      value & opt int 512
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:
+            "Resident result-cache entry cap: the least recently used \
+             entry is evicted past N ($(b,daemon.cache_evictions)).")
+  in
+  let cache_bytes =
+    Arg.(
+      value
+      & opt int (64 * 1024 * 1024)
+      & info [ "cache-bytes" ] ~docv:"N"
+          ~doc:"Resident result-cache byte cap (keys + payloads).")
+  in
+  let chaos_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"PLAN.json"
+          ~doc:
+            "Deterministic fault plan for the chaos harness: \
+             $(b,{\"faults\":[{\"at\":N,\"fault\":\"worker-crash\"}, ...]}) \
+             fires each fault at the Nth analyze request.  Faults: \
+             $(b,worker-crash), $(b,worker-exit), $(b,worker-hang), \
+             $(b,conn-reset), $(b,store-enospc), $(b,store-short-write), \
+             $(b,drain).  The $(b,PRAX_INJECT_DAEMON) environment variable \
+             ($(b,kind\\@N,kind\\@N,...)) adds to the plan.")
+  in
   let retries =
     Arg.(
       value & opt int 2
@@ -189,7 +250,8 @@ let serve_cmd =
           or $(b,praxd drain))")
     Term.(
       const run $ socket_arg $ jobs $ max_queue $ rate $ burst
-      $ max_request_bytes $ drain_deadline $ store_dir $ retries $ job_timeout
+      $ max_request_bytes $ drain_deadline $ store_dir $ cache_entries
+      $ cache_bytes $ chaos_file $ retries $ job_timeout
       $ timeout $ max_steps $ max_bytes $ quiet)
 
 (* --- control verbs -------------------------------------------------------- *)

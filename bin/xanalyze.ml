@@ -31,7 +31,10 @@ open Prax
         retries; the batch report still accounts for every job
      5  client only: the daemon shed the request (overloaded, rejected,
         or draining) — retry later
-     6  client only: the daemon was unreachable or broke protocol
+     6  client only: the daemon was unreachable
+     7  client only: the daemon answered, but with a malformed,
+        truncated, or oversized reply — the wire protocol was violated,
+        so nothing it said can be trusted
    130/143  batch interrupted by SIGINT/SIGTERM after killing and
         reaping every in-flight worker (no orphan processes)
    (124/125 are reserved by cmdliner for CLI parse/internal errors.) *)
@@ -40,6 +43,7 @@ let exit_partial = 3
 let exit_crashed = 4
 let exit_shed = 5
 let exit_unreachable = 6
+let exit_protocol = 7
 
 let read_input = function
   | "-" -> In_channel.input_all stdin
@@ -979,7 +983,8 @@ let batch_cmd =
    request, so the client resolves paths/bench names locally and the
    daemon's warm cache keys on the bytes.  Exit codes: 0 complete/cached,
    3 partial, 4 crashed, 5 shed (overloaded/rejected/draining — retry
-   later), 6 daemon unreachable or protocol error. *)
+   later), 6 daemon unreachable, 7 daemon broke protocol (malformed /
+   truncated / oversized reply). *)
 
 let client_socket_arg =
   Arg.(
@@ -988,8 +993,37 @@ let client_socket_arg =
     & info [ "socket"; "s" ] ~docv:"PATH"
         ~doc:"Unix-domain socket of the praxd daemon.")
 
+let client_retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"R"
+        ~doc:
+          "Retry a shed ($(b,overloaded)) or unreachable request up to R \
+           extra times with capped exponential backoff and deterministic \
+           jitter, honoring the daemon's $(b,retry_after_ms) hint.")
+
+let client_backoff_arg =
+  Arg.(
+    value
+    & opt duration_conv 0.2
+    & info [ "backoff" ] ~docv:"DUR"
+        ~doc:
+          "Base backoff before the first retry (e.g. $(b,200ms)); each \
+           further retry doubles it, capped at 10s, with \u{00b1}25% \
+           deterministic jitter so concurrent clients spread out.")
+
+(* the client must never be taken down by a garbage reply — cap how much
+   of one it will buffer before calling it a protocol violation *)
+let client_max_response_bytes = 64 * 1024 * 1024
+
+let client_exit_of_error (e : Daemon.Client.error) =
+  Printf.eprintf "xanalyze client: %s\n" (Daemon.Client.error_to_string e);
+  match e with
+  | Daemon.Client.Connect_failed _ -> exit exit_unreachable
+  | Daemon.Client.Protocol_error _ -> exit exit_protocol
+
 let client_analyze_cmd =
-  let run socket name input bench sets client_id as_json =
+  let run socket name input bench sets client_id as_json retries backoff =
     let a = find_analysis name in
     let src = source_of ~kind:a.Analysis.kind ~bench input in
     let config = parse_sets ~what:"xanalyze client" sets in
@@ -1000,11 +1034,12 @@ let client_analyze_cmd =
         op = Daemon.Wire.Analyze { analysis = name; input; source = src; config };
       }
     in
-    match Daemon.Client.request ~socket req with
-    | Error e ->
-        Printf.eprintf "xanalyze client: %s\n" (Daemon.Client.error_to_string e);
-        exit exit_unreachable
-    | Ok (status, doc) -> (
+    match
+      Daemon.Client.request_with_retries ~socket ~retries ~base:backoff
+        ~max_response_bytes:client_max_response_bytes req
+    with
+    | Error e -> client_exit_of_error e
+    | Ok (status, doc, _attempts) -> (
         if as_json then print_endline (Metrics.json_to_string doc)
         else begin
           (match Metrics.member "report" doc with
@@ -1075,11 +1110,145 @@ let client_analyze_cmd =
              "$(b,0) complete or cached; $(b,3) partial (budget-degraded); \
               $(b,4) crashed after retries; $(b,5) shed by admission \
               control (overloaded / rejected / draining) — retry later; \
-              $(b,6) daemon unreachable or protocol error.";
+              $(b,6) daemon unreachable; $(b,7) daemon broke protocol \
+              (malformed, truncated, or oversized reply).";
          ])
     Term.(
       const run $ client_socket_arg $ aname $ input $ bench_flag $ set_args
-      $ client_id $ as_json)
+      $ client_id $ as_json $ client_retries_arg $ client_backoff_arg)
+
+let client_batch_cmd =
+  let run socket corpus analysis sets client_id as_json retries backoff =
+    let analysis = Option.map find_analysis analysis in
+    let overrides = parse_sets ~what:"xanalyze client batch" sets in
+    if overrides <> [] && analysis = None then begin
+      Printf.eprintf "xanalyze client batch: --set requires --analysis\n";
+      exit exit_input
+    end;
+    let specs = batch_jobs_of_corpus ~analysis corpus in
+    if specs = [] then begin
+      Printf.eprintf "xanalyze client batch: empty corpus spec\n";
+      exit exit_input
+    end;
+    let jobs =
+      Array.of_list
+        (List.map
+           (fun ((a : Analysis.t), input) ->
+             let src = source_of ~kind:a.Analysis.kind ~bench:true input in
+             {
+               Daemon.Client.job_input = a.Analysis.name ^ ":" ^ input;
+               job_req =
+                 {
+                   Daemon.Wire.id = Metrics.Null (* rewritten to the index *);
+                   client = client_id;
+                   op =
+                     Daemon.Wire.Analyze
+                       {
+                         analysis = a.Analysis.name;
+                         input;
+                         source = src;
+                         config = overrides;
+                       };
+                 };
+             })
+           specs)
+    in
+    match
+      Daemon.Client.batch ~socket ~retries ~base:backoff
+        ~max_response_bytes:client_max_response_bytes jobs
+    with
+    | Error e -> client_exit_of_error e
+    | Ok outcomes ->
+        let count pred = Array.fold_left
+            (fun n (o : Daemon.Client.batch_outcome) ->
+              if pred o.Daemon.Client.b_status then n + 1 else n)
+            0 outcomes
+        in
+        Array.iter
+          (fun (o : Daemon.Client.batch_outcome) ->
+            if as_json then
+              print_endline
+                (Metrics.json_to_string
+                   (Metrics.Obj
+                      [
+                        ("job", Metrics.Str o.Daemon.Client.b_input);
+                        ("status", Metrics.Str o.Daemon.Client.b_status);
+                        ("attempts", Metrics.Int o.Daemon.Client.b_attempts);
+                        ("response", o.Daemon.Client.b_json);
+                      ]))
+            else
+              Printf.printf "%-9s %s (attempts %d)\n"
+                o.Daemon.Client.b_status o.Daemon.Client.b_input
+                o.Daemon.Client.b_attempts)
+          outcomes;
+        let n = Array.length outcomes in
+        let answered =
+          count (fun s ->
+              match s with
+              | "complete" | "cached" | "partial" -> true
+              | _ -> false)
+        in
+        Printf.eprintf "xanalyze client batch: %d/%d answered with results\n"
+          answered n;
+        let any s = count (String.equal s) > 0 in
+        if any "protocol_error" then exit exit_protocol
+        else if any "crashed" then exit exit_crashed
+        else if any "error" || any "rejected" then exit exit_input
+        else if any "partial" then exit exit_partial
+        else if any "overloaded" || any "draining" || any "unanswered" then
+          exit exit_shed
+  in
+  let corpus =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CORPUS"
+          ~doc:
+            "Comma-separated benchmark names, or $(b,all) for the whole \
+             registry (restricted to --analysis's source kind when given).")
+  in
+  let analysis =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "analysis"; "a" ] ~docv:"NAME"
+          ~doc:
+            "Analysis to run on every benchmark (default: each kind's \
+             default analysis).")
+  in
+  let client_id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "client" ] ~docv:"ID"
+          ~doc:"Client identity for per-client rate limiting.")
+  in
+  let as_json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "One JSON object per job (job, status, attempts, response) \
+             instead of the text summary.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Stream a benchmark corpus through one daemon connection, with \
+          per-job retry bookkeeping: shed jobs are retried in \
+          backoff-separated rounds, and every job ends with exactly one \
+          recorded outcome"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "$(b,0) every job complete or cached; $(b,3) some partial; \
+              $(b,4) some crashed; $(b,5) some still shed after retries; \
+              $(b,6) daemon unreachable; $(b,7) daemon broke protocol.";
+         ])
+    Term.(
+      const run $ client_socket_arg $ corpus $ analysis $ set_args
+      $ client_id $ as_json $ client_retries_arg $ client_backoff_arg)
 
 let client_cmd =
   Cmd.group
@@ -1087,7 +1256,7 @@ let client_cmd =
        ~doc:
          "Talk to a resident praxd analysis daemon over its Unix socket \
           (see $(b,praxd)(1))")
-    [ client_analyze_cmd ]
+    [ client_analyze_cmd; client_batch_cmd ]
 
 (* --- the registry listing ------------------------------------------------- *)
 

@@ -73,6 +73,8 @@ module Store = Prax_store.Store
 module Daemon = struct
   module Wire = Prax_daemon.Wire
   module Admission = Prax_daemon.Admission
+  module Pressure = Prax_daemon.Pressure
+  module Lru = Prax_daemon.Lru
   module Daemon = Prax_daemon.Daemon
   module Client = Prax_daemon.Client
 end

@@ -40,4 +40,10 @@ let tokens t ~client ~now =
   if t.rate <= 0. then infinity
   else (bucket_of t ~client ~now).tokens
 
+let retry_after t ~client ~now =
+  if t.rate <= 0. then 0.
+  else
+    let b = bucket_of t ~client ~now in
+    if b.tokens >= 1.0 then 0. else (1.0 -. b.tokens) /. t.rate
+
 let clients t = Hashtbl.length t.buckets

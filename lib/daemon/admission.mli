@@ -26,5 +26,12 @@ val tokens : t -> client:string -> now:float -> float
 (** The tokens [client] would hold at [now], without taking any —
     observability and tests. *)
 
+val retry_after : t -> client:string -> now:float -> float
+(** Seconds until [client]'s bucket holds one token at the configured
+    refill rate (0 when a token is available now, or when limiting is
+    disabled).  The [retry_after_ms] hint on rate-limit sheds: a client
+    that waits this long retries into an admitting bucket instead of
+    hammering. *)
+
 val clients : t -> int
 (** Distinct clients tracked so far. *)

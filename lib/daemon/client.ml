@@ -17,47 +17,87 @@ let rec write_all fd s off len =
     write_all fd s (off + n) (len - n)
   end
 
+(* Buffered line reader over a socket.  A kernel read can span the end
+   of one response and the start of the next (batch mode streams many
+   lines down one connection), so bytes past the first newline must be
+   kept for the next call, never dropped. *)
+type reader = { r_fd : Unix.file_descr; mutable r_pending : string }
+
+let reader_of_fd fd = { r_fd = fd; r_pending = "" }
+
 (* read up to (and including) the first newline; [deadline] is an
-   absolute gettimeofday time, or none *)
-let read_line_fd ?deadline fd =
+   absolute gettimeofday time, or none.  A reply longer than
+   [max_response_bytes] is a protocol violation (a healthy server
+   frames responses in one bounded line), never a result. *)
+let read_line_r ?deadline ?max_response_bytes r =
   let buf = Buffer.create 1024 in
   let chunk = Bytes.create 4096 in
+  let oversized = ref false in
+  let complete = ref false in
+  (* consume [s] up to the first newline; the rest waits in r_pending *)
+  let feed s =
+    (match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.add_string buf (String.sub s 0 (i + 1));
+        r.r_pending <- String.sub s (i + 1) (String.length s - i - 1);
+        complete := true
+    | None ->
+        Buffer.add_string buf s;
+        r.r_pending <- "");
+    match max_response_bytes with
+    | Some cap when Buffer.length buf > cap ->
+        oversized := true;
+        raise Exit
+    | _ -> ()
+  in
   let rec loop () =
-    if Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) = '\n'
-    then Ok (String.trim (Buffer.contents buf))
+    if !complete then Ok (String.trim (Buffer.contents buf))
     else begin
       (match deadline with
       | None -> ()
       | Some d ->
           let left = d -. Unix.gettimeofday () in
           if left <= 0. then raise Exit;
-          ignore (Unix.select [ fd ] [] [] left));
-      match Unix.read fd chunk 0 (Bytes.length chunk) with
+          ignore (Unix.select [ r.r_fd ] [] [] left));
+      match Unix.read r.r_fd chunk 0 (Bytes.length chunk) with
       | 0 ->
           if Buffer.length buf = 0 then
             Error (Protocol_error "connection closed before response")
-          else Ok (String.trim (Buffer.contents buf))
+          else
+            Error (Protocol_error "connection closed mid-response (truncated)")
       | n ->
-          (* stop at the first newline; a response is one line *)
-          let stop = ref n in
-          (try
-             for i = 0 to n - 1 do
-               if Bytes.get chunk i = '\n' then begin
-                 stop := i + 1;
-                 raise Exit
-               end
-             done
-           with Exit -> ());
-          Buffer.add_subbytes buf chunk 0 !stop;
+          feed (Bytes.sub_string chunk 0 n);
           loop ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | exception Unix.Unix_error (e, _, _) ->
           Error (Protocol_error (Unix.error_message e))
     end
   in
-  try loop () with Exit -> Error (Protocol_error "timed out awaiting response")
+  try
+    (let s = r.r_pending in
+     r.r_pending <- "";
+     if s <> "" then feed s);
+    loop ()
+  with Exit ->
+    if !oversized then
+      Error
+        (Protocol_error
+           (Printf.sprintf "oversized response (over %d bytes)"
+              (Option.value max_response_bytes ~default:0)))
+    else Error (Protocol_error "timed out awaiting response")
 
-let request ?timeout ~socket (req : Wire.request) :
+let read_line_fd ?deadline ?max_response_bytes fd =
+  read_line_r ?deadline ?max_response_bytes (reader_of_fd fd)
+
+let parse_response line : (string * Metrics.json, error) result =
+  match Metrics.json_of_string line with
+  | exception _ -> Error (Protocol_error "response is not JSON")
+  | j -> (
+      match Wire.response_status j with
+      | Ok status -> Ok (status, j)
+      | Error msg -> Error (Protocol_error msg))
+
+let request ?timeout ?max_response_bytes ~socket (req : Wire.request) :
     (string * Metrics.json, error) result =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -75,13 +115,229 @@ let request ?timeout ~socket (req : Wire.request) :
               let deadline =
                 Option.map (fun t -> Unix.gettimeofday () +. t) timeout
               in
-              match read_line_fd ?deadline fd with
+              match read_line_fd ?deadline ?max_response_bytes fd with
               | Error _ as e -> e
-              | Ok line -> (
-                  match Metrics.json_of_string line with
-                  | exception _ ->
-                      Error (Protocol_error "response is not JSON")
-                  | j -> (
-                      match Wire.response_status j with
-                      | Ok status -> Ok (status, j)
-                      | Error msg -> Error (Protocol_error msg))))))
+              | Ok line -> parse_response line)))
+
+(* --- retrying wrapper ----------------------------------------------------- *)
+
+(* Deterministic jitter in [0,1): hash-derived, so the same (key,
+   attempt) always backs off identically — replayable tests — while
+   distinct clients spread out instead of herding. *)
+let jitter_unit ~key ~attempt =
+  float_of_int (Hashtbl.hash (key, attempt, "client-jitter") land 0xffff)
+  /. 65536.
+
+let backoff_delay ~key ~attempt ~base ~cap ~retry_after_ms =
+  let attempt = max 1 attempt in
+  let base = Float.max 0.001 base in
+  let cap = Float.max base cap in
+  let expo = Float.min cap (base *. (2. ** float_of_int (attempt - 1))) in
+  (* ±25% jitter around the exponential step *)
+  let jittered = expo *. (0.75 +. (0.5 *. jitter_unit ~key ~attempt)) in
+  let floor_s =
+    match retry_after_ms with
+    | Some ms when ms > 0 -> float_of_int ms /. 1000.
+    | _ -> 0.
+  in
+  Float.min cap (Float.max floor_s jittered)
+
+let retryable_status = function "overloaded" -> true | _ -> false
+
+let request_with_retries ?timeout ?max_response_bytes
+    ?(sleep = Unix.sleepf) ?(base = 0.2) ?(cap = 10.) ~socket ~retries
+    (req : Wire.request) : (string * Metrics.json * int, error) result =
+  let retries = max 0 retries in
+  let key = Wire.request_to_string req in
+  let rec go attempt =
+    let result = request ?timeout ?max_response_bytes ~socket req in
+    let retry retry_after_ms =
+      sleep (backoff_delay ~key ~attempt ~base ~cap ~retry_after_ms);
+      go (attempt + 1)
+    in
+    match result with
+    | Ok (status, j) when retryable_status status && attempt <= retries ->
+        retry (Wire.retry_after_ms j)
+    | Ok (status, j) -> Ok (status, j, attempt)
+    | Error (Connect_failed _) when attempt <= retries -> retry None
+    | Error _ as e -> e
+  in
+  match go 1 with
+  | Ok _ as ok -> ok
+  | Error e -> Error e
+
+(* --- batch: a corpus through one connection -------------------------------- *)
+
+type batch_job = { job_input : string; job_req : Wire.request }
+
+type batch_outcome = {
+  b_input : string;
+  b_status : string;  (** final wire status, or ["protocol_error"] *)
+  b_json : Metrics.json;  (** [Null] when no valid response arrived *)
+  b_attempts : int;
+}
+
+(* One round: send every pending request down [r]'s connection (ids
+   rewritten to the job index), then read responses until all are
+   answered or the stream dies.  Returns the indexes still unanswered
+   (stream died). *)
+let batch_round ?timeout ?max_response_bytes r (jobs : batch_job array)
+    (outcomes : batch_outcome option array) (attempts : int array)
+    (retry_floor : int option array) (pending : int list) :
+    (int list, error) result =
+  let unanswered = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace unanswered i ()) pending;
+  match
+    List.iter
+      (fun i ->
+        attempts.(i) <- attempts.(i) + 1;
+        let req = { jobs.(i).job_req with Wire.id = Metrics.Int i } in
+        let line = Wire.request_to_string req ^ "\n" in
+        write_all r.r_fd line 0 (String.length line))
+      pending
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Connect_failed (Unix.error_message e))
+  | () ->
+      let record i status j =
+        if retryable_status status then
+          retry_floor.(i) <- Wire.retry_after_ms j
+        else
+          outcomes.(i) <-
+            Some
+              {
+                b_input = jobs.(i).job_input;
+                b_status = status;
+                b_json = j;
+                b_attempts = attempts.(i);
+              };
+        Hashtbl.remove unanswered i
+      in
+      let rec read_loop () =
+        if Hashtbl.length unanswered = 0 then Ok []
+        else
+          let deadline =
+            Option.map (fun t -> Unix.gettimeofday () +. t) timeout
+          in
+          match read_line_r ?deadline ?max_response_bytes r with
+          | Error _ as e -> e
+          | Ok line -> (
+              match parse_response line with
+              | Error _ as e -> e
+              | Ok (status, j) -> (
+                  match Metrics.member "id" j with
+                  | Some (Metrics.Int i)
+                    when i >= 0 && i < Array.length jobs
+                         && Hashtbl.mem unanswered i ->
+                      record i status j;
+                      read_loop ()
+                  | _ ->
+                      (* an id we can't place poisons the stream: we no
+                         longer know which job any byte belongs to *)
+                      Error (Protocol_error "response with unknown id")))
+      in
+      match read_loop () with
+      | Ok [] -> Ok []
+      | Ok _ as ok -> ok
+      | Error e ->
+          (* the stream died mid-round: surviving jobs go to the next
+             round (their attempt is already spent); remember why in
+             case retries run out *)
+          let left =
+            Hashtbl.fold (fun i () acc -> i :: acc) unanswered []
+            |> List.sort compare
+          in
+          List.iter
+            (fun i ->
+              if attempts.(i) > 0 then
+                outcomes.(i) <-
+                  Some
+                    {
+                      b_input = jobs.(i).job_input;
+                      b_status = "protocol_error";
+                      b_json = Metrics.Str (error_to_string e);
+                      b_attempts = attempts.(i);
+                    })
+            left;
+          Ok left
+
+let batch ?timeout ?max_response_bytes ?(sleep = Unix.sleepf) ?(base = 0.2)
+    ?(cap = 10.) ~socket ~retries (jobs : batch_job array) :
+    (batch_outcome array, error) result =
+  let n = Array.length jobs in
+  let retries = max 0 retries in
+  let outcomes : batch_outcome option array = Array.make n None in
+  let attempts = Array.make n 0 in
+  let retry_floor : int option array = Array.make n None in
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Connect_failed (socket ^ ": " ^ Unix.error_message e))
+  in
+  let pending i =
+    attempts.(i) <= retries
+    && match outcomes.(i) with
+       | None -> true
+       | Some o -> retryable_status o.b_status || o.b_status = "protocol_error"
+  in
+  let rec rounds ~round first_error =
+    let todo = List.filter pending (List.init n Fun.id) in
+    if todo = [] then Ok ()
+    else if round > retries then Ok ()
+    else begin
+      (if round > 0 then
+         (* back off before re-dialing: respect the largest
+            retry_after_ms hint collected this round *)
+         let floor_ms =
+           List.fold_left
+             (fun acc i ->
+               match retry_floor.(i) with
+               | Some ms -> max acc ms
+               | None -> acc)
+             0 todo
+         in
+         sleep
+           (backoff_delay ~key:socket ~attempt:round ~base ~cap
+              ~retry_after_ms:(if floor_ms > 0 then Some floor_ms else None)));
+      List.iter (fun i -> retry_floor.(i) <- None) todo;
+      match connect () with
+      | Error e ->
+          if round >= retries then
+            match first_error with
+            | Some e0 -> Error e0
+            | None -> Error e
+          else rounds ~round:(round + 1) (Some (Option.value first_error ~default:e))
+      | Ok fd ->
+          let result =
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                batch_round ?timeout ?max_response_bytes (reader_of_fd fd)
+                  jobs outcomes attempts retry_floor todo)
+          in
+          (match result with
+          | Error e -> Error e
+          | Ok _left -> rounds ~round:(round + 1) first_error)
+    end
+  in
+  match rounds ~round:0 None with
+  | Error e -> Error e
+  | Ok () ->
+      Ok
+        (Array.mapi
+           (fun i o ->
+             match o with
+             | Some o -> o
+             | None ->
+                 {
+                   b_input = jobs.(i).job_input;
+                   b_status =
+                     (if attempts.(i) = 0 then "unanswered" else "overloaded");
+                   b_json = Metrics.Null;
+                   b_attempts = attempts.(i);
+                 })
+           outcomes)

@@ -12,9 +12,60 @@ type error =
 val error_to_string : error -> string
 
 val request :
-  ?timeout:float -> socket:string -> Wire.request ->
-  (string * Metrics.json, error) result
+  ?timeout:float -> ?max_response_bytes:int -> socket:string ->
+  Wire.request -> (string * Metrics.json, error) result
 (** [request ~socket req] performs one round trip and returns the
     response's validated [status] plus the whole response document.
     [timeout] bounds the wait for the response line (default: none —
-    analyses can be slow; pass one for control verbs). *)
+    analyses can be slow; pass one for control verbs).
+    [max_response_bytes] bounds the reply: a longer line, a truncated
+    line (EOF mid-frame), or a non-JSON line is a [Protocol_error],
+    never a result. *)
+
+val backoff_delay :
+  key:string -> attempt:int -> base:float -> cap:float ->
+  retry_after_ms:int option -> float
+(** Seconds to wait before retry [attempt] (1-based): capped
+    exponential ([base·2{^attempt-1}], capped at [cap]) with ±25%
+    {e deterministic} jitter derived from [key] — the same key and
+    attempt always wait the same time (replayable tests), while
+    distinct keys spread out instead of herding.  A server
+    [retry_after_ms] hint floors the result. *)
+
+val request_with_retries :
+  ?timeout:float -> ?max_response_bytes:int -> ?sleep:(float -> unit) ->
+  ?base:float -> ?cap:float -> socket:string -> retries:int ->
+  Wire.request -> (string * Metrics.json * int, error) result
+(** {!request}, retried with {!backoff_delay} on ["overloaded"] sheds
+    (honoring the server's [retry_after_ms]) and on connection
+    failures, up to [retries] extra attempts.  Returns the final
+    status, document, and the number of attempts spent.  [sleep] is
+    injectable for tests ([base]=0.2s, [cap]=10s). *)
+
+(** {2 Batch: a corpus through one connection} *)
+
+type batch_job = {
+  job_input : string;  (** display name, echoed in the outcome *)
+  job_req : Wire.request;  (** its [id] is rewritten to the job index *)
+}
+
+type batch_outcome = {
+  b_input : string;
+  b_status : string;
+      (** final wire status; ["protocol_error"] when the stream died
+          and retries ran out; ["overloaded"] when every attempt was
+          shed *)
+  b_json : Metrics.json;  (** [Null] when no valid response arrived *)
+  b_attempts : int;
+}
+
+val batch :
+  ?timeout:float -> ?max_response_bytes:int -> ?sleep:(float -> unit) ->
+  ?base:float -> ?cap:float -> socket:string -> retries:int ->
+  batch_job array -> (batch_outcome array, error) result
+(** Stream every job down one connection (ids = job indexes), collect
+    the responses, then retry the shed or stream-orphaned jobs in
+    backoff-separated rounds (fresh connection per round, at most
+    [retries] extra rounds; the largest [retry_after_ms] hint floors
+    each round's backoff).  Every job ends with exactly one outcome.
+    [Error] only when the daemon is unreachable outright. *)

@@ -51,6 +51,21 @@ let m_drain_ms =
   Metrics.counter ~units:"ms" ~doc:"wall-clock spent in graceful drain"
     "daemon.drain_ms"
 
+let m_degraded =
+  Metrics.counter ~units:"requests"
+    ~doc:"analyze requests admitted at a reduced pressure-tier budget"
+    "daemon.degraded"
+
+let m_evictions =
+  Metrics.counter ~units:"entries"
+    ~doc:"resident cache entries evicted by the LRU bound"
+    "daemon.cache_evictions"
+
+let m_chaos =
+  Metrics.counter ~units:"faults"
+    ~doc:"chaos-plan faults injected (PRAX_INJECT_DAEMON / --chaos)"
+    "daemon.chaos_injected"
+
 let g_queue =
   Metrics.gauge ~units:"jobs" ~doc:"analyze jobs queued for a worker slot"
     "daemon.queue_depth"
@@ -58,6 +73,11 @@ let g_queue =
 let g_inflight =
   Metrics.gauge ~units:"jobs" ~doc:"analyze jobs running in workers"
     "daemon.inflight"
+
+let g_tier =
+  Metrics.gauge ~units:"tier"
+    ~doc:"pressure tier of the most recent admission (0 = full budget)"
+    "daemon.tier"
 
 (* --- configuration ------------------------------------------------------- *)
 
@@ -69,6 +89,9 @@ type config = {
   max_request_bytes : int;
   drain_deadline : float;
   store_dir : string option;
+  cache_entries : int;
+  cache_bytes : int;
+  chaos : Inject.daemon_plan;
   serve : Serve.config;
 }
 
@@ -81,6 +104,9 @@ let default_config ~socket_path =
     max_request_bytes = 8 * 1024 * 1024;
     drain_deadline = 5.;
     store_dir = None;
+    cache_entries = 512;
+    cache_bytes = 64 * 1024 * 1024;
+    chaos = [];
     serve = Serve.default_config;
   }
 
@@ -93,6 +119,8 @@ type conn = {
   mutable c_out : string;  (* bytes not yet written *)
   mutable c_closing : bool;  (* close once c_out drains *)
   mutable c_dead : bool;
+  mutable c_reset_armed : bool;
+      (* chaos: truncate the next response mid-frame and close *)
 }
 
 (* an admitted analyze job waiting for (or running in) the fleet *)
@@ -106,6 +134,8 @@ type pending = {
   jb_cache_key : string;
   jb_store_key : Store.key;
   jb_started : float;
+  jb_tier : Pressure.tier;  (* the admission tier; tags the response *)
+  jb_fault : Inject.worker_fault option;  (* chaos: planted on attempt 1 *)
 }
 
 type t = {
@@ -114,11 +144,12 @@ type t = {
   store : Store.t option;
   admission : Admission.t;
   jobs : (string, pending) Hashtbl.t;
-  cache : (string, string) Hashtbl.t;  (* resident complete results *)
+  cache : Lru.t;  (* resident complete results, entry+byte bounded *)
   mutable pool : Serve.Pool.t option;  (* built in [run] (needs self) *)
   mutable conns : conn list;
   mutable next_conn : int;
   mutable seq : int;
+  mutable analyze_seq : int;  (* chaos-plan ordinal: analyze arrivals *)
   mutable draining : bool;
   mutable drain_started : float;
 }
@@ -175,18 +206,35 @@ let listen (config : config) : t =
     store = Option.map Store.open_dir config.store_dir;
     admission = Admission.create ~rate:config.rate ~burst:config.burst;
     jobs = Hashtbl.create 64;
-    cache = Hashtbl.create 64;
+    cache =
+      Lru.create
+        ~on_evict:(fun ~key:_ -> Metrics.incr m_evictions)
+        ~max_entries:config.cache_entries ~max_bytes:config.cache_bytes ();
     pool = None;
     conns = [];
     next_conn = 0;
     seq = 0;
+    analyze_seq = 0;
     draining = false;
     drain_started = 0.;
   }
 
 (* --- responses ------------------------------------------------------------ *)
 
-let send conn line = if not conn.c_dead then conn.c_out <- conn.c_out ^ line ^ "\n"
+let send conn line =
+  if not conn.c_dead then
+    if conn.c_reset_armed then begin
+      (* chaos conn-reset: the response was generated (the
+         one-response-per-request invariant holds daemon-side) but only
+         half its bytes reach the wire before the connection closes —
+         the client must classify this as a protocol error, never as a
+         result *)
+      conn.c_reset_armed <- false;
+      Metrics.incr m_chaos;
+      conn.c_out <- conn.c_out ^ String.sub line 0 (String.length line / 2);
+      conn.c_closing <- true
+    end
+    else conn.c_out <- conn.c_out ^ line ^ "\n"
 
 let respond conn ~id ~status extra = send conn (Wire.response ~id ~status extra)
 
@@ -200,17 +248,17 @@ let cache_key (k : Store.key) =
       string_of_int k.Store.schema_version ]
 
 let warm_lookup d (p : string) (k : Store.key) =
-  match Hashtbl.find_opt d.cache p with
+  match Lru.find d.cache p with
   | Some payload -> Some payload
   | None -> (
       match Option.bind d.store (fun s -> Store.load s k) with
       | Some payload ->
-          Hashtbl.replace d.cache p payload;
+          Lru.put d.cache p payload;
           Some payload
       | None -> None)
 
 let cache_put d (p : string) (k : Store.key) payload =
-  Hashtbl.replace d.cache p payload;
+  Lru.put d.cache p payload;
   Option.iter (fun s -> Store.save s k payload) d.store
 
 (* --- request handling ----------------------------------------------------- *)
@@ -228,7 +276,50 @@ let stats_json d =
   Metrics.stats_doc ~tool:"praxd" ~analysis:"daemon"
     ~input:d.config.socket_path (Metrics.snapshot ())
 
+let begin_drain d =
+  if not d.draining then begin
+    d.draining <- true;
+    d.drain_started <- Unix.gettimeofday ();
+    (* stop accepting at once: close and remove the socket so new
+       connects fail fast instead of queueing in the backlog *)
+    (try Unix.close d.listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink d.config.socket_path with Unix.Unix_error _ -> ()
+  end
+
+let ms_of_seconds s = int_of_float (Float.ceil (s *. 1000.))
+
+(* Chaos plan: fire the faults scheduled for this analyze arrival
+   (1-based ordinal, counted before any admission decision so a plan
+   replays identically against the same request sequence).  Returns the
+   worker fault to plant on this request's job, if any. *)
+let apply_chaos d conn : Inject.worker_fault option =
+  match d.config.chaos with
+  | [] -> None
+  | plan ->
+      let worker_fault = ref None in
+      List.iter
+        (fun (fault : Inject.daemon_fault) ->
+          match fault with
+          | Inject.Worker wf -> worker_fault := Some wf
+          | Inject.Conn_reset ->
+              (* fires (and is counted) in [send], on this request's
+                 own response *)
+              conn.c_reset_armed <- true
+          | Inject.Store_write sf ->
+              Metrics.incr m_chaos;
+              Store.arm_write_fault
+                (match sf with
+                | Inject.Enospc -> Store.Fault_enospc
+                | Inject.Short_write -> Store.Fault_short_write)
+          | Inject.Drain_now ->
+              Metrics.incr m_chaos;
+              begin_drain d)
+        (Inject.daemon_faults_at plan d.analyze_seq);
+      !worker_fault
+
 let handle_analyze d conn ~id ~client ~analysis ~input ~source ~config =
+  d.analyze_seq <- d.analyze_seq + 1;
+  let chaos_fault = apply_chaos d conn in
   if d.draining then
     respond conn ~id ~status:"draining"
       [ ("reason", Metrics.Str "daemon is draining") ]
@@ -241,76 +332,93 @@ let handle_analyze d conn ~id ~client ~analysis ~input ~source ~config =
     if not (Admission.admit d.admission ~client ~now) then begin
       Metrics.incr m_shed_rate;
       respond conn ~id ~status:"overloaded"
-        [ ("reason", Metrics.Str "rate_limited"); ("client", Metrics.Str client) ]
-    end
-    else if Serve.Pool.pending pool >= d.config.max_queue then begin
-      Metrics.incr m_shed_queue;
-      respond conn ~id ~status:"overloaded"
         [
-          ("reason", Metrics.Str "queue_full");
-          ("queue_depth", Metrics.Int (Serve.Pool.pending pool));
-          ("max_queue", Metrics.Int d.config.max_queue);
+          ("reason", Metrics.Str "rate_limited");
+          ("client", Metrics.Str client);
+          ( "retry_after_ms",
+            Metrics.Int
+              (ms_of_seconds (Admission.retry_after d.admission ~client ~now))
+          );
         ]
     end
     else
-      match Analysis.find analysis with
-      | None ->
-          respond conn ~id ~status:"error"
+      (* pressure-tiered admission (docs/ROBUSTNESS.md): below the shed
+         point the request is admitted at the occupancy tier's budget
+         scale — degrade, don't drop *)
+      match
+        Pressure.decide ~max_queue:d.config.max_queue
+          ~jobs:d.config.serve.Serve.jobs ~pending:(Serve.Pool.pending pool)
+          ~inflight:(Serve.Pool.inflight pool)
+      with
+      | Pressure.Shed { retry_after_ms } ->
+          Metrics.incr m_shed_queue;
+          respond conn ~id ~status:"overloaded"
             [
-              ( "reason",
-                Metrics.Str
-                  (Printf.sprintf "unknown analysis %s (registered: %s)"
-                     analysis
-                     (String.concat ", " (Analysis.names ()))) );
+              ("reason", Metrics.Str "queue_full");
+              ("queue_depth", Metrics.Int (Serve.Pool.pending pool));
+              ("max_queue", Metrics.Int d.config.max_queue);
+              ("retry_after_ms", Metrics.Int retry_after_ms);
             ]
-      | Some a -> (
-          match Analysis.merge_config ~defaults:a.Analysis.defaults config with
-          | Error msg ->
-              respond conn ~id ~status:"error" [ ("reason", Metrics.Str msg) ]
-          | Ok cfg -> (
-              let store_key =
-                {
-                  Store.analysis = a.Analysis.name;
-                  source_digest = Store.digest_source source;
-                  config = Analysis.config_to_string cfg;
-                  schema_version = Analysis.report_schema_version;
-                }
-              in
-              let ckey = cache_key store_key in
-              match warm_lookup d ckey store_key with
-              | Some payload ->
-                  Metrics.incr m_warm;
-                  Metrics.add m_warm_ms
-                    (int_of_float ((Unix.gettimeofday () -. now) *. 1000.));
-                  respond conn ~id ~status:"cached" (report_field payload)
-              | None ->
-                  d.seq <- d.seq + 1;
-                  let job =
-                    Printf.sprintf "%s:%s#%d" a.Analysis.name input d.seq
-                  in
-                  Hashtbl.replace d.jobs job
+      | Pressure.Admit tier -> (
+          Metrics.set g_tier tier.Pressure.level;
+          match Analysis.find analysis with
+          | None ->
+              respond conn ~id ~status:"error"
+                [
+                  ( "reason",
+                    Metrics.Str
+                      (Printf.sprintf "unknown analysis %s (registered: %s)"
+                         analysis
+                         (String.concat ", " (Analysis.names ()))) );
+                ]
+          | Some a -> (
+              match
+                Analysis.merge_config ~defaults:a.Analysis.defaults config
+              with
+              | Error msg ->
+                  respond conn ~id ~status:"error"
+                    [ ("reason", Metrics.Str msg) ]
+              | Ok cfg -> (
+                  let store_key =
                     {
-                      jb_conn = conn.c_id;
-                      jb_reqid = id;
-                      jb_analysis = a;
-                      jb_config = cfg;
-                      jb_input = input;
-                      jb_source = source;
-                      jb_cache_key = ckey;
-                      jb_store_key = store_key;
-                      jb_started = now;
-                    };
-                  Serve.Pool.submit pool job))
-
-let begin_drain d =
-  if not d.draining then begin
-    d.draining <- true;
-    d.drain_started <- Unix.gettimeofday ();
-    (* stop accepting at once: close and remove the socket so new
-       connects fail fast instead of queueing in the backlog *)
-    (try Unix.close d.listen_fd with Unix.Unix_error _ -> ());
-    try Unix.unlink d.config.socket_path with Unix.Unix_error _ -> ()
-  end
+                      Store.analysis = a.Analysis.name;
+                      source_digest = Store.digest_source source;
+                      config = Analysis.config_to_string cfg;
+                      schema_version = Analysis.report_schema_version;
+                    }
+                  in
+                  let ckey = cache_key store_key in
+                  match warm_lookup d ckey store_key with
+                  | Some payload ->
+                      Metrics.incr m_warm;
+                      Metrics.add m_warm_ms
+                        (int_of_float ((Unix.gettimeofday () -. now) *. 1000.));
+                      respond conn ~id ~status:"cached" (report_field payload)
+                  | None ->
+                      if tier.Pressure.level > 0 then Metrics.incr m_degraded;
+                      (match chaos_fault with
+                      | Some _ -> Metrics.incr m_chaos
+                      | None -> ());
+                      d.seq <- d.seq + 1;
+                      let job =
+                        Printf.sprintf "%s:%s#%d" a.Analysis.name input d.seq
+                      in
+                      Hashtbl.replace d.jobs job
+                        {
+                          jb_conn = conn.c_id;
+                          jb_reqid = id;
+                          jb_analysis = a;
+                          jb_config = cfg;
+                          jb_input = input;
+                          jb_source = source;
+                          jb_cache_key = ckey;
+                          jb_store_key = store_key;
+                          jb_started = now;
+                          jb_tier = tier;
+                          jb_fault = chaos_fault;
+                        };
+                      Serve.Pool.submit pool
+                        ~budget_scale:tier.Pressure.scale job)))
 
 let handle_line d conn line =
   Metrics.incr m_requests;
@@ -389,8 +497,17 @@ let finish_report d (r : Serve.report) =
             | None -> ("complete", [])
             | Some reason -> ("partial", [ ("reason", Metrics.Str reason) ])
           in
+          let tier_fields =
+            if p.jb_tier.Pressure.level > 0 then
+              [
+                ("degraded", Metrics.Bool true);
+                ("tier", Metrics.Int p.jb_tier.Pressure.level);
+                ("tier_label", Metrics.Str p.jb_tier.Pressure.label);
+              ]
+            else []
+          in
           respond_opt ~status
-            (extra
+            (extra @ tier_fields
             @ [ ("attempts", Metrics.Int r.Serve.attempts) ]
             @ report_field payload)
       | Serve.Crashed { what; stderr; _ } ->
@@ -422,6 +539,7 @@ let accept_ready d =
             c_out = "";
             c_closing = false;
             c_dead = false;
+            c_reset_armed = false;
           }
           :: d.conns;
         loop ()
@@ -468,6 +586,10 @@ let run ?on_ready (d : t) : unit =
     | Some fault -> Inject.apply_worker_fault fault
     | None -> ());
     let p = Hashtbl.find d.jobs job in
+    (* chaos-plan worker faults fire on the first attempt only, so the
+       pool's retry ladder absorbs them and the client still gets its
+       one structured response *)
+    if attempt = 1 then Option.iter Inject.apply_worker_fault p.jb_fault;
     let rep =
       p.jb_analysis.Analysis.run ~config:p.jb_config ~guard p.jb_source
     in

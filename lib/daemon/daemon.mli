@@ -17,17 +17,26 @@
 
     + {b drain check} — a draining daemon answers ["draining"];
     + {b rate limit} — the client's token bucket ([rate]/[burst]);
-      empty answers ["overloaded"/"rate_limited"] ([daemon.shed_rate]);
-    + {b queue depth} — pool backlog at [max_queue] answers
-      ["overloaded"/"queue_full"] ([daemon.shed_queue]);
+      empty answers ["overloaded"/"rate_limited"] with a
+      [retry_after_ms] refill hint ([daemon.shed_rate]);
+    + {b pressure tier} — {!Pressure.decide} on pool occupancy: backlog
+      at [max_queue] sheds with ["overloaded"/"queue_full"] and a
+      [retry_after_ms] hint ([daemon.shed_queue]); below that the
+      request is {e admitted} at the tier's guard-budget scale
+      (full ×1.0 under 50% occupancy, reduced ×0.5 under 75%, minimal
+      ×0.25 above) — degrade, don't drop.  A reduced-tier admission
+      bumps [daemon.degraded] and its eventual result carries
+      [degraded]/[tier]/[tier_label] fields;
     + {b registry validation} — unknown analysis or config key answers
       ["error"] (the caller's fault, not load);
     + {b warm cache} — a resident (or stored) complete result for the
       same (analysis, source bytes, config, schema) answers ["cached"]
-      without forking ([daemon.warm_hits]);
+      without forking ([daemon.warm_hits]).  The resident cache is
+      LRU-bounded by [cache_entries]/[cache_bytes]
+      ([daemon.cache_evictions]);
     + otherwise the job joins the fleet; its budget is the [serve]
-      config's guard spec, so a budget-tripped job degrades to
-      ["partial"] instead of being shed.
+      config's guard spec scaled by the admission tier, so a
+      budget-tripped job degrades to ["partial"] instead of being shed.
 
     Malformed frames answer ["rejected"] and poison only themselves;
     an oversized frame loses framing, so it also closes its connection
@@ -44,13 +53,29 @@
     finally the socket and pidfile are removed and [daemon.drain_ms]
     records the drain.  {!run} then returns — the process exits 0.
 
+    {2 Chaos harness}
+
+    [config.chaos] is a deterministic fault plan
+    ({!Prax_guard.Inject.daemon_plan}, from [praxd serve --chaos] or
+    [PRAX_INJECT_DAEMON]): each fault fires when the Nth [analyze]
+    request arrives (1-based, counted before admission).  Worker faults
+    (crash/exit/hang) are planted on that request's job for attempt 1
+    only, so the pool's retry ladder absorbs them; [conn-reset] flushes
+    half the response line and closes; [store-enospc]/
+    [store-short-write] arm a one-shot contained {!Prax_store.Store}
+    write fault; [drain] begins graceful drain mid-load.  The invariant
+    under any plan: every request gets exactly one structured response
+    and the daemon exits clean ([daemon.chaos_injected] counts firings).
+
     Counters/gauges (stats schema v5, docs/METRICS.md):
     [daemon.accepted], [daemon.requests], [daemon.shed_queue],
     [daemon.shed_rate], [daemon.rejected_bad_frame], [daemon.warm_hits],
     [daemon.cold_ms], [daemon.warm_ms], [daemon.drain_ms],
-    [daemon.queue_depth], [daemon.inflight]. *)
+    [daemon.degraded], [daemon.cache_evictions], [daemon.chaos_injected],
+    [daemon.queue_depth], [daemon.inflight], [daemon.tier]. *)
 
 module Serve = Prax_serve.Serve
+module Inject = Prax_guard.Inject
 
 type config = {
   socket_path : string;
@@ -60,6 +85,9 @@ type config = {
   max_request_bytes : int;  (** request-line cap *)
   drain_deadline : float;  (** seconds granted to in-flight jobs on drain *)
   store_dir : string option;  (** persistent backing for the warm cache *)
+  cache_entries : int;  (** resident-cache LRU entry cap (≥ 1) *)
+  cache_bytes : int;  (** resident-cache LRU byte cap (≥ 1) *)
+  chaos : Inject.daemon_plan;  (** deterministic fault schedule; [[]] = off *)
   serve : Serve.config;
       (** the worker fleet: [serve.jobs] is the in-flight cap, its
           budget/retry/watchdog knobs apply per job *)
@@ -67,7 +95,8 @@ type config = {
 
 val default_config : socket_path:string -> config
 (** [max_queue=32; rate=0 (off); burst=8; max_request_bytes=8M;
-    drain_deadline=5s; store_dir=None; serve=Serve.default_config]. *)
+    drain_deadline=5s; store_dir=None; cache_entries=512;
+    cache_bytes=64M; chaos=[]; serve=Serve.default_config]. *)
 
 type t
 

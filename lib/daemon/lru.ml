@@ -1,0 +1,106 @@
+(** Bounded LRU cache — see lru.mli. *)
+
+(* Classic hash-table-plus-doubly-linked-list: O(1) find/put/evict.
+   Nodes are mutable records; [t.head] is most recent, [t.tail] least. *)
+
+type node = {
+  n_key : string;
+  mutable n_value : string;
+  mutable n_prev : node option;
+  mutable n_next : node option;
+}
+
+type t = {
+  max_entries : int;
+  max_bytes : int;
+  on_evict : (key:string -> unit) option;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable bytes : int;
+}
+
+let create ?on_evict ~max_entries ~max_bytes () =
+  {
+    max_entries = max 1 max_entries;
+    max_bytes = max 1 max_bytes;
+    on_evict;
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    bytes = 0;
+  }
+
+let entry_bytes n = String.length n.n_key + String.length n.n_value
+
+let unlink t n =
+  (match n.n_prev with
+  | Some p -> p.n_next <- n.n_next
+  | None -> t.head <- n.n_next);
+  (match n.n_next with
+  | Some nx -> nx.n_prev <- n.n_prev
+  | None -> t.tail <- n.n_prev);
+  n.n_prev <- None;
+  n.n_next <- None
+
+let push_front t n =
+  n.n_next <- t.head;
+  n.n_prev <- None;
+  (match t.head with Some h -> h.n_prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+      unlink t n;
+      push_front t n
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some n ->
+      touch t n;
+      Some n.n_value
+
+let drop t n ~evicted =
+  unlink t n;
+  Hashtbl.remove t.table n.n_key;
+  t.bytes <- t.bytes - entry_bytes n;
+  if evicted then
+    match t.on_evict with Some f -> f ~key:n.n_key | None -> ()
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some n -> drop t n ~evicted:false
+
+let rec evict_until_fits t =
+  if Hashtbl.length t.table > t.max_entries || t.bytes > t.max_bytes then
+    match t.tail with
+    | None -> ()
+    | Some lru ->
+        drop t lru ~evicted:true;
+        evict_until_fits t
+
+let put t key value =
+  let incoming = String.length key + String.length value in
+  if incoming > t.max_bytes then
+    (* would evict everything and still not fit: refuse quietly *)
+    remove t key
+  else begin
+    (match Hashtbl.find_opt t.table key with
+    | Some n ->
+        t.bytes <- t.bytes - entry_bytes n + incoming;
+        n.n_value <- value;
+        touch t n
+    | None ->
+        let n = { n_key = key; n_value = value; n_prev = None; n_next = None } in
+        Hashtbl.replace t.table key n;
+        t.bytes <- t.bytes + incoming;
+        push_front t n);
+    evict_until_fits t
+  end
+
+let length t = Hashtbl.length t.table
+let bytes t = t.bytes

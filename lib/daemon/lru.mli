@@ -1,0 +1,34 @@
+(** Bounded LRU cache for the daemon's resident results.
+
+    The daemon used to keep every complete result in an unbounded
+    [Hashtbl] — fine for a test run, unbounded growth for a resident
+    process serving distinct sources forever.  This replaces it with a
+    doubly-linked LRU bounded both by entry count and by total payload
+    bytes: inserting past either cap evicts least-recently-used entries
+    until both hold (the caller counts evictions via [on_evict] —
+    [daemon.cache_evictions]).
+
+    A single value larger than [max_bytes] is never admitted (it would
+    evict the whole cache to hold one entry that could not even stay).
+
+    String keys and values; byte accounting is [String.length key +
+    String.length value] per entry. *)
+
+type t
+
+val create : ?on_evict:(key:string -> unit) -> max_entries:int -> max_bytes:int -> unit -> t
+(** Caps are clamped to at least 1 entry / 1 byte. *)
+
+val find : t -> string -> string option
+(** Lookup; a hit becomes most-recently-used. *)
+
+val put : t -> string -> string -> unit
+(** Insert or replace (a replace refreshes recency), then evict LRU
+    entries until both caps hold.  Oversized values (entry bytes >
+    [max_bytes]) are dropped without evicting anything. *)
+
+val remove : t -> string -> unit
+
+val length : t -> int
+val bytes : t -> int
+(** Live entries and their byte total — observability and tests. *)

@@ -1,0 +1,35 @@
+(** Pressure-tiered admission — see pressure.mli. *)
+
+type tier = { level : int; label : string; scale : float }
+
+type decision = Admit of tier | Shed of { retry_after_ms : int }
+
+(* The ladder is deliberately short: two degraded rungs are enough to
+   flatten the cliff, and each rung must still leave a budget a typical
+   job can do useful work under (scale_spec floors at 1ms/1step). *)
+let tiers =
+  [
+    { level = 0; label = "full"; scale = 1.0 };
+    { level = 1; label = "reduced"; scale = 0.5 };
+    { level = 2; label = "minimal"; scale = 0.25 };
+  ]
+
+let occupancy ~max_queue ~jobs ~pending ~inflight =
+  let capacity = float_of_int (max 1 max_queue + max 1 jobs) in
+  let load = float_of_int (max 0 pending + max 0 inflight) /. capacity in
+  Float.min 1.0 (Float.max 0.0 load)
+
+let tier_of_occupancy o =
+  if o < 0.5 then List.nth tiers 0
+  else if o < 0.75 then List.nth tiers 1
+  else List.nth tiers 2
+
+let retry_after_ms ~jobs ~pending ~inflight =
+  let backlog = max 0 pending + max 0 inflight in
+  let per_slot = (backlog + max 1 jobs - 1) / max 1 jobs in
+  min 5000 (max 50 (100 * per_slot))
+
+let decide ~max_queue ~jobs ~pending ~inflight =
+  if pending >= max 1 max_queue then
+    Shed { retry_after_ms = retry_after_ms ~jobs ~pending ~inflight }
+  else Admit (tier_of_occupancy (occupancy ~max_queue ~jobs ~pending ~inflight))

@@ -1,0 +1,62 @@
+(** Pressure-tiered admission: degrade, don't drop.
+
+    The daemon's queue-depth check used to be binary — under [max_queue]
+    a job ran at full budget, at [max_queue] it was shed with
+    ["overloaded"].  The guard layer already knows how to produce sound
+    [Partial] results under a reduced budget ({!Prax_guard.Guard.scale_spec}),
+    so the binary cliff wastes the whole middle of the ladder: a daemon
+    at 80% occupancy could still answer every request, just less
+    exhaustively.
+
+    This module computes a {e load level} from the pool's queue depth
+    and in-flight count and maps it onto a tier ladder:
+
+    {v occupancy = (pending + inflight) / (max_queue + jobs)
+
+tier 0  "full"      occupancy < 1/2   budget x 1.0
+tier 1  "reduced"   occupancy < 3/4   budget x 0.5
+tier 2  "minimal"   otherwise         budget x 0.25
+shed                pending >= max_queue v}
+
+    The shed point is unchanged from the binary daemon — a full queue
+    still answers ["overloaded"]/["queue_full"] — but everything below
+    it now admits, at a budget scaled by the tier.  A budget-tripped
+    job degrades to a sound ["partial"] result instead of an outright
+    refusal, and the response is tagged ([degraded], [tier]) so clients
+    can tell a full-fidelity answer from a load-shaped one.
+
+    Sheds carry a [retry_after_ms] hint proportional to the backlog per
+    worker slot, so retrying clients back off against actual load
+    rather than a blind constant.
+
+    Everything here is pure arithmetic over the pool counters — fully
+    deterministic and unit-testable without a daemon. *)
+
+type tier = {
+  level : int;  (** 0 = full budget; higher = more degraded *)
+  label : string;  (** ["full"], ["reduced"], ["minimal"] *)
+  scale : float;  (** budget multiplier for {!Prax_guard.Guard.scale_spec} *)
+}
+
+type decision =
+  | Admit of tier
+  | Shed of { retry_after_ms : int }
+      (** queue full; the hint says when a retry has a chance *)
+
+val tiers : tier list
+(** The ladder, level 0 first.  Exposed for docs and tests. *)
+
+val occupancy : max_queue:int -> jobs:int -> pending:int -> inflight:int -> float
+(** [(pending + inflight) / (max_queue + jobs)], clamped to [0, 1].
+    [max_queue] and [jobs] are clamped to at least 1. *)
+
+val decide :
+  max_queue:int -> jobs:int -> pending:int -> inflight:int -> decision
+(** The admission decision for one analyze request given the pool
+    counters at arrival.  [Shed] exactly when [pending >= max_queue]
+    (the pre-tier daemon's shed point); otherwise [Admit] with the
+    occupancy's tier. *)
+
+val retry_after_ms : jobs:int -> pending:int -> inflight:int -> int
+(** The shed hint: [100ms] per backlogged job per worker slot, clamped
+    to [50, 5000] ms.  Deterministic in the counters. *)

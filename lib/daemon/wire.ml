@@ -127,3 +127,8 @@ let response_status (j : Metrics.json) : (string, string) result =
       match Metrics.member "status" j with
       | Some (Metrics.Str s) -> Ok s
       | _ -> Error "missing status")
+
+let retry_after_ms (j : Metrics.json) : int option =
+  match Metrics.member "retry_after_ms" j with
+  | Some (Metrics.Int ms) when ms >= 0 -> Some ms
+  | _ -> None

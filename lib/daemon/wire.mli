@@ -31,7 +31,13 @@
     - ["crashed"] — the worker fleet exhausted its retries; [error]
       describes the last attempt;
     - ["overloaded"] — load shed {e before} any work: [reason] is
-      ["queue_full"] or ["rate_limited"]; retry later;
+      ["queue_full"] or ["rate_limited"], and [retry_after_ms] hints
+      how long to back off before retrying;
+
+    Additive fields (still wire version 1 — absent means old server,
+    readers must tolerate both): a result computed under pressure
+    carries [degraded:true], [tier] (1 = reduced, 2 = minimal) and
+    [tier_label]; sheds carry [retry_after_ms].
     - ["rejected"] — this request was malformed or oversized; [reason]
       says why (only the request is poisoned, not the connection —
       except oversize, which loses framing and closes it);
@@ -82,3 +88,7 @@ val response : id:Metrics.json -> status:string ->
 val response_status : Metrics.json -> (string, string) result
 (** Validate a parsed response's schema header and extract its
     [status] — the client side. *)
+
+val retry_after_ms : Metrics.json -> int option
+(** The [retry_after_ms] hint on an ["overloaded"] shed, when present
+    and non-negative — drives the client's backoff floor. *)

@@ -128,3 +128,145 @@ let apply_worker_fault : worker_fault -> unit = function
       while true do
         Unix.sleepf 3600.
       done
+
+(** {1 Daemon chaos plans}
+
+    The worker faults above are keyed by job; a resident daemon has
+    failure modes no job selector can reach — a client connection reset
+    mid-response, the snapshot store hitting [ENOSPC], a drain arriving
+    under load.  A {e chaos plan} schedules such faults at scripted
+    points: each entry fires when the daemon admits its Nth [analyze]
+    request (1-based, counted at arrival, before any admission
+    decision), so a plan replays identically against the same request
+    sequence.  The invariant the harness asserts around every plan:
+    {e every request gets exactly one structured response} (the
+    scripted reset victim's response is deliberately truncated — that
+    {e is} the fault — but the daemon still generated it once) {e and
+    the daemon exits clean}.
+
+    Grammar of [PRAX_INJECT_DAEMON] (comma-separated [kind\@N]):
+
+    {v crash@1,reset@3,enospc@4,drain@6
+
+kind ∈ crash | exit | hang   worker fault on request N's job
+       reset                 truncate request N's response mid-frame
+                             and close its connection
+       enospc | shortwrite   fail the next store write (N's snapshot)
+       drain                 begin graceful drain when request N arrives v}
+
+    The same plan can be shipped as a JSON file ([praxd serve --chaos
+    plan.json]): [{"faults":[{"at":1,"fault":"worker-crash"},...]}]
+    with fault names [worker-crash], [worker-exit], [worker-hang],
+    [conn-reset], [store-enospc], [store-short-write], [drain]. *)
+
+type store_fault = Enospc | Short_write
+
+type daemon_fault =
+  | Worker of worker_fault
+  | Conn_reset
+  | Store_write of store_fault
+  | Drain_now
+
+(** Fire points are 1-based analyze-request ordinals; multiple faults
+    may share an ordinal. *)
+type daemon_plan = (int * daemon_fault) list
+
+let inject_daemon_var = "PRAX_INJECT_DAEMON"
+
+let daemon_fault_of_name = function
+  | "crash" | "worker-crash" -> Some (Worker Kill_self)
+  | "exit" | "worker-exit" -> Some (Worker Exit_nonzero)
+  | "hang" | "worker-hang" -> Some (Worker Hang)
+  | "reset" | "conn-reset" -> Some Conn_reset
+  | "enospc" | "store-enospc" -> Some (Store_write Enospc)
+  | "shortwrite" | "store-short-write" -> Some (Store_write Short_write)
+  | "drain" -> Some Drain_now
+  | _ -> None
+
+let daemon_fault_name = function
+  | Worker Kill_self -> "worker-crash"
+  | Worker Exit_nonzero -> "worker-exit"
+  | Worker Hang -> "worker-hang"
+  | Conn_reset -> "conn-reset"
+  | Store_write Enospc -> "store-enospc"
+  | Store_write Short_write -> "store-short-write"
+  | Drain_now -> "drain"
+
+(** Parse the compact [kind\@N] grammar.  Errors name the bad
+    directive — a misspelled chaos plan must fail loudly at startup,
+    never silently run a different drill. *)
+let daemon_plan_of_string (value : string) : (daemon_plan, string) result =
+  let directive d =
+    let d = String.trim d in
+    match String.index_opt d '@' with
+    | None -> Error (Printf.sprintf "bad chaos directive %S (want kind@N)" d)
+    | Some i -> (
+        let kind = String.sub d 0 i in
+        let at_s = String.sub d (i + 1) (String.length d - i - 1) in
+        match (daemon_fault_of_name kind, int_of_string_opt at_s) with
+        | Some fault, Some at when at >= 1 -> Ok (at, fault)
+        | None, _ -> Error (Printf.sprintf "unknown chaos fault %S" kind)
+        | _, _ ->
+            Error
+              (Printf.sprintf "bad chaos fire point %S (want an ordinal >= 1)"
+                 at_s))
+  in
+  let rec all acc = function
+    | [] -> Ok (List.rev acc)
+    | d :: rest -> (
+        match directive d with
+        | Ok entry -> all (entry :: acc) rest
+        | Error _ as e -> e)
+  in
+  String.split_on_char ',' value
+  |> List.filter (fun s -> String.trim s <> "")
+  |> all []
+
+let daemon_plan_of_env () : (daemon_plan, string) result =
+  match Sys.getenv_opt inject_daemon_var with
+  | None | Some "" -> Ok []
+  | Some v -> daemon_plan_of_string v
+
+(** Parse a JSON plan document: [{"faults":[{"at":N,"fault":NAME},...]}]
+    (or the bare array). *)
+let daemon_plan_of_json (text : string) : (daemon_plan, string) result =
+  let module M = Prax_metrics.Metrics in
+  match M.json_of_string text with
+  | exception _ -> Error "chaos plan is not JSON"
+  | doc -> (
+      let entries =
+        match doc with
+        | M.Arr l -> Ok l
+        | M.Obj _ -> (
+            match M.member "faults" doc with
+            | Some (M.Arr l) -> Ok l
+            | Some _ -> Error "chaos plan: \"faults\" must be an array"
+            | None -> Error "chaos plan: missing \"faults\" array")
+        | _ -> Error "chaos plan: expected an object or array"
+      in
+      match entries with
+      | Error _ as e -> e
+      | Ok l ->
+          let entry j =
+            match (M.member "at" j, M.member "fault" j) with
+            | Some (M.Int at), Some (M.Str name) when at >= 1 -> (
+                match daemon_fault_of_name name with
+                | Some f -> Ok (at, f)
+                | None -> Error (Printf.sprintf "unknown chaos fault %S" name))
+            | _ ->
+                Error
+                  "chaos plan entry: want {\"at\": <ordinal >= 1>, \
+                   \"fault\": <name>}"
+          in
+          let rec all acc = function
+            | [] -> Ok (List.rev acc)
+            | j :: rest -> (
+                match entry j with
+                | Ok e -> all (e :: acc) rest
+                | Error _ as e -> e)
+          in
+          all [] l)
+
+(** The faults scheduled for analyze-request ordinal [n]. *)
+let daemon_faults_at (plan : daemon_plan) n : daemon_fault list =
+  List.filter_map (fun (at, f) -> if at = n then Some f else None) plan

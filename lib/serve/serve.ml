@@ -178,15 +178,18 @@ let budget_scale config attempt =
   if attempt <= 2 then 1.0
   else config.reduced_budget_factor ** float_of_int (attempt - 2)
 
-let child_run config ~worker ~job ~attempt result_fd : 'never =
+let child_run config ~scale ~worker ~job ~attempt result_fd : 'never =
   let finish code =
     (try Unix.close result_fd with Unix.Unix_error _ -> ());
     Unix._exit code
   in
   let status, payload =
     try
+      (* the attempt ladder's scale composes with the host's per-job
+         scale (the daemon's pressure tier) multiplicatively *)
       let guard =
-        Guard.of_spec (Guard.scale_spec config.budget (budget_scale config attempt))
+        Guard.of_spec
+          (Guard.scale_spec config.budget (budget_scale config attempt *. scale))
       in
       worker ~job ~attempt ~guard
     with exn ->
@@ -219,6 +222,7 @@ type running = {
   r_crashes : crash list;
   r_first_spawn : float;
   r_backoff : float;
+  r_scale : float;
 }
 
 type waiting = {
@@ -228,6 +232,7 @@ type waiting = {
   w_crashes : crash list;
   w_first_spawn : float option;
   w_backoff : float;
+  w_scale : float;  (* host-supplied budget scale (pressure tier) *)
 }
 
 let signal_name =
@@ -302,7 +307,7 @@ module Pool = struct
       p_running = [];
     }
 
-  let submit t job =
+  let submit t ?(budget_scale = 1.0) job =
     Metrics.incr m_jobs;
     t.p_waiting <-
       t.p_waiting
@@ -314,6 +319,7 @@ module Pool = struct
             w_crashes = [];
             w_first_spawn = None;
             w_backoff = 0.;
+            w_scale = budget_scale;
           };
         ]
 
@@ -371,8 +377,8 @@ module Pool = struct
         | None -> ());
         Unix.dup2 e_write Unix.stderr;
         Unix.close e_write;
-        child_run config ~worker:t.p_worker ~job:w.w_job ~attempt:w.w_attempt
-          r_write
+        child_run config ~scale:w.w_scale ~worker:t.p_worker ~job:w.w_job
+          ~attempt:w.w_attempt r_write
     | pid ->
         Unix.close r_write;
         Unix.close e_write;
@@ -394,6 +400,7 @@ module Pool = struct
             r_crashes = w.w_crashes;
             r_first_spawn = Option.value w.w_first_spawn ~default:now;
             r_backoff = w.w_backoff;
+            r_scale = w.w_scale;
           }
           :: t.p_running
 
@@ -492,6 +499,7 @@ module Pool = struct
               w_crashes = crash :: r.r_crashes;
               w_first_spawn = Some r.r_first_spawn;
               w_backoff = r.r_backoff +. delay;
+              w_scale = r.r_scale;
             }
             :: t.p_waiting;
           None

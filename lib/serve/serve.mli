@@ -129,9 +129,13 @@ module Pool : sig
       their default dispositions so a host's drain handler never leaks
       into children. *)
 
-  val submit : t -> string -> unit
+  val submit : t -> ?budget_scale:float -> string -> unit
   (** Enqueue a job (counted in [serve.jobs]); it spawns on a later
-      {!step} when a slot is free. *)
+      {!step} when a slot is free.  [budget_scale] (default 1.0)
+      multiplies the config's guard budget for every attempt of this
+      job — the daemon's pressure-tier degradation hook
+      (docs/ROBUSTNESS.md); it composes with the per-attempt
+      reduced-budget ladder. *)
 
   val pending : t -> int
   (** Jobs submitted (or awaiting retry) but not currently running. *)

@@ -31,6 +31,12 @@ let m_tmp_swept =
     ~doc:"orphaned temp files from crashed writers removed at store open"
     "store.tmp_swept"
 
+let m_write_errors =
+  Metrics.counter ~units:"snapshots"
+    ~doc:"snapshot writes that failed (ENOSPC, short write, IO error) and \
+          were contained: the result stays unpersisted, the caller unaffected"
+    "store.write_errors"
+
 let format_version = 1
 let magic = "PRAXSNAP"
 
@@ -273,7 +279,24 @@ let load t k = match load_result t k with Ok p -> Some p | Error _ -> None
 
 let tmp_counter = ref 0
 
-let save t (k : key) (payload : string) : unit =
+(* Fault injection for the chaos harness (docs/ROBUSTNESS.md): arm a
+   one-shot write fault and the next [save] fails as if the disk did —
+   [Enospc] before any payload byte lands, [Short_write] after half of
+   them.  Armed by the daemon's chaos plan; a store fault must degrade
+   to "result not persisted", never to a crashed caller or a published
+   torn snapshot. *)
+type write_fault = Fault_enospc | Fault_short_write
+
+let armed_fault : write_fault option ref = ref None
+let arm_write_fault f = armed_fault := Some f
+let take_fault () =
+  let f = !armed_fault in
+  armed_fault := None;
+  f
+
+exception Injected of write_fault
+
+let save_result t (k : key) (payload : string) : (unit, string) result =
   let data = encode k payload in
   let path = path_of t k in
   incr tmp_counter;
@@ -282,19 +305,60 @@ let save t (k : key) (payload : string) : unit =
   let tmp =
     Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) !tmp_counter
   in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      let n = String.length data in
-      let written = ref 0 in
-      while !written < n do
-        written :=
-          !written + Unix.write_substring fd data !written (n - !written)
-      done;
-      (* durability point: the payload is on disk before the rename
-         publishes it, so a crash can leave a stale or absent snapshot
-         but never a published half-written one *)
-      Unix.fsync fd);
-  Unix.rename tmp path;
-  Metrics.incr m_writes
+  let fault = take_fault () in
+  match
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (match fault with Some Fault_enospc -> raise (Injected Fault_enospc) | _ -> ());
+        let n = String.length data in
+        let limit =
+          match fault with Some Fault_short_write -> n / 2 | _ -> n
+        in
+        let written = ref 0 in
+        while !written < limit do
+          written :=
+            !written + Unix.write_substring fd data !written (limit - !written)
+        done;
+        (match fault with
+        | Some Fault_short_write -> raise (Injected Fault_short_write)
+        | _ -> ());
+        (* durability point: the payload is on disk before the rename
+           publishes it, so a crash can leave a stale or absent snapshot
+           but never a published half-written one *)
+        Unix.fsync fd);
+    Unix.rename tmp path
+  with
+  | () ->
+      (* complete the durability chain: the rename itself must reach the
+         directory inode, or a power cut after an acknowledged save could
+         resurrect the old snapshot (or none).  Directory fsync support
+         varies by platform/filesystem, so failure here downgrades to the
+         pre-fsync guarantee instead of failing the save. *)
+      (try
+         let dfd = Unix.openfile t.root [ Unix.O_RDONLY ] 0 in
+         Fun.protect
+           ~finally:(fun () ->
+             try Unix.close dfd with Unix.Unix_error _ -> ())
+           (fun () -> Unix.fsync dfd)
+       with Unix.Unix_error _ -> ());
+      Metrics.incr m_writes;
+      Ok ()
+  | exception ((Unix.Unix_error _ | Sys_error _ | Injected _) as exn) ->
+      (* containment: a failed write leaves no torn published snapshot
+         (the rename never ran) and no stranded temp *)
+      (try Unix.unlink tmp with Unix.Unix_error _ | Sys_error _ -> ());
+      Metrics.incr m_write_errors;
+      Error
+        (match exn with
+        | Unix.Unix_error (e, _, _) -> Unix.error_message e
+        | Injected Fault_enospc -> "injected ENOSPC"
+        | Injected Fault_short_write -> "injected short write"
+        | Sys_error m -> m
+        | _ -> "write failed")
+
+let save t (k : key) (payload : string) : unit =
+  match save_result t k payload with Ok () | Error _ -> ()

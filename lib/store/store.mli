@@ -77,7 +77,28 @@ val load : t -> key -> string option
 
 val save : t -> key -> string -> unit
 (** [save t key payload] atomically persists the snapshot
-    (temp + fsync + rename); bumps [store.writes].  Concurrent savers
-    of the same key are safe: last rename wins, both files are whole. *)
+    (temp + fsync + rename + parent-directory fsync); bumps
+    [store.writes].  Concurrent savers of the same key are safe: last
+    rename wins, both files are whole.  A write failure (ENOSPC, IO
+    error) is {e contained}: the temp file is removed, nothing is
+    published, [store.write_errors] is bumped, and the call returns —
+    the store is a cache, never an authority, so a failed persist must
+    not take the caller down. *)
+
+val save_result : t -> key -> string -> (unit, string) result
+(** {!save} with the containment made visible: [Error reason] when the
+    write failed (and was cleaned up). *)
+
+(** {2 Chaos-harness fault injection} *)
+
+(** A one-shot injected disk fault for the next {!save}:
+    [Fault_enospc] fails before any payload byte is written,
+    [Fault_short_write] after roughly half of them.  Either way the
+    save is contained exactly like a real disk error.  Armed by the
+    daemon's chaos plan (docs/ROBUSTNESS.md). *)
+type write_fault = Fault_enospc | Fault_short_write
+
+val arm_write_fault : write_fault -> unit
+(** Arm [f] for the next {!save} in this process (one-shot). *)
 
 val load_error_to_string : load_error -> string

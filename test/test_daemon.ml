@@ -8,7 +8,10 @@
 module Metrics = Prax_metrics.Metrics
 module Wire = Prax_daemon.Wire
 module Admission = Prax_daemon.Admission
+module Pressure = Prax_daemon.Pressure
+module Lru = Prax_daemon.Lru
 module Client = Prax_daemon.Client
+module Inject = Prax_guard.Inject
 
 let bin name =
   Filename.concat
@@ -57,6 +60,185 @@ let test_token_bucket_disabled () =
       true
       (Admission.admit a ~client:"c" ~now:0.)
   done
+
+(* --- pressure tiers (pure arithmetic, no daemon) -------------------------- *)
+
+let test_pressure_tiers () =
+  let decide pending inflight =
+    Pressure.decide ~max_queue:4 ~jobs:4 ~pending ~inflight
+  in
+  let tier_of pending inflight =
+    match decide pending inflight with
+    | Pressure.Admit t -> t.Pressure.level
+    | Pressure.Shed _ -> Alcotest.failf "unexpected shed at %d+%d" pending inflight
+  in
+  (* capacity 8: occupancy < 1/2 is full budget *)
+  Alcotest.(check int) "idle is tier 0" 0 (tier_of 0 0);
+  Alcotest.(check int) "3/8 is tier 0" 0 (tier_of 1 2);
+  (* the 1/2 boundary enters the reduced tier *)
+  Alcotest.(check int) "4/8 is tier 1" 1 (tier_of 2 2);
+  Alcotest.(check int) "5/8 is tier 1" 1 (tier_of 1 4);
+  (* the 3/4 boundary enters the minimal tier *)
+  Alcotest.(check int) "6/8 is tier 2" 2 (tier_of 2 4);
+  Alcotest.(check int) "7/8 is tier 2" 2 (tier_of 3 4);
+  (* the shed point is unchanged: pending at max_queue sheds, inflight
+     alone never does *)
+  (match decide 4 0 with
+  | Pressure.Shed { retry_after_ms } ->
+      Alcotest.(check bool) "shed hint in range" true
+        (retry_after_ms >= 50 && retry_after_ms <= 5000)
+  | Pressure.Admit _ -> Alcotest.fail "full queue must shed");
+  Alcotest.(check int) "full slots alone admit (minimal)" 2 (tier_of 3 4);
+  (* tier scales are the documented ladder *)
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "ladder scales"
+    [ (0, 1.0); (1, 0.5); (2, 0.25) ]
+    (List.map (fun t -> (t.Pressure.level, t.Pressure.scale)) Pressure.tiers);
+  (* the retry hint scales with backlog per worker slot and clamps *)
+  Alcotest.(check int) "hint floors at 50ms" 50
+    (Pressure.retry_after_ms ~jobs:8 ~pending:0 ~inflight:0);
+  Alcotest.(check int) "300ms for 5 backlogged over 2 slots" 300
+    (Pressure.retry_after_ms ~jobs:2 ~pending:3 ~inflight:2);
+  Alcotest.(check int) "hint caps at 5s" 5000
+    (Pressure.retry_after_ms ~jobs:1 ~pending:1000 ~inflight:1)
+
+(* --- the client's deterministic backoff ----------------------------------- *)
+
+let test_backoff_deterministic () =
+  let d1 =
+    Client.backoff_delay ~key:"k" ~attempt:2 ~base:0.2 ~cap:10.
+      ~retry_after_ms:None
+  in
+  let d2 =
+    Client.backoff_delay ~key:"k" ~attempt:2 ~base:0.2 ~cap:10.
+      ~retry_after_ms:None
+  in
+  Alcotest.(check (float 0.)) "same key+attempt is reproducible" d1 d2;
+  (* capped exponential: attempt n is within [0.75, 1.25] x base*2^(n-1),
+     and never exceeds the cap *)
+  for attempt = 1 to 10 do
+    let d =
+      Client.backoff_delay ~key:"k" ~attempt ~base:0.1 ~cap:2.
+        ~retry_after_ms:None
+    in
+    let expo = Float.min 2. (0.1 *. (2. ** float_of_int (attempt - 1))) in
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d in jitter band" attempt)
+      true
+      (d >= (0.75 *. expo) -. 1e-9 && d <= 2.0 +. 1e-9);
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d capped" attempt)
+      true (d <= 2.0 +. 1e-9)
+  done;
+  (* the server's retry_after_ms hint floors the delay *)
+  let floored =
+    Client.backoff_delay ~key:"k" ~attempt:1 ~base:0.1 ~cap:10.
+      ~retry_after_ms:(Some 3000)
+  in
+  Alcotest.(check bool) "hint floors the delay" true (floored >= 3.0);
+  (* no thundering herd: distinct clients spread across the jitter band
+     instead of colliding on one instant *)
+  let delays =
+    List.init 32 (fun i ->
+        Client.backoff_delay
+          ~key:(Printf.sprintf "client-%d" i)
+          ~attempt:1 ~base:1.0 ~cap:10. ~retry_after_ms:None)
+  in
+  let distinct = List.sort_uniq compare delays in
+  Alcotest.(check bool) "32 clients spread over > 16 instants" true
+    (List.length distinct > 16);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "every delay inside the band" true
+        (d >= 0.75 && d <= 1.25))
+    delays
+
+(* --- the LRU bound on the resident cache ---------------------------------- *)
+
+let test_lru_bounds () =
+  let evictions = ref [] in
+  let t =
+    Lru.create
+      ~on_evict:(fun ~key -> evictions := key :: !evictions)
+      ~max_entries:3 ~max_bytes:1000 ()
+  in
+  Lru.put t "a" "1";
+  Lru.put t "b" "2";
+  Lru.put t "c" "3";
+  Alcotest.(check int) "three live" 3 (Lru.length t);
+  (* touching "a" makes "b" the LRU victim of the next insert *)
+  Alcotest.(check (option string)) "find a" (Some "1") (Lru.find t "a");
+  Lru.put t "d" "4";
+  Alcotest.(check int) "entry cap holds" 3 (Lru.length t);
+  Alcotest.(check (list string)) "lru victim was b" [ "b" ] !evictions;
+  Alcotest.(check (option string)) "b evicted" None (Lru.find t "b");
+  Alcotest.(check (option string)) "a survived (recency)" (Some "1")
+    (Lru.find t "a");
+  (* byte cap: a large value evicts until bytes fit *)
+  evictions := [];
+  let big = Lru.create ~max_entries:100 ~max_bytes:20 () in
+  Lru.put big "k1" "0123456789";  (* 12 bytes *)
+  Lru.put big "k2" "0123";  (* 6 bytes; total 18 *)
+  Lru.put big "k3" "0123456789";  (* would be 30: evicts k1 then fits 18 *)
+  Alcotest.(check int) "byte cap holds" 2 (Lru.length big);
+  Alcotest.(check bool) "bytes within cap" true (Lru.bytes big <= 20);
+  Alcotest.(check (option string)) "oldest evicted" None (Lru.find big "k1");
+  (* a value larger than the whole cache is refused outright *)
+  Lru.put big "k4" (String.make 50 'x');
+  Alcotest.(check (option string)) "oversized refused" None (Lru.find big "k4");
+  Alcotest.(check bool) "cache not flushed for it" true (Lru.length big >= 1);
+  (* replace refreshes bytes accounting *)
+  let r = Lru.create ~max_entries:10 ~max_bytes:100 () in
+  Lru.put r "k" "aaaa";
+  Lru.put r "k" "bb";
+  Alcotest.(check int) "replace keeps one entry" 1 (Lru.length r);
+  Alcotest.(check int) "replace recounts bytes" 3 (Lru.bytes r);
+  Lru.remove r "k";
+  Alcotest.(check int) "remove empties" 0 (Lru.length r);
+  Alcotest.(check int) "remove zeroes bytes" 0 (Lru.bytes r)
+
+(* --- the chaos-plan grammar ----------------------------------------------- *)
+
+let test_chaos_plan_grammar () =
+  (* the env grammar: kind@N, short and long fault names *)
+  (match Inject.daemon_plan_of_string "crash@1, conn-reset@3,drain@5" with
+  | Ok plan ->
+      Alcotest.(check int) "three directives" 3 (List.length plan);
+      Alcotest.(check (list string)) "fault at 1"
+        [ "worker-crash" ]
+        (List.map Inject.daemon_fault_name (Inject.daemon_faults_at plan 1));
+      Alcotest.(check (list string)) "fault at 3"
+        [ "conn-reset" ]
+        (List.map Inject.daemon_fault_name (Inject.daemon_faults_at plan 3));
+      Alcotest.(check (list string)) "nothing at 2" []
+        (List.map Inject.daemon_fault_name (Inject.daemon_faults_at plan 2))
+  | Error e -> Alcotest.failf "good plan rejected: %s" e);
+  (* a bad plan fails loudly, never silently runs a different drill *)
+  let reject what s =
+    match Inject.daemon_plan_of_string s with
+    | Ok _ -> Alcotest.failf "%s: accepted %S" what s
+    | Error _ -> ()
+  in
+  reject "unknown fault" "meteor@1";
+  reject "missing ordinal" "crash";
+  reject "zero ordinal" "crash@0";
+  reject "non-numeric ordinal" "crash@soon";
+  (* the JSON plan document (praxd serve --chaos) *)
+  (match
+     Inject.daemon_plan_of_json
+       {|{"faults":[{"at":2,"fault":"store-enospc"},{"at":2,"fault":"worker-hang"}]}|}
+   with
+  | Ok plan ->
+      Alcotest.(check (list string)) "two faults share ordinal 2"
+        [ "store-enospc"; "worker-hang" ]
+        (List.map Inject.daemon_fault_name (Inject.daemon_faults_at plan 2))
+  | Error e -> Alcotest.failf "good JSON plan rejected: %s" e);
+  (match Inject.daemon_plan_of_json "]junk[" with
+  | Ok _ -> Alcotest.fail "non-JSON plan accepted"
+  | Error _ -> ());
+  match Inject.daemon_plan_of_json {|{"faults":[{"at":0,"fault":"drain"}]}|} with
+  | Ok _ -> Alcotest.fail "zero ordinal accepted in JSON"
+  | Error _ -> ()
 
 (* --- the wire grammar ---------------------------------------------------- *)
 
@@ -150,10 +332,35 @@ let wait_ready socket =
   loop 200
 
 let reap ?(kill = true) pid =
-  if kill then (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-  match Unix.waitpid [] pid with
-  | _, st -> st
-  | exception Unix.Unix_error _ -> Unix.WEXITED 255
+  if kill then begin
+    (* graceful first: SIGTERM lets the daemon drain and SIGKILL its own
+       workers.  A bare SIGKILL here would orphan any hung worker, which
+       inherits the test runner's stdout and deadlocks the harness
+       waiting for pipe EOF. *)
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    let deadline = Unix.gettimeofday () +. 8. in
+    let rec poll () =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+          if Unix.gettimeofday () > deadline then begin
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            match Unix.waitpid [] pid with
+            | _, st -> st
+            | exception Unix.Unix_error _ -> Unix.WEXITED 255
+          end
+          else begin
+            Unix.sleepf 0.02;
+            poll ()
+          end
+      | _, st -> st
+      | exception Unix.Unix_error _ -> Unix.WEXITED 255
+    in
+    poll ()
+  end
+  else
+    match Unix.waitpid [] pid with
+    | _, st -> st
+    | exception Unix.Unix_error _ -> Unix.WEXITED 255
 
 let with_daemon ?env ?(args = []) f =
   let socket = fresh_socket () in
@@ -517,6 +724,462 @@ let test_client_exit_codes () =
       in
       Alcotest.(check int) "missing input file exits 1" 1 code)
 
+let run_client_env env args =
+  let null = devnull () in
+  let pid =
+    Unix.create_process_env xanalyze
+      (Array.of_list (xanalyze :: args))
+      (env_with env) null null null
+  in
+  Unix.close null;
+  match Unix.waitpid [] pid with _, Unix.WEXITED c -> c | _ -> 255
+
+let counter_of doc name =
+  match Metrics.member "stats" doc with
+  | Some stats -> (
+      match Metrics.member "counters" stats with
+      | Some (Metrics.Obj counters) -> (
+          match List.assoc_opt name counters with
+          | Some (Metrics.Int n) -> n
+          | _ -> 0)
+      | _ -> 0)
+  | None -> 0
+
+let stats_counters socket =
+  let _, doc =
+    request_status socket
+      { Wire.id = Metrics.Int 99; client = Some "stats"; op = Wire.Stats }
+  in
+  doc
+
+(* --- e2e: pressure tiers under load --------------------------------------- *)
+
+let test_degraded_tier_admission () =
+  (* one worker slot, queue of four.  The chaos plan hangs request 1's
+     worker (attempt 1, no retries, 1s watchdog), so requests 2-4 pile
+     up behind it: request 4 arrives at occupancy 3/5 and must be
+     admitted at the reduced tier — answered, tagged degraded — where
+     the binary daemon would have given it a full-budget wait or,
+     deeper in the band, a shed *)
+  with_daemon
+    ~env:[ ("PRAX_INJECT_DAEMON", "hang@1") ]
+    ~args:[ "--jobs"; "1"; "--max-queue"; "4"; "--retries"; "0";
+            "--job-timeout"; "1s" ]
+    (fun ~socket ~pid:_ ->
+      let send i =
+        let fd = raw_connect socket in
+        raw_send fd
+          (Wire.request_to_string
+             (analyze_req
+                ~input:(Printf.sprintf "d%d.pl" i)
+                ~source:(Printf.sprintf "p(b%d)." i)
+                ())
+          ^ "\n");
+        fd
+      in
+      let c1 = send 1 in
+      Unix.sleepf 0.3;
+      let c2 = send 2 in
+      Unix.sleepf 0.3;
+      let c3 = send 3 in
+      Unix.sleepf 0.3;
+      let c4 = send 4 in
+      let line fd what =
+        match raw_recv_line ~timeout:30. fd with
+        | `Line l -> Metrics.json_of_string l
+        | `Eof -> Alcotest.failf "%s: connection closed without response" what
+      in
+      let status j = match Wire.response_status j with
+        | Ok s -> s | Error e -> Alcotest.fail e
+      in
+      let degraded j =
+        match Metrics.member "degraded" j with
+        | Some (Metrics.Bool b) -> b
+        | _ -> false
+      in
+      (* request 1 hung and the watchdog crashed it (retries 0) *)
+      let j1 = line c1 "hung request" in
+      Alcotest.(check string) "hung request crash-reported" "crashed"
+        (status j1);
+      (* requests 2 and 3 arrived under 1/2 occupancy: full budget *)
+      let j2 = line c2 "request 2" in
+      Alcotest.(check string) "request 2 complete" "complete" (status j2);
+      Alcotest.(check bool) "request 2 not degraded" false (degraded j2);
+      let j3 = line c3 "request 3" in
+      Alcotest.(check string) "request 3 complete" "complete" (status j3);
+      Alcotest.(check bool) "request 3 not degraded" false (degraded j3);
+      (* request 4 arrived at 3/5 occupancy: reduced tier, still a
+         sound complete answer on this tiny program *)
+      let j4 = line c4 "request 4" in
+      Alcotest.(check string) "request 4 answered" "complete" (status j4);
+      Alcotest.(check bool) "request 4 tagged degraded" true (degraded j4);
+      (match Metrics.member "tier" j4 with
+      | Some (Metrics.Int t) ->
+          Alcotest.(check bool) "tier is reduced or deeper" true (t >= 1)
+      | _ -> Alcotest.fail "degraded response lacks tier");
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ c1; c2; c3; c4 ];
+      (* the daemon counted the degraded admission *)
+      let doc = stats_counters socket in
+      Alcotest.(check bool) "daemon.degraded counted" true
+        (counter_of doc "daemon.degraded" >= 1);
+      Alcotest.(check bool) "chaos fault counted" true
+        (counter_of doc "daemon.chaos_injected" >= 1))
+
+let test_shed_retry_after_hint () =
+  (* at the (unchanged) shed point the overloaded response now carries
+     a retry_after_ms hint proportional to the backlog *)
+  with_daemon
+    ~env:[ ("PRAX_INJECT_WORKER", "hang:*") ]
+    ~args:[ "--jobs"; "1"; "--max-queue"; "1"; "--retries"; "0";
+            "--drain-deadline"; "1s" ]
+    (fun ~socket ~pid ->
+      let send i =
+        let fd = raw_connect socket in
+        raw_send fd
+          (Wire.request_to_string
+             (analyze_req
+                ~input:(Printf.sprintf "s%d.pl" i)
+                ~source:(Printf.sprintf "p(c%d)." i)
+                ())
+          ^ "\n");
+        fd
+      in
+      let c1 = send 1 in
+      Unix.sleepf 0.3;
+      let c2 = send 2 in
+      Unix.sleepf 0.3;
+      let c3 = send 3 in
+      (match raw_recv_line c3 with
+      | `Line l ->
+          let j = Metrics.json_of_string l in
+          Alcotest.(check string) "third shed" "overloaded" (status_of_line l);
+          (match Wire.retry_after_ms j with
+          | Some ms ->
+              Alcotest.(check bool) "hint in clamp range" true
+                (ms >= 50 && ms <= 5000)
+          | None -> Alcotest.fail "shed lacks retry_after_ms")
+      | `Eof -> Alcotest.fail "shed connection closed without response");
+      (* drain before leaving: the 1s deadline SIGKILLs the hung worker
+         and answers the in-flight job with a structured crashed — do
+         not rely on teardown to clean up a deliberately wedged pool *)
+      Unix.kill pid Sys.sigterm;
+      (match raw_recv_line ~timeout:15. c1 with
+      | `Line l ->
+          Alcotest.(check string) "hung job crashed on drain" "crashed"
+            (status_of_line l)
+      | `Eof -> Alcotest.fail "hung job got no response on drain");
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ c1; c2; c3 ];
+      match reap ~kill:false pid with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "daemon did not exit 0 after deadline drain")
+
+(* --- e2e: retrying clients ------------------------------------------------- *)
+
+let test_client_retries_converge () =
+  (* burst 1, refill 1/s: the second immediate request is shed; with
+     --retries the client backs off (honoring retry_after_ms) and
+     converges to the cached answer instead of failing with exit 5 *)
+  with_daemon ~args:[ "--rate"; "1"; "--burst"; "1" ] (fun ~socket ~pid:_ ->
+      let code =
+        run_client_env []
+          [ "client"; "analyze"; "groundness"; "qsort"; "--bench";
+            "--client"; "hammer"; "--socket"; socket ]
+      in
+      Alcotest.(check int) "first request admitted" 0 code;
+      (* without retries: immediate shed, exit 5 *)
+      let code =
+        run_client_env []
+          [ "client"; "analyze"; "groundness"; "qsort"; "--bench";
+            "--client"; "hammer"; "--socket"; socket ]
+      in
+      Alcotest.(check int) "immediate repeat shed (exit 5)" 5 code;
+      (* with retries: backoff past the refill and converge *)
+      let t0 = Unix.gettimeofday () in
+      let code =
+        run_client_env []
+          [ "client"; "analyze"; "groundness"; "qsort"; "--bench";
+            "--client"; "hammer"; "--retries"; "4"; "--backoff"; "200ms";
+            "--socket"; socket ]
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check int) "retrying client converges (exit 0)" 0 code;
+      Alcotest.(check bool) "convergence actually waited for refill" true
+        (elapsed >= 0.4))
+
+let test_client_batch_streams_corpus () =
+  with_daemon (fun ~socket ~pid:_ ->
+      let code =
+        run_client_env []
+          [ "client"; "batch"; "qsort,pg,plan"; "--analysis"; "groundness";
+            "--socket"; socket ]
+      in
+      Alcotest.(check int) "cold corpus batch exits 0" 0 code;
+      (* the repeat is answered from the warm cache, still exit 0 *)
+      let code =
+        run_client_env []
+          [ "client"; "batch"; "qsort,pg,plan"; "--analysis"; "groundness";
+            "--socket"; socket ]
+      in
+      Alcotest.(check int) "warm corpus batch exits 0" 0 code;
+      let doc = stats_counters socket in
+      Alcotest.(check bool) "second pass hit the warm cache" true
+        (counter_of doc "daemon.warm_hits" >= 3);
+      (* an unknown benchmark in the spec is the caller's fault *)
+      let code =
+        run_client_env []
+          [ "client"; "batch"; "no-such-bench"; "--analysis"; "groundness";
+            "--socket"; socket ]
+      in
+      Alcotest.(check int) "unknown benchmark exits 1" 1 code)
+
+(* --- e2e: protocol violations are exit 7 ----------------------------------- *)
+
+(* a fake "daemon" that accepts one connection, reads one line, writes
+   [reply] verbatim (no newline added), and closes — the client must
+   classify whatever it got as a protocol violation, never a result *)
+let with_fake_server reply f =
+  let socket = fresh_socket () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket);
+  Unix.listen fd 1;
+  match Unix.fork () with
+  | 0 ->
+      (* child: serve exactly one connection *)
+      let conn, _ = Unix.accept fd in
+      let buf = Bytes.create 65536 in
+      let rec read_line_then_reply () =
+        match Unix.read conn buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+            if Bytes.index_opt (Bytes.sub buf 0 n) '\n' <> None then begin
+              let w = ref 0 in
+              let len = String.length reply in
+              while !w < len do
+                w := !w + Unix.write_substring conn reply !w (len - !w)
+              done
+            end
+            else read_line_then_reply ()
+      in
+      (try read_line_then_reply () with _ -> ());
+      (try Unix.close conn with Unix.Unix_error _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close fd;
+      Fun.protect
+        ~finally:(fun () ->
+          ignore (reap pid);
+          try Unix.unlink socket with Unix.Unix_error _ -> ())
+        (fun () -> f socket)
+
+let test_client_protocol_error_exit () =
+  (* a malformed (non-JSON) reply *)
+  with_fake_server "this is not a prax.wire frame\n" (fun socket ->
+      let code =
+        run_client_env []
+          [ "client"; "analyze"; "groundness"; "qsort"; "--bench";
+            "--socket"; socket ]
+      in
+      Alcotest.(check int) "garbage reply exits 7" 7 code);
+  (* a truncated reply: half a frame, then EOF — exactly what the
+     chaos conn-reset fault produces *)
+  with_fake_server {|{"wire":"prax.wire","version":1,"id":1,"sta|}
+    (fun socket ->
+      let code =
+        run_client_env []
+          [ "client"; "analyze"; "groundness"; "qsort"; "--bench";
+            "--socket"; socket ]
+      in
+      Alcotest.(check int) "truncated reply exits 7" 7 code);
+  (* a structurally valid JSON line with the wrong schema header *)
+  with_fake_server ({|{"wire":"other.wire","version":1,"status":"ok"}|} ^ "\n")
+    (fun socket ->
+      let code =
+        run_client_env []
+          [ "client"; "analyze"; "groundness"; "qsort"; "--bench";
+            "--socket"; socket ]
+      in
+      Alcotest.(check int) "wrong schema exits 7" 7 code);
+  (* no daemon at all stays exit 6: unreachable, not protocol *)
+  let code =
+    run_client_env []
+      [ "client"; "analyze"; "groundness"; "qsort"; "--bench";
+        "--socket"; "/nonexistent/prax.sock" ]
+  in
+  Alcotest.(check int) "unreachable stays exit 6" 6 code
+
+(* the oversized-reply cap, in-process (a >64M fake reply would be
+   slow): the reader must stop buffering at the cap and call it a
+   protocol violation *)
+let test_client_oversized_reply () =
+  with_fake_server (String.make 4096 'x' ^ "\n") (fun socket ->
+      match
+        Client.request ~timeout:10. ~max_response_bytes:1024 ~socket
+          (analyze_req ~input:"o.pl" ~source:"p(a)." ())
+      with
+      | Error (Client.Protocol_error msg) ->
+          Alcotest.(check bool) "names the oversize" true
+            (String.length msg > 0)
+      | Error (Client.Connect_failed e) ->
+          Alcotest.failf "wrong class: connect (%s)" e
+      | Ok (status, _) -> Alcotest.failf "oversized reply accepted: %s" status)
+
+(* --- e2e: drain under a hung worker leaves no orphans ---------------------- *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* live PIDs (other than our own) whose environment carries [marker]:
+   praxd workers inherit the daemon's environment, so any process still
+   wearing the marker after the daemon exited is an orphan *)
+let procs_with_env marker =
+  Sys.readdir "/proc" |> Array.to_list
+  |> List.filter_map int_of_string_opt
+  |> List.filter (fun p ->
+         p <> Unix.getpid ()
+         &&
+         match
+           In_channel.with_open_bin
+             (Printf.sprintf "/proc/%d/environ" p)
+             In_channel.input_all
+         with
+         | s -> contains s marker
+         | exception _ -> false)
+
+let test_drain_hung_worker_no_orphans () =
+  let marker = Printf.sprintf "praxd-orphan-probe-%d" (Unix.getpid ()) in
+  with_daemon
+    ~env:[ ("PRAX_INJECT_WORKER", "hang:*"); ("PRAX_ORPHAN_MARKER", marker) ]
+    ~args:[ "--jobs"; "1"; "--retries"; "0"; "--drain-deadline"; "1s" ]
+    (fun ~socket ~pid ->
+      let fd = raw_connect socket in
+      raw_send fd
+        (Wire.request_to_string
+           (analyze_req ~input:"hang.pl" ~source:"p(z)." ())
+        ^ "\n");
+      (* let the worker spawn and hang, then SIGTERM the daemon *)
+      Unix.sleepf 0.5;
+      Unix.kill pid Sys.sigterm;
+      (* the hung worker is SIGKILLed at the 1s deadline and its client
+         still gets a structured crash, not silence *)
+      (match raw_recv_line ~timeout:15. fd with
+      | `Line l ->
+          Alcotest.(check string) "hung job crash-reported" "crashed"
+            (status_of_line l)
+      | `Eof -> Alcotest.fail "hung job's connection closed silently");
+      Unix.close fd;
+      (match reap ~kill:false pid with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "daemon did not exit 0 after deadline drain");
+      (* the orphan probe: nothing still wears the marker *)
+      Alcotest.(check (list int)) "no orphan workers" []
+        (procs_with_env marker))
+
+(* --- e2e: the chaos harness ------------------------------------------------ *)
+
+let test_chaos_plan_end_to_end () =
+  (* a scripted drill across four faults; the invariant under every one
+     of them: each request gets exactly one response attempt (a
+     structured line, or the scripted mid-frame reset) and the daemon
+     exits clean *)
+  let plan_file =
+    Filename.temp_file "prax-chaos" ".json"
+  in
+  let store_dir =
+    let d = Filename.temp_file "prax-chaos-store" "" in
+    Sys.remove d;
+    d
+  in
+  Out_channel.with_open_text plan_file (fun oc ->
+      output_string oc
+        {|{"faults":[
+            {"at":1,"fault":"worker-crash"},
+            {"at":2,"fault":"store-enospc"},
+            {"at":3,"fault":"conn-reset"},
+            {"at":4,"fault":"drain"}]}|});
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove plan_file with Sys_error _ -> ());
+      try
+        Sys.readdir store_dir
+        |> Array.iter (fun f -> Sys.remove (Filename.concat store_dir f));
+        Unix.rmdir store_dir
+      with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () ->
+      with_daemon
+        ~args:[ "--chaos"; plan_file; "--retries"; "2"; "--store"; store_dir ]
+        (fun ~socket ~pid ->
+          let analyze i =
+            analyze_req
+              ~input:(Printf.sprintf "x%d.pl" i)
+              ~source:(Printf.sprintf "p(e%d)." i)
+              ()
+          in
+          (* 1: the worker crash is absorbed by the retry ladder *)
+          let status, doc = request_status socket (analyze 1) in
+          Alcotest.(check string) "crash absorbed: complete" "complete" status;
+          (match Metrics.member "attempts" doc with
+          | Some (Metrics.Int n) ->
+              Alcotest.(check bool) "crash cost an attempt" true (n >= 2)
+          | _ -> Alcotest.fail "no attempts field");
+          (* 2: the store write fails (ENOSPC) — contained: the client
+             still gets its complete answer *)
+          let status, _ = request_status socket (analyze 2) in
+          Alcotest.(check string) "enospc contained: complete" "complete"
+            status;
+          let doc = stats_counters socket in
+          Alcotest.(check bool) "store.write_errors counted" true
+            (counter_of doc "store.write_errors" >= 1);
+          (* 3: the connection reset mid-frame — the response line is
+             cut and the socket closed; a raw reader sees EOF, a real
+             client classifies it as a protocol error (exit 7) *)
+          let fd = raw_connect socket in
+          raw_send fd (Wire.request_to_string (analyze 3) ^ "\n");
+          (match raw_recv_line ~timeout:30. fd with
+          | `Eof -> ()
+          | `Line l ->
+              Alcotest.failf "reset connection delivered a whole frame: %S" l);
+          Unix.close fd;
+          (* the daemon survived its own reset drill *)
+          (match ping socket with
+          | Ok ("ok", _) -> ()
+          | _ -> Alcotest.fail "daemon unhealthy after conn-reset");
+          (* 4: drain fires on arrival: the request is answered
+             "draining" (its one structured response) and the daemon
+             exits clean *)
+          let status, _ = request_status socket (analyze 4) in
+          Alcotest.(check string) "drain drill answers draining" "draining"
+            status;
+          (match reap ~kill:false pid with
+          | Unix.WEXITED 0 -> ()
+          | Unix.WEXITED c ->
+              Alcotest.failf "daemon exited %d after chaos drill" c
+          | _ -> Alcotest.fail "daemon died abnormally after chaos drill");
+          (* every fault the plan scripted was injected and counted *)
+          Alcotest.(check bool) "socket removed after chaos drain" false
+            (Sys.file_exists socket)))
+
+let test_chaos_bad_plan_fails_startup () =
+  (* a misspelled plan must refuse to serve, not silently run without
+     faults *)
+  let socket = fresh_socket () in
+  let null = devnull () in
+  let pid =
+    Unix.create_process_env praxd
+      [| praxd; "serve"; "--socket"; socket; "-q" |]
+      (env_with [ ("PRAX_INJECT_DAEMON", "meteor@1") ])
+      null null null
+  in
+  Unix.close null;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 1 -> ()
+  | _, Unix.WEXITED c ->
+      Alcotest.failf "bad chaos plan: praxd exited %d (expected 1)" c
+  | _ -> Alcotest.fail "bad chaos plan: praxd died abnormally"
+
 let () =
   Prax_analyses.Analyses.ensure ();
   Alcotest.run "daemon"
@@ -527,6 +1190,17 @@ let () =
             test_token_bucket_refill;
           Alcotest.test_case "rate 0 disables limiting" `Quick
             test_token_bucket_disabled;
+          Alcotest.test_case "pressure tiers and shed hints" `Quick
+            test_pressure_tiers;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "deterministic jittered backoff" `Quick
+            test_backoff_deterministic;
+          Alcotest.test_case "LRU entry and byte bounds" `Quick
+            test_lru_bounds;
+          Alcotest.test_case "chaos plan grammar" `Quick
+            test_chaos_plan_grammar;
         ] );
       ("wire", [ Alcotest.test_case "grammar" `Quick test_wire_grammar ]);
       ( "serving",
@@ -541,6 +1215,33 @@ let () =
             test_rate_limit_shed;
           Alcotest.test_case "malformed/oversized frames rejected" `Quick
             test_malformed_and_oversized_frames;
+        ] );
+      ( "pressure",
+        [
+          Alcotest.test_case "degraded-tier admission under load" `Quick
+            test_degraded_tier_admission;
+          Alcotest.test_case "shed carries retry_after_ms" `Quick
+            test_shed_retry_after_hint;
+        ] );
+      ( "clients",
+        [
+          Alcotest.test_case "retrying client converges" `Quick
+            test_client_retries_converge;
+          Alcotest.test_case "batch streams a corpus" `Quick
+            test_client_batch_streams_corpus;
+          Alcotest.test_case "protocol violations exit 7" `Quick
+            test_client_protocol_error_exit;
+          Alcotest.test_case "oversized reply is a protocol error" `Quick
+            test_client_oversized_reply;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "drain kills hung worker, no orphans" `Quick
+            test_drain_hung_worker_no_orphans;
+          Alcotest.test_case "scripted fault plan end to end" `Quick
+            test_chaos_plan_end_to_end;
+          Alcotest.test_case "bad plan fails startup" `Quick
+            test_chaos_bad_plan_fails_startup;
         ] );
       ( "lifecycle",
         [

@@ -290,6 +290,37 @@ let test_orphan_tmp_swept_at_open () =
       Alcotest.(check (option string)) "published snapshot untouched"
         (Some "published payload") (Store.load t2 k))
 
+(* --- injected write faults --------------------------------------------- *)
+
+(* an armed disk fault is contained exactly like a real one: the save
+   reports failure, bumps store.write_errors, publishes nothing, leaves
+   no temp residue — and the very next save succeeds (one-shot) *)
+let test_injected_write_fault_contained fault () =
+  with_store (fun t ->
+      let k = key "p(a). q(X) :- p(X)." in
+      let errs0 = counter "store.write_errors" in
+      Store.arm_write_fault fault;
+      (match Store.save_result t k "payload under fault" with
+      | Ok () -> Alcotest.fail "armed fault did not fail the save"
+      | Error _ -> ());
+      Alcotest.(check int) "store.write_errors bumped" (errs0 + 1)
+        (counter "store.write_errors");
+      Alcotest.(check (option string)) "nothing published" None
+        (Store.load t k);
+      Array.iter
+        (fun f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "no temp residue after fault: %s" f)
+            true
+            (String.ends_with ~suffix:".snap" f))
+        (Sys.readdir (Store.dir t));
+      (* one-shot: the retry persists normally *)
+      (match Store.save_result t k "payload after fault" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "save after fault failed: %s" e);
+      Alcotest.(check (option string)) "retry published"
+        (Some "payload after fault") (Store.load t k))
+
 (* no leftover temp files visible as snapshots *)
 let test_no_temp_leak () =
   with_store (fun t ->
@@ -330,5 +361,12 @@ let () =
           Alcotest.test_case "orphan temp files swept at open" `Quick
             test_orphan_tmp_swept_at_open;
           Alcotest.test_case "no temp residue" `Quick test_no_temp_leak;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "injected ENOSPC contained" `Quick
+            (test_injected_write_fault_contained Store.Fault_enospc);
+          Alcotest.test_case "injected short write contained" `Quick
+            (test_injected_write_fault_contained Store.Fault_short_write);
         ] );
     ]
