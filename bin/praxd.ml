@@ -43,8 +43,8 @@ let socket_arg =
 
 let serve_cmd =
   let run socket jobs max_queue rate burst max_request_bytes drain_deadline
-      store_dir cache_entries cache_bytes chaos_file retries job_timeout
-      timeout max_steps max_bytes quiet =
+      store_dir incremental cache_entries cache_bytes chaos_file retries
+      job_timeout timeout max_steps max_bytes quiet =
     let serve =
       {
         Serve.default_config with
@@ -91,6 +91,7 @@ let serve_cmd =
         max_request_bytes;
         drain_deadline;
         store_dir;
+        incremental;
         cache_entries = max 1 cache_entries;
         cache_bytes = max 1 cache_bytes;
         chaos;
@@ -176,6 +177,18 @@ let serve_cmd =
              complete results are saved under DIR and survive daemon \
              restarts.")
   in
+  let incremental =
+    Arg.(
+      value & flag
+      & info [ "incremental" ]
+          ~doc:
+            "Edit-aware workers (docs/INCREMENTAL.md): each analysis \
+             consults the per-SCC fragment cache and splices unchanged \
+             cones' tables back instead of recomputing them.  Reports are \
+             byte-identical to full runs.  Pair with $(b,--store) so \
+             fragments survive the per-job worker fork and accumulate \
+             across requests.")
+  in
   let cache_entries =
     Arg.(
       value & opt int 512
@@ -250,8 +263,8 @@ let serve_cmd =
           or $(b,praxd drain))")
     Term.(
       const run $ socket_arg $ jobs $ max_queue $ rate $ burst
-      $ max_request_bytes $ drain_deadline $ store_dir $ cache_entries
-      $ cache_bytes $ chaos_file $ retries $ job_timeout
+      $ max_request_bytes $ drain_deadline $ store_dir $ incremental
+      $ cache_entries $ cache_bytes $ chaos_file $ retries $ job_timeout
       $ timeout $ max_steps $ max_bytes $ quiet)
 
 (* --- control verbs -------------------------------------------------------- *)

@@ -254,14 +254,35 @@ let find_analysis name =
    no per-analysis code here — the registry entry carries everything;
    the named subcommands below only translate their flags into
    configuration assignments. *)
+(* The fragment cache behind [--incremental]: bound to the [incr/]
+   subtree of a snapshot store when [--store] is given (fragments then
+   survive the process and a later run splices them back), a
+   process-local hashtable otherwise (only same-process reuse — still
+   exercises the splice path, and what the daemon uses store-less). *)
+let incr_cache a ~name ~config ~store =
+  match store with
+  | None -> Analysis.memory_cache ()
+  | Some dir -> (
+      match Analysis.table_class a ~config () with
+      | Some table_class ->
+          Incr.Incr.cache_of_store (Store.open_dir dir) ~analysis:name
+            ~table_class
+      | None ->
+          (* no incremental support: run_incr falls back to run and
+             never touches the cache *)
+          Analysis.memory_cache ())
+
 let run_single ~name ~config ~input ~bench ~timings ~stats ~timeout ~max_steps
-    ~max_bytes =
+    ~max_bytes ~incremental ~store =
   let a = find_analysis name in
   let src = source_of ~kind:a.Analysis.kind ~bench input in
   let guard = guard_of timeout max_steps max_bytes in
   let rep =
     with_diagnostics ~file:input ~text:src (fun () ->
-        Analysis.run a ~config ~guard src)
+        if incremental then
+          let cache = incr_cache a ~name ~config ~store in
+          Analysis.run_incr a ~config ~guard ~cache src
+        else Analysis.run a ~config ~guard src)
   in
   if not (report_suppressed stats) then begin
     print_endline rep.Analysis.payload_text;
@@ -282,11 +303,36 @@ let bench_flag =
 let timings_flag =
   Arg.(value & flag & info [ "timings" ] ~doc:"Print the phase breakdown.")
 
+let incremental_flag =
+  Arg.(
+    value & flag
+    & info [ "incremental" ]
+        ~doc:
+          "Edit-aware re-analysis (docs/INCREMENTAL.md): consult a per-SCC \
+           fragment cache keyed by closure digest, splice unchanged cones' \
+           tables back, and recompute only the dependent cone of the edit. \
+           The report is byte-identical to a from-scratch run.  Pair with \
+           $(b,--store) to persist fragments across processes; \
+           analyses without incremental support fall back to a full run.")
+
+let incr_store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persist the $(b,--incremental) fragment cache under the snapshot \
+           store at $(docv) (created if needed; atomic writes, CRC \
+           trailers, orphan-temp sweep).  Without it the cache lives only \
+           for this process.")
+
 let groundness_cmd =
-  let run input bench timings compiled stats timeout max_steps max_bytes =
+  let run input bench timings compiled stats timeout max_steps max_bytes
+      incremental store =
     run_single ~name:"groundness"
       ~config:(if compiled then [ ("mode", "compiled") ] else [])
       ~input ~bench ~timings ~stats ~timeout ~max_steps ~max_bytes
+      ~incremental ~store
   in
   let compiled =
     Arg.(value & flag & info [ "compiled" ]
@@ -297,13 +343,16 @@ let groundness_cmd =
        ~doc:"Prop-domain groundness analysis of a logic program (Figure 1)")
     Term.(
       const run $ input_pos $ bench_flag $ timings_flag $ compiled $ stats_arg
-      $ timeout_arg $ max_steps_arg $ max_table_bytes_arg)
+      $ timeout_arg $ max_steps_arg $ max_table_bytes_arg $ incremental_flag
+      $ incr_store_arg)
 
 let strictness_cmd =
-  let run input bench timings no_supp stats timeout max_steps max_bytes =
+  let run input bench timings no_supp stats timeout max_steps max_bytes
+      incremental store =
     run_single ~name:"strictness"
       ~config:(if no_supp then [ ("supplementary", "false") ] else [])
       ~input ~bench ~timings ~stats ~timeout ~max_steps ~max_bytes
+      ~incremental ~store
   in
   let no_supp =
     Arg.(value & flag & info [ "no-supplementary" ]
@@ -316,13 +365,16 @@ let strictness_cmd =
           program (Figure 3)")
     Term.(
       const run $ input_pos $ bench_flag $ timings_flag $ no_supp $ stats_arg
-      $ timeout_arg $ max_steps_arg $ max_table_bytes_arg)
+      $ timeout_arg $ max_steps_arg $ max_table_bytes_arg $ incremental_flag
+      $ incr_store_arg)
 
 let depthk_cmd =
-  let run input bench timings k stats timeout max_steps max_bytes =
+  let run input bench timings k stats timeout max_steps max_bytes incremental
+      store =
     run_single ~name:"depthk"
       ~config:[ ("k", string_of_int k) ]
       ~input ~bench ~timings ~stats ~timeout ~max_steps ~max_bytes
+      ~incremental ~store
   in
   let k =
     Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Term-depth bound.")
@@ -332,7 +384,8 @@ let depthk_cmd =
        ~doc:"Groundness analysis with depth-k term abstraction (Section 5)")
     Term.(
       const run $ input_pos $ bench_flag $ timings_flag $ k $ stats_arg
-      $ timeout_arg $ max_steps_arg $ max_table_bytes_arg)
+      $ timeout_arg $ max_steps_arg $ max_table_bytes_arg $ incremental_flag
+      $ incr_store_arg)
 
 (* --- analyze: any registered analysis by name ----------------------------- *)
 
@@ -357,10 +410,12 @@ let parse_sets ~what sets =
     sets
 
 let analyze_cmd =
-  let run name input bench sets timings stats timeout max_steps max_bytes =
+  let run name input bench sets timings stats timeout max_steps max_bytes
+      incremental store =
     run_single ~name
       ~config:(parse_sets ~what:"xanalyze analyze" sets)
       ~input ~bench ~timings ~stats ~timeout ~max_steps ~max_bytes
+      ~incremental ~store
   in
   let aname =
     Arg.(
@@ -379,7 +434,8 @@ let analyze_cmd =
           the named subcommands are shorthands for this)")
     Term.(
       const run $ aname $ input $ bench_flag $ set_args $ timings_flag
-      $ stats_arg $ timeout_arg $ max_steps_arg $ max_table_bytes_arg)
+      $ stats_arg $ timeout_arg $ max_steps_arg $ max_table_bytes_arg
+      $ incremental_flag $ incr_store_arg)
 
 (* --- run: concrete execution -------------------------------------------- *)
 

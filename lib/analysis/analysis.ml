@@ -309,6 +309,16 @@ let kind_to_string = function
   | Fp_program -> "fp-program"
   | Cfg_program -> "cfg-program"
 
+type cache = {
+  cache_load : string -> string option;
+  cache_save : string -> string -> unit;
+}
+
+type incremental = {
+  table_class : config -> string;
+  run_incr : config:config -> guard:Guard.t -> cache:cache -> string -> report;
+}
+
 type t = {
   name : string;
   doc : string;
@@ -316,6 +326,7 @@ type t = {
   extensions : string list;
   defaults : config;
   run : config:config -> guard:Guard.t -> string -> report;
+  incremental : incremental option;
 }
 
 (* registration order is meaningful: [claiming_extension] awards an
@@ -339,3 +350,26 @@ let run (a : t) ?(config = []) ?(guard = Guard.unlimited) src =
   match merge_config ~defaults:a.defaults config with
   | Error msg -> raise (Config_error msg)
   | Ok cfg -> a.run ~config:cfg ~guard src
+
+let run_incr (a : t) ?(config = []) ?(guard = Guard.unlimited) ~cache src =
+  match merge_config ~defaults:a.defaults config with
+  | Error msg -> raise (Config_error msg)
+  | Ok cfg -> (
+      match a.incremental with
+      | Some i -> i.run_incr ~config:cfg ~guard ~cache src
+      | None -> a.run ~config:cfg ~guard src)
+
+let table_class (a : t) ?(config = []) () =
+  match a.incremental with
+  | None -> None
+  | Some i -> (
+      match merge_config ~defaults:a.defaults config with
+      | Error msg -> raise (Config_error msg)
+      | Ok cfg -> Some (i.table_class cfg))
+
+let memory_cache () =
+  let tbl : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  {
+    cache_load = Hashtbl.find_opt tbl;
+    cache_save = (fun k v -> Hashtbl.replace tbl k v);
+  }

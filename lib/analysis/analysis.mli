@@ -184,6 +184,42 @@ type source_kind =
 
 val kind_to_string : source_kind -> string
 
+(** {2 Incremental re-analysis (docs/INCREMENTAL.md)}
+
+    An analysis that supports edit-aware re-analysis additionally
+    implements {!incremental}: a [run_incr] that consults a {!cache} of
+    per-SCC result fragments keyed by closure digest, splicing cached
+    fragments back instead of recomputing them.  The cache is two plain
+    string closures so the registry depends on no store — the CLI and
+    daemon bind it to a {!Prax_store.Store.t} subdirectory, tests to a
+    hashtable. *)
+
+type cache = {
+  cache_load : string -> string option;
+      (** [cache_load key] — the fragment stored under [key] (an SCC
+          closure digest), or [None] for a miss.  A miss is always safe:
+          the SCC is recomputed. *)
+  cache_save : string -> string -> unit;
+      (** [cache_save key payload] — persist a fragment.  Must never
+          raise; a failed save degrades to a future recomputation. *)
+}
+
+type incremental = {
+  table_class : config -> string;
+      (** The table-compatibility class of a configuration: two configs
+          with the same class produce interchangeable cached fragments
+          (e.g. groundness [mode=dynamic] and [mode=compiled] share
+          class ["prop"] — same fixpoint, different clause store).  The
+          class is part of the cache key, so declaring it wrong leaks
+          stale results; declaring classes too finely merely loses
+          sharing.  Receives a complete (defaults-merged) config. *)
+  run_incr : config:config -> guard:Guard.t -> cache:cache -> string -> report;
+      (** Like [run], but consults and refills the fragment cache.  The
+          report must be identical to what [run] produces on the same
+          source — the incremental-vs-scratch oracle in the test suite
+          enforces byte-equality of the payload. *)
+}
+
 type t = {
   name : string;  (** registry key, e.g. ["groundness"] *)
   doc : string;  (** one-line description *)
@@ -194,6 +230,9 @@ type t = {
       (** [run ~config ~guard source] analyzes the source text.  The
           [config] is complete (defaults merged); raises
           {!Config_error} on malformed values. *)
+  incremental : incremental option;
+      (** Edit-aware re-analysis support; [None] for analyses that
+          always recompute (front-ends then fall back to [run]). *)
 }
 
 val register : t -> unit
@@ -214,3 +253,19 @@ val claiming_extension : string -> t option
 val run : t -> ?config:config -> ?guard:Guard.t -> string -> report
 (** [run a ~config src] merges [config] over [a.defaults] and runs.
     @raise Config_error on an unknown key or malformed value. *)
+
+val run_incr :
+  t -> ?config:config -> ?guard:Guard.t -> cache:cache -> string -> report
+(** Like {!run} through the analysis's incremental entry point; falls
+    back to a plain {!run} when the analysis declares no incremental
+    support (so front-ends can pass [--incremental] unconditionally).
+    @raise Config_error on an unknown key or malformed value. *)
+
+val table_class : t -> ?config:config -> unit -> string option
+(** The table-compatibility class of the (defaults-merged) config, or
+    [None] when the analysis has no incremental support.
+    @raise Config_error on an unknown key or malformed value. *)
+
+val memory_cache : unit -> cache
+(** A process-local hashtable-backed {!cache} — for tests and for the
+    daemon's store-less configuration. *)

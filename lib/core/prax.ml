@@ -84,6 +84,16 @@ end
     logic behind [bench run|ab|gate] (see docs/BENCHMARKING.md). *)
 module Benchrun = Prax_benchrun.Benchrun
 
+(** Incremental re-analysis: the clause-level dependency graph with its
+    Tarjan condensation and closure digests, the per-SCC table-fragment
+    cache with splice-back evaluation, and the deterministic mutation
+    generator behind the equality drills (see docs/INCREMENTAL.md). *)
+module Incr = struct
+  module Depgraph = Prax_incr.Depgraph
+  module Incr = Prax_incr.Incr
+  module Mutate = Prax_incr.Mutate
+end
+
 module Logic = struct
   module Term = Prax_logic.Term
   module Subst = Prax_logic.Subst

@@ -89,6 +89,7 @@ type config = {
   max_request_bytes : int;
   drain_deadline : float;
   store_dir : string option;
+  incremental : bool;
   cache_entries : int;
   cache_bytes : int;
   chaos : Inject.daemon_plan;
@@ -104,6 +105,7 @@ let default_config ~socket_path =
     max_request_bytes = 8 * 1024 * 1024;
     drain_deadline = 5.;
     store_dir = None;
+    incremental = false;
     cache_entries = 512;
     cache_bytes = 64 * 1024 * 1024;
     chaos = [];
@@ -591,7 +593,27 @@ let run ?on_ready (d : t) : unit =
        one structured response *)
     if attempt = 1 then Option.iter Inject.apply_worker_fault p.jb_fault;
     let rep =
-      p.jb_analysis.Analysis.run ~config:p.jb_config ~guard p.jb_source
+      (* edit-aware dispatch: under [incremental] the worker consults
+         the per-SCC fragment cache before evaluating, splicing
+         unchanged cones' tables back.  Cross-request reuse needs the
+         persistent store — workers are forked, so a memory cache dies
+         with the child; with [store_dir] the fragments live under
+         [incr/<analysis>/] next to the warm result snapshots and every
+         later fork (or a cold CLI run) replays them.  The report is
+         byte-identical either way, so the resident result cache and
+         the store snapshots need no new key component. *)
+      match p.jb_analysis.Analysis.incremental with
+      | Some inc when d.config.incremental ->
+          let cache =
+            match d.store with
+            | Some s ->
+                Prax_incr.Incr.cache_of_store s
+                  ~analysis:p.jb_analysis.Analysis.name
+                  ~table_class:(inc.Analysis.table_class p.jb_config)
+            | None -> Analysis.memory_cache ()
+          in
+          inc.Analysis.run_incr ~config:p.jb_config ~guard ~cache p.jb_source
+      | _ -> p.jb_analysis.Analysis.run ~config:p.jb_config ~guard p.jb_source
     in
     let payload =
       Metrics.json_to_string (Analysis.report_to_json ~input:p.jb_input rep)

@@ -85,6 +85,12 @@ type config = {
   max_request_bytes : int;  (** request-line cap *)
   drain_deadline : float;  (** seconds granted to in-flight jobs on drain *)
   store_dir : string option;  (** persistent backing for the warm cache *)
+  incremental : bool;
+      (** edit-aware workers (docs/INCREMENTAL.md): consult the per-SCC
+          fragment cache and splice unchanged cones back instead of
+          recomputing; reports stay byte-identical to full runs.
+          Fragment reuse across requests requires [store_dir] (workers
+          fork, so a memory-backed cache dies with the child). *)
   cache_entries : int;  (** resident-cache LRU entry cap (≥ 1) *)
   cache_bytes : int;  (** resident-cache LRU byte cap (≥ 1) *)
   chaos : Inject.daemon_plan;  (** deterministic fault schedule; [[]] = off *)
@@ -95,8 +101,9 @@ type config = {
 
 val default_config : socket_path:string -> config
 (** [max_queue=32; rate=0 (off); burst=8; max_request_bytes=8M;
-    drain_deadline=5s; store_dir=None; cache_entries=512;
-    cache_bytes=64M; chaos=[]; serve=Serve.default_config]. *)
+    drain_deadline=5s; store_dir=None; incremental=false;
+    cache_entries=512; cache_bytes=64M; chaos=[];
+    serve=Serve.default_config]. *)
 
 type t
 

@@ -52,4 +52,5 @@ let def : Analysis.t =
     extensions = [ ".cfg" ];
     defaults = [];
     run;
+    incremental = None;
   }

@@ -58,4 +58,5 @@ let def : Analysis.t =
     extensions = [ ".pl" ];
     defaults = [ ("k", "2") ];
     run;
+    incremental = None;
   }

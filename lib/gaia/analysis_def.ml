@@ -63,4 +63,5 @@ let def : Analysis.t =
     extensions = [ ".pl" ];
     defaults = [ ("backend", "bdd") ];
     run;
+    incremental = None;
   }

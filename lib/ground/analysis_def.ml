@@ -41,19 +41,7 @@ let result_json (r : Analyze.pred_result) : Metrics.json =
           (List.map (fun p -> Metrics.Str p) r.Analyze.call_patterns) );
     ]
 
-let run ~config ~guard src : Analysis.report =
-  let rep =
-    match Analysis.config_enum config "mode" [ "dynamic"; "compiled"; "def" ] with
-    | "def" ->
-        (* def-domain fast path: bottom-up over definite Boolean
-           functions, no tabled evaluation (docs/ANALYSES.md) *)
-        Def.analyze ~guard src
-    | mode_name ->
-        let mode =
-          if mode_name = "compiled" then Database.Compiled else Database.Dynamic
-        in
-        Analyze.analyze ~mode ~guard src
-  in
+let wrap ~config (rep : Analyze.report) : Analysis.report =
   {
     Analysis.analysis = "groundness";
     config;
@@ -67,6 +55,42 @@ let run ~config ~guard src : Analysis.report =
     payload_json = Metrics.Arr (List.map result_json rep.Analyze.results);
   }
 
+let run ~config ~guard src : Analysis.report =
+  let rep =
+    match Analysis.config_enum config "mode" [ "dynamic"; "compiled"; "def" ] with
+    | "def" ->
+        (* def-domain fast path: bottom-up over definite Boolean
+           functions, no tabled evaluation (docs/ANALYSES.md) *)
+        Def.analyze ~guard src
+    | mode_name ->
+        let mode =
+          if mode_name = "compiled" then Database.Compiled else Database.Dynamic
+        in
+        Analyze.analyze ~mode ~guard src
+  in
+  wrap ~config rep
+
+let run_incr ~config ~guard ~cache src : Analysis.report =
+  let rep =
+    match Analysis.config_enum config "mode" [ "dynamic"; "compiled"; "def" ] with
+    | "def" -> Def.analyze_incr ~cache ~guard src
+    | mode_name ->
+        let mode =
+          if mode_name = "compiled" then Database.Compiled else Database.Dynamic
+        in
+        Analyze.analyze_incr ~cache ~mode ~guard src
+  in
+  wrap ~config rep
+
+(* Table-compatibility (docs/INCREMENTAL.md): dynamic and compiled run
+   the same tabled fixpoint over different clause stores, so their
+   fragments are interchangeable — one shared class "prop".  The def
+   domain caches implication-set values, a different payload entirely. *)
+let table_class config =
+  match Analysis.config_enum config "mode" [ "dynamic"; "compiled"; "def" ] with
+  | "def" -> "def"
+  | _ -> "prop"
+
 let def : Analysis.t =
   {
     Analysis.name = "groundness";
@@ -75,4 +99,5 @@ let def : Analysis.t =
     extensions = [ ".pl" ];
     defaults = [ ("mode", "dynamic") ];
     run;
+    incremental = Some { Analysis.table_class; run_incr };
   }

@@ -100,57 +100,90 @@ let mode_char = function
 let pattern_of_call (call : Term.t) : string =
   Term.args_of call |> Array.to_seq |> Seq.map mode_char |> String.of_seq
 
+(* Preprocessing shared by the scratch and incremental paths: transform
+   + load into the clause store. *)
+let prepare ~mode ~guard clauses =
+  let abstract, preds, max_iff = Transform.program clauses in
+  let db = Database.create ~mode () in
+  Database.load_clauses db abstract;
+  let e = Engine.create ~guard db in
+  Iff.register e ~max_arity:max_iff;
+  (abstract, preds, e)
+
+(* The evaluation-phase demand: an open call on every abstracted
+   predicate, in predicate order. *)
+let open_goal (name, arity) =
+  Term.mk (Transform.prefix ^ name)
+    (Array.init arity (fun _ -> Term.fresh_var ()))
+
+(* Collection shared by both paths: combine answers per predicate. *)
+let collect_results e status preds =
+  List.map
+    (fun (name, arity) ->
+      let gp = (Transform.prefix ^ name, arity) in
+      let unexplored =
+        (* a partial run may have tripped before this predicate's
+           open call even created a table entry; its answer table
+           is then empty because nothing was derived, not because
+           the predicate fails — degrade to top, not bottom *)
+        Guard.is_partial status && Engine.calls_for e gp = []
+      in
+      let answers = Engine.answers_for e gp in
+      let success =
+        if unexplored then Bf.top arity else bf_of_answers arity answers
+      in
+      let never = Bf.is_empty success in
+      let definite = Bf.definite success in
+      let call_patterns =
+        Engine.calls_for e gp |> List.map pattern_of_call
+        |> List.sort_uniq compare
+      in
+      { pred = (name, arity); success; definite; never_succeeds = never;
+        call_patterns })
+    preds
+
 (** Run the analysis on already-parsed clauses (so callers can time
     parsing separately if they wish). *)
 let analyze_clauses ?(mode = Database.Dynamic) ?(guard = Guard.unlimited)
     (clauses : Parser.clause list) : report =
   let phases, (abstract, _, e), status, results =
     Analysis.phased ~timers:(t_preprocess, t_evaluate, t_collect)
-      (* preprocessing: transform + load into the clause store *)
-      ~pre:(fun () ->
-        let abstract, preds, max_iff = Transform.program clauses in
-        let db = Database.create ~mode () in
-        Database.load_clauses db abstract;
-        let e = Engine.create ~guard db in
-        Iff.register e ~max_arity:max_iff;
-        (abstract, preds, e))
+      ~pre:(fun () -> prepare ~mode ~guard clauses)
       (* analysis: open call on every abstracted predicate.  Budgets are
          sticky, so after an exhaustion the remaining predicates degrade
          immediately instead of each burning a full budget. *)
       ~eval:(fun (_, preds, e) ->
         List.fold_left
-          (fun acc (name, arity) ->
-            let goal =
-              Term.mk (Transform.prefix ^ name)
-                (Array.init arity (fun _ -> Term.fresh_var ()))
-            in
-            Guard.combine acc (Engine.run_status e goal (fun _ -> ())))
+          (fun acc p ->
+            Guard.combine acc (Engine.run_status e (open_goal p) (fun _ -> ())))
           Guard.Complete preds)
-      (* collection: combine answers per predicate *)
-      ~collect:(fun (_, preds, e) status ->
-        List.map
-          (fun (name, arity) ->
-            let gp = (Transform.prefix ^ name, arity) in
-            let unexplored =
-              (* a partial run may have tripped before this predicate's
-                 open call even created a table entry; its answer table
-                 is then empty because nothing was derived, not because
-                 the predicate fails — degrade to top, not bottom *)
-              Guard.is_partial status && Engine.calls_for e gp = []
-            in
-            let answers = Engine.answers_for e gp in
-            let success =
-              if unexplored then Bf.top arity else bf_of_answers arity answers
-            in
-            let never = Bf.is_empty success in
-            let definite = Bf.definite success in
-            let call_patterns =
-              Engine.calls_for e gp |> List.map pattern_of_call
-              |> List.sort_uniq compare
-            in
-            { pred = (name, arity); success; definite; never_succeeds = never;
-              call_patterns })
-          preds)
+      ~collect:(fun (_, preds, e) status -> collect_results e status preds)
+      ()
+  in
+  {
+    results;
+    phases;
+    table_bytes = Engine.table_space_bytes e;
+    engine_stats = Engine.stats e;
+    clause_count = List.length abstract;
+    status;
+  }
+
+(** Edit-aware variant: same phases, but the evaluation consults a
+    per-SCC fragment cache — unchanged cones splice their tables back
+    instead of recomputing (docs/INCREMENTAL.md).  The report is
+    byte-identical to {!analyze_clauses} on the same source. *)
+let analyze_clauses_incr ~cache ?(mode = Database.Dynamic)
+    ?(guard = Guard.unlimited) (clauses : Parser.clause list) : report =
+  let phases, (abstract, _, e), (status, _), results =
+    Analysis.phased ~timers:(t_preprocess, t_evaluate, t_collect)
+      ~pre:(fun () -> prepare ~mode ~guard clauses)
+      ~eval:(fun (abstract, preds, e) ->
+        Prax_incr.Incr.run_tabled ~cache ~table_class:"prop" ~engine:e
+          ~clauses:abstract
+          ~goals:(List.map open_goal preds)
+          ())
+      ~collect:(fun (_, preds, e) (status, _) -> collect_results e status preds)
       ()
   in
   {
@@ -169,6 +202,15 @@ let analyze ?(mode = Database.Dynamic) ?guard (src : string) : report =
   let clauses = Metrics.time t_preprocess (fun () -> Parser.parse_clauses src) in
   let t_parse = now () -. t0 in
   let r = analyze_clauses ~mode ?guard clauses in
+  { r with phases = Analysis.add_preproc r.phases t_parse }
+
+(** Edit-aware full pipeline; see {!analyze_clauses_incr}. *)
+let analyze_incr ~cache ?(mode = Database.Dynamic) ?guard (src : string) :
+    report =
+  let t0 = now () in
+  let clauses = Metrics.time t_preprocess (fun () -> Parser.parse_clauses src) in
+  let t_parse = now () -. t0 in
+  let r = analyze_clauses_incr ~cache ~mode ?guard clauses in
   { r with phases = Analysis.add_preproc r.phases t_parse }
 
 (** Plain compilation time of the source (parse + load), the baseline for

@@ -430,34 +430,216 @@ let bf_of_value arity (v : value) : Bf.t =
       done;
       f
 
+(* --- incremental (per-SCC) evaluation ------------------------------------- *)
+
+module Depgraph = Prax_incr.Depgraph
+module Incr = Prax_incr.Incr
+
+(* Value (de)serialization for the fragment cache: one predicate per
+   line, [p <name> <arity> <desc>] where [desc] is [bot] or [f] followed
+   by one [;]-prefixed segment per argument (comma-separated antecedent
+   masks).  Anything that fails the strict parse degrades the whole
+   fragment to a cache miss — never to a wrong value. *)
+let def_fragment_magic = "prax.incr.def 1"
+
+let value_desc (v : value) : string =
+  match v with
+  | Bot -> "bot"
+  | F impl ->
+      "f"
+      ^ String.concat ""
+          (Array.to_list
+             (Array.map
+                (fun ms ->
+                  ";" ^ String.concat "," (List.map string_of_int ms))
+                impl))
+
+let value_of_desc arity (desc : string) : value option =
+  if desc = "bot" then Some Bot
+  else if String.length desc >= 1 && desc.[0] = 'f' then
+    let rest = String.sub desc 1 (String.length desc - 1) in
+    match (arity, rest) with
+    | 0, "" -> Some (F [||])
+    | _ -> (
+        match String.split_on_char ';' rest with
+        | "" :: segs when List.length segs = arity -> (
+            try
+              Some
+                (F
+                   (Array.of_list
+                      (List.map
+                         (fun seg ->
+                           if seg = "" then []
+                           else
+                             List.map int_of_string
+                               (String.split_on_char ',' seg))
+                         segs)))
+            with _ -> None)
+        | _ -> None)
+  else None
+
+let values_to_string (vs : ((string * int) * value) list) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b def_fragment_magic;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (((name, arity), v) : (string * int) * value) ->
+      Buffer.add_string b
+        (Printf.sprintf "p %s %d %s\n" name arity (value_desc v)))
+    vs;
+  Buffer.contents b
+
+let values_of_string (s : string) : ((string * int) * value) list option =
+  match String.split_on_char '\n' s with
+  | magic :: lines when String.equal magic def_fragment_magic -> (
+      try
+        Some
+          (List.filter_map
+             (fun line ->
+               if line = "" then None
+               else
+                 match String.split_on_char ' ' line with
+                 | [ "p"; name; arity_s; desc ] -> (
+                     let arity = int_of_string arity_s in
+                     match value_of_desc arity desc with
+                     | Some v -> Some ((name, arity), v)
+                     | None -> raise Exit)
+                 | _ -> raise Exit)
+             lines)
+      with _ -> None)
+  | _ -> None
+
+(* Per-SCC bottom-up evaluation in reverse topological order (callees
+   first, so their values are final when a caller's paths read them) —
+   the same least fixpoint as the global chaotic iteration of
+   {!fixpoint}, which is what makes the incremental report byte-equal
+   to the scratch one.  SCCs whose closure digest hits the cache splice
+   their serialized values instead of iterating. *)
+let fixpoint_incr ~(cache : Analysis.cache) ~guard
+    (abstract : Parser.clause list) (pcs : pclause list)
+    (preds : (string * int) list) :
+    store * Guard.status * run_stats * Incr.outcome =
+  let g =
+    Depgraph.build ~is_call:(fun (name, _) -> name <> "iff") abstract
+  in
+  let n = Depgraph.scc_count g in
+  let predset : (string * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (name, arity) ->
+      Hashtbl.replace predset (Transform.prefix ^ name, arity) ())
+    preds;
+  let store : store = Hashtbl.create 64 in
+  let lookup p = Hashtbl.find_opt store p in
+  let iterations = ref 0 in
+  let paths = ref 0 in
+  let spliced = ref 0 in
+  let invalidated = ref 0 in
+  let status =
+    try
+      for s = 0 to n - 1 do
+        let members =
+          List.filter (Hashtbl.mem predset) (Depgraph.members g s)
+        in
+        let key =
+          Incr.fragment_key ~table_class:"def" (Depgraph.closure_digest g s)
+        in
+        let splice =
+          if members = [] then None
+          else
+            match Option.map values_of_string (cache.Analysis.cache_load key) with
+            | Some (Some vs)
+              when List.sort compare (List.map fst vs)
+                   = List.sort compare members ->
+                Some vs
+            | _ -> None
+        in
+        match splice with
+        | Some vs ->
+            incr spliced;
+            List.iter (fun (p, v) -> Hashtbl.replace store p v) vs
+        | None ->
+            if members = [] then incr spliced  (* nothing to compute *)
+            else begin
+              incr invalidated;
+              List.iter (fun p -> Hashtbl.replace store p Bot) members;
+              let scc_pcs =
+                List.filter (fun pc -> List.mem pc.pc_pred members) pcs
+              in
+              let changed = ref true in
+              while !changed do
+                changed := false;
+                incr iterations;
+                Metrics.incr m_iterations;
+                List.iter
+                  (fun pc ->
+                    let arity = snd pc.pc_pred in
+                    List.iter
+                      (fun path ->
+                        Guard.check guard;
+                        Metrics.incr m_paths;
+                        incr paths;
+                        match eval_path lookup pc path with
+                        | Bot -> ()
+                        | contrib ->
+                            let old = Hashtbl.find store pc.pc_pred in
+                            let next = join arity old contrib in
+                            if not (leq next old) then begin
+                              Hashtbl.replace store pc.pc_pred next;
+                              Guard.note_space guard (8 * store_words store);
+                              changed := true
+                            end)
+                      pc.pc_paths)
+                  scc_pcs
+              done;
+              cache.Analysis.cache_save key
+                (values_to_string
+                   (List.map (fun p -> (p, Hashtbl.find store p)) members))
+            end
+      done;
+      Guard.Complete
+    with Guard.Exhausted reason ->
+      (* widen the whole domain to top, exactly like the scratch path:
+         the partial report must stay sound and byte-comparable *)
+      Hashtbl.iter
+        (fun p () ->
+          Hashtbl.replace store p (F (Array.make (snd p) [])))
+        predset;
+      Guard.Partial { reason; exhausted_entries = Hashtbl.length store }
+  in
+  let o =
+    {
+      Incr.sccs = n;
+      invalidated = !invalidated;
+      spliced = !spliced;
+      spliced_entries = 0;
+    }
+  in
+  Incr.record o;
+  (store, status, { iterations = !iterations; paths = !paths }, o)
+
+(* --- report assembly -------------------------------------------------------- *)
+
 let timers = (Analyze.t_preprocess, Analyze.t_evaluate, Analyze.t_collect)
 
-let analyze_clauses ?(guard = Guard.unlimited) (clauses : Parser.clause list) :
+let collect_results store preds =
+  List.map
+    (fun (name, arity) ->
+      let v =
+        Option.value ~default:Bot
+          (Hashtbl.find_opt store (Transform.prefix ^ name, arity))
+      in
+      let success = bf_of_value arity v in
+      {
+        Analyze.pred = (name, arity);
+        success;
+        definite = Bf.definite success;
+        never_succeeds = Bf.is_empty success;
+        call_patterns = [];  (* bottom-up: goal-independent *)
+      })
+    preds
+
+let make_report abstract store status (rs : run_stats) phases results :
     Analyze.report =
-  let phases, (abstract, _, _), (store, status, rs), results =
-    Analysis.phased ~timers
-      ~pre:(fun () ->
-        let abstract, preds, _max_iff = Transform.program clauses in
-        (abstract, preds, List.map prepare abstract))
-      ~eval:(fun (_, preds, pcs) -> fixpoint ~guard pcs preds)
-      ~collect:(fun (_, preds, _) (store, _, _) ->
-        List.map
-          (fun (name, arity) ->
-            let v =
-              Option.value ~default:Bot
-                (Hashtbl.find_opt store (Transform.prefix ^ name, arity))
-            in
-            let success = bf_of_value arity v in
-            {
-              Analyze.pred = (name, arity);
-              success;
-              definite = Bf.definite success;
-              never_succeeds = Bf.is_empty success;
-              call_patterns = [];  (* bottom-up: goal-independent *)
-            })
-          preds)
-      ()
-  in
   let answers =
     Hashtbl.fold
       (fun _ v acc ->
@@ -482,6 +664,36 @@ let analyze_clauses ?(guard = Guard.unlimited) (clauses : Parser.clause list) :
     status;
   }
 
+let analyze_clauses ?(guard = Guard.unlimited) (clauses : Parser.clause list) :
+    Analyze.report =
+  let phases, (abstract, _, _), (store, status, rs), results =
+    Analysis.phased ~timers
+      ~pre:(fun () ->
+        let abstract, preds, _max_iff = Transform.program clauses in
+        (abstract, preds, List.map prepare abstract))
+      ~eval:(fun (_, preds, pcs) -> fixpoint ~guard pcs preds)
+      ~collect:(fun (_, preds, _) (store, _, _) -> collect_results store preds)
+      ()
+  in
+  make_report abstract store status rs phases results
+
+(** Edit-aware variant: per-SCC evaluation against a fragment cache;
+    byte-identical report to {!analyze_clauses} (docs/INCREMENTAL.md). *)
+let analyze_clauses_incr ~cache ?(guard = Guard.unlimited)
+    (clauses : Parser.clause list) : Analyze.report =
+  let phases, (abstract, _, _), (store, status, rs, _), results =
+    Analysis.phased ~timers
+      ~pre:(fun () ->
+        let abstract, preds, _max_iff = Transform.program clauses in
+        (abstract, preds, List.map prepare abstract))
+      ~eval:(fun (abstract, preds, pcs) ->
+        fixpoint_incr ~cache ~guard abstract pcs preds)
+      ~collect:(fun (_, preds, _) (store, _, _, _) ->
+        collect_results store preds)
+      ()
+  in
+  make_report abstract store status rs phases results
+
 let analyze ?guard (src : string) : Analyze.report =
   let t0 = Analysis.now () in
   let clauses =
@@ -489,4 +701,14 @@ let analyze ?guard (src : string) : Analyze.report =
   in
   let t_parse = Analysis.now () -. t0 in
   let r = analyze_clauses ?guard clauses in
+  { r with Analyze.phases = Analysis.add_preproc r.Analyze.phases t_parse }
+
+(** Edit-aware full pipeline; see {!analyze_clauses_incr}. *)
+let analyze_incr ~cache ?guard (src : string) : Analyze.report =
+  let t0 = Analysis.now () in
+  let clauses =
+    Metrics.time Analyze.t_preprocess (fun () -> Parser.parse_clauses src)
+  in
+  let t_parse = Analysis.now () -. t0 in
+  let r = analyze_clauses_incr ~cache ?guard clauses in
   { r with Analyze.phases = Analysis.add_preproc r.Analyze.phases t_parse }

@@ -1,0 +1,259 @@
+(** Clause-level predicate dependency graph with Tarjan SCC
+    condensation and closure digests — see depgraph.mli and
+    docs/INCREMENTAL.md. *)
+
+open Prax_logic
+
+type pred = string * int
+
+type t = {
+  nodes : pred array;  (** sorted; index = node id *)
+  index : (pred, int) Hashtbl.t;
+  edges : int list array;  (** node id -> callee node ids, sorted uniq *)
+  clauses : (pred, Parser.clause list) Hashtbl.t;  (** source order *)
+  node_digest : string array;  (** per-predicate clause digest *)
+  scc_id : int array;  (** node id -> SCC id, reverse topological *)
+  scc_members : pred list array;
+  scc_succs : int list array;
+  scc_closure : string array;  (** per-SCC closure digest *)
+}
+
+(* --- body call extraction ------------------------------------------------- *)
+
+(* Predicates called from a goal; [,]/[;]/[->]/[\+]/[not] are control
+   and are traversed, [=] is unification (its arguments are terms, not
+   goals), everything else with a functor is a call. *)
+let rec goal_calls acc (g : Term.t) =
+  match g with
+  | Term.Struct ((";" | "," | "->"), args, _) ->
+      Array.fold_left goal_calls acc args
+  | Term.Struct (("\\+" | "not"), [| inner |], _) -> goal_calls acc inner
+  | Term.Struct ("=", _, _) -> acc
+  | Term.Atom ("true" | "fail" | "false" | "!") -> acc
+  | Term.Atom name -> (name, 0) :: acc
+  | Term.Struct (name, args, _) -> (name, Array.length args) :: acc
+  | Term.Var _ | Term.Int _ -> acc
+
+let head_pred (c : Parser.clause) : pred =
+  match Term.functor_of c.Parser.head with
+  | Some p -> p
+  | None -> invalid_arg "Depgraph.build: clause head is not a predicate"
+
+(* --- canonical clause digests --------------------------------------------- *)
+
+(* Render the whole clause as one canonical term so variable numbering
+   is shared between head and body: raw fresh-variable ids are not
+   stable across parses, canonical first-occurrence numbering is. *)
+let clause_digest_input (c : Parser.clause) : string =
+  let body =
+    match c.Parser.body with
+    | [] -> Term.true_
+    | g :: rest ->
+        List.fold_left (fun acc g' -> Term.mk "," [| acc; g' |]) g rest
+  in
+  Pretty.term_to_string (Canon.of_term (Term.mk ":-" [| c.Parser.head; body |]))
+
+let digest_strings parts =
+  Digest.to_hex (Digest.string (String.concat "\n" parts))
+
+(* --- Tarjan --------------------------------------------------------------- *)
+
+(* Iterative Tarjan (generated programs can nest thousands of calls
+   deep through chains of singleton SCCs; no recursion on the OCaml
+   stack).  SCCs are emitted callees-first: when a root is popped every
+   SCC it reaches has already been assigned, so emission order is a
+   reverse topological order of the condensation. *)
+let tarjan (n : int) (edges : int list array) : int array * int =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let scc_id = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_scc = ref 0 in
+  (* frame: (node, remaining successors) *)
+  let call = Stack.create () in
+  for start = 0 to n - 1 do
+    if index.(start) < 0 then begin
+      Stack.push (start, edges.(start)) call;
+      index.(start) <- !next_index;
+      lowlink.(start) <- !next_index;
+      incr next_index;
+      Stack.push start stack;
+      on_stack.(start) <- true;
+      while not (Stack.is_empty call) do
+        let v, rest = Stack.pop call in
+        match rest with
+        | w :: rest' ->
+            Stack.push (v, rest') call;
+            if index.(w) < 0 then begin
+              index.(w) <- !next_index;
+              lowlink.(w) <- !next_index;
+              incr next_index;
+              Stack.push w stack;
+              on_stack.(w) <- true;
+              Stack.push (w, edges.(w)) call
+            end
+            else if on_stack.(w) then
+              lowlink.(v) <- min lowlink.(v) index.(w)
+        | [] ->
+            if lowlink.(v) = index.(v) then begin
+              (* v is a root: pop its SCC *)
+              let continue = ref true in
+              while !continue do
+                let w = Stack.pop stack in
+                on_stack.(w) <- false;
+                scc_id.(w) <- !next_scc;
+                if w = v then continue := false
+              done;
+              incr next_scc
+            end;
+            (* propagate lowlink to the parent frame *)
+            if not (Stack.is_empty call) then begin
+              let u, urest = Stack.pop call in
+              lowlink.(u) <- min lowlink.(u) lowlink.(v);
+              Stack.push (u, urest) call
+            end
+      done
+    end
+  done;
+  (scc_id, !next_scc)
+
+(* --- construction ---------------------------------------------------------- *)
+
+let build ?(is_call = fun _ -> true) (clause_list : Parser.clause list) : t =
+  (* predicate -> clauses, preserving source order *)
+  let clauses : (pred, Parser.clause list) Hashtbl.t = Hashtbl.create 64 in
+  let order : pred list ref = ref [] in
+  List.iter
+    (fun c ->
+      let p = head_pred c in
+      match Hashtbl.find_opt clauses p with
+      | Some cs -> Hashtbl.replace clauses p (c :: cs)
+      | None ->
+          order := p :: !order;
+          Hashtbl.replace clauses p [ c ])
+    clause_list;
+  Hashtbl.iter (fun p cs -> Hashtbl.replace clauses p (List.rev cs)) clauses;
+  (* node set: heads plus called predicates *)
+  let node_set : (pred, unit) Hashtbl.t = Hashtbl.create 64 in
+  let add p = if not (Hashtbl.mem node_set p) then Hashtbl.add node_set p () in
+  List.iter add (List.rev !order);
+  let body_calls c =
+    List.fold_left goal_calls [] c.Parser.body
+    |> List.filter is_call |> List.sort_uniq compare
+  in
+  List.iter (fun c -> List.iter add (body_calls c)) clause_list;
+  let nodes =
+    Hashtbl.fold (fun p () acc -> p :: acc) node_set [] |> List.sort compare
+    |> Array.of_list
+  in
+  let n = Array.length nodes in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i p -> Hashtbl.replace index p i) nodes;
+  let edges = Array.make n [] in
+  List.iter
+    (fun c ->
+      let from = Hashtbl.find index (head_pred c) in
+      List.iter
+        (fun callee ->
+          match Hashtbl.find_opt index callee with
+          | Some j -> edges.(from) <- j :: edges.(from)
+          | None -> ())
+        (body_calls c))
+    clause_list;
+  Array.iteri (fun i es -> edges.(i) <- List.sort_uniq compare es) edges;
+  let node_digest =
+    Array.map
+      (fun p ->
+        let cs = Option.value ~default:[] (Hashtbl.find_opt clauses p) in
+        let name, arity = p in
+        digest_strings
+          (Printf.sprintf "%s/%d" name arity
+          :: List.map clause_digest_input cs))
+      nodes
+  in
+  let scc_id, nscc = tarjan n edges in
+  let scc_members = Array.make nscc [] in
+  Array.iteri
+    (fun i p -> scc_members.(scc_id.(i)) <- p :: scc_members.(scc_id.(i)))
+    nodes;
+  Array.iteri
+    (fun s ms -> scc_members.(s) <- List.sort compare ms)
+    scc_members;
+  let scc_succs = Array.make nscc [] in
+  Array.iteri
+    (fun i es ->
+      let s = scc_id.(i) in
+      List.iter
+        (fun j -> if scc_id.(j) <> s then scc_succs.(s) <- scc_id.(j) :: scc_succs.(s))
+        es)
+    edges;
+  Array.iteri
+    (fun s succ -> scc_succs.(s) <- List.sort_uniq compare succ)
+    scc_succs;
+  (* closure digests in reverse topological order: every successor has a
+     smaller SCC id, so one left-to-right pass suffices *)
+  let scc_closure = Array.make nscc "" in
+  for s = 0 to nscc - 1 do
+    let own =
+      List.map
+        (fun p ->
+          let i = Hashtbl.find index p in
+          let name, arity = p in
+          Printf.sprintf "%s/%d=%s" name arity node_digest.(i))
+        scc_members.(s)
+    in
+    let below = List.map (fun s' -> scc_closure.(s')) scc_succs.(s) in
+    scc_closure.(s) <- digest_strings (own @ below)
+  done;
+  {
+    nodes;
+    index;
+    edges;
+    clauses;
+    node_digest;
+    scc_id;
+    scc_members;
+    scc_succs;
+    scc_closure;
+  }
+
+(* --- accessors ------------------------------------------------------------- *)
+
+let preds g = Array.to_list g.nodes
+let scc_count g = Array.length g.scc_members
+
+let scc_of g p =
+  Option.map (fun i -> g.scc_id.(i)) (Hashtbl.find_opt g.index p)
+
+let members g s = g.scc_members.(s)
+let succs g s = g.scc_succs.(s)
+
+let clauses_of g p =
+  Option.value ~default:[] (Hashtbl.find_opt g.clauses p)
+
+let pred_digest g p =
+  match Hashtbl.find_opt g.index p with
+  | Some i -> g.node_digest.(i)
+  | None -> digest_strings []
+
+let closure_digest g s = g.scc_closure.(s)
+
+let dependent_cone g (edited : pred list) : int list =
+  let nscc = scc_count g in
+  let dirty = Array.make nscc false in
+  List.iter
+    (fun p -> match scc_of g p with Some s -> dirty.(s) <- true | None -> ())
+    edited;
+  (* an SCC is dirty when any successor is dirty; successors have
+     smaller ids, so ascending order converges in one pass *)
+  for s = 0 to nscc - 1 do
+    if not dirty.(s) then
+      dirty.(s) <- List.exists (fun s' -> dirty.(s')) g.scc_succs.(s)
+  done;
+  let out = ref [] in
+  for s = nscc - 1 downto 0 do
+    if dirty.(s) then out := s :: !out
+  done;
+  !out

@@ -1,0 +1,74 @@
+(** Clause-level predicate dependency graph with Tarjan SCC
+    condensation — the invalidation structure behind incremental
+    re-analysis (docs/INCREMENTAL.md).
+
+    Built over the {e abstract} (post-transform) clauses an analysis
+    actually evaluates, so every analysis shares one graph shape: nodes
+    are predicates, an edge [p -> q] means a clause of [p] calls [q].
+    Three derived artifacts drive the edit path:
+
+    - {b per-predicate digests} over the canonical rendering of the
+      predicate's clauses (variables renumbered in first-occurrence
+      order, so digests are stable across parses and processes);
+    - {b SCC condensation} in reverse topological order (callees before
+      callers) — the evaluation plan for bottom-up modes and the
+      persistence unit for tabled fragments;
+    - {b closure digests}: each SCC's digest folds in the digests of
+      every SCC it (transitively) calls.  A clause edit therefore
+      changes the closure digest of exactly the SCCs whose results
+      could change — the {e dependent cone} — and cache keys built on
+      closure digests invalidate precisely that cone, with no graph
+      diffing against the previous version. *)
+
+open Prax_logic
+
+type pred = string * int
+
+type t
+
+val build : ?is_call:(pred -> bool) -> Parser.clause list -> t
+(** [build clauses] indexes the program: nodes are every clause-head
+    predicate plus every predicate called from a body ([,], [;], [->],
+    [\+]/[not] are traversed as control; [=] is not a call).
+    [is_call] filters body predicates (default: everything) — pass the
+    engine's builtin test so [iff] and arithmetic do not become
+    graph nodes. *)
+
+val preds : t -> pred list
+(** Every node, sorted. *)
+
+val scc_count : t -> int
+
+val scc_of : t -> pred -> int option
+(** The SCC id of a predicate; ids index {!members} and are assigned in
+    reverse topological order (an SCC's callees have smaller ids). *)
+
+val members : t -> int -> pred list
+(** Predicates of one SCC, sorted. *)
+
+val succs : t -> int -> int list
+(** Condensation edges: SCC ids this SCC calls into (sorted, no
+    self-edge, no duplicates). *)
+
+val clauses_of : t -> pred -> Parser.clause list
+(** A predicate's clauses, in source order. *)
+
+val pred_digest : t -> pred -> string
+(** MD5 hex over the canonical renderings of the predicate's clauses,
+    in source order.  Stable across runs; changes whenever any clause
+    of the predicate is edited, added, removed, or reordered. *)
+
+val closure_digest : t -> int -> string
+(** MD5 hex folding the SCC's own member digests with the closure
+    digests of every successor SCC: equal closure digests imply the
+    whole downward-reachable subprogram is textually identical, which
+    is the soundness condition for splicing the SCC's persisted tables
+    (docs/INCREMENTAL.md). *)
+
+val dependent_cone : t -> pred list -> int list
+(** [dependent_cone g edited] — the SCC ids whose results may change
+    when the given predicates' clauses change: the SCCs from which an
+    edited predicate is reachable in the condensation (including the
+    edited predicates' own SCCs).  Sorted.  This is exactly the set
+    whose closure digests differ after the edit; exposed for tests and
+    diagnostics. *)

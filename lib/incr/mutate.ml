@@ -1,0 +1,163 @@
+(** Seeded deterministic source mutations.  See mutate.mli. *)
+
+open Prax_logic
+
+(* Fixed LCG (Numerical Recipes constants over 2^32) — the sweep must
+   replay identically everywhere, so no Random, no state outside the
+   closure, and arithmetic that fits a 63-bit int. *)
+let lcg seed =
+  let st = ref (seed land 0xFFFFFFFF) in
+  fun bound ->
+    st := ((!st * 1664525) + 1013904223) land 0xFFFFFFFF;
+    if bound <= 0 then 0 else (!st lsr 7) mod bound
+
+(* --- logic programs -------------------------------------------------------- *)
+
+type item = Dir of Term.t | Cl of Parser.clause
+
+(* Clauses are re-printed from their *canonical* form (variables
+   renumbered in first-occurrence order, head and body sharing one
+   numbering): raw fresh-variable ids differ between parses, and the
+   mutation must be a pure function of the seed and the source text. *)
+let print_clause ops (c : Parser.clause) =
+  match c.Parser.body with
+  | [] -> Pretty.term_to_string ~ops (Canon.of_term c.Parser.head) ^ "."
+  | g :: rest ->
+      let body =
+        List.fold_left (fun acc g' -> Term.mk "," [| acc; g' |]) g rest
+      in
+      Pretty.term_to_string ~ops
+        (Canon.of_term (Term.mk ":-" [| c.Parser.head; body |]))
+      ^ "."
+
+let print_items ops items =
+  String.concat "\n"
+    (List.map
+       (function
+         | Dir d -> ":- " ^ Pretty.term_to_string ~ops d ^ "."
+         | Cl c -> print_clause ops c)
+       items)
+  ^ "\n"
+
+let mutate_pl ~seed src =
+  match
+    let ops = Ops.create () in
+    let items =
+      List.map
+        (function
+          | Parser.Directive d -> Dir d
+          | Parser.Clause c -> Cl c)
+        (Parser.parse_program ~ops src)
+    in
+    (ops, items)
+  with
+  | exception _ -> None
+  | ops, items ->
+      let rand = lcg seed in
+      let arr = Array.of_list items in
+      let clause_idx =
+        Array.to_list
+          (Array.mapi (fun i it -> (i, it)) arr)
+        |> List.filter_map (function i, Cl c -> Some (i, c) | _ -> None)
+      in
+      let nclauses = List.length clause_idx in
+      (* candidate ops, tried in a seed-determined rotation so every
+         seed yields an edit whenever any edit is possible *)
+      let delete () =
+        if nclauses < 2 then None
+        else
+          let i, _ = List.nth clause_idx (rand nclauses) in
+          Some
+            (Array.to_list arr |> List.filteri (fun j _ -> j <> i))
+      in
+      let truncate () =
+        let with_body =
+          List.filter (fun (_, c) -> c.Parser.body <> []) clause_idx
+        in
+        match with_body with
+        | [] -> None
+        | _ ->
+            let i, c = List.nth with_body (rand (List.length with_body)) in
+            let body =
+              List.filteri
+                (fun j _ -> j < List.length c.Parser.body - 1)
+                c.Parser.body
+            in
+            (* work on a copy: a candidate that the validating re-parse
+               rejects must not leak its edit into the next candidate *)
+            let arr' = Array.copy arr in
+            arr'.(i) <- Cl { c with Parser.body };
+            Some (Array.to_list arr')
+      in
+      let swap () =
+        (* adjacent clause items (directives between them block a swap:
+           an [op] directive must keep preceding its uses) *)
+        let adjacent =
+          List.filter_map
+            (function
+              | (i, _) :: (j, _) :: _ when j = i + 1 -> Some i
+              | _ -> None)
+            (let rec tails = function
+               | [] -> []
+               | _ :: t as l -> l :: tails t
+             in
+             tails clause_idx)
+        in
+        match adjacent with
+        | [] -> None
+        | _ ->
+            let i = List.nth adjacent (rand (List.length adjacent)) in
+            let arr' = Array.copy arr in
+            arr'.(i) <- arr.(i + 1);
+            arr'.(i + 1) <- arr.(i);
+            Some (Array.to_list arr')
+      in
+      let ops_pool = [| delete; truncate; swap |] in
+      let start = rand (Array.length ops_pool) in
+      let rec try_from k =
+        if k = Array.length ops_pool then None
+        else
+          match ops_pool.((start + k) mod Array.length ops_pool) () with
+          | Some items' -> (
+              (* the generator guarantees parseability by construction:
+                 a candidate the parser rejects (a printer corner the
+                 round-trip cannot yet carry) falls through to the next
+                 mutation kind instead of poisoning the sweep *)
+              let out = print_items ops items' in
+              match Parser.parse_program ~ops:(Ops.create ()) out with
+              | _ -> Some out
+              | exception _ -> try_from (k + 1))
+          | None -> try_from (k + 1)
+      in
+      try_from 0
+
+(* --- functional programs --------------------------------------------------- *)
+
+let mutate_eq ~seed src =
+  if String.trim src = "" then None
+  else
+    let rand = lcg seed in
+    (* the name comes from the seed, not the LCG: [apply_n] uses
+       consecutive seeds and the definitions must not collide *)
+    let name = Printf.sprintf "zzmut%d" (seed land 0xFFFFFF) in
+    let def =
+      match rand 2 with
+      | 0 -> Printf.sprintf "%s(x) = x;" name
+      | _ ->
+          Printf.sprintf "%s(n, a) = if n == 0 then a else %s(n - 1, a);"
+            name name
+    in
+    let sep = if String.length src > 0 && src.[String.length src - 1] = '\n'
+      then "" else "\n" in
+    Some (src ^ sep ^ def ^ "\n")
+
+(* --- composition ------------------------------------------------------------ *)
+
+let apply_n ~seed ~n m src =
+  let rec go k src =
+    if k = n then Some src
+    else match m ~seed:(seed + k) src with
+      | None -> None
+      | Some src' -> go (k + 1) src'
+  in
+  go 0 src

@@ -1,0 +1,31 @@
+(** Deterministic source mutations — the edit generator behind the
+    incremental-vs-scratch oracle and the bench [incremental] section
+    (docs/INCREMENTAL.md).
+
+    Every mutation is a function of the seed alone (a fixed linear
+    congruential generator, no global state), so a sweep is reproducible
+    across machines and CI runs.  Mutations preserve parseability: a
+    logic program is re-printed from its parsed form (directives kept,
+    operator tables respected), a functional program gets textually
+    appended definitions that the checker accepts. *)
+
+val mutate_pl : seed:int -> string -> string option
+(** One seeded single-clause edit of a Prolog source: delete a clause,
+    truncate the last body literal of a clause, or swap two adjacent
+    clauses.  The result is the re-printed program (normalized
+    whitespace; [op] directives preserved in place).  [None] when no
+    mutation applies (e.g. a one-clause program with empty bodies) or
+    the source does not parse. *)
+
+val mutate_eq : seed:int -> string -> string option
+(** One seeded edit of a functional ([.eq]) source: append a fresh
+    seed-named definition (identity- or recursion-shaped), which is
+    always checker-valid and never captures existing names.  [None]
+    only for the empty source. *)
+
+val apply_n :
+  seed:int -> n:int -> (seed:int -> string -> string option) -> string ->
+  string option
+(** [apply_n ~seed ~n m src] — [n] successive mutations with seeds
+    [seed], [seed+1], …; [None] as soon as one step yields [None].
+    The bench edit-distance sweep uses this for 1/4/16-clause edits. *)

@@ -28,6 +28,9 @@ and pp_prec ops maxprec fmt t =
   | Term.Int i -> Format.fprintf fmt "%d" i
   | Term.Atom a -> Format.pp_print_string fmt (atom_to_string a)
   | Term.Struct (".", [| _; _ |], _) -> pp_list ops fmt t
+  | Term.Struct ("{}", [| x |], _) ->
+      (* curly terms read back as {X}, never as a call of the atom {} *)
+      Format.fprintf fmt "{%a}" (pp_prec ops 1200) x
   | Term.Struct (f, [| a; b |], _) as whole -> (
       match Ops.infix ops f with
       | Some { Ops.prec; assoc } ->

@@ -39,8 +39,17 @@ let schema_name = "prax.stats"
    daemon.rejected_bad_frame, daemon.warm_hits, daemon.drain_ms and the
    gauges daemon.queue_depth / daemon.inflight — plus store.tmp_swept
    (orphaned write-temp files removed at store open).  No field changed
-   shape. *)
-let schema_version = 5
+   shape.
+
+   v6 (additive over v5): the incremental re-analysis family — the
+   counters incr.sccs, incr.invalidated, incr.spliced (condensation
+   SCCs seen / recomputed / restored from cached fragments) and the
+   gauge incr.cone_frac (invalidated share of the condensation, in
+   permille: 1000 = full recompute).  The bump also versions the
+   per-SCC fragment cache: stored fragments carry the stats schema
+   version in their store key, so a v5 store never feeds a v6 reader.
+   No field changed shape. *)
+let schema_version = 6
 let min_supported_schema_version = 1
 
 let schema_version_supported v =

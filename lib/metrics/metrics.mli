@@ -35,8 +35,9 @@ val schema_version : int
     History: 1 = initial; 2 = adds evaluation status/budget fields;
     3 = adds term-representation counters; 4 = adds the supervised-batch
     [serve.] and persistent-store [store.] counter families; 5 = adds
-    the analysis-daemon [daemon.] family and [store.tmp_swept] (all
-    additive — older documents remain valid). *)
+    the analysis-daemon [daemon.] family and [store.tmp_swept]; 6 = adds
+    the incremental re-analysis [incr.] family (all additive — older
+    documents remain valid). *)
 
 val min_supported_schema_version : int
 (** Oldest schema version consumers of prax.stats documents are expected

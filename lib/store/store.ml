@@ -67,12 +67,19 @@ let writer_alive pid =
         (* EPERM: exists but not ours — alive *)
         true
 
-let sweep_tmp root =
+(* The sweep recurses: the incremental layer keeps per-SCC fragment
+   snapshots in subdirectories (root/incr/<analysis>/), written with the
+   same temp-file protocol, so their orphans must be collected too. *)
+let rec sweep_tmp root =
   match Sys.readdir root with
   | exception Sys_error _ -> ()
   | entries ->
       Array.iter
         (fun name ->
+          let path = Filename.concat root name in
+          if try Sys.is_directory path with Sys_error _ -> false then
+            sweep_tmp path
+          else
           let marker = ".snap.tmp." in
           match
             (* name = <base>.snap.tmp.<pid>.<counter> *)
@@ -109,6 +116,23 @@ let open_dir root =
      try Unix.mkdir root 0o755
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   sweep_tmp root;
+  { root }
+
+let sub t name =
+  if
+    name = "" || name = "." || name = ".."
+    || String.exists (fun c -> c = '/' || c = '\\' || c = '\x00') name
+  then invalid_arg (Printf.sprintf "Store.sub: bad component %S" name);
+  let root = Filename.concat t.root name in
+  (if Sys.file_exists root then begin
+     if not (Sys.is_directory root) then
+       raise (Sys_error (root ^ ": not a directory"))
+   end
+   else
+     try Unix.mkdir root 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (* no sweep: the parent's recursive open-time sweep covered it, and
+     [sub] is called per analysis run — scanning would be O(cache) *)
   { root }
 
 let dir t = t.root

@@ -49,10 +49,20 @@ type t
 val open_dir : string -> t
 (** [open_dir dir] opens (creating if needed) the store rooted at
     [dir], then sweeps orphaned write-temp files
-    ([*.snap.tmp.<pid>.<n>]) left by crashed writers — each removal
-    bumps [store.tmp_swept].  Temp files whose writer pid is still
-    alive are left alone (a concurrent saver mid-write).
+    ([*.snap.tmp.<pid>.<n>]) left by crashed writers — recursively,
+    so per-SCC fragment subdirectories ({!sub}) are collected too;
+    each removal bumps [store.tmp_swept].  Temp files whose writer pid
+    is still alive are left alone (a concurrent saver mid-write).
     @raise Sys_error when [dir] exists and is not a directory. *)
+
+val sub : t -> string -> t
+(** [sub t name] — the store rooted at the subdirectory [name] of [t]
+    (created if needed).  The incremental layer keeps its per-SCC
+    fragment snapshots under [incr/<analysis>/] so they never collide
+    with whole-run snapshots in the parent.  No sweep — the parent's
+    {!open_dir} sweep already recursed here.
+    @raise Invalid_argument when [name] is empty, ["."], [".."], or
+    contains a path separator. *)
 
 val dir : t -> string
 

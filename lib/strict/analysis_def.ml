@@ -29,9 +29,7 @@ let result_json (r : Analyze.func_result) : Metrics.json =
              (Analyze.strict_args r)) );
     ]
 
-let run ~config ~guard src : Analysis.report =
-  let supplementary = Analysis.config_bool config "supplementary" in
-  let rep = Analyze.analyze ~supplementary ~guard src in
+let wrap ~config (rep : Analyze.report) : Analysis.report =
   {
     Analysis.analysis = "strictness";
     config;
@@ -45,6 +43,20 @@ let run ~config ~guard src : Analysis.report =
     payload_json = Metrics.Arr (List.map result_json rep.Analyze.results);
   }
 
+let run ~config ~guard src : Analysis.report =
+  let supplementary = Analysis.config_bool config "supplementary" in
+  wrap ~config (Analyze.analyze ~supplementary ~guard src)
+
+let run_incr ~config ~guard ~cache src : Analysis.report =
+  let supplementary = Analysis.config_bool config "supplementary" in
+  wrap ~config (Analyze.analyze_incr ~cache ~supplementary ~guard src)
+
+(* Table-compatibility (docs/INCREMENTAL.md): supplementary folding
+   changes the derived rule set, hence the table shape — the two
+   settings must not share fragments. *)
+let table_class config =
+  if Analysis.config_bool config "supplementary" then "slg" else "slg-nosupp"
+
 let def : Analysis.t =
   {
     Analysis.name = "strictness";
@@ -54,4 +66,5 @@ let def : Analysis.t =
     extensions = [ ".eq" ];
     defaults = [ ("supplementary", "true") ];
     run;
+    incremental = Some { Analysis.table_class; run_incr };
   }

@@ -80,72 +80,122 @@ let demands_of_answers arity (answers : Term.t list) : Demand.t array option =
         answers;
       Some out
 
+(* Preprocessing shared by the scratch and incremental paths: derive
+   the sp/pm rules (with supplementary folding) and load them. *)
+let prepare ~mode ~supplementary ~guard p =
+  let rules = Transform.program p in
+  let rules =
+    (* supplementary tabling (Section 4.2): indispensable for the
+       long bodies deep expression nesting produces — see the
+       ablation bench *)
+    if supplementary then Supplement.fold_program ~threshold:2 rules
+    else rules
+  in
+  let db = Database.create ~mode () in
+  Database.load_clauses db rules;
+  (rules, Engine.create ~guard db)
+
+(* The evaluation-phase demand: [sp_f(e,…)] and [sp_f(d,…)] for every
+   function, in function order. *)
+let demand_goals funcs =
+  List.concat_map
+    (fun (f, arity) ->
+      List.map
+        (fun dem ->
+          Term.mkl (Transform.sp_name f)
+            (Demand.to_atom dem
+            :: List.init arity (fun _ -> Term.fresh_var ())))
+        [ Demand.E; Demand.D ])
+    funcs
+
+(* Collection shared by both paths: per-argument glb over answers. *)
+let collect_results e status funcs =
+  List.map
+    (fun (f, arity) ->
+      let answers_under dem =
+        (* answers across all call variants, filtered by demand *)
+        Engine.answers_for e (Transform.sp_name f, arity + 1)
+        |> List.filter (fun ans ->
+               match (Term.args_of ans).(0) with
+               | Term.Atom a ->
+                   String.equal a (String.make 1 (Demand.to_char dem))
+               | _ -> false)
+      in
+      if
+        Guard.is_partial status
+        && Engine.calls_for e (Transform.sp_name f, arity + 1) = []
+      then
+        (* the budget tripped before this function's sp goals even
+           created table entries: claim nothing (no demand guaranteed
+           on any argument), not "unusable under demand" *)
+        let no_claim = Some (Array.make arity Demand.N) in
+        { fname = f; arity; e_demands = no_claim; d_demands = no_claim }
+      else
+        {
+          fname = f;
+          arity;
+          e_demands = demands_of_answers arity (answers_under Demand.E);
+          d_demands = demands_of_answers arity (answers_under Demand.D);
+        })
+    funcs
+
 let analyze_program ?(mode = Database.Dynamic) ?(supplementary = true)
     ?(guard = Guard.unlimited) ~source_lines (p : Ast.program) : report =
   let t0 = now () in
   let rules, e =
     Metrics.time t_preprocess (fun () ->
-        let rules = Transform.program p in
-        let rules =
-          (* supplementary tabling (Section 4.2): indispensable for the
-             long bodies deep expression nesting produces — see the
-             ablation bench *)
-          if supplementary then Supplement.fold_program ~threshold:2 rules
-          else rules
-        in
-        let db = Database.create ~mode () in
-        Database.load_clauses db rules;
-        (rules, Engine.create ~guard db))
+        prepare ~mode ~supplementary ~guard p)
   in
   let t1 = now () in
   let funcs = Ast.functions p in
   let status =
     Metrics.time t_evaluate (fun () ->
         List.fold_left
-          (fun acc (f, arity) ->
-            List.fold_left
-              (fun acc dem ->
-                let goal =
-                  Term.mkl (Transform.sp_name f)
-                    (Demand.to_atom dem
-                    :: List.init arity (fun _ -> Term.fresh_var ()))
-                in
-                Guard.combine acc (Engine.run_status e goal (fun _ -> ())))
-              acc
-              [ Demand.E; Demand.D ])
-          Guard.Complete funcs)
+          (fun acc goal ->
+            Guard.combine acc (Engine.run_status e goal (fun _ -> ())))
+          Guard.Complete (demand_goals funcs))
   in
   let t2 = now () in
   let results =
-    Metrics.time t_collect @@ fun () ->
-    List.map
-      (fun (f, arity) ->
-        let answers_under dem =
-          (* answers across all call variants, filtered by demand *)
-          Engine.answers_for e (Transform.sp_name f, arity + 1)
-          |> List.filter (fun ans ->
-                 match (Term.args_of ans).(0) with
-                 | Term.Atom a ->
-                     String.equal a (String.make 1 (Demand.to_char dem))
-                 | _ -> false)
-        in
-        if
-          Guard.is_partial status
-          && Engine.calls_for e (Transform.sp_name f, arity + 1) = []
-        then
-          (* the budget tripped before this function's sp goals even
-             created table entries: claim nothing (no demand guaranteed
-             on any argument), not "unusable under demand" *)
-          let no_claim = Some (Array.make arity Demand.N) in
-          { fname = f; arity; e_demands = no_claim; d_demands = no_claim }
-        else
-          {
-            fname = f;
-            arity;
-            e_demands = demands_of_answers arity (answers_under Demand.E);
-            d_demands = demands_of_answers arity (answers_under Demand.D);
-          })
-      funcs
+    Metrics.time t_collect @@ fun () -> collect_results e status funcs
+  in
+  let t3 = now () in
+  {
+    results;
+    phases = { preproc = t1 -. t0; analysis = t2 -. t1; collection = t3 -. t2 };
+    table_bytes = Engine.table_space_bytes e;
+    engine_stats = Engine.stats e;
+    rule_count = List.length rules;
+    source_lines;
+    status;
+  }
+
+(** Edit-aware variant: same phases, but the evaluation consults a
+    per-SCC fragment cache over the derived sp/pm rules — unchanged
+    cones splice their tables back instead of recomputing
+    (docs/INCREMENTAL.md).  The report is byte-identical to
+    {!analyze_program} on the same source. *)
+let analyze_program_incr ~cache ?(mode = Database.Dynamic)
+    ?(supplementary = true) ?(guard = Guard.unlimited) ~source_lines
+    (p : Ast.program) : report =
+  let t0 = now () in
+  let rules, e =
+    Metrics.time t_preprocess (fun () ->
+        prepare ~mode ~supplementary ~guard p)
+  in
+  let t1 = now () in
+  let funcs = Ast.functions p in
+  let status, _ =
+    Metrics.time t_evaluate (fun () ->
+        (* the class must track supplementary folding: it changes the
+           derived rule set, hence the table shape *)
+        let table_class = if supplementary then "slg" else "slg-nosupp" in
+        Prax_incr.Incr.run_tabled ~cache ~table_class ~engine:e
+          ~clauses:rules ~goals:(demand_goals funcs) ())
+  in
+  let t2 = now () in
+  let results =
+    Metrics.time t_collect @@ fun () -> collect_results e status funcs
   in
   let t3 = now () in
   {
@@ -166,6 +216,18 @@ let analyze ?(mode = Database.Dynamic) ?supplementary ?guard (src : string) :
   let t_parse = now () -. t0 in
   let r =
     analyze_program ~mode ?supplementary ?guard
+      ~source_lines:(Check.line_count src) prog
+  in
+  { r with phases = Analysis.add_preproc r.phases t_parse }
+
+(** Edit-aware full pipeline; see {!analyze_program_incr}. *)
+let analyze_incr ~cache ?(mode = Database.Dynamic) ?supplementary ?guard
+    (src : string) : report =
+  let t0 = now () in
+  let prog = Metrics.time t_preprocess (fun () -> Check.parse_and_check src) in
+  let t_parse = now () -. t0 in
+  let r =
+    analyze_program_incr ~cache ~mode ?supplementary ?guard
       ~source_lines:(Check.line_count src) prog
   in
   { r with phases = Analysis.add_preproc r.phases t_parse }

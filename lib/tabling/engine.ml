@@ -181,6 +181,12 @@ type t = {
       (** stack of producers currently resolving clauses, innermost
           first; used to attribute consumer registrations ([deps]) *)
   mutable run_depth : int;  (** nesting of public [run_status] calls *)
+  mutable resolver : (Term.t -> Term.t list option) option;
+      (** splice resolver for incremental re-analysis: consulted when a
+          call-table lookup creates a new entry; [Some answers] installs
+          them as the entry's complete answer set and the producer is
+          skipped (docs/INCREMENTAL.md) *)
+  mutable spliced : int;  (** entries installed by the splice resolver *)
 }
 
 and builtin = t -> Subst.t -> Term.t array -> (Subst.t -> unit) -> unit
@@ -242,10 +248,16 @@ let create ?(hooks = concrete_hooks) ?(tabled = fun _ -> true)
     space_words = 0;
     producing = [];
     run_depth = 0;
+    resolver = None;
+    spliced = 0;
   }
 
 let set_guard e g = e.guard <- g
 let guard e = e.guard
+let set_resolver e r = e.resolver <- r
+let spliced_entries e = e.spliced
+
+let is_builtin e p = Hashtbl.mem e.builtins p
 
 (* the most general call pattern for a goal's predicate *)
 let open_call_of goal =
@@ -275,6 +287,62 @@ let grow_space e words =
   Guard.note_space e.guard (8 * e.space_words)
 
 let table_space_bytes e : int = 8 * e.space_words
+
+(* Find or create the table entry for an already-canonical call [key].
+   Incremental splice (docs/INCREMENTAL.md): a fresh entry may be
+   answered from a persisted table fragment instead of by running its
+   producer.  Installed answers go through the same dedup trie and
+   space accounting as produced ones, so `dump_tables`,
+   `table_space_bytes`, and the consistency invariants are
+   indistinguishable from a fresh computation; the entry completes
+   immediately (a fragment holds a complete answer set by
+   construction — only Complete runs persist). *)
+let find_entry e key =
+  let mk_entry () =
+    {
+      call = key;
+      answers = Vec.create ();
+      answer_set = Trie.create ();
+      answer_space = 0;
+      consumers = Vec.create ();
+      deps = Vec.create ();
+      completed = false;
+      mark = false;
+    }
+  in
+  let entry, is_new =
+    match Trie.find_or_add e.tables key mk_entry with
+    | Trie.Existing entry ->
+        Metrics.incr m_call_hits;
+        (entry, false)
+    | Trie.Added (entry, fresh_nodes) ->
+        e.stats.table_entries <- e.stats.table_entries + 1;
+        Metrics.incr m_call_misses;
+        grow_space e (fresh_nodes + entry_overhead);
+        (entry, true)
+  in
+  if is_new then begin
+    match e.resolver with
+    | None -> ()
+    | Some resolve -> (
+        match resolve key with
+        | None -> ()
+        | Some answers ->
+            List.iter
+              (fun ans ->
+                match Trie.find_or_add entry.answer_set ans (fun () -> ()) with
+                | Trie.Existing () -> ()
+                | Trie.Added ((), fresh_nodes) ->
+                    Vec.push entry.answers ans;
+                    e.stats.answers <- e.stats.answers + 1;
+                    let words = fresh_nodes + answer_overhead in
+                    entry.answer_space <- entry.answer_space + words;
+                    grow_space e words)
+              answers;
+            entry.completed <- true;
+            e.spliced <- e.spliced + 1)
+  end;
+  (entry, is_new)
 
 (* --- core resolution --------------------------------------------------- *)
 
@@ -350,38 +418,19 @@ and solve_tabled e s goal sc =
     e.hooks.abstract_call
       (if e.open_calls then open_call_of canonical else canonical)
   in
-  let mk_entry () =
-    {
-      call = key;
-      answers = Vec.create ();
-      answer_set = Trie.create ();
-      answer_space = 0;
-      consumers = Vec.create ();
-      deps = Vec.create ();
-      completed = false;
-      mark = false;
-    }
-  in
-  let entry, is_new =
-    match Trie.find_or_add e.tables key mk_entry with
-    | Trie.Existing entry ->
-        Metrics.incr m_call_hits;
-        (entry, false)
-    | Trie.Added (entry, fresh_nodes) ->
-        e.stats.table_entries <- e.stats.table_entries + 1;
-        Metrics.incr m_call_misses;
-        grow_space e (fresh_nodes + entry_overhead);
-        (entry, true)
-  in
+  let entry, is_new = find_entry e key in
   (* Attribute the registration to the producer on whose behalf we
      consume: new answers in [entry] can extend that producer's answer
      set even after its own clause resolution finished, so abort
      recovery must not treat it as closed while [entry] is open. *)
-  (match e.producing with
-  | p :: _ when p != entry ->
+  let owner =
+    match e.producing with p :: _ when p != entry -> Some p | _ -> None
+  in
+  (match owner with
+  | Some p ->
       let n = Vec.length p.deps in
       if n = 0 || Vec.get p.deps (n - 1) != entry then Vec.push p.deps entry
-  | _ -> ());
+  | None -> ());
   (* The consumer: unify a (renamed-apart) canonical answer with our goal
      instance.  With abstraction enabled the call in the table may be more
      general than [goal]; unifying against [key]'s instance keeps the
@@ -392,14 +441,36 @@ and solve_tabled e s goal sc =
     e.stats.resumptions <- e.stats.resumptions + 1;
     Metrics.incr m_resumptions;
     let inst = Canon.instantiate ans in
-    match e.hooks.unify s goal inst with Some s' -> sc s' | None -> ()
+    match e.hooks.unify s goal inst with
+    | None -> ()
+    | Some s' -> (
+        (* A resumption continues [owner]'s clause body, so while [sc]
+           runs the demanding entry is [owner] — not whichever producer
+           happened to broadcast [ans].  Re-establish it so the table
+           lookups [sc] makes attribute their demand edges ([deps]) to
+           the entry whose body they occur in; the incremental splice
+           replays those edges, and misattribution would re-demand call
+           variants only the broadcasting producer's cone needed. *)
+        match owner with
+        | None -> sc s'
+        | Some p -> (
+            let saved = e.producing in
+            e.producing <- p :: saved;
+            match sc s' with
+            | () -> e.producing <- saved
+            | exception ex ->
+                e.producing <- saved;
+                raise ex))
   in
   (* Snapshot-then-register so each answer reaches this consumer exactly
-     once: answers arriving after registration come via the broadcast. *)
+     once: answers arriving after registration come via the broadcast.
+     [find_entry] splices before we get here, so spliced answers are
+     delivered through the replay below exactly like the answers an
+     existing entry would replay. *)
   let n0 = Vec.length entry.answers in
   Metrics.incr m_suspensions;
   Vec.push entry.consumers consumer;
-  if is_new then producer e entry;
+  if is_new && not entry.completed then producer e entry;
   for i = 0 to n0 - 1 do
     consumer (Vec.get entry.answers i)
   done
@@ -619,6 +690,42 @@ let run_status e (goal : Term.t) (k : Subst.t -> unit) : Guard.status =
 let run e (goal : Term.t) (k : Subst.t -> unit) : unit =
   ignore (run_status e goal k)
 
+(** Force the table entry for an already-canonical call [key] into
+    existence — spliced from the resolver or produced to completion —
+    without registering a consumer or enumerating its answers.  This is
+    the incremental replay's workhorse: replay only needs the call
+    table to contain the demanded variants (reports read input modes
+    off the table), so instantiating and unifying every answer against
+    a discarding continuation would be pure overhead. *)
+let demand_status e (key : Term.t) : Guard.status =
+  let demand () =
+    e.stats.calls <- e.stats.calls + 1;
+    Metrics.incr m_call_lookups;
+    let entry, is_new = find_entry e key in
+    if is_new && not entry.completed then producer e entry
+  in
+  if e.run_depth > 0 then begin
+    demand ();
+    Guard.Complete
+  end
+  else begin
+    e.run_depth <- 1;
+    match demand () with
+    | () ->
+        e.run_depth <- 0;
+        Guard.Complete
+    | exception Guard.Exhausted reason ->
+        e.run_depth <- 0;
+        Metrics.incr m_aborts;
+        let exhausted_entries = force_complete_tables e in
+        Guard.Partial { reason; exhausted_entries }
+    | exception exn ->
+        e.run_depth <- 0;
+        Metrics.incr m_aborts;
+        recover_after_error e;
+        raise exn
+  end
+
 (** Distinct canonical solutions of [goal] with the evaluation status. *)
 let query_status e (goal : Term.t) : Term.t list * Guard.status =
   let seen = Canon.Tbl.create 32 in
@@ -694,6 +801,32 @@ let dump_tables e : string =
     batch can assert bit-identity with recomputation. *)
 let table_digest e : string = Digest.to_hex (Digest.string (dump_tables e))
 
+(* Per-entry extraction for the incremental store (docs/INCREMENTAL.md):
+   the canonical call, its answers, and the call variants its producer
+   consumed from ([deps] — the demand edges a future splice must replay
+   so the restored call table is byte-identical to a fresh one).
+   Everything is sorted, so the export of a given table state is
+   canonical regardless of discovery order. *)
+type exported = {
+  ex_call : Term.t;
+  ex_answers : Term.t list;
+  ex_subcalls : Term.t list;
+}
+
+let export_tables e : exported list =
+  Trie.fold
+    (fun _ entry acc ->
+      {
+        ex_call = entry.call;
+        ex_answers = Vec.to_list entry.answers |> List.sort Term.compare;
+        ex_subcalls =
+          Vec.fold (fun acc d -> d.call :: acc) [] entry.deps
+          |> List.sort_uniq Term.compare;
+      }
+      :: acc)
+    e.tables []
+  |> List.sort (fun a b -> Term.compare a.ex_call b.ex_call)
+
 let stats e = e.stats
 
 let reset_tables e =
@@ -701,6 +834,7 @@ let reset_tables e =
   e.space_words <- 0;
   e.producing <- [];
   e.run_depth <- 0;
+  e.spliced <- 0;
   e.stats.calls <- 0;
   e.stats.table_entries <- 0;
   e.stats.answers <- 0;

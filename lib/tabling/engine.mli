@@ -108,6 +108,49 @@ val guard : t -> Guard.t
 
 val register_builtin : t -> string -> int -> builtin -> unit
 
+val is_builtin : t -> string * int -> bool
+(** Is the predicate answered by a registered builtin (and therefore
+    never tabled)?  The incremental dependency graph uses this to keep
+    builtins out of the clause-level call graph. *)
+
+(** {2 Incremental table splice and extraction (docs/INCREMENTAL.md)}
+
+    Tables need not live and die with one [solve] call: a completed
+    run's tables can be {!export_tables}-extracted per entry (with the
+    demand edges between call variants), persisted, and spliced back
+    into a fresh engine through a {!set_resolver} resolver.  A spliced
+    entry is installed through the same dedup trie and space accounting
+    as a produced one, so dumps, digests, space estimates, and the
+    consistency invariants are byte-identical to a fresh computation —
+    the property the incremental-vs-scratch oracle relies on. *)
+
+val set_resolver : t -> (Term.t -> Term.t list option) option -> unit
+(** Install (or clear, with [None]) the splice resolver.  It is
+    consulted whenever a call-table lookup creates a {e new} entry,
+    with the canonical (post-abstraction) call key; returning
+    [Some answers] installs the canonical answers as the entry's
+    complete answer set and skips its producer.  The caller must
+    guarantee the answers are exactly what a fresh producer would
+    derive (the closure-digest check of [Prax_incr] does). *)
+
+val spliced_entries : t -> int
+(** Table entries installed by the resolver since creation or the last
+    {!reset_tables}. *)
+
+(** One exported call-table entry: the canonical call, its answers
+    (sorted), and the canonical call keys its producer consumed from —
+    the demand edges a splice must replay so a restored call table
+    equals a freshly computed one. *)
+type exported = {
+  ex_call : Term.t;
+  ex_answers : Term.t list;
+  ex_subcalls : Term.t list;
+}
+
+val export_tables : t -> exported list
+(** Every call-table entry, sorted by call.  Meaningful on a [Complete]
+    run (abort recovery scrubs the demand edges). *)
+
 val solve : t -> Subst.t -> Term.t -> (Subst.t -> unit) -> unit
 (** Low-level entry: enumerate solutions of a goal under a
     substitution.  No abort recovery — {!Guard.Exhausted} propagates to
@@ -127,6 +170,16 @@ val run_status : t -> Term.t -> (Subst.t -> unit) -> Guard.status
     reusable.  On any other exception the affected entries are discarded
     (so a reused engine re-derives them), invariants are restored, and
     the exception is re-raised. *)
+
+val demand_status : t -> Term.t -> Guard.status
+(** [demand_status e key] forces the call-table entry for the
+    already-canonical call [key] into existence — spliced from the
+    resolver or produced to completion — without registering a consumer
+    or enumerating its answers.  The table state afterwards is
+    indistinguishable from a [run_status] of the same call whose
+    continuation ignored every answer; the incremental replay
+    (docs/INCREMENTAL.md) uses this to reconstruct the demanded variant
+    set without paying per-answer instantiation. *)
 
 val query : t -> Term.t -> Term.t list
 (** Distinct canonical solutions, in discovery order. *)

@@ -468,7 +468,7 @@ let test_analyze_and_warm_cache () =
           }
       in
       Alcotest.(check string) "unknown analysis errors" "error" status4;
-      (* the stats verb reports the daemon.* family under schema v5 *)
+      (* the stats verb reports the daemon.* family under schema v6 *)
       let status5, doc5 =
         request_status socket
           { Wire.id = Metrics.Int 2; client = Some "test"; op = Wire.Stats }
@@ -478,7 +478,7 @@ let test_analyze_and_warm_cache () =
       | Some stats -> (
           (match Metrics.member "schema_version" stats with
           | Some (Metrics.Int v) ->
-              Alcotest.(check int) "stats schema v5" 5 v
+              Alcotest.(check int) "stats schema v6" 6 v
           | _ -> Alcotest.fail "stats lacks schema_version");
           match Metrics.member "counters" stats with
           | Some (Metrics.Obj counters) ->
